@@ -1,0 +1,124 @@
+//! Closed-form bound curves from §5.
+//!
+//! These are the envelopes the measured potential function is checked
+//! against, and the query lower bounds the measured algorithm costs are
+//! compared with in Experiment E12.
+
+use dqs_db::Params;
+
+/// Lemma 5.8 (and 5.10): after `t` queries to machine `k`,
+/// `D_t ≤ 4·(m_k/N)·t²`.
+pub fn growth_envelope(support_size: u64, universe: u64, t: u64) -> f64 {
+    4.0 * (support_size as f64 / universe as f64) * (t as f64) * (t as f64)
+}
+
+/// Lemma 5.7's floor for **exact** algorithms (`ε = 0`, hence `E_{t_k} = 0`
+/// and `D_{t_k} ≥ F_{t_k} ≥ M_k/2M`).
+pub fn success_floor(shard_cardinality: u64, total_count: u64) -> f64 {
+    shard_cardinality as f64 / (2.0 * total_count as f64)
+}
+
+/// Lemma 5.7's floor for algorithms with fidelity `F = (1−ε)²`:
+/// `D_{t_k} ≥ (√(M_k/2M) − √(2ε))²` (clamped at 0 when the fidelity is too
+/// low for the bound to bite). The exact case `ε = 0` reduces to
+/// [`success_floor`].
+pub fn success_floor_eps(shard_cardinality: u64, total_count: u64, epsilon: f64) -> f64 {
+    let root = success_floor(shard_cardinality, total_count).sqrt() - (2.0 * epsilon).sqrt();
+    if root > 0.0 {
+        root * root
+    } else {
+        0.0
+    }
+}
+
+/// Theorem 5.1: `Σ_j √(κ_j·N/M)` — the sequential query lower bound up to
+/// a universal constant.
+pub fn sequential_query_lower_bound(params: &Params) -> f64 {
+    params
+        .machine_capacities
+        .iter()
+        .map(|&k| (k as f64 * params.universe as f64 / params.total_count as f64).sqrt())
+        .sum()
+}
+
+/// Theorem 5.2: `max_j √(κ_j·N/M)` — the parallel round lower bound up to a
+/// universal constant.
+pub fn parallel_query_lower_bound(params: &Params) -> f64 {
+    params
+        .machine_capacities
+        .iter()
+        .map(|&k| (k as f64 * params.universe as f64 / params.total_count as f64).sqrt())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_db::{DistributedDataset, Multiset};
+    use dqs_math::approx::approx_eq;
+
+    #[test]
+    fn envelope_is_quadratic() {
+        assert_eq!(growth_envelope(2, 8, 0), 0.0);
+        assert!(approx_eq(growth_envelope(2, 8, 1), 1.0));
+        assert!(approx_eq(growth_envelope(2, 8, 3), 9.0));
+    }
+
+    #[test]
+    fn floor_is_half_mass_fraction() {
+        assert!(approx_eq(success_floor(6, 12), 0.25));
+        assert!(approx_eq(success_floor(12, 12), 0.5));
+    }
+
+    #[test]
+    fn eps_floor_interpolates() {
+        // ε = 0 recovers the exact floor
+        assert!(approx_eq(success_floor_eps(6, 12, 0.0), 0.25));
+        // growing ε weakens the floor monotonically
+        let mut last = success_floor_eps(6, 12, 0.0);
+        for k in 1..10 {
+            let f = success_floor_eps(6, 12, k as f64 * 0.01);
+            assert!(f <= last + 1e-12);
+            last = f;
+        }
+        // huge ε clamps at zero
+        assert_eq!(success_floor_eps(6, 12, 1.0), 0.0);
+    }
+
+    #[test]
+    fn lower_bounds_sum_vs_max() {
+        let ds = DistributedDataset::new(
+            16,
+            8,
+            vec![
+                Multiset::from_counts([(0, 4)]),
+                Multiset::from_counts([(1, 1)]),
+            ],
+        )
+        .unwrap();
+        let p = ds.params();
+        let seq = sequential_query_lower_bound(&p);
+        let par = parallel_query_lower_bound(&p);
+        // κ = (4, 1), N = 16, M = 5
+        let t0 = (4.0f64 * 16.0 / 5.0).sqrt();
+        let t1 = (1.0f64 * 16.0 / 5.0).sqrt();
+        assert!(approx_eq(seq, t0 + t1));
+        assert!(approx_eq(par, t0));
+        assert!(seq >= par);
+    }
+
+    #[test]
+    fn homogeneous_machines_reduce_to_paper_theorem_1_1() {
+        // κ_j = ν for all j → sequential Ω(n√(νN/M)), parallel Ω(√(νN/M)).
+        let shards = vec![
+            Multiset::from_counts([(0, 2)]),
+            Multiset::from_counts([(1, 2)]),
+            Multiset::from_counts([(2, 2)]),
+        ];
+        let ds = DistributedDataset::new(32, 2, shards).unwrap();
+        let p = ds.params();
+        let per = (2.0f64 * 32.0 / 6.0).sqrt();
+        assert!(approx_eq(sequential_query_lower_bound(&p), 3.0 * per));
+        assert!(approx_eq(parallel_query_lower_bound(&p), per));
+    }
+}

@@ -1,0 +1,257 @@
+//! Hard-input families (Definitions 5.4 / 5.5, Lemma 5.6).
+//!
+//! Fix a machine `k` and a base input `T` satisfying the *hard input
+//! condition*: `M_k ≥ α·M`, `M_k/m_k ≥ β·κ_k`, and
+//! `max_{i,j≠k} c_ij + max_i c_ik ≤ ν`. The family `𝒯` consists of all
+//! inputs obtained by relabeling machine `k`'s support through an
+//! order-preserving permutation; the coordinator cannot tell family members
+//! apart without querying machine `k`, which is the engine of the lower
+//! bound.
+
+use crate::permutation::OrderPreservingMap;
+use dqs_db::{DistributedDataset, Multiset};
+use dqs_math::binomial;
+use rand::Rng;
+
+/// A hard-input family `𝒯` for a distinguished machine.
+#[derive(Debug, Clone)]
+pub struct HardInputFamily {
+    base: DistributedDataset,
+    machine: usize,
+    /// `α` such that `M_k ≥ α·M` (computed from the base input).
+    pub alpha: f64,
+    /// `β` such that `M_k/m_k ≥ β·κ_k` (computed from the base input).
+    pub beta: f64,
+}
+
+impl HardInputFamily {
+    /// Wraps a base input, checking the hard-input condition (Eq. 8) and
+    /// recording the realized constants `α`, `β`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when machine `k`'s shard is empty or the capacity headroom
+    /// condition `max_{i,j≠k} c_ij + max_i c_ik ≤ ν` fails (relabelings
+    /// could then overflow `ν`).
+    pub fn new(base: DistributedDataset, machine: usize) -> Self {
+        let shard = &base.shards()[machine];
+        assert!(
+            !shard.is_empty(),
+            "hard inputs need a non-empty distinguished shard"
+        );
+        let m_k = shard.cardinality() as f64;
+        let m_total = base.total_count() as f64;
+        let support = shard.support_size() as f64;
+        let kappa_k = shard.max_multiplicity() as f64;
+        let alpha = m_k / m_total;
+        let beta = (m_k / support) / kappa_k;
+        // capacity headroom: a relabeled element could land on the heaviest
+        // element of the other machines.
+        let max_other: u64 = (0..base.universe())
+            .map(|i| {
+                (0..base.num_machines())
+                    .filter(|&j| j != machine)
+                    .map(|j| base.multiplicity(i, j))
+                    .sum::<u64>()
+            })
+            .max()
+            .unwrap_or(0);
+        assert!(
+            max_other + shard.max_multiplicity() <= base.capacity(),
+            "capacity headroom violated: {} + {} > ν = {}",
+            max_other,
+            shard.max_multiplicity(),
+            base.capacity()
+        );
+        Self {
+            base,
+            machine,
+            alpha,
+            beta,
+        }
+    }
+
+    /// The canonical hard input used in the proof of Theorem 5.1: all data
+    /// on machine `k` — `support` distinct elements `{0, …, support−1}`,
+    /// each with multiplicity `mult` — and every other machine empty
+    /// (`α = β = 1`).
+    pub fn canonical(
+        universe: u64,
+        machines: usize,
+        k: usize,
+        support: u64,
+        mult: u64,
+        capacity: u64,
+    ) -> Self {
+        assert!(k < machines);
+        assert!(mult >= 1 && mult <= capacity);
+        assert!(support >= 1 && support <= universe);
+        let mut shards = vec![Multiset::new(); machines];
+        shards[k] = Multiset::from_counts((0..support).map(|i| (i, mult)));
+        let base = DistributedDataset::new(universe, capacity, shards)
+            .expect("canonical hard input is valid");
+        Self::new(base, k)
+    }
+
+    /// The base input `T`.
+    pub fn base(&self) -> &DistributedDataset {
+        &self.base
+    }
+
+    /// The distinguished machine `k`.
+    pub fn machine(&self) -> usize {
+        self.machine
+    }
+
+    /// `m_k` — the support size being relabeled.
+    pub fn support_size(&self) -> u64 {
+        self.base.shards()[self.machine].support_size() as u64
+    }
+
+    /// `M_k` — cardinality of the distinguished shard.
+    pub fn shard_cardinality(&self) -> u64 {
+        self.base.shards()[self.machine].cardinality()
+    }
+
+    /// `|𝒯| = C(N, m_k)` (Lemma 5.6); `None` on u128 overflow.
+    pub fn family_size(&self) -> Option<u128> {
+        binomial(self.base.universe(), self.support_size())
+    }
+
+    /// The input `T̃` with machine `k`'s data erased — the hybrid-argument
+    /// reference whose oracle is the identity on machine `k`.
+    pub fn erased(&self) -> DistributedDataset {
+        self.base.with_shard_replaced(self.machine, Multiset::new())
+    }
+
+    /// Materializes the family member `σ̃^k(T)` for an order-preserving map
+    /// with the given (sorted) image set.
+    pub fn instance(&self, map: &OrderPreservingMap) -> DistributedDataset {
+        let shard = &self.base.shards()[self.machine];
+        assert_eq!(
+            map.source(),
+            shard.support().collect::<Vec<_>>(),
+            "map source must equal the shard support"
+        );
+        let relabeled = shard.relabel(|e| map.apply(e).expect("support element"));
+        self.base.with_shard_replaced(self.machine, relabeled)
+    }
+
+    /// Uniformly samples a family member (with its map).
+    pub fn sample(&self, rng: &mut impl Rng) -> (OrderPreservingMap, DistributedDataset) {
+        let source: Vec<u64> = self.base.shards()[self.machine].support().collect();
+        let map = OrderPreservingMap::sample_image(source, self.base.universe(), rng);
+        let ds = self.instance(&map);
+        (map, ds)
+    }
+
+    /// Enumerates the whole family (small `N` only).
+    pub fn enumerate(&self) -> Vec<DistributedDataset> {
+        let source: Vec<u64> = self.base.shards()[self.machine].support().collect();
+        OrderPreservingMap::enumerate_all(source, self.base.universe())
+            .iter()
+            .map(|m| self.instance(m))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn family() -> HardInputFamily {
+        HardInputFamily::canonical(6, 3, 1, 2, 3, 6)
+    }
+
+    #[test]
+    fn canonical_constants_are_one() {
+        let f = family();
+        assert_eq!(f.alpha, 1.0);
+        assert_eq!(f.beta, 1.0);
+        assert_eq!(f.support_size(), 2);
+        assert_eq!(f.shard_cardinality(), 6);
+    }
+
+    #[test]
+    fn family_size_matches_lemma_5_6() {
+        let f = family();
+        assert_eq!(f.family_size(), Some(15)); // C(6,2)
+        let members = f.enumerate();
+        assert_eq!(members.len(), 15);
+        // all members are pairwise distinct datasets
+        let mut keys: Vec<String> = members.iter().map(|d| format!("{d:?}")).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(keys.len(), 15);
+    }
+
+    #[test]
+    fn instances_preserve_shape_invariants() {
+        let f = family();
+        for ds in f.enumerate() {
+            let shard = &ds.shards()[1];
+            assert_eq!(shard.support_size(), 2);
+            assert_eq!(shard.cardinality(), 6);
+            assert_eq!(shard.max_multiplicity(), 3);
+            // other machines untouched (empty)
+            assert!(ds.shards()[0].is_empty());
+            assert!(ds.shards()[2].is_empty());
+        }
+    }
+
+    #[test]
+    fn erased_input_has_empty_distinguished_shard() {
+        let f = family();
+        let erased = f.erased();
+        assert!(erased.shards()[1].is_empty());
+    }
+
+    #[test]
+    fn sampling_yields_family_members() {
+        use rand::SeedableRng;
+        let f = family();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let all = f.enumerate();
+        for _ in 0..20 {
+            let (_, ds) = f.sample(&mut rng);
+            assert!(all.contains(&ds), "sampled dataset not in enumeration");
+        }
+    }
+
+    #[test]
+    fn non_canonical_base_with_other_machines() {
+        // machine 0 holds unrelated data; hard input condition must hold.
+        let base = DistributedDataset::new(
+            8,
+            5,
+            vec![
+                Multiset::from_counts([(7, 2)]),
+                Multiset::from_counts([(0, 3), (1, 3)]),
+            ],
+        )
+        .unwrap();
+        let f = HardInputFamily::new(base, 1);
+        assert!(f.alpha > 0.7); // 6/8
+        assert_eq!(f.beta, 1.0);
+        // a relabeling may stack onto element 7: 2 + 3 = 5 ≤ ν ✓
+        let map = OrderPreservingMap::new(vec![0, 1], vec![5, 7]);
+        let inst = f.instance(&map);
+        assert_eq!(inst.total_multiplicity(7), 5);
+        assert!(inst.params().realized_capacity <= inst.capacity());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity headroom")]
+    fn headroom_violation_rejected() {
+        let base = DistributedDataset::new(
+            8,
+            4,
+            vec![
+                Multiset::from_counts([(7, 2)]),
+                Multiset::from_counts([(0, 3), (1, 3)]),
+            ],
+        )
+        .unwrap();
+        let _ = HardInputFamily::new(base, 1);
+    }
+}

@@ -1,0 +1,386 @@
+//! The hybrid-argument potential function, executed on the simulator.
+//!
+//! For a hard-input family `𝒯` for machine `k`, the paper studies
+//!
+//! ```text
+//! D_t = E_{T∈𝒯} ‖ |ψ_t^T⟩ − |ψ_t⟩ ‖²                (Eq. 11)
+//! ```
+//!
+//! where `|ψ_t^T⟩` is the coordinator state after `t` queries to machine
+//! `k` when running on input `T`, and `|ψ_t⟩` is the state of the *same
+//! circuit* run with machine `k` erased (its oracle is then the identity).
+//! Obliviousness matters here: the circuit — AA schedule, rotation angles,
+//! reflections — is fixed by the **public** parameters `(N, ν, M, n)`,
+//! which every family member shares, so the runs differ *only* in `O_k`.
+//!
+//! Lemma 5.8 caps `D_t ≤ 4(m_k/N)·t²`; Lemma 5.7 forces
+//! `D_{t_k} ≥ M_k/2M` for exact algorithms. Together they yield
+//! `t_k = Ω(√(κ_k N/M))`. [`SequentialHybrid::run`] measures the trace for
+//! the sequential model, [`ParallelHybrid::run`] for the parallel model
+//! (Lemmas 5.9/5.10).
+
+use crate::bounds::{growth_envelope, success_floor};
+use crate::hard_inputs::HardInputFamily;
+use dqs_core::amplify::AaPlan;
+use dqs_core::{DistributingOperator, ParallelLayout, SequentialLayout};
+use dqs_db::{DistributedDataset, OracleSet, QueryLedger};
+use dqs_math::{Complex64, Welford};
+use dqs_sim::{QuantumState, SparseState, StateTable};
+use rand::Rng;
+
+/// Which query model a hybrid experiment instruments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryModel {
+    /// Sequential `O_j` queries; `t` counts queries to machine `k`.
+    Sequential,
+    /// Composite parallel rounds; `t` counts rounds.
+    Parallel,
+}
+
+/// The measured potential function trace.
+#[derive(Debug, Clone)]
+pub struct PotentialTrace {
+    /// Which model produced this trace.
+    pub model: QueryModel,
+    /// `D_t` for `t = 0, 1, …, t_k` (index = query count to machine `k`).
+    pub d: Vec<f64>,
+    /// Standard error of each `D_t` estimate across family members
+    /// (`None` at `t = 0` and when only one member was used). Exact when
+    /// the family was fully enumerated — then this is the family's true
+    /// spread, not sampling noise.
+    pub std_err: Vec<Option<f64>>,
+    /// Family members averaged over (enumerated or sampled).
+    pub members: usize,
+    /// `m_k` — the distinguished support size.
+    pub support_size: u64,
+    /// `N`.
+    pub universe: u64,
+    /// `M_k`.
+    pub shard_cardinality: u64,
+    /// `M`.
+    pub total_count: u64,
+}
+
+impl PotentialTrace {
+    /// `t_k` — the total number of instrumented queries.
+    pub fn queries(&self) -> u64 {
+        (self.d.len() - 1) as u64
+    }
+
+    /// The final value `D_{t_k}`.
+    pub fn final_potential(&self) -> f64 {
+        *self.d.last().expect("trace has at least t = 0")
+    }
+
+    /// Lemma 5.8/5.10 envelope at each `t`.
+    pub fn envelope(&self) -> Vec<f64> {
+        (0..self.d.len())
+            .map(|t| growth_envelope(self.support_size, self.universe, t as u64))
+            .collect()
+    }
+
+    /// Indices `t` where the measured `D_t` exceeds the envelope beyond
+    /// numerical tolerance (must be empty — this *is* Lemma 5.8).
+    pub fn envelope_violations(&self) -> Vec<usize> {
+        self.d
+            .iter()
+            .zip(self.envelope())
+            .enumerate()
+            .filter(|(_, (&d, e))| d > e + 1e-9)
+            .map(|(t, _)| t)
+            .collect()
+    }
+
+    /// Lemma 5.7's floor `M_k/2M` for exact algorithms.
+    pub fn floor(&self) -> f64 {
+        success_floor(self.shard_cardinality, self.total_count)
+    }
+
+    /// True when the final potential clears the success floor (must hold
+    /// because the instrumented algorithm is exact).
+    pub fn clears_floor(&self) -> bool {
+        self.final_potential() >= self.floor() - 1e-9
+    }
+}
+
+/// Hybrid experiment for the sequential model.
+#[derive(Debug, Clone)]
+pub struct SequentialHybrid<'a> {
+    family: &'a HardInputFamily,
+}
+
+impl<'a> SequentialHybrid<'a> {
+    /// Creates the experiment.
+    pub fn new(family: &'a HardInputFamily) -> Self {
+        Self { family }
+    }
+
+    /// Runs the experiment, enumerating the family when it has at most
+    /// `max_members` members and Monte-Carlo sampling `max_members` inputs
+    /// otherwise. Uses the zero-error schedule for the base parameters.
+    pub fn run(&self, max_members: usize, rng: &mut impl Rng) -> PotentialTrace {
+        let plan = AaPlan::for_success_probability(
+            self.family.base().params().initial_success_probability(),
+        );
+        self.run_with_plan(&plan, max_members, rng)
+    }
+
+    /// Like [`Self::run`], but instrumenting an arbitrary (still oblivious)
+    /// amplitude-amplification schedule — e.g. a *plain* Grover plan whose
+    /// output is inexact, which exercises Lemma 5.7's `ε > 0` regime.
+    pub fn run_with_plan(
+        &self,
+        plan: &AaPlan,
+        max_members: usize,
+        rng: &mut impl Rng,
+    ) -> PotentialTrace {
+        let base = self.family.base();
+        let k = self.family.machine();
+        let plan = *plan;
+        let layout = SequentialLayout::for_dataset(base);
+
+        let erased_snaps = seq_snapshots(&self.family.erased(), &layout, &plan, k);
+        let members = family_members(self.family, max_members, rng);
+        let mut acc = vec![Welford::new(); erased_snaps.len()];
+        for ds in &members {
+            let snaps = seq_snapshots(ds, &layout, &plan, k);
+            assert_eq!(snaps.len(), erased_snaps.len(), "oblivious schedule drift");
+            for (slot, (a, b)) in acc.iter_mut().zip(snaps.iter().zip(&erased_snaps)) {
+                slot.push(a.distance_sqr(b));
+            }
+        }
+        let mut d = vec![0.0];
+        let mut std_err = vec![None];
+        d.extend(acc.iter().map(Welford::mean));
+        std_err.extend(acc.iter().map(Welford::std_err));
+        PotentialTrace {
+            model: QueryModel::Sequential,
+            d,
+            std_err,
+            members: members.len(),
+            support_size: self.family.support_size(),
+            universe: base.universe(),
+            shard_cardinality: self.family.shard_cardinality(),
+            total_count: base.total_count(),
+        }
+    }
+}
+
+/// Hybrid experiment for the parallel model (Lemmas 5.9 / 5.10).
+#[derive(Debug, Clone)]
+pub struct ParallelHybrid<'a> {
+    family: &'a HardInputFamily,
+}
+
+impl<'a> ParallelHybrid<'a> {
+    /// Creates the experiment.
+    pub fn new(family: &'a HardInputFamily) -> Self {
+        Self { family }
+    }
+
+    /// Runs the experiment (see [`SequentialHybrid::run`]).
+    pub fn run(&self, max_members: usize, rng: &mut impl Rng) -> PotentialTrace {
+        let base = self.family.base();
+        let plan = AaPlan::for_success_probability(base.params().initial_success_probability());
+        let layout = ParallelLayout::for_dataset(base);
+
+        let erased_snaps = par_snapshots(&self.family.erased(), &layout, &plan);
+        let members = family_members(self.family, max_members, rng);
+        let mut acc = vec![Welford::new(); erased_snaps.len()];
+        for ds in &members {
+            let snaps = par_snapshots(ds, &layout, &plan);
+            assert_eq!(snaps.len(), erased_snaps.len(), "oblivious schedule drift");
+            for (slot, (a, b)) in acc.iter_mut().zip(snaps.iter().zip(&erased_snaps)) {
+                slot.push(a.distance_sqr(b));
+            }
+        }
+        let mut d = vec![0.0];
+        let mut std_err = vec![None];
+        d.extend(acc.iter().map(Welford::mean));
+        std_err.extend(acc.iter().map(Welford::std_err));
+        PotentialTrace {
+            model: QueryModel::Parallel,
+            d,
+            std_err,
+            members: members.len(),
+            support_size: self.family.support_size(),
+            universe: base.universe(),
+            shard_cardinality: self.family.shard_cardinality(),
+            total_count: base.total_count(),
+        }
+    }
+}
+
+fn family_members(
+    family: &HardInputFamily,
+    max_members: usize,
+    rng: &mut impl Rng,
+) -> Vec<DistributedDataset> {
+    match family.family_size() {
+        Some(size) if size <= max_members as u128 => family.enumerate(),
+        _ => (0..max_members).map(|_| family.sample(rng).1).collect(),
+    }
+}
+
+/// Runs the sequential circuit fixed by `plan` with oracles over `ds`,
+/// snapshotting after every query to machine `k`.
+fn seq_snapshots(
+    ds: &DistributedDataset,
+    layout: &SequentialLayout,
+    plan: &AaPlan,
+    k: usize,
+) -> Vec<StateTable> {
+    let ledger = QueryLedger::new(ds.num_machines());
+    let oracles = OracleSet::new(ds, &ledger);
+    let d = DistributingOperator::new(ds.capacity());
+    let anchor = uniform_anchor(&layout.layout, layout.elem);
+    let mut snaps: Vec<StateTable> = Vec::new();
+
+    let mut state = SparseState::from_basis(layout.layout.clone(), &[0, 0, 0]);
+    state.apply_register_unitary(layout.elem, &dqs_sim::gates::dft(ds.universe()));
+
+    {
+        let mut observe = |j: usize, s: &SparseState| {
+            if j == k {
+                snaps.push(s.to_table());
+            }
+        };
+        d.apply_sequential_observed(&oracles, &mut state, layout, false, &mut observe);
+        dqs_core::amplify::execute_plan(&mut state, plan, &anchor, layout.flag, |s, inv| {
+            d.apply_sequential_observed(&oracles, s, layout, inv, &mut observe)
+        });
+    }
+    snaps
+}
+
+/// Runs the parallel circuit fixed by `plan` with oracles over `ds`,
+/// snapshotting after every composite round.
+fn par_snapshots(
+    ds: &DistributedDataset,
+    layout: &ParallelLayout,
+    plan: &AaPlan,
+) -> Vec<StateTable> {
+    let ledger = QueryLedger::new(ds.num_machines());
+    let oracles = OracleSet::new(ds, &ledger);
+    let d = DistributingOperator::new(ds.capacity());
+    let anchor = uniform_anchor(&layout.layout, layout.elem);
+    let mut snaps: Vec<StateTable> = Vec::new();
+
+    let mut state = SparseState::from_basis(layout.layout.clone(), &layout.layout.zero_basis());
+    state.apply_register_unitary(layout.elem, &dqs_sim::gates::dft(ds.universe()));
+
+    {
+        let mut observe = |s: &SparseState| snaps.push(s.to_table());
+        d.apply_parallel_observed(&oracles, &mut state, layout, false, &mut observe);
+        dqs_core::amplify::execute_plan(&mut state, plan, &anchor, layout.flag, |s, inv| {
+            d.apply_parallel_observed(&oracles, s, layout, inv, &mut observe)
+        });
+    }
+    snaps
+}
+
+fn uniform_anchor(layout: &dqs_sim::Layout, elem: usize) -> StateTable {
+    let n = layout.dim(elem);
+    let amp = Complex64::from_real(1.0 / (n as f64).sqrt());
+    let entries = (0..n)
+        .map(|i| {
+            let mut b = layout.zero_basis();
+            b[elem] = i;
+            (b.into_boxed_slice(), amp)
+        })
+        .collect();
+    StateTable::new(layout.clone(), entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_family() -> HardInputFamily {
+        // N = 8, n = 2, all data on machine 1: 2 elements × multiplicity 2,
+        // ν = 4 → a = 4/32 = 1/8.
+        HardInputFamily::canonical(8, 2, 1, 2, 2, 4)
+    }
+
+    #[test]
+    fn sequential_trace_respects_lemma_5_8_envelope() {
+        let f = small_family();
+        let mut rng = StdRng::seed_from_u64(1);
+        let trace = SequentialHybrid::new(&f).run(64, &mut rng);
+        assert_eq!(trace.members, 28, "C(8,2) enumerated");
+        assert!(
+            trace.envelope_violations().is_empty(),
+            "D_t must sit below 4(m_k/N)t²: {:?} vs {:?}",
+            trace.d,
+            trace.envelope()
+        );
+        // D grows: final strictly positive
+        assert!(trace.final_potential() > 0.0);
+    }
+
+    #[test]
+    fn sequential_trace_clears_lemma_5_7_floor() {
+        let f = small_family();
+        let mut rng = StdRng::seed_from_u64(2);
+        let trace = SequentialHybrid::new(&f).run(64, &mut rng);
+        assert!(
+            trace.clears_floor(),
+            "exact sampler must separate from the erased run: D = {} < floor = {}",
+            trace.final_potential(),
+            trace.floor()
+        );
+    }
+
+    #[test]
+    fn potential_is_monotone_from_zero() {
+        let f = small_family();
+        let mut rng = StdRng::seed_from_u64(3);
+        let trace = SequentialHybrid::new(&f).run(64, &mut rng);
+        assert_eq!(trace.d[0], 0.0);
+        // not necessarily monotone in general, but must start at 0 and the
+        // max must exceed the floor
+        let max = trace.d.iter().cloned().fold(0.0, f64::max);
+        assert!(max >= trace.floor());
+    }
+
+    #[test]
+    fn query_count_matches_schedule() {
+        let f = small_family();
+        let mut rng = StdRng::seed_from_u64(4);
+        let trace = SequentialHybrid::new(&f).run(16, &mut rng);
+        let plan = AaPlan::for_success_probability(f.base().params().initial_success_probability());
+        // machine k is queried twice per D application
+        assert_eq!(trace.queries(), 2 * (2 * plan.total_iterations() + 1));
+    }
+
+    #[test]
+    fn parallel_trace_respects_envelope_and_floor() {
+        let f = small_family();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trace = ParallelHybrid::new(&f).run(32, &mut rng);
+        assert_eq!(trace.model, QueryModel::Parallel);
+        assert!(
+            trace.envelope_violations().is_empty(),
+            "parallel D_t exceeds Lemma 5.10 envelope"
+        );
+        assert!(trace.clears_floor());
+        let plan = AaPlan::for_success_probability(f.base().params().initial_success_probability());
+        assert_eq!(trace.queries(), 4 * (2 * plan.total_iterations() + 1));
+    }
+
+    #[test]
+    fn monte_carlo_sampling_close_to_enumeration() {
+        let f = small_family();
+        let exact = SequentialHybrid::new(&f).run(1000, &mut StdRng::seed_from_u64(6));
+        assert_eq!(exact.members, 28);
+        let mc = SequentialHybrid::new(&f).run(20, &mut StdRng::seed_from_u64(7));
+        assert_eq!(mc.members, 20);
+        let (e, m) = (exact.final_potential(), mc.final_potential());
+        assert!(
+            (e - m).abs() / e < 0.35,
+            "MC estimate {m} too far from exact {e}"
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! # dqs-adversary
+//!
+//! Numeric machinery for the paper's lower bounds (§5): the hybrid/adversary
+//! argument à la Zalka, executed on the real simulator.
+//!
+//! * [`permutation`] — order-preserving maps `σ` and the image-set
+//!   combinatorics behind Lemma 5.6.
+//! * [`hard_inputs`] — the hard-input families `𝒯 = {σ̃^k(T)}` of
+//!   Definitions 5.4/5.5, with enumeration (small `N`) and uniform sampling
+//!   (large `N`).
+//! * [`hybrid`] — runs the sampling algorithm on an input `T` and on the
+//!   machine-`k`-erased input `T̃`, snapshotting the coordinator state after
+//!   each query to machine `k`, and estimates the potential function
+//!   `D_t = E_{T∈𝒯} ‖|ψ_t^T⟩ − |ψ_t⟩‖²` (Eq. 11).
+//! * [`bounds`] — the closed-form envelopes: Lemma 5.8's growth cap
+//!   `D_t ≤ 4(m_k/N)t²`, Lemma 5.7's success floor `D_{t_k} ≥ M_k/2M` (for
+//!   exact algorithms), and the query lower bounds of Theorems 5.1/5.2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod hard_inputs;
+pub mod hybrid;
+pub mod permutation;
+
+pub use bounds::{
+    growth_envelope, parallel_query_lower_bound, sequential_query_lower_bound, success_floor,
+    success_floor_eps,
+};
+pub use hard_inputs::HardInputFamily;
+pub use hybrid::{ParallelHybrid, PotentialTrace, QueryModel, SequentialHybrid};
+pub use permutation::OrderPreservingMap;

@@ -1,0 +1,206 @@
+//! Order-preserving maps on element supports.
+//!
+//! §5.2: a permutation `σ` on `[N]` is *order-preserving for `S ⊆ [N]`*
+//! when it is monotone on `S`. Such a `σ` is determined (as far as the
+//! induced dataset permutation is concerned) by its image set `σ(S)`: the
+//! `r`-th smallest element of `S` maps to the `r`-th smallest element of
+//! the image. Lemma 5.6 counts them: there are exactly `C(N, |S|)` distinct
+//! induced inputs.
+
+use rand::Rng;
+
+/// A monotone bijection from a sorted source set onto a sorted image set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderPreservingMap {
+    source: Vec<u64>,
+    image: Vec<u64>,
+}
+
+impl OrderPreservingMap {
+    /// Builds the map sending the `r`-th smallest of `source` to the `r`-th
+    /// smallest of `image`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sets differ in size or contain duplicates.
+    pub fn new(mut source: Vec<u64>, mut image: Vec<u64>) -> Self {
+        source.sort_unstable();
+        image.sort_unstable();
+        assert_eq!(source.len(), image.len(), "source/image size mismatch");
+        assert!(
+            source.windows(2).all(|w| w[0] < w[1]),
+            "source contains duplicates"
+        );
+        assert!(
+            image.windows(2).all(|w| w[0] < w[1]),
+            "image contains duplicates"
+        );
+        Self { source, image }
+    }
+
+    /// The identity map on a set.
+    pub fn identity(mut set: Vec<u64>) -> Self {
+        set.sort_unstable();
+        Self {
+            source: set.clone(),
+            image: set,
+        }
+    }
+
+    /// Maps a source element; `None` when `elem ∉ source`.
+    pub fn apply(&self, elem: u64) -> Option<u64> {
+        self.source.binary_search(&elem).ok().map(|k| self.image[k])
+    }
+
+    /// Maps an image element back; `None` when `elem ∉ image`.
+    pub fn invert(&self, elem: u64) -> Option<u64> {
+        self.image.binary_search(&elem).ok().map(|k| self.source[k])
+    }
+
+    /// The (sorted) source set.
+    pub fn source(&self) -> &[u64] {
+        &self.source
+    }
+
+    /// The (sorted) image set.
+    pub fn image(&self) -> &[u64] {
+        &self.image
+    }
+
+    /// Number of mapped elements `|S|`.
+    pub fn len(&self) -> usize {
+        self.source.len()
+    }
+
+    /// True for the empty map.
+    pub fn is_empty(&self) -> bool {
+        self.source.is_empty()
+    }
+
+    /// Uniformly samples an image set of size `|source|` in `0..universe`
+    /// and returns the induced order-preserving map.
+    pub fn sample_image(source: Vec<u64>, universe: u64, rng: &mut impl Rng) -> Self {
+        let m = source.len();
+        assert!(
+            (m as u64) <= universe,
+            "support larger than universe: {m} > {universe}"
+        );
+        // Floyd's algorithm for a uniform m-subset of 0..universe.
+        let mut chosen = std::collections::BTreeSet::new();
+        for j in (universe - m as u64)..universe {
+            let t = rng.gen_range(0..=j);
+            if !chosen.insert(t) {
+                chosen.insert(j);
+            }
+        }
+        Self::new(source, chosen.into_iter().collect())
+    }
+
+    /// Enumerates **all** `C(universe, |source|)` order-preserving maps for
+    /// a source set (small universes only — the caller should check
+    /// [`dqs_math::binomial`] first).
+    pub fn enumerate_all(source: Vec<u64>, universe: u64) -> Vec<Self> {
+        let m = source.len();
+        let mut out = Vec::new();
+        let mut current: Vec<u64> = Vec::with_capacity(m);
+        fn recurse(
+            universe: u64,
+            m: usize,
+            start: u64,
+            current: &mut Vec<u64>,
+            source: &[u64],
+            out: &mut Vec<OrderPreservingMap>,
+        ) {
+            if current.len() == m {
+                out.push(OrderPreservingMap::new(source.to_vec(), current.clone()));
+                return;
+            }
+            let remaining = (m - current.len()) as u64;
+            for v in start..=(universe - remaining) {
+                current.push(v);
+                recurse(universe, m, v + 1, current, source, out);
+                current.pop();
+            }
+        }
+        if m == 0 {
+            return vec![Self::identity(vec![])];
+        }
+        recurse(universe, m, 0, &mut current, &source, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_math::binomial;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn apply_preserves_order() {
+        let m = OrderPreservingMap::new(vec![2, 5, 9], vec![0, 7, 8]);
+        assert_eq!(m.apply(2), Some(0));
+        assert_eq!(m.apply(5), Some(7));
+        assert_eq!(m.apply(9), Some(8));
+        assert_eq!(m.apply(3), None);
+    }
+
+    #[test]
+    fn invert_round_trips() {
+        let m = OrderPreservingMap::new(vec![1, 4], vec![3, 9]);
+        for e in [1u64, 4] {
+            assert_eq!(m.invert(m.apply(e).unwrap()), Some(e));
+        }
+        assert_eq!(m.invert(5), None);
+    }
+
+    #[test]
+    fn identity_maps_to_self() {
+        let m = OrderPreservingMap::identity(vec![7, 3]);
+        assert_eq!(m.apply(3), Some(3));
+        assert_eq!(m.apply(7), Some(7));
+    }
+
+    #[test]
+    fn enumeration_matches_lemma_5_6_count() {
+        // Lemma 5.6: the number of distinct induced inputs is C(N, m).
+        for (n, src) in [(5u64, vec![0u64, 1]), (6, vec![1, 3, 4]), (4, vec![2])] {
+            let all = OrderPreservingMap::enumerate_all(src.clone(), n);
+            let expected = binomial(n, src.len() as u64).unwrap() as usize;
+            assert_eq!(all.len(), expected, "N={n}, m={}", src.len());
+            // all images distinct
+            let mut images: Vec<_> = all.iter().map(|m| m.image().to_vec()).collect();
+            images.sort();
+            images.dedup();
+            assert_eq!(images.len(), expected);
+        }
+    }
+
+    #[test]
+    fn sampled_maps_are_valid_and_uniformish() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            let m = OrderPreservingMap::sample_image(vec![0, 1], 5, &mut rng);
+            assert_eq!(m.len(), 2);
+            assert!(m.image().iter().all(|&e| e < 5));
+            seen.insert(m.image().to_vec());
+        }
+        // C(5,2) = 10 possible images; 200 draws should hit all of them
+        assert_eq!(seen.len(), 10);
+    }
+
+    #[test]
+    fn empty_map() {
+        let m = OrderPreservingMap::identity(vec![]);
+        assert!(m.is_empty());
+        assert_eq!(OrderPreservingMap::enumerate_all(vec![], 4).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicates")]
+    fn duplicate_source_rejected() {
+        let _ = OrderPreservingMap::new(vec![1, 1], vec![0, 2]);
+    }
+}

@@ -1,0 +1,85 @@
+//! The centralized (`n = 1`) reduction.
+//!
+//! Merging every shard onto one machine recovers classic quantum sampling
+//! on a single database — the setting of Grover/BHMT that the paper
+//! generalizes. Comparing its query count against the distributed run on
+//! the same data isolates the distribution overhead: the iteration count is
+//! identical (it depends only on `M, N, ν`), and the sequential cost scales
+//! by exactly `n`.
+
+use dqs_core::{sequential_sample, SequentialRun};
+use dqs_db::{DistributedDataset, Multiset};
+use dqs_sim::QuantumState;
+
+/// Result of the centralized comparator.
+#[derive(Debug, Clone)]
+pub struct CentralizedRun<S> {
+    /// The inner run over the merged single-machine dataset.
+    pub run: SequentialRun<S>,
+}
+
+/// Merges all shards onto one machine (same `N`, same `ν`) and samples.
+pub fn centralized_sample<S: QuantumState>(dataset: &DistributedDataset) -> CentralizedRun<S> {
+    let merged = dataset
+        .shards()
+        .iter()
+        .fold(Multiset::new(), |acc, s| acc.union(s));
+    let central = DistributedDataset::new(dataset.universe(), dataset.capacity(), vec![merged])
+        .expect("merged dataset is valid when the original is");
+    CentralizedRun {
+        run: sequential_sample::<S>(&central),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_math::approx::approx_eq;
+    use dqs_sim::SparseState;
+    use dqs_workloads::WorkloadSpec;
+
+    fn dataset() -> DistributedDataset {
+        WorkloadSpec::small_uniform(32, 60, 4, 23).build()
+    }
+
+    #[test]
+    fn centralized_output_is_exact() {
+        let run = centralized_sample::<SparseState>(&dataset());
+        assert!(run.run.fidelity > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn same_iteration_count_as_distributed() {
+        let ds = dataset();
+        let central = centralized_sample::<SparseState>(&ds);
+        let distributed = sequential_sample::<SparseState>(&ds);
+        assert_eq!(
+            central.run.plan.total_iterations(),
+            distributed.plan.total_iterations(),
+            "iterations depend only on (M, N, ν)"
+        );
+    }
+
+    #[test]
+    fn distributed_cost_is_exactly_n_times_centralized() {
+        let ds = dataset();
+        let central = centralized_sample::<SparseState>(&ds);
+        let distributed = sequential_sample::<SparseState>(&ds);
+        assert_eq!(
+            distributed.queries.total_sequential(),
+            ds.num_machines() as u64 * central.run.queries.total_sequential()
+        );
+    }
+
+    #[test]
+    fn same_output_distribution() {
+        let ds = dataset();
+        let central = centralized_sample::<SparseState>(&ds);
+        let distributed = sequential_sample::<SparseState>(&ds);
+        let pc = central.run.state.register_probabilities(0);
+        let pd = distributed.state.register_probabilities(0);
+        for i in 0..ds.universe() as usize {
+            assert!(approx_eq(pc[i], pd[i]), "element {i}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # dqs-baselines
+//!
+//! Comparators for the paper's algorithms:
+//!
+//! * [`classical`] — the classical-communication strawman from §1: the
+//!   coordinator asks every machine for the multiplicity of every element
+//!   (`n·N` classical queries, the paper's "the coordinator has to
+//!   effectively ask every database how many times every possible element
+//!   appears"), then prepares the state from the fully-known counts.
+//! * [`plain_grover`] — an ablation of the zero-error final rotation: plain
+//!   `Q(π,π)` amplitude amplification with a rounded iteration count, which
+//!   generically under/overshoots and caps fidelity strictly below 1.
+//! * [`centralized`] — the `n = 1` reduction: all data merged onto a single
+//!   machine, which is the classic (non-distributed) quantum sampling
+//!   setting whose cost the paper's `Θ(n√(νN/M))` generalizes.
+//! * [`sample_learn`] — replace quantum sampling with repeated classical
+//!   sampling (prepare, measure, tally, synthesize): polynomially more
+//!   queries and never exact — the intro's "advantage vanishes" remark.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod centralized;
+pub mod classical;
+pub mod plain_grover;
+pub mod sample_learn;
+
+pub use centralized::{centralized_sample, CentralizedRun};
+pub use classical::{classical_sample, ClassicalRun};
+pub use plain_grover::{plain_sequential_sample, PlainRun};
+pub use sample_learn::{sample_and_learn, SampleLearnRun};

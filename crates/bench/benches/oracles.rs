@@ -1,0 +1,96 @@
+//! Criterion: counting-oracle application cost — one `O_j`, a full
+//! `O_1…O_n` pass, and one composite parallel round, on superposition
+//! states of increasing support.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dqs_core::{DistributingOperator, ParallelLayout, SequentialLayout};
+use dqs_db::{OracleSet, QueryLedger};
+use dqs_sim::{gates, QuantumState, SparseState};
+use dqs_workloads::{Distribution, PartitionScheme, WorkloadSpec};
+use std::hint::black_box;
+
+fn dataset(universe: u64, machines: usize) -> dqs_db::DistributedDataset {
+    WorkloadSpec {
+        universe,
+        total: universe / 4,
+        machines,
+        distribution: Distribution::Uniform,
+        partition: PartitionScheme::RoundRobin,
+        capacity_slack: 1.0,
+        seed: 2,
+    }
+    .build()
+}
+
+fn bench_single_oracle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("oracle_oj");
+    for &n in &[1024u64, 4096, 16384] {
+        let ds = dataset(n, 2);
+        let sl = SequentialLayout::for_dataset(&ds);
+        let mut s = SparseState::from_basis(sl.layout.clone(), &[0, 0, 0]);
+        s.apply_register_unitary(sl.elem, &gates::dft(n));
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            let ledger = QueryLedger::new(ds.num_machines());
+            let oracles = OracleSet::new(&ds, &ledger);
+            b.iter(|| {
+                let mut s = s.clone();
+                oracles.apply_oj(&mut s, 0, sl.oracle_registers(), false);
+                black_box(s.support_len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_distributing_operator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distributing_d");
+    for &machines in &[2usize, 8] {
+        let ds = dataset(2048, machines);
+        let sl = SequentialLayout::for_dataset(&ds);
+        let d = DistributingOperator::new(ds.capacity());
+        let mut s = SparseState::from_basis(sl.layout.clone(), &[0, 0, 0]);
+        s.apply_register_unitary(sl.elem, &gates::dft(2048));
+        g.bench_with_input(
+            BenchmarkId::new("sequential", machines),
+            &machines,
+            |b, _| {
+                let ledger = QueryLedger::new(ds.num_machines());
+                let oracles = OracleSet::new(&ds, &ledger);
+                b.iter(|| {
+                    let mut s = s.clone();
+                    d.apply_sequential(&oracles, &mut s, &sl, false);
+                    black_box(s.support_len())
+                });
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_parallel_round(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_round");
+    for &machines in &[2usize, 4] {
+        let ds = dataset(1024, machines);
+        let pl = ParallelLayout::for_dataset(&ds);
+        let d = DistributingOperator::new(ds.capacity());
+        let mut s = SparseState::from_basis(pl.layout.clone(), &pl.layout.zero_basis());
+        s.apply_register_unitary(pl.elem, &gates::dft(1024));
+        g.bench_with_input(BenchmarkId::from_parameter(machines), &machines, |b, _| {
+            let ledger = QueryLedger::new(ds.num_machines());
+            let oracles = OracleSet::new(&ds, &ledger);
+            b.iter(|| {
+                let mut s = s.clone();
+                d.apply_parallel(&oracles, &mut s, &pl, false);
+                black_box(s.support_len())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_single_oracle, bench_distributing_operator, bench_parallel_round
+}
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion: end-to-end wall-clock of the two samplers across universe
+//! sizes and machine counts. Wall-clock here is *simulation* cost (the
+//! paper's metric is query count, reported by `exp_*`); this bench tracks
+//! that the simulator scales well enough to host the experiments.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dqs_core::{parallel_sample, sequential_sample};
+use dqs_sim::SparseState;
+use dqs_workloads::{Distribution, PartitionScheme, WorkloadSpec};
+use std::hint::black_box;
+
+fn spec(universe: u64, machines: usize) -> WorkloadSpec {
+    WorkloadSpec {
+        universe,
+        total: 32,
+        machines,
+        distribution: Distribution::SparseUniform { support: 16 },
+        partition: PartitionScheme::RoundRobin,
+        capacity_slack: 1.0,
+        seed: 3,
+    }
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sequential_sample");
+    for &n in &[256u64, 1024, 4096] {
+        let ds = spec(n, 2).build();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &ds, |b, ds| {
+            b.iter(|| black_box(sequential_sample::<SparseState>(ds).fidelity));
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_sample");
+    for &n in &[256u64, 1024] {
+        let ds = spec(n, 2).build();
+        g.bench_with_input(BenchmarkId::from_parameter(n), &ds, |b, ds| {
+            b.iter(|| black_box(parallel_sample::<SparseState>(ds).fidelity));
+        });
+    }
+    g.finish();
+}
+
+fn bench_machines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sequential_sample_machines");
+    for &m in &[1usize, 4, 16] {
+        let ds = spec(1024, m).build();
+        g.bench_with_input(BenchmarkId::from_parameter(m), &ds, |b, ds| {
+            b.iter(|| {
+                black_box(
+                    sequential_sample::<SparseState>(ds)
+                        .queries
+                        .total_sequential(),
+                )
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_sequential, bench_parallel, bench_machines
+}
+criterion_main!(benches);

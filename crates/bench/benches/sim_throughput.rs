@@ -1,0 +1,101 @@
+//! Criterion: raw simulator throughput — gate application on the dense and
+//! sparse backends across state sizes. These are the substrate costs under
+//! every experiment; they quantify the sparse backend's advantage at the
+//! bounded-support states the sampling algorithms produce.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dqs_math::Complex64;
+use dqs_sim::{gates, DenseState, Layout, QuantumState, SparseState, StateTable};
+use std::hint::black_box;
+
+fn layout(universe: u64) -> Layout {
+    Layout::builder()
+        .register("elem", universe)
+        .register("count", 8)
+        .register("flag", 2)
+        .build()
+}
+
+fn uniform_sparse(universe: u64) -> SparseState {
+    let mut s = SparseState::from_basis(layout(universe), &[0, 0, 0]);
+    s.apply_register_unitary(0, &gates::dft(universe));
+    s
+}
+
+fn uniform_anchor(universe: u64) -> StateTable {
+    let l = layout(universe);
+    let amp = Complex64::from_real(1.0 / (universe as f64).sqrt());
+    StateTable::new(
+        l,
+        (0..universe)
+            .map(|i| (vec![i, 0, 0].into_boxed_slice(), amp))
+            .collect(),
+    )
+}
+
+fn bench_permutation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("permutation");
+    for &n in &[256u64, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::new("sparse", n), &n, |b, &n| {
+            let s = uniform_sparse(n);
+            b.iter(|| {
+                let mut s = s.clone();
+                s.apply_permutation(|t| t[1] = (t[1] + t[0] % 7) % 8);
+                black_box(s.support_len())
+            });
+        });
+        if n <= 1024 {
+            g.bench_with_input(BenchmarkId::new("dense", n), &n, |b, &n| {
+                let mut d = DenseState::from_basis(layout(n), &[0, 0, 0]);
+                d.apply_register_unitary(0, &gates::dft(n));
+                b.iter(|| {
+                    let mut d = d.clone();
+                    d.apply_permutation(|t| t[1] = (t[1] + t[0] % 7) % 8);
+                    black_box(d.norm())
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_conditioned_unitary(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conditioned_unitary");
+    for &n in &[256u64, 1024, 4096] {
+        g.bench_with_input(BenchmarkId::new("sparse", n), &n, |b, &n| {
+            let s = uniform_sparse(n);
+            b.iter(|| {
+                let mut s = s.clone();
+                s.apply_conditioned_unitary(2, |t| {
+                    let cth = (t[1] as f64 / 7.0).min(1.0);
+                    gates::ry_by_cos_sin(cth, (1.0 - cth * cth).sqrt())
+                });
+                black_box(s.support_len())
+            });
+        });
+    }
+    g.finish();
+}
+
+fn bench_rank_one_phase(c: &mut Criterion) {
+    let mut g = c.benchmark_group("rank_one_phase");
+    for &n in &[1024u64, 4096, 16384] {
+        g.bench_with_input(BenchmarkId::new("sparse", n), &n, |b, &n| {
+            let s = uniform_sparse(n);
+            let anchor = uniform_anchor(n);
+            b.iter(|| {
+                let mut s = s.clone();
+                s.apply_rank_one_phase(&anchor, std::f64::consts::PI);
+                black_box(s.norm())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_permutation, bench_conditioned_unitary, bench_rank_one_phase
+}
+criterion_main!(benches);

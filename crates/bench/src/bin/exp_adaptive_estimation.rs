@@ -1,0 +1,11 @@
+//! Experiment binary: regenerates the `exp_adaptive_estimation` table
+//! (extension E14, see DESIGN.md §4).
+
+fn main() {
+    let report = dqs_bench::experiments::adaptive_estimation::run();
+    println!("{report}");
+    match dqs_bench::write_report("exp_adaptive_estimation", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not persist report: {e}"),
+    }
+}

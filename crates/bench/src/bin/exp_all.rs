@@ -1,0 +1,16 @@
+//! Runs every experiment in DESIGN.md §4's index and writes each report
+//! under `results/`. This regenerates the entire evaluation.
+
+fn main() {
+    let started = std::time::Instant::now();
+    for (name, runner) in dqs_bench::experiments::all() {
+        let t0 = std::time::Instant::now();
+        let report = runner();
+        println!("{report}");
+        match dqs_bench::write_report(name, &report) {
+            Ok(p) => eprintln!("[{name}] wrote {} ({:.2?})", p.display(), t0.elapsed()),
+            Err(e) => eprintln!("[{name}] could not persist report: {e}"),
+        }
+    }
+    eprintln!("all experiments regenerated in {:.2?}", started.elapsed());
+}

@@ -1,0 +1,10 @@
+//! Experiment binary: regenerates the `exp_capacity_slack` table (see DESIGN.md §4).
+
+fn main() {
+    let report = dqs_bench::experiments::capacity_slack::run();
+    println!("{report}");
+    match dqs_bench::write_report("exp_capacity_slack", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not persist report: {e}"),
+    }
+}

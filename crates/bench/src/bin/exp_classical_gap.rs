@@ -1,0 +1,10 @@
+//! Experiment binary: regenerates the `exp_classical_gap` table (see DESIGN.md §4).
+
+fn main() {
+    let report = dqs_bench::experiments::classical_gap::run();
+    println!("{report}");
+    match dqs_bench::write_report("exp_classical_gap", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not persist report: {e}"),
+    }
+}

@@ -1,0 +1,10 @@
+//! Experiment binary: regenerates the `exp_constant_factor` table (see DESIGN.md §4).
+
+fn main() {
+    let report = dqs_bench::experiments::constant_factor::run();
+    println!("{report}");
+    match dqs_bench::write_report("exp_constant_factor", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not persist report: {e}"),
+    }
+}

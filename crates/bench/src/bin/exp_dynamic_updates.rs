@@ -1,0 +1,10 @@
+//! Experiment binary: regenerates the `exp_dynamic_updates` table (see DESIGN.md §4).
+
+fn main() {
+    let report = dqs_bench::experiments::dynamic_updates::run();
+    println!("{report}");
+    match dqs_bench::write_report("exp_dynamic_updates", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not persist report: {e}"),
+    }
+}

@@ -1,0 +1,11 @@
+//! Experiment binary: regenerates the `exp_entanglement_dynamics` table
+//! (E17, see DESIGN.md §4).
+
+fn main() {
+    let report = dqs_bench::experiments::entanglement_dynamics::run();
+    println!("{report}");
+    match dqs_bench::write_report("exp_entanglement_dynamics", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not persist report: {e}"),
+    }
+}

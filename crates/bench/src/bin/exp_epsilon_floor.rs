@@ -1,0 +1,10 @@
+//! Experiment binary: regenerates the `exp_epsilon_floor` table (see DESIGN.md §4).
+
+fn main() {
+    let report = dqs_bench::experiments::epsilon_floor::run();
+    println!("{report}");
+    match dqs_bench::write_report("exp_epsilon_floor", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not persist report: {e}"),
+    }
+}

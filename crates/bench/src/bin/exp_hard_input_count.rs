@@ -1,0 +1,10 @@
+//! Experiment binary: regenerates the `exp_hard_input_count` table (see DESIGN.md §4).
+
+fn main() {
+    let report = dqs_bench::experiments::hard_input_count::run();
+    println!("{report}");
+    match dqs_bench::write_report("exp_hard_input_count", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not persist report: {e}"),
+    }
+}

@@ -1,0 +1,10 @@
+//! Experiment binary: regenerates the `exp_hetero_capacity` table (see DESIGN.md §4).
+
+fn main() {
+    let report = dqs_bench::experiments::hetero_capacity::run();
+    println!("{report}");
+    match dqs_bench::write_report("exp_hetero_capacity", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not persist report: {e}"),
+    }
+}

@@ -1,0 +1,11 @@
+//! Experiment binary: regenerates the `exp_index_erasure` table
+//! (E15, see DESIGN.md §4).
+
+fn main() {
+    let report = dqs_bench::experiments::index_erasure::run();
+    println!("{report}");
+    match dqs_bench::write_report("exp_index_erasure", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not persist report: {e}"),
+    }
+}

@@ -1,0 +1,11 @@
+//! Experiment binary: regenerates the `exp_lower_bound_scaling` table
+//! (E16, see DESIGN.md §4).
+
+fn main() {
+    let report = dqs_bench::experiments::lower_bound_scaling::run();
+    println!("{report}");
+    match dqs_bench::write_report("exp_lower_bound_scaling", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not persist report: {e}"),
+    }
+}

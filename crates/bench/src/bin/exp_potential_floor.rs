@@ -1,0 +1,10 @@
+//! Experiment binary: regenerates the `exp_potential_floor` table (see DESIGN.md §4).
+
+fn main() {
+    let report = dqs_bench::experiments::potential_floor::run();
+    println!("{report}");
+    match dqs_bench::write_report("exp_potential_floor", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not persist report: {e}"),
+    }
+}

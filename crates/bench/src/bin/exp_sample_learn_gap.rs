@@ -1,0 +1,11 @@
+//! Experiment binary: regenerates the `exp_sample_learn_gap` table (E19,
+//! see DESIGN.md §4).
+
+fn main() {
+    let report = dqs_bench::experiments::sample_learn_gap::run();
+    println!("{report}");
+    match dqs_bench::write_report("exp_sample_learn_gap", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not persist report: {e}"),
+    }
+}

@@ -1,0 +1,11 @@
+//! Experiment binary: regenerates the `exp_scenarios` table (T2, see
+//! DESIGN.md §4).
+
+fn main() {
+    let report = dqs_bench::experiments::scenarios::run();
+    println!("{report}");
+    match dqs_bench::write_report("exp_scenarios", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not persist report: {e}"),
+    }
+}

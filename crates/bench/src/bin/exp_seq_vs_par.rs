@@ -1,0 +1,10 @@
+//! Experiment binary: regenerates the `exp_seq_vs_par` table (see DESIGN.md §4).
+
+fn main() {
+    let report = dqs_bench::experiments::seq_vs_par::run();
+    println!("{report}");
+    match dqs_bench::write_report("exp_seq_vs_par", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not persist report: {e}"),
+    }
+}

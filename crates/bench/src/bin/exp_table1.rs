@@ -1,0 +1,10 @@
+//! Experiment binary: regenerates the `exp_table1` table (see DESIGN.md §4).
+
+fn main() {
+    let report = dqs_bench::experiments::table1::run();
+    println!("{report}");
+    match dqs_bench::write_report("exp_table1", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not persist report: {e}"),
+    }
+}

@@ -1,0 +1,10 @@
+//! Experiment binary: regenerates the `exp_zero_error_ablation` table (see DESIGN.md §4).
+
+fn main() {
+    let report = dqs_bench::experiments::zero_error_ablation::run();
+    println!("{report}");
+    match dqs_bench::write_report("exp_zero_error_ablation", &report) {
+        Ok(p) => eprintln!("wrote {}", p.display()),
+        Err(e) => eprintln!("could not persist report: {e}"),
+    }
+}

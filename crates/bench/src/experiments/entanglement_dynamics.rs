@@ -1,0 +1,147 @@
+//! E17 (diagnostic figure) — entanglement dynamics during amplitude
+//! amplification: the flag register starts entangled with the element
+//! register (that is what the distributing operator *does* — Eq. 7 splits
+//! the state across flag branches) and must return to a **product** state
+//! at the end, because the output `|ψ,0,0⟩` is pure on the element register
+//! alone. We track, per iteration: the good-branch mass `sin²((2k+1)θ)`,
+//! the flag register's von Neumann entropy, and the fidelity to target.
+
+use crate::report::Table;
+use dqs_core::amplify::{AaPlan, FinalRotation};
+use dqs_core::{DistributingOperator, SequentialLayout};
+use dqs_db::{DistributedDataset, Multiset, OracleSet, QueryLedger};
+use dqs_math::{purity, von_neumann_entropy, Complex64};
+use dqs_sim::{QuantumState, SparseState, StateTable};
+
+fn dataset() -> DistributedDataset {
+    // a = 6/(5·64) ≈ 0.019 → a long, visible amplification trajectory.
+    DistributedDataset::new(
+        64,
+        5,
+        vec![
+            Multiset::from_counts([(3, 2), (17, 1)]),
+            Multiset::from_counts([(17, 3)]),
+        ],
+    )
+    .unwrap()
+}
+
+/// Regenerates the table.
+pub fn run() -> String {
+    let ds = dataset();
+    let layout = SequentialLayout::for_dataset(&ds);
+    let ledger = QueryLedger::new(ds.num_machines());
+    let oracles = OracleSet::new(&ds, &ledger);
+    let d = DistributingOperator::new(ds.capacity());
+    let plan = AaPlan::for_success_probability(ds.params().initial_success_probability());
+    let target = ds.target_state(&layout.layout, layout.elem);
+
+    let mut state = SparseState::from_basis(layout.layout.clone(), &[0, 0, 0]);
+    state.apply_register_unitary(layout.elem, &dqs_sim::gates::dft(ds.universe()));
+    let anchor = uniform_anchor(&layout);
+    d.apply_sequential(&oracles, &mut state, &layout, false);
+
+    let mut t = Table::new(
+        "E17: entanglement dynamics during amplification (a = 0.01875)",
+        &[
+            "k",
+            "P(flag=0)",
+            "sin^2((2k+1)theta)",
+            "S(flag) bits",
+            "purity(flag)",
+            "fidelity",
+        ],
+    );
+    let diag = |state: &SparseState, k: u64, t: &mut Table| {
+        let table = state.to_table();
+        let p_good = table.register_probabilities(layout.flag)[0];
+        let rho = table.reduced_density_matrix(layout.flag);
+        let s = von_neumann_entropy(&rho);
+        let pur = purity(&rho);
+        let fid = table.fidelity(&target);
+        let predicted = ((2 * k + 1) as f64 * plan.theta).sin().powi(2);
+        t.row(vec![
+            k.to_string(),
+            format!("{p_good:.6}"),
+            format!("{predicted:.6}"),
+            format!("{s:.4}"),
+            format!("{pur:.4}"),
+            format!("{fid:.6}"),
+        ]);
+        (p_good, predicted, s)
+    };
+
+    let (p0, pred0, _) = diag(&state, 0, &mut t);
+    assert!((p0 - pred0).abs() < 1e-9);
+
+    let pi = std::f64::consts::PI;
+    let q = |state: &mut SparseState, varphi: f64, phi: f64| {
+        state.apply_phase(|b| {
+            if b[layout.flag] == 0 {
+                Complex64::cis(varphi)
+            } else {
+                Complex64::ONE
+            }
+        });
+        d.apply_sequential(&oracles, state, &layout, true);
+        state.apply_rank_one_phase(&anchor, phi);
+        d.apply_sequential(&oracles, state, &layout, false);
+        state.scale(-Complex64::ONE);
+    };
+
+    for k in 1..=plan.full_iterations {
+        q(&mut state, pi, pi);
+        let (p, pred, _) = diag(&state, k, &mut t);
+        assert!(
+            (p - pred).abs() < 1e-9,
+            "Grover trajectory diverged at k={k}"
+        );
+    }
+    if let FinalRotation::Phases { varphi, phi } = plan.final_rotation {
+        q(&mut state, varphi, phi);
+        let table = state.to_table();
+        let rho = table.reduced_density_matrix(layout.flag);
+        let s_final = von_neumann_entropy(&rho);
+        let fid = table.fidelity(&target);
+        t.row(vec![
+            "final".into(),
+            format!("{:.6}", table.register_probabilities(layout.flag)[0]),
+            "1 (exact)".into(),
+            format!("{s_final:.4}"),
+            format!("{:.4}", purity(&rho)),
+            format!("{fid:.6}"),
+        ]);
+        assert!(s_final < 1e-6, "output must be a product state");
+        assert!(fid > 1.0 - 1e-9);
+    }
+    t.caption(
+        "The distributing operator entangles element and flag (S > 0); plain \
+         iterations follow sin²((2k+1)θ) exactly; the corrected final rotation \
+         simultaneously maximizes the good mass AND disentangles the flag \
+         (S → 0, purity → 1) — the state is |ψ⟩⊗|0,0⟩ exactly.",
+    );
+    t.render()
+}
+
+fn uniform_anchor(layout: &SequentialLayout) -> StateTable {
+    let n = layout.layout.dim(layout.elem);
+    let amp = Complex64::from_real(1.0 / (n as f64).sqrt());
+    let entries = (0..n)
+        .map(|i| {
+            let mut b = layout.layout.zero_basis();
+            b[layout.elem] = i;
+            (b.into_boxed_slice(), amp)
+        })
+        .collect();
+    StateTable::new(layout.layout.clone(), entries)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn entropy_returns_to_zero() {
+        let s = super::run();
+        assert!(s.contains("E17"));
+        assert!(s.contains("final"));
+    }
+}

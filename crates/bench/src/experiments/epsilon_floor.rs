@@ -1,0 +1,74 @@
+//! E18 — Lemma 5.7 in its full `ε > 0` form: run *inexact* (plain-Grover)
+//! schedules on hard inputs and check
+//! `D_{t_k} ≥ (√(M_k/2M) − √(2ε))²` where the fidelity is `(1−ε)²`.
+//! Sweeping the iteration count sweeps ε through the `sin²((2m+1)θ)`
+//! oscillation, exercising both the binding and the vacuous (clamped-at-0)
+//! regimes of the bound.
+
+use crate::report::Table;
+use dqs_adversary::{success_floor_eps, HardInputFamily, SequentialHybrid};
+use dqs_core::amplify::{AaPlan, FinalRotation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Regenerates the table.
+pub fn run() -> String {
+    // canonical hard input: N = 16, everything on machine 1, a = 1/8
+    let family = HardInputFamily::canonical(16, 2, 1, 2, 2, 4);
+    let base = family.base();
+    let a = base.params().initial_success_probability();
+    let theta = a.sqrt().asin();
+    let exact = AaPlan::for_success_probability(a);
+
+    let mut t = Table::new(
+        "E18: Lemma 5.7 with inexact algorithms (plain Grover, N = 16, a = 1/8)",
+        &["m", "fidelity", "eps", "floor(eps)", "D_final", "holds"],
+    );
+    let mut rng = StdRng::seed_from_u64(81);
+    for m in 0..=(2 * exact.total_iterations()) {
+        let plan = AaPlan {
+            success_probability: a,
+            theta,
+            full_iterations: m,
+            final_rotation: FinalRotation::None,
+        };
+        let fidelity = ((2 * m + 1) as f64 * theta).sin().powi(2);
+        let eps = 1.0 - fidelity.sqrt();
+        let floor = success_floor_eps(family.shard_cardinality(), base.total_count(), eps);
+        let trace = SequentialHybrid::new(&family).run_with_plan(&plan, 200, &mut rng);
+        assert!(trace.envelope_violations().is_empty());
+        let holds = trace.final_potential() >= floor - 1e-9;
+        assert!(
+            holds,
+            "Lemma 5.7(ε) violated at m={m}: D={} < floor={floor}",
+            trace.final_potential()
+        );
+        t.row(vec![
+            m.to_string(),
+            format!("{fidelity:.4}"),
+            format!("{eps:.4}"),
+            format!("{floor:.4}"),
+            format!("{:.4}", trace.final_potential()),
+            if floor > 0.0 { "yes" } else { "vacuous" }.to_string(),
+        ]);
+    }
+    t.caption(
+        "Inexact schedules (fidelity (1−ε)²) still satisfy the ε-weakened floor \
+         (√(M_k/2M) − √(2ε))² at every iteration count; when the fidelity drops \
+         below the threshold the bound clamps to 0 (vacuous) — exactly the \
+         F > 9/16 regime restriction in Theorems 5.1/5.2.",
+    );
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "family sweep is slow unoptimized; run under --release or via exp_all"
+    )]
+    fn eps_floor_holds() {
+        assert!(super::run().contains("E18"));
+    }
+}

@@ -1,0 +1,45 @@
+//! E11 — Lemma 5.6: `|𝒯| = C(N, m_k)`, verified by exhaustive enumeration
+//! of the induced datasets (distinctness included).
+
+use crate::report::Table;
+use dqs_adversary::HardInputFamily;
+use dqs_math::binomial;
+
+/// Regenerates the table.
+pub fn run() -> String {
+    let mut t = Table::new(
+        "E11: hard-input family sizes — enumeration vs C(N, m_k)",
+        &["N", "m_k", "enumerated", "C(N, m_k)", "distinct"],
+    );
+    for (universe, support) in [(6u64, 1u64), (6, 2), (6, 3), (8, 2), (8, 4), (10, 3)] {
+        let family = HardInputFamily::canonical(universe, 2, 0, support, 2, 4);
+        let members = family.enumerate();
+        let expected = binomial(universe, support).unwrap();
+        // distinctness check
+        let mut keys: Vec<String> = members.iter().map(|d| format!("{d:?}")).collect();
+        keys.sort();
+        keys.dedup();
+        assert_eq!(members.len() as u128, expected);
+        assert_eq!(keys.len(), members.len());
+        t.row(vec![
+            universe.to_string(),
+            support.to_string(),
+            members.len().to_string(),
+            expected.to_string(),
+            keys.len().to_string(),
+        ]);
+    }
+    t.caption(
+        "Exhaustive enumeration of order-preserving relabelings produces exactly \
+         C(N, m_k) pairwise-distinct inputs — Lemma 5.6 verified by counting.",
+    );
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn counts_match() {
+        assert!(super::run().contains("C(N, m_k)"));
+    }
+}

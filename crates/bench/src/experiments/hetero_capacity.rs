@@ -1,0 +1,70 @@
+//! E12 — Theorems 5.1/5.2 with heterogeneous capacities `κ_j`: the
+//! sequential lower bound is `Ω(Σ_j √(κ_j N/M))`, the parallel one
+//! `Ω(max_j √(κ_j N/M))`; the (uniform-ν) algorithms must sit above both.
+
+use crate::report::Table;
+use dqs_adversary::{parallel_query_lower_bound, sequential_query_lower_bound};
+use dqs_core::{parallel_sample, sequential_sample};
+use dqs_db::{DistributedDataset, Multiset};
+use dqs_sim::SparseState;
+
+fn skewed_dataset(kappas: &[u64], universe: u64) -> DistributedDataset {
+    // machine j holds `kappas[j]` copies of each of two private elements
+    let shards: Vec<Multiset> = kappas
+        .iter()
+        .enumerate()
+        .map(|(j, &k)| {
+            let base = 2 * j as u64;
+            Multiset::from_counts([(base, k.max(1)), (base + 1, k.max(1))])
+        })
+        .collect();
+    DistributedDataset::with_tight_capacity(universe, shards).unwrap()
+}
+
+/// Regenerates the table.
+pub fn run() -> String {
+    let mut t = Table::new(
+        "E12: heterogeneous kappa_j — lower bounds vs measured cost (N = 256)",
+        &["kappas", "LB seq", "seq queries", "LB par", "par rounds"],
+    );
+    for kappas in [
+        vec![1u64, 1, 1, 1],
+        vec![4, 1, 1, 1],
+        vec![8, 4, 2, 1],
+        vec![16, 1, 1, 1],
+    ] {
+        let ds = skewed_dataset(&kappas, 256);
+        let p = ds.params();
+        let lb_seq = sequential_query_lower_bound(&p);
+        let lb_par = parallel_query_lower_bound(&p);
+        let seq = sequential_sample::<SparseState>(&ds);
+        let par = parallel_sample::<SparseState>(&ds);
+        assert!(seq.fidelity > 1.0 - 1e-9 && par.fidelity > 1.0 - 1e-9);
+        assert!(
+            seq.queries.total_sequential() as f64 >= lb_seq * 0.999,
+            "sequential cost below its lower bound?!"
+        );
+        assert!(par.queries.parallel_rounds as f64 >= lb_par * 0.999);
+        t.row(vec![
+            format!("{kappas:?}"),
+            format!("{lb_seq:.1}"),
+            seq.queries.total_sequential().to_string(),
+            format!("{lb_par:.1}"),
+            par.queries.parallel_rounds.to_string(),
+        ]);
+    }
+    t.caption(
+        "Skewing one machine's capacity upward raises both bounds through κ_k; the \
+         uniform-ν algorithm stays above them, with slack growing in the skew — \
+         the per-machine κ_j-aware protocol the paper leaves open would close it.",
+    );
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn bounds_hold() {
+        assert!(super::run().contains("kappa"));
+    }
+}

@@ -1,0 +1,56 @@
+//! One module per experiment in DESIGN.md §4's index.
+//!
+//! Every module exposes `run() -> String` (deterministic, seeded) that
+//! regenerates its table. `exp_all` collects them into `results/`.
+
+pub mod adaptive_estimation;
+pub mod capacity_slack;
+pub mod classical_gap;
+pub mod constant_factor;
+pub mod dynamic_updates;
+pub mod entanglement_dynamics;
+pub mod epsilon_floor;
+pub mod hard_input_count;
+pub mod hetero_capacity;
+pub mod index_erasure;
+pub mod lower_bound_scaling;
+pub mod par_scaling;
+pub mod potential_floor;
+pub mod potential_growth;
+pub mod sample_learn_gap;
+pub mod scenarios;
+pub mod seq_machines;
+pub mod seq_scaling;
+pub mod seq_vs_par;
+pub mod table1;
+pub mod zero_error_ablation;
+
+/// A named experiment runner.
+pub type Experiment = (&'static str, fn() -> String);
+
+/// Every experiment, in DESIGN.md order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        ("exp_table1", table1::run as fn() -> String),
+        ("exp_scenarios", scenarios::run),
+        ("exp_seq_scaling", seq_scaling::run),
+        ("exp_seq_machines", seq_machines::run),
+        ("exp_par_scaling", par_scaling::run),
+        ("exp_seq_vs_par", seq_vs_par::run),
+        ("exp_potential_growth", potential_growth::run),
+        ("exp_potential_floor", potential_floor::run),
+        ("exp_classical_gap", classical_gap::run),
+        ("exp_zero_error_ablation", zero_error_ablation::run),
+        ("exp_dynamic_updates", dynamic_updates::run),
+        ("exp_capacity_slack", capacity_slack::run),
+        ("exp_hard_input_count", hard_input_count::run),
+        ("exp_hetero_capacity", hetero_capacity::run),
+        ("exp_constant_factor", constant_factor::run),
+        ("exp_adaptive_estimation", adaptive_estimation::run),
+        ("exp_index_erasure", index_erasure::run),
+        ("exp_lower_bound_scaling", lower_bound_scaling::run),
+        ("exp_entanglement_dynamics", entanglement_dynamics::run),
+        ("exp_epsilon_floor", epsilon_floor::run),
+        ("exp_sample_learn_gap", sample_learn_gap::run),
+    ]
+}

@@ -1,0 +1,96 @@
+//! E3 — Theorem 4.5: parallel rounds scale as `√(νN/M)` and are flat in
+//! `n`.
+
+use crate::report::{log_log_slope, Table};
+use dqs_core::parallel_sample;
+use dqs_sim::SparseState;
+use dqs_workloads::{Distribution, PartitionScheme, WorkloadSpec};
+
+/// Regenerates the table.
+pub fn run() -> String {
+    let mut out = String::new();
+
+    // Part (a): rounds vs N.
+    let mut t = Table::new(
+        "E3a: parallel round scaling in N (M = 32, support 16, nu = 2, n = 2)",
+        &["N", "rounds", "sqrt(vN/M)", "ratio", "fidelity"],
+    );
+    let mut points = Vec::new();
+    for exp in 8..=13u32 {
+        let universe = 1u64 << exp;
+        let ds = WorkloadSpec {
+            universe,
+            total: 32,
+            machines: 2,
+            distribution: Distribution::SparseUniform { support: 16 },
+            partition: PartitionScheme::RoundRobin,
+            capacity_slack: 1.0,
+            seed: 5,
+        }
+        .build();
+        let run = parallel_sample::<SparseState>(&ds);
+        let p = ds.params();
+        let rounds = run.queries.parallel_rounds;
+        points.push((universe as f64, rounds as f64));
+        assert!(run.fidelity > 1.0 - 1e-9);
+        t.row(vec![
+            universe.to_string(),
+            rounds.to_string(),
+            format!("{:.1}", p.sqrt_vn_over_m()),
+            format!("{:.2}", rounds as f64 / p.sqrt_vn_over_m()),
+            format!("{:.9}", run.fidelity),
+        ]);
+    }
+    let slope = log_log_slope(&points).unwrap();
+    t.caption(format!(
+        "log-log slope of rounds vs N: {slope:.3} (theory: 0.5)."
+    ));
+    assert!((slope - 0.5).abs() < 0.06);
+    out.push_str(&t.render());
+
+    // Part (b): rounds vs n at fixed data.
+    let mut t2 = Table::new(
+        "E3b: parallel rounds vs machine count (same global data, N = 1024)",
+        &["n", "rounds", "fidelity"],
+    );
+    let mut first_rounds = None;
+    for &machines in &[1usize, 2, 4, 8] {
+        let ds = WorkloadSpec {
+            universe: 1024,
+            total: 64,
+            machines,
+            distribution: Distribution::SparseUniform { support: 32 },
+            partition: PartitionScheme::RoundRobin,
+            capacity_slack: 1.0,
+            seed: 6,
+        }
+        .build();
+        let run = parallel_sample::<SparseState>(&ds);
+        let rounds = run.queries.parallel_rounds;
+        let first = *first_rounds.get_or_insert(rounds);
+        assert_eq!(rounds, first, "parallel rounds must not depend on n");
+        t2.row(vec![
+            machines.to_string(),
+            rounds.to_string(),
+            format!("{:.9}", run.fidelity),
+        ]);
+    }
+    t2.caption("Rounds are identical across n — the n-fold sequential overhead vanishes.");
+    out.push('\n');
+    out.push_str(&t2.render());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "full sweep is slow unoptimized; run under --release or via exp_all"
+    )]
+    fn both_parts_render() {
+        let s = super::run();
+        assert!(s.contains("E3a"));
+        assert!(s.contains("E3b"));
+    }
+}

@@ -1,0 +1,72 @@
+//! E6 — Lemma 5.7: every *successful* (here: exact) sampler must drive the
+//! final potential above the floor `M_k/2M`, across hard-input families of
+//! varying shape; combining with E5's envelope inverts into the query
+//! lower bound `t_k ≥ √(D_floor·N / 4m_k)`.
+
+use crate::report::Table;
+use dqs_adversary::{HardInputFamily, SequentialHybrid};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Regenerates the table.
+pub fn run() -> String {
+    let mut t = Table::new(
+        "E6: Lemma 5.7 floor vs measured final potential (sequential model)",
+        &[
+            "N",
+            "m_k",
+            "mult",
+            "D_final",
+            "floor M_k/2M",
+            "margin",
+            "t_k used",
+            "t_k lower bound",
+        ],
+    );
+    let cases = [
+        (16u64, 2u64, 2u64, 4u64),
+        (16, 3, 2, 4),
+        (16, 4, 1, 2),
+        (32, 2, 3, 6),
+        (32, 4, 2, 4),
+        (64, 4, 2, 4),
+    ];
+    let mut rng = StdRng::seed_from_u64(31);
+    for (universe, support, mult, capacity) in cases {
+        let family = HardInputFamily::canonical(universe, 2, 1, support, mult, capacity);
+        let trace = SequentialHybrid::new(&family).run(120, &mut rng);
+        assert!(
+            trace.clears_floor(),
+            "floor violated for N={universe}, m={support}"
+        );
+        assert!(trace.envelope_violations().is_empty());
+        // invert the envelope at the floor: minimum t with 4(m/N)t² ≥ floor
+        let t_min = (trace.floor() * trace.universe as f64 / (4.0 * trace.support_size as f64))
+            .sqrt()
+            .ceil() as u64;
+        t.row(vec![
+            universe.to_string(),
+            support.to_string(),
+            mult.to_string(),
+            format!("{:.4}", trace.final_potential()),
+            format!("{:.4}", trace.floor()),
+            format!("{:.1}x", trace.final_potential() / trace.floor()),
+            trace.queries().to_string(),
+            t_min.to_string(),
+        ]);
+    }
+    t.caption(
+        "The measured final potential clears the Lemma 5.7 floor in every family; \
+         the implied query lower bound (last column) never exceeds the schedule's \
+         actual machine-k queries — the algorithm is feasible and the bound sound.",
+    );
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn all_families_clear_floor() {
+        assert!(super::run().contains("floor"));
+    }
+}

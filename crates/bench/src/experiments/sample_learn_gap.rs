@@ -1,0 +1,67 @@
+//! E19 — coherent quantum sampling vs classical sample-and-learn: the
+//! intro's remark that quantum-learning advantages "vanish if quantum
+//! sampling is replaced by classical sampling", measured. Sample-and-learn
+//! pays `2n` queries per preparation, accepts with probability `a`, and its
+//! synthesized state converges only as `1 − Θ(m/K)` — versus the coherent
+//! sampler's exact output at `Θ(n√(1/a))` queries.
+
+use crate::report::Table;
+use dqs_baselines::sample_and_learn;
+use dqs_core::sequential_sample;
+use dqs_sim::SparseState;
+use dqs_workloads::{Distribution, PartitionScheme, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Regenerates the table.
+pub fn run() -> String {
+    let ds = WorkloadSpec {
+        universe: 256,
+        total: 64,
+        machines: 2,
+        distribution: Distribution::SparseUniform { support: 32 },
+        partition: PartitionScheme::RoundRobin,
+        capacity_slack: 1.0,
+        seed: 19,
+    }
+    .build();
+    let coherent = sequential_sample::<SparseState>(&ds);
+
+    let mut t = Table::new(
+        "E19: classical sample-and-learn vs coherent sampling (N = 256, M = 64, a = 1/8)",
+        &["K samples", "attempts", "queries", "fidelity", "coherent q", "coherent F"],
+    );
+    for &k in &[25u64, 100, 400, 1600] {
+        let mut rng = StdRng::seed_from_u64(500 + k);
+        let run = sample_and_learn(&ds, k, &mut rng);
+        t.row(vec![
+            k.to_string(),
+            run.attempts.to_string(),
+            run.queries.total_sequential().to_string(),
+            format!("{:.6}", run.fidelity),
+            coherent.queries.total_sequential().to_string(),
+            format!("{:.9}", coherent.fidelity),
+        ]);
+        assert!(run.fidelity < 1.0 - 1e-9, "sample-and-learn cannot be exact");
+    }
+    t.caption(format!(
+        "The coherent sampler outputs |ψ⟩ exactly in {} queries; sample-and-learn \
+         needs ~2n·K/a queries to reach 1 − Θ(m/K) fidelity and never lands \
+         exactly — quantum learning advantages built on |ψ⟩ vanish under \
+         classical sampling (intro, citing Gilyén–Li).",
+        coherent.queries.total_sequential()
+    ));
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    #[cfg_attr(
+        debug_assertions,
+        ignore = "sampling sweep is slow unoptimized; run under --release or via exp_all"
+    )]
+    fn gap_renders() {
+        assert!(super::run().contains("E19"));
+    }
+}

@@ -1,0 +1,57 @@
+//! E2 — Theorem 4.3: sequential queries are linear in the machine count
+//! `n` (the iteration count depends only on `(M, N, ν)`).
+
+use crate::report::{log_log_slope, Table};
+use dqs_core::sequential_sample;
+use dqs_sim::SparseState;
+use dqs_workloads::{Distribution, PartitionScheme, WorkloadSpec};
+
+/// Regenerates the table.
+pub fn run() -> String {
+    let mut t = Table::new(
+        "E2: sequential query scaling in n (N = 1024, M = 64, support 32, nu = 2)",
+        &["n", "iterations", "queries", "queries/n", "fidelity"],
+    );
+    let mut points = Vec::new();
+    for &machines in &[1usize, 2, 4, 8, 16, 32] {
+        let ds = WorkloadSpec {
+            universe: 1024,
+            total: 64,
+            machines,
+            distribution: Distribution::SparseUniform { support: 32 },
+            partition: PartitionScheme::RoundRobin,
+            capacity_slack: 1.0,
+            seed: 6,
+        }
+        .build();
+        let run = sequential_sample::<SparseState>(&ds);
+        let measured = run.queries.total_sequential();
+        points.push((machines as f64, measured as f64));
+        assert!(run.fidelity > 1.0 - 1e-9);
+        t.row(vec![
+            machines.to_string(),
+            run.plan.total_iterations().to_string(),
+            measured.to_string(),
+            format!("{:.1}", measured as f64 / machines as f64),
+            format!("{:.9}", run.fidelity),
+        ]);
+    }
+    let slope = log_log_slope(&points).unwrap();
+    t.caption(format!(
+        "log-log slope of queries vs n: {slope:.3} (theory: 1.0 — per-machine cost \
+         is invariant; the data is identical, only the sharding changes)."
+    ));
+    assert!(
+        (slope - 1.0).abs() < 0.02,
+        "machine scaling exponent {slope} != 1"
+    );
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn linear_in_machines() {
+        assert!(super::run().contains("theory: 1.0"));
+    }
+}

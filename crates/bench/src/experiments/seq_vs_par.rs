@@ -1,0 +1,52 @@
+//! E4 — Theorems 4.3 vs 4.5: the sequential/parallel cost ratio is `n/2`
+//! exactly (2n queries vs 4 rounds per `D`), i.e. `Θ(n)` as Theorem 1.1
+//! states.
+
+use crate::report::Table;
+use dqs_core::{parallel_sample, sequential_sample};
+use dqs_sim::SparseState;
+use dqs_workloads::{Distribution, PartitionScheme, WorkloadSpec};
+
+/// Regenerates the table.
+pub fn run() -> String {
+    let mut t = Table::new(
+        "E4: sequential queries vs parallel rounds (N = 512, M = 48)",
+        &["n", "seq queries", "par rounds", "ratio", "n/2"],
+    );
+    for &machines in &[2usize, 4, 8, 16] {
+        let ds = WorkloadSpec {
+            universe: 512,
+            total: 48,
+            machines,
+            distribution: Distribution::SparseUniform { support: 24 },
+            partition: PartitionScheme::RoundRobin,
+            capacity_slack: 1.0,
+            seed: 4,
+        }
+        .build();
+        let seq = sequential_sample::<SparseState>(&ds);
+        let par = parallel_sample::<SparseState>(&ds);
+        let ratio = seq.queries.total_sequential() as f64 / par.queries.parallel_rounds as f64;
+        assert!((ratio - machines as f64 / 2.0).abs() < 1e-9);
+        t.row(vec![
+            machines.to_string(),
+            seq.queries.total_sequential().to_string(),
+            par.queries.parallel_rounds.to_string(),
+            format!("{ratio:.1}"),
+            format!("{:.1}", machines as f64 / 2.0),
+        ]);
+    }
+    t.caption(
+        "Parallelism buys back exactly the machine count (a D costs 2n sequential \
+         queries but 4 rounds), matching Theorem 1.1's n-fold separation.",
+    );
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn ratio_is_half_n() {
+        assert!(super::run().contains("n-fold separation"));
+    }
+}

@@ -1,0 +1,21 @@
+//! # dqs-bench
+//!
+//! The experiment harness: every quantitative claim in the paper maps to
+//! one experiment module here (see DESIGN.md §4 for the index), each
+//! exposing `run() -> String` that regenerates its table. The `exp_*`
+//! binaries are thin wrappers; `exp_all` runs everything and writes the
+//! reports under `results/`.
+//!
+//! The paper is a theory paper — its "evaluation" is the theorem set — so
+//! the tables here are the *shapes* its statements predict: square-root
+//! scaling in `νN/M`, linearity in `n`, quadratic potential growth, the
+//! constant-versus-√ classical gap, and exactness of the zero-error
+//! rotation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use report::{log_log_slope, write_report, Table};

@@ -1,0 +1,166 @@
+//! Table formatting, scaling fits, and report persistence.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A plain-text, right-aligned table with a title and caption.
+#[derive(Debug, Clone)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    caption: Option<String>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            caption: None,
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Sets a caption line printed under the table.
+    pub fn caption(&mut self, text: impl Into<String>) -> &mut Self {
+        self.caption = Some(text.into());
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "## {}", self.title);
+        let mut line = String::new();
+        for (w, h) in widths.iter().zip(&self.headers) {
+            let _ = write!(line, "{h:>w$}  ");
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(row) {
+                let _ = write!(line, "{cell:>w$}  ");
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        if let Some(c) = &self.caption {
+            let _ = writeln!(out, "\n{c}");
+        }
+        out
+    }
+}
+
+/// Least-squares slope of `ln y` against `ln x` — the scaling exponent.
+/// Returns `None` with fewer than two points or non-positive values.
+pub fn log_log_slope(points: &[(f64, f64)]) -> Option<f64> {
+    if points.len() < 2 || points.iter().any(|&(x, y)| x <= 0.0 || y <= 0.0) {
+        return None;
+    }
+    let logs: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.ln(), y.ln())).collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    Some((n * sxy - sx * sy) / denom)
+}
+
+/// Writes a report under `results/<name>.txt` (relative to the workspace
+/// root when run via cargo, else the current directory) and returns the
+/// path written.
+pub fn write_report(name: &str, content: &str) -> std::io::Result<PathBuf> {
+    let root = std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| {
+            // crates/bench → workspace root
+            PathBuf::from(d)
+                .parent()
+                .and_then(|p| p.parent())
+                .map(|p| p.to_path_buf())
+                .unwrap_or_else(|| PathBuf::from("."))
+        })
+        .unwrap_or_else(|_| PathBuf::from("."));
+    let dir = root.join("results");
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.txt"));
+    std::fs::write(&path, content)?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("demo", &["x", "value"]);
+        t.row(vec!["1".into(), "10".into()]);
+        t.row(vec!["100".into(), "2".into()]);
+        t.caption("caption line");
+        let s = t.render();
+        assert!(s.contains("## demo"));
+        assert!(s.contains("caption line"));
+        assert_eq!(t.len(), 2);
+        // headers right-aligned over the widest cell
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[1].contains("  x"));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn row_arity_checked() {
+        let mut t = Table::new("demo", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn slope_of_powers() {
+        let sqrt_pts: Vec<(f64, f64)> = (1..8)
+            .map(|k| {
+                let x = (1u64 << k) as f64;
+                (x, 3.0 * x.sqrt())
+            })
+            .collect();
+        let s = log_log_slope(&sqrt_pts).unwrap();
+        assert!((s - 0.5).abs() < 1e-9);
+
+        let lin_pts: Vec<(f64, f64)> = (1..6).map(|k| (k as f64, 7.0 * k as f64)).collect();
+        assert!((log_log_slope(&lin_pts).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_rejects_degenerate_input() {
+        assert!(log_log_slope(&[(1.0, 1.0)]).is_none());
+        assert!(log_log_slope(&[(1.0, 1.0), (1.0, 2.0)]).is_none());
+        assert!(log_log_slope(&[(0.0, 1.0), (2.0, 2.0)]).is_none());
+    }
+}

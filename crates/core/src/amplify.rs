@@ -1,0 +1,326 @@
+//! Zero-error amplitude amplification (Brassard–Høyer–Mosca–Tapp,
+//! Theorem 4), as used by Theorems 4.3 / 4.5 of the paper.
+//!
+//! Given a state-preparation operator `A` with known success amplitude
+//! `sin θ = √a` on a flagged "good" subspace, applying
+//! `Q(φ,ϕ) = −A S₀(ϕ) A† S_χ(φ)` exactly `⌊m̃⌋` times with phases `(π,π)`
+//! and then **once** with solved phases `(φ*, ϕ*)` lands exactly on the
+//! good state — fidelity 1, not `1 − ε`. The final phases satisfy
+//! (paper, citing BHMT Eq. 12):
+//!
+//! ```text
+//! cot((2⌊m̃⌋+1)θ) = e^{iφ} · sin(2θ) · (−cos(2θ) + i·cot(ϕ/2))⁻¹ .
+//! ```
+//!
+//! [`AaPlan::for_success_probability`] computes `θ`, `⌊m̃⌋` and solves that
+//! equation in closed form; [`AaPlan::simulate_two_level`] runs the exact
+//! 2-dimensional invariant-subspace dynamics so the solver is verifiable
+//! without any oracle machinery, and the sampler crates drive the very same
+//! plan through the full circuit.
+
+use dqs_math::{Complex64, MatC};
+use dqs_sim::{QuantumState, StateTable};
+
+/// The solved phases for the final generalized Grover iteration, or the
+/// degenerate case where `⌊m̃⌋` plain iterations already land exactly on the
+/// good state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FinalRotation {
+    /// Apply one more `Q(φ, ϕ)` with these phases.
+    Phases {
+        /// The `S_χ` phase `φ`.
+        varphi: f64,
+        /// The `S₀`/`S_π` phase `ϕ`.
+        phi: f64,
+    },
+    /// `(2⌊m̃⌋+1)θ = π/2` exactly — no correction needed.
+    None,
+}
+
+/// A fully-determined amplitude-amplification schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AaPlan {
+    /// Initial success probability `a = sin²θ` (for the sampler,
+    /// `a = M/(νN)`, Eq. 7 — known to the coordinator in advance).
+    pub success_probability: f64,
+    /// `θ = arcsin √a`.
+    pub theta: f64,
+    /// `⌊m̃⌋` with `m̃ = π/(4θ) − 1/2` — the number of plain `Q(π,π)`
+    /// iterations.
+    pub full_iterations: u64,
+    /// The exact final rotation.
+    pub final_rotation: FinalRotation,
+}
+
+impl AaPlan {
+    /// Builds the schedule for a known success probability `a ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `a` is outside `(0, 1]` (with `a = M/(νN)` this cannot
+    /// happen for a valid dataset since `ν·N ≥ Σ_i c_i = M`).
+    pub fn for_success_probability(a: f64) -> Self {
+        assert!(
+            a > 0.0 && a <= 1.0 + 1e-12,
+            "success probability must lie in (0,1], got {a}"
+        );
+        let a = a.min(1.0);
+        let theta = a.sqrt().asin();
+        let m_tilde = std::f64::consts::PI / (4.0 * theta) - 0.5;
+        let m = m_tilde.max(0.0).floor() as u64;
+        let final_rotation = Self::solve_final_rotation(theta, m);
+        Self {
+            success_probability: a,
+            theta,
+            full_iterations: m,
+            final_rotation,
+        }
+    }
+
+    /// Total `Q` applications (plain plus the corrected one, when present).
+    pub fn total_iterations(&self) -> u64 {
+        self.full_iterations
+            + match self.final_rotation {
+                FinalRotation::Phases { .. } => 1,
+                FinalRotation::None => 0,
+            }
+    }
+
+    /// Solves the BHMT phase-matching equation. With
+    /// `L := cot((2m+1)θ)` the modulus condition gives
+    /// `cot²(ϕ/2) = (sin(2θ)/L)² − cos²(2θ)` (non-negative because
+    /// `(2m+1)θ ≥ π/2 − 2θ` implies `L ≤ tan(2θ)`), and the argument
+    /// condition then fixes `e^{iφ} = L·(−cos 2θ + i·cot(ϕ/2))/sin 2θ`.
+    fn solve_final_rotation(theta: f64, m: u64) -> FinalRotation {
+        let angle = (2 * m + 1) as f64 * theta;
+        let l = angle.cos() / angle.sin(); // cot((2m+1)θ)
+        if l.abs() < 1e-12 {
+            // Already exactly on the good state.
+            return FinalRotation::None;
+        }
+        let s2 = (2.0 * theta).sin();
+        let c2 = (2.0 * theta).cos();
+        let cot_half_phi_sqr = (s2 / l).powi(2) - c2 * c2;
+        assert!(
+            cot_half_phi_sqr > -1e-9,
+            "phase equation unsolvable: (2m+1)θ outside [π/2 − 2θ, π/2]?"
+        );
+        let cot_half_phi = cot_half_phi_sqr.max(0.0).sqrt();
+        // ϕ = 2·arccot(cot(ϕ/2)); atan2 handles cot(ϕ/2) = 0 → ϕ = π.
+        let phi = 2.0 * f64::atan2(1.0, cot_half_phi);
+        let rhs = Complex64::new(-c2, cot_half_phi) * (l / s2);
+        debug_assert!(
+            (rhs.abs() - 1.0).abs() < 1e-9,
+            "solved e^(i φ) is not unit modulus: {rhs}"
+        );
+        FinalRotation::Phases {
+            varphi: rhs.arg(),
+            phi,
+        }
+    }
+
+    /// Runs the exact dynamics of the 2-dimensional invariant subspace
+    /// `{|good⟩, |bad⟩}` and returns the final state `(α_good, α_bad)`.
+    ///
+    /// In this basis `A|0⟩ = (sin θ, cos θ)`,
+    /// `S_χ(φ) = diag(e^{iφ}, 1)` and
+    /// `A S₀(ϕ) A† = I + (e^{iϕ}−1)|A0⟩⟨A0|`; this mirrors exactly what the
+    /// full samplers apply, so it validates the phase solve in isolation.
+    pub fn simulate_two_level(&self) -> (Complex64, Complex64) {
+        let theta = self.theta;
+        let a0 = [
+            Complex64::from_real(theta.sin()),
+            Complex64::from_real(theta.cos()),
+        ];
+        let q = |varphi: f64, phi: f64| -> MatC {
+            // S_χ(φ)
+            let s_chi = MatC::from_rows(
+                2,
+                2,
+                vec![
+                    Complex64::cis(varphi),
+                    Complex64::ZERO,
+                    Complex64::ZERO,
+                    Complex64::ONE,
+                ],
+            );
+            // I + (e^{iϕ}−1)|a0⟩⟨a0|
+            let coef = Complex64::cis(phi) - Complex64::ONE;
+            let mut refl = MatC::identity(2);
+            for r in 0..2 {
+                for c in 0..2 {
+                    refl[(r, c)] += coef * a0[r] * a0[c].conj();
+                }
+            }
+            (refl * s_chi).scaled(-Complex64::ONE)
+        };
+        let mut v = vec![a0[0], a0[1]];
+        let pi = std::f64::consts::PI;
+        for _ in 0..self.full_iterations {
+            v = q(pi, pi).mul_vec(&v);
+        }
+        if let FinalRotation::Phases { varphi, phi } = self.final_rotation {
+            v = q(varphi, phi).mul_vec(&v);
+        }
+        (v[0], v[1])
+    }
+}
+
+/// Drives a full amplitude-amplification schedule on a simulator state.
+///
+/// * `state` must already hold `A|0⟩` (for the samplers: `D|π,0,0⟩`).
+/// * `apply_d(state, inverse)` applies the input-dependent operator `D`/`D†`
+///   — the only place oracle queries happen.
+/// * `anchor` is `|π, 0…⟩` (the pre-`D` prepared state), the axis of the
+///   `S_π(ϕ)` reflection.
+/// * `flag_reg` is the register whose value 0 marks "good" states for
+///   `S_χ(φ)`.
+///
+/// Each `Q(φ,ϕ) = −D S_π(ϕ) D† S_χ(φ)` therefore costs two `D`
+/// applications; the query ledger behind `apply_d` observes exactly
+/// `2·total_iterations() + 1` of them including the initial `D` applied by
+/// the caller.
+pub fn execute_plan<S: QuantumState>(
+    state: &mut S,
+    plan: &AaPlan,
+    anchor: &StateTable,
+    flag_reg: usize,
+    mut apply_d: impl FnMut(&mut S, bool),
+) {
+    let pi = std::f64::consts::PI;
+    let mut q = |state: &mut S, varphi: f64, phi: f64| {
+        // rightmost factor first: S_χ(φ)
+        state.apply_phase(|b| {
+            if b[flag_reg] == 0 {
+                Complex64::cis(varphi)
+            } else {
+                Complex64::ONE
+            }
+        });
+        apply_d(state, true);
+        state.apply_rank_one_phase(anchor, phi);
+        apply_d(state, false);
+        state.scale(-Complex64::ONE);
+    };
+    for _ in 0..plan.full_iterations {
+        q(state, pi, pi);
+    }
+    if let FinalRotation::Phases { varphi, phi } = plan.final_rotation {
+        q(state, varphi, phi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_math::approx::approx_eq;
+
+    #[test]
+    fn plan_for_full_probability_is_trivial() {
+        let plan = AaPlan::for_success_probability(1.0);
+        assert_eq!(plan.full_iterations, 0);
+        assert_eq!(plan.final_rotation, FinalRotation::None);
+        assert!(approx_eq(plan.theta, std::f64::consts::FRAC_PI_2));
+    }
+
+    #[test]
+    fn quarter_probability_is_single_grover_step() {
+        // a = 1/4 → θ = π/6 and one Grover step lands exactly on the good
+        // state. Depending on floating-point rounding of m̃ = 1.0 the plan is
+        // either one plain iteration (m = 1, no correction) or a corrected
+        // final iteration (m = 0) whose solved phases degenerate to (π, π) —
+        // both are a single exact step.
+        let plan = AaPlan::for_success_probability(0.25);
+        assert_eq!(plan.total_iterations(), 1);
+        if let FinalRotation::Phases { varphi, phi } = plan.final_rotation {
+            let pi = std::f64::consts::PI;
+            assert!((varphi.abs() - pi).abs() < 1e-6, "varphi = {varphi}");
+            assert!((phi - pi).abs() < 1e-6, "phi = {phi}");
+        }
+        let (good, bad) = plan.simulate_two_level();
+        assert!(bad.abs() < 1e-9);
+        assert!(approx_eq(good.abs(), 1.0));
+    }
+
+    #[test]
+    fn iteration_count_scales_as_inverse_sqrt() {
+        let q1 = AaPlan::for_success_probability(1e-2).total_iterations() as f64;
+        let q2 = AaPlan::for_success_probability(1e-4).total_iterations() as f64;
+        let ratio = q2 / q1;
+        assert!((ratio - 10.0).abs() < 1.0, "expected ~10x, got {ratio}");
+    }
+
+    #[test]
+    fn two_level_simulation_reaches_fidelity_one() {
+        // Sweep awkward probabilities — including ones where plain Grover
+        // would badly overshoot — and confirm the exact landing.
+        for &a in &[
+            0.9, 0.7, 0.51, 0.5, 0.3333, 0.25, 0.2, 0.1, 0.05, 0.01, 0.004, 1e-3, 2.7e-4, 1e-5,
+        ] {
+            let plan = AaPlan::for_success_probability(a);
+            let (good, bad) = plan.simulate_two_level();
+            assert!(
+                bad.abs() < 1e-9,
+                "a = {a}: residual bad amplitude {}",
+                bad.abs()
+            );
+            assert!(approx_eq(good.abs(), 1.0), "a = {a}");
+        }
+    }
+
+    #[test]
+    fn plain_grover_overshoots_where_zero_error_does_not() {
+        // For a = 0.15, (2⌊m̃⌋+1)θ ≠ π/2, so ⌊m̃⌋ plain iterations plus one
+        // more *plain* iteration misses; the corrected rotation hits exactly.
+        let a = 0.15;
+        let plan = AaPlan::for_success_probability(a);
+        assert!(matches!(plan.final_rotation, FinalRotation::Phases { .. }));
+        // plain variant: pretend the final rotation were (π, π) too
+        let plain = AaPlan {
+            final_rotation: FinalRotation::None,
+            full_iterations: plan.full_iterations + 1,
+            ..plan
+        };
+        let (good_plain, _) = plain.simulate_two_level();
+        assert!(
+            good_plain.abs() < 1.0 - 1e-6,
+            "plain Grover should not be exact here: |good| = {}",
+            good_plain.abs()
+        );
+        let (good_exact, bad_exact) = plan.simulate_two_level();
+        assert!(approx_eq(good_exact.abs(), 1.0));
+        assert!(bad_exact.abs() < 1e-9);
+    }
+
+    #[test]
+    fn monotone_iterations_in_shrinking_probability() {
+        let mut last = 0u64;
+        for k in 1..=6 {
+            let a = 10f64.powi(-k);
+            let it = AaPlan::for_success_probability(a).total_iterations();
+            assert!(it >= last, "iterations must not decrease as a shrinks");
+            last = it;
+        }
+    }
+
+    #[test]
+    fn theoretical_iteration_formula() {
+        let a = 1e-4;
+        let plan = AaPlan::for_success_probability(a);
+        let theta = a.sqrt().asin();
+        let expected = (std::f64::consts::PI / (4.0 * theta) - 0.5).floor() as u64;
+        assert_eq!(plan.full_iterations, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "success probability")]
+    fn zero_probability_rejected() {
+        let _ = AaPlan::for_success_probability(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "success probability")]
+    fn above_one_rejected() {
+        let _ = AaPlan::for_success_probability(1.5);
+    }
+}

@@ -1,0 +1,128 @@
+//! Closed-form query-cost predictors.
+//!
+//! Because every oracle application flows through the [`dqs_db::QueryLedger`],
+//! the measured counts are *exact*, and so are these predictors — the test
+//! suite asserts ledger == prediction, which pins the constant factors the
+//! asymptotic statements hide:
+//!
+//! * sequential: `D` costs `2n` queries (Lemma 4.2); each `Q` uses `D` and
+//!   `D†`; plus the initial `D` → total `2n·(2·iterations + 1)`;
+//! * parallel: `D` costs 4 rounds (Lemma 4.4) → total `4·(2·iterations + 1)`.
+
+use crate::amplify::AaPlan;
+use dqs_db::Params;
+
+/// Exact and asymptotic query costs for one dataset instance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostModel {
+    /// Number of machines `n`.
+    pub machines: u64,
+    /// Amplitude-amplification iterations (plain + corrected).
+    pub iterations: u64,
+    /// Exact sequential queries the sampler will issue.
+    pub sequential_queries: u64,
+    /// Exact parallel rounds the sampler will issue.
+    pub parallel_rounds: u64,
+    /// The theory envelope `√(νN/M)` (per-machine scale).
+    pub theory_scale: f64,
+}
+
+/// Builds the cost model for a parameter set.
+pub fn cost_model(params: &Params) -> CostModel {
+    let plan = AaPlan::for_success_probability(params.initial_success_probability());
+    let iterations = plan.total_iterations();
+    let n = params.machines as u64;
+    CostModel {
+        machines: n,
+        iterations,
+        sequential_queries: sequential_cost(n, iterations),
+        parallel_rounds: parallel_cost(iterations),
+        theory_scale: params.sqrt_vn_over_m(),
+    }
+}
+
+/// Exact sequential query count: one initial `D` plus `D, D†` per iteration,
+/// each costing `2n`.
+pub fn sequential_cost(machines: u64, iterations: u64) -> u64 {
+    2 * machines * (2 * iterations + 1)
+}
+
+/// Exact parallel round count: one initial `D` plus `D, D†` per iteration,
+/// each costing 4 rounds.
+pub fn parallel_cost(iterations: u64) -> u64 {
+    4 * (2 * iterations + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_db::{DistributedDataset, Multiset};
+
+    fn params_for(universe: u64, capacity: u64, shards: Vec<Multiset>) -> Params {
+        DistributedDataset::new(universe, capacity, shards)
+            .unwrap()
+            .params()
+    }
+
+    #[test]
+    fn cost_formulas() {
+        assert_eq!(sequential_cost(3, 0), 6); // just the initial D
+        assert_eq!(sequential_cost(3, 2), 30); // 2n·(2·2+1)
+        assert_eq!(parallel_cost(0), 4);
+        assert_eq!(parallel_cost(5), 44);
+    }
+
+    #[test]
+    fn model_is_consistent_with_plan() {
+        let p = params_for(
+            16,
+            4,
+            vec![
+                Multiset::from_counts([(0, 1), (3, 2)]),
+                Multiset::from_counts([(9, 1)]),
+            ],
+        );
+        let m = cost_model(&p);
+        assert_eq!(m.machines, 2);
+        assert_eq!(m.sequential_queries, sequential_cost(2, m.iterations));
+        assert_eq!(m.parallel_rounds, parallel_cost(m.iterations));
+        assert!(m.theory_scale > 0.0);
+    }
+
+    #[test]
+    fn iterations_track_theory_scale() {
+        // Same density, growing N: iterations ≈ (π/4)·√(νN/M).
+        for exp in 3..8u32 {
+            let n_universe = 1u64 << exp;
+            let shard = Multiset::from_counts([(0u64, 2u64), (1, 2)]);
+            let p = params_for(n_universe, 4, vec![shard]);
+            let m = cost_model(&p);
+            let predicted = std::f64::consts::FRAC_PI_4 * m.theory_scale;
+            let err = (m.iterations as f64 - predicted).abs();
+            assert!(
+                err <= 1.5,
+                "N = {n_universe}: iterations {} vs π/4·scale {predicted}",
+                m.iterations
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_is_n_times_parallel_asymptotically() {
+        let p = params_for(
+            64,
+            8,
+            vec![
+                Multiset::from_counts([(0, 2)]),
+                Multiset::from_counts([(1, 2)]),
+                Multiset::from_counts([(2, 2)]),
+            ],
+        );
+        let m = cost_model(&p);
+        // seq/par = 2n(2it+1) / 4(2it+1) = n/2 exactly.
+        assert_eq!(
+            m.sequential_queries as f64 / m.parallel_rounds as f64,
+            m.machines as f64 / 2.0
+        );
+    }
+}

@@ -1,0 +1,404 @@
+//! The distributing operator `D` — Eq. (5) and Lemmas 4.2 / 4.4.
+//!
+//! `D|i,0⟩ = √(c_i/ν)|i,0⟩ + √((ν−c_i)/ν)|i,1⟩` concentrates exactly the
+//! per-element probability mass `c_i/ν` on the flag-0 branch, so that
+//! `D|π,0⟩ = √(M/νN)|ψ,0⟩ + √(1−M/νN)|ψ⊥,1⟩` (Eq. 7) and amplitude
+//! amplification can finish the job.
+//!
+//! `D` is the only input-dependent operator in the algorithm, and the paper
+//! shows it is realizable from the counting oracles alone:
+//!
+//! * **sequentially** (Lemma 4.2, `2n` queries):
+//!   `O_1 … O_n`, then the input-independent rotation `𝒰`, then
+//!   `O_n† … O_1†`;
+//! * **in parallel** (Lemma 4.4, 4 rounds): copy `i` into all ancilla
+//!   element registers with flags raised, one composite round `O`,
+//!   accumulate the per-machine answers `c_{i1}, …, c_{in}` into the main
+//!   count register, one round `O†` to uncompute, drop the ancillas, apply
+//!   `𝒰`, and uncompute the count the same way.
+
+use crate::layouts::{ParallelLayout, SequentialLayout};
+use dqs_db::OracleSet;
+use dqs_math::MatC;
+use dqs_sim::gates::ry_by_cos_sin;
+use dqs_sim::QuantumState;
+
+/// Applies `D` (or `D†`) over either query model.
+#[derive(Debug, Clone, Copy)]
+pub struct DistributingOperator {
+    /// The capacity `ν` whose square root sets the rotation angles of `𝒰`.
+    pub capacity: u64,
+}
+
+impl DistributingOperator {
+    /// Creates the operator for capacity `ν > 0`.
+    pub fn new(capacity: u64) -> Self {
+        assert!(capacity > 0, "capacity ν must be positive");
+        Self { capacity }
+    }
+
+    /// The input-independent rotation `𝒰` of Eq. (6), as a 2×2 matrix on the
+    /// flag register given the current count-register value `c`:
+    /// `𝒰|c,0⟩ = √(c/ν)|c,0⟩ + √((ν−c)/ν)|c,1⟩`.
+    fn u_gate(&self, count: u64) -> MatC {
+        let nu = self.capacity as f64;
+        debug_assert!(count <= self.capacity, "count exceeds capacity");
+        let cos = (count as f64 / nu).sqrt();
+        let sin = ((self.capacity - count) as f64 / nu).sqrt();
+        ry_by_cos_sin(cos, sin)
+    }
+
+    /// Applies `𝒰` (or `𝒰†`) on `flag`, conditioned on `count`.
+    fn apply_u<S: QuantumState>(
+        &self,
+        state: &mut S,
+        count_reg: usize,
+        flag_reg: usize,
+        inverse: bool,
+    ) {
+        state.apply_conditioned_unitary(flag_reg, |basis| {
+            let u = self.u_gate(basis[count_reg]);
+            if inverse {
+                u.adjoint()
+            } else {
+                u
+            }
+        });
+    }
+
+    /// Sequential realization (Lemma 4.2): costs exactly `2n` queries,
+    /// charged to the ledger behind `oracles`.
+    ///
+    /// Since the oracles all commute (they are additions on the same count
+    /// register controlled on the same element register),
+    /// `D = B·𝒰·A` with `A = O_n…O_1` and `B = A†`, hence `D† = B·𝒰†·A` —
+    /// the inverse only inverts the middle rotation.
+    pub fn apply_sequential<S: QuantumState>(
+        &self,
+        oracles: &OracleSet<'_>,
+        state: &mut S,
+        regs: &SequentialLayout,
+        inverse: bool,
+    ) {
+        let oracle_regs = regs.oracle_registers();
+        oracles.apply_all_sequential(state, oracle_regs, false);
+        self.apply_u(state, regs.count, regs.flag, inverse);
+        oracles.apply_all_sequential(state, oracle_regs, true);
+    }
+
+    /// Like [`Self::apply_sequential`], but invokes `on_query(machine,
+    /// state)` immediately **after** every individual oracle application.
+    /// This is the instrumentation hook the lower-bound hybrid argument
+    /// (dqs-adversary) uses to snapshot `|ψ_t^T⟩` after each query to the
+    /// distinguished machine `k`; queries are charged identically to the
+    /// unobserved variant.
+    pub fn apply_sequential_observed<S: QuantumState>(
+        &self,
+        oracles: &OracleSet<'_>,
+        state: &mut S,
+        regs: &SequentialLayout,
+        inverse: bool,
+        mut on_query: impl FnMut(usize, &S),
+    ) {
+        let oracle_regs = regs.oracle_registers();
+        let n = oracles.dataset().num_machines();
+        for j in 0..n {
+            oracles.apply_oj(state, j, oracle_regs, false);
+            on_query(j, state);
+        }
+        self.apply_u(state, regs.count, regs.flag, inverse);
+        for j in (0..n).rev() {
+            oracles.apply_oj(state, j, oracle_regs, true);
+            on_query(j, state);
+        }
+    }
+
+    /// Parallel realization (Lemma 4.4): costs exactly 4 composite rounds.
+    pub fn apply_parallel<S: QuantumState>(
+        &self,
+        oracles: &OracleSet<'_>,
+        state: &mut S,
+        regs: &ParallelLayout,
+        inverse: bool,
+    ) {
+        self.apply_parallel_observed(oracles, state, regs, inverse, |_| {});
+    }
+
+    /// Like [`Self::apply_parallel`], but invokes `on_round(state)` after
+    /// every composite oracle round — the parallel-model instrumentation
+    /// hook for the hybrid argument (Lemmas 5.9/5.10).
+    pub fn apply_parallel_observed<S: QuantumState>(
+        &self,
+        oracles: &OracleSet<'_>,
+        state: &mut S,
+        regs: &ParallelLayout,
+        inverse: bool,
+        mut on_round: impl FnMut(&S),
+    ) {
+        self.load_count_parallel(oracles, state, regs, false, &mut on_round);
+        self.apply_u(state, regs.count, regs.flag, inverse);
+        self.load_count_parallel(oracles, state, regs, true, &mut on_round);
+    }
+
+    /// The first step of Lemma 4.4 — `|i,0⟩ ↦ |i,c_i⟩` — using 2 composite
+    /// rounds (or its inverse `|i,c_i⟩ ↦ |i,0⟩`, also 2 rounds).
+    fn load_count_parallel<S: QuantumState>(
+        &self,
+        oracles: &OracleSet<'_>,
+        state: &mut S,
+        regs: &ParallelLayout,
+        uncompute: bool,
+        on_round: &mut impl FnMut(&S),
+    ) {
+        let n = regs.machines();
+        let modulus = self.capacity + 1;
+        let pregs = regs.parallel_registers();
+        let (elem, count) = (regs.elem, regs.count);
+        let (anc_elem, anc_count, anc_flag) = (
+            regs.anc_elem.clone(),
+            regs.anc_count.clone(),
+            regs.anc_flag.clone(),
+        );
+
+        // |i,·,0ⁿ,0ⁿ,0ⁿ⟩ → |i,·,iⁿ,0ⁿ,1ⁿ⟩ : broadcast the element and raise
+        // all control flags (input-independent, no queries).
+        let broadcast = |state: &mut S| {
+            state.apply_permutation(|b| {
+                let i = b[elem];
+                for j in 0..n {
+                    debug_assert_eq!(b[anc_elem[j]], 0, "ancilla element must be clean");
+                    b[anc_elem[j]] = i;
+                    b[anc_flag[j]] ^= 1;
+                }
+            });
+        };
+        // Inverse of broadcast: subtract the element value back out.
+        let unbroadcast = |state: &mut S| {
+            state.apply_permutation(|b| {
+                let i = b[elem];
+                for j in 0..n {
+                    debug_assert_eq!(b[anc_elem[j]], i, "ancilla element out of sync");
+                    b[anc_elem[j]] = 0;
+                    b[anc_flag[j]] ^= 1;
+                }
+            });
+        };
+        // Fold the per-machine answers into the main count register:
+        // s ↦ s ± Σ_j s_j (mod ν+1).
+        let fold = |state: &mut S, subtract: bool| {
+            state.apply_permutation(|b| {
+                let mut total = 0u64;
+                for j in 0..n {
+                    total = (total + b[anc_count[j]]) % modulus;
+                }
+                let add = if subtract {
+                    (modulus - total) % modulus
+                } else {
+                    total
+                };
+                b[count] = (b[count] + add) % modulus;
+            });
+        };
+
+        broadcast(state);
+        oracles.apply_parallel_round(state, &pregs, false);
+        on_round(state);
+        fold(state, uncompute);
+        oracles.apply_parallel_round(state, &pregs, true);
+        on_round(state);
+        unbroadcast(state);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_db::{DistributedDataset, Multiset, QueryLedger};
+    use dqs_math::approx::approx_eq;
+    use dqs_sim::{DenseState, SparseState, StateTable};
+
+    fn dataset() -> DistributedDataset {
+        // c = (2, 2, 0, 3) over N = 4, two machines, ν = 4
+        DistributedDataset::new(
+            4,
+            4,
+            vec![
+                Multiset::from_counts([(0, 2), (1, 1)]),
+                Multiset::from_counts([(1, 1), (3, 3)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn eq7_expected(ds: &DistributedDataset, sl: &SequentialLayout) -> StateTable {
+        // D|π,0,0⟩ = (1/√N) Σ_i (√(c_i/ν)|i,0,0⟩ + √((ν−c_i)/ν)|i,0,1⟩)
+        let nu = ds.capacity() as f64;
+        let n = ds.universe() as f64;
+        let mut entries = Vec::new();
+        for i in 0..ds.universe() {
+            let c = ds.total_multiplicity(i) as f64;
+            entries.push((
+                vec![i, 0, 0].into_boxed_slice(),
+                dqs_math::Complex64::from_real((c / nu / n).sqrt()),
+            ));
+            entries.push((
+                vec![i, 0, 1].into_boxed_slice(),
+                dqs_math::Complex64::from_real(((nu - c) / nu / n).sqrt()),
+            ));
+        }
+        StateTable::new(sl.layout.clone(), entries)
+    }
+
+    #[test]
+    fn sequential_d_realizes_eq_5_on_basis_states() {
+        let ds = dataset();
+        let sl = SequentialLayout::for_dataset(&ds);
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        let d = DistributingOperator::new(ds.capacity());
+        for i in 0..4u64 {
+            let mut s = SparseState::from_basis(sl.layout.clone(), &[i, 0, 0]);
+            d.apply_sequential(&oracles, &mut s, &sl, false);
+            let c = ds.total_multiplicity(i) as f64;
+            let nu = ds.capacity() as f64;
+            assert!(
+                approx_eq(s.amplitude(&[i, 0, 0]).re, (c / nu).sqrt()),
+                "elem {i}"
+            );
+            assert!(approx_eq(
+                s.amplitude(&[i, 0, 1]).re,
+                ((nu - c) / nu).sqrt()
+            ));
+            // count register fully uncomputed
+            assert!(approx_eq(s.norm(), 1.0));
+            assert_eq!(s.support_len(), if c == 0.0 || c == nu { 1 } else { 2 });
+        }
+    }
+
+    #[test]
+    fn sequential_d_costs_exactly_2n_queries() {
+        let ds = dataset();
+        let sl = SequentialLayout::for_dataset(&ds);
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        let d = DistributingOperator::new(ds.capacity());
+        let mut s = SparseState::from_basis(sl.layout.clone(), &[0, 0, 0]);
+        d.apply_sequential(&oracles, &mut s, &sl, false);
+        assert_eq!(ledger.total_sequential(), 2 * ds.num_machines() as u64);
+        d.apply_sequential(&oracles, &mut s, &sl, true);
+        assert_eq!(ledger.total_sequential(), 4 * ds.num_machines() as u64);
+    }
+
+    #[test]
+    fn sequential_d_on_uniform_matches_eq_7() {
+        let ds = dataset();
+        let sl = SequentialLayout::for_dataset(&ds);
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        let d = DistributingOperator::new(ds.capacity());
+        let mut s = SparseState::from_basis(sl.layout.clone(), &[0, 0, 0]);
+        s.apply_register_unitary(sl.elem, &dqs_sim::gates::dft(ds.universe()));
+        d.apply_sequential(&oracles, &mut s, &sl, false);
+        let expected = eq7_expected(&ds, &sl);
+        assert!(s.to_table().distance_sqr(&expected) < 1e-18);
+        // success amplitude on the flag-0 branch is √(M/νN)
+        let p0: f64 = s.register_probabilities(sl.flag)[0];
+        assert!(approx_eq(p0, 7.0 / 16.0));
+    }
+
+    #[test]
+    fn sequential_d_inverse_is_inverse() {
+        let ds = dataset();
+        let sl = SequentialLayout::for_dataset(&ds);
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        let d = DistributingOperator::new(ds.capacity());
+        let mut s = SparseState::from_basis(sl.layout.clone(), &[0, 0, 0]);
+        s.apply_register_unitary(sl.elem, &dqs_sim::gates::dft(ds.universe()));
+        let before = s.to_table();
+        d.apply_sequential(&oracles, &mut s, &sl, false);
+        d.apply_sequential(&oracles, &mut s, &sl, true);
+        assert!(s.to_table().distance_sqr(&before) < 1e-18);
+    }
+
+    #[test]
+    fn parallel_d_matches_sequential_d() {
+        let ds = dataset();
+        let sl = SequentialLayout::for_dataset(&ds);
+        let pl = ParallelLayout::for_dataset(&ds);
+        let d = DistributingOperator::new(ds.capacity());
+
+        for i in 0..4u64 {
+            // sequential reference
+            let ledger_s = QueryLedger::new(2);
+            let oracles_s = OracleSet::new(&ds, &ledger_s);
+            let mut seq = SparseState::from_basis(sl.layout.clone(), &[i, 0, 0]);
+            d.apply_sequential(&oracles_s, &mut seq, &sl, false);
+
+            // parallel run
+            let ledger_p = QueryLedger::new(2);
+            let oracles_p = OracleSet::new(&ds, &ledger_p);
+            let mut zero = pl.layout.zero_basis();
+            zero[pl.elem] = i;
+            let mut par = SparseState::from_basis(pl.layout.clone(), &zero);
+            d.apply_parallel(&oracles_p, &mut par, &pl, false);
+
+            // compare on the (elem, count, flag) registers; ancillas must be 0
+            let table = par.to_table();
+            for (b, amp) in table.iter() {
+                for j in 0..pl.machines() {
+                    assert_eq!(b[pl.anc_elem[j]], 0, "ancilla elem not uncomputed");
+                    assert_eq!(b[pl.anc_count[j]], 0, "ancilla count not uncomputed");
+                    assert_eq!(b[pl.anc_flag[j]], 0, "ancilla flag not lowered");
+                }
+                let seq_amp = seq.amplitude(&[b[pl.elem], b[pl.count], b[pl.flag]]);
+                assert!((amp - seq_amp).abs() < 1e-9);
+            }
+            assert_eq!(ledger_p.parallel_rounds(), 4, "Lemma 4.4: 4 rounds per D");
+            assert_eq!(ledger_p.total_sequential(), 0);
+        }
+    }
+
+    #[test]
+    fn parallel_d_inverse_round_trips() {
+        let ds = dataset();
+        let pl = ParallelLayout::for_dataset(&ds);
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        let d = DistributingOperator::new(ds.capacity());
+        let mut s = SparseState::from_basis(pl.layout.clone(), &pl.layout.zero_basis());
+        s.apply_register_unitary(pl.elem, &dqs_sim::gates::dft(ds.universe()));
+        let before = s.to_table();
+        d.apply_parallel(&oracles, &mut s, &pl, false);
+        d.apply_parallel(&oracles, &mut s, &pl, true);
+        assert!(s.to_table().distance_sqr(&before) < 1e-18);
+        assert_eq!(ledger.parallel_rounds(), 8);
+    }
+
+    #[test]
+    fn dense_and_sparse_agree_on_d() {
+        let ds = dataset();
+        let sl = SequentialLayout::for_dataset(&ds);
+        let d = DistributingOperator::new(ds.capacity());
+
+        let ledger_a = QueryLedger::new(2);
+        let oracles_a = OracleSet::new(&ds, &ledger_a);
+        let mut dense = DenseState::from_basis(sl.layout.clone(), &[0, 0, 0]);
+        dense.apply_register_unitary(sl.elem, &dqs_sim::gates::dft(4));
+        d.apply_sequential(&oracles_a, &mut dense, &sl, false);
+
+        let ledger_b = QueryLedger::new(2);
+        let oracles_b = OracleSet::new(&ds, &ledger_b);
+        let mut sparse = SparseState::from_basis(sl.layout.clone(), &[0, 0, 0]);
+        sparse.apply_register_unitary(sl.elem, &dqs_sim::gates::dft(4));
+        d.apply_sequential(&oracles_b, &mut sparse, &sl, false);
+
+        assert!(dense.to_table().distance_sqr(&sparse.to_table()) < 1e-18);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_rejected() {
+        let _ = DistributingOperator::new(0);
+    }
+}

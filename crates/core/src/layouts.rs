@@ -1,0 +1,191 @@
+//! Register layouts for the two query models (§3).
+//!
+//! **Sequential model** — the coordinator state is
+//! `Σ_i α_i |i⟩|s_i⟩|w_i⟩` (three registers: element, count, flag).
+//!
+//! **Parallel model** — the coordinator additionally holds, for each machine
+//! `j`, an ancilla triple `(i_j, s_j, b_j)` that is sent to machine `j`
+//! during a round (Lemma 4.4's implementation of `D`). The joint dimension
+//! is astronomically large, which is precisely why the sparse backend
+//! exists; this module only records *which register is which*.
+
+use dqs_db::{DistributedDataset, OracleRegisters, ParallelRegisters};
+use dqs_sim::Layout;
+
+/// The three-register layout of the sequential model and the indices of its
+/// registers.
+#[derive(Debug, Clone)]
+pub struct SequentialLayout {
+    /// The underlying simulator layout.
+    pub layout: Layout,
+    /// Element register (`N`-dimensional).
+    pub elem: usize,
+    /// Count register (`ν+1`-dimensional).
+    pub count: usize,
+    /// Flag register (the `w_i ∈ {0,1}` ancilla of §3).
+    pub flag: usize,
+}
+
+impl SequentialLayout {
+    /// Builds the layout for a dataset (universe `N`, capacity `ν`).
+    pub fn for_dataset(ds: &DistributedDataset) -> Self {
+        Self::new(ds.universe(), ds.capacity())
+    }
+
+    /// Builds the layout from raw parameters.
+    pub fn new(universe: u64, capacity: u64) -> Self {
+        let layout = Layout::builder()
+            .register("elem", universe)
+            .register("count", capacity + 1)
+            .register("flag", 2)
+            .build();
+        Self {
+            layout,
+            elem: 0,
+            count: 1,
+            flag: 2,
+        }
+    }
+
+    /// The `(elem, count)` pair the sequential oracle acts on.
+    pub fn oracle_registers(&self) -> OracleRegisters {
+        OracleRegisters {
+            elem: self.elem,
+            count: self.count,
+        }
+    }
+}
+
+/// The `3 + 3n`-register layout of the parallel model.
+#[derive(Debug, Clone)]
+pub struct ParallelLayout {
+    /// The underlying simulator layout.
+    pub layout: Layout,
+    /// Element register.
+    pub elem: usize,
+    /// Count register.
+    pub count: usize,
+    /// Flag register.
+    pub flag: usize,
+    /// Per-machine ancilla element registers (`i_j`).
+    pub anc_elem: Vec<usize>,
+    /// Per-machine ancilla count registers (`s_j`).
+    pub anc_count: Vec<usize>,
+    /// Per-machine ancilla control flags (`b_j`).
+    pub anc_flag: Vec<usize>,
+}
+
+impl ParallelLayout {
+    /// Builds the layout for a dataset.
+    pub fn for_dataset(ds: &DistributedDataset) -> Self {
+        Self::new(ds.universe(), ds.capacity(), ds.num_machines())
+    }
+
+    /// Builds the layout from raw parameters.
+    pub fn new(universe: u64, capacity: u64, machines: usize) -> Self {
+        assert!(machines > 0, "parallel layout needs at least one machine");
+        let mut b = Layout::builder()
+            .register("elem", universe)
+            .register("count", capacity + 1)
+            .register("flag", 2);
+        let mut anc_elem = Vec::with_capacity(machines);
+        let mut anc_count = Vec::with_capacity(machines);
+        let mut anc_flag = Vec::with_capacity(machines);
+        let mut next = 3usize;
+        for j in 0..machines {
+            b = b
+                .register(format!("i{j}"), universe)
+                .register(format!("s{j}"), capacity + 1)
+                .register(format!("b{j}"), 2);
+            anc_elem.push(next);
+            anc_count.push(next + 1);
+            anc_flag.push(next + 2);
+            next += 3;
+        }
+        Self {
+            layout: b.build(),
+            elem: 0,
+            count: 1,
+            flag: 2,
+            anc_elem,
+            anc_count,
+            anc_flag,
+        }
+    }
+
+    /// The per-machine register triples the composite parallel oracle acts on.
+    pub fn parallel_registers(&self) -> ParallelRegisters {
+        ParallelRegisters {
+            elem: self.anc_elem.clone(),
+            count: self.anc_count.clone(),
+            flag: self.anc_flag.clone(),
+        }
+    }
+
+    /// Number of machines this layout serves.
+    pub fn machines(&self) -> usize {
+        self.anc_elem.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_db::Multiset;
+
+    fn ds() -> DistributedDataset {
+        DistributedDataset::new(
+            8,
+            3,
+            vec![
+                Multiset::from_counts([(0, 1)]),
+                Multiset::from_counts([(5, 2)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn sequential_layout_shape() {
+        let sl = SequentialLayout::for_dataset(&ds());
+        assert_eq!(sl.layout.num_registers(), 3);
+        assert_eq!(sl.layout.dim(sl.elem), 8);
+        assert_eq!(sl.layout.dim(sl.count), 4);
+        assert_eq!(sl.layout.dim(sl.flag), 2);
+        let regs = sl.oracle_registers();
+        assert_eq!(regs.elem, 0);
+        assert_eq!(regs.count, 1);
+    }
+
+    #[test]
+    fn parallel_layout_shape() {
+        let pl = ParallelLayout::for_dataset(&ds());
+        assert_eq!(pl.machines(), 2);
+        assert_eq!(pl.layout.num_registers(), 9);
+        // ancilla dims mirror the primary registers
+        for j in 0..2 {
+            assert_eq!(pl.layout.dim(pl.anc_elem[j]), 8);
+            assert_eq!(pl.layout.dim(pl.anc_count[j]), 4);
+            assert_eq!(pl.layout.dim(pl.anc_flag[j]), 2);
+        }
+        let pregs = pl.parallel_registers();
+        assert_eq!(pregs.machines(), 2);
+        assert_eq!(pregs.elem, vec![3, 6]);
+        assert_eq!(pregs.count, vec![4, 7]);
+        assert_eq!(pregs.flag, vec![5, 8]);
+    }
+
+    #[test]
+    fn register_names_are_addressable() {
+        let pl = ParallelLayout::new(4, 2, 3);
+        assert_eq!(pl.layout.find("elem"), Some(0));
+        assert_eq!(pl.layout.find("i2"), Some(9));
+        assert_eq!(pl.layout.find("b0"), Some(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one machine")]
+    fn zero_machines_rejected() {
+        let _ = ParallelLayout::new(4, 2, 0);
+    }
+}

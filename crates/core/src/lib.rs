@@ -1,0 +1,44 @@
+//! # dqs-core
+//!
+//! The paper's primary contribution, executable: distributed quantum
+//! sampling via local Grover oracles.
+//!
+//! * [`layouts`] — the register layouts of §3 (sequential: element, count,
+//!   flag; parallel: those plus `3n` ancilla registers).
+//! * [`distributing`] — the distributing operator `D` of Eq. (5), realized
+//!   with `2n` sequential queries (Lemma 4.2) or 4 parallel rounds
+//!   (Lemma 4.4).
+//! * [`amplify`] — zero-error amplitude amplification
+//!   (Brassard–Høyer–Mosca–Tapp, Theorem 4), including the exact
+//!   final-rotation phase solve, so the output state is `|ψ⟩` with fidelity
+//!   1 — not 1−ε.
+//! * [`sequential`] / [`parallel`] — the end-to-end samplers of
+//!   Theorems 4.3 and 4.5, generic over the simulator backend.
+//! * [`cost`] — closed-form query-count predictors matching the ledger
+//!   exactly, plus the `Θ(n√(νN/M))` / `Θ(√(νN/M))` theory envelopes.
+//! * [`circuit`] — compiles both samplers to the data-driven
+//!   [`dqs_sim::Program`] IR: statically costed, exactly invertible, with
+//!   structural obliviousness checks.
+//! * [`estimate`] — extension: estimate `M` through the oracle interface
+//!   (the paper assumes it public) and sample adaptively.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod amplify;
+pub mod circuit;
+pub mod cost;
+pub mod distributing;
+pub mod estimate;
+pub mod layouts;
+pub mod parallel;
+pub mod sequential;
+
+pub use amplify::{AaPlan, FinalRotation};
+pub use circuit::{compile_distributing, compile_parallel, compile_sequential};
+pub use cost::{parallel_cost, sequential_cost, CostModel};
+pub use distributing::DistributingOperator;
+pub use estimate::{estimate_total_count, sequential_sample_adaptive, AdaptiveRun, EstimationRun};
+pub use layouts::{ParallelLayout, SequentialLayout};
+pub use parallel::{parallel_sample, ParallelRun};
+pub use sequential::{sequential_sample, sequential_sample_with_updates, SequentialRun};

@@ -1,0 +1,237 @@
+//! The sequential-query sampling algorithm (Theorem 4.3).
+//!
+//! Pipeline: prepare `|π,0,0⟩` (uniform element register), apply `D` once,
+//! then run zero-error amplitude amplification with
+//! `Q(φ,ϕ) = −D S_π(ϕ) D† S_χ(φ)` where each `D`/`D†` costs `2n` sequential
+//! oracle queries (Lemma 4.2). The output is **exactly**
+//! `|ψ⟩ = (1/√M) Σ_i √c_i |i⟩` on the element register with count and flag
+//! uncomputed to zero.
+
+use crate::amplify::{execute_plan, AaPlan};
+use crate::cost::{cost_model, CostModel};
+use crate::distributing::DistributingOperator;
+use crate::layouts::SequentialLayout;
+use dqs_db::{DistributedDataset, LedgerSnapshot, OracleSet, QueryLedger, UpdateLog};
+use dqs_math::Complex64;
+use dqs_sim::{QuantumState, StateTable};
+
+/// The result of one sequential sampling run.
+#[derive(Debug, Clone)]
+pub struct SequentialRun<S> {
+    /// The final coordinator state (should equal `|ψ,0,0⟩`).
+    pub state: S,
+    /// Register layout used.
+    pub layout: SequentialLayout,
+    /// The amplitude-amplification schedule that was executed.
+    pub plan: AaPlan,
+    /// Exact query counts observed on the ledger.
+    pub queries: LedgerSnapshot,
+    /// Predicted costs (must match `queries` exactly; asserted in tests).
+    pub cost: CostModel,
+    /// Fidelity of the output against the true sampling state.
+    pub fidelity: f64,
+    /// The ground-truth target `|ψ,0,0⟩`.
+    pub target: StateTable,
+}
+
+/// Runs Theorem 4.3's algorithm over a static dataset.
+pub fn sequential_sample<S: QuantumState>(dataset: &DistributedDataset) -> SequentialRun<S> {
+    let ledger = QueryLedger::new(dataset.num_machines());
+    let oracles = OracleSet::new(dataset, &ledger);
+    run_with_oracles(dataset, &oracles, &ledger, None)
+}
+
+/// Runs the algorithm against a dataset with a dynamic-update log composed
+/// onto the oracles (§3's `U`/`U†` mechanism). The target state is that of
+/// the *updated* data.
+pub fn sequential_sample_with_updates<S: QuantumState>(
+    dataset: &DistributedDataset,
+    updates: &UpdateLog,
+) -> SequentialRun<S> {
+    let ledger = QueryLedger::new(dataset.num_machines());
+    let oracles = OracleSet::with_updates(dataset, &ledger, updates);
+    run_with_oracles(dataset, &oracles, &ledger, Some(updates))
+}
+
+fn run_with_oracles<S: QuantumState>(
+    dataset: &DistributedDataset,
+    oracles: &OracleSet<'_>,
+    ledger: &QueryLedger,
+    updates: Option<&UpdateLog>,
+) -> SequentialRun<S> {
+    let effective = match updates {
+        Some(log) => log.apply_to(dataset),
+        None => dataset.clone(),
+    };
+    let layout = SequentialLayout::for_dataset(dataset);
+    let params = effective.params();
+    let plan = AaPlan::for_success_probability(params.initial_success_probability());
+    let d = DistributingOperator::new(dataset.capacity());
+
+    // |0,0,0⟩ → |π,0,0⟩
+    let mut state = S::from_basis(layout.layout.clone(), &[0, 0, 0]);
+    state.apply_register_unitary(layout.elem, &dqs_sim::gates::dft(dataset.universe()));
+
+    // anchor |π,0,0⟩ for S_π(ϕ), built exactly
+    let anchor = uniform_anchor(&layout);
+
+    // A|0⟩ = D|π,0,0⟩, then amplify.
+    d.apply_sequential(oracles, &mut state, &layout, false);
+    execute_plan(&mut state, &plan, &anchor, layout.flag, |s, inv| {
+        d.apply_sequential(oracles, s, &layout, inv)
+    });
+
+    let target = effective.target_state(&layout.layout, layout.elem);
+    let fidelity = state.fidelity_with_table(&target);
+    SequentialRun {
+        state,
+        layout,
+        plan,
+        queries: ledger.snapshot(),
+        cost: cost_model(&params),
+        fidelity,
+        target,
+    }
+}
+
+/// The exact `|π,0,0⟩` table: amplitude `1/√N` on every element, zeros in
+/// count and flag.
+fn uniform_anchor(layout: &SequentialLayout) -> StateTable {
+    let n = layout.layout.dim(layout.elem);
+    let amp = Complex64::from_real(1.0 / (n as f64).sqrt());
+    let entries = (0..n)
+        .map(|i| {
+            let mut b = layout.layout.zero_basis();
+            b[layout.elem] = i;
+            (b.into_boxed_slice(), amp)
+        })
+        .collect();
+    StateTable::new(layout.layout.clone(), entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_db::{Multiset, UpdateOp};
+    use dqs_math::approx::approx_eq;
+    use dqs_sim::{DenseState, SparseState};
+
+    fn dataset() -> DistributedDataset {
+        DistributedDataset::new(
+            8,
+            4,
+            vec![
+                Multiset::from_counts([(0, 2), (1, 1), (5, 1)]),
+                Multiset::from_counts([(1, 1), (6, 3)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn output_state_is_exact_sampling_state() {
+        let run = sequential_sample::<SparseState>(&dataset());
+        assert!(
+            run.fidelity > 1.0 - 1e-9,
+            "zero-error AA must land exactly: fidelity {}",
+            run.fidelity
+        );
+        assert!(approx_eq(run.state.norm(), 1.0));
+    }
+
+    #[test]
+    fn query_count_matches_cost_model_exactly() {
+        let run = sequential_sample::<SparseState>(&dataset());
+        assert_eq!(run.queries.total_sequential(), run.cost.sequential_queries);
+        assert_eq!(run.queries.parallel_rounds, 0);
+        // every machine is queried equally often (obliviousness)
+        let per = &run.queries.per_machine;
+        assert!(per.iter().all(|&t| t == per[0]));
+    }
+
+    #[test]
+    fn dense_and_sparse_backends_agree() {
+        let ds = dataset();
+        let a = sequential_sample::<SparseState>(&ds);
+        let b = sequential_sample::<DenseState>(&ds);
+        assert!(a.state.to_table().distance_sqr(&b.state.to_table()) < 1e-15);
+        assert_eq!(a.queries, b.queries);
+    }
+
+    #[test]
+    fn output_marginal_matches_frequencies() {
+        let ds = dataset();
+        let run = sequential_sample::<SparseState>(&ds);
+        let probs = run.state.register_probabilities(run.layout.elem);
+        let m_total = ds.total_count() as f64;
+        for i in 0..ds.universe() {
+            let expect = ds.total_multiplicity(i) as f64 / m_total;
+            assert!(
+                approx_eq(probs[i as usize], expect),
+                "element {i}: {} vs {expect}",
+                probs[i as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn single_machine_reduces_to_centralized_sampling() {
+        let ds =
+            DistributedDataset::new(16, 2, vec![Multiset::from_counts([(0, 1), (7, 2), (9, 1)])])
+                .unwrap();
+        let run = sequential_sample::<SparseState>(&ds);
+        assert!(run.fidelity > 1.0 - 1e-9);
+        assert_eq!(run.queries.per_machine.len(), 1);
+    }
+
+    #[test]
+    fn updates_are_reflected_in_output() {
+        let ds = dataset();
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(0, 3)); // brand-new element 3
+        log.push(UpdateOp::delete(1, 6)); // 6: 3 → 2
+        let run = sequential_sample_with_updates::<SparseState>(&ds, &log);
+        assert!(run.fidelity > 1.0 - 1e-9);
+        // the target itself is the updated distribution
+        let updated = log.apply_to(&ds);
+        let probs = run.state.register_probabilities(run.layout.elem);
+        assert!(approx_eq(probs[3], 1.0 / updated.total_count() as f64));
+    }
+
+    #[test]
+    fn full_support_uniform_dataset_is_cheap() {
+        // c_i = ν for all i → a = 1 → zero iterations, only the initial D.
+        let n_machines = 2usize;
+        let shards: Vec<Multiset> = (0..n_machines)
+            .map(|_| Multiset::from_counts((0..4u64).map(|i| (i, 1))))
+            .collect();
+        let ds = DistributedDataset::new(4, 2, shards).unwrap();
+        let run = sequential_sample::<SparseState>(&ds);
+        assert_eq!(run.plan.total_iterations(), 0);
+        assert_eq!(run.queries.total_sequential(), 2 * n_machines as u64);
+        assert!(run.fidelity > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn measurement_sampling_follows_data_frequencies() {
+        use rand::SeedableRng;
+        let ds = dataset();
+        let run = sequential_sample::<SparseState>(&ds);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let trials = 4000usize;
+        let mut hits = vec![0usize; ds.universe() as usize];
+        for _ in 0..trials {
+            let b = run.state.sample(&mut rng);
+            hits[b[run.layout.elem] as usize] += 1;
+        }
+        let m_total = ds.total_count() as f64;
+        for i in 0..ds.universe() {
+            let expect = ds.total_multiplicity(i) as f64 / m_total;
+            let got = hits[i as usize] as f64 / trials as f64;
+            assert!(
+                (got - expect).abs() < 0.04,
+                "element {i}: empirical {got} vs {expect}"
+            );
+        }
+    }
+}

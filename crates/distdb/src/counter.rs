@@ -1,0 +1,147 @@
+//! Query accounting — the paper's cost metric.
+//!
+//! The complexity results (Theorems 4.3, 4.5, 5.1, 5.2) count **oracle
+//! applications**: `t_j` sequential applications of `O_j`/`O_j†` per machine
+//! and, in the parallel model, rounds of the composite oracle `O`/`O†`.
+//! [`QueryLedger`] records both with atomic counters so oracle code can be
+//! called through shared references from parallel benches.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Immutable snapshot of a ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LedgerSnapshot {
+    /// `t_j` — sequential oracle applications per machine.
+    pub per_machine: Vec<u64>,
+    /// Parallel composite-oracle rounds.
+    pub parallel_rounds: u64,
+}
+
+impl LedgerSnapshot {
+    /// Total sequential queries `Σ_j t_j`.
+    pub fn total_sequential(&self) -> u64 {
+        self.per_machine.iter().sum()
+    }
+}
+
+/// Atomic per-machine query counters plus a parallel-round counter.
+#[derive(Debug)]
+pub struct QueryLedger {
+    per_machine: Vec<AtomicU64>,
+    parallel_rounds: AtomicU64,
+}
+
+impl QueryLedger {
+    /// Creates a ledger for `n` machines, all counters zero.
+    pub fn new(n: usize) -> Self {
+        Self {
+            per_machine: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            parallel_rounds: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of machines tracked.
+    pub fn num_machines(&self) -> usize {
+        self.per_machine.len()
+    }
+
+    /// Records one sequential application of `O_j` or `O_j†`.
+    pub fn record_sequential(&self, machine: usize) {
+        self.per_machine[machine].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one round of the composite parallel oracle `O` or `O†`.
+    pub fn record_parallel_round(&self) {
+        self.parallel_rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// `t_j` for one machine.
+    pub fn sequential_queries(&self, machine: usize) -> u64 {
+        self.per_machine[machine].load(Ordering::Relaxed)
+    }
+
+    /// `Σ_j t_j`.
+    pub fn total_sequential(&self) -> u64 {
+        self.per_machine
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Parallel rounds so far.
+    pub fn parallel_rounds(&self) -> u64 {
+        self.parallel_rounds.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of all counters.
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        LedgerSnapshot {
+            per_machine: self
+                .per_machine
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            parallel_rounds: self.parallel_rounds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Resets every counter to zero.
+    pub fn reset(&self) {
+        for c in &self.per_machine {
+            c.store(0, Ordering::Relaxed);
+        }
+        self.parallel_rounds.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let ledger = QueryLedger::new(3);
+        ledger.record_sequential(0);
+        ledger.record_sequential(2);
+        ledger.record_sequential(2);
+        ledger.record_parallel_round();
+        let snap = ledger.snapshot();
+        assert_eq!(snap.per_machine, vec![1, 0, 2]);
+        assert_eq!(snap.total_sequential(), 3);
+        assert_eq!(snap.parallel_rounds, 1);
+        assert_eq!(ledger.sequential_queries(2), 2);
+        assert_eq!(ledger.total_sequential(), 3);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let ledger = QueryLedger::new(2);
+        ledger.record_sequential(1);
+        ledger.record_parallel_round();
+        ledger.reset();
+        assert_eq!(ledger.total_sequential(), 0);
+        assert_eq!(ledger.parallel_rounds(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        use std::sync::Arc;
+        let ledger = Arc::new(QueryLedger::new(4));
+        let mut handles = Vec::new();
+        for j in 0..4usize {
+            let l = Arc::clone(&ledger);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    l.record_sequential(j);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(ledger.total_sequential(), 4000);
+        for j in 0..4 {
+            assert_eq!(ledger.sequential_queries(j), 1000);
+        }
+    }
+}

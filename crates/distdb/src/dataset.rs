@@ -1,0 +1,390 @@
+//! The distributed dataset `{T_j}_{j∈[n]}` and its derived parameters.
+//!
+//! [`DistributedDataset`] owns one [`Multiset`] per machine plus the public
+//! constants the coordinator knows in the paper's model: the universe size
+//! `N` and the maximum capacity `ν`. [`Params`] materializes every row of
+//! the paper's Table 1 for reporting, and
+//! [`DistributedDataset::target_state`] constructs the quantum sampling
+//! state `|ψ⟩ = (1/√M) Σ_i √c_i |i⟩` (Eq. 4) directly from the data — the
+//! ground truth every algorithm's output is checked against.
+
+use crate::multiset::Multiset;
+use dqs_math::Complex64;
+use dqs_sim::{Layout, StateTable};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors raised when a dataset violates the model's constraints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatasetError {
+    /// An element id is `≥ N`.
+    ElementOutOfRange {
+        /// Offending machine index.
+        machine: usize,
+        /// Offending element.
+        element: u64,
+        /// Universe size.
+        universe: u64,
+    },
+    /// Some total multiplicity `c_i` exceeds the declared capacity `ν`.
+    CapacityExceeded {
+        /// Offending element.
+        element: u64,
+        /// Its total multiplicity across machines.
+        total: u64,
+        /// The declared capacity.
+        capacity: u64,
+    },
+    /// The dataset is empty (`M = 0`) — the sampling state is undefined.
+    EmptyDataset,
+    /// No machines.
+    NoMachines,
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::ElementOutOfRange {
+                machine,
+                element,
+                universe,
+            } => write!(
+                f,
+                "machine {machine} holds element {element} outside universe 0..{universe}"
+            ),
+            DatasetError::CapacityExceeded {
+                element,
+                total,
+                capacity,
+            } => write!(
+                f,
+                "element {element} has total multiplicity {total} > capacity ν = {capacity}"
+            ),
+            DatasetError::EmptyDataset => write!(f, "dataset is empty (M = 0)"),
+            DatasetError::NoMachines => write!(f, "dataset has no machines"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {}
+
+/// The full parameter set of the paper's Table 1 for one dataset instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Params {
+    /// `n` — number of machines.
+    pub machines: usize,
+    /// `N` — universe size.
+    pub universe: u64,
+    /// `M` — total element count (with multiplicity) over all machines.
+    pub total_count: u64,
+    /// `M_j` — per-machine element counts.
+    pub machine_counts: Vec<u64>,
+    /// `m_j` — per-machine support sizes.
+    pub machine_supports: Vec<usize>,
+    /// `ν` — declared maximum capacity.
+    pub capacity: u64,
+    /// `κ_j = max_i c_ij` — per-machine realized capacities (§5).
+    pub machine_capacities: Vec<u64>,
+    /// `max_i c_i` — realized global capacity (must be ≤ ν).
+    pub realized_capacity: u64,
+}
+
+impl Params {
+    /// The initial success amplitude squared `a = M/(νN)` of the
+    /// distributing operator (Eq. 7); always in `(0, 1]` for valid datasets.
+    pub fn initial_success_probability(&self) -> f64 {
+        self.total_count as f64 / (self.capacity as f64 * self.universe as f64)
+    }
+
+    /// Theory predictor `√(νN/M)` — the paper's per-machine query-count
+    /// scale (Theorems 4.3/4.5 up to constants).
+    pub fn sqrt_vn_over_m(&self) -> f64 {
+        (self.capacity as f64 * self.universe as f64 / self.total_count as f64).sqrt()
+    }
+}
+
+/// A dataset distributed over `n` machines with public constants `N`, `ν`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DistributedDataset {
+    universe: u64,
+    capacity: u64,
+    shards: Vec<Multiset>,
+}
+
+impl DistributedDataset {
+    /// Creates and validates a dataset.
+    ///
+    /// `capacity` is the paper's `ν ≥ max_i Σ_j c_ij`; declaring slack
+    /// (larger `ν`) is allowed and costs `√ν` more queries (Experiment E10).
+    pub fn new(universe: u64, capacity: u64, shards: Vec<Multiset>) -> Result<Self, DatasetError> {
+        if shards.is_empty() {
+            return Err(DatasetError::NoMachines);
+        }
+        for (j, shard) in shards.iter().enumerate() {
+            if let Some(e) = shard.max_element() {
+                if e >= universe {
+                    return Err(DatasetError::ElementOutOfRange {
+                        machine: j,
+                        element: e,
+                        universe,
+                    });
+                }
+            }
+        }
+        let ds = Self {
+            universe,
+            capacity,
+            shards,
+        };
+        let mut total = 0u64;
+        for i in ds.support() {
+            let c = ds.total_multiplicity(i);
+            if c > capacity {
+                return Err(DatasetError::CapacityExceeded {
+                    element: i,
+                    total: c,
+                    capacity,
+                });
+            }
+            total += c;
+        }
+        if total == 0 {
+            return Err(DatasetError::EmptyDataset);
+        }
+        Ok(ds)
+    }
+
+    /// Convenience constructor choosing `ν = max_i c_i` (tight capacity).
+    pub fn with_tight_capacity(universe: u64, shards: Vec<Multiset>) -> Result<Self, DatasetError> {
+        let mut totals: std::collections::BTreeMap<u64, u64> = Default::default();
+        for s in &shards {
+            for (e, c) in s.iter() {
+                *totals.entry(e).or_insert(0) += c;
+            }
+        }
+        let cap = totals.values().copied().max().unwrap_or(0).max(1);
+        Self::new(universe, cap, shards)
+    }
+
+    /// `n` — number of machines.
+    pub fn num_machines(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// `N` — universe size.
+    pub fn universe(&self) -> u64 {
+        self.universe
+    }
+
+    /// `ν` — declared capacity.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// The machine shards.
+    pub fn shards(&self) -> &[Multiset] {
+        &self.shards
+    }
+
+    /// `c_ij` — multiplicity of `elem` on machine `j`.
+    pub fn multiplicity(&self, elem: u64, machine: usize) -> u64 {
+        self.shards[machine].multiplicity(elem)
+    }
+
+    /// `c_i = Σ_j c_ij` — total multiplicity of `elem`.
+    pub fn total_multiplicity(&self, elem: u64) -> u64 {
+        self.shards.iter().map(|s| s.multiplicity(elem)).sum()
+    }
+
+    /// `M = Σ_i c_i`.
+    pub fn total_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.cardinality()).sum()
+    }
+
+    /// The union support across machines, sorted ascending.
+    pub fn support(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = Vec::new();
+        for s in &self.shards {
+            out.extend(s.support());
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// Replaces machine `k`'s shard (used by the hard-input generator and
+    /// by the hybrid argument, which sets `T_k = ∅`).
+    ///
+    /// Note: this bypasses re-validation against `ν` deliberately — hard
+    /// inputs are constructed to stay within capacity by Definition 5.4.
+    pub fn with_shard_replaced(&self, k: usize, shard: Multiset) -> Self {
+        let mut out = self.clone();
+        out.shards[k] = shard;
+        out
+    }
+
+    /// Table 1 parameters for this instance.
+    pub fn params(&self) -> Params {
+        let machine_counts: Vec<u64> = self.shards.iter().map(|s| s.cardinality()).collect();
+        let machine_supports: Vec<usize> = self.shards.iter().map(|s| s.support_size()).collect();
+        let machine_capacities: Vec<u64> =
+            self.shards.iter().map(|s| s.max_multiplicity()).collect();
+        let realized = self
+            .support()
+            .into_iter()
+            .map(|i| self.total_multiplicity(i))
+            .max()
+            .unwrap_or(0);
+        Params {
+            machines: self.shards.len(),
+            universe: self.universe,
+            total_count: machine_counts.iter().sum(),
+            machine_counts,
+            machine_supports,
+            capacity: self.capacity,
+            machine_capacities,
+            realized_capacity: realized,
+        }
+    }
+
+    /// Builds the target sampling state `|ψ⟩ = (1/√M) Σ_i √c_i |i⟩` (Eq. 4)
+    /// over the given layout, placing the element value in register
+    /// `elem_reg` and zeros everywhere else.
+    pub fn target_state(&self, layout: &Layout, elem_reg: usize) -> StateTable {
+        let m_total = self.total_count() as f64;
+        assert!(m_total > 0.0, "target state undefined for empty dataset");
+        let mut entries = Vec::new();
+        for i in self.support() {
+            let c = self.total_multiplicity(i) as f64;
+            let mut basis = layout.zero_basis();
+            basis[elem_reg] = i;
+            entries.push((
+                basis.into_boxed_slice(),
+                Complex64::from_real((c / m_total).sqrt()),
+            ));
+        }
+        StateTable::new(layout.clone(), entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_math::approx::approx_eq;
+
+    fn two_machine_dataset() -> DistributedDataset {
+        // T_0 = {0,0,1}, T_1 = {1,3,3,3}
+        DistributedDataset::new(
+            4,
+            4,
+            vec![
+                Multiset::from_counts([(0, 2), (1, 1)]),
+                Multiset::from_counts([(1, 1), (3, 3)]),
+            ],
+        )
+        .expect("valid dataset")
+    }
+
+    #[test]
+    fn parameters_match_table_1_definitions() {
+        let ds = two_machine_dataset();
+        let p = ds.params();
+        assert_eq!(p.machines, 2);
+        assert_eq!(p.universe, 4);
+        assert_eq!(p.total_count, 7);
+        assert_eq!(p.machine_counts, vec![3, 4]);
+        assert_eq!(p.machine_supports, vec![2, 2]);
+        assert_eq!(p.machine_capacities, vec![2, 3]);
+        assert_eq!(p.realized_capacity, 3); // c_3 = 3 is the max total
+        assert_eq!(ds.total_multiplicity(1), 2);
+    }
+
+    #[test]
+    fn support_is_union() {
+        assert_eq!(two_machine_dataset().support(), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn capacity_violation_rejected() {
+        let err = DistributedDataset::new(4, 2, vec![Multiset::from_counts([(3, 3)])]).unwrap_err();
+        assert!(matches!(
+            err,
+            DatasetError::CapacityExceeded {
+                element: 3,
+                total: 3,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn element_out_of_range_rejected() {
+        let err =
+            DistributedDataset::new(4, 10, vec![Multiset::from_counts([(4, 1)])]).unwrap_err();
+        assert!(matches!(
+            err,
+            DatasetError::ElementOutOfRange { element: 4, .. }
+        ));
+    }
+
+    #[test]
+    fn empty_dataset_rejected() {
+        let err = DistributedDataset::new(4, 1, vec![Multiset::new()]).unwrap_err();
+        assert_eq!(err, DatasetError::EmptyDataset);
+        let err2 = DistributedDataset::new(4, 1, vec![]).unwrap_err();
+        assert_eq!(err2, DatasetError::NoMachines);
+    }
+
+    #[test]
+    fn tight_capacity_picks_max_total() {
+        let ds = DistributedDataset::with_tight_capacity(
+            4,
+            vec![
+                Multiset::from_counts([(1, 1)]),
+                Multiset::from_counts([(1, 2)]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(ds.capacity(), 3);
+    }
+
+    #[test]
+    fn target_state_amplitudes_are_sqrt_frequencies() {
+        let ds = two_machine_dataset();
+        let layout = Layout::builder()
+            .register("i", 4)
+            .register("s", 5)
+            .register("b", 2)
+            .build();
+        let psi = ds.target_state(&layout, 0);
+        assert!(approx_eq(psi.norm(), 1.0));
+        // c = (2, 2, 0, 3), M = 7
+        assert!(approx_eq(
+            psi.amplitude(&[0, 0, 0]).re,
+            (2.0f64 / 7.0).sqrt()
+        ));
+        assert!(approx_eq(
+            psi.amplitude(&[3, 0, 0]).re,
+            (3.0f64 / 7.0).sqrt()
+        ));
+        assert!(approx_eq(psi.amplitude(&[2, 0, 0]).re, 0.0));
+    }
+
+    #[test]
+    fn params_predictors() {
+        let ds = two_machine_dataset();
+        let p = ds.params();
+        // a = M/(νN) = 7/16
+        assert!(approx_eq(p.initial_success_probability(), 7.0 / 16.0));
+        assert!(approx_eq(p.sqrt_vn_over_m(), (16.0f64 / 7.0).sqrt()));
+    }
+
+    #[test]
+    fn with_shard_replaced_swaps_one_machine() {
+        let ds = two_machine_dataset();
+        let empty = ds.with_shard_replaced(1, Multiset::new());
+        assert_eq!(empty.total_count(), 3);
+        assert_eq!(empty.shards()[0], ds.shards()[0]);
+        assert!(empty.shards()[1].is_empty());
+    }
+}

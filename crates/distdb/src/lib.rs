@@ -1,0 +1,38 @@
+//! # dqs-db
+//!
+//! The distributed database model from §3 of *Optimal quantum sampling on
+//! distributed databases* (SPAA 2025): `n` machines, each holding a multiset
+//! `T_j` over the data universe `[N]` and exposing only the counting oracle
+//!
+//! ```text
+//! O_j |i⟩|s⟩ = |i⟩|(s + c_ij) mod (ν+1)⟩          (Eq. 1)
+//! ```
+//!
+//! plus its controlled variant `Ô_j` and the composite parallel oracle `O`
+//! (Eqs. 2–3). The coordinator is charged **one query** per `O_j`/`O_j†`
+//! application in the sequential model and **one round** per composite
+//! `O`/`O†` application in the parallel model; a [`counter::QueryLedger`]
+//! records both, which is the paper's entire cost metric.
+//!
+//! The crate also implements dynamic updates (§3's remark): composing the
+//! element-controlled increment `U`/`U†` onto an oracle is equivalent to
+//! editing the underlying multiset.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod counter;
+pub mod dataset;
+pub mod multiset;
+pub mod oracle;
+pub mod stats;
+pub mod tsv;
+pub mod update;
+
+pub use counter::{LedgerSnapshot, QueryLedger};
+pub use dataset::{DatasetError, DistributedDataset, Params};
+pub use multiset::Multiset;
+pub use oracle::{OracleRegisters, OracleSet, ParallelRegisters};
+pub use stats::{dataset_stats, DatasetStats};
+pub use tsv::{from_tsv, to_tsv, TsvError};
+pub use update::{UpdateLog, UpdateOp};

@@ -1,0 +1,240 @@
+//! Multisets over the data universe `[N]` (represented as `0..N`).
+//!
+//! The paper's `T_j` is a multiset; `c_ij` is the multiplicity of element
+//! `i` in `T_j`, `M_j = |T_j|` the cardinality counting multiplicity, and
+//! `m_j = |Supp(T_j)|` the number of distinct elements (Table 1). We store
+//! counts in a `BTreeMap` so iteration is deterministic, which keeps every
+//! experiment reproducible bit-for-bit.
+//!
+//! Elements are `0`-based here (`0..N`) whereas the paper writes `[N] =
+//! {1,…,N}`; this is a pure relabeling.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A multiset of elements drawn from `0..universe`.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Multiset {
+    counts: BTreeMap<u64, u64>,
+}
+
+impl Multiset {
+    /// The empty multiset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from `(element, multiplicity)` pairs; zero multiplicities are
+    /// dropped, duplicate elements are summed.
+    pub fn from_counts(pairs: impl IntoIterator<Item = (u64, u64)>) -> Self {
+        let mut m = Self::new();
+        for (elem, k) in pairs {
+            m.insert_many(elem, k);
+        }
+        m
+    }
+
+    /// Builds from a list of elements (each occurrence counts once).
+    pub fn from_elements(elems: impl IntoIterator<Item = u64>) -> Self {
+        Self::from_counts(elems.into_iter().map(|e| (e, 1)))
+    }
+
+    /// Multiplicity `c_i` of an element (0 when absent).
+    pub fn multiplicity(&self, elem: u64) -> u64 {
+        self.counts.get(&elem).copied().unwrap_or(0)
+    }
+
+    /// Adds `k` occurrences of `elem`.
+    pub fn insert_many(&mut self, elem: u64, k: u64) {
+        if k > 0 {
+            *self.counts.entry(elem).or_insert(0) += k;
+        }
+    }
+
+    /// Adds one occurrence.
+    pub fn insert(&mut self, elem: u64) {
+        self.insert_many(elem, 1);
+    }
+
+    /// Removes up to `k` occurrences; returns how many were actually removed.
+    pub fn remove_many(&mut self, elem: u64, k: u64) -> u64 {
+        match self.counts.get_mut(&elem) {
+            None => 0,
+            Some(c) => {
+                let removed = (*c).min(k);
+                *c -= removed;
+                if *c == 0 {
+                    self.counts.remove(&elem);
+                }
+                removed
+            }
+        }
+    }
+
+    /// Removes one occurrence; returns whether one was present.
+    pub fn remove(&mut self, elem: u64) -> bool {
+        self.remove_many(elem, 1) == 1
+    }
+
+    /// Cardinality `|T| = Σ_i c_i` (counting multiplicity) — the paper's `M_j`.
+    pub fn cardinality(&self) -> u64 {
+        self.counts.values().sum()
+    }
+
+    /// Support size `|Supp(T)|` — the paper's `m_j`.
+    pub fn support_size(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Largest multiplicity `max_i c_i` — the per-machine capacity `κ_j`
+    /// actually used (0 for an empty multiset).
+    pub fn max_multiplicity(&self) -> u64 {
+        self.counts.values().copied().max().unwrap_or(0)
+    }
+
+    /// Largest element present, if any.
+    pub fn max_element(&self) -> Option<u64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Iterates `(element, multiplicity)` in increasing element order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(e, c)| (*e, *c))
+    }
+
+    /// Iterates the support (distinct elements) in increasing order.
+    pub fn support(&self) -> impl Iterator<Item = u64> + '_ {
+        self.counts.keys().copied()
+    }
+
+    /// Union (multiplicities add).
+    pub fn union(&self, other: &Multiset) -> Multiset {
+        let mut out = self.clone();
+        for (e, c) in other.iter() {
+            out.insert_many(e, c);
+        }
+        out
+    }
+
+    /// Relabels elements through `sigma` (must be injective on the support);
+    /// used to build the paper's hard inputs `σ̃^k(T)` (Definition 5.5).
+    pub fn relabel(&self, mut sigma: impl FnMut(u64) -> u64) -> Multiset {
+        let mut out = Multiset::new();
+        for (e, c) in self.iter() {
+            let img = sigma(e);
+            assert_eq!(
+                out.multiplicity(img),
+                0,
+                "relabel map is not injective on the support (collision at {img})"
+            );
+            out.insert_many(img, c);
+        }
+        out
+    }
+}
+
+impl FromIterator<u64> for Multiset {
+    fn from_iter<I: IntoIterator<Item = u64>>(iter: I) -> Self {
+        Self::from_elements(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_multiplicity() {
+        let mut m = Multiset::new();
+        m.insert(3);
+        m.insert(3);
+        m.insert_many(7, 5);
+        assert_eq!(m.multiplicity(3), 2);
+        assert_eq!(m.multiplicity(7), 5);
+        assert_eq!(m.multiplicity(0), 0);
+        assert!(m.remove(3));
+        assert_eq!(m.multiplicity(3), 1);
+        assert!(m.remove(3));
+        assert!(!m.remove(3), "removing from empty slot returns false");
+        assert_eq!(m.support_size(), 1);
+    }
+
+    #[test]
+    fn remove_many_clamps() {
+        let mut m = Multiset::from_counts([(1, 3)]);
+        assert_eq!(m.remove_many(1, 10), 3);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn cardinality_and_support() {
+        let m = Multiset::from_counts([(0, 2), (5, 1), (9, 4)]);
+        assert_eq!(m.cardinality(), 7);
+        assert_eq!(m.support_size(), 3);
+        assert_eq!(m.max_multiplicity(), 4);
+        assert_eq!(m.max_element(), Some(9));
+    }
+
+    #[test]
+    fn from_counts_merges_and_drops_zero() {
+        let m = Multiset::from_counts([(1, 0), (2, 1), (2, 2)]);
+        assert_eq!(m.multiplicity(1), 0);
+        assert_eq!(m.multiplicity(2), 3);
+        assert_eq!(m.support_size(), 1);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let m = Multiset::from_elements([9, 1, 5, 1]);
+        let elems: Vec<u64> = m.support().collect();
+        assert_eq!(elems, vec![1, 5, 9]);
+        let pairs: Vec<(u64, u64)> = m.iter().collect();
+        assert_eq!(pairs, vec![(1, 2), (5, 1), (9, 1)]);
+    }
+
+    #[test]
+    fn union_adds_multiplicities() {
+        let a = Multiset::from_counts([(1, 2), (2, 1)]);
+        let b = Multiset::from_counts([(2, 2), (3, 1)]);
+        let u = a.union(&b);
+        assert_eq!(u.multiplicity(1), 2);
+        assert_eq!(u.multiplicity(2), 3);
+        assert_eq!(u.multiplicity(3), 1);
+        assert_eq!(u.cardinality(), a.cardinality() + b.cardinality());
+    }
+
+    #[test]
+    fn relabel_moves_counts() {
+        let m = Multiset::from_counts([(0, 1), (1, 3)]);
+        let r = m.relabel(|e| e + 10);
+        assert_eq!(r.multiplicity(10), 1);
+        assert_eq!(r.multiplicity(11), 3);
+        assert_eq!(r.cardinality(), m.cardinality());
+    }
+
+    #[test]
+    #[should_panic(expected = "not injective")]
+    fn relabel_rejects_collisions() {
+        let m = Multiset::from_counts([(0, 1), (1, 1)]);
+        let _ = m.relabel(|_| 5);
+    }
+
+    #[test]
+    fn from_iterator_collect() {
+        let m: Multiset = [1u64, 1, 2].into_iter().collect();
+        assert_eq!(m.multiplicity(1), 2);
+        assert_eq!(m.multiplicity(2), 1);
+    }
+
+    #[test]
+    fn debug_format_shows_counts() {
+        let m = Multiset::from_counts([(3, 2), (8, 1)]);
+        let repr = format!("{m:?}");
+        assert!(repr.contains('3') && repr.contains('8'));
+    }
+}

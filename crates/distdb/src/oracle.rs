@@ -1,0 +1,416 @@
+//! The counting oracles — the only quantum operations machines implement.
+//!
+//! * [`OracleSet::apply_oj`] — the sequential oracle `O_j` of Eq. (1):
+//!   `O_j|i⟩|s⟩ = |i⟩|(s + c_ij) mod (ν+1)⟩`.
+//! * [`OracleSet::apply_hat_oj`] — the flag-controlled `Ô_j` of Eq. (2):
+//!   adds `c_ij·b` where `b ∈ {0,1}` is a control flag.
+//! * [`OracleSet::apply_parallel_round`] — the composite parallel oracle
+//!   `O = ⊗_j Ô_j` of Eq. (3), applied to `n` disjoint register triples in
+//!   one round.
+//!
+//! Every application is charged to the [`QueryLedger`]: one sequential query
+//! per `O_j`/`Ô_j` (and per machine inside an explicitly sequentialized
+//! round), one round per composite `O`. Oracles read multiplicities through
+//! an optional [`UpdateLog`], realizing the paper's `U`/`U†` dynamic-update
+//! composition without rebuilding the database.
+
+use crate::counter::QueryLedger;
+use crate::dataset::DistributedDataset;
+use crate::update::UpdateLog;
+use dqs_sim::QuantumState;
+
+/// Register assignment for the sequential oracle: which layout registers
+/// hold the element `i` and the count `s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OracleRegisters {
+    /// Register holding the queried element.
+    pub elem: usize,
+    /// Register accumulating the multiplicity (dimension must be `ν+1`).
+    pub count: usize,
+}
+
+/// Register assignment for the parallel model: machine `j` receives the
+/// triple `(elem[j], count[j], flag[j])`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParallelRegisters {
+    /// Per-machine element registers.
+    pub elem: Vec<usize>,
+    /// Per-machine count registers.
+    pub count: Vec<usize>,
+    /// Per-machine control flags (dimension 2).
+    pub flag: Vec<usize>,
+}
+
+impl ParallelRegisters {
+    /// Number of machines addressed.
+    pub fn machines(&self) -> usize {
+        debug_assert_eq!(self.elem.len(), self.count.len());
+        debug_assert_eq!(self.elem.len(), self.flag.len());
+        self.elem.len()
+    }
+}
+
+/// A live view of the distributed database's oracles, with query accounting.
+pub struct OracleSet<'a> {
+    dataset: &'a DistributedDataset,
+    ledger: &'a QueryLedger,
+    updates: Option<&'a UpdateLog>,
+}
+
+impl<'a> OracleSet<'a> {
+    /// Oracles over a static dataset.
+    pub fn new(dataset: &'a DistributedDataset, ledger: &'a QueryLedger) -> Self {
+        assert_eq!(
+            ledger.num_machines(),
+            dataset.num_machines(),
+            "ledger must track the same number of machines"
+        );
+        Self {
+            dataset,
+            ledger,
+            updates: None,
+        }
+    }
+
+    /// Oracles over a dataset with a dynamic-update log composed on top
+    /// (§3's `U`/`U†` mechanism).
+    pub fn with_updates(
+        dataset: &'a DistributedDataset,
+        ledger: &'a QueryLedger,
+        updates: &'a UpdateLog,
+    ) -> Self {
+        let mut s = Self::new(dataset, ledger);
+        s.updates = Some(updates);
+        s
+    }
+
+    /// The underlying dataset.
+    pub fn dataset(&self) -> &DistributedDataset {
+        self.dataset
+    }
+
+    /// The modulus `ν+1` of the count register.
+    pub fn modulus(&self) -> u64 {
+        self.dataset.capacity() + 1
+    }
+
+    /// The multiplicity the oracle answers with (base counts plus any
+    /// logged dynamic updates).
+    pub fn effective_multiplicity(&self, elem: u64, machine: usize) -> u64 {
+        let base = self.dataset.multiplicity(elem, machine);
+        let eff = match self.updates {
+            Some(log) => log.effective_multiplicity(base, machine, elem),
+            None => base,
+        };
+        debug_assert!(
+            eff <= self.dataset.capacity(),
+            "effective multiplicity {eff} exceeds capacity ν = {}",
+            self.dataset.capacity()
+        );
+        eff
+    }
+
+    /// Applies `O_j` (or `O_j†` when `inverse`) on `(regs.elem, regs.count)`.
+    /// Charges one sequential query to machine `j`.
+    pub fn apply_oj<S: QuantumState>(
+        &self,
+        state: &mut S,
+        machine: usize,
+        regs: OracleRegisters,
+        inverse: bool,
+    ) {
+        let modulus = self.modulus();
+        debug_assert_eq!(
+            state.layout().dim(regs.count),
+            modulus,
+            "count register dimension must be ν+1"
+        );
+        self.ledger.record_sequential(machine);
+        state.apply_permutation(|b| {
+            let c = self.effective_multiplicity(b[regs.elem], machine) % modulus;
+            let add = if inverse { modulus - c } else { c } % modulus;
+            b[regs.count] = (b[regs.count] + add) % modulus;
+        });
+    }
+
+    /// Applies the flag-controlled `Ô_j` (Eq. 2): adds `c_ij` only when the
+    /// flag register holds 1. Charges one sequential query.
+    pub fn apply_hat_oj<S: QuantumState>(
+        &self,
+        state: &mut S,
+        machine: usize,
+        elem_reg: usize,
+        count_reg: usize,
+        flag_reg: usize,
+        inverse: bool,
+    ) {
+        let modulus = self.modulus();
+        self.ledger.record_sequential(machine);
+        state.apply_permutation(|b| {
+            if b[flag_reg] == 1 {
+                let c = self.effective_multiplicity(b[elem_reg], machine) % modulus;
+                let add = if inverse { modulus - c } else { c } % modulus;
+                b[count_reg] = (b[count_reg] + add) % modulus;
+            }
+        });
+    }
+
+    /// Applies `O_1 … O_n` (or the inverses, in reverse order) on a shared
+    /// register pair — the first/third steps of Lemma 4.2. Charges `n`
+    /// sequential queries.
+    pub fn apply_all_sequential<S: QuantumState>(
+        &self,
+        state: &mut S,
+        regs: OracleRegisters,
+        inverse: bool,
+    ) {
+        let n = self.dataset.num_machines();
+        if inverse {
+            for j in (0..n).rev() {
+                self.apply_oj(state, j, regs, true);
+            }
+        } else {
+            for j in 0..n {
+                self.apply_oj(state, j, regs, false);
+            }
+        }
+    }
+
+    /// Applies the composite parallel oracle `O = ⊗_j Ô_j` (Eq. 3) — every
+    /// machine acts on its own register triple simultaneously. Charges one
+    /// parallel round.
+    pub fn apply_parallel_round<S: QuantumState>(
+        &self,
+        state: &mut S,
+        regs: &ParallelRegisters,
+        inverse: bool,
+    ) {
+        let n = self.dataset.num_machines();
+        assert_eq!(
+            regs.machines(),
+            n,
+            "parallel register triples must match the machine count"
+        );
+        let modulus = self.modulus();
+        self.ledger.record_parallel_round();
+        state.apply_permutation(|b| {
+            for j in 0..n {
+                if b[regs.flag[j]] == 1 {
+                    let c = self.effective_multiplicity(b[regs.elem[j]], j) % modulus;
+                    let add = if inverse { modulus - c } else { c } % modulus;
+                    b[regs.count[j]] = (b[regs.count[j]] + add) % modulus;
+                }
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiset::Multiset;
+    use crate::update::UpdateOp;
+    use dqs_math::approx::approx_eq_c;
+    use dqs_math::Complex64;
+    use dqs_sim::{Layout, SparseState};
+
+    fn dataset() -> DistributedDataset {
+        DistributedDataset::new(
+            4,
+            4,
+            vec![
+                Multiset::from_counts([(0, 2), (1, 1)]),
+                Multiset::from_counts([(1, 1), (3, 3)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn seq_layout(ds: &DistributedDataset) -> Layout {
+        Layout::builder()
+            .register("i", ds.universe())
+            .register("s", ds.capacity() + 1)
+            .register("b", 2)
+            .build()
+    }
+
+    const REGS: OracleRegisters = OracleRegisters { elem: 0, count: 1 };
+
+    #[test]
+    fn oracle_adds_multiplicity() {
+        let ds = dataset();
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        let mut s = SparseState::from_basis(seq_layout(&ds), &[0, 0, 0]);
+        oracles.apply_oj(&mut s, 0, REGS, false);
+        assert!(approx_eq_c(s.amplitude(&[0, 2, 0]), Complex64::ONE));
+        assert_eq!(ledger.sequential_queries(0), 1);
+    }
+
+    #[test]
+    fn oracle_wraps_mod_capacity_plus_one() {
+        let ds = dataset();
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        // start with count register = 4 (= ν), adding c_{3,1} = 3 wraps mod 5
+        let mut s = SparseState::from_basis(seq_layout(&ds), &[3, 4, 0]);
+        oracles.apply_oj(&mut s, 1, REGS, false);
+        assert!(approx_eq_c(s.amplitude(&[3, 2, 0]), Complex64::ONE));
+    }
+
+    #[test]
+    fn inverse_oracle_undoes_forward() {
+        let ds = dataset();
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        let layout = seq_layout(&ds);
+        let mut s = SparseState::from_basis(layout.clone(), &[0, 0, 0]);
+        // superpose the element register first
+        s.apply_register_unitary(0, &dqs_sim::gates::dft(4));
+        let before = s.to_table();
+        oracles.apply_oj(&mut s, 0, REGS, false);
+        oracles.apply_oj(&mut s, 0, REGS, true);
+        assert!(s.to_table().distance_sqr(&before) < 1e-18);
+        assert_eq!(ledger.sequential_queries(0), 2);
+    }
+
+    #[test]
+    fn all_sequential_accumulates_total_multiplicity() {
+        let ds = dataset();
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        // element 1 appears once on each machine: total 2
+        let mut s = SparseState::from_basis(seq_layout(&ds), &[1, 0, 0]);
+        oracles.apply_all_sequential(&mut s, REGS, false);
+        assert!(approx_eq_c(s.amplitude(&[1, 2, 0]), Complex64::ONE));
+        assert_eq!(ledger.total_sequential(), 2);
+    }
+
+    #[test]
+    fn hat_oracle_respects_flag() {
+        let ds = dataset();
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        let layout = seq_layout(&ds);
+        // flag = 0 → identity
+        let mut s0 = SparseState::from_basis(layout.clone(), &[0, 0, 0]);
+        oracles.apply_hat_oj(&mut s0, 0, 0, 1, 2, false);
+        assert!(approx_eq_c(s0.amplitude(&[0, 0, 0]), Complex64::ONE));
+        // flag = 1 → adds c_{0,0} = 2
+        let mut s1 = SparseState::from_basis(layout, &[0, 0, 1]);
+        oracles.apply_hat_oj(&mut s1, 0, 0, 1, 2, false);
+        assert!(approx_eq_c(s1.amplitude(&[0, 2, 1]), Complex64::ONE));
+    }
+
+    #[test]
+    fn parallel_round_equals_n_controlled_sequential_queries() {
+        let ds = dataset();
+        let layout = Layout::builder()
+            .register("i0", ds.universe())
+            .register("s0", ds.capacity() + 1)
+            .register("b0", 2)
+            .register("i1", ds.universe())
+            .register("s1", ds.capacity() + 1)
+            .register("b1", 2)
+            .build();
+        let pregs = ParallelRegisters {
+            elem: vec![0, 3],
+            count: vec![1, 4],
+            flag: vec![2, 5],
+        };
+        // query element 1 on machine 0 and element 3 on machine 1, both active
+        let start = [1, 0, 1, 3, 0, 1];
+
+        let ledger_p = QueryLedger::new(2);
+        let oracles_p = OracleSet::new(&ds, &ledger_p);
+        let mut sp = SparseState::from_basis(layout.clone(), &start);
+        oracles_p.apply_parallel_round(&mut sp, &pregs, false);
+
+        let ledger_s = QueryLedger::new(2);
+        let oracles_s = OracleSet::new(&ds, &ledger_s);
+        let mut ss = SparseState::from_basis(layout, &start);
+        oracles_s.apply_hat_oj(&mut ss, 0, 0, 1, 2, false);
+        oracles_s.apply_hat_oj(&mut ss, 1, 3, 4, 5, false);
+
+        assert!(sp.to_table().distance_sqr(&ss.to_table()) < 1e-18);
+        assert_eq!(ledger_p.parallel_rounds(), 1);
+        assert_eq!(ledger_p.total_sequential(), 0);
+        assert_eq!(ledger_s.total_sequential(), 2);
+        // c_{1,0} = 1 and c_{3,1} = 3
+        assert!(approx_eq_c(
+            sp.amplitude(&[1, 1, 1, 3, 3, 1]),
+            Complex64::ONE
+        ));
+    }
+
+    #[test]
+    fn parallel_inverse_round_trips() {
+        let ds = dataset();
+        let layout = Layout::builder()
+            .register("i0", ds.universe())
+            .register("s0", ds.capacity() + 1)
+            .register("b0", 2)
+            .register("i1", ds.universe())
+            .register("s1", ds.capacity() + 1)
+            .register("b1", 2)
+            .build();
+        let pregs = ParallelRegisters {
+            elem: vec![0, 3],
+            count: vec![1, 4],
+            flag: vec![2, 5],
+        };
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        let mut s = SparseState::from_basis(layout, &[3, 0, 1, 3, 0, 1]);
+        let before = s.to_table();
+        oracles.apply_parallel_round(&mut s, &pregs, false);
+        oracles.apply_parallel_round(&mut s, &pregs, true);
+        assert!(s.to_table().distance_sqr(&before) < 1e-18);
+        assert_eq!(ledger.parallel_rounds(), 2);
+    }
+
+    #[test]
+    fn update_log_changes_oracle_answers() {
+        let ds = dataset();
+        let ledger = QueryLedger::new(2);
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(0, 0)); // c_{0,0}: 2 → 3
+        log.push(UpdateOp::delete(1, 3)); // c_{3,1}: 3 → 2
+        let oracles = OracleSet::with_updates(&ds, &ledger, &log);
+        assert_eq!(oracles.effective_multiplicity(0, 0), 3);
+        assert_eq!(oracles.effective_multiplicity(3, 1), 2);
+
+        // Composed oracle ≡ oracle over the rebuilt dataset.
+        let rebuilt = log.apply_to(&ds);
+        let ledger2 = QueryLedger::new(2);
+        let oracles2 = OracleSet::new(&rebuilt, &ledger2);
+        let layout = seq_layout(&ds);
+        for elem in 0..4u64 {
+            let mut a = SparseState::from_basis(layout.clone(), &[elem, 0, 0]);
+            let mut b = a.clone();
+            oracles.apply_oj(&mut a, 0, REGS, false);
+            oracles2.apply_oj(&mut b, 0, REGS, false);
+            assert!(
+                a.to_table().distance_sqr(&b.to_table()) < 1e-18,
+                "elem {elem}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_machine_oracle_is_identity() {
+        let ds =
+            DistributedDataset::new(4, 2, vec![Multiset::from_counts([(0, 1)]), Multiset::new()])
+                .unwrap();
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        let layout = seq_layout(&ds);
+        let mut s = SparseState::from_basis(layout, &[2, 1, 0]);
+        let before = s.to_table();
+        oracles.apply_oj(&mut s, 1, REGS, false);
+        assert!(s.to_table().distance_sqr(&before) < 1e-18);
+        // The query is still charged — obliviousness means the coordinator
+        // cannot skip machines it knows nothing about.
+        assert_eq!(ledger.sequential_queries(1), 1);
+    }
+}

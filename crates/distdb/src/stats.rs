@@ -1,0 +1,111 @@
+//! Dataset statistics: distribution shape and placement balance.
+//!
+//! These quantify *why* workloads differ in sampling cost: `√(νN/M)` is
+//! driven by concentration (a skewed distribution forces large `ν`), and
+//! the lower bound's per-machine terms are driven by placement skew
+//! (`κ_j`). Used by the Table-1 experiment and the examples.
+
+use crate::dataset::DistributedDataset;
+
+/// Shape and balance statistics for one dataset instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Shannon entropy (bits) of the sampling distribution `c_i/M`.
+    pub entropy_bits: f64,
+    /// Maximum possible entropy `log2 |support|`.
+    pub max_entropy_bits: f64,
+    /// Collision probability `Σ_i (c_i/M)²` (Rényi-2 mass).
+    pub collision_probability: f64,
+    /// Fraction of mass on the single heaviest element.
+    pub top_element_mass: f64,
+    /// Load imbalance: `max_j M_j / mean_j M_j` (1.0 = perfectly even).
+    pub load_imbalance: f64,
+    /// Capacity utilization: `max_i c_i / ν` (1.0 = tight capacity).
+    pub capacity_utilization: f64,
+}
+
+/// Computes [`DatasetStats`].
+pub fn dataset_stats(ds: &DistributedDataset) -> DatasetStats {
+    let m_total = ds.total_count() as f64;
+    let support = ds.support();
+    let mut entropy = 0.0;
+    let mut collision = 0.0;
+    let mut top = 0.0f64;
+    for &i in &support {
+        let p = ds.total_multiplicity(i) as f64 / m_total;
+        entropy -= p * p.log2();
+        collision += p * p;
+        top = top.max(p);
+    }
+    let params = ds.params();
+    let mean_load = m_total / params.machines as f64;
+    let max_load = params.machine_counts.iter().copied().max().unwrap_or(0) as f64;
+    DatasetStats {
+        entropy_bits: entropy,
+        max_entropy_bits: (support.len() as f64).log2(),
+        collision_probability: collision,
+        top_element_mass: top,
+        load_imbalance: if mean_load > 0.0 {
+            max_load / mean_load
+        } else {
+            0.0
+        },
+        capacity_utilization: params.realized_capacity as f64 / params.capacity as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::multiset::Multiset;
+
+    fn approx(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn uniform_distribution_maximizes_entropy() {
+        let ds =
+            DistributedDataset::new(8, 1, vec![Multiset::from_counts((0..8u64).map(|i| (i, 1)))])
+                .unwrap();
+        let s = dataset_stats(&ds);
+        assert!(approx(s.entropy_bits, 3.0));
+        assert!(approx(s.max_entropy_bits, 3.0));
+        assert!(approx(s.collision_probability, 1.0 / 8.0));
+        assert!(approx(s.top_element_mass, 1.0 / 8.0));
+    }
+
+    #[test]
+    fn singleton_has_zero_entropy_full_collision() {
+        let ds = DistributedDataset::new(8, 5, vec![Multiset::from_counts([(3, 5)])]).unwrap();
+        let s = dataset_stats(&ds);
+        assert!(approx(s.entropy_bits, 0.0));
+        assert!(approx(s.collision_probability, 1.0));
+        assert!(approx(s.top_element_mass, 1.0));
+        assert!(approx(s.capacity_utilization, 1.0));
+    }
+
+    #[test]
+    fn load_imbalance_detects_skewed_placement() {
+        let even = DistributedDataset::new(
+            8,
+            2,
+            vec![
+                Multiset::from_counts([(0, 2)]),
+                Multiset::from_counts([(1, 2)]),
+            ],
+        )
+        .unwrap();
+        assert!(approx(dataset_stats(&even).load_imbalance, 1.0));
+        let skewed =
+            DistributedDataset::new(8, 4, vec![Multiset::from_counts([(0, 4)]), Multiset::new()])
+                .unwrap();
+        assert!(approx(dataset_stats(&skewed).load_imbalance, 2.0));
+    }
+
+    #[test]
+    fn capacity_slack_lowers_utilization() {
+        let ds = DistributedDataset::new(8, 10, vec![Multiset::from_counts([(0, 2)])]).unwrap();
+        assert!(approx(dataset_stats(&ds).capacity_utilization, 0.2));
+    }
+}

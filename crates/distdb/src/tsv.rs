@@ -1,0 +1,190 @@
+//! Plain-text (TSV) persistence for datasets.
+//!
+//! A deliberately simple, diff-friendly format so experiment inputs can be
+//! committed, inspected, and round-tripped without extra dependencies:
+//!
+//! ```text
+//! # dqs-dataset v1
+//! universe\t<N>
+//! capacity\t<ν>
+//! machines\t<n>
+//! <machine>\t<element>\t<multiplicity>
+//! …
+//! ```
+
+use crate::dataset::{DatasetError, DistributedDataset};
+use crate::multiset::Multiset;
+use std::fmt::Write as _;
+
+/// Errors from parsing the TSV format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TsvError {
+    /// Missing or malformed header line.
+    BadHeader(String),
+    /// A data line did not parse.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// The offending content.
+        content: String,
+    },
+    /// The parsed data violates the model (propagated).
+    Invalid(String),
+}
+
+impl std::fmt::Display for TsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsvError::BadHeader(s) => write!(f, "bad header: {s}"),
+            TsvError::BadLine { line, content } => write!(f, "bad line {line}: {content:?}"),
+            TsvError::Invalid(s) => write!(f, "invalid dataset: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for TsvError {}
+
+impl From<DatasetError> for TsvError {
+    fn from(e: DatasetError) -> Self {
+        TsvError::Invalid(e.to_string())
+    }
+}
+
+/// Serializes a dataset to the TSV format (deterministic ordering).
+pub fn to_tsv(ds: &DistributedDataset) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# dqs-dataset v1");
+    let _ = writeln!(out, "universe\t{}", ds.universe());
+    let _ = writeln!(out, "capacity\t{}", ds.capacity());
+    let _ = writeln!(out, "machines\t{}", ds.num_machines());
+    for (j, shard) in ds.shards().iter().enumerate() {
+        for (elem, count) in shard.iter() {
+            let _ = writeln!(out, "{j}\t{elem}\t{count}");
+        }
+    }
+    out
+}
+
+/// Parses the TSV format back into a validated dataset.
+pub fn from_tsv(text: &str) -> Result<DistributedDataset, TsvError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| TsvError::BadHeader("empty input".into()))?;
+    if header.trim() != "# dqs-dataset v1" {
+        return Err(TsvError::BadHeader(header.to_string()));
+    }
+    let mut universe: Option<u64> = None;
+    let mut capacity: Option<u64> = None;
+    let mut machines: Option<usize> = None;
+    let mut triples: Vec<(usize, u64, u64)> = Vec::new();
+
+    for (idx, raw) in lines {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        let bad = || TsvError::BadLine {
+            line: idx + 1,
+            content: raw.to_string(),
+        };
+        match fields.as_slice() {
+            ["universe", v] => universe = Some(v.parse().map_err(|_| bad())?),
+            ["capacity", v] => capacity = Some(v.parse().map_err(|_| bad())?),
+            ["machines", v] => machines = Some(v.parse().map_err(|_| bad())?),
+            [j, e, c] => {
+                let j: usize = j.parse().map_err(|_| bad())?;
+                let e: u64 = e.parse().map_err(|_| bad())?;
+                let c: u64 = c.parse().map_err(|_| bad())?;
+                triples.push((j, e, c));
+            }
+            _ => return Err(bad()),
+        }
+    }
+    let universe = universe.ok_or_else(|| TsvError::BadHeader("missing universe".into()))?;
+    let capacity = capacity.ok_or_else(|| TsvError::BadHeader("missing capacity".into()))?;
+    let machines = machines.ok_or_else(|| TsvError::BadHeader("missing machines".into()))?;
+    let mut shards = vec![Multiset::new(); machines];
+    for (j, e, c) in triples {
+        if j >= machines {
+            return Err(TsvError::Invalid(format!(
+                "machine index {j} out of range 0..{machines}"
+            )));
+        }
+        shards[j].insert_many(e, c);
+    }
+    Ok(DistributedDataset::new(universe, capacity, shards)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset() -> DistributedDataset {
+        DistributedDataset::new(
+            16,
+            4,
+            vec![
+                Multiset::from_counts([(0, 2), (9, 1)]),
+                Multiset::from_counts([(9, 3)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let ds = dataset();
+        let text = to_tsv(&ds);
+        let back = from_tsv(&text).unwrap();
+        assert_eq!(ds, back);
+    }
+
+    #[test]
+    fn format_is_deterministic_and_readable() {
+        let text = to_tsv(&dataset());
+        assert!(text.starts_with("# dqs-dataset v1\n"));
+        assert!(text.contains("universe\t16"));
+        assert!(text.contains("0\t9\t1"));
+        assert_eq!(to_tsv(&dataset()), text);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let mut text = to_tsv(&dataset());
+        text.push_str("\n# trailing comment\n\n");
+        assert_eq!(from_tsv(&text).unwrap(), dataset());
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert!(matches!(
+            from_tsv("not a dataset"),
+            Err(TsvError::BadHeader(_))
+        ));
+        assert!(matches!(from_tsv(""), Err(TsvError::BadHeader(_))));
+    }
+
+    #[test]
+    fn bad_line_reports_position() {
+        let text = "# dqs-dataset v1\nuniverse\t8\ncapacity\t2\nmachines\t1\n0\tx\t1\n";
+        match from_tsv(text) {
+            Err(TsvError::BadLine { line, .. }) => assert_eq!(line, 5),
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_machine_rejected() {
+        let text = "# dqs-dataset v1\nuniverse\t8\ncapacity\t2\nmachines\t1\n3\t0\t1\n";
+        assert!(matches!(from_tsv(text), Err(TsvError::Invalid(_))));
+    }
+
+    #[test]
+    fn invalid_dataset_propagates() {
+        // capacity violated: element 0 total 5 > ν = 2
+        let text = "# dqs-dataset v1\nuniverse\t8\ncapacity\t2\nmachines\t1\n0\t0\t5\n";
+        assert!(matches!(from_tsv(text), Err(TsvError::Invalid(_))));
+    }
+}

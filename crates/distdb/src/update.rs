@@ -1,0 +1,194 @@
+//! Dynamic database updates (§3's remark).
+//!
+//! The paper observes that when `c_ij` changes by ±1 the oracle `O_j` can be
+//! updated by composing the element-controlled increment `U` (or `U†`),
+//! where `U|i⟩|s⟩ = |i⟩|(s+1) mod (ν+1)⟩` controlled on the element register
+//! holding `i`. We model a stream of such updates as an [`UpdateLog`]; the
+//! oracle layer applies the base counts and then the net logged delta, which
+//! is exactly the composition `U^{±1}·…·O_j`. Experiment E9 verifies that an
+//! oracle with a log behaves identically to an oracle over the edited
+//! dataset.
+
+use crate::dataset::DistributedDataset;
+use crate::multiset::Multiset;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One dynamic update: the multiplicity of `element` on `machine` changes
+/// by `delta` (±1 in the paper; we allow any step and treat it as `|delta|`
+/// composed applications of `U` or `U†`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UpdateOp {
+    /// Machine whose shard changes.
+    pub machine: usize,
+    /// Element whose multiplicity changes.
+    pub element: u64,
+    /// Signed multiplicity change.
+    pub delta: i64,
+}
+
+impl UpdateOp {
+    /// An insertion of one occurrence.
+    pub fn insert(machine: usize, element: u64) -> Self {
+        Self {
+            machine,
+            element,
+            delta: 1,
+        }
+    }
+
+    /// A deletion of one occurrence.
+    pub fn delete(machine: usize, element: u64) -> Self {
+        Self {
+            machine,
+            element,
+            delta: -1,
+        }
+    }
+}
+
+/// An append-only stream of updates with fast net-delta lookup.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UpdateLog {
+    ops: Vec<UpdateOp>,
+    net: BTreeMap<(usize, u64), i64>,
+}
+
+impl UpdateLog {
+    /// The empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an update.
+    pub fn push(&mut self, op: UpdateOp) {
+        self.ops.push(op);
+        let slot = self.net.entry((op.machine, op.element)).or_insert(0);
+        *slot += op.delta;
+        if *slot == 0 {
+            self.net.remove(&(op.machine, op.element));
+        }
+    }
+
+    /// All updates in arrival order.
+    pub fn ops(&self) -> &[UpdateOp] {
+        &self.ops
+    }
+
+    /// Number of logged operations (each `|delta|` counts as that many
+    /// compositions of `U`/`U†`).
+    pub fn composed_unitaries(&self) -> u64 {
+        self.ops.iter().map(|o| o.delta.unsigned_abs()).sum()
+    }
+
+    /// Net multiplicity change for `(machine, element)`.
+    pub fn net_delta(&self, machine: usize, element: u64) -> i64 {
+        self.net.get(&(machine, element)).copied().unwrap_or(0)
+    }
+
+    /// Effective multiplicity after applying the log to a base count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log would drive a multiplicity negative — such a log is
+    /// inconsistent with any dataset history.
+    pub fn effective_multiplicity(&self, base: u64, machine: usize, element: u64) -> u64 {
+        let d = self.net_delta(machine, element);
+        let eff = base as i64 + d;
+        assert!(
+            eff >= 0,
+            "update log drives c[{element},{machine}] negative ({base} + {d})"
+        );
+        eff as u64
+    }
+
+    /// Materializes the log into a new dataset (the "rebuild from scratch"
+    /// comparator for Experiment E9).
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative effective multiplicities or machine indices out of
+    /// range.
+    pub fn apply_to(&self, base: &DistributedDataset) -> DistributedDataset {
+        let mut shards: Vec<Multiset> = base.shards().to_vec();
+        for (&(machine, element), &delta) in &self.net {
+            assert!(
+                machine < shards.len(),
+                "update for unknown machine {machine}"
+            );
+            let cur = shards[machine].multiplicity(element);
+            let eff = cur as i64 + delta;
+            assert!(eff >= 0, "net delta drives multiplicity negative");
+            shards[machine].remove_many(element, cur);
+            shards[machine].insert_many(element, eff as u64);
+        }
+        DistributedDataset::new(base.universe(), base.capacity(), shards)
+            .expect("updated dataset must stay valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> DistributedDataset {
+        DistributedDataset::new(
+            8,
+            5,
+            vec![
+                Multiset::from_counts([(0, 2), (1, 1)]),
+                Multiset::from_counts([(1, 1), (3, 2)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn push_and_net_delta() {
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(0, 1));
+        log.push(UpdateOp::insert(0, 1));
+        log.push(UpdateOp::delete(0, 1));
+        assert_eq!(log.net_delta(0, 1), 1);
+        assert_eq!(log.net_delta(1, 1), 0);
+        assert_eq!(log.ops().len(), 3);
+        assert_eq!(log.composed_unitaries(), 3);
+    }
+
+    #[test]
+    fn cancelled_deltas_are_dropped() {
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(1, 3));
+        log.push(UpdateOp::delete(1, 3));
+        assert_eq!(log.net_delta(1, 3), 0);
+        // The materialized dataset equals the base.
+        assert_eq!(log.apply_to(&base()), base());
+    }
+
+    #[test]
+    fn effective_multiplicity_adds_delta() {
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(0, 0));
+        assert_eq!(log.effective_multiplicity(2, 0, 0), 3);
+        assert_eq!(log.effective_multiplicity(2, 1, 0), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn negative_effective_multiplicity_panics() {
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::delete(0, 5));
+        let _ = log.effective_multiplicity(0, 0, 5);
+    }
+
+    #[test]
+    fn apply_to_matches_manual_edit() {
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(0, 4)); // new element on machine 0
+        log.push(UpdateOp::delete(1, 3)); // remove one occurrence
+        let updated = log.apply_to(&base());
+        assert_eq!(updated.multiplicity(4, 0), 1);
+        assert_eq!(updated.multiplicity(3, 1), 1);
+        assert_eq!(updated.total_count(), base().total_count());
+    }
+}

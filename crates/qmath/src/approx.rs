@@ -1,0 +1,106 @@
+//! Tolerant floating-point comparison helpers.
+//!
+//! All numeric assertions in the reproduction go through these helpers so the
+//! tolerance policy lives in one place. The default tolerance `1e-9` is far
+//! below any quantity of interest (amplitudes, probabilities, fidelities) but
+//! far above accumulated `f64` round-off for the circuit sizes we simulate.
+
+use crate::complex::Complex64;
+
+/// Default absolute tolerance used across the workspace.
+pub const DEFAULT_EPS: f64 = 1e-9;
+
+/// Returns `true` when `|a - b| <= DEFAULT_EPS`.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    approx_eq_eps(a, b, DEFAULT_EPS)
+}
+
+/// Returns `true` when `|a - b| <= eps`.
+#[inline]
+pub fn approx_eq_eps(a: f64, b: f64, eps: f64) -> bool {
+    (a - b).abs() <= eps
+}
+
+/// Returns `true` when two complex numbers agree within `DEFAULT_EPS`
+/// (Euclidean distance in the complex plane).
+#[inline]
+pub fn approx_eq_c(a: Complex64, b: Complex64) -> bool {
+    (a - b).abs() <= DEFAULT_EPS
+}
+
+/// Trait-based tolerant comparison so generic test helpers can accept both
+/// real and complex values.
+pub trait ApproxEq {
+    /// Tolerant equality with explicit tolerance.
+    fn approx_eq_eps(&self, other: &Self, eps: f64) -> bool;
+
+    /// Tolerant equality with [`DEFAULT_EPS`].
+    fn approx(&self, other: &Self) -> bool {
+        self.approx_eq_eps(other, DEFAULT_EPS)
+    }
+}
+
+impl ApproxEq for f64 {
+    fn approx_eq_eps(&self, other: &Self, eps: f64) -> bool {
+        approx_eq_eps(*self, *other, eps)
+    }
+}
+
+impl ApproxEq for Complex64 {
+    fn approx_eq_eps(&self, other: &Self, eps: f64) -> bool {
+        (*self - *other).abs() <= eps
+    }
+}
+
+impl<T: ApproxEq> ApproxEq for [T] {
+    fn approx_eq_eps(&self, other: &Self, eps: f64) -> bool {
+        self.len() == other.len()
+            && self
+                .iter()
+                .zip(other.iter())
+                .all(|(a, b)| a.approx_eq_eps(b, eps))
+    }
+}
+
+impl<T: ApproxEq> ApproxEq for Vec<T> {
+    fn approx_eq_eps(&self, other: &Self, eps: f64) -> bool {
+        self.as_slice().approx_eq_eps(other.as_slice(), eps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_comparison() {
+        assert!(approx_eq(1.0, 1.0 + 1e-12));
+        assert!(!approx_eq(1.0, 1.0 + 1e-6));
+        assert!(approx_eq_eps(1.0, 1.1, 0.2));
+    }
+
+    #[test]
+    fn complex_comparison() {
+        let a = Complex64::new(1.0, 1.0);
+        assert!(approx_eq_c(a, Complex64::new(1.0 + 1e-12, 1.0)));
+        assert!(!approx_eq_c(a, Complex64::new(1.0, 1.1)));
+    }
+
+    #[test]
+    fn trait_on_slices() {
+        let a = vec![1.0f64, 2.0, 3.0];
+        let b = vec![1.0f64, 2.0 + 1e-12, 3.0];
+        assert!(a.approx(&b));
+        let c = vec![1.0f64, 2.0];
+        assert!(!a.approx(&c));
+    }
+
+    #[test]
+    fn trait_on_complex() {
+        let a = Complex64::new(0.5, -0.5);
+        let b = Complex64::new(0.5, -0.5 + 1e-13);
+        assert!(a.approx(&b));
+        assert!(a.approx_eq_eps(&Complex64::new(0.6, -0.5), 0.2));
+    }
+}

@@ -1,0 +1,155 @@
+//! Exact and log-space combinatorics.
+//!
+//! Lemma 5.6 of the paper states that the hard-input family for machine `k`
+//! has size `|𝒯| = C(N, m_k)`. The adversary crate verifies this by
+//! enumeration for small `N` and needs `C(N, m_k)` both exactly (checked
+//! `u128`) and in log-space for large parameters.
+
+/// Exact binomial coefficient `C(n, k)` in `u128`.
+///
+/// Returns `None` on intermediate overflow. Uses the multiplicative formula
+/// with per-step GCD-free reduction (divide as early as possible), which is
+/// exact because `C(n, 0..=j)` prefix products are always integral.
+pub fn binomial(n: u64, k: u64) -> Option<u128> {
+    if k > n {
+        return Some(0);
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for j in 0..k {
+        // acc * (n - j) is divisible by (j + 1) after the multiplication
+        // because acc holds C(n, j) exactly.
+        acc = acc.checked_mul((n - j) as u128)?;
+        acc /= (j + 1) as u128;
+    }
+    Some(acc)
+}
+
+/// Binomial coefficient as `f64` (may lose precision, never overflows for
+/// arguments where `ln_binomial` is finite).
+pub fn binomial_f64(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    ln_binomial(n, k).exp()
+}
+
+/// Natural log of `n!` via Stirling's series for large `n`, exact summation
+/// for small `n`.
+pub fn ln_factorial(n: u64) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    if n < 256 {
+        return (2..=n).map(|i| (i as f64).ln()).sum();
+    }
+    // Stirling's series: ln n! ≈ n ln n − n + ½ln(2πn) + 1/(12n) − 1/(360n³)
+    let nf = n as f64;
+    nf * nf.ln() - nf + 0.5 * (2.0 * std::f64::consts::PI * nf).ln() + 1.0 / (12.0 * nf)
+        - 1.0 / (360.0 * nf * nf * nf)
+}
+
+/// Natural log of `C(n, k)`; `-inf` when `k > n`.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::approx_eq_eps;
+
+    #[test]
+    fn small_values_exact() {
+        assert_eq!(binomial(0, 0), Some(1));
+        assert_eq!(binomial(5, 0), Some(1));
+        assert_eq!(binomial(5, 5), Some(1));
+        assert_eq!(binomial(5, 2), Some(10));
+        assert_eq!(binomial(10, 3), Some(120));
+        assert_eq!(binomial(52, 5), Some(2_598_960));
+    }
+
+    #[test]
+    fn k_greater_than_n_is_zero() {
+        assert_eq!(binomial(3, 4), Some(0));
+        assert_eq!(binomial_f64(3, 4), 0.0);
+    }
+
+    #[test]
+    fn symmetry() {
+        for n in 0..30u64 {
+            for k in 0..=n {
+                assert_eq!(binomial(n, k), binomial(n, n - k), "C({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn pascal_recurrence() {
+        for n in 1..40u64 {
+            for k in 1..n {
+                let lhs = binomial(n, k).unwrap();
+                let rhs = binomial(n - 1, k - 1).unwrap() + binomial(n - 1, k).unwrap();
+                assert_eq!(lhs, rhs, "Pascal at ({n},{k})");
+            }
+        }
+    }
+
+    #[test]
+    fn row_sums_are_powers_of_two() {
+        for n in 0..60u64 {
+            let sum: u128 = (0..=n).map(|k| binomial(n, k).unwrap()).sum();
+            assert_eq!(sum, 1u128 << n);
+        }
+    }
+
+    #[test]
+    fn large_exact_value() {
+        // C(100, 50) fits in u128.
+        assert_eq!(
+            binomial(100, 50),
+            Some(100_891_344_545_564_193_334_812_497_256)
+        );
+    }
+
+    #[test]
+    fn overflow_detected() {
+        // C(200, 100) ≈ 9.05e58; intermediate products overflow u128 only for
+        // much larger n, so pick one that definitely overflows.
+        assert_eq!(binomial(1000, 500), None);
+    }
+
+    #[test]
+    fn ln_factorial_matches_exact_small() {
+        let exact: f64 = (2..=20u64).map(|i| (i as f64).ln()).sum();
+        assert!(approx_eq_eps(ln_factorial(20), exact, 1e-9));
+    }
+
+    #[test]
+    fn ln_factorial_stirling_accurate() {
+        // Compare Stirling branch (n = 300) against exact log-sum.
+        let exact: f64 = (2..=300u64).map(|i| (i as f64).ln()).sum();
+        assert!(approx_eq_eps(ln_factorial(300), exact, 1e-8));
+    }
+
+    #[test]
+    fn ln_binomial_matches_exact() {
+        for &(n, k) in &[(10u64, 3u64), (52, 5), (100, 50)] {
+            let exact = binomial(n, k).unwrap() as f64;
+            assert!(
+                (ln_binomial(n, k) - exact.ln()).abs() < 1e-8,
+                "ln C({n},{k})"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_f64_tracks_exact() {
+        let exact = binomial(60, 30).unwrap() as f64;
+        let est = binomial_f64(60, 30);
+        assert!((est / exact - 1.0).abs() < 1e-10);
+    }
+}

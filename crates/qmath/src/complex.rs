@@ -1,0 +1,401 @@
+//! A minimal, fully-featured double-precision complex number.
+//!
+//! We implement our own complex type rather than pulling in `num-complex`
+//! to keep the reproduction dependency-light (see DESIGN.md §2). The type is
+//! `Copy`, 16 bytes, and supports the full arithmetic surface the simulator
+//! needs: ring operations, conjugation, polar form, `exp(iθ)`, and scaling by
+//! reals.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from Cartesian parts.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar coordinates `r·e^{iθ}`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Returns `e^{iθ}`, a unit-modulus phase.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// Complex conjugate `re - im·i`.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    /// Squared modulus `|z|² = re² + im²`.
+    ///
+    /// This is the Born-rule probability weight of an amplitude, and is the
+    /// hot operation in norm computations, so it avoids the square root.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus `|z|`.
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase angle) in `(-π, π]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Multiplicative inverse `1/z`.
+    ///
+    /// Returns NaN components when `z == 0`, mirroring `f64` division.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Self::new(self.re / d, -self.im / d)
+    }
+
+    /// Scales by a real factor.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+
+    /// Complex exponential `e^z`.
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Principal square root.
+    #[inline]
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.abs().sqrt(), self.arg() / 2.0)
+    }
+
+    /// True when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// `z·w + acc` in one expression; convenience for inner-product loops.
+    #[inline]
+    pub fn mul_add(self, w: Self, acc: Self) -> Self {
+        self * w + acc
+    }
+}
+
+impl fmt::Debug for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Self::from_real(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Self) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Self) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Self {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    #[allow(clippy::suspicious_arithmetic_impl)] // z/w := z * w^{-1} is the definition
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Self) {
+        *self = *self / rhs;
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Self {
+        Self::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + b)
+    }
+}
+
+impl<'a> Sum<&'a Complex64> for Complex64 {
+    fn sum<I: Iterator<Item = &'a Complex64>>(iter: I) -> Self {
+        iter.fold(Self::ZERO, |a, b| a + *b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::{approx_eq, approx_eq_c};
+
+    #[test]
+    fn construction_and_constants() {
+        assert_eq!(Complex64::ZERO.re, 0.0);
+        assert_eq!(Complex64::ONE.re, 1.0);
+        assert_eq!(Complex64::I.im, 1.0);
+        let z = Complex64::new(3.0, -4.0);
+        assert_eq!(z.re, 3.0);
+        assert_eq!(z.im, -4.0);
+        assert_eq!(Complex64::from(2.5), Complex64::new(2.5, 0.0));
+    }
+
+    #[test]
+    fn modulus_and_argument() {
+        let z = Complex64::new(3.0, 4.0);
+        assert!(approx_eq(z.abs(), 5.0));
+        assert!(approx_eq(z.norm_sqr(), 25.0));
+        assert!(approx_eq(Complex64::I.arg(), std::f64::consts::FRAC_PI_2));
+        assert!(approx_eq(Complex64::ONE.arg(), 0.0));
+    }
+
+    #[test]
+    fn polar_round_trip() {
+        let z = Complex64::from_polar(2.0, 0.7);
+        assert!(approx_eq(z.abs(), 2.0));
+        assert!(approx_eq(z.arg(), 0.7));
+    }
+
+    #[test]
+    fn cis_is_unit_modulus() {
+        for k in 0..32 {
+            let theta = k as f64 * 0.41;
+            assert!(approx_eq(Complex64::cis(theta).abs(), 1.0));
+        }
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex64::new(1.5, -2.5);
+        let w = Complex64::new(-0.5, 3.0);
+        assert!(approx_eq_c(z + w - w, z));
+        assert!(approx_eq_c(z * w / w, z));
+        assert!(approx_eq_c(-(-z), z));
+        assert!(approx_eq_c(z * Complex64::ONE, z));
+        assert!(approx_eq_c(z + Complex64::ZERO, z));
+    }
+
+    #[test]
+    fn conjugation_properties() {
+        let z = Complex64::new(1.0, 2.0);
+        let w = Complex64::new(-3.0, 0.5);
+        assert!(approx_eq_c((z * w).conj(), z.conj() * w.conj()));
+        assert!(approx_eq_c(
+            z * z.conj(),
+            Complex64::from_real(z.norm_sqr())
+        ));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(approx_eq_c(Complex64::I * Complex64::I, -Complex64::ONE));
+    }
+
+    #[test]
+    fn recip_is_inverse() {
+        let z = Complex64::new(0.3, -0.7);
+        assert!(approx_eq_c(z * z.recip(), Complex64::ONE));
+    }
+
+    #[test]
+    fn exp_of_i_pi_is_minus_one() {
+        let z = (Complex64::I * std::f64::consts::PI).exp();
+        assert!(approx_eq_c(z, -Complex64::ONE));
+    }
+
+    #[test]
+    fn sqrt_squares_back() {
+        for &(re, im) in &[(4.0, 0.0), (0.0, 1.0), (-1.0, 0.0), (3.0, -4.0)] {
+            let z = Complex64::new(re, im);
+            let r = z.sqrt();
+            assert!(approx_eq_c(r * r, z));
+        }
+    }
+
+    #[test]
+    fn assign_ops_match_binary_ops() {
+        let z = Complex64::new(1.0, 1.0);
+        let w = Complex64::new(2.0, -3.0);
+        let mut a = z;
+        a += w;
+        assert!(approx_eq_c(a, z + w));
+        let mut s = z;
+        s -= w;
+        assert!(approx_eq_c(s, z - w));
+        let mut m = z;
+        m *= w;
+        assert!(approx_eq_c(m, z * w));
+        let mut d = z;
+        d /= w;
+        assert!(approx_eq_c(d, z / w));
+    }
+
+    #[test]
+    fn real_scaling() {
+        let z = Complex64::new(1.0, -2.0);
+        assert!(approx_eq_c(z * 2.0, Complex64::new(2.0, -4.0)));
+        assert!(approx_eq_c(2.0 * z, z * 2.0));
+        assert!(approx_eq_c(z / 2.0, Complex64::new(0.5, -1.0)));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let xs = [
+            Complex64::new(1.0, 0.0),
+            Complex64::new(0.0, 1.0),
+            Complex64::new(2.0, -2.0),
+        ];
+        let s: Complex64 = xs.iter().sum();
+        assert!(approx_eq_c(s, Complex64::new(3.0, -1.0)));
+        let s2: Complex64 = xs.into_iter().sum();
+        assert!(approx_eq_c(s2, Complex64::new(3.0, -1.0)));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Complex64::new(1.0, 2.0)), "1+2i");
+        assert_eq!(format!("{}", Complex64::new(1.0, -2.0)), "1-2i");
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(Complex64::ONE.is_finite());
+        assert!(!Complex64::new(f64::NAN, 0.0).is_finite());
+        assert!(!Complex64::new(0.0, f64::INFINITY).is_finite());
+    }
+
+    #[test]
+    fn mul_add_matches_expanded_form() {
+        let z = Complex64::new(1.0, 2.0);
+        let w = Complex64::new(3.0, -1.0);
+        let acc = Complex64::new(-0.5, 0.25);
+        assert!(approx_eq_c(z.mul_add(w, acc), z * w + acc));
+    }
+}

@@ -1,0 +1,287 @@
+//! Hermitian eigendecomposition via the cyclic Jacobi method.
+//!
+//! Needed for density-matrix diagnostics (purity is polynomial, but von
+//! Neumann entropy needs eigenvalues). Jacobi is slow (O(n³) per sweep) but
+//! simple, numerically robust, and our matrices are tiny (reduced density
+//! matrices over one or two registers), so it is the right tool.
+
+use crate::complex::Complex64;
+use crate::matrix::MatC;
+
+/// Result of a Hermitian eigendecomposition `H = V·diag(λ)·V†`.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues, ascending. Real because the input is Hermitian.
+    pub values: Vec<f64>,
+    /// Unitary matrix whose columns are the corresponding eigenvectors.
+    pub vectors: MatC,
+}
+
+/// Maximum absolute deviation of `A` from Hermitian symmetry.
+pub fn hermiticity_defect(a: &MatC) -> f64 {
+    assert!(a.is_square(), "hermiticity needs a square matrix");
+    let n = a.rows();
+    let mut worst = 0.0f64;
+    for r in 0..n {
+        for c in 0..n {
+            worst = worst.max((a[(r, c)] - a[(c, r)].conj()).abs());
+        }
+    }
+    worst
+}
+
+/// Eigendecomposition of a Hermitian matrix.
+///
+/// # Panics
+///
+/// Panics when the matrix is not square or not Hermitian within `1e-8`.
+pub fn eigh(a: &MatC) -> EigenDecomposition {
+    assert!(a.is_square(), "eigh needs a square matrix");
+    assert!(
+        hermiticity_defect(a) < 1e-8,
+        "eigh input is not Hermitian (defect {})",
+        hermiticity_defect(a)
+    );
+    let n = a.rows();
+    let mut h = a.clone();
+    let mut v = MatC::identity(n);
+
+    let off_norm = |m: &MatC| -> f64 {
+        let mut s = 0.0;
+        for r in 0..n {
+            for c in 0..n {
+                if r != c {
+                    s += m[(r, c)].norm_sqr();
+                }
+            }
+        }
+        s.sqrt()
+    };
+
+    const TOL: f64 = 1e-12;
+    const MAX_SWEEPS: usize = 100;
+    for _ in 0..MAX_SWEEPS {
+        if off_norm(&h) < TOL {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let hpq = h[(p, q)];
+                if hpq.abs() < TOL / (n as f64) {
+                    continue;
+                }
+                // Complex Jacobi rotation J zeroing (J†HJ)[p,q]:
+                // J[p,p] = c, J[p,q] = −s·e^{iφ}, J[q,p] = s·e^{−iφ},
+                // J[q,q] = c, with φ = arg(H[p,q]) and the zeroing condition
+                // (H[q,q]−H[p,p])·cs + |H[p,q]|·(c²−s²) = 0, i.e.
+                // tan(2θ) = 2|H[p,q]| / (H[p,p] − H[q,q]).
+                let phi = hpq.arg();
+                let app = h[(p, p)].re;
+                let aqq = h[(q, q)].re;
+                let theta = 0.5 * (2.0 * hpq.abs()).atan2(app - aqq);
+                let (c, s) = (theta.cos(), theta.sin());
+                let e_pos = Complex64::cis(phi);
+                // Right-multiply by J (columns):
+                // col_p ← c·col_p + s·e^{−iφ}·col_q,
+                // col_q ← −s·e^{iφ}·col_p + c·col_q.
+                let rotate_cols = |m: &mut MatC| {
+                    for r in 0..n {
+                        let mp = m[(r, p)];
+                        let mq = m[(r, q)];
+                        m[(r, p)] = mp.scale(c) + e_pos.conj() * mq.scale(s);
+                        m[(r, q)] = -(e_pos * mp.scale(s)) + mq.scale(c);
+                    }
+                };
+                // Left-multiply by J† (rows):
+                // row_p ← c·row_p + s·e^{iφ}·row_q,
+                // row_q ← −s·e^{−iφ}·row_p + c·row_q.
+                let rotate_rows = |m: &mut MatC| {
+                    for col in 0..n {
+                        let mp = m[(p, col)];
+                        let mq = m[(q, col)];
+                        m[(p, col)] = mp.scale(c) + e_pos * mq.scale(s);
+                        m[(q, col)] = -(e_pos.conj() * mp.scale(s)) + mq.scale(c);
+                    }
+                };
+                rotate_cols(&mut h);
+                rotate_rows(&mut h);
+                rotate_cols(&mut v);
+            }
+        }
+    }
+
+    // extract, sort ascending, permute vectors accordingly
+    let mut pairs: Vec<(f64, usize)> = (0..n).map(|k| (h[(k, k)].re, k)).collect();
+    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite eigenvalues"));
+    let values: Vec<f64> = pairs.iter().map(|(val, _)| *val).collect();
+    let vectors = MatC::from_fn(n, n, |r, c| v[(r, pairs[c].1)]);
+    EigenDecomposition { values, vectors }
+}
+
+/// Von Neumann entropy `S(ρ) = −Σ λ log2 λ` (bits) of a density matrix.
+///
+/// # Panics
+///
+/// Panics when `rho` is not Hermitian or its trace is not 1 within `1e-6`.
+pub fn von_neumann_entropy(rho: &MatC) -> f64 {
+    let trace: f64 = (0..rho.rows()).map(|k| rho[(k, k)].re).sum();
+    assert!(
+        (trace - 1.0).abs() < 1e-6,
+        "density matrix trace {trace} != 1"
+    );
+    let eig = eigh(rho);
+    -eig.values
+        .iter()
+        .filter(|&&l| l > 1e-12)
+        .map(|&l| l * l.log2())
+        .sum::<f64>()
+}
+
+/// Purity `Tr(ρ²)`; 1 for pure states, `1/d` for maximally mixed.
+pub fn purity(rho: &MatC) -> f64 {
+    let sq = rho.clone() * rho.clone();
+    (0..sq.rows()).map(|k| sq[(k, k)].re).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::approx_eq_eps;
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    fn random_hermitian(n: usize, seed: u64) -> MatC {
+        // deterministic pseudo-random Hermitian: H = B + B†
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        let b = MatC::from_fn(n, n, |_, _| c(next(), next()));
+        let bt = b.adjoint();
+        b + bt
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let mut d = MatC::zeros(3, 3);
+        d[(0, 0)] = c(2.0, 0.0);
+        d[(1, 1)] = c(-1.0, 0.0);
+        d[(2, 2)] = c(0.5, 0.0);
+        let e = eigh(&d);
+        assert!(approx_eq_eps(e.values[0], -1.0, 1e-10));
+        assert!(approx_eq_eps(e.values[1], 0.5, 1e-10));
+        assert!(approx_eq_eps(e.values[2], 2.0, 1e-10));
+    }
+
+    #[test]
+    fn pauli_x_eigenvalues_are_plus_minus_one() {
+        let x = MatC::from_rows(
+            2,
+            2,
+            vec![
+                Complex64::ZERO,
+                Complex64::ONE,
+                Complex64::ONE,
+                Complex64::ZERO,
+            ],
+        );
+        let e = eigh(&x);
+        assert!(approx_eq_eps(e.values[0], -1.0, 1e-10));
+        assert!(approx_eq_eps(e.values[1], 1.0, 1e-10));
+    }
+
+    #[test]
+    fn pauli_y_complex_entries_handled() {
+        let y = MatC::from_rows(
+            2,
+            2,
+            vec![Complex64::ZERO, c(0.0, -1.0), c(0.0, 1.0), Complex64::ZERO],
+        );
+        let e = eigh(&y);
+        assert!(approx_eq_eps(e.values[0], -1.0, 1e-10));
+        assert!(approx_eq_eps(e.values[1], 1.0, 1e-10));
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality_random() {
+        for seed in 1..5u64 {
+            for n in [2usize, 3, 5] {
+                let h = random_hermitian(n, seed * 31 + n as u64);
+                let e = eigh(&h);
+                // V unitary
+                assert!(e.vectors.is_unitary_eps(1e-8), "V not unitary (n={n})");
+                // H·v_k = λ_k·v_k
+                for k in 0..n {
+                    let vk: Vec<Complex64> = (0..n).map(|r| e.vectors[(r, k)]).collect();
+                    let hv = h.mul_vec(&vk);
+                    for r in 0..n {
+                        let want = vk[r].scale(e.values[k]);
+                        assert!(
+                            (hv[r] - want).abs() < 1e-7,
+                            "eigenpair {k} fails at row {r} (n={n}, seed={seed})"
+                        );
+                    }
+                }
+                // trace preserved
+                let tr_h: f64 = (0..n).map(|k| h[(k, k)].re).sum();
+                let tr_l: f64 = e.values.iter().sum();
+                assert!(approx_eq_eps(tr_h, tr_l, 1e-8));
+            }
+        }
+    }
+
+    #[test]
+    fn entropy_of_pure_state_is_zero() {
+        // ρ = |+⟩⟨+|
+        let h = MatC::from_fn(2, 2, |_, _| c(0.5, 0.0));
+        assert!(von_neumann_entropy(&h).abs() < 1e-9);
+        assert!(approx_eq_eps(purity(&h), 1.0, 1e-10));
+    }
+
+    #[test]
+    fn entropy_of_maximally_mixed_is_log_d() {
+        let mut rho = MatC::zeros(4, 4);
+        for k in 0..4 {
+            rho[(k, k)] = c(0.25, 0.0);
+        }
+        assert!(approx_eq_eps(von_neumann_entropy(&rho), 2.0, 1e-9));
+        assert!(approx_eq_eps(purity(&rho), 0.25, 1e-10));
+    }
+
+    #[test]
+    fn entropy_of_biased_qubit() {
+        let mut rho = MatC::zeros(2, 2);
+        rho[(0, 0)] = c(0.9, 0.0);
+        rho[(1, 1)] = c(0.1, 0.0);
+        let expect = -(0.9f64 * 0.9f64.log2() + 0.1 * 0.1f64.log2());
+        assert!(approx_eq_eps(von_neumann_entropy(&rho), expect, 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "not Hermitian")]
+    fn non_hermitian_rejected() {
+        let m = MatC::from_rows(
+            2,
+            2,
+            vec![
+                Complex64::ONE,
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ONE,
+            ],
+        );
+        let _ = eigh(&m);
+    }
+
+    #[test]
+    #[should_panic(expected = "trace")]
+    fn entropy_requires_unit_trace() {
+        let m = MatC::identity(2);
+        let _ = von_neumann_entropy(&m);
+    }
+}

@@ -1,0 +1,42 @@
+//! # dqs-math
+//!
+//! Foundational mathematics for the *distributed quantum sampling*
+//! reproduction: complex arithmetic, small dense complex linear algebra,
+//! quantum-information metrics (fidelity, trace distance), and the exact
+//! combinatorics used by the lower-bound analysis (binomial coefficients for
+//! hard-input counting, Lemma 5.6 of the paper).
+//!
+//! Everything in this crate is dependency-free and deterministic; the
+//! simulator (`dqs-sim`) and the algorithm crates build on top of it.
+//!
+//! ## Modules
+//!
+//! * [`complex`] — `Complex64`, a minimal but complete complex-number type.
+//! * [`matrix`] — heap-allocated dense complex matrices with unitarity checks.
+//! * [`eigen`] — Hermitian eigendecomposition (Jacobi), entropy, purity.
+//! * [`vector`] — state-vector helpers: norms, inner products, normalization.
+//! * [`metrics`] — fidelity and trace distance between pure states.
+//! * [`stats`] — streaming mean/variance for Monte-Carlo reporting.
+//! * [`combinatorics`] — exact and log-space binomial coefficients.
+//! * [`approx`] — tolerant floating-point comparison helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approx;
+pub mod combinatorics;
+pub mod complex;
+pub mod eigen;
+pub mod matrix;
+pub mod metrics;
+pub mod stats;
+pub mod vector;
+
+pub use approx::{approx_eq, approx_eq_c, approx_eq_eps, ApproxEq};
+pub use combinatorics::{binomial, binomial_f64, ln_binomial, ln_factorial};
+pub use complex::Complex64;
+pub use eigen::{eigh, purity, von_neumann_entropy, EigenDecomposition};
+pub use matrix::MatC;
+pub use metrics::{fidelity_pure, trace_distance_pure};
+pub use stats::Welford;
+pub use vector::{inner_product, l2_norm, normalize, normalized};

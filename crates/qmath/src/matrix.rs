@@ -1,0 +1,369 @@
+//! Small dense complex matrices.
+//!
+//! Used for single-register unitaries (the distributing step 𝒰 of Lemma 4.2,
+//! phase gates, the uniform-preparation transform F), for unitarity checks in
+//! tests (Lemma 4.1's "extends to a unitary" claims), and for explicitly
+//! materializing operators at tiny dimensions to cross-validate the sparse
+//! simulator.
+//!
+//! Row-major storage; dimensions are small (≤ a few thousand), so the naive
+//! O(n³) multiply is fine and keeps the code auditable.
+
+use crate::approx::DEFAULT_EPS;
+use crate::complex::Complex64;
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+/// A dense complex matrix, row-major.
+#[derive(Clone, PartialEq)]
+pub struct MatC {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl MatC {
+    /// Creates a zero matrix of the given shape.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major element vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_rows(rows: usize, cols: usize, data: Vec<Complex64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "element count mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// True when the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Conjugate transpose `A†`.
+    pub fn adjoint(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self[(c, r)].conj())
+    }
+
+    /// Matrix–vector product `A·v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != cols`.
+    pub fn mul_vec(&self, v: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(v.len(), self.cols, "matrix-vector shape mismatch");
+        self.data
+            .chunks_exact(self.cols)
+            .map(|row| {
+                row.iter()
+                    .zip(v.iter())
+                    .fold(Complex64::ZERO, |acc, (a, x)| acc + *a * *x)
+            })
+            .collect()
+    }
+
+    /// Kronecker (tensor) product `self ⊗ other`.
+    pub fn kron(&self, other: &Self) -> Self {
+        let rows = self.rows * other.rows;
+        let cols = self.cols * other.cols;
+        Self::from_fn(rows, cols, |r, c| {
+            let (r1, r2) = (r / other.rows, r % other.rows);
+            let (c1, c2) = (c / other.cols, c % other.cols);
+            self[(r1, c1)] * other[(r2, c2)]
+        })
+    }
+
+    /// Maximum absolute difference from the identity of `A†A`; zero for an
+    /// exact unitary. This is the numeric form of the paper's Lemma 4.1-style
+    /// "preserves inner products ⇒ extends to a unitary" checks.
+    pub fn unitarity_defect(&self) -> f64 {
+        assert!(
+            self.is_square(),
+            "unitarity only defined for square matrices"
+        );
+        let prod = self.adjoint() * self.clone();
+        let mut worst = 0.0f64;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let target = if r == c {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
+                worst = worst.max((prod[(r, c)] - target).abs());
+            }
+        }
+        worst
+    }
+
+    /// True when `A†A = I` within `eps`.
+    pub fn is_unitary_eps(&self, eps: f64) -> bool {
+        self.unitarity_defect() <= eps
+    }
+
+    /// True when `A†A = I` within the workspace default tolerance.
+    pub fn is_unitary(&self) -> bool {
+        self.is_unitary_eps(DEFAULT_EPS)
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scaled(&self, k: Complex64) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| *z * k).collect(),
+        }
+    }
+}
+
+impl Index<(usize, usize)> for MatC {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &Complex64 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl IndexMut<(usize, usize)> for MatC {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex64 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl Add for MatC {
+    type Output = MatC;
+    fn add(self, rhs: Self) -> MatC {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        MatC {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| *a + *b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for MatC {
+    type Output = MatC;
+    fn sub(self, rhs: Self) -> MatC {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        MatC {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(rhs.data.iter())
+                .map(|(a, b)| *a - *b)
+                .collect(),
+        }
+    }
+}
+
+impl Mul for MatC {
+    type Output = MatC;
+    fn mul(self, rhs: Self) -> MatC {
+        assert_eq!(self.cols, rhs.rows, "matrix multiply shape mismatch");
+        let mut out = MatC::zeros(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(r, k)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for c in 0..rhs.cols {
+                    out[(r, c)] += a * rhs[(k, c)];
+                }
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Debug for MatC {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "MatC {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  ")?;
+            for c in 0..self.cols {
+                write!(f, "{} ", self[(r, c)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::{approx_eq, approx_eq_c};
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    fn hadamard() -> MatC {
+        let s = 1.0 / 2.0f64.sqrt();
+        MatC::from_rows(2, 2, vec![c(s, 0.0), c(s, 0.0), c(s, 0.0), c(-s, 0.0)])
+    }
+
+    #[test]
+    fn identity_is_unitary_and_neutral() {
+        let i4 = MatC::identity(4);
+        assert!(i4.is_unitary());
+        let m = MatC::from_fn(4, 4, |r, c_| c((r * 4 + c_) as f64, 1.0));
+        assert_eq!((i4.clone() * m.clone()).data, m.data);
+        assert_eq!((m.clone() * i4).data, m.data);
+    }
+
+    #[test]
+    fn hadamard_is_unitary_and_self_inverse() {
+        let h = hadamard();
+        assert!(h.is_unitary());
+        let hh = h.clone() * h;
+        assert!(approx_eq_c(hh[(0, 0)], Complex64::ONE));
+        assert!(approx_eq_c(hh[(0, 1)], Complex64::ZERO));
+    }
+
+    #[test]
+    fn adjoint_involution_and_product_rule() {
+        let a = MatC::from_fn(3, 2, |r, c_| c(r as f64, c_ as f64 + 0.5));
+        let b = MatC::from_fn(2, 3, |r, c_| c(1.0 - r as f64, c_ as f64));
+        let lhs = (a.clone() * b.clone()).adjoint();
+        let rhs = b.adjoint() * a.adjoint();
+        for r in 0..lhs.rows() {
+            for cc in 0..lhs.cols() {
+                assert!(approx_eq_c(lhs[(r, cc)], rhs[(r, cc)]));
+            }
+        }
+        let back = a.adjoint().adjoint();
+        assert_eq!(back.data, a.data);
+    }
+
+    #[test]
+    fn mul_vec_matches_matrix_mul() {
+        let m = MatC::from_fn(3, 3, |r, c_| c((r + c_) as f64, (r * c_) as f64));
+        let v = vec![c(1.0, 0.0), c(0.0, 1.0), c(-1.0, 0.5)];
+        let as_mat = MatC::from_rows(3, 1, v.clone());
+        let prod = m.clone() * as_mat;
+        let direct = m.mul_vec(&v);
+        for r in 0..3 {
+            assert!(approx_eq_c(prod[(r, 0)], direct[r]));
+        }
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let h = hadamard();
+        let i2 = MatC::identity(2);
+        let hi = h.kron(&i2);
+        assert_eq!(hi.rows(), 4);
+        assert_eq!(hi.cols(), 4);
+        assert!(hi.is_unitary());
+        // (H ⊗ I)[0,2] = H[0,1]·I[0,0] = 1/√2.
+        assert!(approx_eq(hi[(0, 2)].re, 1.0 / 2.0f64.sqrt()));
+    }
+
+    #[test]
+    fn kron_of_unitaries_is_unitary() {
+        let h = hadamard();
+        let p = MatC::from_rows(
+            2,
+            2,
+            vec![
+                Complex64::ONE,
+                Complex64::ZERO,
+                Complex64::ZERO,
+                Complex64::cis(0.9),
+            ],
+        );
+        assert!(h.kron(&p).is_unitary());
+    }
+
+    #[test]
+    fn non_unitary_detected() {
+        let m = MatC::from_fn(2, 2, |_, _| Complex64::ONE);
+        assert!(!m.is_unitary());
+        assert!(m.unitarity_defect() > 0.5);
+    }
+
+    #[test]
+    fn add_sub_round_trip() {
+        let a = MatC::from_fn(2, 3, |r, c_| c(r as f64, c_ as f64));
+        let b = MatC::from_fn(2, 3, |r, c_| c(c_ as f64, r as f64));
+        let s = (a.clone() + b.clone()) - b;
+        for r in 0..2 {
+            for cc in 0..3 {
+                assert!(approx_eq_c(s[(r, cc)], a[(r, cc)]));
+            }
+        }
+    }
+
+    #[test]
+    fn frobenius_norm_simple() {
+        let m = MatC::from_rows(1, 2, vec![c(3.0, 0.0), c(0.0, 4.0)]);
+        assert!(approx_eq(m.frobenius_norm(), 5.0));
+    }
+
+    #[test]
+    fn scaled_by_phase_preserves_unitarity() {
+        let h = hadamard().scaled(Complex64::cis(0.3));
+        assert!(h.is_unitary());
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn shape_mismatch_panics() {
+        let a = MatC::zeros(2, 3);
+        let b = MatC::zeros(2, 3);
+        let _ = a * b;
+    }
+}

@@ -1,0 +1,84 @@
+//! Quantum-information metrics between pure states.
+//!
+//! The paper measures algorithm success by **fidelity** (§2): for pure states
+//! `F(|φ⟩,|ψ⟩) = |⟨φ|ψ⟩|²`. The lower bounds gate on `F > 9/16`. Trace
+//! distance is provided for cross-checks via the Fuchs–van de Graaf relation
+//! `T = sqrt(1 − F)` for pure states.
+
+use crate::complex::Complex64;
+use crate::vector::inner_product;
+
+/// Fidelity `|⟨a|b⟩|²` between two pure states given as amplitude slices.
+///
+/// Inputs are assumed normalized; the result is clamped to `[0, 1]` to absorb
+/// floating-point round-off so callers can feed it to `acos`/`sqrt` safely.
+pub fn fidelity_pure(a: &[Complex64], b: &[Complex64]) -> f64 {
+    inner_product(a, b).norm_sqr().clamp(0.0, 1.0)
+}
+
+/// Trace distance between pure states: `sqrt(1 − F)`.
+pub fn trace_distance_pure(a: &[Complex64], b: &[Complex64]) -> f64 {
+    (1.0 - fidelity_pure(a, b)).max(0.0).sqrt()
+}
+
+/// The fidelity threshold `9/16` from Theorems 5.1/5.2: lower bounds apply to
+/// any algorithm whose output fidelity exceeds this constant.
+pub const LOWER_BOUND_FIDELITY_THRESHOLD: f64 = 9.0 / 16.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::approx_eq;
+
+    fn basis(n: usize, k: usize) -> Vec<Complex64> {
+        let mut v = vec![Complex64::ZERO; n];
+        v[k] = Complex64::ONE;
+        v
+    }
+
+    #[test]
+    fn fidelity_identical_states_is_one() {
+        let v = crate::vector::normalized(&[
+            Complex64::new(1.0, 0.0),
+            Complex64::new(0.0, 2.0),
+            Complex64::new(-1.0, 1.0),
+        ]);
+        assert!(approx_eq(fidelity_pure(&v, &v), 1.0));
+    }
+
+    #[test]
+    fn fidelity_orthogonal_states_is_zero() {
+        assert!(approx_eq(fidelity_pure(&basis(4, 0), &basis(4, 3)), 0.0));
+    }
+
+    #[test]
+    fn fidelity_invariant_under_global_phase() {
+        let v = crate::vector::normalized(&[Complex64::new(0.6, 0.0), Complex64::new(0.8, 0.0)]);
+        let phased: Vec<_> = v.iter().map(|z| *z * Complex64::cis(1.234)).collect();
+        assert!(approx_eq(fidelity_pure(&v, &phased), 1.0));
+    }
+
+    #[test]
+    fn fidelity_of_superposition_with_basis() {
+        // |+⟩ = (|0⟩+|1⟩)/√2 has fidelity 1/2 with |0⟩.
+        let plus = crate::vector::normalized(&[Complex64::ONE, Complex64::ONE]);
+        assert!(approx_eq(fidelity_pure(&plus, &basis(2, 0)), 0.5));
+    }
+
+    #[test]
+    fn trace_distance_endpoints() {
+        assert!(approx_eq(
+            trace_distance_pure(&basis(2, 0), &basis(2, 0)),
+            0.0
+        ));
+        assert!(approx_eq(
+            trace_distance_pure(&basis(2, 0), &basis(2, 1)),
+            1.0
+        ));
+    }
+
+    #[test]
+    fn threshold_constant_value() {
+        assert!(approx_eq(LOWER_BOUND_FIDELITY_THRESHOLD, 0.5625));
+    }
+}

@@ -1,0 +1,163 @@
+//! Streaming statistics for Monte-Carlo experiments.
+//!
+//! The hybrid-argument potential `D_t` is an expectation over a family of
+//! `C(N, m_k)` inputs; when the family is too large to enumerate we sample,
+//! and every reported number should carry its uncertainty. [`Welford`] is
+//! the numerically-stable one-pass mean/variance accumulator; it reports
+//! the standard error and a normal-approximation confidence interval.
+
+/// One-pass mean and variance (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (`None` with fewer than 2 observations).
+    pub fn variance(&self) -> Option<f64> {
+        if self.count < 2 {
+            None
+        } else {
+            Some(self.m2 / (self.count - 1) as f64)
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Standard error of the mean `s/√n`.
+    pub fn std_err(&self) -> Option<f64> {
+        self.std_dev().map(|s| s / (self.count as f64).sqrt())
+    }
+
+    /// Normal-approximation confidence half-width at `z` standard errors
+    /// (e.g. `z = 1.96` for 95%).
+    pub fn ci_half_width(&self, z: f64) -> Option<f64> {
+        self.std_err().map(|se| z * se)
+    }
+
+    /// Merges another accumulator (parallel reduction — Chan et al.).
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+    }
+}
+
+impl FromIterator<f64> for Welford {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut w = Welford::new();
+        for x in iter {
+            w.push(x);
+        }
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::approx_eq_eps;
+
+    #[test]
+    fn empty_and_singleton() {
+        let mut w = Welford::new();
+        assert_eq!(w.count(), 0);
+        assert_eq!(w.mean(), 0.0);
+        assert!(w.variance().is_none());
+        w.push(3.5);
+        assert_eq!(w.count(), 1);
+        assert_eq!(w.mean(), 3.5);
+        assert!(w.variance().is_none());
+    }
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let w: Welford = xs.iter().copied().collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (xs.len() - 1) as f64;
+        assert!(approx_eq_eps(w.mean(), mean, 1e-12));
+        assert!(approx_eq_eps(w.variance().unwrap(), var, 1e-12));
+    }
+
+    #[test]
+    fn std_err_shrinks_with_n() {
+        let a: Welford = (0..100).map(|k| (k % 7) as f64).collect();
+        let b: Welford = (0..10_000).map(|k| (k % 7) as f64).collect();
+        assert!(b.std_err().unwrap() < a.std_err().unwrap() / 5.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..1000).map(|k| ((k * 37) % 101) as f64 / 3.0).collect();
+        let whole: Welford = xs.iter().copied().collect();
+        let mut left: Welford = xs[..400].iter().copied().collect();
+        let right: Welford = xs[400..].iter().copied().collect();
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!(approx_eq_eps(left.mean(), whole.mean(), 1e-10));
+        assert!(approx_eq_eps(
+            left.variance().unwrap(),
+            whole.variance().unwrap(),
+            1e-8
+        ));
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut w: Welford = [1.0, 2.0, 3.0].into_iter().collect();
+        let before = (w.count(), w.mean(), w.variance());
+        w.merge(&Welford::new());
+        assert_eq!((w.count(), w.mean(), w.variance()), before);
+        let mut e = Welford::new();
+        e.merge(&w);
+        assert_eq!(e.count(), 3);
+    }
+
+    #[test]
+    fn ci_half_width_scales_with_z() {
+        let w: Welford = (0..50).map(|k| k as f64).collect();
+        let h1 = w.ci_half_width(1.0).unwrap();
+        let h2 = w.ci_half_width(1.96).unwrap();
+        assert!(approx_eq_eps(h2 / h1, 1.96, 1e-12));
+    }
+}

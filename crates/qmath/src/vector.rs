@@ -1,0 +1,127 @@
+//! State-vector helpers: inner products, norms, normalization.
+//!
+//! These operate on plain `&[Complex64]` slices so both simulator backends
+//! and small hand-built states in tests can share them.
+
+use crate::complex::Complex64;
+
+/// Hermitian inner product `⟨a|b⟩ = Σ_k conj(a_k)·b_k`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn inner_product(a: &[Complex64], b: &[Complex64]) -> Complex64 {
+    assert_eq!(a.len(), b.len(), "inner product of unequal-length vectors");
+    a.iter()
+        .zip(b.iter())
+        .fold(Complex64::ZERO, |acc, (x, y)| acc + x.conj() * *y)
+}
+
+/// Euclidean (ℓ²) norm `‖v‖ = sqrt(Σ |v_k|²)`.
+pub fn l2_norm(v: &[Complex64]) -> f64 {
+    v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+}
+
+/// Squared ℓ² distance `‖a − b‖²`, the quantity the paper's potential
+/// function `D_t` (Eq. 11) averages over hard inputs.
+pub fn distance_sqr(a: &[Complex64], b: &[Complex64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance of unequal-length vectors");
+    a.iter()
+        .zip(b.iter())
+        .map(|(x, y)| (*x - *y).norm_sqr())
+        .sum()
+}
+
+/// Normalizes `v` in place to unit ℓ² norm.
+///
+/// # Panics
+///
+/// Panics if `v` is (numerically) the zero vector.
+pub fn normalize(v: &mut [Complex64]) {
+    let n = l2_norm(v);
+    assert!(n > 0.0, "cannot normalize the zero vector");
+    let inv = 1.0 / n;
+    for z in v.iter_mut() {
+        *z = z.scale(inv);
+    }
+}
+
+/// Returns a normalized copy of `v`.
+pub fn normalized(v: &[Complex64]) -> Vec<Complex64> {
+    let mut out = v.to_vec();
+    normalize(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx::{approx_eq, approx_eq_c};
+
+    fn c(re: f64, im: f64) -> Complex64 {
+        Complex64::new(re, im)
+    }
+
+    #[test]
+    fn inner_product_conjugates_left() {
+        let a = vec![c(0.0, 1.0)];
+        let b = vec![c(0.0, 1.0)];
+        // ⟨i|i⟩ = conj(i)·i = 1
+        assert!(approx_eq_c(inner_product(&a, &b), Complex64::ONE));
+    }
+
+    #[test]
+    fn inner_product_linear_in_right_argument() {
+        let a = vec![c(1.0, 0.5), c(-1.0, 2.0)];
+        let b = vec![c(0.3, -0.2), c(1.0, 1.0)];
+        let scaled: Vec<_> = b.iter().map(|z| *z * c(0.0, 2.0)).collect();
+        let lhs = inner_product(&a, &scaled);
+        let rhs = c(0.0, 2.0) * inner_product(&a, &b);
+        assert!(approx_eq_c(lhs, rhs));
+    }
+
+    #[test]
+    fn norm_of_unit_basis() {
+        let mut v = vec![Complex64::ZERO; 8];
+        v[3] = Complex64::ONE;
+        assert!(approx_eq(l2_norm(&v), 1.0));
+    }
+
+    #[test]
+    fn normalize_produces_unit_vector() {
+        let mut v = vec![c(3.0, 0.0), c(0.0, 4.0)];
+        normalize(&mut v);
+        assert!(approx_eq(l2_norm(&v), 1.0));
+        assert!(approx_eq_c(v[0], c(0.6, 0.0)));
+        assert!(approx_eq_c(v[1], c(0.0, 0.8)));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero vector")]
+    fn normalize_zero_panics() {
+        let mut v = vec![Complex64::ZERO; 4];
+        normalize(&mut v);
+    }
+
+    #[test]
+    fn distance_sqr_expands_correctly() {
+        let a = vec![c(1.0, 0.0), c(0.0, 0.0)];
+        let b = vec![c(0.0, 0.0), c(1.0, 0.0)];
+        // ‖a−b‖² = 1 + 1 = 2 (orthogonal unit vectors).
+        assert!(approx_eq(distance_sqr(&a, &b), 2.0));
+    }
+
+    #[test]
+    fn normalized_leaves_original_untouched() {
+        let v = vec![c(2.0, 0.0)];
+        let n = normalized(&v);
+        assert!(approx_eq_c(v[0], c(2.0, 0.0)));
+        assert!(approx_eq_c(n[0], Complex64::ONE));
+    }
+
+    #[test]
+    #[should_panic(expected = "unequal-length")]
+    fn inner_product_length_mismatch_panics() {
+        let _ = inner_product(&[Complex64::ONE], &[Complex64::ONE, Complex64::ZERO]);
+    }
+}

@@ -1,0 +1,392 @@
+//! Dense state-vector backend.
+//!
+//! Stores all `Π dim_r` amplitudes in one contiguous vector (mixed-radix
+//! indexed by [`Layout::encode`]) and applies gates with rayon-parallel
+//! loops. This backend is the ground truth used to cross-validate the sparse
+//! backend at small sizes, and is independently useful for dense circuits.
+
+use crate::register::Layout;
+use crate::state::{debug_check_norm, QuantumState};
+use crate::table::StateTable;
+use dqs_math::{Complex64, MatC};
+use rayon::prelude::*;
+
+/// Threshold below which a dense amplitude is considered zero when counting
+/// support or exporting to a [`StateTable`].
+const SUPPORT_EPS_SQR: f64 = 1e-24;
+
+/// A dense pure state: every amplitude stored.
+#[derive(Clone)]
+pub struct DenseState {
+    layout: Layout,
+    amps: Vec<Complex64>,
+}
+
+impl DenseState {
+    /// Creates the zero vector (all amplitudes 0) — mostly useful in tests;
+    /// algorithms start from [`QuantumState::from_basis`].
+    pub fn zero_vector(layout: Layout) -> Self {
+        let dim = layout
+            .dense_dim()
+            .expect("layout too large for dense backend");
+        Self {
+            layout,
+            amps: vec![Complex64::ZERO; dim],
+        }
+    }
+
+    /// Read-only view of the flat amplitude vector.
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Builds a dense state from a full amplitude vector (normalizing is the
+    /// caller's responsibility).
+    pub fn from_amplitudes(layout: Layout, amps: Vec<Complex64>) -> Self {
+        assert_eq!(
+            Some(amps.len()),
+            layout.dense_dim(),
+            "amplitude vector length must equal the joint dimension"
+        );
+        Self { layout, amps }
+    }
+}
+
+impl QuantumState for DenseState {
+    fn from_basis(layout: Layout, basis: &[u64]) -> Self {
+        layout.assert_basis(basis);
+        let mut s = Self::zero_vector(layout);
+        let idx = s.layout.encode(basis);
+        s.amps[idx] = Complex64::ONE;
+        s
+    }
+
+    fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    fn amplitude(&self, basis: &[u64]) -> Complex64 {
+        self.layout.assert_basis(basis);
+        self.amps[self.layout.encode(basis)]
+    }
+
+    fn support_len(&self) -> usize {
+        self.amps
+            .iter()
+            .filter(|a| a.norm_sqr() > SUPPORT_EPS_SQR)
+            .count()
+    }
+
+    fn apply_permutation(&mut self, f: impl Fn(&mut [u64]) + Sync) {
+        let layout = &self.layout;
+        let n_regs = layout.num_registers();
+        let mut out = vec![Complex64::ZERO; self.amps.len()];
+        let mut basis = vec![0u64; n_regs];
+        for (idx, amp) in self.amps.iter().enumerate() {
+            if amp.norm_sqr() == 0.0 {
+                continue;
+            }
+            layout.decode(idx, &mut basis);
+            f(&mut basis);
+            layout.assert_basis(&basis);
+            let j = layout.encode(&basis);
+            debug_assert!(
+                out[j].norm_sqr() == 0.0,
+                "permutation closure is not injective (collision at {basis:?})"
+            );
+            out[j] = *amp;
+        }
+        self.amps = out;
+        debug_check_norm(self, "apply_permutation");
+    }
+
+    fn apply_conditioned_unitary(&mut self, target: usize, u_of: impl Fn(&[u64]) -> MatC + Sync) {
+        let layout = self.layout.clone();
+        let d = layout.dim(target) as usize;
+        let stride = layout.stride(target);
+        let block = stride * d;
+        let n_regs = layout.num_registers();
+        self.amps
+            .par_chunks_mut(block)
+            .enumerate()
+            .for_each(|(hi, chunk)| {
+                let mut basis = vec![0u64; n_regs];
+                let mut col = vec![Complex64::ZERO; d];
+                for lo in 0..stride {
+                    for (k, slot) in col.iter_mut().enumerate() {
+                        *slot = chunk[k * stride + lo];
+                    }
+                    if col.iter().all(|z| z.norm_sqr() == 0.0) {
+                        continue;
+                    }
+                    layout.decode(hi * block + lo, &mut basis);
+                    debug_assert_eq!(basis[target], 0, "representative index has target 0");
+                    let u = u_of(&basis);
+                    assert_eq!(
+                        (u.rows(), u.cols()),
+                        (d, d),
+                        "conditioned unitary has wrong shape for register {target}"
+                    );
+                    debug_assert!(u.is_unitary_eps(1e-8), "conditioned matrix is not unitary");
+                    let out = u.mul_vec(&col);
+                    for (k, val) in out.into_iter().enumerate() {
+                        chunk[k * stride + lo] = val;
+                    }
+                }
+            });
+        debug_check_norm(self, "apply_conditioned_unitary");
+    }
+
+    fn apply_phase(&mut self, f: impl Fn(&[u64]) -> Complex64 + Sync) {
+        let layout = self.layout.clone();
+        let n_regs = layout.num_registers();
+        self.amps.par_iter_mut().enumerate().for_each_init(
+            || vec![0u64; n_regs],
+            |basis, (idx, amp)| {
+                if amp.norm_sqr() == 0.0 {
+                    return;
+                }
+                layout.decode(idx, basis);
+                let ph = f(basis);
+                debug_assert!(
+                    (ph.abs() - 1.0).abs() < 1e-9,
+                    "phase factor must be unit modulus, got {ph}"
+                );
+                *amp *= ph;
+            },
+        );
+        debug_check_norm(self, "apply_phase");
+    }
+
+    fn apply_rank_one_phase(&mut self, anchor: &StateTable, phi: f64) {
+        assert_eq!(
+            anchor.layout(),
+            &self.layout,
+            "anchor layout mismatch in rank-one phase"
+        );
+        debug_assert!(
+            (anchor.norm() - 1.0).abs() < 1e-9,
+            "rank-one anchor must be normalized"
+        );
+        // ⟨a|v⟩
+        let mut overlap = Complex64::ZERO;
+        for (b, a) in anchor.iter() {
+            overlap += a.conj() * self.amps[self.layout.encode(b)];
+        }
+        let coef = (Complex64::cis(phi) - Complex64::ONE) * overlap;
+        for (b, a) in anchor.iter() {
+            let idx = self.layout.encode(b);
+            self.amps[idx] += coef * a;
+        }
+        debug_check_norm(self, "apply_rank_one_phase");
+    }
+
+    fn scale(&mut self, k: Complex64) {
+        self.amps.par_iter_mut().for_each(|a| *a *= k);
+    }
+
+    fn norm(&self) -> f64 {
+        self.amps
+            .par_iter()
+            .map(|a| a.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    fn inner(&self, other: &Self) -> Complex64 {
+        assert_eq!(self.layout, other.layout, "inner across layouts");
+        self.amps
+            .par_iter()
+            .zip(other.amps.par_iter())
+            .map(|(a, b)| a.conj() * *b)
+            .reduce(|| Complex64::ZERO, |x, y| x + y)
+    }
+
+    fn filter_amplitudes(&mut self, keep: impl Fn(&[u64]) -> bool + Sync) -> f64 {
+        let layout = self.layout.clone();
+        let n_regs = layout.num_registers();
+        let survived: f64 = self
+            .amps
+            .par_iter_mut()
+            .enumerate()
+            .map_init(
+                || vec![0u64; n_regs],
+                |basis, (idx, amp)| {
+                    if amp.norm_sqr() == 0.0 {
+                        return 0.0;
+                    }
+                    layout.decode(idx, basis);
+                    if keep(basis) {
+                        amp.norm_sqr()
+                    } else {
+                        *amp = Complex64::ZERO;
+                        0.0
+                    }
+                },
+            )
+            .sum();
+        survived
+    }
+
+    fn to_table(&self) -> StateTable {
+        let mut entries = Vec::new();
+        let mut basis = vec![0u64; self.layout.num_registers()];
+        for (idx, amp) in self.amps.iter().enumerate() {
+            if amp.norm_sqr() > SUPPORT_EPS_SQR {
+                self.layout.decode(idx, &mut basis);
+                entries.push((basis.clone().into_boxed_slice(), *amp));
+            }
+        }
+        StateTable::new(self.layout.clone(), entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use dqs_math::approx::{approx_eq, approx_eq_c};
+
+    fn small_layout() -> Layout {
+        Layout::builder()
+            .register("i", 4)
+            .register("s", 3)
+            .register("b", 2)
+            .build()
+    }
+
+    #[test]
+    fn basis_state_construction() {
+        let s = DenseState::from_basis(small_layout(), &[2, 1, 0]);
+        assert!(approx_eq(s.norm(), 1.0));
+        assert_eq!(s.support_len(), 1);
+        assert!(approx_eq_c(s.amplitude(&[2, 1, 0]), Complex64::ONE));
+        assert!(approx_eq_c(s.amplitude(&[0, 0, 0]), Complex64::ZERO));
+    }
+
+    #[test]
+    fn permutation_moves_amplitude() {
+        let mut s = DenseState::from_basis(small_layout(), &[1, 0, 0]);
+        // add 2 mod 3 into the count register, controlled on element value
+        s.apply_permutation(|b| {
+            if b[0] == 1 {
+                b[1] = (b[1] + 2) % 3;
+            }
+        });
+        assert!(approx_eq_c(s.amplitude(&[1, 2, 0]), Complex64::ONE));
+    }
+
+    #[test]
+    fn hadamard_on_flag_register() {
+        let mut s = DenseState::from_basis(small_layout(), &[0, 0, 0]);
+        s.apply_register_unitary(2, &gates::hadamard());
+        let r = 1.0 / 2.0f64.sqrt();
+        assert!(approx_eq(s.amplitude(&[0, 0, 0]).re, r));
+        assert!(approx_eq(s.amplitude(&[0, 0, 1]).re, r));
+        assert!(approx_eq(s.norm(), 1.0));
+    }
+
+    #[test]
+    fn conditioned_unitary_reads_other_registers() {
+        // Rotate the flag by an angle depending on the count register value.
+        let mut s = DenseState::from_basis(small_layout(), &[0, 2, 0]);
+        s.apply_conditioned_unitary(2, |b| {
+            let c = b[1] as f64 / 2.0; // count ∈ {0,1,2} → c ∈ {0,.5,1}
+            gates::ry_by_cos_sin(c, (1.0 - c * c).sqrt())
+        });
+        // count = 2 ⇒ c = 1 ⇒ flag stays |0⟩ with amplitude 1.
+        assert!(approx_eq_c(s.amplitude(&[0, 2, 0]), Complex64::ONE));
+        let mut s2 = DenseState::from_basis(small_layout(), &[0, 0, 0]);
+        s2.apply_conditioned_unitary(2, |b| {
+            let c = b[1] as f64 / 2.0;
+            gates::ry_by_cos_sin(c, (1.0 - c * c).sqrt())
+        });
+        // count = 0 ⇒ c = 0 ⇒ flag flips to |1⟩.
+        assert!(approx_eq(s2.amplitude(&[0, 0, 1]).abs(), 1.0));
+    }
+
+    #[test]
+    fn phase_marks_flagged_states() {
+        let mut s = DenseState::from_basis(small_layout(), &[0, 0, 0]);
+        s.apply_register_unitary(2, &gates::hadamard());
+        s.apply_phase(|b| {
+            if b[2] == 0 {
+                -Complex64::ONE
+            } else {
+                Complex64::ONE
+            }
+        });
+        assert!(approx_eq(s.amplitude(&[0, 0, 0]).re, -1.0 / 2.0f64.sqrt()));
+        assert!(approx_eq(s.amplitude(&[0, 0, 1]).re, 1.0 / 2.0f64.sqrt()));
+    }
+
+    #[test]
+    fn rank_one_pi_is_reflection() {
+        let layout = small_layout();
+        let mut anchor = StateTable::new(
+            layout.clone(),
+            vec![
+                (vec![0, 0, 0].into(), Complex64::from_real(1.0)),
+                (vec![1, 0, 0].into(), Complex64::from_real(1.0)),
+            ],
+        );
+        anchor.normalize();
+        // |v⟩ = |0,0,0⟩: reflection I − 2|a⟩⟨a| sends it to |0⟩ − (|0⟩+|1⟩) = −|1⟩... compute:
+        let mut v = DenseState::from_basis(layout, &[0, 0, 0]);
+        v.apply_rank_one_phase(&anchor, std::f64::consts::PI);
+        // (I − 2|a⟩⟨a|)|000⟩ = |000⟩ − 2·(1/√2)·|a⟩ = |000⟩ − (|000⟩+|100⟩) = −|100⟩
+        assert!(approx_eq_c(v.amplitude(&[1, 0, 0]), -Complex64::ONE));
+        assert!(approx_eq_c(v.amplitude(&[0, 0, 0]), Complex64::ZERO));
+        assert!(approx_eq(v.norm(), 1.0));
+    }
+
+    #[test]
+    fn rank_one_zero_phase_is_identity() {
+        let layout = small_layout();
+        let anchor = StateTable::basis_state(layout.clone(), &[3, 2, 1]);
+        let mut v = DenseState::from_basis(layout, &[3, 2, 1]);
+        let before = v.to_table();
+        v.apply_rank_one_phase(&anchor, 0.0);
+        assert!(approx_eq(v.to_table().distance_sqr(&before), 0.0));
+    }
+
+    #[test]
+    fn inner_product_and_scale() {
+        let layout = small_layout();
+        let a = DenseState::from_basis(layout.clone(), &[0, 0, 0]);
+        let mut b = DenseState::from_basis(layout, &[0, 0, 0]);
+        b.scale(Complex64::cis(0.5));
+        let ip = a.inner(&b);
+        assert!(approx_eq(ip.arg(), 0.5));
+        assert!(approx_eq(ip.abs(), 1.0));
+    }
+
+    #[test]
+    fn to_table_round_trip() {
+        let mut s = DenseState::from_basis(small_layout(), &[0, 0, 0]);
+        s.apply_register_unitary(0, &gates::dft(4));
+        let t = s.to_table();
+        assert_eq!(t.len(), 4);
+        for (b, amp) in t.iter() {
+            assert!(approx_eq_c(amp, s.amplitude(b)));
+        }
+    }
+
+    #[test]
+    fn dft_prepares_uniform_superposition() {
+        let mut s = DenseState::from_basis(small_layout(), &[0, 0, 0]);
+        s.apply_register_unitary(0, &gates::dft(4));
+        for i in 0..4u64 {
+            assert!(approx_eq(s.amplitude(&[i, 0, 0]).re, 0.5));
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)] // relies on a debug_assert!; compiled out in release
+    #[should_panic(expected = "not injective")]
+    fn non_injective_permutation_caught_in_debug() {
+        let mut s = DenseState::from_basis(small_layout(), &[0, 0, 0]);
+        s.apply_register_unitary(2, &gates::hadamard());
+        s.apply_permutation(|b| b[2] = 0); // collapses both flag values
+    }
+}

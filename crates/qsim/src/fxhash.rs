@@ -1,0 +1,119 @@
+//! A small, fast, deterministic hasher for basis-state keys.
+//!
+//! The sparse backend hashes millions of short `[u64]` keys; SipHash (the
+//! std default) is needlessly slow and randomly seeded, which would make
+//! iteration order vary across runs. This is the well-known Fx multiply-mix
+//! construction (as used in rustc), reimplemented here to stay within the
+//! approved dependency set. It is *not* DoS-resistant — keys here are
+//! program-generated basis states, never attacker-controlled.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative mixing constant (64-bit golden-ratio derived).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// The Fx hasher state.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rem.len()].copy_from_slice(rem);
+            self.mix(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; use as the `S` parameter of `HashMap`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with the Fx hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let key: Vec<u64> = vec![1, 2, 3, 42];
+        assert_eq!(hash_of(&key), hash_of(&key.clone()));
+    }
+
+    #[test]
+    fn distinguishes_similar_keys() {
+        assert_ne!(hash_of(&vec![1u64, 2, 3]), hash_of(&vec![1u64, 2, 4]));
+        assert_ne!(hash_of(&vec![0u64]), hash_of(&vec![0u64, 0]));
+        assert_ne!(hash_of(&1u64), hash_of(&2u64));
+    }
+
+    #[test]
+    fn map_works_end_to_end() {
+        let mut m: FxHashMap<Vec<u64>, u32> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert(vec![i, i * 3, i ^ 7], i as u32);
+        }
+        assert_eq!(m.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(m.get(&vec![i, i * 3, i ^ 7]), Some(&(i as u32)));
+        }
+    }
+
+    #[test]
+    fn spreads_low_entropy_keys() {
+        // Basis states are often small consecutive integers; make sure the
+        // low bits of their hashes are not all identical.
+        let mut low_bits = std::collections::HashSet::new();
+        for i in 0..64u64 {
+            low_bits.insert(hash_of(&vec![i, 0, 0]) & 0xff);
+        }
+        assert!(low_bits.len() > 16, "hash low bits collapse: {low_bits:?}");
+    }
+}

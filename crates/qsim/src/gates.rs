@@ -1,0 +1,198 @@
+//! Gate library: constructors for the small unitaries the reproduction uses.
+//!
+//! All gates are returned as [`MatC`] matrices to be applied through
+//! [`crate::QuantumState::apply_register_unitary`] (or its conditioned
+//! variant). Constructors assert unitarity in debug builds.
+
+use dqs_math::{Complex64, MatC};
+
+/// 2×2 Hadamard.
+pub fn hadamard() -> MatC {
+    let s = Complex64::from_real(1.0 / 2.0f64.sqrt());
+    MatC::from_rows(2, 2, vec![s, s, s, -s])
+}
+
+/// 2×2 Pauli-X (NOT).
+pub fn pauli_x() -> MatC {
+    MatC::from_rows(
+        2,
+        2,
+        vec![
+            Complex64::ZERO,
+            Complex64::ONE,
+            Complex64::ONE,
+            Complex64::ZERO,
+        ],
+    )
+}
+
+/// 2×2 Pauli-Z.
+pub fn pauli_z() -> MatC {
+    MatC::from_rows(
+        2,
+        2,
+        vec![
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            -Complex64::ONE,
+        ],
+    )
+}
+
+/// 2×2 phase gate `diag(1, e^{iφ})`.
+pub fn phase(phi: f64) -> MatC {
+    MatC::from_rows(
+        2,
+        2,
+        vec![
+            Complex64::ONE,
+            Complex64::ZERO,
+            Complex64::ZERO,
+            Complex64::cis(phi),
+        ],
+    )
+}
+
+/// 2×2 real rotation `R_y(2θ) = [[cosθ, −sinθ], [sinθ, cosθ]]`.
+///
+/// `ry_by_cos_sin(c, s)` builds the rotation sending `|0⟩ ↦ c|0⟩ + s|1⟩`.
+/// This is the shape of the distributing step `𝒰` of Lemma 4.2 with
+/// `c = √(count/ν)` and `s = √((ν−count)/ν)`.
+pub fn ry_by_cos_sin(c: f64, s: f64) -> MatC {
+    debug_assert!(
+        (c * c + s * s - 1.0).abs() < 1e-9,
+        "ry_by_cos_sin needs c² + s² = 1, got c={c}, s={s}"
+    );
+    MatC::from_rows(
+        2,
+        2,
+        vec![
+            Complex64::from_real(c),
+            Complex64::from_real(-s),
+            Complex64::from_real(s),
+            Complex64::from_real(c),
+        ],
+    )
+}
+
+/// `dim × dim` discrete Fourier transform, `F[r,c] = ω^{rc}/√dim` with
+/// `ω = e^{2πi/dim}`.
+///
+/// Its first column is the uniform superposition, so `F|0⟩ = |π⟩` — this is
+/// the state-preparation transform the paper calls `F` in Theorem 4.3.
+pub fn dft(dim: u64) -> MatC {
+    let n = dim as usize;
+    let norm = 1.0 / (dim as f64).sqrt();
+    let w = 2.0 * std::f64::consts::PI / dim as f64;
+    MatC::from_fn(n, n, |r, c| {
+        Complex64::cis(w * (r as f64) * (c as f64)).scale(norm)
+    })
+}
+
+/// `dim × dim` cyclic increment (adds 1 mod dim): `X_d|s⟩ = |s+1 mod d⟩`.
+///
+/// This is the paper's dynamic-update operator `U` (§3): incrementing one
+/// multiplicity composes `U` onto the oracle.
+pub fn cyclic_increment(dim: u64) -> MatC {
+    let n = dim as usize;
+    MatC::from_fn(n, n, |r, c| {
+        if r == (c + 1) % n {
+            Complex64::ONE
+        } else {
+            Complex64::ZERO
+        }
+    })
+}
+
+/// `dim × dim` diagonal phase `diag(e^{iφ_0}, …)` from a phase function.
+pub fn diagonal(dim: u64, mut phase_of: impl FnMut(u64) -> f64) -> MatC {
+    let n = dim as usize;
+    let mut m = MatC::zeros(n, n);
+    for k in 0..n {
+        m[(k, k)] = Complex64::cis(phase_of(k as u64));
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_math::approx::{approx_eq, approx_eq_c};
+
+    #[test]
+    fn standard_gates_are_unitary() {
+        assert!(hadamard().is_unitary());
+        assert!(pauli_x().is_unitary());
+        assert!(pauli_z().is_unitary());
+        assert!(phase(1.2345).is_unitary());
+        assert!(ry_by_cos_sin(0.6, 0.8).is_unitary());
+    }
+
+    #[test]
+    fn dft_is_unitary_various_dims() {
+        for d in [1u64, 2, 3, 5, 8, 16, 31] {
+            assert!(dft(d).is_unitary(), "DFT dim {d}");
+        }
+    }
+
+    #[test]
+    fn dft_first_column_is_uniform() {
+        let f = dft(9);
+        for r in 0..9 {
+            assert!(approx_eq_c(f[(r, 0)], Complex64::from_real(1.0 / 3.0)));
+        }
+    }
+
+    #[test]
+    fn cyclic_increment_permutes() {
+        let u = cyclic_increment(4);
+        assert!(u.is_unitary());
+        // U|3⟩ = |0⟩: column 3, row 0.
+        assert!(approx_eq_c(u[(0, 3)], Complex64::ONE));
+        assert!(approx_eq_c(u[(1, 0)], Complex64::ONE));
+    }
+
+    #[test]
+    fn increment_fourth_power_is_identity() {
+        let u = cyclic_increment(4);
+        let u4 = u.clone() * u.clone() * u.clone() * u;
+        for r in 0..4 {
+            for c in 0..4 {
+                let want = if r == c {
+                    Complex64::ONE
+                } else {
+                    Complex64::ZERO
+                };
+                assert!(approx_eq_c(u4[(r, c)], want));
+            }
+        }
+    }
+
+    #[test]
+    fn ry_sends_zero_to_cos_sin() {
+        let u = ry_by_cos_sin(0.28, (1.0f64 - 0.28 * 0.28).sqrt());
+        let v = u.mul_vec(&[Complex64::ONE, Complex64::ZERO]);
+        assert!(approx_eq(v[0].re, 0.28));
+        assert!(approx_eq(v[1].norm_sqr(), 1.0 - 0.28 * 0.28));
+    }
+
+    #[test]
+    fn diagonal_phases() {
+        let d = diagonal(3, |k| k as f64 * 0.5);
+        assert!(d.is_unitary());
+        assert!(approx_eq_c(d[(2, 2)], Complex64::cis(1.0)));
+        assert!(approx_eq_c(d[(0, 1)], Complex64::ZERO));
+    }
+
+    #[test]
+    fn hadamard_equals_dft_2() {
+        let h = hadamard();
+        let f = dft(2);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert!(approx_eq_c(h[(r, c)], f[(r, c)]), "({r},{c})");
+            }
+        }
+    }
+}

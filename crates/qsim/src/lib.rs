@@ -1,0 +1,63 @@
+//! # dqs-sim
+//!
+//! A from-scratch state-vector quantum simulator purpose-built for the
+//! *distributed quantum sampling* reproduction (SPAA 2025), but generic
+//! enough to run arbitrary multi-register circuits.
+//!
+//! ## Why two backends
+//!
+//! The paper's parallel-query model (Lemma 4.4) uses `3 + 3n` quantum
+//! registers whose joint dimension `N·(ν+1)·(N(ν+1)·2)^n` is astronomically
+//! large, yet the algorithm's state support never exceeds `O(N·ν)` basis
+//! states because ancillas stay classically correlated with the element
+//! register. We therefore provide:
+//!
+//! * [`DenseState`] — stores every amplitude; rayon-parallel gate
+//!   application; usable for small layouts and as ground truth.
+//! * [`SparseState`] — a hash map over multi-register basis states; exact
+//!   (not approximate) whenever the support is bounded, which is the case
+//!   for every circuit in this reproduction; scales to `N ≈ 10⁵`.
+//!
+//! Both implement the [`QuantumState`] trait, so every algorithm in
+//! `dqs-core` is generic over the backend and the test suite cross-validates
+//! the two on identical circuits.
+//!
+//! ## Operation model
+//!
+//! Four primitive operation classes cover everything in the paper:
+//!
+//! 1. **Reversible classical maps** ([`QuantumState::apply_permutation`]) —
+//!    the counting oracles `O_j`, `Ô_j`, ancilla copies, modular adders.
+//! 2. **Conditioned single-register unitaries**
+//!    ([`QuantumState::apply_conditioned_unitary`]) — the distributing
+//!    rotation `𝒰` of Lemma 4.2, whose angle depends on the count register.
+//! 3. **Diagonal phases** ([`QuantumState::apply_phase`]) — the `S_χ(φ)`
+//!    oracle-free phase marker of amplitude amplification.
+//! 4. **Rank-one phase reflections**
+//!    ([`QuantumState::apply_rank_one_phase`]) — `I + (e^{iϕ}−1)|a⟩⟨a|`,
+//!    realizing `S_π(ϕ) = (F⊗I)·S_{00}(ϕ)·(F⊗I)†` without materializing the
+//!    `N × N` transform `F`. This is an *operator identity*, not an
+//!    approximation: the composition `A S₀(ϕ) A†` equals the rank-one update
+//!    with anchor `|a⟩ = A|0⟩`, and it contains no oracle calls, so query
+//!    accounting is unaffected.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dense;
+pub mod fxhash;
+pub mod gates;
+pub mod measure;
+pub mod program;
+pub mod register;
+pub mod sparse;
+pub mod state;
+pub mod table;
+
+pub use dense::DenseState;
+pub use measure::{coherent_copy, fidelity_after_measurement, measure_register};
+pub use program::{Instruction, Program};
+pub use register::{Layout, LayoutBuilder, Register};
+pub use sparse::SparseState;
+pub use state::QuantumState;
+pub use table::StateTable;

@@ -1,0 +1,218 @@
+//! Projective measurement: destructive, coherent (purified), and the
+//! deferred-measurement equivalence the paper leans on (§5.1, Lemma 5.3,
+//! Appendix A).
+//!
+//! Lemma 5.3 says an oblivious algorithm with measurements can be replaced
+//! by one without, at equal query complexity and fidelity: defer the
+//! measurement, then replace the final projective measurement `{Π_v}` by
+//! the unitary `U|s,0⟩ = Σ_v √p_v |s_v, v⟩` that records the outcome in an
+//! ancilla. For register-valued measurements that `U` is just a coherent
+//! copy ([`coherent_copy`]), and the fidelity identity
+//! `F(ρ', ψ) = F(ρ, ψ)` of Appendix A becomes checkable numerics
+//! ([`fidelity_after_measurement`] versus
+//! [`StateTable::fidelity_of_register_marginal`] on the purified run) —
+//! see this module's tests.
+
+use crate::state::QuantumState;
+use crate::table::StateTable;
+use dqs_math::Complex64;
+use rand::Rng;
+
+/// Destructively measures register `reg` in the computational basis:
+/// samples an outcome `v` with Born probability, projects, renormalizes.
+/// Returns `(outcome, probability)`.
+pub fn measure_register<S: QuantumState>(
+    state: &mut S,
+    reg: usize,
+    rng: &mut impl Rng,
+) -> (u64, f64) {
+    let probs = state.register_probabilities(reg);
+    let total: f64 = probs.iter().sum();
+    assert!(total > 1e-12, "measuring the zero vector");
+    let mut u = rng.gen::<f64>() * total;
+    let mut outcome = probs.len() - 1;
+    for (v, &p) in probs.iter().enumerate() {
+        if u < p {
+            outcome = v;
+            break;
+        }
+        u -= p;
+    }
+    let p = state.filter_amplitudes(|b| b[reg] as usize == outcome);
+    state.renormalize();
+    (outcome as u64, p)
+}
+
+/// The purifying unitary of Lemma 5.3 for a register-valued measurement:
+/// coherently copies `src` into the (clean) ancilla register `dst`,
+/// `|…v…⟩|0⟩ ↦ |…v…⟩|v⟩`. No collapse, no randomness.
+///
+/// # Panics
+///
+/// Panics (in debug) if `dst` is not in the `|0⟩` state on the support, or
+/// if the registers' dimensions differ.
+pub fn coherent_copy<S: QuantumState>(state: &mut S, src: usize, dst: usize) {
+    assert_ne!(src, dst, "cannot copy a register onto itself");
+    assert!(
+        state.layout().dim(dst) >= state.layout().dim(src),
+        "destination register too small to record the outcome"
+    );
+    state.apply_permutation(|b| {
+        debug_assert_eq!(b[dst], 0, "outcome register must be clean");
+        b[dst] = b[src];
+    });
+}
+
+/// `F(ρ, |τ⟩⟨τ|)` where `ρ` is the state of register `reg` **after** a
+/// destructive computational-basis measurement of register `measured`
+/// (outcome discarded): `ρ = Σ_v p_v ρ_v` with `ρ_v` the reduced state of
+/// `reg` conditioned on outcome `v`.
+///
+/// By linearity `⟨τ|ρ|τ⟩ = Σ_v p_v ⟨τ|ρ_v|τ⟩`, computed here exactly from
+/// the pure pre-measurement state.
+pub fn fidelity_after_measurement(
+    state: &StateTable,
+    measured: usize,
+    reg: usize,
+    target: &[Complex64],
+) -> f64 {
+    assert_ne!(
+        measured, reg,
+        "measure a different register than the target"
+    );
+    let dim = state.layout().dim(measured);
+    let mut total = 0.0;
+    for v in 0..dim {
+        // un-normalized conditional branch: keep entries with measured == v
+        let branch: Vec<_> = state
+            .iter()
+            .filter(|(b, _)| b[measured] == v)
+            .map(|(b, a)| (b.to_vec().into_boxed_slice(), a))
+            .collect();
+        if branch.is_empty() {
+            continue;
+        }
+        let branch = StateTable::new(state.layout().clone(), branch);
+        // p_v·⟨τ|ρ_v|τ⟩ = fidelity computed on the unnormalized branch
+        total += branch.fidelity_of_register_marginal(reg, target);
+    }
+    total.clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use crate::register::Layout;
+    use crate::sparse::SparseState;
+    use dqs_math::approx::approx_eq;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn layout() -> Layout {
+        Layout::builder()
+            .register("elem", 4)
+            .register("flag", 2)
+            .register("out", 4)
+            .build()
+    }
+
+    /// A correlated test state: (|0,0⟩ + |1,0⟩ + |2,1⟩ + |3,1⟩)/2 ⊗ |0⟩.
+    fn correlated() -> SparseState {
+        let mut s = SparseState::from_basis(layout(), &[0, 0, 0]);
+        s.apply_register_unitary(0, &gates::dft(4));
+        s.apply_permutation(|b| b[1] = u64::from(b[0] >= 2));
+        s
+    }
+
+    #[test]
+    fn destructive_measurement_collapses_and_renormalizes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut s = correlated();
+        let (outcome, p) = measure_register(&mut s, 1, &mut rng);
+        assert!(approx_eq(p, 0.5));
+        assert!(approx_eq(s.norm(), 1.0));
+        // the elem register is now confined to the matching half
+        for (b, _) in s.to_table().iter() {
+            assert_eq!(u64::from(b[0] >= 2), outcome);
+        }
+    }
+
+    #[test]
+    fn measurement_outcome_frequencies_match_born_rule() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut ones = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let mut s = correlated();
+            let (v, _) = measure_register(&mut s, 1, &mut rng);
+            ones += v as usize;
+        }
+        let freq = ones as f64 / trials as f64;
+        assert!((freq - 0.5).abs() < 0.05, "flag=1 frequency {freq}");
+    }
+
+    #[test]
+    fn coherent_copy_records_without_collapse() {
+        let mut s = correlated();
+        coherent_copy(&mut s, 0, 2);
+        assert!(approx_eq(s.norm(), 1.0));
+        assert_eq!(s.support_len(), 4, "no branch was lost");
+        for (b, _) in s.to_table().iter() {
+            assert_eq!(b[2], b[0], "outcome register mirrors the source");
+        }
+    }
+
+    #[test]
+    fn lemma_5_3_fidelity_identity() {
+        // Target |τ⟩ on the elem register: uniform over {0,1,2,3}.
+        let target = vec![Complex64::from_real(0.5); 4];
+        let s = correlated();
+
+        // 𝒜: destructively measure the flag, output the elem register.
+        let f_measured = fidelity_after_measurement(&s.to_table(), 1, 0, &target);
+
+        // ℬ: purify — coherently copy the flag into the ancilla, no
+        // measurement; output register fidelity of the *pure* final state.
+        let mut purified = s.clone();
+        coherent_copy(&mut purified, 1, 2);
+        let f_purified = purified
+            .to_table()
+            .fidelity_of_register_marginal(0, &target);
+
+        assert!(
+            approx_eq(f_measured, f_purified),
+            "Lemma 5.3: {f_measured} != {f_purified}"
+        );
+        // and the common value is what the correlation dictates: each
+        // branch overlaps |τ⟩ with |1/2·(…)|² mass — here 2·|(1/2)(1/2)+(1/2)(1/2)|²/… compute: 0.5
+        assert!(approx_eq(f_measured, 0.5));
+    }
+
+    #[test]
+    fn fidelity_after_measurement_of_uncorrelated_register_is_lossless() {
+        // Measuring a register in a product state cannot hurt fidelity.
+        let mut s = SparseState::from_basis(layout(), &[0, 0, 0]);
+        s.apply_register_unitary(0, &gates::dft(4));
+        s.apply_register_unitary(1, &gates::hadamard());
+        let target = vec![Complex64::from_real(0.5); 4];
+        let f = fidelity_after_measurement(&s.to_table(), 1, 0, &target);
+        assert!(approx_eq(f, 1.0));
+    }
+
+    #[test]
+    fn filter_amplitudes_returns_projected_mass() {
+        let mut s = correlated();
+        let p = s.filter_amplitudes(|b| b[0] == 0);
+        assert!(approx_eq(p, 0.25));
+        assert_eq!(s.support_len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "renormalize the zero vector")]
+    fn renormalizing_zero_panics() {
+        let mut s = correlated();
+        s.filter_amplitudes(|_| false);
+        s.renormalize();
+    }
+}

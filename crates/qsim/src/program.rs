@@ -1,0 +1,609 @@
+//! A data-driven circuit IR: [`Program`] is a list of [`Instruction`]s that
+//! can be applied to any backend, inverted exactly, and inspected.
+//!
+//! The IR exists so the paper's algorithms can be *compiled* rather than
+//! only executed: `dqs-core::circuit` lowers Theorem 4.3's sampler to a
+//! `Program`, which makes three things checkable structurally instead of
+//! behaviorally:
+//!
+//! 1. **Invertibility** — `p.inverse()` is exact (each instruction knows
+//!    its adjoint), so `p⁻¹ ∘ p = I` is a test, mirroring the paper's
+//!    heavy use of `O†`/`D†`.
+//! 2. **Obliviousness** — two inputs with the same public parameters
+//!    compile to programs with identical *shapes* ([`Program::shape`]),
+//!    differing only in oracle lookup tables — the formal content of the
+//!    oblivious model.
+//! 3. **Query accounting** — oracle instructions carry their machine tag;
+//!    [`Program::oracle_queries`] is the cost before running anything.
+
+use crate::register::Layout;
+use crate::state::QuantumState;
+use crate::table::StateTable;
+use dqs_math::{Complex64, MatC};
+
+/// One reversible operation.
+#[derive(Clone)]
+pub enum Instruction {
+    /// Apply a fixed unitary matrix to one register.
+    RegisterUnitary {
+        /// Target register.
+        target: usize,
+        /// The `dim × dim` unitary.
+        matrix: MatC,
+    },
+    /// Apply to `target` a unitary selected by the value of register `by`:
+    /// `matrices[value]`. (The distributing rotation `𝒰`, keyed by the
+    /// count register.)
+    UnitaryByRegister {
+        /// Target register.
+        target: usize,
+        /// Conditioning register (must differ from `target`).
+        by: usize,
+        /// One matrix per conditioning value.
+        matrices: Vec<MatC>,
+    },
+    /// Counting-oracle step: `count += sign · table[elem] (mod modulus)`.
+    /// `machine` tags the query for accounting.
+    OracleAdd {
+        /// Machine charged for the query.
+        machine: usize,
+        /// Element register.
+        elem: usize,
+        /// Count register.
+        count: usize,
+        /// Lookup table `elem → multiplicity` (length = elem dimension).
+        table: std::sync::Arc<Vec<u64>>,
+        /// The modulus `ν + 1`.
+        modulus: u64,
+        /// `false` = add (`O_j`), `true` = subtract (`O_j†`).
+        inverse: bool,
+    },
+    /// Phase `e^{iφ}` on every basis state whose `reg` value is zero
+    /// (the `S_χ(φ)` marker).
+    PhaseIfZero {
+        /// Flag register.
+        reg: usize,
+        /// Phase angle.
+        phi: f64,
+    },
+    /// Rank-one phase `I + (e^{iφ}−1)|a⟩⟨a|` (the `S_π(φ)` reflection).
+    RankOnePhase {
+        /// Normalized anchor `|a⟩`.
+        anchor: StateTable,
+        /// Phase angle.
+        phi: f64,
+    },
+    /// Multiply the global state by a unit scalar (e.g. the `−1` in `Q`).
+    GlobalPhase {
+        /// Phase angle (scalar is `e^{iφ}`).
+        phi: f64,
+    },
+    /// Parallel-model broadcast (Lemma 4.4 step 1): copy the element value
+    /// into every ancilla element register and toggle every ancilla flag.
+    /// Self-describing inverse via `undo`.
+    Broadcast {
+        /// Source element register.
+        src: usize,
+        /// Ancilla element registers (must be clean when `undo = false`).
+        dsts: Vec<usize>,
+        /// Ancilla flag registers (toggled).
+        flags: Vec<usize>,
+        /// `false` = copy in, `true` = uncopy.
+        undo: bool,
+    },
+    /// One composite parallel oracle round (Eq. 3): for every machine `j`
+    /// with its flag raised, `count_j += sign·table_j[elem_j] (mod m)`.
+    /// Counts as **one** round regardless of `n`.
+    ParallelOracleRound {
+        /// Per-machine element registers.
+        elem: Vec<usize>,
+        /// Per-machine count registers.
+        count: Vec<usize>,
+        /// Per-machine control flags.
+        flag: Vec<usize>,
+        /// Per-machine lookup tables.
+        tables: Vec<std::sync::Arc<Vec<u64>>>,
+        /// The modulus `ν + 1`.
+        modulus: u64,
+        /// `false` = `O`, `true` = `O†`.
+        inverse: bool,
+    },
+    /// Fold the ancilla counts into the main count register
+    /// (Lemma 4.4 step: `s ← s ± Σ_j s_j mod m`).
+    FoldCounts {
+        /// Ancilla count registers.
+        srcs: Vec<usize>,
+        /// Main count register.
+        dst: usize,
+        /// The modulus `ν + 1`.
+        modulus: u64,
+        /// `false` = add, `true` = subtract.
+        subtract: bool,
+    },
+}
+
+impl Instruction {
+    /// Applies the instruction to a state.
+    pub fn apply<S: QuantumState>(&self, state: &mut S) {
+        match self {
+            Instruction::RegisterUnitary { target, matrix } => {
+                state.apply_register_unitary(*target, matrix);
+            }
+            Instruction::UnitaryByRegister {
+                target,
+                by,
+                matrices,
+            } => {
+                assert_ne!(target, by, "self-conditioning is ill-defined");
+                state.apply_conditioned_unitary(*target, |b| matrices[b[*by] as usize].clone());
+            }
+            Instruction::OracleAdd {
+                elem,
+                count,
+                table,
+                modulus,
+                inverse,
+                ..
+            } => {
+                let m = *modulus;
+                state.apply_permutation(|b| {
+                    let c = table[b[*elem] as usize] % m;
+                    let add = if *inverse { m - c } else { c } % m;
+                    b[*count] = (b[*count] + add) % m;
+                });
+            }
+            Instruction::PhaseIfZero { reg, phi } => {
+                let ph = Complex64::cis(*phi);
+                state.apply_phase(|b| if b[*reg] == 0 { ph } else { Complex64::ONE });
+            }
+            Instruction::RankOnePhase { anchor, phi } => {
+                state.apply_rank_one_phase(anchor, *phi);
+            }
+            Instruction::GlobalPhase { phi } => state.scale(Complex64::cis(*phi)),
+            Instruction::Broadcast {
+                src,
+                dsts,
+                flags,
+                undo,
+            } => {
+                state.apply_permutation(|b| {
+                    let i = b[*src];
+                    for (&d, &f) in dsts.iter().zip(flags.iter()) {
+                        if *undo {
+                            debug_assert_eq!(b[d], i, "ancilla element out of sync");
+                            b[d] = 0;
+                        } else {
+                            debug_assert_eq!(b[d], 0, "ancilla element must be clean");
+                            b[d] = i;
+                        }
+                        b[f] ^= 1;
+                    }
+                });
+            }
+            Instruction::ParallelOracleRound {
+                elem,
+                count,
+                flag,
+                tables,
+                modulus,
+                inverse,
+            } => {
+                let m = *modulus;
+                state.apply_permutation(|b| {
+                    for j in 0..elem.len() {
+                        if b[flag[j]] == 1 {
+                            let c = tables[j][b[elem[j]] as usize] % m;
+                            let add = if *inverse { m - c } else { c } % m;
+                            b[count[j]] = (b[count[j]] + add) % m;
+                        }
+                    }
+                });
+            }
+            Instruction::FoldCounts {
+                srcs,
+                dst,
+                modulus,
+                subtract,
+            } => {
+                let m = *modulus;
+                state.apply_permutation(|b| {
+                    let mut total = 0u64;
+                    for &s in srcs {
+                        total = (total + b[s]) % m;
+                    }
+                    let add = if *subtract { (m - total) % m } else { total };
+                    b[*dst] = (b[*dst] + add) % m;
+                });
+            }
+        }
+    }
+
+    /// The exact inverse instruction.
+    pub fn inverse(&self) -> Instruction {
+        match self {
+            Instruction::RegisterUnitary { target, matrix } => Instruction::RegisterUnitary {
+                target: *target,
+                matrix: matrix.adjoint(),
+            },
+            Instruction::UnitaryByRegister {
+                target,
+                by,
+                matrices,
+            } => Instruction::UnitaryByRegister {
+                target: *target,
+                by: *by,
+                matrices: matrices.iter().map(MatC::adjoint).collect(),
+            },
+            Instruction::OracleAdd {
+                machine,
+                elem,
+                count,
+                table,
+                modulus,
+                inverse,
+            } => Instruction::OracleAdd {
+                machine: *machine,
+                elem: *elem,
+                count: *count,
+                table: table.clone(),
+                modulus: *modulus,
+                inverse: !inverse,
+            },
+            Instruction::PhaseIfZero { reg, phi } => Instruction::PhaseIfZero {
+                reg: *reg,
+                phi: -phi,
+            },
+            Instruction::RankOnePhase { anchor, phi } => Instruction::RankOnePhase {
+                anchor: anchor.clone(),
+                phi: -phi,
+            },
+            Instruction::GlobalPhase { phi } => Instruction::GlobalPhase { phi: -phi },
+            Instruction::Broadcast {
+                src,
+                dsts,
+                flags,
+                undo,
+            } => Instruction::Broadcast {
+                src: *src,
+                dsts: dsts.clone(),
+                flags: flags.clone(),
+                undo: !undo,
+            },
+            Instruction::ParallelOracleRound {
+                elem,
+                count,
+                flag,
+                tables,
+                modulus,
+                inverse,
+            } => Instruction::ParallelOracleRound {
+                elem: elem.clone(),
+                count: count.clone(),
+                flag: flag.clone(),
+                tables: tables.clone(),
+                modulus: *modulus,
+                inverse: !inverse,
+            },
+            Instruction::FoldCounts {
+                srcs,
+                dst,
+                modulus,
+                subtract,
+            } => Instruction::FoldCounts {
+                srcs: srcs.clone(),
+                dst: *dst,
+                modulus: *modulus,
+                subtract: !subtract,
+            },
+        }
+    }
+
+    /// A shape label: the instruction kind and its registers, but *not* its
+    /// data (oracle tables, matrix entries). Two oblivious circuits over
+    /// inputs with equal public parameters have equal shapes.
+    pub fn shape(&self) -> String {
+        match self {
+            Instruction::RegisterUnitary { target, matrix } => {
+                format!("U[{target}]({}x{})", matrix.rows(), matrix.cols())
+            }
+            Instruction::UnitaryByRegister {
+                target,
+                by,
+                matrices,
+            } => {
+                format!("U[{target}|{by}]x{}", matrices.len())
+            }
+            Instruction::OracleAdd {
+                machine,
+                elem,
+                count,
+                inverse,
+                ..
+            } => format!(
+                "O{}[m{machine}:{elem}->{count}]",
+                if *inverse { "†" } else { "" }
+            ),
+            Instruction::PhaseIfZero { reg, phi } => format!("Sx[{reg}]({phi:.4})"),
+            Instruction::RankOnePhase { phi, .. } => format!("Spi({phi:.4})"),
+            Instruction::GlobalPhase { phi } => format!("G({phi:.4})"),
+            Instruction::Broadcast {
+                src, dsts, undo, ..
+            } => format!("B{}[{src}->x{}]", if *undo { "†" } else { "" }, dsts.len()),
+            Instruction::ParallelOracleRound { elem, inverse, .. } => {
+                format!("PO{}[x{}]", if *inverse { "†" } else { "" }, elem.len())
+            }
+            Instruction::FoldCounts {
+                srcs,
+                dst,
+                subtract,
+                ..
+            } => format!(
+                "F{}[x{}->{dst}]",
+                if *subtract { "-" } else { "+" },
+                srcs.len()
+            ),
+        }
+    }
+}
+
+/// An ordered list of instructions over a fixed layout.
+#[derive(Clone)]
+pub struct Program {
+    layout: Layout,
+    instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// An empty program over a layout.
+    pub fn new(layout: Layout) -> Self {
+        Self {
+            layout,
+            instructions: Vec::new(),
+        }
+    }
+
+    /// The layout this program runs over.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, instr: Instruction) -> &mut Self {
+        self.instructions.push(instr);
+        self
+    }
+
+    /// The instructions in order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Runs the program on a state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state's layout differs from the program's.
+    pub fn run<S: QuantumState>(&self, state: &mut S) {
+        assert_eq!(state.layout(), &self.layout, "layout mismatch");
+        for instr in &self.instructions {
+            instr.apply(state);
+        }
+    }
+
+    /// Runs from `|basis⟩` and returns the final state.
+    pub fn run_from_basis<S: QuantumState>(&self, basis: &[u64]) -> S {
+        let mut s = S::from_basis(self.layout.clone(), basis);
+        self.run(&mut s);
+        s
+    }
+
+    /// The exact inverse program (instructions inverted, order reversed).
+    pub fn inverse(&self) -> Program {
+        Program {
+            layout: self.layout.clone(),
+            instructions: self
+                .instructions
+                .iter()
+                .rev()
+                .map(Instruction::inverse)
+                .collect(),
+        }
+    }
+
+    /// Concatenates two programs over the same layout.
+    pub fn then(mut self, other: &Program) -> Program {
+        assert_eq!(self.layout, other.layout, "layout mismatch");
+        self.instructions.extend(other.instructions.iter().cloned());
+        self
+    }
+
+    /// Total oracle queries, per machine (index = machine).
+    pub fn oracle_queries(&self, machines: usize) -> Vec<u64> {
+        let mut out = vec![0u64; machines];
+        for instr in &self.instructions {
+            if let Instruction::OracleAdd { machine, .. } = instr {
+                out[*machine] += 1;
+            }
+        }
+        out
+    }
+
+    /// Total composite parallel-oracle rounds in the program.
+    pub fn parallel_rounds(&self) -> u64 {
+        self.instructions
+            .iter()
+            .filter(|i| matches!(i, Instruction::ParallelOracleRound { .. }))
+            .count() as u64
+    }
+
+    /// The shape string: one label per instruction, newline-separated.
+    /// Equal shapes ⇔ structurally identical circuits (oblivious check).
+    pub fn shape(&self) -> String {
+        self.instructions
+            .iter()
+            .map(Instruction::shape)
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+impl std::fmt::Debug for Program {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Program[{} instructions over {:?}]",
+            self.instructions.len(),
+            self.layout
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use crate::sparse::SparseState;
+    use std::sync::Arc;
+
+    fn layout() -> Layout {
+        Layout::builder()
+            .register("elem", 4)
+            .register("count", 3)
+            .register("flag", 2)
+            .build()
+    }
+
+    fn demo_program() -> Program {
+        let mut p = Program::new(layout());
+        p.push(Instruction::RegisterUnitary {
+            target: 0,
+            matrix: gates::dft(4),
+        });
+        p.push(Instruction::OracleAdd {
+            machine: 0,
+            elem: 0,
+            count: 1,
+            table: Arc::new(vec![0, 1, 2, 1]),
+            modulus: 3,
+            inverse: false,
+        });
+        p.push(Instruction::UnitaryByRegister {
+            target: 2,
+            by: 1,
+            matrices: (0..3)
+                .map(|c| {
+                    let x = c as f64 / 2.0;
+                    gates::ry_by_cos_sin(x, (1.0 - x * x).sqrt())
+                })
+                .collect(),
+        });
+        p.push(Instruction::PhaseIfZero { reg: 2, phi: 0.7 });
+        p.push(Instruction::RankOnePhase {
+            anchor: StateTable::basis_state(layout(), &[0, 0, 0]),
+            phi: 1.1,
+        });
+        p.push(Instruction::GlobalPhase { phi: -0.3 });
+        p
+    }
+
+    #[test]
+    fn run_preserves_norm() {
+        let p = demo_program();
+        let s: SparseState = p.run_from_basis(&[0, 0, 0]);
+        assert!((s.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_undoes_program() {
+        let p = demo_program();
+        let mut s: SparseState = p.run_from_basis(&[0, 0, 0]);
+        p.inverse().run(&mut s);
+        let back = s.to_table();
+        let start = StateTable::basis_state(layout(), &[0, 0, 0]);
+        assert!(back.distance_sqr(&start) < 1e-15, "p⁻¹∘p != I");
+    }
+
+    #[test]
+    fn double_inverse_has_same_effect() {
+        let p = demo_program();
+        let a: SparseState = p.run_from_basis(&[1, 0, 0]);
+        let b: SparseState = p.inverse().inverse().run_from_basis(&[1, 0, 0]);
+        assert!(a.to_table().distance_sqr(&b.to_table()) < 1e-15);
+    }
+
+    #[test]
+    fn program_matches_manual_application() {
+        let p = demo_program();
+        let via_program: SparseState = p.run_from_basis(&[0, 0, 0]);
+        let mut manual = SparseState::from_basis(layout(), &[0, 0, 0]);
+        manual.apply_register_unitary(0, &gates::dft(4));
+        manual.apply_permutation(|b| {
+            let t = [0u64, 1, 2, 1];
+            b[1] = (b[1] + t[b[0] as usize]) % 3;
+        });
+        manual.apply_conditioned_unitary(2, |b| {
+            let x = b[1] as f64 / 2.0;
+            gates::ry_by_cos_sin(x, (1.0 - x * x).sqrt())
+        });
+        manual.apply_phase(|b| {
+            if b[2] == 0 {
+                Complex64::cis(0.7)
+            } else {
+                Complex64::ONE
+            }
+        });
+        manual.apply_rank_one_phase(&StateTable::basis_state(layout(), &[0, 0, 0]), 1.1);
+        manual.scale(Complex64::cis(-0.3));
+        assert!(via_program.to_table().distance_sqr(&manual.to_table()) < 1e-15);
+    }
+
+    #[test]
+    fn oracle_queries_counted_statically() {
+        let p = demo_program().then(&demo_program());
+        assert_eq!(p.oracle_queries(2), vec![2, 0]);
+    }
+
+    #[test]
+    fn shape_hides_data_but_shows_structure() {
+        let mut a = demo_program();
+        // same structure, different oracle table
+        let mut b = Program::new(layout());
+        b.push(Instruction::RegisterUnitary {
+            target: 0,
+            matrix: gates::dft(4),
+        });
+        b.push(Instruction::OracleAdd {
+            machine: 0,
+            elem: 0,
+            count: 1,
+            table: Arc::new(vec![2, 0, 1, 0]), // different data
+            modulus: 3,
+            inverse: false,
+        });
+        let shape_a: String = a.shape().lines().take(2).collect::<Vec<_>>().join("\n");
+        assert_eq!(shape_a, b.shape());
+        // shape differs when the structure differs
+        a.push(Instruction::GlobalPhase { phi: 0.1 });
+        let c = demo_program();
+        assert_ne!(a.shape(), c.shape());
+    }
+
+    #[test]
+    #[should_panic(expected = "layout mismatch")]
+    fn layout_mismatch_rejected() {
+        let p = demo_program();
+        let other = Layout::builder().register("x", 2).build();
+        let mut s = SparseState::from_basis(other, &[0]);
+        p.run(&mut s);
+    }
+}

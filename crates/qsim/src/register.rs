@@ -1,0 +1,287 @@
+//! Quantum registers and multi-register layouts.
+//!
+//! A [`Register`] is a named qudit of arbitrary dimension (the paper's
+//! element register has dimension `N`, the count register `ν+1`, flags `2`).
+//! A [`Layout`] is an ordered collection of registers defining the joint
+//! Hilbert space; it supplies mixed-radix encoding between basis-value
+//! tuples (`&[u64]`, one value per register) and flat dense indices.
+
+use std::fmt;
+
+/// A single qudit register: a name (for diagnostics) and a dimension.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Register {
+    /// Human-readable name used in error messages and debug output.
+    pub name: String,
+    /// Dimension (number of computational basis values, `0..dim`).
+    pub dim: u64,
+}
+
+impl Register {
+    /// Creates a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` (a zero-dimensional register is meaningless).
+    pub fn new(name: impl Into<String>, dim: u64) -> Self {
+        let name = name.into();
+        assert!(dim > 0, "register `{name}` must have dimension >= 1");
+        Self { name, dim }
+    }
+}
+
+/// An ordered list of registers defining a joint Hilbert space.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Layout {
+    regs: Vec<Register>,
+}
+
+impl Layout {
+    /// Creates a layout from registers.
+    pub fn new(regs: Vec<Register>) -> Self {
+        assert!(!regs.is_empty(), "layout needs at least one register");
+        Self { regs }
+    }
+
+    /// Starts a fluent builder.
+    pub fn builder() -> LayoutBuilder {
+        LayoutBuilder { regs: Vec::new() }
+    }
+
+    /// Number of registers.
+    pub fn num_registers(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// The registers in order.
+    pub fn registers(&self) -> &[Register] {
+        &self.regs
+    }
+
+    /// Dimension of register `r`.
+    pub fn dim(&self, r: usize) -> u64 {
+        self.regs[r].dim
+    }
+
+    /// Joint dimension `Π dim_r` if it fits in `usize`, else `None`.
+    ///
+    /// The dense backend requires this to be `Some` and small enough to
+    /// allocate; the sparse backend never calls it.
+    pub fn dense_dim(&self) -> Option<usize> {
+        let mut acc: usize = 1;
+        for r in &self.regs {
+            acc = acc.checked_mul(usize::try_from(r.dim).ok()?)?;
+        }
+        Some(acc)
+    }
+
+    /// Returns the index of the register named `name`, if any.
+    pub fn find(&self, name: &str) -> Option<usize> {
+        self.regs.iter().position(|r| r.name == name)
+    }
+
+    /// Checks that `basis` has one in-range value per register.
+    pub fn validate_basis(&self, basis: &[u64]) -> bool {
+        basis.len() == self.regs.len()
+            && basis.iter().zip(self.regs.iter()).all(|(v, r)| *v < r.dim)
+    }
+
+    /// Asserts [`Self::validate_basis`], with a useful message.
+    #[track_caller]
+    pub fn assert_basis(&self, basis: &[u64]) {
+        assert_eq!(
+            basis.len(),
+            self.regs.len(),
+            "basis tuple length {} != register count {}",
+            basis.len(),
+            self.regs.len()
+        );
+        for (k, (v, r)) in basis.iter().zip(self.regs.iter()).enumerate() {
+            assert!(
+                *v < r.dim,
+                "register {k} (`{}`): value {v} out of range 0..{}",
+                r.name,
+                r.dim
+            );
+        }
+    }
+
+    /// Mixed-radix encoding of a basis tuple to a flat index.
+    ///
+    /// The **first** register is the most significant digit, so lexicographic
+    /// order on tuples matches numeric order on indices.
+    pub fn encode(&self, basis: &[u64]) -> usize {
+        debug_assert!(self.validate_basis(basis));
+        let mut idx: usize = 0;
+        for (v, r) in basis.iter().zip(self.regs.iter()) {
+            idx = idx * (r.dim as usize) + (*v as usize);
+        }
+        idx
+    }
+
+    /// Inverse of [`Self::encode`]; writes into `out` (one slot per register).
+    pub fn decode(&self, mut idx: usize, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), self.regs.len());
+        for (slot, r) in out.iter_mut().zip(self.regs.iter()).rev() {
+            let d = r.dim as usize;
+            *slot = (idx % d) as u64;
+            idx /= d;
+        }
+        debug_assert_eq!(idx, 0, "index out of range for layout");
+    }
+
+    /// Allocates and returns the decoded tuple.
+    pub fn decode_vec(&self, idx: usize) -> Vec<u64> {
+        let mut out = vec![0u64; self.regs.len()];
+        self.decode(idx, &mut out);
+        out
+    }
+
+    /// The all-zeros basis tuple.
+    pub fn zero_basis(&self) -> Vec<u64> {
+        vec![0u64; self.regs.len()]
+    }
+
+    /// Dense stride of register `r`: how far apart two states differing by 1
+    /// in this register sit in the flat index space.
+    pub fn stride(&self, r: usize) -> usize {
+        self.regs[r + 1..]
+            .iter()
+            .fold(1usize, |acc, reg| acc * reg.dim as usize)
+    }
+}
+
+impl fmt::Debug for Layout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Layout[")?;
+        for (k, r) in self.regs.iter().enumerate() {
+            if k > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}", r.name, r.dim)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Fluent builder for [`Layout`].
+pub struct LayoutBuilder {
+    regs: Vec<Register>,
+}
+
+impl LayoutBuilder {
+    /// Appends a register.
+    pub fn register(mut self, name: impl Into<String>, dim: u64) -> Self {
+        self.regs.push(Register::new(name, dim));
+        self
+    }
+
+    /// Appends `n` registers named `name0, name1, …`, all of dimension `dim`.
+    pub fn register_array(mut self, name: &str, dim: u64, n: usize) -> Self {
+        for k in 0..n {
+            self.regs.push(Register::new(format!("{name}{k}"), dim));
+        }
+        self
+    }
+
+    /// Finalizes the layout.
+    pub fn build(self) -> Layout {
+        Layout::new(self.regs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout_3() -> Layout {
+        Layout::builder()
+            .register("elem", 5)
+            .register("count", 3)
+            .register("flag", 2)
+            .build()
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let l = layout_3();
+        assert_eq!(l.num_registers(), 3);
+        assert_eq!(l.dim(0), 5);
+        assert_eq!(l.dim(2), 2);
+        assert_eq!(l.find("count"), Some(1));
+        assert_eq!(l.find("missing"), None);
+        assert_eq!(l.dense_dim(), Some(30));
+    }
+
+    #[test]
+    fn encode_decode_round_trip_exhaustive() {
+        let l = layout_3();
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..30usize {
+            let t = l.decode_vec(idx);
+            assert!(l.validate_basis(&t));
+            assert_eq!(l.encode(&t), idx);
+            seen.insert(t);
+        }
+        assert_eq!(seen.len(), 30, "decode must be injective");
+    }
+
+    #[test]
+    fn encoding_is_lexicographic() {
+        let l = layout_3();
+        assert!(l.encode(&[0, 0, 1]) < l.encode(&[0, 1, 0]));
+        assert!(l.encode(&[0, 2, 1]) < l.encode(&[1, 0, 0]));
+    }
+
+    #[test]
+    fn strides_match_encoding() {
+        let l = layout_3();
+        assert_eq!(l.stride(0), 6);
+        assert_eq!(l.stride(1), 2);
+        assert_eq!(l.stride(2), 1);
+        // moving register 1 by +1 shifts index by stride(1)
+        let a = l.encode(&[2, 0, 1]);
+        let b = l.encode(&[2, 1, 1]);
+        assert_eq!(b - a, l.stride(1));
+    }
+
+    #[test]
+    fn register_array_builder() {
+        let l = Layout::builder()
+            .register("i", 4)
+            .register_array("s", 3, 2)
+            .build();
+        assert_eq!(l.num_registers(), 3);
+        assert_eq!(l.registers()[1].name, "s0");
+        assert_eq!(l.registers()[2].name, "s1");
+    }
+
+    #[test]
+    fn dense_dim_overflow_is_none() {
+        let l = Layout::builder()
+            .register("a", u64::MAX / 2)
+            .register("b", u64::MAX / 2)
+            .build();
+        assert_eq!(l.dense_dim(), None);
+    }
+
+    #[test]
+    fn validate_rejects_bad_tuples() {
+        let l = layout_3();
+        assert!(!l.validate_basis(&[5, 0, 0])); // out of range
+        assert!(!l.validate_basis(&[0, 0])); // wrong arity
+        assert!(l.validate_basis(&[4, 2, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn assert_basis_panics_with_message() {
+        layout_3().assert_basis(&[0, 3, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension >= 1")]
+    fn zero_dim_register_rejected() {
+        let _ = Register::new("bad", 0);
+    }
+}

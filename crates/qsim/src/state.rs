@@ -1,0 +1,139 @@
+//! The backend-neutral [`QuantumState`] trait.
+//!
+//! Every algorithm in the reproduction (oracles, the distributing operator
+//! `D`, amplitude amplification, the lower-bound hybrid runs) is written
+//! against this trait, so it runs unchanged on the dense ground-truth
+//! backend and on the scalable sparse backend.
+
+use crate::register::Layout;
+use crate::table::StateTable;
+use dqs_math::{Complex64, MatC};
+use rand::Rng;
+
+/// A mutable pure quantum state over a multi-register [`Layout`].
+///
+/// # Contract
+///
+/// * All operations are linear and (except [`Self::scale`] and explicitly
+///   non-unitary test helpers) norm-preserving.
+/// * `apply_permutation` closures **must** be bijections on valid basis
+///   tuples and must keep every value in range; this is debug-asserted.
+/// * `apply_conditioned_unitary` matrix factories **must not** depend on the
+///   target register's value (the target slot is zeroed before the closure
+///   sees the tuple) and must return a `dim(target) × dim(target)` unitary.
+pub trait QuantumState: Clone {
+    /// Constructs the computational basis state `|basis⟩`.
+    fn from_basis(layout: Layout, basis: &[u64]) -> Self;
+
+    /// The register layout.
+    fn layout(&self) -> &Layout;
+
+    /// Amplitude `⟨basis|self⟩`.
+    fn amplitude(&self, basis: &[u64]) -> Complex64;
+
+    /// Number of basis states with nonzero stored amplitude.
+    ///
+    /// For the dense backend this counts numerically nonzero entries; for
+    /// the sparse backend it is the stored support size.
+    fn support_len(&self) -> usize;
+
+    /// Applies a reversible classical map: each basis tuple is rewritten in
+    /// place by `f`. This implements the paper's oracles `O_j` (Eq. 1),
+    /// `Ô_j` (Eq. 2) and the parallel composite `O` (Eq. 3), as well as
+    /// ancilla copy/uncopy steps.
+    fn apply_permutation(&mut self, f: impl Fn(&mut [u64]) + Sync);
+
+    /// Applies a unitary on register `target`, conditioned on the values of
+    /// the other registers: the matrix used for a basis tuple `b` is
+    /// `u_of(b with b[target] = 0)`.
+    fn apply_conditioned_unitary(&mut self, target: usize, u_of: impl Fn(&[u64]) -> MatC + Sync);
+
+    /// Applies one fixed unitary on register `target`.
+    fn apply_register_unitary(&mut self, target: usize, u: &MatC) {
+        self.apply_conditioned_unitary(target, |_| u.clone());
+    }
+
+    /// Applies a diagonal operator: each basis state `|b⟩` is multiplied by
+    /// `f(b)` (which must be unit-modulus for unitarity).
+    fn apply_phase(&mut self, f: impl Fn(&[u64]) -> Complex64 + Sync);
+
+    /// Applies the rank-one phase `I + (e^{iϕ} − 1)|a⟩⟨a|` where `|a⟩` is
+    /// the (normalized) anchor. With `ϕ = π` this is the reflection
+    /// `I − 2|a⟩⟨a|` used by amplitude amplification; in the paper it
+    /// realizes `S_π(ϕ)` conjugated into place (Theorem 4.3).
+    fn apply_rank_one_phase(&mut self, anchor: &StateTable, phi: f64);
+
+    /// Multiplies the whole state by a scalar (e.g. the global `−1` in
+    /// `Q = −D S_π(ϕ) D† S_χ(φ)`).
+    fn scale(&mut self, k: Complex64);
+
+    /// ℓ² norm (should stay 1 under unitary evolution).
+    fn norm(&self) -> f64;
+
+    /// Hermitian inner product `⟨self|other⟩`.
+    fn inner(&self, other: &Self) -> Complex64;
+
+    /// Zeroes every amplitude whose basis tuple fails `keep`. This is the
+    /// projection `Π` of a (possibly destructive) measurement — **not**
+    /// unitary; callers renormalize via [`Self::renormalize`]. Returns the
+    /// surviving squared mass (the outcome probability).
+    fn filter_amplitudes(&mut self, keep: impl Fn(&[u64]) -> bool + Sync) -> f64;
+
+    /// Rescales to unit norm.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the (numerically) zero vector.
+    fn renormalize(&mut self) {
+        let n = self.norm();
+        assert!(n > 1e-12, "cannot renormalize the zero vector");
+        self.scale(Complex64::from_real(1.0 / n));
+    }
+
+    /// Deterministic snapshot (sorted support).
+    fn to_table(&self) -> StateTable;
+
+    /// Fidelity `|⟨self|target⟩|²` against a snapshot target.
+    fn fidelity_with_table(&self, target: &StateTable) -> f64 {
+        self.to_table().fidelity(target)
+    }
+
+    /// Marginal distribution of one register.
+    fn register_probabilities(&self, reg: usize) -> Vec<f64> {
+        self.to_table().register_probabilities(reg)
+    }
+
+    /// Born-rule measurement of the full state in the computational basis;
+    /// returns the observed basis tuple. Deterministic given the RNG because
+    /// it walks the sorted support.
+    fn sample(&self, rng: &mut impl Rng) -> Vec<u64> {
+        let table = self.to_table();
+        let total: f64 = table.iter().map(|(_, a)| a.norm_sqr()).sum();
+        assert!(total > 0.0, "sampling from the zero vector");
+        let mut u: f64 = rng.gen::<f64>() * total;
+        let mut last: Option<Vec<u64>> = None;
+        for (b, a) in table.iter() {
+            let p = a.norm_sqr();
+            last = Some(b.to_vec());
+            if u < p {
+                return b.to_vec();
+            }
+            u -= p;
+        }
+        last.expect("non-empty support")
+    }
+}
+
+/// Debug-build norm check shared by backend implementations: asserts the
+/// state norm drifted less than `1e-6` from 1 after a unitary operation.
+#[inline]
+pub(crate) fn debug_check_norm<S: QuantumState>(state: &S, op: &str) {
+    if cfg!(debug_assertions) {
+        let n = state.norm();
+        debug_assert!(
+            (n - 1.0).abs() < 1e-6,
+            "norm drifted to {n} after {op} (layout {:?})",
+            state.layout()
+        );
+    }
+}

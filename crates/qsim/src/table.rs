@@ -1,0 +1,400 @@
+//! [`StateTable`] — a backend-neutral, deterministic pure-state snapshot.
+//!
+//! A `StateTable` is a sorted list of `(basis tuple, amplitude)` pairs. It is
+//! the interchange format between backends: rank-one reflection anchors,
+//! fidelity targets (the sampling state `|ψ⟩` built directly from the data),
+//! and cross-backend comparisons all flow through it. Sorting makes
+//! iteration order — and therefore measurement sampling and printed output —
+//! reproducible regardless of hash-map internals.
+
+use crate::register::Layout;
+use dqs_math::Complex64;
+
+/// A sorted, deduplicated pure-state snapshot over a [`Layout`].
+#[derive(Clone, Debug)]
+pub struct StateTable {
+    layout: Layout,
+    entries: Vec<(Box<[u64]>, Complex64)>,
+}
+
+impl StateTable {
+    /// Builds a table from raw entries: validates, sorts, merges duplicates,
+    /// and drops exact zeros.
+    pub fn new(layout: Layout, mut entries: Vec<(Box<[u64]>, Complex64)>) -> Self {
+        for (b, _) in &entries {
+            layout.assert_basis(b);
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut merged: Vec<(Box<[u64]>, Complex64)> = Vec::with_capacity(entries.len());
+        for (b, a) in entries {
+            match merged.last_mut() {
+                Some((prev, acc)) if *prev == b => *acc += a,
+                _ => merged.push((b, a)),
+            }
+        }
+        merged.retain(|(_, a)| a.norm_sqr() > 0.0);
+        Self {
+            layout,
+            entries: merged,
+        }
+    }
+
+    /// A table holding the single basis state `|basis⟩` with amplitude 1.
+    pub fn basis_state(layout: Layout, basis: &[u64]) -> Self {
+        Self::new(layout, vec![(basis.into(), Complex64::ONE)])
+    }
+
+    /// The layout this table lives in.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Number of support states.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the support is empty (the zero vector).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates `(basis, amplitude)` in sorted basis order.
+    pub fn iter(&self) -> impl Iterator<Item = (&[u64], Complex64)> + '_ {
+        self.entries.iter().map(|(b, a)| (b.as_ref(), *a))
+    }
+
+    /// Amplitude of a basis state (zero if absent).
+    pub fn amplitude(&self, basis: &[u64]) -> Complex64 {
+        match self
+            .entries
+            .binary_search_by(|(b, _)| b.as_ref().cmp(basis))
+        {
+            Ok(k) => self.entries[k].1,
+            Err(_) => Complex64::ZERO,
+        }
+    }
+
+    /// ℓ² norm.
+    pub fn norm(&self) -> f64 {
+        self.entries
+            .iter()
+            .map(|(_, a)| a.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Normalizes to unit norm in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the zero vector.
+    pub fn normalize(&mut self) {
+        let n = self.norm();
+        assert!(n > 0.0, "cannot normalize zero StateTable");
+        let inv = 1.0 / n;
+        for (_, a) in &mut self.entries {
+            *a = a.scale(inv);
+        }
+    }
+
+    /// Hermitian inner product `⟨self|other⟩`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the layouts differ.
+    pub fn inner(&self, other: &StateTable) -> Complex64 {
+        assert_eq!(
+            self.layout, other.layout,
+            "inner product across different layouts"
+        );
+        // Merge-join over the two sorted supports.
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = Complex64::ZERO;
+        while i < self.entries.len() && j < other.entries.len() {
+            match self.entries[i].0.cmp(&other.entries[j].0) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += self.entries[i].1.conj() * other.entries[j].1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Fidelity `|⟨self|other⟩|²` (states assumed normalized).
+    pub fn fidelity(&self, other: &StateTable) -> f64 {
+        self.inner(other).norm_sqr().clamp(0.0, 1.0)
+    }
+
+    /// Squared ℓ² distance `‖self − other‖²` — the quantity inside the
+    /// paper's potential function `D_t` (Eq. 11).
+    pub fn distance_sqr(&self, other: &StateTable) -> f64 {
+        assert_eq!(self.layout, other.layout, "distance across layouts");
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut acc = 0.0;
+        while i < self.entries.len() || j < other.entries.len() {
+            let ord = match (self.entries.get(i), other.entries.get(j)) {
+                (Some(a), Some(b)) => a.0.cmp(&b.0),
+                (Some(_), None) => std::cmp::Ordering::Less,
+                (None, Some(_)) => std::cmp::Ordering::Greater,
+                (None, None) => break,
+            };
+            match ord {
+                std::cmp::Ordering::Less => {
+                    acc += self.entries[i].1.norm_sqr();
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    acc += other.entries[j].1.norm_sqr();
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    acc += (self.entries[i].1 - other.entries[j].1).norm_sqr();
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Fidelity `F(ρ, |τ⟩⟨τ|) = ⟨τ|ρ|τ⟩` between the **reduced** state
+    /// `ρ = Tr_rest |self⟩⟨self|` on register `reg` and a pure target
+    /// `|τ⟩ = Σ_v target[v] |v⟩` on that register.
+    ///
+    /// Grouping the support by the values of all *other* registers `η`,
+    /// `⟨τ|ρ|τ⟩ = Σ_η |Σ_v conj(target[v])·amp(v, η)|²` — exactly the
+    /// computation of the paper's Lemma B.1 / Appendix A fidelity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target.len() != layout.dim(reg)`.
+    pub fn fidelity_of_register_marginal(&self, reg: usize, target: &[Complex64]) -> f64 {
+        assert_eq!(
+            target.len(),
+            self.layout.dim(reg) as usize,
+            "target amplitude vector must match the register dimension"
+        );
+        use std::collections::HashMap;
+        let mut groups: HashMap<Box<[u64]>, Complex64> = HashMap::new();
+        for (b, amp) in self.iter() {
+            let coeff = target[b[reg] as usize].conj();
+            if coeff.norm_sqr() == 0.0 {
+                continue;
+            }
+            let mut rest = b.to_vec();
+            rest[reg] = 0;
+            *groups
+                .entry(rest.into_boxed_slice())
+                .or_insert(Complex64::ZERO) += coeff * amp;
+        }
+        groups
+            .values()
+            .map(|z| z.norm_sqr())
+            .sum::<f64>()
+            .clamp(0.0, 1.0)
+    }
+
+    /// The reduced density matrix `ρ = Tr_rest |self⟩⟨self|` of one
+    /// register, as a `dim × dim` Hermitian matrix.
+    ///
+    /// `ρ[v,w] = Σ_η amp(v,η)·conj(amp(w,η))` grouping the support by the
+    /// values `η` of every other register. Feed the result to
+    /// [`dqs_math::von_neumann_entropy`] / [`dqs_math::purity`] for
+    /// entanglement diagnostics (register `reg` vs the rest).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the register dimension exceeds 4096 (the dense matrix
+    /// would be too large — this is a diagnostic for small registers).
+    pub fn reduced_density_matrix(&self, reg: usize) -> dqs_math::MatC {
+        let dim = self.layout.dim(reg);
+        assert!(dim <= 4096, "register too large for a dense density matrix");
+        use std::collections::HashMap;
+        // group amplitudes by the rest-tuple
+        let mut groups: HashMap<Box<[u64]>, Vec<(u64, Complex64)>> = HashMap::new();
+        for (b, amp) in self.iter() {
+            let v = b[reg];
+            let mut rest = b.to_vec();
+            rest[reg] = 0;
+            groups
+                .entry(rest.into_boxed_slice())
+                .or_default()
+                .push((v, amp));
+        }
+        let d = dim as usize;
+        let mut rho = dqs_math::MatC::zeros(d, d);
+        for members in groups.values() {
+            for &(v, av) in members {
+                for &(w, aw) in members {
+                    rho[(v as usize, w as usize)] += av * aw.conj();
+                }
+            }
+        }
+        rho
+    }
+
+    /// Marginal probability distribution of one register (traced over the
+    /// rest). The result has `layout.dim(reg)` entries.
+    pub fn register_probabilities(&self, reg: usize) -> Vec<f64> {
+        let mut probs = vec![0.0; self.layout.dim(reg) as usize];
+        for (b, a) in self.iter() {
+            probs[b[reg] as usize] += a.norm_sqr();
+        }
+        probs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_math::approx::{approx_eq, approx_eq_c};
+
+    fn layout() -> Layout {
+        Layout::builder().register("i", 4).register("b", 2).build()
+    }
+
+    fn amp(re: f64) -> Complex64 {
+        Complex64::from_real(re)
+    }
+
+    #[test]
+    fn merges_duplicates_and_sorts() {
+        let t = StateTable::new(
+            layout(),
+            vec![
+                (vec![2, 1].into(), amp(0.25)),
+                (vec![0, 0].into(), amp(0.5)),
+                (vec![2, 1].into(), amp(0.25)),
+            ],
+        );
+        assert_eq!(t.len(), 2);
+        let entries: Vec<_> = t.iter().collect();
+        assert_eq!(entries[0].0, &[0, 0][..]);
+        assert!(approx_eq_c(entries[1].1, amp(0.5)));
+    }
+
+    #[test]
+    fn drops_cancelled_entries() {
+        let t = StateTable::new(
+            layout(),
+            vec![
+                (vec![1, 0].into(), amp(0.7)),
+                (vec![1, 0].into(), amp(-0.7)),
+            ],
+        );
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn amplitude_lookup() {
+        let t = StateTable::basis_state(layout(), &[3, 1]);
+        assert!(approx_eq_c(t.amplitude(&[3, 1]), Complex64::ONE));
+        assert!(approx_eq_c(t.amplitude(&[0, 0]), Complex64::ZERO));
+    }
+
+    #[test]
+    fn norm_and_normalize() {
+        let mut t = StateTable::new(
+            layout(),
+            vec![(vec![0, 0].into(), amp(3.0)), (vec![1, 0].into(), amp(4.0))],
+        );
+        assert!(approx_eq(t.norm(), 5.0));
+        t.normalize();
+        assert!(approx_eq(t.norm(), 1.0));
+        assert!(approx_eq(t.amplitude(&[0, 0]).re, 0.6));
+    }
+
+    #[test]
+    fn inner_product_merge_join() {
+        let a = StateTable::new(
+            layout(),
+            vec![(vec![0, 0].into(), amp(0.6)), (vec![1, 0].into(), amp(0.8))],
+        );
+        let b = StateTable::new(layout(), vec![(vec![1, 0].into(), amp(1.0))]);
+        assert!(approx_eq_c(a.inner(&b), amp(0.8)));
+        assert!(approx_eq(a.fidelity(&b), 0.64));
+    }
+
+    #[test]
+    fn distance_sqr_disjoint_supports() {
+        let a = StateTable::basis_state(layout(), &[0, 0]);
+        let b = StateTable::basis_state(layout(), &[1, 1]);
+        assert!(approx_eq(a.distance_sqr(&b), 2.0));
+        assert!(approx_eq(a.distance_sqr(&a), 0.0));
+    }
+
+    #[test]
+    fn register_marginals() {
+        let t = StateTable::new(
+            layout(),
+            vec![
+                (vec![0, 0].into(), amp(0.5)),
+                (vec![0, 1].into(), amp(0.5)),
+                (vec![2, 0].into(), amp(1.0 / 2.0f64.sqrt())),
+            ],
+        );
+        let p_i = t.register_probabilities(0);
+        assert!(approx_eq(p_i[0], 0.5));
+        assert!(approx_eq(p_i[2], 0.5));
+        let p_b = t.register_probabilities(1);
+        assert!(approx_eq(p_b[0], 0.75));
+        assert!(approx_eq(p_b[1], 0.25));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_invalid_basis() {
+        let _ = StateTable::basis_state(layout(), &[4, 0]);
+    }
+
+    #[test]
+    fn density_matrix_of_product_state_is_pure() {
+        // (|0⟩+|1⟩)/√2 ⊗ |0⟩ — register 0 is pure.
+        let r = 1.0 / 2.0f64.sqrt();
+        let t = StateTable::new(
+            layout(),
+            vec![(vec![0, 0].into(), amp(r)), (vec![1, 0].into(), amp(r))],
+        );
+        let rho = t.reduced_density_matrix(0);
+        assert!(dqs_math::purity(&rho) > 1.0 - 1e-9);
+        assert!(dqs_math::von_neumann_entropy(&rho).abs() < 1e-9);
+        // and its entries are the projector onto |+⟩ restricted to {0,1}
+        assert!((rho[(0, 1)].re - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn density_matrix_of_entangled_state_is_mixed() {
+        // (|0⟩|0⟩ + |1⟩|1⟩)/√2 — register 1 is maximally mixed.
+        let r = 1.0 / 2.0f64.sqrt();
+        let t = StateTable::new(
+            layout(),
+            vec![(vec![0, 0].into(), amp(r)), (vec![1, 1].into(), amp(r))],
+        );
+        let rho = t.reduced_density_matrix(1);
+        assert!((dqs_math::purity(&rho) - 0.5).abs() < 1e-9);
+        assert!((dqs_math::von_neumann_entropy(&rho) - 1.0).abs() < 1e-9);
+        assert!(rho[(0, 1)].abs() < 1e-12, "off-diagonals vanish");
+    }
+
+    #[test]
+    fn density_matrix_diagonal_matches_marginals() {
+        let t = StateTable::new(
+            layout(),
+            vec![
+                (vec![0, 0].into(), amp(0.5)),
+                (vec![2, 1].into(), amp(0.5)),
+                (vec![3, 0].into(), amp(1.0 / 2.0f64.sqrt())),
+            ],
+        );
+        let rho = t.reduced_density_matrix(0);
+        let probs = t.register_probabilities(0);
+        for v in 0..4 {
+            assert!((rho[(v, v)].re - probs[v]).abs() < 1e-12);
+        }
+    }
+}

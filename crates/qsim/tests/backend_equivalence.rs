@@ -1,0 +1,150 @@
+//! Property-based cross-validation: the dense and sparse backends must
+//! produce identical states on arbitrary random circuits, and both must
+//! preserve norms under every unitary primitive.
+
+use dqs_math::Complex64;
+use dqs_sim::{gates, DenseState, Layout, QuantumState, SparseState, StateTable};
+use proptest::prelude::*;
+
+/// One random operation, chosen from the four primitive classes.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Controlled modular addition: count += f(elem) (mod dim).
+    AddMod { mult: u64 },
+    /// Conditioned rotation on the flag, angle from the count value.
+    CondRotate { scale: u64 },
+    /// Diagonal phase depending on all registers.
+    Phase { k1: u64, k2: u64 },
+    /// Rank-one phase about a two-element anchor.
+    RankOne { a: u64, b: u64, phi_milli: u64 },
+    /// Fixed single-register unitary (DFT on the element register).
+    Dft,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..5).prop_map(|mult| Op::AddMod { mult }),
+        (1u64..4).prop_map(|scale| Op::CondRotate { scale }),
+        (0u64..7, 0u64..5).prop_map(|(k1, k2)| Op::Phase { k1, k2 }),
+        (0u64..6, 0u64..6, 1u64..6283).prop_map(|(a, b, phi_milli)| Op::RankOne {
+            a,
+            b,
+            phi_milli
+        }),
+        Just(Op::Dft),
+    ]
+}
+
+const UNIVERSE: u64 = 6;
+const COUNTS: u64 = 4;
+
+fn layout() -> Layout {
+    Layout::builder()
+        .register("elem", UNIVERSE)
+        .register("count", COUNTS)
+        .register("flag", 2)
+        .build()
+}
+
+fn anchor(a: u64, b: u64) -> StateTable {
+    let l = layout();
+    let amp = if a == b {
+        Complex64::ONE
+    } else {
+        Complex64::from_real(1.0 / 2.0f64.sqrt())
+    };
+    let mut entries = vec![(vec![a, 0, 0].into_boxed_slice(), amp)];
+    if a != b {
+        entries.push((vec![b, 0, 0].into_boxed_slice(), amp));
+    }
+    StateTable::new(l, entries)
+}
+
+fn apply<S: QuantumState>(state: &mut S, op: &Op) {
+    match *op {
+        Op::AddMod { mult } => {
+            state.apply_permutation(|t| t[1] = (t[1] + (t[0] * mult) % COUNTS) % COUNTS)
+        }
+        Op::CondRotate { scale } => state.apply_conditioned_unitary(2, |t| {
+            let c = ((t[1] * scale) % COUNTS) as f64 / (COUNTS - 1) as f64;
+            let c = c.min(1.0);
+            gates::ry_by_cos_sin(c, (1.0 - c * c).sqrt())
+        }),
+        Op::Phase { k1, k2 } => state
+            .apply_phase(|t| Complex64::cis(0.37 * (t[0] * k1) as f64 + 0.11 * (t[1] * k2) as f64)),
+        Op::RankOne { a, b, phi_milli } => {
+            state.apply_rank_one_phase(&anchor(a, b), phi_milli as f64 / 1000.0)
+        }
+        Op::Dft => state.apply_register_unitary(0, &gates::dft(UNIVERSE)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dense_and_sparse_agree_on_random_circuits(
+        start in (0u64..UNIVERSE, 0u64..COUNTS, 0u64..2),
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+    ) {
+        let basis = [start.0, start.1, start.2];
+        let mut dense = DenseState::from_basis(layout(), &basis);
+        let mut sparse = SparseState::from_basis(layout(), &basis);
+        for op in &ops {
+            apply(&mut dense, op);
+            apply(&mut sparse, op);
+        }
+        let (td, ts) = (dense.to_table(), sparse.to_table());
+        prop_assert!(
+            td.distance_sqr(&ts) < 1e-15,
+            "backends diverged after {ops:?}: {:.3e}",
+            td.distance_sqr(&ts)
+        );
+    }
+
+    #[test]
+    fn norm_is_preserved_by_random_circuits(
+        ops in proptest::collection::vec(op_strategy(), 1..16),
+    ) {
+        let mut s = SparseState::from_basis(layout(), &[0, 0, 0]);
+        s.apply_register_unitary(0, &gates::dft(UNIVERSE));
+        for op in &ops {
+            apply(&mut s, op);
+            prop_assert!((s.norm() - 1.0).abs() < 1e-9, "norm drift after {op:?}");
+        }
+    }
+
+    #[test]
+    fn inner_products_match_across_backends(
+        ops_a in proptest::collection::vec(op_strategy(), 1..8),
+        ops_b in proptest::collection::vec(op_strategy(), 1..8),
+    ) {
+        let mut da = DenseState::from_basis(layout(), &[0, 0, 0]);
+        let mut sa = SparseState::from_basis(layout(), &[0, 0, 0]);
+        let mut db = DenseState::from_basis(layout(), &[1, 0, 0]);
+        let mut sb = SparseState::from_basis(layout(), &[1, 0, 0]);
+        for op in &ops_a { apply(&mut da, op); apply(&mut sa, op); }
+        for op in &ops_b { apply(&mut db, op); apply(&mut sb, op); }
+        let ip_dense = da.inner(&db);
+        let ip_sparse = sa.inner(&sb);
+        prop_assert!((ip_dense - ip_sparse).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measurement_marginals_match_across_backends(
+        ops in proptest::collection::vec(op_strategy(), 1..10),
+        reg in 0usize..3,
+    ) {
+        let mut dense = DenseState::from_basis(layout(), &[2, 1, 0]);
+        let mut sparse = SparseState::from_basis(layout(), &[2, 1, 0]);
+        for op in &ops {
+            apply(&mut dense, op);
+            apply(&mut sparse, op);
+        }
+        let pd = dense.register_probabilities(reg);
+        let ps = sparse.register_probabilities(reg);
+        for (a, b) in pd.iter().zip(&ps) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+}

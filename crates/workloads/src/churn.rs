@@ -1,0 +1,127 @@
+//! Dynamic-update (churn) traces for Experiment E9.
+//!
+//! Generates a random but always-valid stream of insert/delete operations
+//! against a dataset: deletes only target present occurrences, and inserts
+//! never push a total multiplicity past the capacity `ν` (so the composed
+//! oracle stays well-defined).
+
+use dqs_db::{DistributedDataset, UpdateLog, UpdateOp};
+use rand::Rng;
+
+/// Generates `ops` valid update operations against `base`.
+///
+/// `insert_bias ∈ [0,1]` is the probability of attempting an insert (vs a
+/// delete); when the attempted kind is impossible (nothing to delete /
+/// capacity reached) the other kind is tried, and if neither is possible
+/// the trace ends early.
+pub fn churn_trace(
+    base: &DistributedDataset,
+    ops: usize,
+    insert_bias: f64,
+    rng: &mut impl Rng,
+) -> UpdateLog {
+    assert!((0.0..=1.0).contains(&insert_bias));
+    let mut log = UpdateLog::new();
+    // live view = base + log (tracked incrementally for validity checks)
+    let mut live = base.clone();
+    for _ in 0..ops {
+        let want_insert = rng.gen::<f64>() < insert_bias;
+        let op = if want_insert {
+            try_insert(&live, rng).or_else(|| try_delete(&live, rng))
+        } else {
+            try_delete(&live, rng).or_else(|| try_insert(&live, rng))
+        };
+        let Some(op) = op else { break };
+        log.push(op);
+        // maintain the live view
+        let mut single = UpdateLog::new();
+        single.push(op);
+        live = single.apply_to(&live);
+    }
+    log
+}
+
+fn try_insert(live: &DistributedDataset, rng: &mut impl Rng) -> Option<UpdateOp> {
+    let n = live.num_machines();
+    // rejection-sample an (element, machine) that stays within capacity
+    for _ in 0..64 {
+        let elem = rng.gen_range(0..live.universe());
+        let machine = rng.gen_range(0..n);
+        if live.total_multiplicity(elem) < live.capacity() {
+            return Some(UpdateOp::insert(machine, elem));
+        }
+    }
+    None
+}
+
+fn try_delete(live: &DistributedDataset, rng: &mut impl Rng) -> Option<UpdateOp> {
+    // Never delete the last element overall: an empty dataset has no
+    // sampling state.
+    if live.total_count() <= 1 {
+        return None;
+    }
+    let n = live.num_machines();
+    for _ in 0..64 {
+        let machine = rng.gen_range(0..n);
+        let shard = &live.shards()[machine];
+        if shard.is_empty() {
+            continue;
+        }
+        let support: Vec<u64> = shard.support().collect();
+        let elem = support[rng.gen_range(0..support.len())];
+        return Some(UpdateOp::delete(machine, elem));
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::WorkloadSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base() -> DistributedDataset {
+        WorkloadSpec::small_uniform(32, 80, 3, 17).build()
+    }
+
+    #[test]
+    fn trace_is_always_applicable() {
+        let ds = base();
+        let mut rng = StdRng::seed_from_u64(5);
+        let log = churn_trace(&ds, 200, 0.5, &mut rng);
+        assert!(!log.ops().is_empty());
+        // applying must not panic and must stay within capacity
+        let updated = log.apply_to(&ds);
+        let p = updated.params();
+        assert!(p.realized_capacity <= ds.capacity());
+        assert!(p.total_count >= 1);
+    }
+
+    #[test]
+    fn insert_only_bias_grows_dataset() {
+        let ds = base();
+        let mut rng = StdRng::seed_from_u64(6);
+        let log = churn_trace(&ds, 50, 1.0, &mut rng);
+        let updated = log.apply_to(&ds);
+        assert!(updated.total_count() >= ds.total_count());
+    }
+
+    #[test]
+    fn delete_only_bias_shrinks_dataset() {
+        let ds = base();
+        let mut rng = StdRng::seed_from_u64(7);
+        let log = churn_trace(&ds, 50, 0.0, &mut rng);
+        let updated = log.apply_to(&ds);
+        assert!(updated.total_count() <= ds.total_count());
+        assert!(updated.total_count() >= 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = base();
+        let a = churn_trace(&ds, 30, 0.5, &mut StdRng::seed_from_u64(9));
+        let b = churn_trace(&ds, 30, 0.5, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a.ops(), b.ops());
+    }
+}

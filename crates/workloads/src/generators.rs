@@ -1,0 +1,173 @@
+//! Global multiset generators.
+//!
+//! Each generator returns one global [`Multiset`] of cardinality `total`
+//! over universe `0..universe`; [`crate::partition`] then distributes it
+//! over machines. All are deterministic functions of the supplied RNG.
+
+use dqs_db::Multiset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// `total` draws uniform over the whole universe (dense support for
+/// `total ≫ universe`, sparse otherwise).
+pub fn uniform_support(universe: u64, total: u64, rng: &mut impl Rng) -> Multiset {
+    let mut m = Multiset::new();
+    for _ in 0..total {
+        m.insert(rng.gen_range(0..universe));
+    }
+    m
+}
+
+/// Exactly `support` distinct elements, each with multiplicity
+/// `total / support` (remainder spread over the first elements). The
+/// support is a uniform random subset — this is the regime of the paper's
+/// hard inputs (`m_k` distinct elements of equal weight).
+pub fn sparse_uniform(universe: u64, support: u64, total: u64, rng: &mut impl Rng) -> Multiset {
+    assert!(support > 0 && support <= universe, "support out of range");
+    assert!(total >= support, "need at least one copy per element");
+    let mut elems: Vec<u64> = (0..universe).collect();
+    elems.partial_shuffle(rng, support as usize);
+    let base = total / support;
+    let extra = (total % support) as usize;
+    Multiset::from_counts(
+        elems[..support as usize]
+            .iter()
+            .enumerate()
+            .map(|(k, &e)| (e, base + u64::from(k < extra))),
+    )
+}
+
+/// Zipf-distributed multiplicities: element ranks get weight `1/rank^s`,
+/// and `total` samples are drawn from that law over a random permutation of
+/// the universe.
+pub fn zipf(universe: u64, total: u64, s: f64, rng: &mut impl Rng) -> Multiset {
+    assert!(universe > 0);
+    assert!(s >= 0.0, "zipf exponent must be non-negative");
+    // cumulative weights over ranks
+    let mut cum = Vec::with_capacity(universe as usize);
+    let mut acc = 0.0f64;
+    for rank in 1..=universe {
+        acc += 1.0 / (rank as f64).powf(s);
+        cum.push(acc);
+    }
+    let z = acc;
+    // random rank→element relabeling so low ids are not systematically hot
+    let mut relabel: Vec<u64> = (0..universe).collect();
+    relabel.shuffle(rng);
+    let mut m = Multiset::new();
+    for _ in 0..total {
+        let u = rng.gen::<f64>() * z;
+        let rank = cum.partition_point(|&c| c < u).min(universe as usize - 1);
+        m.insert(relabel[rank]);
+    }
+    m
+}
+
+/// `hot` elements share `hot_mass` of the total; the rest is uniform over
+/// the remaining universe. Models skewed frequency encoding (e.g. log
+/// analytics with a few dominant event types).
+pub fn heavy_hitter(
+    universe: u64,
+    total: u64,
+    hot: u64,
+    hot_mass: f64,
+    rng: &mut impl Rng,
+) -> Multiset {
+    assert!(hot > 0 && hot < universe, "hot set must be a proper subset");
+    assert!((0.0..=1.0).contains(&hot_mass), "hot_mass is a fraction");
+    let hot_total = (total as f64 * hot_mass).round() as u64;
+    let mut m = Multiset::new();
+    for _ in 0..hot_total {
+        m.insert(rng.gen_range(0..hot));
+    }
+    for _ in 0..(total - hot_total) {
+        m.insert(rng.gen_range(hot..universe));
+    }
+    m
+}
+
+/// A single element with multiplicity `total` — the extreme concentration
+/// case (`m = 1`), where quantum sampling degenerates to Grover search for
+/// one marked item.
+pub fn singleton(universe: u64, total: u64, rng: &mut impl Rng) -> Multiset {
+    let elem = rng.gen_range(0..universe);
+    Multiset::from_counts([(elem, total)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn uniform_support_total_is_exact() {
+        let m = uniform_support(100, 250, &mut rng(1));
+        assert_eq!(m.cardinality(), 250);
+        assert!(m.max_element().unwrap() < 100);
+    }
+
+    #[test]
+    fn sparse_uniform_support_and_total() {
+        let m = sparse_uniform(64, 10, 35, &mut rng(2));
+        assert_eq!(m.support_size(), 10);
+        assert_eq!(m.cardinality(), 35);
+        // multiplicities differ by at most 1
+        let (lo, hi) = m
+            .iter()
+            .fold((u64::MAX, 0u64), |(lo, hi), (_, c)| (lo.min(c), hi.max(c)));
+        assert!(hi - lo <= 1);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let m = zipf(1000, 20_000, 1.2, &mut rng(3));
+        assert_eq!(m.cardinality(), 20_000);
+        // the hottest element should carry far more than the mean
+        let mean = 20_000.0 / m.support_size() as f64;
+        assert!(m.max_multiplicity() as f64 > 5.0 * mean);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform_law() {
+        let m = zipf(50, 5000, 0.0, &mut rng(4));
+        assert_eq!(m.cardinality(), 5000);
+        // every element should appear: expected 100 each
+        assert_eq!(m.support_size(), 50);
+    }
+
+    #[test]
+    fn heavy_hitter_mass_split() {
+        let m = heavy_hitter(100, 10_000, 5, 0.8, &mut rng(5));
+        let hot_mass: u64 = m.iter().filter(|(e, _)| *e < 5).map(|(_, c)| c).sum();
+        assert_eq!(hot_mass, 8000);
+        assert_eq!(m.cardinality(), 10_000);
+    }
+
+    #[test]
+    fn singleton_is_one_element() {
+        let m = singleton(32, 9, &mut rng(6));
+        assert_eq!(m.support_size(), 1);
+        assert_eq!(m.cardinality(), 9);
+        assert_eq!(m.max_multiplicity(), 9);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_output() {
+        let a = zipf(256, 4096, 1.0, &mut rng(42));
+        let b = zipf(256, 4096, 1.0, &mut rng(42));
+        assert_eq!(a, b);
+        let c = zipf(256, 4096, 1.0, &mut rng(43));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "support out of range")]
+    fn sparse_uniform_rejects_oversupport() {
+        let _ = sparse_uniform(4, 5, 10, &mut rng(0));
+    }
+}

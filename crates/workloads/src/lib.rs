@@ -1,0 +1,28 @@
+//! # dqs-workloads
+//!
+//! Synthetic dataset generation for the reproduction's experiments. The
+//! paper has no workload section (it is pure theory), so these generators
+//! realize the *settings its theorems quantify over*: arbitrary multisets
+//! over a universe `[N]`, arbitrarily partitioned over `n` machines,
+//! possibly with replication (the paper explicitly allows machines to share
+//! keys), with capacity `ν` at or above the realized maximum.
+//!
+//! Everything is seeded and deterministic: the same [`WorkloadSpec`]
+//! produces the same [`dqs_db::DistributedDataset`] bit-for-bit.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod generators;
+pub mod partition;
+pub mod scenario;
+pub mod spec;
+pub mod sweeps;
+
+pub use churn::churn_trace;
+pub use generators::{heavy_hitter, singleton, sparse_uniform, uniform_support, zipf};
+pub use partition::PartitionScheme;
+pub use scenario::Scenario;
+pub use spec::{Distribution, WorkloadSpec};
+pub use sweeps::{geometric_sweep, SweepAxis};

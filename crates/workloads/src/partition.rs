@@ -1,0 +1,182 @@
+//! Partitioning a global multiset over `n` machines.
+//!
+//! The paper's model places no constraint on how data is distributed —
+//! machines may even hold copies of the same key ("our algorithms allow
+//! different machines to hold the same key", §1). These schemes cover the
+//! spectrum the experiments need: balanced, skewed, disjoint, replicated,
+//! and the adversarial all-on-one-machine placement used by the
+//! lower-bound's hard inputs.
+
+use dqs_db::Multiset;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a global multiset is laid out over machines.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PartitionScheme {
+    /// Occurrences dealt round-robin: machine loads differ by ≤ 1 and
+    /// every machine sees (roughly) every hot element.
+    RoundRobin,
+    /// Each *element* (with all its copies) goes to machine
+    /// `hash(element) mod n` — disjoint supports, realistic sharding.
+    ByElement,
+    /// Contiguous element ranges — disjoint supports with locality.
+    Range,
+    /// Every occurrence lands on a uniformly random machine.
+    Random,
+    /// Each element's copies are written to `copies` distinct machines
+    /// (replication factor); total count is multiplied by `copies`.
+    Replicated {
+        /// Replication factor (≥ 1, ≤ n).
+        copies: usize,
+    },
+    /// All data on machine `machine`; the rest are empty. This is the
+    /// placement behind the lower-bound hard inputs (§5.3 puts "all of the
+    /// elements to the k-th machine").
+    AllOnOne {
+        /// The loaded machine.
+        machine: usize,
+    },
+}
+
+impl PartitionScheme {
+    /// Splits `global` over `machines` shards.
+    pub fn split(
+        &self,
+        global: &Multiset,
+        machines: usize,
+        universe: u64,
+        rng: &mut impl Rng,
+    ) -> Vec<Multiset> {
+        assert!(machines > 0, "need at least one machine");
+        let mut shards = vec![Multiset::new(); machines];
+        match *self {
+            PartitionScheme::RoundRobin => {
+                let mut k = 0usize;
+                for (e, c) in global.iter() {
+                    for _ in 0..c {
+                        shards[k % machines].insert(e);
+                        k += 1;
+                    }
+                }
+            }
+            PartitionScheme::ByElement => {
+                for (e, c) in global.iter() {
+                    // cheap deterministic spread (Fibonacci hashing)
+                    let h = (e.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 17) as usize;
+                    shards[h % machines].insert_many(e, c);
+                }
+            }
+            PartitionScheme::Range => {
+                let span = universe.div_ceil(machines as u64).max(1);
+                for (e, c) in global.iter() {
+                    let j = ((e / span) as usize).min(machines - 1);
+                    shards[j].insert_many(e, c);
+                }
+            }
+            PartitionScheme::Random => {
+                for (e, c) in global.iter() {
+                    for _ in 0..c {
+                        shards[rng.gen_range(0..machines)].insert(e);
+                    }
+                }
+            }
+            PartitionScheme::Replicated { copies } => {
+                assert!(
+                    copies >= 1 && copies <= machines,
+                    "replication factor must be in 1..=n"
+                );
+                for (e, c) in global.iter() {
+                    let start = rng.gen_range(0..machines);
+                    for r in 0..copies {
+                        shards[(start + r) % machines].insert_many(e, c);
+                    }
+                }
+            }
+            PartitionScheme::AllOnOne { machine } => {
+                assert!(machine < machines, "machine index out of range");
+                shards[machine] = global.clone();
+            }
+        }
+        shards
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn global() -> Multiset {
+        Multiset::from_counts([(0, 3), (1, 1), (5, 2), (9, 4)])
+    }
+
+    fn total(shards: &[Multiset]) -> u64 {
+        shards.iter().map(|s| s.cardinality()).sum()
+    }
+
+    #[test]
+    fn round_robin_balances_loads() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let shards = PartitionScheme::RoundRobin.split(&global(), 3, 16, &mut rng);
+        assert_eq!(total(&shards), 10);
+        let loads: Vec<u64> = shards.iter().map(|s| s.cardinality()).collect();
+        assert!(loads.iter().max().unwrap() - loads.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn by_element_supports_are_disjoint() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let shards = PartitionScheme::ByElement.split(&global(), 4, 16, &mut rng);
+        assert_eq!(total(&shards), 10);
+        let mut seen = std::collections::HashSet::new();
+        for s in &shards {
+            for e in s.support() {
+                assert!(seen.insert(e), "element {e} on two machines");
+            }
+        }
+    }
+
+    #[test]
+    fn range_respects_order() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let shards = PartitionScheme::Range.split(&global(), 2, 16, &mut rng);
+        // span = 8: elements 0,1,5 → machine 0; 9 → machine 1
+        assert_eq!(shards[0].cardinality(), 6);
+        assert_eq!(shards[1].cardinality(), 4);
+    }
+
+    #[test]
+    fn random_preserves_total() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let shards = PartitionScheme::Random.split(&global(), 5, 16, &mut rng);
+        assert_eq!(total(&shards), 10);
+    }
+
+    #[test]
+    fn replication_multiplies_totals_and_spreads_keys() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let shards = PartitionScheme::Replicated { copies: 2 }.split(&global(), 3, 16, &mut rng);
+        assert_eq!(total(&shards), 20);
+        // element 9 must appear on exactly two machines with full count
+        let holders: Vec<_> = shards.iter().filter(|s| s.multiplicity(9) == 4).collect();
+        assert_eq!(holders.len(), 2);
+    }
+
+    #[test]
+    fn all_on_one_concentrates() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let shards = PartitionScheme::AllOnOne { machine: 1 }.split(&global(), 3, 16, &mut rng);
+        assert!(shards[0].is_empty());
+        assert_eq!(shards[1], global());
+        assert!(shards[2].is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "replication factor")]
+    fn oversized_replication_rejected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = PartitionScheme::Replicated { copies: 4 }.split(&global(), 3, 16, &mut rng);
+    }
+}

@@ -1,0 +1,154 @@
+//! Named scenario presets.
+//!
+//! The examples and benches keep re-using a handful of recognizable
+//! configurations; naming them here keeps parameters consistent across the
+//! repository and gives README-level narratives a single source of truth.
+
+use crate::partition::PartitionScheme;
+use crate::spec::{Distribution, WorkloadSpec};
+
+/// A named, ready-to-build scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scenario {
+    /// A balanced analytics cluster: uniform data, round-robin sharding.
+    BalancedCluster,
+    /// A log-ingest fleet: few hot event types carrying most of the mass.
+    LogIngest,
+    /// A federated inventory: Zipf-popular SKUs replicated on 2 sites, with
+    /// capacity headroom for restocking churn.
+    FederatedInventory,
+    /// The adversarial placement of §5.3: everything on one machine.
+    AdversarialConcentration,
+    /// The index-erasure regime: a uniform subset, one copy per element.
+    IndexErasure,
+}
+
+impl Scenario {
+    /// All scenarios, for table-driven tests and sweeps.
+    pub fn all() -> [Scenario; 5] {
+        [
+            Scenario::BalancedCluster,
+            Scenario::LogIngest,
+            Scenario::FederatedInventory,
+            Scenario::AdversarialConcentration,
+            Scenario::IndexErasure,
+        ]
+    }
+
+    /// A short human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Scenario::BalancedCluster => "balanced-cluster",
+            Scenario::LogIngest => "log-ingest",
+            Scenario::FederatedInventory => "federated-inventory",
+            Scenario::AdversarialConcentration => "adversarial-concentration",
+            Scenario::IndexErasure => "index-erasure",
+        }
+    }
+
+    /// The preset spec at a given scale (universe size) and seed. `scale`
+    /// is clamped below by 64 so every preset's internal ratios stay valid.
+    pub fn spec(&self, scale: u64, seed: u64) -> WorkloadSpec {
+        let universe = scale.max(64);
+        match self {
+            Scenario::BalancedCluster => WorkloadSpec {
+                universe,
+                total: universe / 2,
+                machines: 4,
+                distribution: Distribution::Uniform,
+                partition: PartitionScheme::RoundRobin,
+                capacity_slack: 1.0,
+                seed,
+            },
+            Scenario::LogIngest => WorkloadSpec {
+                universe,
+                total: universe * 4,
+                machines: 4,
+                distribution: Distribution::HeavyHitter {
+                    hot: (universe / 32).max(1),
+                    hot_mass: 0.8,
+                },
+                partition: PartitionScheme::RoundRobin,
+                capacity_slack: 1.0,
+                seed,
+            },
+            Scenario::FederatedInventory => WorkloadSpec {
+                universe,
+                total: universe,
+                machines: 5,
+                distribution: Distribution::Zipf { s: 1.0 },
+                partition: PartitionScheme::Replicated { copies: 2 },
+                capacity_slack: 1.5,
+                seed,
+            },
+            Scenario::AdversarialConcentration => WorkloadSpec {
+                universe,
+                total: universe / 4,
+                machines: 4,
+                distribution: Distribution::SparseUniform {
+                    support: universe / 8,
+                },
+                partition: PartitionScheme::AllOnOne { machine: 0 },
+                capacity_slack: 1.0,
+                seed,
+            },
+            Scenario::IndexErasure => WorkloadSpec {
+                universe,
+                total: universe / 8,
+                machines: 2,
+                distribution: Distribution::SparseUniform {
+                    support: universe / 8,
+                },
+                partition: PartitionScheme::ByElement,
+                capacity_slack: 1.0,
+                seed,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_build_valid_datasets() {
+        for sc in Scenario::all() {
+            let ds = sc.spec(128, 7).build();
+            assert!(ds.total_count() > 0, "{}", sc.name());
+            let p = ds.params();
+            assert!(p.realized_capacity <= p.capacity, "{}", sc.name());
+        }
+    }
+
+    #[test]
+    fn index_erasure_preset_is_multiplicity_one() {
+        let ds = Scenario::IndexErasure.spec(256, 3).build();
+        assert_eq!(ds.capacity(), 1);
+        for i in ds.support() {
+            assert_eq!(ds.total_multiplicity(i), 1);
+        }
+    }
+
+    #[test]
+    fn adversarial_preset_concentrates() {
+        let ds = Scenario::AdversarialConcentration.spec(128, 5).build();
+        let p = ds.params();
+        assert_eq!(p.machine_counts[0], p.total_count);
+        assert!(p.machine_counts[1..].iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn presets_are_deterministic_and_named() {
+        for sc in Scenario::all() {
+            assert_eq!(sc.spec(64, 1).build(), sc.spec(64, 1).build());
+            assert!(!sc.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn scale_is_clamped() {
+        let ds = Scenario::BalancedCluster.spec(4, 1).build();
+        assert_eq!(ds.universe(), 64);
+    }
+}

@@ -1,0 +1,187 @@
+//! [`WorkloadSpec`] — a fully-seeded, serializable description of one
+//! experimental dataset instance.
+//!
+//! Specs are what the benchmark harness sweeps over; building the same spec
+//! twice yields byte-identical datasets, so every number in EXPERIMENTS.md
+//! can be regenerated.
+
+use crate::generators;
+use crate::partition::PartitionScheme;
+use dqs_db::{DistributedDataset, Multiset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// The shape of the global frequency distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Distribution {
+    /// `total` uniform draws over the universe.
+    Uniform,
+    /// Exactly `support` distinct elements with near-equal multiplicities.
+    SparseUniform {
+        /// Number of distinct elements.
+        support: u64,
+    },
+    /// Zipf-law multiplicities with exponent `s`.
+    Zipf {
+        /// Skew exponent (0 = uniform law).
+        s: f64,
+    },
+    /// `hot` elements carry `hot_mass` of the total mass.
+    HeavyHitter {
+        /// Number of hot elements.
+        hot: u64,
+        /// Fraction of mass on the hot set.
+        hot_mass: f64,
+    },
+    /// All mass on a single random element.
+    Singleton,
+}
+
+/// A complete, reproducible workload description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Universe size `N`.
+    pub universe: u64,
+    /// Global cardinality `M` *before* any replication.
+    pub total: u64,
+    /// Machine count `n`.
+    pub machines: usize,
+    /// Frequency shape.
+    pub distribution: Distribution,
+    /// Placement over machines.
+    pub partition: PartitionScheme,
+    /// Capacity slack: `ν = ceil(slack · max_i c_i)` (1.0 = tight).
+    pub capacity_slack: f64,
+    /// RNG seed — the only source of randomness.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A compact uniform default, useful as a starting point in examples.
+    pub fn small_uniform(universe: u64, total: u64, machines: usize, seed: u64) -> Self {
+        Self {
+            universe,
+            total,
+            machines,
+            distribution: Distribution::Uniform,
+            partition: PartitionScheme::RoundRobin,
+            capacity_slack: 1.0,
+            seed,
+        }
+    }
+
+    /// Generates the global multiset (before partitioning).
+    pub fn global_multiset(&self) -> Multiset {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        match self.distribution {
+            Distribution::Uniform => {
+                generators::uniform_support(self.universe, self.total, &mut rng)
+            }
+            Distribution::SparseUniform { support } => {
+                generators::sparse_uniform(self.universe, support, self.total, &mut rng)
+            }
+            Distribution::Zipf { s } => generators::zipf(self.universe, self.total, s, &mut rng),
+            Distribution::HeavyHitter { hot, hot_mass } => {
+                generators::heavy_hitter(self.universe, self.total, hot, hot_mass, &mut rng)
+            }
+            Distribution::Singleton => generators::singleton(self.universe, self.total, &mut rng),
+        }
+    }
+
+    /// Builds the distributed dataset: generate, partition, set capacity.
+    pub fn build(&self) -> DistributedDataset {
+        assert!(self.capacity_slack >= 1.0, "capacity slack must be ≥ 1");
+        let global = self.global_multiset();
+        // separate RNG stream for partitioning so distribution and placement
+        // can be varied independently under the same seed
+        let mut prng = StdRng::seed_from_u64(self.seed ^ 0xD1F7_A5E3_9C4B_2680);
+        let shards = self
+            .partition
+            .split(&global, self.machines, self.universe, &mut prng);
+        let max_total: u64 = {
+            let mut totals: std::collections::BTreeMap<u64, u64> = Default::default();
+            for s in &shards {
+                for (e, c) in s.iter() {
+                    *totals.entry(e).or_insert(0) += c;
+                }
+            }
+            totals.values().copied().max().unwrap_or(1)
+        };
+        let capacity = ((max_total as f64) * self.capacity_slack).ceil() as u64;
+        DistributedDataset::new(self.universe, capacity.max(1), shards)
+            .expect("spec-built dataset must be valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let spec = WorkloadSpec::small_uniform(64, 200, 4, 9);
+        assert_eq!(spec.build(), spec.build());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = WorkloadSpec::small_uniform(64, 200, 4, 1).build();
+        let b = WorkloadSpec::small_uniform(64, 200, 4, 2).build();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn capacity_slack_inflates_nu() {
+        let mut spec = WorkloadSpec::small_uniform(32, 100, 2, 5);
+        let tight = spec.build();
+        spec.capacity_slack = 4.0;
+        let slack = spec.build();
+        assert_eq!(
+            slack.capacity(),
+            (tight.capacity() as f64 * 4.0).ceil() as u64
+        );
+        // same data, only ν differs
+        assert_eq!(tight.shards(), slack.shards());
+    }
+
+    #[test]
+    fn total_preserved_without_replication() {
+        for dist in [
+            Distribution::Uniform,
+            Distribution::SparseUniform { support: 10 },
+            Distribution::Zipf { s: 1.1 },
+            Distribution::HeavyHitter {
+                hot: 3,
+                hot_mass: 0.7,
+            },
+            Distribution::Singleton,
+        ] {
+            let spec = WorkloadSpec {
+                distribution: dist,
+                ..WorkloadSpec::small_uniform(64, 300, 3, 11)
+            };
+            assert_eq!(spec.build().total_count(), 300, "{dist:?}");
+        }
+    }
+
+    #[test]
+    fn replicated_spec_multiplies_total() {
+        let spec = WorkloadSpec {
+            partition: PartitionScheme::Replicated { copies: 2 },
+            ..WorkloadSpec::small_uniform(64, 150, 4, 3)
+        };
+        assert_eq!(spec.build().total_count(), 300);
+    }
+
+    #[test]
+    fn all_on_one_concentration() {
+        let spec = WorkloadSpec {
+            partition: PartitionScheme::AllOnOne { machine: 2 },
+            ..WorkloadSpec::small_uniform(64, 100, 4, 3)
+        };
+        let ds = spec.build();
+        assert_eq!(ds.shards()[2].cardinality(), 100);
+        assert_eq!(ds.params().machine_counts, vec![0, 0, 100, 0]);
+    }
+}

@@ -1,0 +1,79 @@
+//! Parameter sweeps for the experiment harness.
+//!
+//! The theorems are scaling statements; the experiments sweep one parameter
+//! geometrically while holding the others fixed. [`geometric_sweep`]
+//! produces the grid and [`SweepAxis`] names which of the paper's
+//! parameters is being varied (for table headers).
+
+use serde::{Deserialize, Serialize};
+
+/// Which Table-1 parameter a sweep varies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepAxis {
+    /// Universe size `N`.
+    Universe,
+    /// Machine count `n`.
+    Machines,
+    /// Total data size `M`.
+    Total,
+    /// Capacity slack multiplier on `ν`.
+    CapacitySlack,
+}
+
+impl SweepAxis {
+    /// Column header used in printed tables.
+    pub fn header(&self) -> &'static str {
+        match self {
+            SweepAxis::Universe => "N",
+            SweepAxis::Machines => "n",
+            SweepAxis::Total => "M",
+            SweepAxis::CapacitySlack => "nu/nu_min",
+        }
+    }
+}
+
+/// Geometric grid `start, start·ratio, …` (integer, deduplicated,
+/// `points` entries at most).
+pub fn geometric_sweep(start: u64, ratio: f64, points: usize) -> Vec<u64> {
+    assert!(start > 0 && ratio > 1.0, "need start > 0 and ratio > 1");
+    let mut out = Vec::with_capacity(points);
+    let mut x = start as f64;
+    for _ in 0..points {
+        let v = x.round() as u64;
+        if out.last() != Some(&v) {
+            out.push(v);
+        }
+        x *= ratio;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubling_sweep() {
+        assert_eq!(geometric_sweep(16, 2.0, 4), vec![16, 32, 64, 128]);
+    }
+
+    #[test]
+    fn fractional_ratio_dedupes() {
+        let s = geometric_sweep(2, 1.3, 6);
+        // strictly increasing after dedup
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(*s.first().unwrap(), 2);
+    }
+
+    #[test]
+    fn headers() {
+        assert_eq!(SweepAxis::Universe.header(), "N");
+        assert_eq!(SweepAxis::CapacitySlack.header(), "nu/nu_min");
+    }
+
+    #[test]
+    #[should_panic(expected = "ratio > 1")]
+    fn bad_ratio_rejected() {
+        let _ = geometric_sweep(4, 1.0, 3);
+    }
+}

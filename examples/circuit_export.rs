@@ -1,0 +1,71 @@
+//! Compiling the sampler to a circuit and persisting the dataset.
+//!
+//! Demonstrates the tooling around the core algorithm:
+//!
+//! 1. `compile_sequential` lowers the entire Theorem-4.3 sampler to the
+//!    data-driven `Program` IR — inspectable, invertible, statically
+//!    costed.
+//! 2. The program's *shape* (structure without data) is identical across
+//!    inputs with equal public parameters: the oblivious model, visible.
+//! 3. Datasets round-trip through a diff-friendly TSV format.
+//!
+//! ```text
+//! cargo run --release --example circuit_export
+//! ```
+
+use distributed_quantum_sampling::prelude::*;
+
+fn main() {
+    let dataset = WorkloadSpec::small_uniform(16, 24, 2, 11).build();
+    let program = compile_sequential(&dataset);
+
+    println!("compiled sequential sampler for N=16, M=24, n=2:");
+    println!("  instructions        : {}", program.len());
+    println!("  static query count  : {:?}", program.oracle_queries(2));
+
+    // Run the compiled circuit and check it against the interpreter.
+    let state: SparseState = program.run_from_basis(&[0, 0, 0]);
+    let reference = sequential_sample::<SparseState>(&dataset);
+    let fidelity = state.to_table().fidelity(&reference.state.to_table());
+    println!("  fidelity vs interpreter: {fidelity:.12}");
+    assert!(fidelity > 1.0 - 1e-9);
+    assert_eq!(
+        program.oracle_queries(2),
+        reference.queries.per_machine,
+        "static and dynamic query accounting must agree"
+    );
+
+    // The circuit is exactly invertible.
+    let mut back = state.clone();
+    program.inverse().run(&mut back);
+    println!(
+        "  p⁻¹∘p returns |0,0,0⟩: amplitude {:.9}",
+        back.amplitude(&[0, 0, 0]).abs()
+    );
+
+    // Obliviousness, structurally: same public parameters → same shape.
+    let other = WorkloadSpec::small_uniform(16, 24, 2, 99).build();
+    if other.total_count() == dataset.total_count() && other.capacity() == dataset.capacity() {
+        let other_program = compile_sequential(&other);
+        assert_eq!(program.shape(), other_program.shape());
+        println!("  shape equality with a different same-parameter input: OK");
+    } else {
+        println!("  (seed 99 drew different public parameters; skipping shape check)");
+    }
+
+    // First few instructions of the circuit, human-readable.
+    println!("\ncircuit head:");
+    for line in program.shape().lines().take(8) {
+        println!("  {line}");
+    }
+
+    // TSV persistence round-trip.
+    let tsv = to_tsv(&dataset);
+    let restored = from_tsv(&tsv).expect("round trip");
+    assert_eq!(restored, dataset);
+    println!("\nTSV round-trip OK ({} bytes):", tsv.len());
+    for line in tsv.lines().take(6) {
+        println!("  {line}");
+    }
+    println!("  …");
+}

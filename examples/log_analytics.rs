@@ -1,0 +1,70 @@
+//! Sharded log analytics: amplitude-encoding event frequencies.
+//!
+//! The motivating use case for quantum sampling in the paper's introduction
+//! is preparing amplitude encodings `|b⟩ = Σ_i b_i|i⟩` for downstream
+//! quantum algorithms (HHL linear solvers, quantum mean estimation, quantum
+//! machine learning). This example plays that scenario out on a synthetic
+//! log-processing cluster:
+//!
+//! * A fleet of ingest nodes each hold a shard of an event log; event types
+//!   follow a heavy-hitter law (a few types dominate — think `http_200`).
+//! * A coordinator needs the state `Σ_i √(f_i)|i⟩` over event-type
+//!   frequencies `f_i = c_i/M` — *without* shipping the logs anywhere.
+//! * We compare the quantum query cost against the classical exhaustive
+//!   baseline and verify the encoded amplitudes.
+//!
+//! ```text
+//! cargo run --release --example log_analytics
+//! ```
+
+use distributed_quantum_sampling::baselines::classical_sample;
+use distributed_quantum_sampling::prelude::*;
+
+fn main() {
+    // 4 ingest nodes, 256 event types, 5 000 log records, hot-typed.
+    let spec = WorkloadSpec {
+        universe: 256,
+        total: 5_000,
+        machines: 4,
+        distribution: Distribution::HeavyHitter {
+            hot: 8,
+            hot_mass: 0.75,
+        },
+        partition: PartitionScheme::RoundRobin,
+        capacity_slack: 1.0,
+        seed: 2025,
+    };
+    let dataset = spec.build();
+    let p = dataset.params();
+    println!(
+        "log cluster: {} nodes, {} event types, {} records, nu = {}",
+        p.machines, p.universe, p.total_count, p.capacity
+    );
+
+    // Quantum: sequential distributed sampling.
+    let run = sequential_sample::<SparseState>(&dataset);
+    println!("\nquantum frequency encoding:");
+    println!("  oracle queries : {}", run.queries.total_sequential());
+    println!("  fidelity       : {:.12}", run.fidelity);
+
+    // Classical strawman: ask every node about every event type.
+    let classical = classical_sample(&dataset);
+    println!("\nclassical exhaustive baseline:");
+    println!("  counting queries: {}", classical.classical_queries);
+    let speedup = classical.classical_queries as f64 / run.queries.total_sequential() as f64;
+    println!("  quantum advantage: {speedup:.2}x fewer queries");
+
+    // Inspect the encoded amplitudes of the hottest event types.
+    println!("\nhot event types (amplitude² == empirical frequency):");
+    let probs = run.state.register_probabilities(run.layout.elem);
+    let mut ranked: Vec<(usize, f64)> = probs.iter().copied().enumerate().collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    println!("  {:>8}  {:>10}  {:>10}", "type", "amp^2", "c_i/M");
+    for (etype, prob) in ranked.into_iter().take(8) {
+        let truth = dataset.total_multiplicity(etype as u64) as f64 / p.total_count as f64;
+        println!("  {etype:>8}  {prob:>10.6}  {truth:>10.6}");
+        assert!((prob - truth).abs() < 1e-9);
+    }
+
+    println!("\nthe encoded state is ready for downstream use (e.g. as |b> in HHL).");
+}

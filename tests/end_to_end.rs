@@ -1,0 +1,151 @@
+//! Cross-crate integration: the full pipeline — workload generation →
+//! distributed database → oracles → sampler → verification — over a grid
+//! of dataset shapes and both query models and both backends.
+
+use distributed_quantum_sampling::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn grid() -> Vec<WorkloadSpec> {
+    let mut specs = Vec::new();
+    for (dist, name_seed) in [
+        (Distribution::Uniform, 1u64),
+        (Distribution::SparseUniform { support: 8 }, 2),
+        (Distribution::Zipf { s: 1.1 }, 3),
+        (
+            Distribution::HeavyHitter {
+                hot: 3,
+                hot_mass: 0.7,
+            },
+            4,
+        ),
+        (Distribution::Singleton, 5),
+    ] {
+        for (machines, partition) in [
+            (1usize, PartitionScheme::RoundRobin),
+            (3, PartitionScheme::ByElement),
+            (4, PartitionScheme::Replicated { copies: 2 }),
+        ] {
+            specs.push(WorkloadSpec {
+                universe: 32,
+                total: 48,
+                machines,
+                distribution: dist,
+                partition,
+                capacity_slack: 1.0,
+                seed: name_seed * 100 + machines as u64,
+            });
+        }
+    }
+    specs
+}
+
+#[test]
+fn sequential_sampler_is_exact_on_the_whole_grid() {
+    for spec in grid() {
+        let ds = spec.build();
+        let run = sequential_sample::<SparseState>(&ds);
+        assert!(
+            run.fidelity > 1.0 - 1e-9,
+            "fidelity {} on {spec:?}",
+            run.fidelity
+        );
+        assert_eq!(
+            run.queries.total_sequential(),
+            run.cost.sequential_queries,
+            "ledger/cost-model mismatch on {spec:?}"
+        );
+    }
+}
+
+#[test]
+fn parallel_sampler_is_exact_on_the_whole_grid() {
+    for spec in grid() {
+        let ds = spec.build();
+        let run = parallel_sample::<SparseState>(&ds);
+        assert!(run.fidelity > 1.0 - 1e-9, "fidelity on {spec:?}");
+        assert_eq!(run.queries.parallel_rounds, run.cost.parallel_rounds);
+        assert_eq!(run.queries.total_sequential(), 0);
+    }
+}
+
+#[test]
+fn dense_and_sparse_agree_end_to_end() {
+    // dense backend only at tiny sizes (joint dim N·(ν+1)·2)
+    let spec = WorkloadSpec::small_uniform(16, 24, 2, 77);
+    let ds = spec.build();
+    let sparse = sequential_sample::<SparseState>(&ds);
+    let dense = sequential_sample::<DenseState>(&ds);
+    assert!(
+        sparse
+            .state
+            .to_table()
+            .distance_sqr(&dense.state.to_table())
+            < 1e-15
+    );
+    assert_eq!(sparse.queries, dense.queries);
+}
+
+#[test]
+fn parallel_and_sequential_agree_on_marginals() {
+    for spec in grid().into_iter().take(6) {
+        let ds = spec.build();
+        let seq = sequential_sample::<SparseState>(&ds);
+        let par = parallel_sample::<SparseState>(&ds);
+        let ps = seq.state.register_probabilities(seq.layout.elem);
+        let pp = par.state.register_probabilities(par.layout.elem);
+        for i in 0..ds.universe() as usize {
+            assert!((ps[i] - pp[i]).abs() < 1e-9, "elem {i} on {spec:?}");
+        }
+    }
+}
+
+#[test]
+fn measurement_statistics_converge_to_frequencies() {
+    let ds = WorkloadSpec::small_uniform(16, 40, 2, 5).build();
+    let run = sequential_sample::<SparseState>(&ds);
+    let mut rng = StdRng::seed_from_u64(123);
+    let trials = 20_000;
+    let mut hist = [0u32; 16];
+    for _ in 0..trials {
+        hist[run.state.sample(&mut rng)[0] as usize] += 1;
+    }
+    let m_total = ds.total_count() as f64;
+    for i in 0..16u64 {
+        let expect = ds.total_multiplicity(i) as f64 / m_total;
+        let got = hist[i as usize] as f64 / trials as f64;
+        assert!(
+            (got - expect).abs() < 0.015,
+            "element {i}: {got:.4} vs {expect:.4}"
+        );
+    }
+}
+
+#[test]
+fn oblivious_schedule_is_input_independent() {
+    // Two different datasets with identical public parameters (N, M, ν, n)
+    // must produce identical query schedules.
+    let a = DistributedDataset::new(
+        16,
+        2,
+        vec![
+            Multiset::from_counts([(0, 2), (1, 2)]),
+            Multiset::from_counts([(2, 2)]),
+        ],
+    )
+    .unwrap();
+    let b = DistributedDataset::new(
+        16,
+        2,
+        vec![
+            Multiset::from_counts([(9, 1), (10, 1), (11, 1)]),
+            Multiset::from_counts([(12, 1), (13, 2)]),
+        ],
+    )
+    .unwrap();
+    assert_eq!(a.params().total_count, b.params().total_count);
+    let ra = sequential_sample::<SparseState>(&a);
+    let rb = sequential_sample::<SparseState>(&b);
+    assert_eq!(ra.queries, rb.queries, "schedule leaked input information");
+    assert!(ra.fidelity > 1.0 - 1e-9 && rb.fidelity > 1.0 - 1e-9);
+}

@@ -1,0 +1,153 @@
+//! Model-level semantics across crates: the oracle equations of §3, the
+//! parallel-from-sequential reduction (Eq. 3), deferred-measurement
+//! friendliness (no intermediate measurement anywhere), and dynamic-update
+//! equivalence.
+
+use distributed_quantum_sampling::core::sequential_sample_with_updates;
+use distributed_quantum_sampling::db::{OracleRegisters, ParallelRegisters};
+use distributed_quantum_sampling::prelude::*;
+use distributed_quantum_sampling::workloads::churn_trace;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset() -> DistributedDataset {
+    DistributedDataset::new(
+        8,
+        5,
+        vec![
+            Multiset::from_counts([(0, 2), (3, 1)]),
+            Multiset::from_counts([(3, 2), (7, 3)]),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn eq_1_oracle_semantics_on_all_basis_states() {
+    let ds = dataset();
+    let ledger = QueryLedger::new(2);
+    let oracles = OracleSet::new(&ds, &ledger);
+    let layout = Layout::builder()
+        .register("i", 8)
+        .register("s", 6)
+        .register("b", 2)
+        .build();
+    let regs = OracleRegisters { elem: 0, count: 1 };
+    for i in 0..8u64 {
+        for s in 0..6u64 {
+            for j in 0..2usize {
+                let mut st = SparseState::from_basis(layout.clone(), &[i, s, 0]);
+                oracles.apply_oj(&mut st, j, regs, false);
+                let expect = (s + ds.multiplicity(i, j)) % 6;
+                assert!(
+                    st.amplitude(&[i, expect, 0]).abs() > 0.999,
+                    "O_{j}|{i},{s}⟩ wrong"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn eq_3_parallel_query_equals_n_sequential_hat_queries() {
+    // The paper: "a parallel query can be implemented by n sequential
+    // queries". Verify on a superposed state.
+    let ds = dataset();
+    let layout = Layout::builder()
+        .register("i0", 8)
+        .register("s0", 6)
+        .register("b0", 2)
+        .register("i1", 8)
+        .register("s1", 6)
+        .register("b1", 2)
+        .build();
+    let pregs = ParallelRegisters {
+        elem: vec![0, 3],
+        count: vec![1, 4],
+        flag: vec![2, 5],
+    };
+
+    let mut sp = SparseState::from_basis(layout.clone(), &[0, 0, 1, 0, 0, 1]);
+    sp.apply_register_unitary(0, &distributed_quantum_sampling::sim::gates::dft(8));
+    sp.apply_register_unitary(3, &distributed_quantum_sampling::sim::gates::dft(8));
+    let mut ss = sp.clone();
+
+    let lp = QueryLedger::new(2);
+    OracleSet::new(&ds, &lp).apply_parallel_round(&mut sp, &pregs, false);
+
+    let ls = QueryLedger::new(2);
+    let oracle_s = OracleSet::new(&ds, &ls);
+    oracle_s.apply_hat_oj(&mut ss, 0, 0, 1, 2, false);
+    oracle_s.apply_hat_oj(&mut ss, 1, 3, 4, 5, false);
+
+    assert!(sp.to_table().distance_sqr(&ss.to_table()) < 1e-18);
+    assert_eq!(lp.parallel_rounds(), 1);
+    assert_eq!(ls.total_sequential(), 2);
+}
+
+#[test]
+fn flag_zero_makes_hat_oracle_identity_in_superposition() {
+    let ds = dataset();
+    let layout = Layout::builder()
+        .register("i", 8)
+        .register("s", 6)
+        .register("b", 2)
+        .build();
+    let ledger = QueryLedger::new(2);
+    let oracles = OracleSet::new(&ds, &ledger);
+    let mut st = SparseState::from_basis(layout, &[0, 0, 0]);
+    st.apply_register_unitary(0, &distributed_quantum_sampling::sim::gates::dft(8));
+    let before = st.to_table();
+    oracles.apply_hat_oj(&mut st, 1, 0, 1, 2, false);
+    assert!(st.to_table().distance_sqr(&before) < 1e-18);
+}
+
+#[test]
+fn update_composition_equals_rebuild_for_long_traces() {
+    let ds = WorkloadSpec {
+        capacity_slack: 2.0,
+        ..WorkloadSpec::small_uniform(24, 40, 3, 2)
+    }
+    .build();
+    let mut rng = StdRng::seed_from_u64(14);
+    let log = churn_trace(&ds, 100, 0.5, &mut rng);
+    let live = sequential_sample_with_updates::<SparseState>(&ds, &log);
+    let rebuilt = sequential_sample::<SparseState>(&log.apply_to(&ds));
+    assert!(live.fidelity > 1.0 - 1e-9);
+    assert!(live
+        .state
+        .to_table()
+        .register_probabilities(0)
+        .iter()
+        .zip(rebuilt.state.to_table().register_probabilities(0).iter())
+        .all(|(a, b)| (a - b).abs() < 1e-9));
+}
+
+#[test]
+fn capacity_is_a_hard_modulus() {
+    // Counts wrap mod (ν+1): a state prepared at s = ν returns through 0.
+    let ds = dataset(); // ν = 5 → modulus 6
+    let ledger = QueryLedger::new(2);
+    let oracles = OracleSet::new(&ds, &ledger);
+    let layout = Layout::builder()
+        .register("i", 8)
+        .register("s", 6)
+        .register("b", 2)
+        .build();
+    let regs = OracleRegisters { elem: 0, count: 1 };
+    let mut st = SparseState::from_basis(layout, &[7, 5, 0]); // c_{7,1} = 3
+    oracles.apply_oj(&mut st, 1, regs, false);
+    assert!(st.amplitude(&[7, 2, 0]).abs() > 0.999); // (5+3) mod 6 = 2
+}
+
+#[test]
+fn no_measurement_needed_anywhere() {
+    // The entire pipeline is unitary: norms stay exactly 1 from preparation
+    // to output (Lemma 5.3's "algorithms without measurements" is the
+    // regime our implementation already lives in).
+    let ds = dataset();
+    let run = sequential_sample::<SparseState>(&ds);
+    assert!((run.state.norm() - 1.0).abs() < 1e-9);
+    let par = parallel_sample::<SparseState>(&ds);
+    assert!((par.state.norm() - 1.0).abs() < 1e-9);
+}

@@ -1,0 +1,116 @@
+//! The paper's headline claim, checked numerically: the algorithms are
+//! *optimal* — measured cost sits between the lower bound of Theorems
+//! 5.1/5.2 and the upper bound of Theorems 4.3/4.5 (both up to explicit
+//! constants), and the hybrid-argument lemmas hold on real executions.
+
+use distributed_quantum_sampling::adversary::{
+    parallel_query_lower_bound, sequential_query_lower_bound, HardInputFamily, ParallelHybrid,
+    SequentialHybrid,
+};
+use distributed_quantum_sampling::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn sequential_cost_is_sandwiched() {
+    for seed in 0..5u64 {
+        let ds = WorkloadSpec {
+            universe: 256,
+            total: 32,
+            machines: 3,
+            distribution: Distribution::SparseUniform { support: 16 },
+            partition: PartitionScheme::RoundRobin,
+            capacity_slack: 1.0,
+            seed,
+        }
+        .build();
+        let p = ds.params();
+        let run = sequential_sample::<SparseState>(&ds);
+        let measured = run.queries.total_sequential() as f64;
+        let lower = sequential_query_lower_bound(&p);
+        // upper envelope with explicit constants: 2n(2(m̃+1)+1), m̃ ≤ (π/4)√(νN/M)
+        let upper = 2.0
+            * p.machines as f64
+            * (2.0 * (std::f64::consts::FRAC_PI_4 * p.sqrt_vn_over_m() + 2.0) + 1.0);
+        assert!(
+            lower <= measured && measured <= upper,
+            "seed {seed}: {lower:.1} ≤ {measured} ≤ {upper:.1} violated"
+        );
+    }
+}
+
+#[test]
+fn parallel_cost_is_sandwiched() {
+    for seed in 0..5u64 {
+        let ds = WorkloadSpec {
+            universe: 256,
+            total: 32,
+            machines: 4,
+            distribution: Distribution::SparseUniform { support: 16 },
+            partition: PartitionScheme::RoundRobin,
+            capacity_slack: 1.0,
+            seed,
+        }
+        .build();
+        let p = ds.params();
+        let run = parallel_sample::<SparseState>(&ds);
+        let measured = run.queries.parallel_rounds as f64;
+        let lower = parallel_query_lower_bound(&p);
+        let upper = 4.0 * (2.0 * (std::f64::consts::FRAC_PI_4 * p.sqrt_vn_over_m() + 2.0) + 1.0);
+        assert!(
+            lower <= measured && measured <= upper,
+            "seed {seed}: {lower:.1} ≤ {measured} ≤ {upper:.1} violated"
+        );
+    }
+}
+
+#[test]
+fn hybrid_lemmas_hold_across_hard_input_shapes() {
+    let mut rng = StdRng::seed_from_u64(55);
+    for (universe, support, mult, cap) in [(12u64, 2u64, 2u64, 4u64), (16, 3, 1, 2), (24, 2, 3, 6)]
+    {
+        let family = HardInputFamily::canonical(universe, 2, 1, support, mult, cap);
+        let trace = SequentialHybrid::new(&family).run(80, &mut rng);
+        assert!(
+            trace.envelope_violations().is_empty(),
+            "Lemma 5.8 violated for N={universe}, m={support}"
+        );
+        assert!(
+            trace.clears_floor(),
+            "Lemma 5.7 floor missed for N={universe}, m={support}: {} < {}",
+            trace.final_potential(),
+            trace.floor()
+        );
+    }
+}
+
+#[test]
+fn parallel_hybrid_lemmas_hold() {
+    let mut rng = StdRng::seed_from_u64(56);
+    let family = HardInputFamily::canonical(12, 2, 0, 2, 2, 4);
+    let trace = ParallelHybrid::new(&family).run(66, &mut rng);
+    assert!(
+        trace.envelope_violations().is_empty(),
+        "Lemma 5.10 violated"
+    );
+    assert!(trace.clears_floor(), "Lemma 5.9 floor missed");
+}
+
+#[test]
+fn lower_bound_inversion_never_exceeds_schedule() {
+    // the t_k implied by floor + envelope must be ≤ the queries actually
+    // spent on machine k (otherwise the "lower bound" would contradict the
+    // working algorithm — a soundness check on our own arithmetic).
+    let mut rng = StdRng::seed_from_u64(57);
+    for support in [2u64, 3, 4] {
+        let family = HardInputFamily::canonical(20, 2, 1, support, 2, 4);
+        let trace = SequentialHybrid::new(&family).run(60, &mut rng);
+        let t_min =
+            (trace.floor() * trace.universe as f64 / (4.0 * trace.support_size as f64)).sqrt();
+        assert!(
+            (t_min.ceil() as u64) <= trace.queries(),
+            "implied bound {t_min:.1} exceeds actual schedule {}",
+            trace.queries()
+        );
+    }
+}

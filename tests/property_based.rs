@@ -1,0 +1,152 @@
+//! Property-based tests (proptest) over randomly generated datasets and
+//! circuits, spanning the whole stack.
+
+use distributed_quantum_sampling::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy: a valid distributed dataset with small dimensions.
+fn dataset_strategy() -> impl Strategy<Value = DistributedDataset> {
+    (2u64..=16, 1usize..=4).prop_flat_map(|(universe, machines)| {
+        proptest::collection::vec(
+            proptest::collection::btree_map(0..universe, 1u64..=3, 0..=4),
+            machines..=machines,
+        )
+        .prop_filter_map("dataset must be non-empty", move |shards| {
+            let shards: Vec<Multiset> = shards.into_iter().map(Multiset::from_counts).collect();
+            if shards.iter().all(|s| s.is_empty()) {
+                return None;
+            }
+            DistributedDataset::with_tight_capacity(universe, shards).ok()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn sequential_sampler_is_always_exact(ds in dataset_strategy()) {
+        let run = sequential_sample::<SparseState>(&ds);
+        prop_assert!(run.fidelity > 1.0 - 1e-9, "fidelity {}", run.fidelity);
+        prop_assert!((run.state.norm() - 1.0).abs() < 1e-9);
+        prop_assert_eq!(run.queries.total_sequential(), run.cost.sequential_queries);
+    }
+
+    #[test]
+    fn parallel_sampler_is_always_exact(ds in dataset_strategy()) {
+        let run = parallel_sample::<SparseState>(&ds);
+        prop_assert!(run.fidelity > 1.0 - 1e-9, "fidelity {}", run.fidelity);
+        prop_assert_eq!(run.queries.parallel_rounds, run.cost.parallel_rounds);
+    }
+
+    #[test]
+    fn output_marginal_equals_data_frequencies(ds in dataset_strategy()) {
+        let run = sequential_sample::<SparseState>(&ds);
+        let probs = run.state.register_probabilities(run.layout.elem);
+        let m_total = ds.total_count() as f64;
+        for i in 0..ds.universe() {
+            let expect = ds.total_multiplicity(i) as f64 / m_total;
+            prop_assert!((probs[i as usize] - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn oracle_inverse_is_inverse_for_random_data(ds in dataset_strategy()) {
+        use distributed_quantum_sampling::db::OracleRegisters;
+        let layout = Layout::builder()
+            .register("i", ds.universe())
+            .register("s", ds.capacity() + 1)
+            .register("b", 2)
+            .build();
+        let ledger = QueryLedger::new(ds.num_machines());
+        let oracles = OracleSet::new(&ds, &ledger);
+        let regs = OracleRegisters { elem: 0, count: 1 };
+        let mut st = SparseState::from_basis(layout, &[0, 0, 0]);
+        st.apply_register_unitary(0, &distributed_quantum_sampling::sim::gates::dft(ds.universe()));
+        let before = st.to_table();
+        for j in 0..ds.num_machines() {
+            oracles.apply_oj(&mut st, j, regs, false);
+        }
+        for j in (0..ds.num_machines()).rev() {
+            oracles.apply_oj(&mut st, j, regs, true);
+        }
+        prop_assert!(st.to_table().distance_sqr(&before) < 1e-15);
+    }
+
+    #[test]
+    fn distributing_operator_matches_eq_5(ds in dataset_strategy()) {
+        use distributed_quantum_sampling::core::{DistributingOperator, SequentialLayout};
+        let sl = SequentialLayout::for_dataset(&ds);
+        let ledger = QueryLedger::new(ds.num_machines());
+        let oracles = OracleSet::new(&ds, &ledger);
+        let d = DistributingOperator::new(ds.capacity());
+        let nu = ds.capacity() as f64;
+        for i in 0..ds.universe() {
+            let mut st = SparseState::from_basis(sl.layout.clone(), &[i, 0, 0]);
+            d.apply_sequential(&oracles, &mut st, &sl, false);
+            let c = ds.total_multiplicity(i) as f64;
+            prop_assert!((st.amplitude(&[i, 0, 0]).re - (c / nu).sqrt()).abs() < 1e-9);
+            prop_assert!(
+                (st.amplitude(&[i, 0, 1]).re - ((nu - c) / nu).sqrt()).abs() < 1e-9
+            );
+        }
+    }
+
+    #[test]
+    fn compiled_circuit_matches_interpreter(ds in dataset_strategy()) {
+        use distributed_quantum_sampling::core::compile_sequential;
+        let program = compile_sequential(&ds);
+        let compiled: SparseState = program.run_from_basis(&[0, 0, 0]);
+        let interpreted = sequential_sample::<SparseState>(&ds);
+        // phase-blind comparison; the compiled circuit tracks −1 as e^{iπ}
+        let f = compiled.to_table().fidelity(&interpreted.state.to_table());
+        prop_assert!(f > 1.0 - 1e-9, "compiled/interpreted fidelity {}", f);
+        prop_assert_eq!(
+            program.oracle_queries(ds.num_machines()),
+            interpreted.queries.per_machine
+        );
+        // and the circuit inverts exactly
+        let mut back = compiled;
+        program.inverse().run(&mut back);
+        prop_assert!((back.amplitude(&[0, 0, 0]).abs() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn update_logs_compose_correctly(ds in dataset_strategy(), seed in 0u64..1000) {
+        use distributed_quantum_sampling::core::sequential_sample_with_updates;
+        use distributed_quantum_sampling::workloads::churn_trace;
+        use rand::SeedableRng;
+        // give headroom so inserts are possible
+        let ds = DistributedDataset::new(
+            ds.universe(),
+            ds.capacity() + 2,
+            ds.shards().to_vec(),
+        ).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let log = churn_trace(&ds, 12, 0.5, &mut rng);
+        let live = sequential_sample_with_updates::<SparseState>(&ds, &log);
+        prop_assert!(live.fidelity > 1.0 - 1e-9);
+        let rebuilt = sequential_sample::<SparseState>(&log.apply_to(&ds));
+        let pl = live.state.register_probabilities(0);
+        let pr = rebuilt.state.register_probabilities(0);
+        for (a, b) in pl.iter().zip(&pr) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn centralizing_preserves_everything_but_cost(ds in dataset_strategy()) {
+        use distributed_quantum_sampling::baselines::centralized_sample;
+        let central = centralized_sample::<SparseState>(&ds);
+        let distributed = sequential_sample::<SparseState>(&ds);
+        prop_assert!(central.run.fidelity > 1.0 - 1e-9);
+        prop_assert_eq!(
+            central.run.plan.total_iterations(),
+            distributed.plan.total_iterations()
+        );
+        prop_assert_eq!(
+            distributed.queries.total_sequential(),
+            ds.num_machines() as u64 * central.run.queries.total_sequential()
+        );
+    }
+}
