@@ -18,6 +18,12 @@
 //! `t_k = Ω(√(κ_k N/M))`. [`SequentialHybrid::run`] measures the trace for
 //! the sequential model, [`ParallelHybrid::run`] for the parallel model
 //! (Lemmas 5.9/5.10).
+//!
+//! The sweep over family members is embarrassingly parallel — each member's
+//! circuit run is independent — and is executed with rayon. Per-member
+//! distance vectors are folded into the [`Welford`] accumulators in member
+//! order afterwards, so every trace is bit-identical to the serial sweep
+//! regardless of `RAYON_NUM_THREADS`.
 
 use crate::bounds::{growth_envelope, success_floor};
 use crate::hard_inputs::HardInputFamily;
@@ -27,6 +33,7 @@ use dqs_db::{DistributedDataset, OracleSet, QueryLedger};
 use dqs_math::{Complex64, Welford};
 use dqs_sim::{QuantumState, SparseState, StateTable};
 use rand::Rng;
+use rayon::prelude::*;
 
 /// Which query model a hybrid experiment instruments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -141,12 +148,26 @@ impl<'a> SequentialHybrid<'a> {
 
         let erased_snaps = seq_snapshots(&self.family.erased(), &layout, &plan, k);
         let members = family_members(self.family, max_members, rng);
+        // Each member's circuit run is independent (Eq. 11 averages over the
+        // family), so simulate members in parallel; the per-step distances
+        // are then folded into the Welford accumulators in member order,
+        // giving bit-identical statistics to the serial sweep.
+        let per_member: Vec<Vec<f64>> = members
+            .par_iter()
+            .map(|ds| {
+                let snaps = seq_snapshots(ds, &layout, &plan, k);
+                assert_eq!(snaps.len(), erased_snaps.len(), "oblivious schedule drift");
+                snaps
+                    .iter()
+                    .zip(&erased_snaps)
+                    .map(|(a, b)| a.distance_sqr(b))
+                    .collect()
+            })
+            .collect();
         let mut acc = vec![Welford::new(); erased_snaps.len()];
-        for ds in &members {
-            let snaps = seq_snapshots(ds, &layout, &plan, k);
-            assert_eq!(snaps.len(), erased_snaps.len(), "oblivious schedule drift");
-            for (slot, (a, b)) in acc.iter_mut().zip(snaps.iter().zip(&erased_snaps)) {
-                slot.push(a.distance_sqr(b));
+        for dists in &per_member {
+            for (slot, &v) in acc.iter_mut().zip(dists) {
+                slot.push(v);
             }
         }
         let mut d = vec![0.0];
@@ -186,12 +207,24 @@ impl<'a> ParallelHybrid<'a> {
 
         let erased_snaps = par_snapshots(&self.family.erased(), &layout, &plan);
         let members = family_members(self.family, max_members, rng);
+        // Same member-parallel sweep as the sequential hybrid: simulate in
+        // parallel, accumulate in member order for bit-identical statistics.
+        let per_member: Vec<Vec<f64>> = members
+            .par_iter()
+            .map(|ds| {
+                let snaps = par_snapshots(ds, &layout, &plan);
+                assert_eq!(snaps.len(), erased_snaps.len(), "oblivious schedule drift");
+                snaps
+                    .iter()
+                    .zip(&erased_snaps)
+                    .map(|(a, b)| a.distance_sqr(b))
+                    .collect()
+            })
+            .collect();
         let mut acc = vec![Welford::new(); erased_snaps.len()];
-        for ds in &members {
-            let snaps = par_snapshots(ds, &layout, &plan);
-            assert_eq!(snaps.len(), erased_snaps.len(), "oblivious schedule drift");
-            for (slot, (a, b)) in acc.iter_mut().zip(snaps.iter().zip(&erased_snaps)) {
-                slot.push(a.distance_sqr(b));
+        for dists in &per_member {
+            for (slot, &v) in acc.iter_mut().zip(dists) {
+                slot.push(v);
             }
         }
         let mut d = vec![0.0];

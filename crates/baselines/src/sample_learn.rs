@@ -66,7 +66,9 @@ pub fn sample_and_learn(
     }
 
     // synthesize √(empirical frequency) amplitudes
-    let out_layout = Layout::builder().register("elem", dataset.universe()).build();
+    let out_layout = Layout::builder()
+        .register("elem", dataset.universe())
+        .build();
     let entries = counts
         .iter()
         .enumerate()

@@ -1,0 +1,212 @@
+//! Machine-readable simulator benchmark: writes `BENCH_qsim.json` at the
+//! repository root.
+//!
+//! Regenerate with:
+//!
+//! ```text
+//! cargo run --release -p dqs-bench --bin bench_json
+//! ```
+//!
+//! (offline: `./tools/offline-stubs/check.sh run --release -p dqs-bench --bin bench_json`)
+//!
+//! Measures gate-application throughput (permutation and conditioned
+//! unitary) on the sparse and dense backends across state sizes, plus one
+//! end-to-end `sequential_sample` run. Each measurement reports the median
+//! of [`SAMPLES`] timed repetitions.
+
+use dqs_core::sequential_sample;
+use dqs_sim::{gates, DenseState, Layout, QuantumState, SparseState};
+use dqs_workloads::WorkloadSpec;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Timed repetitions per measurement (median reported).
+const SAMPLES: usize = 7;
+
+/// Sparse support sizes. The element index is split across two registers of
+/// dimension √size so the uniform state is prepared with two small DFTs
+/// (a single `dft(2^18)` would materialize a 2^18×2^18 matrix).
+const SPARSE_SIZES: &[u64] = &[1 << 10, 1 << 14, 1 << 18];
+
+/// Dense sizes (joint dimension = 16×size).
+const DENSE_SIZES: &[u64] = &[1 << 10, 1 << 14];
+
+/// Registers: elem_hi × elem_lo (each √size) + count 8 + flag 2.
+fn layout(size: u64) -> Layout {
+    let side = (size as f64).sqrt().round() as u64;
+    assert_eq!(side * side, size, "bench sizes must be perfect squares");
+    Layout::builder()
+        .register("elem_hi", side)
+        .register("elem_lo", side)
+        .register("count", 8)
+        .register("flag", 2)
+        .build()
+}
+
+fn uniform_sparse(size: u64) -> SparseState {
+    let l = layout(size);
+    let side = l.dim(0);
+    let mut s = SparseState::from_basis(l, &[0, 0, 0, 0]);
+    s.apply_register_unitary(0, &gates::dft(side));
+    s.apply_register_unitary(1, &gates::dft(side));
+    s
+}
+
+fn uniform_dense(size: u64) -> DenseState {
+    let l = layout(size);
+    let side = l.dim(0);
+    let mut s = DenseState::from_basis(l, &[0, 0, 0, 0]);
+    s.apply_register_unitary(0, &gates::dft(side));
+    s.apply_register_unitary(1, &gates::dft(side));
+    s
+}
+
+/// Median wall-clock seconds of `SAMPLES` runs of `f` (one warm-up first).
+fn median_secs(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut times: Vec<f64> = (0..SAMPLES)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.total_cmp(b));
+    times[times.len() / 2]
+}
+
+struct GateRow {
+    op: &'static str,
+    backend: &'static str,
+    support: u64,
+    seconds: f64,
+}
+
+impl GateRow {
+    fn ops_per_sec(&self) -> f64 {
+        1.0 / self.seconds
+    }
+    fn ns_per_amplitude(&self) -> f64 {
+        self.seconds * 1e9 / self.support as f64
+    }
+}
+
+fn bench_gates() -> Vec<GateRow> {
+    let mut rows = Vec::new();
+    for &n in SPARSE_SIZES {
+        let s = uniform_sparse(n);
+        let secs = median_secs(|| {
+            let mut s = s.clone();
+            s.apply_permutation(|t| t[2] = (t[2] + (t[0] + t[1]) % 7) % 8);
+            black_box(s.support_len());
+        });
+        rows.push(GateRow {
+            op: "permutation",
+            backend: "sparse",
+            support: n,
+            seconds: secs,
+        });
+        let secs = median_secs(|| {
+            let mut s = s.clone();
+            s.apply_conditioned_unitary(3, |t| {
+                let c = (t[2] as f64 / 7.0).min(1.0);
+                gates::ry_by_cos_sin(c, (1.0 - c * c).sqrt())
+            });
+            black_box(s.support_len());
+        });
+        rows.push(GateRow {
+            op: "conditioned_unitary",
+            backend: "sparse",
+            support: n,
+            seconds: secs,
+        });
+    }
+    for &n in DENSE_SIZES {
+        let d = uniform_dense(n);
+        let secs = median_secs(|| {
+            let mut d = d.clone();
+            d.apply_permutation(|t| t[2] = (t[2] + (t[0] + t[1]) % 7) % 8);
+            black_box(d.norm());
+        });
+        rows.push(GateRow {
+            op: "permutation",
+            backend: "dense",
+            support: n,
+            seconds: secs,
+        });
+        let secs = median_secs(|| {
+            let mut d = d.clone();
+            d.apply_conditioned_unitary(3, |t| {
+                let c = (t[2] as f64 / 7.0).min(1.0);
+                gates::ry_by_cos_sin(c, (1.0 - c * c).sqrt())
+            });
+            black_box(d.norm());
+        });
+        rows.push(GateRow {
+            op: "conditioned_unitary",
+            backend: "dense",
+            support: n,
+            seconds: secs,
+        });
+    }
+    rows
+}
+
+fn repo_root() -> PathBuf {
+    std::env::var("CARGO_MANIFEST_DIR")
+        .map(|d| {
+            PathBuf::from(d)
+                .parent()
+                .and_then(|p| p.parent())
+                .map(|p| p.to_path_buf())
+                .unwrap_or_else(|| PathBuf::from("."))
+        })
+        .unwrap_or_else(|_| PathBuf::from("."))
+}
+
+fn main() {
+    let gate_rows = bench_gates();
+
+    // End-to-end: Theorem 4.3's sequential sampler on a mid-sized dataset.
+    let (universe, total, machines, seed) = (2048u64, 1024u64, 4usize, 42u64);
+    let dataset = WorkloadSpec::small_uniform(universe, total, machines, seed).build();
+    let e2e_secs = median_secs(|| {
+        black_box(sequential_sample::<SparseState>(&dataset).fidelity);
+    });
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"generated_by\": \"cargo run --release -p dqs-bench --bin bench_json\",\n");
+    let _ = writeln!(
+        json,
+        "  \"rayon_threads\": {},",
+        rayon::current_num_threads()
+    );
+    json.push_str("  \"gate_application\": [\n");
+    for (i, r) in gate_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"op\": \"{}\", \"backend\": \"{}\", \"support\": {}, \"seconds\": {:.6e}, \"ops_per_sec\": {:.3}, \"ns_per_amplitude\": {:.3}}}",
+            r.op,
+            r.backend,
+            r.support,
+            r.seconds,
+            r.ops_per_sec(),
+            r.ns_per_amplitude(),
+        );
+        json.push_str(if i + 1 < gate_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ],\n");
+    let _ = writeln!(
+        json,
+        "  \"end_to_end\": {{\"name\": \"sequential_sample\", \"backend\": \"sparse\", \"universe\": {universe}, \"total_records\": {total}, \"machines\": {machines}, \"seed\": {seed}, \"seconds\": {e2e_secs:.6e}}}"
+    );
+    json.push_str("}\n");
+
+    let path = repo_root().join("BENCH_qsim.json");
+    std::fs::write(&path, &json).expect("write BENCH_qsim.json");
+    println!("{json}");
+    println!("wrote {}", path.display());
+}

@@ -29,7 +29,14 @@ pub fn run() -> String {
 
     let mut t = Table::new(
         "E19: classical sample-and-learn vs coherent sampling (N = 256, M = 64, a = 1/8)",
-        &["K samples", "attempts", "queries", "fidelity", "coherent q", "coherent F"],
+        &[
+            "K samples",
+            "attempts",
+            "queries",
+            "fidelity",
+            "coherent q",
+            "coherent F",
+        ],
     );
     for &k in &[25u64, 100, 400, 1600] {
         let mut rng = StdRng::seed_from_u64(500 + k);
@@ -42,7 +49,10 @@ pub fn run() -> String {
             coherent.queries.total_sequential().to_string(),
             format!("{:.9}", coherent.fidelity),
         ]);
-        assert!(run.fidelity < 1.0 - 1e-9, "sample-and-learn cannot be exact");
+        assert!(
+            run.fidelity < 1.0 - 1e-9,
+            "sample-and-learn cannot be exact"
+        );
     }
     t.caption(format!(
         "The coherent sampler outputs |ψ⟩ exactly in {} queries; sample-and-learn \

@@ -1,9 +1,40 @@
 //! Dense state-vector backend.
 //!
 //! Stores all `Π dim_r` amplitudes in one contiguous vector (mixed-radix
-//! indexed by [`Layout::encode`]) and applies gates with rayon-parallel
-//! loops. This backend is the ground truth used to cross-validate the sparse
-//! backend at small sizes, and is independently useful for dense circuits.
+//! indexed by [`Layout::encode`]). This backend is the ground truth used to
+//! cross-validate the sparse backend at small sizes, and is independently
+//! useful for dense circuits.
+//!
+//! ## Parallelism
+//!
+//! Every `QuantumState` operation is rayon-parallel over the flat amplitude
+//! vector:
+//!
+//! - `apply_conditioned_unitary` splits into `dim(target) · stride(target)`
+//!   sized blocks (`par_chunks_mut`), one task per block.
+//! - `apply_permutation` computes the image index of every amplitude in
+//!   parallel (per-thread scratch basis via `map_init`), then scatters with
+//!   a serial pass — the scatter is kept serial so the backend stays free of
+//!   `unsafe` (the crate is `#![forbid(unsafe_code)]`) and so the
+//!   injectivity `debug_assert!` sees a deterministic write order.
+//! - `apply_phase`, `filter_amplitudes`, and `scale` are element-parallel
+//!   (`par_iter_mut`).
+//! - `support_len`, `norm`, and `inner` are parallel reductions.
+//! - `to_table` collects surviving entries per [`PAR_CHUNK`]-sized chunk in
+//!   parallel and concatenates chunks in index order, so the resulting
+//!   [`StateTable`] order is identical to a serial scan.
+//!
+//! `apply_rank_one_phase` stays serial: it touches only the anchor's support
+//! (`O(support)` ≪ `Π dim_r`), so a parallel scan over the full vector would
+//! be slower, not faster.
+//!
+//! Rayon splits work adaptively, so states far below ~10⁴ amplitudes mostly
+//! execute on the calling thread; the parallel speedup materializes at the
+//! 2²⁰-amplitude scale used by `sim_throughput`. Note `norm`/`inner` use
+//! rayon `reduce`, whose floating-point combination order depends on the
+//! work split — unlike the sparse backend, dense reductions are only
+//! deterministic up to f64 rounding. Set `RAYON_NUM_THREADS=1` for exactly
+//! reproducible dense reductions.
 
 use crate::register::Layout;
 use crate::state::{debug_check_norm, QuantumState};
@@ -14,6 +45,10 @@ use rayon::prelude::*;
 /// Threshold below which a dense amplitude is considered zero when counting
 /// support or exporting to a [`StateTable`].
 const SUPPORT_EPS_SQR: f64 = 1e-24;
+
+/// Amplitudes per rayon task in the chunked passes (`to_table`); also the
+/// granularity floor that keeps per-task scratch allocations amortized.
+const PAR_CHUNK: usize = 4096;
 
 /// A dense pure state: every amplitude stored.
 #[derive(Clone)]
@@ -72,7 +107,7 @@ impl QuantumState for DenseState {
 
     fn support_len(&self) -> usize {
         self.amps
-            .iter()
+            .par_iter()
             .filter(|a| a.norm_sqr() > SUPPORT_EPS_SQR)
             .count()
     }
@@ -80,21 +115,40 @@ impl QuantumState for DenseState {
     fn apply_permutation(&mut self, f: impl Fn(&mut [u64]) + Sync) {
         let layout = &self.layout;
         let n_regs = layout.num_registers();
+        // Sentinel for amplitudes outside the support — the closure is never
+        // invoked for them (matching the serial implementation's skip).
+        const SKIP: usize = usize::MAX;
+        // Phase 1 (parallel): image index of every live amplitude.
+        let targets: Vec<usize> = self
+            .amps
+            .par_iter()
+            .enumerate()
+            .map_init(
+                || vec![0u64; n_regs],
+                |basis, (idx, amp)| {
+                    if amp.norm_sqr() == 0.0 {
+                        return SKIP;
+                    }
+                    layout.decode(idx, basis);
+                    f(basis);
+                    layout.assert_basis(basis);
+                    layout.encode(basis)
+                },
+            )
+            .collect();
+        // Phase 2 (serial scatter): each target is written at most once for
+        // a bijection, so this is a straight copy; kept serial to avoid
+        // `unsafe` and to give the injectivity check a deterministic order.
         let mut out = vec![Complex64::ZERO; self.amps.len()];
-        let mut basis = vec![0u64; n_regs];
-        for (idx, amp) in self.amps.iter().enumerate() {
-            if amp.norm_sqr() == 0.0 {
+        for (idx, &j) in targets.iter().enumerate() {
+            if j == SKIP {
                 continue;
             }
-            layout.decode(idx, &mut basis);
-            f(&mut basis);
-            layout.assert_basis(&basis);
-            let j = layout.encode(&basis);
             debug_assert!(
                 out[j].norm_sqr() == 0.0,
-                "permutation closure is not injective (collision at {basis:?})"
+                "permutation closure is not injective (collision at index {j})"
             );
-            out[j] = *amp;
+            out[j] = self.amps[idx];
         }
         self.amps = out;
         debug_check_norm(self, "apply_permutation");
@@ -229,14 +283,30 @@ impl QuantumState for DenseState {
     }
 
     fn to_table(&self) -> StateTable {
-        let mut entries = Vec::new();
-        let mut basis = vec![0u64; self.layout.num_registers()];
-        for (idx, amp) in self.amps.iter().enumerate() {
-            if amp.norm_sqr() > SUPPORT_EPS_SQR {
-                self.layout.decode(idx, &mut basis);
-                entries.push((basis.clone().into_boxed_slice(), *amp));
-            }
-        }
+        let layout = &self.layout;
+        let n_regs = layout.num_registers();
+        // Per-chunk collects concatenated in index order: identical entry
+        // order to a serial scan (already sorted, since index order is
+        // basis-tuple order).
+        let entries: Vec<(Box<[u64]>, Complex64)> = self
+            .amps
+            .par_chunks(PAR_CHUNK)
+            .enumerate()
+            .map(|(c, chunk)| {
+                let mut basis = vec![0u64; n_regs];
+                let mut local = Vec::new();
+                for (i, amp) in chunk.iter().enumerate() {
+                    if amp.norm_sqr() > SUPPORT_EPS_SQR {
+                        layout.decode(c * PAR_CHUNK + i, &mut basis);
+                        local.push((basis.clone().into_boxed_slice(), *amp));
+                    }
+                }
+                local
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect();
         StateTable::new(self.layout.clone(), entries)
     }
 }

@@ -149,6 +149,59 @@ impl Layout {
             .iter()
             .fold(1usize, |acc, reg| acc * reg.dim as usize)
     }
+
+    /// Joint dimension `Π dim_r` if it fits in `u128`, else `None`.
+    ///
+    /// This is the ceiling for the sparse backend's packed-key
+    /// representation, which keys amplitudes by [`Self::encode_u128`]; it
+    /// covers layouts far past [`Self::dense_dim`]'s `usize` limit (e.g. the
+    /// parallel model's `3 + 3n` registers). Layouts whose joint dimension
+    /// exceeds 128 bits fall back to boxed-slice keys.
+    pub fn packed_dim(&self) -> Option<u128> {
+        let mut acc: u128 = 1;
+        for r in &self.regs {
+            acc = acc.checked_mul(u128::from(r.dim))?;
+        }
+        Some(acc)
+    }
+
+    /// Mixed-radix encoding of a basis tuple to a `u128` key.
+    ///
+    /// Same digit order as [`Self::encode`] — the **first** register is the
+    /// most significant — so lexicographic order on tuples matches numeric
+    /// order on keys and a sorted key list agrees with [`StateTable`]'s
+    /// sorted tuple order. Callers must ensure the joint dimension fits
+    /// ([`Self::packed_dim`] is `Some`); overflow is debug-checked only.
+    ///
+    /// [`StateTable`]: crate::table::StateTable
+    pub fn encode_u128(&self, basis: &[u64]) -> u128 {
+        debug_assert!(self.validate_basis(basis));
+        let mut idx: u128 = 0;
+        for (v, r) in basis.iter().zip(self.regs.iter()) {
+            idx = idx * u128::from(r.dim) + u128::from(*v);
+        }
+        idx
+    }
+
+    /// Inverse of [`Self::encode_u128`]; writes into `out` (one slot per
+    /// register).
+    pub fn decode_u128(&self, mut idx: u128, out: &mut [u64]) {
+        debug_assert_eq!(out.len(), self.regs.len());
+        for (slot, r) in out.iter_mut().zip(self.regs.iter()).rev() {
+            let d = u128::from(r.dim);
+            *slot = (idx % d) as u64;
+            idx /= d;
+        }
+        debug_assert_eq!(idx, 0, "index out of range for layout");
+    }
+
+    /// Packed-key stride of register `r` (see [`Self::stride`]): adding
+    /// `stride_u128(r)` to a key increments register `r` by 1.
+    pub fn stride_u128(&self, r: usize) -> u128 {
+        self.regs[r + 1..]
+            .iter()
+            .fold(1u128, |acc, reg| acc * u128::from(reg.dim))
+    }
 }
 
 impl fmt::Debug for Layout {
@@ -283,5 +336,83 @@ mod tests {
     #[should_panic(expected = "dimension >= 1")]
     fn zero_dim_register_rejected() {
         let _ = Register::new("bad", 0);
+    }
+
+    #[test]
+    fn encode_u128_round_trip_exhaustive() {
+        let l = layout_3();
+        let mut seen = std::collections::HashSet::new();
+        let mut out = vec![0u64; 3];
+        for idx in 0..30u128 {
+            l.decode_u128(idx, &mut out);
+            assert!(l.validate_basis(&out));
+            assert_eq!(l.encode_u128(&out), idx);
+            seen.insert(out.clone());
+        }
+        assert_eq!(seen.len(), 30, "decode_u128 must be injective");
+    }
+
+    #[test]
+    fn encode_u128_agrees_with_encode() {
+        let l = layout_3();
+        for idx in 0..30usize {
+            let t = l.decode_vec(idx);
+            assert_eq!(l.encode_u128(&t), idx as u128);
+        }
+    }
+
+    #[test]
+    fn encode_u128_is_lexicographic() {
+        let l = layout_3();
+        assert!(l.encode_u128(&[0, 0, 1]) < l.encode_u128(&[0, 1, 0]));
+        assert!(l.encode_u128(&[0, 2, 1]) < l.encode_u128(&[1, 0, 0]));
+        // Sorted keys therefore agree with sorted boxed tuples.
+        let mut tuples: Vec<Vec<u64>> = (0..30).map(|i| l.decode_vec(i)).collect();
+        let mut keys: Vec<u128> = tuples.iter().map(|t| l.encode_u128(t)).collect();
+        tuples.sort();
+        keys.sort_unstable();
+        for (t, k) in tuples.iter().zip(&keys) {
+            assert_eq!(l.encode_u128(t), *k);
+        }
+    }
+
+    #[test]
+    fn strides_u128_match_encoding() {
+        let l = layout_3();
+        assert_eq!(l.stride_u128(0), 6);
+        assert_eq!(l.stride_u128(1), 2);
+        assert_eq!(l.stride_u128(2), 1);
+        let a = l.encode_u128(&[2, 0, 1]);
+        let b = l.encode_u128(&[2, 1, 1]);
+        assert_eq!(b - a, l.stride_u128(1));
+    }
+
+    #[test]
+    fn packed_dim_past_usize_round_trips() {
+        // Joint dimension 2^40·2^40·2^40 = 2^120: overflows usize (even on
+        // 64-bit) but fits u128 — exactly the regime packed keys unlock.
+        let l = Layout::builder()
+            .register("a", 1 << 40)
+            .register("b", 1 << 40)
+            .register("c", 1 << 40)
+            .build();
+        assert_eq!(l.dense_dim(), None);
+        assert_eq!(l.packed_dim(), Some(1u128 << 120));
+        let basis = [(1 << 40) - 1, 12345, 1 << 39];
+        let key = l.encode_u128(&basis);
+        let mut out = [0u64; 3];
+        l.decode_u128(key, &mut out);
+        assert_eq!(out, basis);
+        // max tuple maps to packed_dim − 1
+        let max = [(1 << 40) - 1; 3];
+        assert_eq!(l.encode_u128(&max), (1u128 << 120) - 1);
+    }
+
+    #[test]
+    fn packed_dim_overflow_is_none() {
+        // (2^63)^3 = 2^189 exceeds u128 → packed keys unavailable.
+        let l = Layout::builder().register_array("huge", 1 << 63, 3).build();
+        assert_eq!(l.packed_dim(), None);
+        assert_eq!(l.dense_dim(), None);
     }
 }

@@ -1,10 +1,34 @@
 //! Sparse state-vector backend.
 //!
-//! Stores only basis states with nonzero amplitude in a hash map keyed by
-//! the full basis tuple. For the paper's circuits the support stays
-//! `O(N·ν)` regardless of how many ancilla registers the parallel model
-//! adds, so this backend is *exact* while scaling to data-universe sizes the
-//! dense backend cannot touch.
+//! Stores only basis states with nonzero amplitude. For the paper's circuits
+//! the support stays `O(N·ν)` regardless of how many ancilla registers the
+//! parallel model adds, so this backend is *exact* while scaling to
+//! data-universe sizes the dense backend cannot touch.
+//!
+//! ## Representation
+//!
+//! Whenever the layout's joint dimension fits in 128 bits
+//! ([`Layout::packed_dim`] is `Some` — true for every layout in this
+//! reproduction), each amplitude is keyed by its mixed-radix
+//! [`Layout::encode_u128`] packed key and the state is a flat
+//! **sorted** `Vec<(u128, Complex64)>` with a double-buffered scratch
+//! vector. Gate application becomes allocation-free merge/scan passes
+//! (rayon-parallel over [`PAR_CHUNK`]-sized chunks) instead of hash-map
+//! rebuilds with one boxed-slice key allocation per amplitude. Because the
+//! first register is the most significant digit, sorted key order equals
+//! sorted basis-tuple order, so snapshots and merge-joins agree with
+//! [`StateTable`] ordering.
+//!
+//! Layouts whose joint dimension exceeds 128 bits fall back to the original
+//! `FxHashMap<Box<[u64]>, Complex64>` representation
+//! ([`SparseState::is_packed`] reports which path is active).
+//!
+//! ## Determinism
+//!
+//! All parallel reductions are chunked with fixed chunk boundaries and the
+//! partial results are combined in chunk order, so every operation returns
+//! bit-identical results regardless of thread count (including
+//! `RAYON_NUM_THREADS=1`).
 //!
 //! Amplitudes whose squared modulus falls below [`PRUNE_EPS_SQR`] (1e-24,
 //! i.e. |amp| < 1e-12 — pure floating-point residue, ~8 orders of magnitude
@@ -16,26 +40,82 @@ use crate::register::Layout;
 use crate::state::{debug_check_norm, QuantumState};
 use crate::table::StateTable;
 use dqs_math::{Complex64, MatC};
+use rayon::prelude::*;
 
 /// Squared-modulus threshold below which amplitudes are dropped.
 pub const PRUNE_EPS_SQR: f64 = 1e-24;
 
-type Key = Box<[u64]>;
+/// Entries per rayon task in the packed scan passes. Also the chunk size of
+/// the deterministic `norm`/`inner` reductions: partials are combined in
+/// chunk order, so results do not depend on the worker count.
+const PAR_CHUNK: usize = 4096;
 
-/// A sparse pure state: hash map from basis tuple to amplitude.
+/// Buckets per rayon task in the conditioned-unitary pass.
+const BUCKETS_PER_TASK: usize = 256;
+
+type BoxedKey = Box<[u64]>;
+
+/// Packed representation: sorted `(key, amplitude)` pairs plus a reusable
+/// scratch buffer (the other half of the double buffer).
+struct Packed {
+    /// Sorted by key, keys unique, every `norm_sqr > PRUNE_EPS_SQR`.
+    amps: Vec<(u128, Complex64)>,
+    /// Scratch for out-of-place passes; contents are meaningless between
+    /// operations, the allocation is what we keep.
+    scratch: Vec<(u128, Complex64)>,
+}
+
+impl Clone for Packed {
+    fn clone(&self) -> Self {
+        // The scratch buffer is transient state — don't copy its contents.
+        Self {
+            amps: self.amps.clone(),
+            scratch: Vec::new(),
+        }
+    }
+}
+
+#[derive(Clone)]
+enum Repr {
+    Packed(Packed),
+    Boxed(FxHashMap<BoxedKey, Complex64>),
+}
+
+/// A sparse pure state over a multi-register [`Layout`].
 #[derive(Clone)]
 pub struct SparseState {
     layout: Layout,
-    amps: FxHashMap<Key, Complex64>,
+    repr: Repr,
 }
 
 impl SparseState {
-    fn prune(&mut self) {
-        self.amps.retain(|_, a| a.norm_sqr() > PRUNE_EPS_SQR);
+    /// True when this state uses the packed `u128`-key representation
+    /// (layout joint dimension ≤ 2^128); false on the boxed-slice fallback.
+    pub fn is_packed(&self) -> bool {
+        matches!(self.repr, Repr::Packed(_))
     }
 
-    /// Adds `amp` to the basis state `key`, creating or pruning as needed.
-    fn accumulate(map: &mut FxHashMap<Key, Complex64>, key: Key, amp: Complex64) {
+    /// Constructs `|basis⟩` on the boxed-slice fallback path even when the
+    /// layout would support packed keys. Exists so tests can pin the two
+    /// representations against each other on small layouts; algorithms
+    /// should use [`QuantumState::from_basis`].
+    pub fn from_basis_fallback(layout: Layout, basis: &[u64]) -> Self {
+        layout.assert_basis(basis);
+        let mut amps = FxHashMap::default();
+        amps.insert(basis.into(), Complex64::ONE);
+        Self {
+            layout,
+            repr: Repr::Boxed(amps),
+        }
+    }
+
+    fn prune_boxed(map: &mut FxHashMap<BoxedKey, Complex64>) {
+        map.retain(|_, a| a.norm_sqr() > PRUNE_EPS_SQR);
+    }
+
+    /// Adds `amp` to the basis state `key`, creating or pruning as needed
+    /// (boxed fallback path).
+    fn accumulate(map: &mut FxHashMap<BoxedKey, Complex64>, key: BoxedKey, amp: Complex64) {
         use std::collections::hash_map::Entry;
         match map.entry(key) {
             Entry::Occupied(mut e) => {
@@ -58,9 +138,17 @@ impl SparseState {
 impl QuantumState for SparseState {
     fn from_basis(layout: Layout, basis: &[u64]) -> Self {
         layout.assert_basis(basis);
-        let mut amps = FxHashMap::default();
-        amps.insert(basis.into(), Complex64::ONE);
-        Self { layout, amps }
+        let repr = if layout.packed_dim().is_some() {
+            Repr::Packed(Packed {
+                amps: vec![(layout.encode_u128(basis), Complex64::ONE)],
+                scratch: Vec::new(),
+            })
+        } else {
+            let mut amps = FxHashMap::default();
+            amps.insert(basis.into(), Complex64::ONE);
+            Repr::Boxed(amps)
+        };
+        Self { layout, repr }
     }
 
     fn layout(&self) -> &Layout {
@@ -69,84 +157,231 @@ impl QuantumState for SparseState {
 
     fn amplitude(&self, basis: &[u64]) -> Complex64 {
         self.layout.assert_basis(basis);
-        self.amps.get(basis).copied().unwrap_or(Complex64::ZERO)
+        match &self.repr {
+            Repr::Packed(p) => {
+                let key = self.layout.encode_u128(basis);
+                match p.amps.binary_search_by_key(&key, |e| e.0) {
+                    Ok(i) => p.amps[i].1,
+                    Err(_) => Complex64::ZERO,
+                }
+            }
+            Repr::Boxed(map) => map.get(basis).copied().unwrap_or(Complex64::ZERO),
+        }
     }
 
     fn support_len(&self) -> usize {
-        self.amps.len()
+        match &self.repr {
+            Repr::Packed(p) => p.amps.len(),
+            Repr::Boxed(map) => map.len(),
+        }
     }
 
     fn apply_permutation(&mut self, f: impl Fn(&mut [u64]) + Sync) {
-        let layout = self.layout.clone();
-        let mut out: FxHashMap<Key, Complex64> = FxHashMap::default();
-        out.reserve(self.amps.len());
-        for (key, amp) in self.amps.drain() {
-            let mut basis = key.into_vec();
-            f(&mut basis);
-            layout.assert_basis(&basis);
-            let new_key: Key = basis.into_boxed_slice();
-            debug_assert!(
-                !out.contains_key(&new_key),
-                "permutation closure is not injective (collision at {new_key:?})"
-            );
-            Self::accumulate(&mut out, new_key, amp);
+        let layout = &self.layout;
+        match &mut self.repr {
+            Repr::Packed(p) => {
+                let n_regs = layout.num_registers();
+                p.scratch.clear();
+                p.scratch.resize(p.amps.len(), (0, Complex64::ZERO));
+                p.scratch
+                    .par_chunks_mut(PAR_CHUNK)
+                    .zip(p.amps.par_chunks(PAR_CHUNK))
+                    .for_each(|(dst, src)| {
+                        let mut basis = vec![0u64; n_regs];
+                        for (slot, &(key, amp)) in dst.iter_mut().zip(src) {
+                            layout.decode_u128(key, &mut basis);
+                            f(&mut basis);
+                            layout.assert_basis(&basis);
+                            *slot = (layout.encode_u128(&basis), amp);
+                        }
+                    });
+                p.scratch.par_sort_unstable_by_key(|e| e.0);
+                // Merge duplicates (a bijection produces none; debug-checked).
+                p.amps.clear();
+                for &(key, amp) in p.scratch.iter() {
+                    match p.amps.last_mut() {
+                        Some((prev, acc)) if *prev == key => {
+                            debug_assert!(
+                                false,
+                                "permutation closure is not injective (collision at key {key})"
+                            );
+                            *acc += amp;
+                            if acc.norm_sqr() <= PRUNE_EPS_SQR {
+                                p.amps.pop();
+                            }
+                        }
+                        _ => p.amps.push((key, amp)),
+                    }
+                }
+            }
+            Repr::Boxed(map) => {
+                let mut out: FxHashMap<BoxedKey, Complex64> = FxHashMap::default();
+                out.reserve(map.len());
+                for (key, amp) in map.drain() {
+                    let mut basis = key.into_vec();
+                    f(&mut basis);
+                    layout.assert_basis(&basis);
+                    let new_key: BoxedKey = basis.into_boxed_slice();
+                    debug_assert!(
+                        !out.contains_key(&new_key),
+                        "permutation closure is not injective (collision at {new_key:?})"
+                    );
+                    Self::accumulate(&mut out, new_key, amp);
+                }
+                *map = out;
+            }
         }
-        self.amps = out;
         debug_check_norm(self, "apply_permutation");
     }
 
     fn apply_conditioned_unitary(&mut self, target: usize, u_of: impl Fn(&[u64]) -> MatC + Sync) {
-        let d = self.layout.dim(target) as usize;
-        // Group support by the tuple with the target register zeroed.
-        let mut buckets: FxHashMap<Key, Vec<(u64, Complex64)>> = FxHashMap::default();
-        for (key, amp) in self.amps.drain() {
-            let t_val = key[target];
-            let mut masked = key.into_vec();
-            masked[target] = 0;
-            buckets
-                .entry(masked.into_boxed_slice())
-                .or_default()
-                .push((t_val, amp));
-        }
-        let mut out: FxHashMap<Key, Complex64> = FxHashMap::default();
-        for (masked, cols) in buckets {
-            let u = u_of(&masked);
-            assert_eq!(
-                (u.rows(), u.cols()),
-                (d, d),
-                "conditioned unitary has wrong shape for register {target}"
-            );
-            // out[r] = Σ_{(k, amp)} U[r,k] · amp, touching only nonzero inputs.
-            let mut out_col = vec![Complex64::ZERO; d];
-            for (k, amp) in &cols {
-                let k = *k as usize;
-                for (r, slot) in out_col.iter_mut().enumerate() {
-                    let m = u[(r, k)];
-                    if m.norm_sqr() != 0.0 {
-                        *slot += m * *amp;
+        let layout = &self.layout;
+        let d = layout.dim(target) as usize;
+        match &mut self.repr {
+            Repr::Packed(p) => {
+                let n_regs = layout.num_registers();
+                let stride = layout.stride_u128(target);
+                let d_wide = d as u128;
+                // (key with target digit zeroed, target value)
+                let split = |key: u128| {
+                    let t = (key / stride) % d_wide;
+                    (key - t * stride, t as usize)
+                };
+                // Sort the support into buckets sharing a masked key. Keys
+                // are unique, so (masked, key) is a deterministic total
+                // order regardless of the unstable sort.
+                p.amps
+                    .par_sort_unstable_by_key(|&(key, _)| (split(key).0, key));
+                // Bucket boundaries (one bucket = one masked key).
+                let mut ranges: Vec<(usize, usize)> = Vec::new();
+                let mut start = 0;
+                for i in 1..=p.amps.len() {
+                    if i == p.amps.len() || split(p.amps[i].0).0 != split(p.amps[start].0).0 {
+                        ranges.push((start, i));
+                        start = i;
                     }
                 }
-            }
-            for (r, amp) in out_col.into_iter().enumerate() {
-                if amp.norm_sqr() > PRUNE_EPS_SQR {
-                    let mut key = masked.to_vec();
-                    key[target] = r as u64;
-                    Self::accumulate(&mut out, key.into_boxed_slice(), amp);
+                let amps = &p.amps;
+                let outputs: Vec<Vec<(u128, Complex64)>> = ranges
+                    .par_chunks(BUCKETS_PER_TASK)
+                    .map(|task| {
+                        let mut basis = vec![0u64; n_regs];
+                        let mut col = vec![Complex64::ZERO; d];
+                        let mut local: Vec<(u128, Complex64)> = Vec::new();
+                        for &(lo, hi) in task {
+                            let masked = split(amps[lo].0).0;
+                            layout.decode_u128(masked, &mut basis);
+                            debug_assert_eq!(basis[target], 0, "masked key has target 0");
+                            let u = u_of(&basis);
+                            assert_eq!(
+                                (u.rows(), u.cols()),
+                                (d, d),
+                                "conditioned unitary has wrong shape for register {target}"
+                            );
+                            // col[r] = Σ_{(t, amp)} U[r,t] · amp over the
+                            // bucket's nonzero inputs.
+                            col.fill(Complex64::ZERO);
+                            for &(key, amp) in &amps[lo..hi] {
+                                let t = split(key).1;
+                                for (r, slot) in col.iter_mut().enumerate() {
+                                    let m = u[(r, t)];
+                                    if m.norm_sqr() != 0.0 {
+                                        *slot += m * amp;
+                                    }
+                                }
+                            }
+                            for (r, &amp) in col.iter().enumerate() {
+                                if amp.norm_sqr() > PRUNE_EPS_SQR {
+                                    local.push((masked + r as u128 * stride, amp));
+                                }
+                            }
+                        }
+                        local
+                    })
+                    .collect();
+                p.scratch.clear();
+                for chunk in outputs {
+                    p.scratch.extend(chunk);
                 }
+                // Bucket outputs have unique keys; restore global key order.
+                p.scratch.par_sort_unstable_by_key(|e| e.0);
+                debug_assert!(p.scratch.windows(2).all(|w| w[0].0 < w[1].0));
+                std::mem::swap(&mut p.amps, &mut p.scratch);
+            }
+            Repr::Boxed(map) => {
+                // Group support by the tuple with the target register zeroed.
+                let mut buckets: FxHashMap<BoxedKey, Vec<(u64, Complex64)>> = FxHashMap::default();
+                for (key, amp) in map.drain() {
+                    let t_val = key[target];
+                    let mut masked = key.into_vec();
+                    masked[target] = 0;
+                    buckets
+                        .entry(masked.into_boxed_slice())
+                        .or_default()
+                        .push((t_val, amp));
+                }
+                let mut out: FxHashMap<BoxedKey, Complex64> = FxHashMap::default();
+                for (masked, cols) in buckets {
+                    let u = u_of(&masked);
+                    assert_eq!(
+                        (u.rows(), u.cols()),
+                        (d, d),
+                        "conditioned unitary has wrong shape for register {target}"
+                    );
+                    // out[r] = Σ_{(k, amp)} U[r,k] · amp, touching only
+                    // nonzero inputs.
+                    let mut out_col = vec![Complex64::ZERO; d];
+                    for (k, amp) in &cols {
+                        let k = *k as usize;
+                        for (r, slot) in out_col.iter_mut().enumerate() {
+                            let m = u[(r, k)];
+                            if m.norm_sqr() != 0.0 {
+                                *slot += m * *amp;
+                            }
+                        }
+                    }
+                    for (r, amp) in out_col.into_iter().enumerate() {
+                        if amp.norm_sqr() > PRUNE_EPS_SQR {
+                            let mut key = masked.to_vec();
+                            key[target] = r as u64;
+                            Self::accumulate(&mut out, key.into_boxed_slice(), amp);
+                        }
+                    }
+                }
+                *map = out;
             }
         }
-        self.amps = out;
         debug_check_norm(self, "apply_conditioned_unitary");
     }
 
     fn apply_phase(&mut self, f: impl Fn(&[u64]) -> Complex64 + Sync) {
-        for (key, amp) in self.amps.iter_mut() {
-            let ph = f(key);
-            debug_assert!(
-                (ph.abs() - 1.0).abs() < 1e-9,
-                "phase factor must be unit modulus, got {ph}"
-            );
-            *amp *= ph;
+        let layout = &self.layout;
+        match &mut self.repr {
+            Repr::Packed(p) => {
+                let n_regs = layout.num_registers();
+                p.amps.par_chunks_mut(PAR_CHUNK).for_each(|chunk| {
+                    let mut basis = vec![0u64; n_regs];
+                    for (key, amp) in chunk {
+                        layout.decode_u128(*key, &mut basis);
+                        let ph = f(&basis);
+                        debug_assert!(
+                            (ph.abs() - 1.0).abs() < 1e-9,
+                            "phase factor must be unit modulus, got {ph}"
+                        );
+                        *amp *= ph;
+                    }
+                });
+            }
+            Repr::Boxed(map) => {
+                for (key, amp) in map.iter_mut() {
+                    let ph = f(key);
+                    debug_assert!(
+                        (ph.abs() - 1.0).abs() < 1e-9,
+                        "phase factor must be unit modulus, got {ph}"
+                    );
+                    *amp *= ph;
+                }
+            }
         }
         debug_check_norm(self, "apply_phase");
     }
@@ -161,73 +396,242 @@ impl QuantumState for SparseState {
             (anchor.norm() - 1.0).abs() < 1e-9,
             "rank-one anchor must be normalized"
         );
-        let mut overlap = Complex64::ZERO;
-        for (b, a) in anchor.iter() {
-            if let Some(v) = self.amps.get(b) {
-                overlap += a.conj() * *v;
+        let layout = &self.layout;
+        match &mut self.repr {
+            Repr::Packed(p) => {
+                // StateTable iterates in sorted tuple order == sorted key
+                // order, so this is a sorted list and the overlap merge-join
+                // visits anchor entries in the same order the boxed path did.
+                let akeys: Vec<(u128, Complex64)> = anchor
+                    .iter()
+                    .map(|(b, a)| (layout.encode_u128(b), a))
+                    .collect();
+                debug_assert!(akeys.windows(2).all(|w| w[0].0 < w[1].0));
+                let mut overlap = Complex64::ZERO;
+                {
+                    let mut i = 0;
+                    for &(key, a) in &akeys {
+                        while i < p.amps.len() && p.amps[i].0 < key {
+                            i += 1;
+                        }
+                        if i < p.amps.len() && p.amps[i].0 == key {
+                            overlap += a.conj() * p.amps[i].1;
+                        }
+                    }
+                }
+                let coef = (Complex64::cis(phi) - Complex64::ONE) * overlap;
+                if coef.norm_sqr() == 0.0 {
+                    return;
+                }
+                // Merge state + coef·anchor into scratch, pruning as we go.
+                p.scratch.clear();
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < p.amps.len() || j < akeys.len() {
+                    let take_state =
+                        j >= akeys.len() || (i < p.amps.len() && p.amps[i].0 < akeys[j].0);
+                    let take_anchor =
+                        i >= p.amps.len() || (j < akeys.len() && akeys[j].0 < p.amps[i].0);
+                    let (key, v) = if take_state {
+                        let e = p.amps[i];
+                        i += 1;
+                        e
+                    } else if take_anchor {
+                        let (key, a) = akeys[j];
+                        j += 1;
+                        (key, coef * a)
+                    } else {
+                        let (key, a) = akeys[j];
+                        let v = p.amps[i].1 + coef * a;
+                        i += 1;
+                        j += 1;
+                        (key, v)
+                    };
+                    if v.norm_sqr() > PRUNE_EPS_SQR {
+                        p.scratch.push((key, v));
+                    }
+                }
+                std::mem::swap(&mut p.amps, &mut p.scratch);
+            }
+            Repr::Boxed(map) => {
+                let mut overlap = Complex64::ZERO;
+                for (b, a) in anchor.iter() {
+                    if let Some(v) = map.get(b) {
+                        overlap += a.conj() * *v;
+                    }
+                }
+                let coef = (Complex64::cis(phi) - Complex64::ONE) * overlap;
+                if coef.norm_sqr() == 0.0 {
+                    return;
+                }
+                for (b, a) in anchor.iter() {
+                    Self::accumulate(map, b.into(), coef * a);
+                }
+                Self::prune_boxed(map);
             }
         }
-        let coef = (Complex64::cis(phi) - Complex64::ONE) * overlap;
-        if coef.norm_sqr() == 0.0 {
-            return;
-        }
-        for (b, a) in anchor.iter() {
-            Self::accumulate(&mut self.amps, b.into(), coef * a);
-        }
-        self.prune();
         debug_check_norm(self, "apply_rank_one_phase");
     }
 
     fn scale(&mut self, k: Complex64) {
-        for amp in self.amps.values_mut() {
-            *amp *= k;
+        match &mut self.repr {
+            Repr::Packed(p) => {
+                p.amps
+                    .par_chunks_mut(PAR_CHUNK)
+                    .for_each(|chunk| chunk.iter_mut().for_each(|(_, a)| *a *= k));
+            }
+            Repr::Boxed(map) => {
+                for amp in map.values_mut() {
+                    *amp *= k;
+                }
+            }
         }
     }
 
     fn norm(&self) -> f64 {
-        self.amps.values().map(|a| a.norm_sqr()).sum::<f64>().sqrt()
+        match &self.repr {
+            Repr::Packed(p) => {
+                // Chunked parallel reduction; partials combined in chunk
+                // order so the sum is thread-count independent.
+                let partials: Vec<f64> = p
+                    .amps
+                    .par_chunks(PAR_CHUNK)
+                    .map(|chunk| chunk.iter().map(|(_, a)| a.norm_sqr()).sum::<f64>())
+                    .collect();
+                partials.iter().sum::<f64>().sqrt()
+            }
+            Repr::Boxed(map) => map.values().map(|a| a.norm_sqr()).sum::<f64>().sqrt(),
+        }
     }
 
     fn inner(&self, other: &Self) -> Complex64 {
         assert_eq!(self.layout, other.layout, "inner across layouts");
-        let (small, big, conj_small) = if self.amps.len() <= other.amps.len() {
-            (&self.amps, &other.amps, true)
-        } else {
-            (&other.amps, &self.amps, false)
-        };
-        let mut acc = Complex64::ZERO;
-        for (k, a) in small {
-            if let Some(b) = big.get(k) {
-                // ⟨self|other⟩ = Σ conj(self)·other regardless of which map
-                // we iterate.
-                acc += if conj_small {
-                    a.conj() * *b
-                } else {
-                    b.conj() * *a
-                };
+        match (&self.repr, &other.repr) {
+            (Repr::Packed(a), Repr::Packed(b)) => {
+                // Chunked merge-join over the two sorted supports; each chunk
+                // of `self` joins against the matching key range of `other`
+                // found by binary search. Partials combine in chunk order.
+                let partials: Vec<Complex64> = a
+                    .amps
+                    .par_chunks(PAR_CHUNK)
+                    .map(|chunk| {
+                        let lo = chunk[0].0;
+                        let mut j = b.amps.partition_point(|e| e.0 < lo);
+                        let mut acc = Complex64::ZERO;
+                        let mut i = 0;
+                        while i < chunk.len() && j < b.amps.len() {
+                            match chunk[i].0.cmp(&b.amps[j].0) {
+                                std::cmp::Ordering::Less => i += 1,
+                                std::cmp::Ordering::Greater => j += 1,
+                                std::cmp::Ordering::Equal => {
+                                    acc += chunk[i].1.conj() * b.amps[j].1;
+                                    i += 1;
+                                    j += 1;
+                                }
+                            }
+                        }
+                        acc
+                    })
+                    .collect();
+                partials.into_iter().fold(Complex64::ZERO, |x, y| x + y)
             }
+            (Repr::Boxed(a), Repr::Boxed(b)) => {
+                let (small, big, conj_small) = if a.len() <= b.len() {
+                    (a, b, true)
+                } else {
+                    (b, a, false)
+                };
+                let mut acc = Complex64::ZERO;
+                for (k, x) in small {
+                    if let Some(y) = big.get(k) {
+                        // ⟨self|other⟩ = Σ conj(self)·other regardless of
+                        // which map we iterate.
+                        acc += if conj_small {
+                            x.conj() * *y
+                        } else {
+                            y.conj() * *x
+                        };
+                    }
+                }
+                acc
+            }
+            // Mixed representations only occur via the fallback test
+            // constructor; route through the deterministic snapshots.
+            _ => self.to_table().inner(&other.to_table()),
         }
-        acc
     }
 
     fn filter_amplitudes(&mut self, keep: impl Fn(&[u64]) -> bool + Sync) -> f64 {
-        let mut survived = 0.0;
-        self.amps.retain(|key, amp| {
-            if keep(key) {
-                survived += amp.norm_sqr();
-                true
-            } else {
-                false
+        let layout = &self.layout;
+        match &mut self.repr {
+            Repr::Packed(p) => {
+                let n_regs = layout.num_registers();
+                // Mark dropped entries with a zero amplitude (the support
+                // invariant guarantees no live entry is zero), summing the
+                // survivors per chunk; combine partials in chunk order.
+                let partials: Vec<f64> = p
+                    .amps
+                    .par_chunks_mut(PAR_CHUNK)
+                    .map(|chunk| {
+                        let mut basis = vec![0u64; n_regs];
+                        let mut survived = 0.0;
+                        for (key, amp) in chunk {
+                            layout.decode_u128(*key, &mut basis);
+                            if keep(&basis) {
+                                survived += amp.norm_sqr();
+                            } else {
+                                *amp = Complex64::ZERO;
+                            }
+                        }
+                        survived
+                    })
+                    .collect();
+                p.amps.retain(|(_, a)| a.norm_sqr() > 0.0);
+                partials.iter().sum()
             }
-        });
-        survived
+            Repr::Boxed(map) => {
+                let mut survived = 0.0;
+                map.retain(|key, amp| {
+                    if keep(key) {
+                        survived += amp.norm_sqr();
+                        true
+                    } else {
+                        false
+                    }
+                });
+                survived
+            }
+        }
     }
 
     fn to_table(&self) -> StateTable {
-        StateTable::new(
-            self.layout.clone(),
-            self.amps.iter().map(|(k, a)| (k.clone(), *a)).collect(),
-        )
+        match &self.repr {
+            Repr::Packed(p) => {
+                let layout = &self.layout;
+                let n_regs = layout.num_registers();
+                let entries: Vec<(BoxedKey, Complex64)> = p
+                    .amps
+                    .par_chunks(PAR_CHUNK)
+                    .map(|chunk| {
+                        let mut basis = vec![0u64; n_regs];
+                        chunk
+                            .iter()
+                            .map(|&(key, amp)| {
+                                layout.decode_u128(key, &mut basis);
+                                (basis.clone().into_boxed_slice(), amp)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                StateTable::new(self.layout.clone(), entries)
+            }
+            Repr::Boxed(map) => StateTable::new(
+                self.layout.clone(),
+                map.iter().map(|(k, a)| (k.clone(), *a)).collect(),
+            ),
+        }
     }
 }
 
@@ -248,6 +652,7 @@ mod tests {
     #[test]
     fn basis_state_and_lookup() {
         let s = SparseState::from_basis(small_layout(), &[3, 2, 1]);
+        assert!(s.is_packed());
         assert_eq!(s.support_len(), 1);
         assert!(approx_eq_c(s.amplitude(&[3, 2, 1]), Complex64::ONE));
         assert!(approx_eq(s.norm(), 1.0));
@@ -355,5 +760,68 @@ mod tests {
         let mut r1 = rand::rngs::StdRng::seed_from_u64(7);
         let mut r2 = rand::rngs::StdRng::seed_from_u64(7);
         assert_eq!(s.sample(&mut r1), s.sample(&mut r2));
+    }
+
+    /// Runs the same mixed circuit on the packed and fallback paths and
+    /// demands identical snapshots (the boxed path is the seed semantics).
+    fn run_circuit(mut s: SparseState) -> StateTable {
+        s.apply_register_unitary(0, &gates::dft(4));
+        s.apply_permutation(|b| b[1] = (b[0] * 2 + 1) % 3);
+        s.apply_conditioned_unitary(2, |b| {
+            let c = (b[1] as f64 / 2.0).min(1.0);
+            gates::ry_by_cos_sin(c, (1.0 - c * c).sqrt())
+        });
+        s.apply_phase(|b| Complex64::cis(0.3 * b[0] as f64));
+        let mut anchor = StateTable::new(
+            s.layout().clone(),
+            vec![
+                (vec![0, 1, 0].into(), Complex64::from_real(1.0)),
+                (vec![2, 2, 1].into(), Complex64::from_real(1.0)),
+            ],
+        );
+        anchor.normalize();
+        s.apply_rank_one_phase(&anchor, 1.1);
+        s.to_table()
+    }
+
+    #[test]
+    fn packed_and_fallback_agree_on_mixed_circuit() {
+        let packed = SparseState::from_basis(small_layout(), &[0, 0, 0]);
+        assert!(packed.is_packed());
+        let fallback = SparseState::from_basis_fallback(small_layout(), &[0, 0, 0]);
+        assert!(!fallback.is_packed());
+        let (tp, tf) = (run_circuit(packed), run_circuit(fallback));
+        assert_eq!(tp.len(), tf.len());
+        assert!(tp.distance_sqr(&tf) < 1e-18, "representations diverged");
+    }
+
+    #[test]
+    fn over_128_bit_layout_uses_fallback() {
+        // Joint dimension (2^63)^3 = 2^189 > 2^128: packed keys impossible.
+        let layout = Layout::builder().register_array("huge", 1 << 63, 3).build();
+        assert_eq!(layout.packed_dim(), None);
+        let mut s = SparseState::from_basis(layout, &[5, (1 << 63) - 1, 0]);
+        assert!(!s.is_packed(), "oversized layout must fall back");
+        s.apply_permutation(|b| b[2] = (b[2] + 7) % (1 << 63));
+        assert!(approx_eq_c(
+            s.amplitude(&[5, (1 << 63) - 1, 7]),
+            Complex64::ONE
+        ));
+        assert!(approx_eq(s.norm(), 1.0));
+        assert_eq!(s.support_len(), 1);
+    }
+
+    #[test]
+    fn filter_amplitudes_matches_between_reprs() {
+        let mut packed = SparseState::from_basis(small_layout(), &[0, 0, 0]);
+        let mut fallback = SparseState::from_basis_fallback(small_layout(), &[0, 0, 0]);
+        for s in [&mut packed, &mut fallback] {
+            s.apply_register_unitary(0, &gates::dft(4));
+        }
+        let pp = packed.filter_amplitudes(|b| b[0] < 2);
+        let pf = fallback.filter_amplitudes(|b| b[0] < 2);
+        assert!(approx_eq(pp, pf));
+        assert!(approx_eq(pp, 0.5));
+        assert_eq!(packed.support_len(), 2);
     }
 }

@@ -150,3 +150,159 @@ proptest! {
         );
     }
 }
+
+// ---------------------------------------------------------------------------
+// Cross-backend equivalence: the packed sparse representation, the boxed
+// sparse fallback, and the dense backend must agree on arbitrary circuits.
+// ---------------------------------------------------------------------------
+
+/// A serializable gate description so proptest can generate random circuits
+/// (closures themselves aren't generatable).
+#[derive(Debug, Clone)]
+enum RandomOp {
+    /// DFT on register `reg`.
+    Dft { reg: usize },
+    /// `b[reg] ← (b[reg] + mul·b[src] + add) mod dim(reg)` — bijective in
+    /// `b[reg]` for any fixed `b[src]`, so a valid permutation.
+    AffinePermutation {
+        reg: usize,
+        src: usize,
+        mul: u64,
+        add: u64,
+    },
+    /// Diagonal phase `exp(i·alpha·b[reg])`.
+    Phase { reg: usize, alpha: f64 },
+    /// DFT on `reg` applied only when `b[src]` is odd (identity otherwise):
+    /// a conditioned unitary whose matrix genuinely depends on the basis.
+    ConditionedDft { reg: usize, src: usize },
+    /// Rank-one phase about the uniform superposition of register `reg`.
+    RankOnePhase { reg: usize, phi: f64 },
+}
+
+fn apply_random_ops<S: QuantumState>(state: &mut S, ops: &[RandomOp]) {
+    use distributed_quantum_sampling::math::MatC;
+    use distributed_quantum_sampling::sim::gates;
+    for op in ops {
+        match *op {
+            RandomOp::Dft { reg } => {
+                let d = state.layout().dim(reg);
+                state.apply_register_unitary(reg, &gates::dft(d));
+            }
+            RandomOp::AffinePermutation { reg, src, mul, add } => {
+                let d = state.layout().dim(reg);
+                state.apply_permutation(|b| b[reg] = (b[reg] + mul * b[src] + add) % d);
+            }
+            RandomOp::Phase { reg, alpha } => {
+                state.apply_phase(|b| Complex64::cis(alpha * b[reg] as f64));
+            }
+            RandomOp::ConditionedDft { reg, src } => {
+                let d = state.layout().dim(reg);
+                state.apply_conditioned_unitary(reg, |b| {
+                    if b[src] % 2 == 1 {
+                        gates::dft(d)
+                    } else {
+                        MatC::identity(d as usize)
+                    }
+                });
+            }
+            RandomOp::RankOnePhase { reg, phi } => {
+                let layout = state.layout().clone();
+                let d = layout.dim(reg);
+                let amp = Complex64::from_real(1.0 / (d as f64).sqrt());
+                let entries = (0..d)
+                    .map(|i| {
+                        let mut b = layout.zero_basis();
+                        b[reg] = i;
+                        (b.into_boxed_slice(), amp)
+                    })
+                    .collect();
+                let anchor = StateTable::new(layout, entries);
+                state.apply_rank_one_phase(&anchor, phi);
+            }
+        }
+    }
+}
+
+/// Strategy: register dimensions for a small random layout (joint dimension
+/// at most 6⁴ = 1296 so the dense backend stays cheap).
+fn dims_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(2u64..=6, 2..=4)
+}
+
+/// Strategy: a random circuit over `n_regs` registers.
+fn ops_strategy(n_regs: usize) -> impl Strategy<Value = Vec<RandomOp>> {
+    let one = prop_oneof![
+        (0..n_regs).prop_map(|reg| RandomOp::Dft { reg }),
+        ((0..n_regs), (0..n_regs), 0u64..4, 0u64..4)
+            .prop_filter(
+                "self-referential affine map need not be bijective",
+                |(reg, src, ..)| { reg != src }
+            )
+            .prop_map(|(reg, src, mul, add)| RandomOp::AffinePermutation { reg, src, mul, add }),
+        ((0..n_regs), 0.1f64..3.0).prop_map(|(reg, alpha)| RandomOp::Phase { reg, alpha }),
+        ((0..n_regs), (0..n_regs))
+            .prop_filter(
+                "conditioned matrix must not depend on target",
+                |(reg, src)| { reg != src }
+            )
+            .prop_map(|(reg, src)| RandomOp::ConditionedDft { reg, src }),
+        ((0..n_regs), 0.1f64..3.0).prop_map(|(reg, phi)| RandomOp::RankOnePhase { reg, phi }),
+    ];
+    proptest::collection::vec(one, 1..=8)
+}
+
+fn build_layout(dims: &[u64]) -> Layout {
+    let mut b = Layout::builder();
+    for (i, &d) in dims.iter().enumerate() {
+        b = b.register(format!("r{i}"), d);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_three_backends_agree_on_random_circuits(
+        (dims, ops, seed) in dims_strategy().prop_flat_map(|dims| {
+            let n = dims.len();
+            (Just(dims), ops_strategy(n), 0u64..1_000_000)
+        })
+    ) {
+        let layout = build_layout(&dims);
+        // random (but valid) starting basis derived from the seed
+        let basis: Vec<u64> = dims
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| (seed >> (i * 7)) % d)
+            .collect();
+
+        let mut packed = SparseState::from_basis(layout.clone(), &basis);
+        prop_assert!(packed.is_packed());
+        let mut fallback = SparseState::from_basis_fallback(layout.clone(), &basis);
+        prop_assert!(!fallback.is_packed());
+        let mut dense = DenseState::from_basis(layout, &basis);
+
+        apply_random_ops(&mut packed, &ops);
+        apply_random_ops(&mut fallback, &ops);
+        apply_random_ops(&mut dense, &ops);
+
+        let (tp, tf, td) = (packed.to_table(), fallback.to_table(), dense.to_table());
+        prop_assert!(
+            tp.distance_sqr(&tf) < 1e-18,
+            "packed vs fallback diverged: {} (ops {:?})",
+            tp.distance_sqr(&tf),
+            ops
+        );
+        prop_assert!(
+            tp.distance_sqr(&td) < 1e-18,
+            "packed vs dense diverged: {} (ops {:?})",
+            tp.distance_sqr(&td),
+            ops
+        );
+        prop_assert!((packed.norm() - dense.norm()).abs() < 1e-9);
+        // inner products across representations must match too
+        let pf = packed.inner(&fallback);
+        prop_assert!((pf.re - 1.0).abs() < 1e-9 && pf.im.abs() < 1e-9);
+    }
+}

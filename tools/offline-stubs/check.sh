@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Runs the tier-1 gate (and any extra cargo args you pass) with the
+# offline stub crates patched in, for containers with no registry access.
+#
+#   tools/offline-stubs/check.sh                  # build --release + test -q
+#   tools/offline-stubs/check.sh test -p dqs-sim  # any cargo subcommand
+#
+# Patches are passed via --config so nothing is written to Cargo.toml or
+# Cargo.lock; a normal online build is unaffected.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/../.." && pwd)"
+cd "$repo"
+
+cfg=()
+for c in rand rayon serde parking_lot proptest criterion; do
+  cfg+=(--config "patch.crates-io.$c.path=\"$repo/tools/offline-stubs/$c\"")
+done
+
+if [ "$#" -gt 0 ]; then
+  cargo "${cfg[@]}" --offline "$@"
+else
+  cargo "${cfg[@]}" --offline build --release
+  cargo "${cfg[@]}" --offline test -q
+fi

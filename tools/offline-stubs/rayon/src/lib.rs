@@ -1,0 +1,340 @@
+//! Offline stub of `rayon` — identical API subset, **serial** execution.
+//!
+//! Every parallel construct in this repository is
+//! deterministic-by-construction (ordered chunk reductions,
+//! order-preserving collects), so running the closures serially computes
+//! identical results on one core. Closure bounds (`Fn + Sync + Send`)
+//! mirror real rayon so code compiling against this stub also compiles
+//! against the real crate.
+
+use std::collections::BTreeMap;
+
+/// Number of worker threads (always 1: the stub is serial).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Serial "parallel iterator": a thin wrapper over a std iterator.
+pub struct ParIter<I>(I);
+
+impl<I: Iterator> ParIter<I> {
+    pub fn map<R, F>(self, f: F) -> ParIter<impl Iterator<Item = R>>
+    where
+        F: Fn(I::Item) -> R + Sync + Send,
+        R: Send,
+    {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn filter<P>(self, p: P) -> ParIter<impl Iterator<Item = I::Item>>
+    where
+        P: Fn(&I::Item) -> bool + Sync + Send,
+    {
+        ParIter(self.0.filter(p))
+    }
+
+    pub fn filter_map<R, F>(self, f: F) -> ParIter<impl Iterator<Item = R>>
+    where
+        F: Fn(I::Item) -> Option<R> + Sync + Send,
+        R: Send,
+    {
+        ParIter(self.0.filter_map(f))
+    }
+
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    pub fn zip<Z>(self, other: Z) -> ParIter<std::iter::Zip<I, <Z as IntoParallelIterator>::Inner>>
+    where
+        Z: IntoParallelIterator,
+    {
+        ParIter(self.0.zip(other.into_par_iter().0))
+    }
+
+    pub fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(I::Item) + Sync + Send,
+    {
+        self.0.for_each(f)
+    }
+
+    pub fn for_each_init<T, INIT, F>(self, init: INIT, f: F)
+    where
+        INIT: Fn() -> T + Sync + Send,
+        F: Fn(&mut T, I::Item) + Sync + Send,
+    {
+        let mut t = init();
+        for item in self.0 {
+            f(&mut t, item);
+        }
+    }
+
+    pub fn map_init<T, R, INIT, F>(self, init: INIT, f: F) -> ParIter<impl Iterator<Item = R>>
+    where
+        INIT: Fn() -> T + Sync + Send,
+        F: Fn(&mut T, I::Item) -> R + Sync + Send,
+        R: Send,
+    {
+        let mut t = init();
+        ParIter(self.0.map(move |item| f(&mut t, item)))
+    }
+
+    pub fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<I::Item> + Send,
+    {
+        self.0.sum()
+    }
+
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item + Sync + Send,
+        OP: Fn(I::Item, I::Item) -> I::Item + Sync + Send,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T + Sync + Send,
+        F: Fn(T, I::Item) -> T + Sync + Send,
+        T: Send,
+    {
+        ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    pub fn collect<C>(self) -> C
+    where
+        C: FromIterator<I::Item>,
+    {
+        self.0.collect()
+    }
+}
+
+impl<'a, I, T: 'a + Clone> ParIter<I>
+where
+    I: Iterator<Item = &'a T>,
+{
+    pub fn cloned(self) -> ParIter<std::iter::Cloned<I>> {
+        ParIter(self.0.cloned())
+    }
+}
+
+impl<'a, I, T: 'a + Copy> ParIter<I>
+where
+    I: Iterator<Item = &'a T>,
+{
+    pub fn copied(self) -> ParIter<std::iter::Copied<I>> {
+        ParIter(self.0.copied())
+    }
+}
+
+/// Conversion into a (serial) "parallel" iterator.
+pub trait IntoParallelIterator {
+    type Inner: Iterator<Item = Self::Item>;
+    type Item;
+    fn into_par_iter(self) -> ParIter<Self::Inner>;
+}
+
+impl<I: Iterator> IntoParallelIterator for ParIter<I> {
+    type Inner = I;
+    type Item = I::Item;
+    fn into_par_iter(self) -> ParIter<I> {
+        self
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Inner = std::vec::IntoIter<T>;
+    type Item = T;
+    fn into_par_iter(self) -> ParIter<Self::Inner> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Inner = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<Self::Inner> {
+        ParIter(self.iter())
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Inner = std::slice::Iter<'a, T>;
+    type Item = &'a T;
+    fn into_par_iter(self) -> ParIter<Self::Inner> {
+        ParIter(self.iter())
+    }
+}
+
+impl<'a, K: Sync, V: Sync> IntoParallelIterator for &'a BTreeMap<K, V> {
+    type Inner = std::collections::btree_map::Iter<'a, K, V>;
+    type Item = (&'a K, &'a V);
+    fn into_par_iter(self) -> ParIter<Self::Inner> {
+        ParIter(self.iter())
+    }
+}
+
+macro_rules! range_into_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Inner = std::ops::Range<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<Self::Inner> {
+                ParIter(self)
+            }
+        }
+        impl IntoParallelIterator for std::ops::RangeInclusive<$t> {
+            type Inner = std::ops::RangeInclusive<$t>;
+            type Item = $t;
+            fn into_par_iter(self) -> ParIter<Self::Inner> {
+                ParIter(self)
+            }
+        }
+    )*};
+}
+range_into_par_iter! { u32, u64, usize, i32, i64 }
+
+/// `par_iter`/`par_chunks` on shared slices.
+pub trait ParallelSlice<T: Sync> {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>>;
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<std::slice::Iter<'_, T>> {
+        ParIter(self.iter())
+    }
+    fn par_chunks(&self, chunk_size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(chunk_size))
+    }
+}
+
+/// `par_iter_mut`/`par_chunks_mut`/`par_sort_*` on mutable slices.
+pub trait ParallelSliceMut<T: Send> {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>>;
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync;
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParIter<std::slice::IterMut<'_, T>> {
+        ParIter(self.iter_mut())
+    }
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(chunk_size))
+    }
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort();
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+    fn par_sort_unstable_by<F>(&mut self, compare: F)
+    where
+        F: Fn(&T, &T) -> std::cmp::Ordering + Sync,
+    {
+        self.sort_unstable_by(compare);
+    }
+    fn par_sort_unstable_by_key<K, F>(&mut self, f: F)
+    where
+        K: Ord,
+        F: Fn(&T) -> K + Sync,
+    {
+        self.sort_unstable_by_key(f);
+    }
+}
+
+/// Runs two closures (serially here; in parallel in real rayon).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    (a(), b())
+}
+
+pub mod iter {
+    //! Mirrors `rayon::iter` trait names used in `use` statements.
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+pub mod slice {
+    //! Mirrors `rayon::slice`.
+    pub use crate::{ParallelSlice, ParallelSliceMut};
+}
+
+pub mod prelude {
+    //! Mirrors `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn map_sum_matches_serial() {
+        let v: Vec<u64> = (0..100).collect();
+        let s: u64 = v.par_iter().map(|x| x * 2).sum();
+        assert_eq!(s, 9900);
+    }
+
+    #[test]
+    fn chunked_reduce_is_ordered() {
+        let v: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let partials: Vec<f64> = v.par_chunks(3).map(|c| c.iter().sum()).collect();
+        assert_eq!(partials, vec![3.0, 12.0, 21.0, 9.0]);
+    }
+
+    #[test]
+    fn par_iter_mut_scales_in_place() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x *= 10);
+        assert_eq!(v, vec![10, 20, 30]);
+    }
+}

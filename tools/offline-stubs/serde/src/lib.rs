@@ -1,0 +1,27 @@
+//! Offline stub of `serde` — trait names and no-op derive macros only.
+//!
+//! The repo derives `Serialize`/`Deserialize` on a few config/spec types
+//! but never serializes them at runtime (there is no `serde_json` or
+//! similar in the tree), so empty trait definitions and derives that
+//! expand to nothing are sufficient to compile and test offline.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait standing in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+pub mod ser {
+    pub use crate::Serialize;
+}

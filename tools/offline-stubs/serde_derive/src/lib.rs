@@ -1,0 +1,16 @@
+//! Offline stub of `serde_derive`: the derives expand to nothing.
+//!
+//! No in-repo code bounds on `Serialize`/`Deserialize`, so emitting no
+//! impls is enough for the `#[derive(...)]` attributes to compile.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
