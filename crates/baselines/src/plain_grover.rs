@@ -11,8 +11,7 @@
 use dqs_core::amplify::{AaPlan, FinalRotation};
 use dqs_core::{DistributingOperator, SequentialLayout};
 use dqs_db::{DistributedDataset, LedgerSnapshot, OracleSet, QueryLedger};
-use dqs_math::Complex64;
-use dqs_sim::{QuantumState, StateTable};
+use dqs_sim::QuantumState;
 
 /// Result of a plain-Grover sequential run.
 #[derive(Debug, Clone)]
@@ -51,9 +50,9 @@ pub fn plain_sequential_sample<S: QuantumState>(
     });
     let d = DistributingOperator::new(dataset.capacity());
 
-    let mut state = S::from_basis(layout.layout.clone(), &[0, 0, 0]);
-    state.apply_register_unitary(layout.elem, &dqs_sim::gates::dft(dataset.universe()));
-    let anchor = uniform_anchor(&layout);
+    // Compiled prep: `F|0⟩ = |π⟩` is exactly the cached anchor table.
+    let anchor = layout.uniform_anchor();
+    let mut state = S::from_table(anchor);
 
     d.apply_sequential(&oracles, &mut state, &layout, false);
     // Plain loop: reuse the zero-error driver with the correction disabled.
@@ -63,7 +62,7 @@ pub fn plain_sequential_sample<S: QuantumState>(
         full_iterations: m,
         final_rotation: FinalRotation::None,
     };
-    dqs_core::amplify::execute_plan(&mut state, &plan, &anchor, layout.flag, |s, inv| {
+    dqs_core::amplify::execute_plan(&mut state, &plan, anchor, layout.flag, |s, inv| {
         d.apply_sequential(&oracles, s, &layout, inv)
     });
 
@@ -77,19 +76,6 @@ pub fn plain_sequential_sample<S: QuantumState>(
         fidelity,
         predicted_fidelity: predicted,
     }
-}
-
-fn uniform_anchor(layout: &SequentialLayout) -> StateTable {
-    let n = layout.layout.dim(layout.elem);
-    let amp = Complex64::from_real(1.0 / (n as f64).sqrt());
-    let entries = (0..n)
-        .map(|i| {
-            let mut b = layout.layout.zero_basis();
-            b[layout.elem] = i;
-            (b.into_boxed_slice(), amp)
-        })
-        .collect();
-    StateTable::new(layout.layout.clone(), entries)
 }
 
 #[cfg(test)]

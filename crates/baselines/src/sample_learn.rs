@@ -53,8 +53,8 @@ pub fn sample_and_learn(
     let mut attempts = 0u64;
     while samples < target_samples {
         attempts += 1;
-        let mut state = SparseState::from_basis(layout.layout.clone(), &[0, 0, 0]);
-        state.apply_register_unitary(layout.elem, &dqs_sim::gates::dft(dataset.universe()));
+        // Compiled prep: cached `|π,0,0⟩` table, built once across shots.
+        let mut state = SparseState::from_table(layout.uniform_anchor());
         d.apply_sequential(&oracles, &mut state, &layout, false);
         let (flag, _) = measure_register(&mut state, layout.flag, rng);
         if flag == 0 {

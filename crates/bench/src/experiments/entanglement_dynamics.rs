@@ -11,7 +11,7 @@ use dqs_core::amplify::{AaPlan, FinalRotation};
 use dqs_core::{DistributingOperator, SequentialLayout};
 use dqs_db::{DistributedDataset, Multiset, OracleSet, QueryLedger};
 use dqs_math::{purity, von_neumann_entropy, Complex64};
-use dqs_sim::{QuantumState, SparseState, StateTable};
+use dqs_sim::{QuantumState, SparseState};
 
 fn dataset() -> DistributedDataset {
     // a = 6/(5·64) ≈ 0.019 → a long, visible amplification trajectory.
@@ -36,9 +36,8 @@ pub fn run() -> String {
     let plan = AaPlan::for_success_probability(ds.params().initial_success_probability());
     let target = ds.target_state(&layout.layout, layout.elem);
 
-    let mut state = SparseState::from_basis(layout.layout.clone(), &[0, 0, 0]);
-    state.apply_register_unitary(layout.elem, &dqs_sim::gates::dft(ds.universe()));
-    let anchor = uniform_anchor(&layout);
+    let anchor = layout.uniform_anchor();
+    let mut state = SparseState::from_table(anchor);
     d.apply_sequential(&oracles, &mut state, &layout, false);
 
     let mut t = Table::new(
@@ -84,7 +83,7 @@ pub fn run() -> String {
             }
         });
         d.apply_sequential(&oracles, state, &layout, true);
-        state.apply_rank_one_phase(&anchor, phi);
+        state.apply_rank_one_phase(anchor, phi);
         d.apply_sequential(&oracles, state, &layout, false);
         state.scale(-Complex64::ONE);
     };
@@ -121,19 +120,6 @@ pub fn run() -> String {
          (S → 0, purity → 1) — the state is |ψ⟩⊗|0,0⟩ exactly.",
     );
     t.render()
-}
-
-fn uniform_anchor(layout: &SequentialLayout) -> StateTable {
-    let n = layout.layout.dim(layout.elem);
-    let amp = Complex64::from_real(1.0 / (n as f64).sqrt());
-    let entries = (0..n)
-        .map(|i| {
-            let mut b = layout.layout.zero_basis();
-            b[layout.elem] = i;
-            (b.into_boxed_slice(), amp)
-        })
-        .collect();
-    StateTable::new(layout.layout.clone(), entries)
 }
 
 #[cfg(test)]

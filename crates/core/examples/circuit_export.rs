@@ -1,0 +1,57 @@
+//! Exports the compiled sampler circuits as shape listings, before and
+//! after the peephole optimizer — a quick way to *see* the compiled-operator
+//! layer: the `2n`-query oracle cascades collapse to single `FO[...]` fused
+//! passes while the per-machine query tags (the paper's cost metric) are
+//! carried along unchanged.
+//!
+//! Run with: `cargo run -p dqs-core --example circuit_export`
+
+use dqs_core::{compile_parallel, compile_sequential};
+use dqs_db::{DistributedDataset, Multiset};
+
+fn main() {
+    let dataset = DistributedDataset::new(
+        8,
+        4,
+        vec![
+            Multiset::from_counts([(0, 2), (1, 1)]),
+            Multiset::from_counts([(1, 1), (6, 3)]),
+        ],
+    )
+    .expect("valid demo dataset");
+    let n = dataset.num_machines();
+
+    let seq = compile_sequential(&dataset);
+    let seq_opt = seq.optimize();
+    println!("== sequential sampler (raw, {} instructions) ==", seq.len());
+    println!("{}", seq.shape());
+    println!(
+        "\n== sequential sampler (optimized, {} instructions) ==",
+        seq_opt.len()
+    );
+    println!("{}", seq_opt.shape());
+    assert_eq!(
+        seq.oracle_queries(n),
+        seq_opt.oracle_queries(n),
+        "optimization must not perturb query accounting"
+    );
+    println!(
+        "\nper-machine queries (invariant): {:?}",
+        seq_opt.oracle_queries(n)
+    );
+
+    let par = compile_parallel(&dataset);
+    let par_opt = par.optimize();
+    println!("\n== parallel sampler (raw, {} instructions) ==", par.len());
+    println!("{}", par.shape());
+    println!(
+        "\n== parallel sampler (optimized, {} instructions) ==",
+        par_opt.len()
+    );
+    println!("{}", par_opt.shape());
+    assert_eq!(par.parallel_rounds(), par_opt.parallel_rounds());
+    println!(
+        "\ncomposite rounds (invariant): {}",
+        par_opt.parallel_rounds()
+    );
+}

@@ -15,9 +15,8 @@
 use crate::amplify::{AaPlan, FinalRotation};
 use crate::layouts::SequentialLayout;
 use dqs_db::DistributedDataset;
-use dqs_math::Complex64;
 use dqs_sim::gates::{dft, ry_by_cos_sin};
-use dqs_sim::{Instruction, Program, StateTable};
+use dqs_sim::{Instruction, Program};
 use std::sync::Arc;
 
 /// Compiles the full sequential sampling circuit for a dataset.
@@ -37,7 +36,7 @@ pub fn compile_sequential(dataset: &DistributedDataset) -> Program {
 
     let d_program = compile_distributing(dataset, &layout, false);
     let d_dagger = compile_distributing(dataset, &layout, true);
-    let anchor = uniform_anchor(&layout);
+    let anchor = layout.uniform_anchor();
     let pi = std::f64::consts::PI;
 
     // A|0⟩ = D|π,0,0⟩.
@@ -67,6 +66,21 @@ pub fn compile_sequential(dataset: &DistributedDataset) -> Program {
         p = push_q(p, varphi, phi);
     }
     p
+}
+
+/// [`compile_sequential`] followed by [`dqs_sim::Program::optimize`]: the
+/// same action and the same static query accounting, but each `2n`-query
+/// oracle cascade runs as a single fused support pass. This is the program
+/// the samplers and the `circuit_export` example execute.
+pub fn compile_sequential_optimized(dataset: &DistributedDataset) -> Program {
+    compile_sequential(dataset).optimize()
+}
+
+/// [`compile_parallel`] followed by [`dqs_sim::Program::optimize`]; the
+/// composite-round structure (and so the round accounting) is untouched —
+/// only the broadcast sandwich around `𝒰` cancels.
+pub fn compile_parallel_optimized(dataset: &DistributedDataset) -> Program {
+    compile_parallel(dataset).optimize()
 }
 
 /// Compiles the distributing operator `D` (Lemma 4.2) — or `D†` — as
@@ -220,18 +234,7 @@ pub fn compile_parallel(dataset: &DistributedDataset) -> Program {
     let d_program = distributing(false);
     let d_dagger = distributing(true);
 
-    let anchor = {
-        let dim = layout.layout.dim(layout.elem);
-        let amp = Complex64::from_real(1.0 / (dim as f64).sqrt());
-        let entries = (0..dim)
-            .map(|i| {
-                let mut b = layout.layout.zero_basis();
-                b[layout.elem] = i;
-                (b.into_boxed_slice(), amp)
-            })
-            .collect();
-        StateTable::new(layout.layout.clone(), entries)
-    };
+    let anchor = layout.uniform_anchor();
 
     let mut p = Program::new(layout.layout.clone());
     p.push(Instruction::RegisterUnitary {
@@ -262,19 +265,6 @@ pub fn compile_parallel(dataset: &DistributedDataset) -> Program {
         p = push_q(p, varphi, phi);
     }
     p
-}
-
-fn uniform_anchor(layout: &SequentialLayout) -> StateTable {
-    let n = layout.layout.dim(layout.elem);
-    let amp = Complex64::from_real(1.0 / (n as f64).sqrt());
-    let entries = (0..n)
-        .map(|i| {
-            let mut b = layout.layout.zero_basis();
-            b[layout.elem] = i;
-            (b.into_boxed_slice(), amp)
-        })
-        .collect();
-    StateTable::new(layout.layout.clone(), entries)
 }
 
 #[cfg(test)]
@@ -388,5 +378,60 @@ mod tests {
         let layout = SequentialLayout::for_dataset(&ds);
         let d = compile_distributing(&ds, &layout, false);
         assert_eq!(d.oracle_queries(2), vec![2, 2]);
+    }
+
+    #[test]
+    fn optimized_sequential_preserves_action_queries_and_shrinks() {
+        let ds = dataset();
+        let raw = compile_sequential(&ds);
+        let opt = compile_sequential_optimized(&ds);
+        // Oracle fusion only composes permutations: output is exactly equal.
+        let a: SparseState = raw.run_from_basis(&[0, 0, 0]);
+        let b: SparseState = opt.run_from_basis(&[0, 0, 0]);
+        assert_eq!(a.to_table().distance_sqr(&b.to_table()), 0.0);
+        // Query accounting is invariant under optimization.
+        assert_eq!(
+            raw.oracle_queries(ds.num_machines()),
+            opt.oracle_queries(ds.num_machines())
+        );
+        assert!(
+            opt.len() < raw.len(),
+            "optimizer must shrink the program ({} !< {})",
+            opt.len(),
+            raw.len()
+        );
+    }
+
+    #[test]
+    fn optimized_parallel_preserves_action_and_rounds() {
+        let ds = dataset();
+        let layout = crate::layouts::ParallelLayout::for_dataset(&ds);
+        let raw = compile_parallel(&ds);
+        let opt = compile_parallel_optimized(&ds);
+        let zero = layout.layout.zero_basis();
+        let a: SparseState = raw.run_from_basis(&zero);
+        let b: SparseState = opt.run_from_basis(&zero);
+        assert_eq!(a.to_table().distance_sqr(&b.to_table()), 0.0);
+        assert_eq!(raw.parallel_rounds(), opt.parallel_rounds());
+        assert!(opt.len() < raw.len());
+    }
+
+    #[test]
+    fn optimized_circuits_stay_oblivious() {
+        let a = dataset();
+        let b = DistributedDataset::new(
+            8,
+            4,
+            vec![
+                Multiset::from_counts([(4, 3)]),
+                Multiset::from_counts([(2, 2), (3, 1), (5, 1)]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            compile_sequential_optimized(&a).shape(),
+            compile_sequential_optimized(&b).shape(),
+            "optimization must preserve structural obliviousness"
+        );
     }
 }

@@ -19,8 +19,7 @@ use crate::amplify::{execute_plan, AaPlan};
 use crate::distributing::DistributingOperator;
 use crate::layouts::SequentialLayout;
 use dqs_db::{DistributedDataset, LedgerSnapshot, OracleSet, QueryLedger};
-use dqs_math::Complex64;
-use dqs_sim::{measure_register, QuantumState, SparseState, StateTable};
+use dqs_sim::{measure_register, QuantumState, SparseState};
 use rand::Rng;
 
 /// Result of estimating `M` by flag sampling.
@@ -56,8 +55,9 @@ pub fn estimate_total_count(
 
     let mut zeros = 0u64;
     for _ in 0..shots {
-        let mut state = SparseState::from_basis(layout.layout.clone(), &[0, 0, 0]);
-        state.apply_register_unitary(layout.elem, &dqs_sim::gates::dft(dataset.universe()));
+        // Compiled prep: load the cached `|π,0,0⟩` table (built once per
+        // layout — especially important here, once per shot).
+        let mut state = SparseState::from_table(layout.uniform_anchor());
         d.apply_sequential(&oracles, &mut state, &layout, false);
         let (flag, _) = measure_register(&mut state, layout.flag, rng);
         zeros += u64::from(flag == 0);
@@ -104,11 +104,10 @@ pub fn sequential_sample_adaptive(
     let layout = SequentialLayout::for_dataset(dataset);
     let d = DistributingOperator::new(dataset.capacity());
 
-    let mut state = SparseState::from_basis(layout.layout.clone(), &[0, 0, 0]);
-    state.apply_register_unitary(layout.elem, &dqs_sim::gates::dft(dataset.universe()));
-    let anchor = uniform_anchor(&layout);
+    let anchor = layout.uniform_anchor();
+    let mut state = SparseState::from_table(anchor);
     d.apply_sequential(&oracles, &mut state, &layout, false);
-    execute_plan(&mut state, &plan, &anchor, layout.flag, |s, inv| {
+    execute_plan(&mut state, &plan, anchor, layout.flag, |s, inv| {
         d.apply_sequential(&oracles, s, &layout, inv)
     });
 
@@ -120,19 +119,6 @@ pub fn sequential_sample_adaptive(
         sampling_queries: ledger.snapshot(),
         fidelity,
     }
-}
-
-fn uniform_anchor(layout: &SequentialLayout) -> StateTable {
-    let n = layout.layout.dim(layout.elem);
-    let amp = Complex64::from_real(1.0 / (n as f64).sqrt());
-    let entries = (0..n)
-        .map(|i| {
-            let mut b = layout.layout.zero_basis();
-            b[layout.elem] = i;
-            (b.into_boxed_slice(), amp)
-        })
-        .collect();
-    StateTable::new(layout.layout.clone(), entries)
 }
 
 #[cfg(test)]

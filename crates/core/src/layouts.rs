@@ -10,7 +10,24 @@
 //! exists; this module only records *which register is which*.
 
 use dqs_db::{DistributedDataset, OracleRegisters, ParallelRegisters};
-use dqs_sim::Layout;
+use dqs_math::Complex64;
+use dqs_sim::{Layout, StateTable};
+use std::sync::{Arc, OnceLock};
+
+/// Builds the uniform anchor `|π⟩ ⊗ |0…0⟩` over `layout` — the pivot of the
+/// `S_π` reflection — with the element register at `elem`.
+fn build_uniform_anchor(layout: &Layout, elem: usize) -> StateTable {
+    let n = layout.dim(elem);
+    let amp = Complex64::from_real(1.0 / (n as f64).sqrt());
+    let entries = (0..n)
+        .map(|i| {
+            let mut b = layout.zero_basis();
+            b[elem] = i;
+            (b.into_boxed_slice(), amp)
+        })
+        .collect();
+    StateTable::new(layout.clone(), entries)
+}
 
 /// The three-register layout of the sequential model and the indices of its
 /// registers.
@@ -24,6 +41,9 @@ pub struct SequentialLayout {
     pub count: usize,
     /// Flag register (the `w_i ∈ {0,1}` ancilla of §3).
     pub flag: usize,
+    /// Lazily built, shared uniform-anchor table (clones share the cache,
+    /// so every `S_π` reflection in a run reuses one allocation).
+    anchor: Arc<OnceLock<StateTable>>,
 }
 
 impl SequentialLayout {
@@ -44,6 +64,7 @@ impl SequentialLayout {
             elem: 0,
             count: 1,
             flag: 2,
+            anchor: Arc::new(OnceLock::new()),
         }
     }
 
@@ -53,6 +74,13 @@ impl SequentialLayout {
             elem: self.elem,
             count: self.count,
         }
+    }
+
+    /// The uniform anchor `|π,0,0⟩` the `S_π` reflection pivots on, built
+    /// once per layout (first call) and shared across runs and clones.
+    pub fn uniform_anchor(&self) -> &StateTable {
+        self.anchor
+            .get_or_init(|| build_uniform_anchor(&self.layout, self.elem))
     }
 }
 
@@ -73,6 +101,8 @@ pub struct ParallelLayout {
     pub anc_count: Vec<usize>,
     /// Per-machine ancilla control flags (`b_j`).
     pub anc_flag: Vec<usize>,
+    /// Lazily built, shared uniform-anchor table (see [`SequentialLayout`]).
+    anchor: Arc<OnceLock<StateTable>>,
 }
 
 impl ParallelLayout {
@@ -110,7 +140,15 @@ impl ParallelLayout {
             anc_elem,
             anc_count,
             anc_flag,
+            anchor: Arc::new(OnceLock::new()),
         }
+    }
+
+    /// The uniform anchor `|π⟩ ⊗ |0…0⟩` (all counts, flags, and ancillas
+    /// zero), built once per layout and shared across runs and clones.
+    pub fn uniform_anchor(&self) -> &StateTable {
+        self.anchor
+            .get_or_init(|| build_uniform_anchor(&self.layout, self.elem))
     }
 
     /// The per-machine register triples the composite parallel oracle acts on.
@@ -187,5 +225,36 @@ mod tests {
     #[should_panic(expected = "at least one machine")]
     fn zero_machines_rejected() {
         let _ = ParallelLayout::new(4, 2, 0);
+    }
+
+    #[test]
+    fn uniform_anchor_is_built_once_and_shared_across_clones() {
+        let sl = SequentialLayout::for_dataset(&ds());
+        let clone = sl.clone();
+        let a = sl.uniform_anchor() as *const _;
+        assert!(std::ptr::eq(a, sl.uniform_anchor()), "second call reuses");
+        assert!(std::ptr::eq(a, clone.uniform_anchor()), "clones share");
+        // And it is the exact |π⟩⊗|0…0⟩ table.
+        let t = sl.uniform_anchor();
+        assert_eq!(t.iter().count(), 8);
+        for (b, amp) in t.iter() {
+            assert_eq!(b[sl.count], 0);
+            assert_eq!(b[sl.flag], 0);
+            assert!((amp.re - 1.0 / 8f64.sqrt()).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn parallel_uniform_anchor_zeroes_ancillas() {
+        let pl = ParallelLayout::for_dataset(&ds());
+        let t = pl.uniform_anchor();
+        assert_eq!(t.iter().count(), 8);
+        for (b, _) in t.iter() {
+            for j in 0..pl.machines() {
+                assert_eq!(b[pl.anc_elem[j]], 0);
+                assert_eq!(b[pl.anc_count[j]], 0);
+                assert_eq!(b[pl.anc_flag[j]], 0);
+            }
+        }
     }
 }

@@ -35,10 +35,16 @@ pub mod parallel;
 pub mod sequential;
 
 pub use amplify::{AaPlan, FinalRotation};
-pub use circuit::{compile_distributing, compile_parallel, compile_sequential};
+pub use circuit::{
+    compile_distributing, compile_parallel, compile_parallel_optimized, compile_sequential,
+    compile_sequential_optimized,
+};
 pub use cost::{parallel_cost, sequential_cost, CostModel};
 pub use distributing::DistributingOperator;
 pub use estimate::{estimate_total_count, sequential_sample_adaptive, AdaptiveRun, EstimationRun};
 pub use layouts::{ParallelLayout, SequentialLayout};
 pub use parallel::{parallel_sample, ParallelRun};
-pub use sequential::{sequential_sample, sequential_sample_with_updates, SequentialRun};
+pub use sequential::{
+    sequential_sample, sequential_sample_with_realization, sequential_sample_with_updates,
+    SequentialRun,
+};

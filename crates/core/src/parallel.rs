@@ -10,7 +10,6 @@ use crate::cost::{cost_model, CostModel};
 use crate::distributing::DistributingOperator;
 use crate::layouts::ParallelLayout;
 use dqs_db::{DistributedDataset, LedgerSnapshot, OracleSet, QueryLedger};
-use dqs_math::Complex64;
 use dqs_sim::{QuantumState, StateTable};
 
 /// The result of one parallel sampling run.
@@ -42,13 +41,12 @@ pub fn parallel_sample<S: QuantumState>(dataset: &DistributedDataset) -> Paralle
     let plan = AaPlan::for_success_probability(params.initial_success_probability());
     let d = DistributingOperator::new(dataset.capacity());
 
-    let mut state = S::from_basis(layout.layout.clone(), &layout.layout.zero_basis());
-    state.apply_register_unitary(layout.elem, &dqs_sim::gates::dft(dataset.universe()));
-
-    let anchor = uniform_anchor(&layout);
+    // Compiled prep: `F|0⟩ = |π⟩` is exactly the cached anchor table.
+    let anchor = layout.uniform_anchor();
+    let mut state = S::from_table(anchor);
 
     d.apply_parallel(&oracles, &mut state, &layout, false);
-    execute_plan(&mut state, &plan, &anchor, layout.flag, |s, inv| {
+    execute_plan(&mut state, &plan, anchor, layout.flag, |s, inv| {
         d.apply_parallel(&oracles, s, &layout, inv)
     });
 
@@ -63,19 +61,6 @@ pub fn parallel_sample<S: QuantumState>(dataset: &DistributedDataset) -> Paralle
         fidelity,
         target,
     }
-}
-
-fn uniform_anchor(layout: &ParallelLayout) -> StateTable {
-    let n = layout.layout.dim(layout.elem);
-    let amp = Complex64::from_real(1.0 / (n as f64).sqrt());
-    let entries = (0..n)
-        .map(|i| {
-            let mut b = layout.layout.zero_basis();
-            b[layout.elem] = i;
-            (b.into_boxed_slice(), amp)
-        })
-        .collect();
-    StateTable::new(layout.layout.clone(), entries)
 }
 
 #[cfg(test)]

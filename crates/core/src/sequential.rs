@@ -12,7 +12,6 @@ use crate::cost::{cost_model, CostModel};
 use crate::distributing::DistributingOperator;
 use crate::layouts::SequentialLayout;
 use dqs_db::{DistributedDataset, LedgerSnapshot, OracleSet, QueryLedger, UpdateLog};
-use dqs_math::Complex64;
 use dqs_sim::{QuantumState, StateTable};
 
 /// The result of one sequential sampling run.
@@ -36,9 +35,21 @@ pub struct SequentialRun<S> {
 
 /// Runs Theorem 4.3's algorithm over a static dataset.
 pub fn sequential_sample<S: QuantumState>(dataset: &DistributedDataset) -> SequentialRun<S> {
+    sequential_sample_with_realization(dataset, true)
+}
+
+/// Like [`sequential_sample`], but with an explicit distributing-operator
+/// realization: `fused = true` is the default single-pass fast path,
+/// `fused = false` pins the literal Lemma 4.2 cascade. The two must produce
+/// identical ledgers and fidelity-1 outputs; benches and integration tests
+/// compare them head-to-head.
+pub fn sequential_sample_with_realization<S: QuantumState>(
+    dataset: &DistributedDataset,
+    fused: bool,
+) -> SequentialRun<S> {
     let ledger = QueryLedger::new(dataset.num_machines());
     let oracles = OracleSet::new(dataset, &ledger);
-    run_with_oracles(dataset, &oracles, &ledger, None)
+    run_with_oracles(dataset, &oracles, &ledger, None, fused)
 }
 
 /// Runs the algorithm against a dataset with a dynamic-update log composed
@@ -50,7 +61,7 @@ pub fn sequential_sample_with_updates<S: QuantumState>(
 ) -> SequentialRun<S> {
     let ledger = QueryLedger::new(dataset.num_machines());
     let oracles = OracleSet::with_updates(dataset, &ledger, updates);
-    run_with_oracles(dataset, &oracles, &ledger, Some(updates))
+    run_with_oracles(dataset, &oracles, &ledger, Some(updates), true)
 }
 
 fn run_with_oracles<S: QuantumState>(
@@ -58,6 +69,7 @@ fn run_with_oracles<S: QuantumState>(
     oracles: &OracleSet<'_>,
     ledger: &QueryLedger,
     updates: Option<&UpdateLog>,
+    fused: bool,
 ) -> SequentialRun<S> {
     let effective = match updates {
         Some(log) => log.apply_to(dataset),
@@ -66,18 +78,17 @@ fn run_with_oracles<S: QuantumState>(
     let layout = SequentialLayout::for_dataset(dataset);
     let params = effective.params();
     let plan = AaPlan::for_success_probability(params.initial_success_probability());
-    let d = DistributingOperator::new(dataset.capacity());
+    let d = DistributingOperator::with_fused(dataset.capacity(), fused);
 
-    // |0,0,0⟩ → |π,0,0⟩
-    let mut state = S::from_basis(layout.layout.clone(), &[0, 0, 0]);
-    state.apply_register_unitary(layout.elem, &dqs_sim::gates::dft(dataset.universe()));
-
-    // anchor |π,0,0⟩ for S_π(ϕ), built exactly
-    let anchor = uniform_anchor(&layout);
+    // |0,0,0⟩ → |π,0,0⟩. `F|0⟩ = |π⟩` has a closed form — the cached
+    // uniform-anchor table — so load it directly instead of building and
+    // applying the `N × N` DFT matrix (which dominated end-to-end time).
+    let anchor = layout.uniform_anchor();
+    let mut state = S::from_table(anchor);
 
     // A|0⟩ = D|π,0,0⟩, then amplify.
     d.apply_sequential(oracles, &mut state, &layout, false);
-    execute_plan(&mut state, &plan, &anchor, layout.flag, |s, inv| {
+    execute_plan(&mut state, &plan, anchor, layout.flag, |s, inv| {
         d.apply_sequential(oracles, s, &layout, inv)
     });
 
@@ -92,21 +103,6 @@ fn run_with_oracles<S: QuantumState>(
         fidelity,
         target,
     }
-}
-
-/// The exact `|π,0,0⟩` table: amplitude `1/√N` on every element, zeros in
-/// count and flag.
-fn uniform_anchor(layout: &SequentialLayout) -> StateTable {
-    let n = layout.layout.dim(layout.elem);
-    let amp = Complex64::from_real(1.0 / (n as f64).sqrt());
-    let entries = (0..n)
-        .map(|i| {
-            let mut b = layout.layout.zero_basis();
-            b[layout.elem] = i;
-            (b.into_boxed_slice(), amp)
-        })
-        .collect();
-    StateTable::new(layout.layout.clone(), entries)
 }
 
 #[cfg(test)]

@@ -1,0 +1,197 @@
+//! Property-based and integration checks for the fused distributing-operator
+//! kernel: on *random* datasets (and random update logs) the single-pass
+//! fused realization must be **bit-identical** to the literal Lemma 4.2
+//! cascade on every backend — dense, packed sparse, and the boxed-slice
+//! sparse fallback — and full fused runs must produce the same ledger
+//! snapshots and exact cost-model match the gate-by-gate runs do.
+
+use dqs_core::{sequential_sample_with_realization, DistributingOperator, SequentialLayout};
+use dqs_db::{DistributedDataset, Multiset, OracleSet, QueryLedger, UpdateLog, UpdateOp};
+use dqs_sim::{gates, DenseState, QuantumState, SparseState};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Boolean strategy (the offline proptest stub has no `proptest::bool`).
+fn any_bool() -> impl Strategy<Value = bool> {
+    (0u8..2).prop_map(|x| x == 1)
+}
+
+/// A random dataset: `universe ∈ [2,8]`, `ν ∈ [1,4]`, `1..=3` machines,
+/// every per-machine multiplicity in `0..=ν`, at least one record overall.
+fn dataset_strategy() -> impl Strategy<Value = DistributedDataset> {
+    (2u64..=8, 1u64..=4, 1usize..=3)
+        .prop_flat_map(|(universe, capacity, machines)| {
+            let counts = proptest::collection::vec(
+                proptest::collection::vec(0..=capacity, universe as usize),
+                machines,
+            );
+            (Just(universe), Just(capacity), counts)
+        })
+        .prop_map(|(universe, capacity, mut counts)| {
+            // `ν` bounds the per-element total `Σ_j c_ij`: clamp machine by
+            // machine so each element's running total never exceeds it.
+            for i in 0..universe as usize {
+                let mut running = 0;
+                for shard in counts.iter_mut() {
+                    shard[i] = shard[i].min(capacity - running);
+                    running += shard[i];
+                }
+            }
+            // Guarantee a nonempty dataset (safe: everything is zero here).
+            if counts.iter().all(|shard| shard.iter().all(|&c| c == 0)) {
+                counts[0][0] = 1;
+            }
+            let shards = counts
+                .into_iter()
+                .map(|per_elem| {
+                    Multiset::from_counts(
+                        per_elem
+                            .into_iter()
+                            .enumerate()
+                            .filter(|(_, c)| *c > 0)
+                            .map(|(i, c)| (i as u64, c)),
+                    )
+                })
+                .collect();
+            DistributedDataset::new(universe, capacity, shards).expect("valid random dataset")
+        })
+}
+
+/// Raw update requests; [`build_log`] drops the ones that would push a
+/// multiplicity outside `0..=ν`.
+fn updates_strategy() -> impl Strategy<Value = Vec<(usize, u64, bool)>> {
+    proptest::collection::vec((0usize..3, 0u64..8, any_bool()), 0..8)
+}
+
+/// Filters raw `(machine, element, is_insert)` requests into a valid
+/// [`UpdateLog`] for `ds`: a per-machine count can never go negative and the
+/// per-element **total** `Σ_j c_ij` can never exceed `ν`.
+fn build_log(ds: &DistributedDataset, raw: &[(usize, u64, bool)]) -> UpdateLog {
+    let mut log = UpdateLog::new();
+    let mut eff: Vec<Vec<u64>> = (0..ds.num_machines())
+        .map(|j| (0..ds.universe()).map(|i| ds.multiplicity(i, j)).collect())
+        .collect();
+    let mut totals: Vec<u64> = (0..ds.universe())
+        .map(|i| ds.total_multiplicity(i))
+        .collect();
+    for &(machine, element, is_insert) in raw {
+        let (j, i) = (machine % ds.num_machines(), element % ds.universe());
+        if is_insert && totals[i as usize] < ds.capacity() {
+            eff[j][i as usize] += 1;
+            totals[i as usize] += 1;
+            log.push(UpdateOp::insert(j, i));
+        } else if !is_insert && eff[j][i as usize] > 0 {
+            eff[j][i as usize] -= 1;
+            totals[i as usize] -= 1;
+            log.push(UpdateOp::delete(j, i));
+        }
+    }
+    log
+}
+
+/// A state with nontrivial amplitudes on every register: uniform element
+/// register, split flag, element-dependent phases.
+fn prepped<S: QuantumState>(layout: &SequentialLayout, universe: u64) -> S {
+    let mut s = S::from_basis(layout.layout.clone(), &[0, 0, 0]);
+    s.apply_register_unitary(layout.elem, &gates::dft(universe));
+    s.apply_register_unitary(layout.flag, &gates::dft(2));
+    s.apply_phase(|b| dqs_math::Complex64::cis(0.29 * b[layout.elem] as f64));
+    s
+}
+
+/// Applies `D` (or `D†`) fused and gate-by-gate on one backend and asserts
+/// bit-identical output tables and equal ledger snapshots.
+fn check_backend<S: QuantumState>(
+    ds: &DistributedDataset,
+    log: Option<&UpdateLog>,
+    inverse: bool,
+    mk: impl Fn(&SequentialLayout) -> S,
+) -> Result<(), TestCaseError> {
+    let layout = SequentialLayout::for_dataset(ds);
+    let mut runs = Vec::new();
+    for fused in [true, false] {
+        let d = DistributingOperator::with_fused(ds.capacity(), fused);
+        let ledger = QueryLedger::new(ds.num_machines());
+        let oracles = match log {
+            Some(l) => OracleSet::with_updates(ds, &ledger, l),
+            None => OracleSet::new(ds, &ledger),
+        };
+        let mut state = mk(&layout);
+        d.apply_sequential(&oracles, &mut state, &layout, inverse);
+        runs.push((state.to_table(), ledger.snapshot()));
+    }
+    let (fused_t, fused_q) = &runs[0];
+    let (gbg_t, gbg_q) = &runs[1];
+    prop_assert_eq!(
+        fused_t.distance_sqr(gbg_t),
+        0.0,
+        "fused vs gate-by-gate must be bit-identical (inverse={})",
+        inverse
+    );
+    prop_assert_eq!(fused_q, gbg_q, "ledgers must match");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fused_matches_cascade_on_random_datasets(
+        ds in dataset_strategy(),
+        inverse in any_bool(),
+    ) {
+        let n = ds.universe();
+        check_backend(&ds, None, inverse, |l| prepped::<DenseState>(l, n))?;
+        check_backend(&ds, None, inverse, |l| prepped::<SparseState>(l, n))?;
+        check_backend(&ds, None, inverse, |l| {
+            // Boxed-slice fallback representation of the sparse backend.
+            let mut s = SparseState::from_basis_fallback(l.layout.clone(), &[0, 0, 0]);
+            assert!(!s.is_packed());
+            s.apply_register_unitary(l.elem, &gates::dft(n));
+            s.apply_register_unitary(l.flag, &gates::dft(2));
+            s.apply_phase(|b| dqs_math::Complex64::cis(0.29 * b[l.elem] as f64));
+            s
+        })?;
+    }
+
+    #[test]
+    fn fused_matches_cascade_under_random_update_logs(
+        ds in dataset_strategy(),
+        raw in updates_strategy(),
+        inverse in any_bool(),
+    ) {
+        let log = build_log(&ds, &raw);
+        let n = ds.universe();
+        check_backend(&ds, Some(&log), inverse, |l| prepped::<DenseState>(l, n))?;
+        check_backend(&ds, Some(&log), inverse, |l| prepped::<SparseState>(l, n))?;
+    }
+}
+
+/// Full end-to-end runs: the fused fast path must reproduce the
+/// gate-by-gate run's ledger snapshot exactly, keep fidelity 1, and keep
+/// the closed-form cost model exact (the E13 predictor's foundation).
+#[test]
+fn fused_run_ledger_and_cost_model_match_gate_by_gate() {
+    let grid: &[(u64, u64, usize)] = &[(8, 4, 2), (16, 8, 3), (32, 6, 1)];
+    for &(universe, total, machines) in grid {
+        let ds = dqs_workloads::WorkloadSpec::small_uniform(universe, total, machines, 7).build();
+        let fused = sequential_sample_with_realization::<SparseState>(&ds, true);
+        let gbg = sequential_sample_with_realization::<SparseState>(&ds, false);
+        assert_eq!(
+            fused.queries, gbg.queries,
+            "ledger snapshots diverged at N={universe} n={machines}"
+        );
+        assert_eq!(
+            fused.queries.total_sequential(),
+            fused.cost.sequential_queries,
+            "fused run broke the exact cost predictor at N={universe} n={machines}"
+        );
+        assert!(fused.fidelity > 1.0 - 1e-9);
+        assert!(gbg.fidelity > 1.0 - 1e-9);
+        assert_eq!(
+            fused.state.to_table().distance_sqr(&gbg.state.to_table()),
+            0.0,
+            "end-to-end outputs must be bit-identical"
+        );
+    }
+}

@@ -196,6 +196,20 @@ impl DistributedDataset {
         self.shards.iter().map(|s| s.multiplicity(elem)).sum()
     }
 
+    /// The dense per-element total-count table `c_i = Σ_j c_ij`, indexed by
+    /// element over the whole universe `0..N`. One `O(N + nnz)` pass over
+    /// the shards; fused oracle cascades ([`crate::OracleSet::apply_all_fused`])
+    /// look totals up here instead of re-summing per machine per basis state.
+    pub fn total_count_table(&self) -> Vec<u64> {
+        let mut totals = vec![0u64; self.universe as usize];
+        for shard in &self.shards {
+            for (elem, count) in shard.iter() {
+                totals[elem as usize] += count;
+            }
+        }
+        totals
+    }
+
     /// `M = Σ_i c_i`.
     pub fn total_count(&self) -> u64 {
         self.shards.iter().map(|s| s.cardinality()).sum()

@@ -86,6 +86,13 @@ impl UpdateLog {
         self.net.get(&(machine, element)).copied().unwrap_or(0)
     }
 
+    /// All nonzero net deltas as `(machine, element, delta)`, in
+    /// `(machine, element)` order. This is the composition interface the
+    /// fused-oracle total table uses: `c_i ← c_i + Σ_j delta_ij`.
+    pub fn net_deltas(&self) -> impl Iterator<Item = (usize, u64, i64)> + '_ {
+        self.net.iter().map(|(&(m, e), &d)| (m, e, d))
+    }
+
     /// Effective multiplicity after applying the log to a base count.
     ///
     /// # Panics

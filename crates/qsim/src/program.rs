@@ -120,6 +120,27 @@ pub enum Instruction {
         /// `false` = add, `true` = subtract.
         subtract: bool,
     },
+    /// A fused run of counting-oracle steps on the same `(elem, count)`
+    /// pair: **one** permutation pass applying the net addition
+    /// `count += table[elem] (mod modulus)`, while still representing — and
+    /// statically charging — one query per entry in `machines`. Produced by
+    /// [`Program::optimize`] composing adjacent [`Instruction::OracleAdd`]s;
+    /// the optimizer never drops it, so `oracle_queries` is invariant under
+    /// optimization.
+    FusedOracleAdd {
+        /// Machines charged, one query each (duplicates allowed: an
+        /// `O_j·O_j†` pair fuses to a net-zero table but still costs 2).
+        machines: Vec<usize>,
+        /// Element register.
+        elem: usize,
+        /// Count register.
+        count: usize,
+        /// Net lookup table with all signs already folded in (entries
+        /// reduced mod `modulus`).
+        table: std::sync::Arc<Vec<u64>>,
+        /// The modulus `ν + 1`.
+        modulus: u64,
+    },
 }
 
 impl Instruction {
@@ -215,6 +236,18 @@ impl Instruction {
                     b[*dst] = (b[*dst] + add) % m;
                 });
             }
+            Instruction::FusedOracleAdd {
+                elem,
+                count,
+                table,
+                modulus,
+                ..
+            } => {
+                let m = *modulus;
+                state.apply_permutation(|b| {
+                    b[*count] = (b[*count] + table[b[*elem] as usize]) % m;
+                });
+            }
         }
     }
 
@@ -295,6 +328,24 @@ impl Instruction {
                 modulus: *modulus,
                 subtract: !subtract,
             },
+            Instruction::FusedOracleAdd {
+                machines,
+                elem,
+                count,
+                table,
+                modulus,
+            } => Instruction::FusedOracleAdd {
+                machines: machines.iter().rev().copied().collect(),
+                elem: *elem,
+                count: *count,
+                table: std::sync::Arc::new(
+                    table
+                        .iter()
+                        .map(|&t| (modulus - t % modulus) % modulus)
+                        .collect(),
+                ),
+                modulus: *modulus,
+            },
         }
     }
 
@@ -342,6 +393,19 @@ impl Instruction {
                 if *subtract { "-" } else { "+" },
                 srcs.len()
             ),
+            Instruction::FusedOracleAdd {
+                machines,
+                elem,
+                count,
+                ..
+            } => {
+                let ms = machines
+                    .iter()
+                    .map(|m| m.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",");
+                format!("FO[m{ms}:{elem}->{count}]")
+            }
         }
     }
 }
@@ -427,12 +491,20 @@ impl Program {
         self
     }
 
-    /// Total oracle queries, per machine (index = machine).
+    /// Total oracle queries, per machine (index = machine). Fused oracle
+    /// instructions contribute one query per carried machine tag, so this
+    /// count is invariant under [`Program::optimize`].
     pub fn oracle_queries(&self, machines: usize) -> Vec<u64> {
         let mut out = vec![0u64; machines];
         for instr in &self.instructions {
-            if let Instruction::OracleAdd { machine, .. } = instr {
-                out[*machine] += 1;
+            match instr {
+                Instruction::OracleAdd { machine, .. } => out[*machine] += 1,
+                Instruction::FusedOracleAdd { machines, .. } => {
+                    for &m in machines {
+                        out[m] += 1;
+                    }
+                }
+                _ => {}
             }
         }
         out
@@ -455,6 +527,301 @@ impl Program {
             .collect::<Vec<_>>()
             .join("\n")
     }
+
+    /// Peephole optimizer: returns a program with the same action (exactly —
+    /// no approximations are taken) and the same static query accounting,
+    /// but fewer support passes at run time. Three rewrites run to fixpoint:
+    ///
+    /// 1. **Oracle fusion** — a maximal run of adjacent [`Instruction::OracleAdd`]s
+    ///    over the same `(elem, count, modulus)` composes into one
+    ///    [`Instruction::FusedOracleAdd`] carrying every machine tag (so an
+    ///    `O_j·O_j†` pair fuses to a net-zero table that still charges 2
+    ///    queries — query-carrying instructions are never dropped).
+    /// 2. **Permutation-pair cancellation** — adjacent inverse
+    ///    [`Instruction::Broadcast`]/[`Instruction::FoldCounts`] pairs vanish,
+    ///    including around a sandwiched instruction that provably commutes
+    ///    with them (the `B†·𝒰·B` window in the parallel sampler).
+    /// 3. **Diagonal/unitary merging** — adjacent [`Instruction::GlobalPhase`]s
+    ///    and same-register [`Instruction::PhaseIfZero`]s sum their angles
+    ///    (exact zeros are dropped); adjacent [`Instruction::RegisterUnitary`]s
+    ///    and [`Instruction::UnitaryByRegister`]s on the same registers
+    ///    compose by matrix product.
+    pub fn optimize(&self) -> Program {
+        let mut instrs = self.instructions.clone();
+        loop {
+            let mut changed = fuse_oracle_adds(&mut instrs);
+            changed |= cancel_permutation_pairs(&mut instrs);
+            changed |= merge_adjacent(&mut instrs);
+            if !changed {
+                break;
+            }
+        }
+        Program {
+            layout: self.layout.clone(),
+            instructions: instrs,
+        }
+    }
+}
+
+/// Rewrite 1: compose maximal runs of adjacent oracle additions on the same
+/// `(elem, count, modulus)` into single [`Instruction::FusedOracleAdd`]s.
+/// Runs of length 1 are left verbatim.
+fn fuse_oracle_adds(instrs: &mut Vec<Instruction>) -> bool {
+    fn fuse_key(i: &Instruction) -> Option<(usize, usize, u64)> {
+        match i {
+            Instruction::OracleAdd {
+                elem,
+                count,
+                modulus,
+                ..
+            }
+            | Instruction::FusedOracleAdd {
+                elem,
+                count,
+                modulus,
+                ..
+            } => Some((*elem, *count, *modulus)),
+            _ => None,
+        }
+    }
+
+    let mut out = Vec::with_capacity(instrs.len());
+    let mut changed = false;
+    let mut i = 0;
+    while i < instrs.len() {
+        let Some((elem, count, modulus)) = fuse_key(&instrs[i]) else {
+            out.push(instrs[i].clone());
+            i += 1;
+            continue;
+        };
+        let mut j = i + 1;
+        while j < instrs.len() && fuse_key(&instrs[j]) == Some((elem, count, modulus)) {
+            j += 1;
+        }
+        if j == i + 1 {
+            out.push(instrs[i].clone());
+        } else {
+            let dim = match &instrs[i] {
+                Instruction::OracleAdd { table, .. }
+                | Instruction::FusedOracleAdd { table, .. } => table.len(),
+                _ => unreachable!(),
+            };
+            let mut net = vec![0u64; dim];
+            let mut machines = Vec::new();
+            for instr in &instrs[i..j] {
+                match instr {
+                    Instruction::OracleAdd {
+                        machine,
+                        table,
+                        inverse,
+                        ..
+                    } => {
+                        machines.push(*machine);
+                        for (slot, &t) in net.iter_mut().zip(table.iter()) {
+                            let add = if *inverse {
+                                (modulus - t % modulus) % modulus
+                            } else {
+                                t % modulus
+                            };
+                            *slot = (*slot + add) % modulus;
+                        }
+                    }
+                    Instruction::FusedOracleAdd {
+                        machines: ms,
+                        table,
+                        ..
+                    } => {
+                        machines.extend_from_slice(ms);
+                        for (slot, &t) in net.iter_mut().zip(table.iter()) {
+                            *slot = (*slot + t) % modulus;
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            out.push(Instruction::FusedOracleAdd {
+                machines,
+                elem,
+                count,
+                table: std::sync::Arc::new(net),
+                modulus,
+            });
+            changed = true;
+        }
+        i = j;
+    }
+    *instrs = out;
+    changed
+}
+
+/// Rewrite 2: cancel adjacent inverse permutation pairs — `B·B†` and
+/// `F₊·F₋` — including around one sandwiched instruction that provably
+/// commutes with the pair. Query-carrying instructions are never touched.
+fn cancel_permutation_pairs(instrs: &mut Vec<Instruction>) -> bool {
+    fn is_inverse_pair(a: &Instruction, b: &Instruction) -> bool {
+        match (a, b) {
+            (
+                Instruction::Broadcast {
+                    src: s1,
+                    dsts: d1,
+                    flags: f1,
+                    undo: u1,
+                },
+                Instruction::Broadcast {
+                    src: s2,
+                    dsts: d2,
+                    flags: f2,
+                    undo: u2,
+                },
+            ) => s1 == s2 && d1 == d2 && f1 == f2 && u1 != u2,
+            (
+                Instruction::FoldCounts {
+                    srcs: s1,
+                    dst: d1,
+                    modulus: m1,
+                    subtract: u1,
+                },
+                Instruction::FoldCounts {
+                    srcs: s2,
+                    dst: d2,
+                    modulus: m2,
+                    subtract: u2,
+                },
+            ) => s1 == s2 && d1 == d2 && m1 == m2 && u1 != u2,
+            _ => false,
+        }
+    }
+
+    /// Registers the permutation writes / reads: a sandwiched instruction
+    /// commutes with the pair when it touches none of the written registers
+    /// and writes none of the read ones.
+    fn commutes_with(mid: &Instruction, pair: &Instruction) -> bool {
+        let (written, read): (Vec<usize>, Vec<usize>) = match pair {
+            Instruction::Broadcast {
+                src, dsts, flags, ..
+            } => (
+                dsts.iter().chain(flags.iter()).copied().collect(),
+                vec![*src],
+            ),
+            Instruction::FoldCounts { srcs, dst, .. } => (vec![*dst], srcs.clone()),
+            _ => return false,
+        };
+        let disjoint = |r: usize| !written.contains(&r);
+        match mid {
+            Instruction::GlobalPhase { .. } => true,
+            Instruction::PhaseIfZero { reg, .. } => disjoint(*reg),
+            Instruction::RegisterUnitary { target, .. } => {
+                disjoint(*target) && !read.contains(target)
+            }
+            Instruction::UnitaryByRegister { target, by, .. } => {
+                disjoint(*target) && disjoint(*by) && !read.contains(target)
+            }
+            _ => false,
+        }
+    }
+
+    let mut changed = false;
+    let mut i = 0;
+    while i < instrs.len() {
+        if i + 1 < instrs.len() && is_inverse_pair(&instrs[i], &instrs[i + 1]) {
+            instrs.drain(i..i + 2);
+            changed = true;
+            i = i.saturating_sub(1);
+            continue;
+        }
+        if i + 2 < instrs.len()
+            && is_inverse_pair(&instrs[i], &instrs[i + 2])
+            && commutes_with(&instrs[i + 1], &instrs[i])
+        {
+            instrs.remove(i + 2);
+            instrs.remove(i);
+            changed = true;
+            i = i.saturating_sub(1);
+            continue;
+        }
+        i += 1;
+    }
+    changed
+}
+
+/// Rewrite 3: merge adjacent diagonal/phase instructions and compose
+/// adjacent unitaries on identical registers; exact-zero phases vanish.
+fn merge_adjacent(instrs: &mut Vec<Instruction>) -> bool {
+    let mut changed = false;
+    let mut i = 0;
+    while i < instrs.len() {
+        // Drop exact-zero phases outright.
+        match &instrs[i] {
+            Instruction::GlobalPhase { phi } | Instruction::PhaseIfZero { phi, .. }
+                if *phi == 0.0 =>
+            {
+                instrs.remove(i);
+                changed = true;
+                i = i.saturating_sub(1);
+                continue;
+            }
+            _ => {}
+        }
+        if i + 1 >= instrs.len() {
+            break;
+        }
+        let merged: Option<Instruction> = match (&instrs[i], &instrs[i + 1]) {
+            (Instruction::GlobalPhase { phi: a }, Instruction::GlobalPhase { phi: b }) => {
+                Some(Instruction::GlobalPhase { phi: a + b })
+            }
+            (
+                Instruction::PhaseIfZero { reg: r1, phi: a },
+                Instruction::PhaseIfZero { reg: r2, phi: b },
+            ) if r1 == r2 => Some(Instruction::PhaseIfZero {
+                reg: *r1,
+                phi: a + b,
+            }),
+            (
+                Instruction::RegisterUnitary {
+                    target: t1,
+                    matrix: m1,
+                },
+                Instruction::RegisterUnitary {
+                    target: t2,
+                    matrix: m2,
+                },
+            ) if t1 == t2 => Some(Instruction::RegisterUnitary {
+                target: *t1,
+                // Second instruction acts after the first: M₂·M₁.
+                matrix: m2.clone() * m1.clone(),
+            }),
+            (
+                Instruction::UnitaryByRegister {
+                    target: t1,
+                    by: b1,
+                    matrices: m1,
+                },
+                Instruction::UnitaryByRegister {
+                    target: t2,
+                    by: b2,
+                    matrices: m2,
+                },
+            ) if t1 == t2 && b1 == b2 => Some(Instruction::UnitaryByRegister {
+                target: *t1,
+                by: *b1,
+                matrices: m1
+                    .iter()
+                    .zip(m2.iter())
+                    .map(|(a, b)| b.clone() * a.clone())
+                    .collect(),
+            }),
+            _ => None,
+        };
+        if let Some(instr) = merged {
+            instrs[i] = instr;
+            instrs.remove(i + 1);
+            changed = true;
+            // Re-examine position i: the merge may chain or cancel to zero.
+            continue;
+        }
+        i += 1;
+    }
+    changed
 }
 
 impl std::fmt::Debug for Program {
@@ -605,5 +972,158 @@ mod tests {
         let other = Layout::builder().register("x", 2).build();
         let mut s = SparseState::from_basis(other, &[0]);
         p.run(&mut s);
+    }
+
+    fn oracle_add(machine: usize, table: Vec<u64>, inverse: bool) -> Instruction {
+        Instruction::OracleAdd {
+            machine,
+            elem: 0,
+            count: 1,
+            table: Arc::new(table),
+            modulus: 3,
+            inverse,
+        }
+    }
+
+    #[test]
+    fn optimize_fuses_adjacent_oracle_cascade() {
+        let mut p = Program::new(layout());
+        p.push(oracle_add(0, vec![0, 1, 2, 1], false));
+        p.push(oracle_add(1, vec![1, 0, 2, 2], false));
+        p.push(oracle_add(1, vec![1, 0, 2, 2], true));
+        let opt = p.optimize();
+        assert_eq!(opt.len(), 1, "cascade must fuse to one pass");
+        // All three query tags survive fusion.
+        assert_eq!(opt.oracle_queries(2), vec![1, 2]);
+        assert_eq!(p.oracle_queries(2), opt.oracle_queries(2));
+        // Net table is the signed sum: the machine-1 pair cancels.
+        match &opt.instructions()[0] {
+            Instruction::FusedOracleAdd { table, .. } => {
+                assert_eq!(table.as_slice(), &[0, 1, 2, 1]);
+            }
+            other => panic!("expected FusedOracleAdd, got {}", other.shape()),
+        }
+        // And the action is unchanged on a generic state.
+        let mut a: SparseState = SparseState::from_basis(layout(), &[0, 0, 0]);
+        a.apply_register_unitary(0, &gates::dft(4));
+        let mut b = a.clone();
+        p.run(&mut a);
+        opt.run(&mut b);
+        assert_eq!(a.to_table().distance_sqr(&b.to_table()), 0.0);
+    }
+
+    #[test]
+    fn optimize_preserves_action_of_demo_program() {
+        let p = demo_program().then(&demo_program().inverse());
+        let opt = p.optimize();
+        let mut a: SparseState = SparseState::from_basis(layout(), &[1, 0, 0]);
+        a.apply_register_unitary(0, &gates::dft(4));
+        let mut b = a.clone();
+        p.run(&mut a);
+        opt.run(&mut b);
+        assert!(a.to_table().distance_sqr(&b.to_table()) < 1e-24);
+        assert_eq!(p.oracle_queries(1), opt.oracle_queries(1));
+        assert!(opt.len() < p.len());
+    }
+
+    #[test]
+    fn optimize_cancels_broadcast_sandwich() {
+        // B† · U · B = U when U acts off the broadcast registers — the
+        // window the parallel sampler produces between its two count loads.
+        let wide = Layout::builder()
+            .register("elem", 4)
+            .register("count", 3)
+            .register("flag", 2)
+            .register("anc_elem", 4)
+            .register("anc_flag", 2)
+            .build();
+        let bcast = |undo: bool| Instruction::Broadcast {
+            src: 0,
+            dsts: vec![3],
+            flags: vec![4],
+            undo,
+        };
+        let u = Instruction::UnitaryByRegister {
+            target: 2,
+            by: 1,
+            matrices: (0..3).map(|_| gates::dft(2)).collect(),
+        };
+        let mut p = Program::new(wide.clone());
+        p.push(bcast(false));
+        p.push(u.clone());
+        p.push(bcast(true));
+        let opt = p.optimize();
+        assert_eq!(opt.len(), 1);
+        assert!(matches!(
+            opt.instructions()[0],
+            Instruction::UnitaryByRegister { .. }
+        ));
+        let mut a: SparseState = SparseState::from_basis(wide.clone(), &[0, 0, 0, 0, 0]);
+        a.apply_register_unitary(0, &gates::dft(4));
+        let mut b = a.clone();
+        p.run(&mut a);
+        opt.run(&mut b);
+        assert_eq!(a.to_table().distance_sqr(&b.to_table()), 0.0);
+    }
+
+    #[test]
+    fn optimize_keeps_blocking_broadcast_sandwich() {
+        // A unitary *on* a broadcast register must block the cancellation.
+        let wide = Layout::builder()
+            .register("elem", 4)
+            .register("count", 3)
+            .register("flag", 2)
+            .register("anc_elem", 4)
+            .register("anc_flag", 2)
+            .build();
+        let mut p = Program::new(wide);
+        p.push(Instruction::Broadcast {
+            src: 0,
+            dsts: vec![3],
+            flags: vec![4],
+            undo: false,
+        });
+        p.push(Instruction::PhaseIfZero { reg: 4, phi: 0.3 });
+        p.push(Instruction::Broadcast {
+            src: 0,
+            dsts: vec![3],
+            flags: vec![4],
+            undo: true,
+        });
+        assert_eq!(p.optimize().len(), 3);
+    }
+
+    #[test]
+    fn optimize_merges_phases_and_drops_zeros() {
+        let mut p = Program::new(layout());
+        p.push(Instruction::GlobalPhase { phi: 0.25 });
+        p.push(Instruction::GlobalPhase { phi: -0.25 });
+        p.push(Instruction::PhaseIfZero { reg: 2, phi: 0.5 });
+        p.push(Instruction::PhaseIfZero { reg: 2, phi: 0.25 });
+        let opt = p.optimize();
+        assert_eq!(opt.len(), 1);
+        match &opt.instructions()[0] {
+            Instruction::PhaseIfZero { reg: 2, phi } => assert!((phi - 0.75).abs() < 1e-15),
+            other => panic!("unexpected {}", other.shape()),
+        }
+    }
+
+    #[test]
+    fn fused_oracle_add_inverse_round_trips() {
+        let p = {
+            let mut p = Program::new(layout());
+            p.push(oracle_add(0, vec![0, 1, 2, 1], false));
+            p.push(oracle_add(1, vec![1, 0, 2, 2], false));
+            p
+        };
+        let opt = p.optimize();
+        let mut s: SparseState = SparseState::from_basis(layout(), &[0, 0, 0]);
+        s.apply_register_unitary(0, &gates::dft(4));
+        let before = s.to_table();
+        opt.run(&mut s);
+        opt.inverse().run(&mut s);
+        assert_eq!(s.to_table().distance_sqr(&before), 0.0);
+        // Inverse keeps the machine tags too.
+        assert_eq!(opt.inverse().oracle_queries(2), vec![1, 1]);
     }
 }

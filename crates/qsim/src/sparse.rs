@@ -151,6 +151,36 @@ impl QuantumState for SparseState {
         Self { layout, repr }
     }
 
+    fn from_table(table: &StateTable) -> Self {
+        let layout = table.layout().clone();
+        let repr = if layout.packed_dim().is_some() {
+            // StateTable iterates in sorted basis-tuple order, and the
+            // first register is the most significant key digit, so the
+            // packed keys come out already sorted.
+            let amps: Vec<(u128, Complex64)> = table
+                .iter()
+                .filter(|(_, a)| a.norm_sqr() > PRUNE_EPS_SQR)
+                .map(|(b, a)| (layout.encode_u128(b), a))
+                .collect();
+            debug_assert!(amps.windows(2).all(|w| w[0].0 < w[1].0));
+            Repr::Packed(Packed {
+                amps,
+                scratch: Vec::new(),
+            })
+        } else {
+            let mut map = FxHashMap::default();
+            for (b, a) in table.iter() {
+                if a.norm_sqr() > PRUNE_EPS_SQR {
+                    map.insert(b.into(), a);
+                }
+            }
+            Repr::Boxed(map)
+        };
+        let state = Self { layout, repr };
+        debug_check_norm(&state, "from_table");
+        state
+    }
+
     fn layout(&self) -> &Layout {
         &self.layout
     }
@@ -656,6 +686,23 @@ mod tests {
         assert_eq!(s.support_len(), 1);
         assert!(approx_eq_c(s.amplitude(&[3, 2, 1]), Complex64::ONE));
         assert!(approx_eq(s.norm(), 1.0));
+    }
+
+    #[test]
+    fn from_table_round_trips_and_matches_dft_prep() {
+        // An entangled state with non-trivial phases, via the DFT route…
+        let mut via_dft = SparseState::from_basis(small_layout(), &[0, 0, 0]);
+        via_dft.apply_register_unitary(0, &gates::dft(4));
+        via_dft.apply_permutation(|b| b[1] = b[0] % 3);
+        // …must equal the state loaded back from its own snapshot.
+        let loaded = SparseState::from_table(&via_dft.to_table());
+        assert!(loaded.is_packed());
+        assert_eq!(loaded.support_len(), via_dft.support_len());
+        assert_eq!(
+            loaded.to_table().distance_sqr(&via_dft.to_table()),
+            0.0,
+            "from_table must be the exact inverse of to_table"
+        );
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub trait QuantumState: Clone {
     /// Constructs the computational basis state `|basis⟩`.
     fn from_basis(layout: Layout, basis: &[u64]) -> Self;
 
+    /// Constructs a state from a snapshot table — the inverse of
+    /// [`Self::to_table`]. The table must be normalized.
+    ///
+    /// This is the compiled state-preparation path: when the prepared state
+    /// has a closed form (e.g. `F|0⟩ = |π⟩`, the uniform anchor), loading
+    /// its table directly costs `O(support)` instead of materializing and
+    /// applying a `dim × dim` transform.
+    fn from_table(table: &StateTable) -> Self;
+
     /// The register layout.
     fn layout(&self) -> &Layout;
 

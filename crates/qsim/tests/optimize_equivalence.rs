@@ -1,0 +1,123 @@
+//! Property-based check for the peephole optimizer: on random instruction
+//! sequences, `Program::optimize()` must preserve the program's action on
+//! random start states and its static query accounting, while never growing
+//! the instruction count.
+
+use dqs_math::Complex64;
+use dqs_sim::{gates, Instruction, Layout, Program, QuantumState, SparseState};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Boolean strategy (the offline proptest stub has no `proptest::bool`).
+fn any_bool() -> impl Strategy<Value = bool> {
+    (0u8..2).prop_map(|x| x == 1)
+}
+
+const UNIVERSE: u64 = 6;
+const COUNTS: u64 = 4;
+const MACHINES: usize = 2;
+
+fn layout() -> Layout {
+    Layout::builder()
+        .register("elem", UNIVERSE)
+        .register("count", COUNTS)
+        .register("flag", 2)
+        .build()
+}
+
+/// A random instruction drawn from the classes the optimizer rewrites:
+/// oracle adds (fusion), unitaries (merging), and phases (merge/drop).
+fn instr_strategy() -> impl Strategy<Value = Instruction> {
+    let oracle = (
+        0usize..MACHINES,
+        proptest::collection::vec(0u64..COUNTS, UNIVERSE as usize),
+        any_bool(),
+    )
+        .prop_map(|(machine, table, inverse)| Instruction::OracleAdd {
+            machine,
+            elem: 0,
+            count: 1,
+            table: Arc::new(table),
+            modulus: COUNTS,
+            inverse,
+        });
+    let unitary = (0u64..4).prop_map(|k| Instruction::RegisterUnitary {
+        target: 2,
+        matrix: {
+            let c = (k as f64 / 3.0).min(1.0);
+            gates::ry_by_cos_sin(c, (1.0 - c * c).sqrt())
+        },
+    });
+    let by_register = (1u64..5).prop_map(|scale| Instruction::UnitaryByRegister {
+        target: 2,
+        by: 1,
+        matrices: (0..COUNTS)
+            .map(|s| {
+                let c = (((s * scale) % COUNTS) as f64 / (COUNTS - 1) as f64).min(1.0);
+                gates::ry_by_cos_sin(c, (1.0 - c * c).sqrt())
+            })
+            .collect(),
+    });
+    let phase_if_zero = (0usize..3, -3i32..4).prop_map(|(reg, k)| Instruction::PhaseIfZero {
+        reg,
+        phi: k as f64 * 0.41,
+    });
+    let global_phase = (-3i32..4).prop_map(|k| Instruction::GlobalPhase {
+        phi: k as f64 * 0.73,
+    });
+    prop_oneof![oracle, unitary, by_register, phase_if_zero, global_phase]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimize_preserves_action_and_accounting(
+        instrs in proptest::collection::vec(instr_strategy(), 1..14),
+        start in (0u64..UNIVERSE, 0u64..COUNTS, 0u64..2),
+    ) {
+        let mut raw = Program::new(layout());
+        for i in instrs {
+            raw.push(i);
+        }
+        let opt = raw.optimize();
+
+        prop_assert!(opt.len() <= raw.len(), "optimize must never grow a program");
+        prop_assert_eq!(
+            raw.oracle_queries(MACHINES),
+            opt.oracle_queries(MACHINES),
+            "static query accounting is an optimizer invariant"
+        );
+
+        // Same action on a superposed start state (uniform element register
+        // on top of the random basis tuple, so every branch is exercised).
+        let basis = [start.0, start.1, start.2];
+        let mut a = SparseState::from_basis(layout(), &basis);
+        a.apply_register_unitary(0, &gates::dft(UNIVERSE));
+        a.apply_phase(|b| Complex64::cis(0.17 * b[0] as f64));
+        let mut b = a.clone();
+        raw.run(&mut a);
+        opt.run(&mut b);
+        let (ta, tb) = (a.to_table(), b.to_table());
+        prop_assert!(
+            ta.distance_sqr(&tb) < 1e-15,
+            "optimized program diverged: {:.3e}\nraw: {}\nopt: {}",
+            ta.distance_sqr(&tb),
+            raw.shape(),
+            opt.shape()
+        );
+    }
+
+    #[test]
+    fn optimize_is_idempotent(
+        instrs in proptest::collection::vec(instr_strategy(), 1..14),
+    ) {
+        let mut raw = Program::new(layout());
+        for i in instrs {
+            raw.push(i);
+        }
+        let once = raw.optimize();
+        let twice = once.optimize();
+        prop_assert_eq!(once.shape(), twice.shape(), "optimize must reach a fixpoint");
+    }
+}

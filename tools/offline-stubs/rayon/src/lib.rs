@@ -287,6 +287,59 @@ impl<T: Send> ParallelSliceMut<T> for [T] {
     }
 }
 
+/// Serial stand-in for `rayon::ThreadPool`: `install` runs the closure on
+/// the calling thread, so `current_num_threads` honestly reports 1 no
+/// matter what the builder asked for.
+pub struct ThreadPool;
+
+impl ThreadPool {
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        op()
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        1
+    }
+}
+
+/// Serial stand-in for `rayon::ThreadPoolBuilder` (the thread-count hint is
+/// accepted and ignored).
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    _num_threads: usize,
+}
+
+/// Mirror of `rayon::ThreadPoolBuildError`; the stub never fails to build.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "stub thread pool cannot fail to build")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self._num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool)
+    }
+}
+
 /// Runs two closures (serially here; in parallel in real rayon).
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
 where
