@@ -27,7 +27,7 @@ pub fn centralized_sample<S: QuantumState>(dataset: &DistributedDataset) -> Cent
     let central = DistributedDataset::new(dataset.universe(), dataset.capacity(), vec![merged])
         .expect("merged dataset is valid when the original is");
     CentralizedRun {
-        run: sequential_sample::<S>(&central),
+        run: sequential_sample::<S>(&central).expect("faultless run"),
     }
 }
 
@@ -52,7 +52,7 @@ mod tests {
     fn same_iteration_count_as_distributed() {
         let ds = dataset();
         let central = centralized_sample::<SparseState>(&ds);
-        let distributed = sequential_sample::<SparseState>(&ds);
+        let distributed = sequential_sample::<SparseState>(&ds).expect("faultless run");
         assert_eq!(
             central.run.plan.total_iterations(),
             distributed.plan.total_iterations(),
@@ -64,7 +64,7 @@ mod tests {
     fn distributed_cost_is_exactly_n_times_centralized() {
         let ds = dataset();
         let central = centralized_sample::<SparseState>(&ds);
-        let distributed = sequential_sample::<SparseState>(&ds);
+        let distributed = sequential_sample::<SparseState>(&ds).expect("faultless run");
         assert_eq!(
             distributed.queries.total_sequential(),
             ds.num_machines() as u64 * central.run.queries.total_sequential()
@@ -75,7 +75,7 @@ mod tests {
     fn same_output_distribution() {
         let ds = dataset();
         let central = centralized_sample::<SparseState>(&ds);
-        let distributed = sequential_sample::<SparseState>(&ds);
+        let distributed = sequential_sample::<SparseState>(&ds).expect("faultless run");
         let pc = central.run.state.register_probabilities(0);
         let pd = distributed.state.register_probabilities(0);
         for i in 0..ds.universe() as usize {

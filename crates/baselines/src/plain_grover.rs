@@ -113,7 +113,7 @@ mod tests {
     fn plain_is_generically_inexact_where_zero_error_is_exact() {
         let ds = skewed_dataset();
         let plain = plain_sequential_sample::<SparseState>(&ds, None);
-        let exact = sequential_sample::<SparseState>(&ds);
+        let exact = sequential_sample::<SparseState>(&ds).expect("faultless run");
         assert!(exact.fidelity > 1.0 - 1e-9);
         assert!(
             plain.fidelity < 1.0 - 1e-6,
@@ -147,7 +147,7 @@ mod tests {
     #[test]
     fn query_cost_equals_zero_error_cost_at_same_iterations() {
         let ds = skewed_dataset();
-        let exact = sequential_sample::<SparseState>(&ds);
+        let exact = sequential_sample::<SparseState>(&ds).expect("faultless run");
         let plain =
             plain_sequential_sample::<SparseState>(&ds, Some(exact.plan.total_iterations()));
         assert_eq!(

@@ -151,7 +151,7 @@ mod tests {
     #[test]
     fn coherent_sampler_beats_sample_and_learn_on_queries() {
         let ds = dataset();
-        let coherent = sequential_sample::<SparseState>(&ds);
+        let coherent = sequential_sample::<SparseState>(&ds).expect("faultless run");
         let mut rng = StdRng::seed_from_u64(5);
         // even a loose 95%-fidelity target costs more than the exact
         // coherent preparation on this instance

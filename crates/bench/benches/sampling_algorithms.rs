@@ -26,7 +26,13 @@ fn bench_sequential(c: &mut Criterion) {
     for &n in &[256u64, 1024, 4096] {
         let ds = spec(n, 2).build();
         g.bench_with_input(BenchmarkId::from_parameter(n), &ds, |b, ds| {
-            b.iter(|| black_box(sequential_sample::<SparseState>(ds).fidelity));
+            b.iter(|| {
+                black_box(
+                    sequential_sample::<SparseState>(ds)
+                        .expect("faultless run")
+                        .fidelity,
+                )
+            });
         });
     }
     g.finish();
@@ -37,7 +43,13 @@ fn bench_parallel(c: &mut Criterion) {
     for &n in &[256u64, 1024] {
         let ds = spec(n, 2).build();
         g.bench_with_input(BenchmarkId::from_parameter(n), &ds, |b, ds| {
-            b.iter(|| black_box(parallel_sample::<SparseState>(ds).fidelity));
+            b.iter(|| {
+                black_box(
+                    parallel_sample::<SparseState>(ds)
+                        .expect("faultless run")
+                        .fidelity,
+                )
+            });
         });
     }
     g.finish();
@@ -51,6 +63,7 @@ fn bench_machines(c: &mut Criterion) {
             b.iter(|| {
                 black_box(
                     sequential_sample::<SparseState>(ds)
+                        .expect("faultless run")
                         .queries
                         .total_sequential(),
                 )

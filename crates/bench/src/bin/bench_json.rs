@@ -239,7 +239,8 @@ fn bench_end_to_end(smoke: bool, universe: u64, total: u64, seed: u64) -> Vec<E2
         for (mode, fused) in [("fused", true), ("gate_by_gate", false)] {
             let mut fidelity = 1.0;
             let secs = median_secs(reps, || {
-                let run = sequential_sample_with_realization::<SparseState>(&dataset, fused);
+                let run = sequential_sample_with_realization::<SparseState>(&dataset, fused)
+                    .expect("faultless run");
                 fidelity = run.fidelity;
                 black_box(run.fidelity);
             });
@@ -266,7 +267,7 @@ fn bench_end_to_end(smoke: bool, universe: u64, total: u64, seed: u64) -> Vec<E2
     let secs = median_secs(reps, || {
         pool.install(|| {
             observed = rayon::current_num_threads();
-            let run = sequential_sample::<SparseState>(&dataset);
+            let run = sequential_sample::<SparseState>(&dataset).expect("faultless run");
             fidelity = run.fidelity;
             black_box(run.fidelity);
         })
@@ -309,7 +310,11 @@ fn main() {
     let machines = 4usize;
     let dataset = WorkloadSpec::small_uniform(universe, total, machines, seed).build();
     let e2e_secs = median_secs(samples(smoke), || {
-        black_box(sequential_sample::<SparseState>(&dataset).fidelity);
+        black_box(
+            sequential_sample::<SparseState>(&dataset)
+                .expect("faultless run")
+                .fidelity,
+        );
     });
 
     let mut json = String::new();

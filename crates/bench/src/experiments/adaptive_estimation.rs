@@ -36,7 +36,8 @@ pub fn run() -> String {
         let (mut m_sum, mut f_sum, mut q) = (0.0, 0.0, 0u64);
         for trial in 0..trials {
             let mut rng = StdRng::seed_from_u64(1000 * shots + trial);
-            let run = sequential_sample_adaptive(&ds, shots, &mut rng);
+            let run = sequential_sample_adaptive(&ds, shots, &mut rng)
+                .expect("a = M/(νN) is large enough for every shot budget in the sweep");
             m_sum += run.estimation.estimated_total;
             f_sum += run.fidelity;
             q = run.estimation.queries.total_sequential();

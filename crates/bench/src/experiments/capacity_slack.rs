@@ -25,7 +25,7 @@ pub fn run() -> String {
             seed: 10,
         }
         .build();
-        let run = sequential_sample::<SparseState>(&ds);
+        let run = sequential_sample::<SparseState>(&ds).expect("faultless run");
         assert!(run.fidelity > 1.0 - 1e-9);
         points.push((slack as f64, run.queries.total_sequential() as f64));
         t.row(vec![

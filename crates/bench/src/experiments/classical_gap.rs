@@ -30,7 +30,7 @@ pub fn run() -> String {
             }
             .build();
             let classical = classical_sample(&ds);
-            let quantum = sequential_sample::<SparseState>(&ds);
+            let quantum = sequential_sample::<SparseState>(&ds).expect("faultless run");
             let advantage =
                 classical.classical_queries as f64 / quantum.queries.total_sequential() as f64;
             let p = ds.params();

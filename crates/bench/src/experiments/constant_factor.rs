@@ -49,7 +49,7 @@ pub fn run() -> String {
                 seed: 12,
             }
             .build();
-            let run = sequential_sample::<SparseState>(&ds);
+            let run = sequential_sample::<SparseState>(&ds).expect("faultless run");
             assert!(run.fidelity > 1.0 - 1e-9);
             let p = ds.params();
             let theory = p.machines as f64 * p.sqrt_vn_over_m();

@@ -30,9 +30,10 @@ pub fn run() -> String {
         // fresh RNG per row: each row is an independent trace of `ops` steps
         let mut rng = StdRng::seed_from_u64(77);
         let log = churn_trace(&base, ops, 0.5, &mut rng);
-        let live = sequential_sample_with_updates::<SparseState>(&base, &log);
+        let live =
+            sequential_sample_with_updates::<SparseState>(&base, &log).expect("faultless run");
         let rebuilt_ds = log.apply_to(&base);
-        let rebuilt = sequential_sample::<SparseState>(&rebuilt_ds);
+        let rebuilt = sequential_sample::<SparseState>(&rebuilt_ds).expect("faultless run");
         let pl = live.state.register_probabilities(live.layout.elem);
         let pr = rebuilt.state.register_probabilities(rebuilt.layout.elem);
         let dev = pl

@@ -37,8 +37,8 @@ pub fn run() -> String {
         let p = ds.params();
         let lb_seq = sequential_query_lower_bound(&p);
         let lb_par = parallel_query_lower_bound(&p);
-        let seq = sequential_sample::<SparseState>(&ds);
-        let par = parallel_sample::<SparseState>(&ds);
+        let seq = sequential_sample::<SparseState>(&ds).expect("faultless run");
+        let par = parallel_sample::<SparseState>(&ds).expect("faultless run");
         assert!(seq.fidelity > 1.0 - 1e-9 && par.fidelity > 1.0 - 1e-9);
         assert!(
             seq.queries.total_sequential() as f64 >= lb_seq * 0.999,

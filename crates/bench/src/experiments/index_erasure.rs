@@ -31,7 +31,7 @@ pub fn run() -> String {
         }
         .build();
         assert_eq!(ds.capacity(), 1, "index-erasure regime needs ν = 1");
-        let run = sequential_sample::<SparseState>(&ds);
+        let run = sequential_sample::<SparseState>(&ds).expect("faultless run");
         assert!(run.fidelity > 1.0 - 1e-9);
         let scale = (universe as f64 / support as f64).sqrt();
         let queries = run.queries.total_sequential();

@@ -28,7 +28,7 @@ pub fn run() -> String {
             seed: 5,
         }
         .build();
-        let run = parallel_sample::<SparseState>(&ds);
+        let run = parallel_sample::<SparseState>(&ds).expect("faultless run");
         let p = ds.params();
         let rounds = run.queries.parallel_rounds;
         points.push((universe as f64, rounds as f64));
@@ -65,7 +65,7 @@ pub fn run() -> String {
             seed: 6,
         }
         .build();
-        let run = parallel_sample::<SparseState>(&ds);
+        let run = parallel_sample::<SparseState>(&ds).expect("faultless run");
         let rounds = run.queries.parallel_rounds;
         let first = *first_rounds.get_or_insert(rounds);
         assert_eq!(rounds, first, "parallel rounds must not depend on n");

@@ -25,7 +25,7 @@ pub fn run() -> String {
         seed: 19,
     }
     .build();
-    let coherent = sequential_sample::<SparseState>(&ds);
+    let coherent = sequential_sample::<SparseState>(&ds).expect("faultless run");
 
     let mut t = Table::new(
         "E19: classical sample-and-learn vs coherent sampling (N = 256, M = 64, a = 1/8)",

@@ -32,8 +32,8 @@ pub fn run() -> String {
             let ds = sc.spec(128, 1).build();
             let p = ds.params();
             let stats = dataset_stats(&ds);
-            let seq = sequential_sample::<SparseState>(&ds);
-            let par = parallel_sample::<SparseState>(&ds);
+            let seq = sequential_sample::<SparseState>(&ds).expect("faultless run");
+            let par = parallel_sample::<SparseState>(&ds).expect("faultless run");
             assert!(seq.fidelity > 1.0 - 1e-9 && par.fidelity > 1.0 - 1e-9);
             vec![
                 sc.name().to_string(),

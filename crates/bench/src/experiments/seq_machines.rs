@@ -24,7 +24,7 @@ pub fn run() -> String {
             seed: 6,
         }
         .build();
-        let run = sequential_sample::<SparseState>(&ds);
+        let run = sequential_sample::<SparseState>(&ds).expect("faultless run");
         let measured = run.queries.total_sequential();
         points.push((machines as f64, measured as f64));
         assert!(run.fidelity > 1.0 - 1e-9);

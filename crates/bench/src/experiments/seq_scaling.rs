@@ -35,7 +35,7 @@ pub fn run() -> String {
                 seed: 5,
             }
             .build();
-            let run = sequential_sample::<SparseState>(&ds);
+            let run = sequential_sample::<SparseState>(&ds).expect("faultless run");
             let p = ds.params();
             let theory = p.machines as f64 * p.sqrt_vn_over_m();
             let measured = run.queries.total_sequential();

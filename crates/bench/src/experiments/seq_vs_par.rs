@@ -24,8 +24,8 @@ pub fn run() -> String {
             seed: 4,
         }
         .build();
-        let seq = sequential_sample::<SparseState>(&ds);
-        let par = parallel_sample::<SparseState>(&ds);
+        let seq = sequential_sample::<SparseState>(&ds).expect("faultless run");
+        let par = parallel_sample::<SparseState>(&ds).expect("faultless run");
         let ratio = seq.queries.total_sequential() as f64 / par.queries.parallel_rounds as f64;
         assert!((ratio - machines as f64 / 2.0).abs() < 1e-9);
         t.row(vec![

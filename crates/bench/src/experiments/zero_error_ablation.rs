@@ -25,7 +25,7 @@ fn dataset() -> DistributedDataset {
 /// Regenerates the table.
 pub fn run() -> String {
     let ds = dataset();
-    let exact = sequential_sample::<SparseState>(&ds);
+    let exact = sequential_sample::<SparseState>(&ds).expect("faultless run");
     let mut t = Table::new(
         "E8: plain Grover fidelity vs iteration count (a = M/vN = 0.01875)",
         &["m", "queries", "fidelity", "predicted sin^2((2m+1)theta)"],

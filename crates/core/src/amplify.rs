@@ -187,8 +187,28 @@ pub fn execute_plan<S: QuantumState>(
     flag_reg: usize,
     mut apply_d: impl FnMut(&mut S, bool),
 ) {
+    let result: Result<(), std::convert::Infallible> =
+        try_execute_plan(state, plan, anchor, flag_reg, |s, inv| {
+            apply_d(s, inv);
+            Ok(())
+        });
+    let Ok(()) = result;
+}
+
+/// Fallible variant of [`execute_plan`] for oracles that can fail (the
+/// fault-injection layer): the schedule aborts at the first `Err` from
+/// `apply_d`, leaving the state mid-iteration — callers are expected to
+/// discard it and restart (every query issued so far stays charged on the
+/// ledger behind `apply_d`).
+pub fn try_execute_plan<S: QuantumState, E>(
+    state: &mut S,
+    plan: &AaPlan,
+    anchor: &StateTable,
+    flag_reg: usize,
+    mut apply_d: impl FnMut(&mut S, bool) -> Result<(), E>,
+) -> Result<(), E> {
     let pi = std::f64::consts::PI;
-    let mut q = |state: &mut S, varphi: f64, phi: f64| {
+    let mut q = |state: &mut S, varphi: f64, phi: f64| -> Result<(), E> {
         // rightmost factor first: S_χ(φ)
         state.apply_phase(|b| {
             if b[flag_reg] == 0 {
@@ -197,17 +217,19 @@ pub fn execute_plan<S: QuantumState>(
                 Complex64::ONE
             }
         });
-        apply_d(state, true);
+        apply_d(state, true)?;
         state.apply_rank_one_phase(anchor, phi);
-        apply_d(state, false);
+        apply_d(state, false)?;
         state.scale(-Complex64::ONE);
+        Ok(())
     };
     for _ in 0..plan.full_iterations {
-        q(state, pi, pi);
+        q(state, pi, pi)?;
     }
     if let FinalRotation::Phases { varphi, phi } = plan.final_rotation {
-        q(state, varphi, phi);
+        q(state, varphi, phi)?;
     }
+    Ok(())
 }
 
 #[cfg(test)]

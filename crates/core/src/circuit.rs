@@ -291,7 +291,7 @@ mod tests {
         let ds = dataset();
         let program = compile_sequential(&ds);
         let compiled: SparseState = program.run_from_basis(&[0, 0, 0]);
-        let interpreted = sequential_sample::<SparseState>(&ds);
+        let interpreted = sequential_sample::<SparseState>(&ds).expect("faultless run");
         // Global phase may differ (−1 per iteration is tracked as e^{iπ});
         // compare via fidelity, which is phase-blind.
         let f = compiled.to_table().fidelity(&interpreted.state.to_table());
@@ -303,7 +303,7 @@ mod tests {
     fn static_query_count_matches_ledger() {
         let ds = dataset();
         let program = compile_sequential(&ds);
-        let run = sequential_sample::<SparseState>(&ds);
+        let run = sequential_sample::<SparseState>(&ds).expect("faultless run");
         assert_eq!(
             program.oracle_queries(ds.num_machines()),
             run.queries.per_machine
@@ -351,7 +351,8 @@ mod tests {
         let program = compile_parallel(&ds);
         let layout = crate::layouts::ParallelLayout::for_dataset(&ds);
         let compiled: SparseState = program.run_from_basis(&layout.layout.zero_basis());
-        let interpreted = crate::parallel::parallel_sample::<SparseState>(&ds);
+        let interpreted =
+            crate::parallel::parallel_sample::<SparseState>(&ds).expect("faultless run");
         let f = compiled.to_table().fidelity(&interpreted.state.to_table());
         assert!(f > 1.0 - 1e-9, "fidelity {f}");
         assert_eq!(

@@ -1,0 +1,679 @@
+//! Graceful degradation: sampling from whatever survives.
+//!
+//! The fault-injection layer (`dqs_db::faults`) makes machines crash, flap,
+//! and lie. This module is the coordinator-side response policy:
+//!
+//! * [`RetryPolicy`] — bounded retries with deterministic exponential
+//!   backoff (counted in virtual ticks, so runs stay reproducible) and a
+//!   per-machine circuit breaker that declares a machine dead after `k`
+//!   consecutive failures.
+//! * [`RetrySession`] — the [`FaultHandler`] implementing that policy over
+//!   one sampling run, tracking dead machines across restarts.
+//! * [`sequential_sample_degraded`] / [`parallel_sample_degraded`] — run
+//!   the Theorem 4.3 / 4.5 samplers against a [`FaultPlan`], restarting
+//!   over the *surviving* machine subset whenever the breaker trips.
+//!   Every probe of every attempt — including failed and abandoned ones —
+//!   stays charged on one ledger: degradation is never free.
+//!
+//! ## The fidelity bound
+//!
+//! When machines `Dead ⊂ [n]` are lost, the best state preparable from the
+//! survivors is `|ψ_surv⟩ = (1/√M_surv) Σ_i √(c_i^surv) |i⟩`. Its overlap
+//! with the true target `|ψ⟩` is exactly
+//!
+//! ```text
+//! |⟨ψ_surv|ψ⟩|² = (Σ_i √(c_i^surv · c_i))² / (M_surv · M) ,
+//! ```
+//!
+//! which [`DegradedRun::fidelity_bound`] reports, computed classically from
+//! the counts. For pure data-loss faults (crashes, exhausted retries) the
+//! degraded run lands on `|ψ_surv⟩` exactly, so its measured fidelity
+//! against the true target equals the bound; answer-corrupting faults
+//! (`Corrupt`, `Stale`) additionally twist the surviving-run state, which
+//! the measured `fidelity_vs_surviving` exposes.
+//!
+//! ## Faulty `D` realizations
+//!
+//! `D = A†·𝒰·A` where the cascades `A`, `A†` only shuttle counts in and
+//! out. Probing forward and inverse cascades up front (charging exactly the
+//! faultless `2n` queries / 4 rounds over the survivors) yields per-element
+//! answered totals `tf`, `ti`; the net action is the flag rotation
+//! `u_gate((s + tf_i) mod (ν+1))` plus a count shift by `tf_i − ti_i` —
+//! zero whenever the two passes agree, so fault-free probes reproduce the
+//! fused faultless `D` bit for bit. In the parallel model the uncompute
+//! rounds (2 and 4) revert the ancilla loads of rounds 1 and 3: their
+//! answer *content* is pinned to the paired compute round (it is the same
+//! logical query run backwards), but they remain real charged rounds whose
+//! failures retry or trip the breaker.
+
+use crate::amplify::{try_execute_plan, AaPlan};
+use crate::distributing::DistributingOperator;
+use crate::error::SampleError;
+use crate::layouts::{ParallelLayout, SequentialLayout};
+use dqs_db::{
+    DistributedDataset, FailureAction, FaultHandler, FaultPlan, FaultyOracleSet, LedgerSnapshot,
+    OracleError, OracleSet, QueryLedger,
+};
+use dqs_math::Complex64;
+use dqs_sim::{Layout, QuantumState, SimError, StateTable};
+
+/// Bounded-retry policy with deterministic exponential backoff and a
+/// per-machine circuit breaker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum retries per query before giving up on the machine.
+    pub max_retries: u32,
+    /// Backoff for the `k`-th retry is `base · 2^k` virtual ticks…
+    pub backoff_base: u64,
+    /// …clamped to this cap.
+    pub backoff_cap: u64,
+    /// Consecutive failures after which the breaker declares the machine
+    /// dead (counted across queries; any success resets).
+    pub breaker_threshold: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 3,
+            backoff_base: 1,
+            backoff_cap: 64,
+            breaker_threshold: 3,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Backoff (in virtual ticks) before the `retry_index`-th retry
+    /// (0-based): `min(cap, base · 2^retry_index)`. Deterministic — no
+    /// jitter — so ledger and schedule replay bit-identically.
+    pub fn backoff(&self, retry_index: u32) -> u64 {
+        self.backoff_base
+            .saturating_mul(1u64 << retry_index.min(63))
+            .min(self.backoff_cap)
+    }
+}
+
+/// One sampling run's retry/breaker state: the [`FaultHandler`] the
+/// degraded samplers hand to the faulty oracle layer.
+#[derive(Debug)]
+pub struct RetrySession<'p> {
+    policy: &'p RetryPolicy,
+    consecutive: Vec<u32>,
+    dead: Vec<bool>,
+    total_retries: u64,
+    backoff_ticks: u64,
+}
+
+impl<'p> RetrySession<'p> {
+    /// A fresh session for `n` machines.
+    pub fn new(n: usize, policy: &'p RetryPolicy) -> Self {
+        Self {
+            policy,
+            consecutive: vec![0; n],
+            dead: vec![false; n],
+            total_retries: 0,
+            backoff_ticks: 0,
+        }
+    }
+
+    /// True when the breaker has declared `machine` dead.
+    pub fn is_dead(&self, machine: usize) -> bool {
+        self.dead[machine]
+    }
+
+    /// Machines declared dead so far, ascending.
+    pub fn dead_machines(&self) -> Vec<usize> {
+        (0..self.dead.len()).filter(|&j| self.dead[j]).collect()
+    }
+
+    /// Machines still alive, ascending.
+    pub fn survivors(&self) -> Vec<usize> {
+        (0..self.dead.len()).filter(|&j| !self.dead[j]).collect()
+    }
+
+    /// Total retries issued (each one a charged query or round).
+    pub fn total_retries(&self) -> u64 {
+        self.total_retries
+    }
+
+    /// Total virtual backoff ticks accumulated before those retries.
+    pub fn backoff_ticks(&self) -> u64 {
+        self.backoff_ticks
+    }
+}
+
+impl FaultHandler for RetrySession<'_> {
+    fn on_failure(&mut self, machine: usize, _attempt: u64, permanent: bool) -> FailureAction {
+        self.consecutive[machine] += 1;
+        let failures = self.consecutive[machine];
+        if permanent
+            || failures > self.policy.max_retries
+            || failures >= self.policy.breaker_threshold
+        {
+            self.dead[machine] = true;
+            return FailureAction::GiveUp;
+        }
+        self.total_retries += 1;
+        self.backoff_ticks += self.policy.backoff(failures - 1);
+        FailureAction::Retry
+    }
+
+    fn on_success(&mut self, machine: usize) {
+        self.consecutive[machine] = 0;
+    }
+}
+
+/// The result of one degraded sampling run.
+#[derive(Debug, Clone)]
+pub struct DegradedRun<S, L> {
+    /// The final state over the surviving data.
+    pub state: S,
+    /// Register layout used.
+    pub layout: L,
+    /// The amplification schedule of the attempt that completed (planned
+    /// for `a = M_surv/(νN)`).
+    pub plan: AaPlan,
+    /// Exact query counts — *every* attempt's probes, retries, and failed
+    /// restarts included.
+    pub queries: LedgerSnapshot,
+    /// How many times the sampler started over (1 = no restart).
+    pub restarts: u64,
+    /// Machines the completing attempt sampled from, ascending.
+    pub survivors: Vec<usize>,
+    /// Machines declared dead, ascending.
+    pub dead: Vec<usize>,
+    /// Total charged retries across the whole run.
+    pub total_retries: u64,
+    /// Total deterministic backoff ticks spent before those retries.
+    pub backoff_ticks: u64,
+    /// `|⟨ψ_surv|ψ⟩|²`, computed classically from the counts — what the
+    /// surviving data can achieve at best against the true target.
+    pub fidelity_bound: f64,
+    /// Measured fidelity against `|ψ_surv⟩` (1 unless answers were
+    /// corrupted or stale).
+    pub fidelity_vs_surviving: f64,
+    /// Measured fidelity against the true `|ψ⟩` (equals `fidelity_bound`
+    /// for pure data-loss faults).
+    pub fidelity_vs_target: f64,
+    /// The surviving-data target `|ψ_surv⟩` the run aimed for.
+    pub target_surviving: StateTable,
+}
+
+impl<S, L> DegradedRun<S, L> {
+    /// True when any machine was lost along the way.
+    pub fn is_degraded(&self) -> bool {
+        !self.dead.is_empty()
+    }
+}
+
+/// `(1/√M) Σ_i √c_i |i⟩` over an arbitrary per-element count table.
+fn target_from_totals(layout: &Layout, elem_reg: usize, totals: &[u64]) -> StateTable {
+    let m: u64 = totals.iter().sum();
+    let m = m as f64;
+    let entries = totals
+        .iter()
+        .enumerate()
+        .filter(|&(_, &c)| c > 0)
+        .map(|(i, &c)| {
+            let mut b = layout.zero_basis();
+            b[elem_reg] = i as u64;
+            (
+                b.into_boxed_slice(),
+                Complex64::from_real((c as f64 / m).sqrt()),
+            )
+        })
+        .collect();
+    StateTable::new(layout.clone(), entries)
+}
+
+/// The exact overlap `|⟨ψ_surv|ψ⟩|² = (Σ_i √(c_i^surv·c_i))²/(M_surv·M)`.
+fn fidelity_lower_bound(full: &[u64], surv: &[u64]) -> f64 {
+    let m: u64 = full.iter().sum();
+    let ms: u64 = surv.iter().sum();
+    if m == 0 || ms == 0 {
+        return 0.0;
+    }
+    let dot: f64 = full
+        .iter()
+        .zip(surv)
+        .map(|(&c, &cs)| (c as f64 * cs as f64).sqrt())
+        .sum();
+    (dot * dot) / (m as f64 * ms as f64)
+}
+
+/// Net action of one faulty `D`/`D†` given the answered totals of its
+/// forward (`tf`) and inverse (`ti`) cascade probes: the flag rotation
+/// keyed `(s + tf_i) mod (ν+1)`, plus a count shift by `tf_i − ti_i` when
+/// the passes disagreed (clean passes cancel exactly, keeping this
+/// bit-identical to the fused faultless `D`).
+fn apply_net_d<S: QuantumState>(
+    d: &DistributingOperator,
+    state: &mut S,
+    (elem, count, flag): (usize, usize, usize),
+    modulus: u64,
+    tf: &[u64],
+    ti: &[u64],
+    inverse: bool,
+) -> Result<(), SimError> {
+    state.apply_conditioned_unitary(flag, |b| {
+        let c = (b[count] + tf[b[elem] as usize]) % modulus;
+        let u = d.u_gate(c);
+        if inverse {
+            u.adjoint()
+        } else {
+            u
+        }
+    });
+    if tf != ti {
+        state.try_apply_permutation(|b| {
+            let i = b[elem] as usize;
+            let shift = (tf[i] + modulus - ti[i]) % modulus;
+            b[count] = (b[count] + shift) % modulus;
+        })?;
+    }
+    Ok(())
+}
+
+/// The shared restart loop: plan over the survivors, run one attempt
+/// through the faulty `D`, and either finish (reporting fidelities) or
+/// bury the newly dead machine and start over. One ledger spans all
+/// attempts.
+#[allow(clippy::too_many_arguments)]
+fn run_degraded<S, L, D>(
+    dataset: &DistributedDataset,
+    fault_plan: &FaultPlan,
+    policy: &RetryPolicy,
+    layout: L,
+    sim_layout: Layout,
+    elem: usize,
+    flag: usize,
+    anchor: StateTable,
+    mut apply_d: D,
+) -> Result<DegradedRun<S, L>, SampleError>
+where
+    S: QuantumState,
+    D: FnMut(
+        &mut S,
+        bool,
+        &[usize],
+        &FaultyOracleSet<'_>,
+        &mut RetrySession<'_>,
+    ) -> Result<(), OracleError>,
+{
+    let n = dataset.num_machines();
+    let ledger = QueryLedger::new(n);
+    let oracles = OracleSet::new(dataset, &ledger);
+    let faulty = FaultyOracleSet::new(&oracles, fault_plan);
+    let mut session = RetrySession::new(n, policy);
+    let full_totals = dataset.total_count_table();
+    let universe = dataset.universe();
+    let capacity = dataset.capacity();
+
+    let mut restarts = 0u64;
+    loop {
+        restarts += 1;
+        let survivors = session.survivors();
+        let mut surv_totals = vec![0u64; universe as usize];
+        for &j in &survivors {
+            for (e, c) in dataset.shards()[j].iter() {
+                surv_totals[e as usize] += c;
+            }
+        }
+        let m_surv: u64 = surv_totals.iter().sum();
+        if survivors.is_empty() || m_surv == 0 {
+            return Err(SampleError::NoSurvivingData {
+                dead: session.dead_machines(),
+            });
+        }
+
+        let a = m_surv as f64 / (capacity as f64 * universe as f64);
+        let plan = AaPlan::for_success_probability(a);
+        let mut state = S::from_table(&anchor);
+        let outcome = (|| -> Result<(), OracleError> {
+            apply_d(&mut state, false, &survivors, &faulty, &mut session)?;
+            try_execute_plan(&mut state, &plan, &anchor, flag, |s, inv| {
+                apply_d(s, inv, &survivors, &faulty, &mut session)
+            })
+        })();
+
+        match outcome {
+            Ok(()) => {
+                let target_surviving = target_from_totals(&sim_layout, elem, &surv_totals);
+                let target_full = target_from_totals(&sim_layout, elem, &full_totals);
+                let fidelity_vs_surviving = state.fidelity_with_table(&target_surviving);
+                let fidelity_vs_target = state.fidelity_with_table(&target_full);
+                return Ok(DegradedRun {
+                    state,
+                    layout,
+                    plan,
+                    queries: ledger.snapshot(),
+                    restarts,
+                    survivors,
+                    dead: session.dead_machines(),
+                    total_retries: session.total_retries(),
+                    backoff_ticks: session.backoff_ticks(),
+                    fidelity_bound: fidelity_lower_bound(&full_totals, &surv_totals),
+                    fidelity_vs_surviving,
+                    fidelity_vs_target,
+                    target_surviving,
+                });
+            }
+            Err(OracleError::MachineUnavailable { machine, .. }) => {
+                debug_assert!(
+                    session.is_dead(machine),
+                    "a give-up must kill the machine, or the restart loop spins"
+                );
+                if restarts > n as u64 {
+                    return Err(SampleError::NoSurvivingData {
+                        dead: session.dead_machines(),
+                    });
+                }
+                // Attempt's state is discarded; its charges remain.
+            }
+            Err(e @ OracleError::Sim(_)) => return Err(SampleError::Oracle(e)),
+        }
+    }
+}
+
+/// Runs the sequential sampler (Theorem 4.3) against a fault plan,
+/// degrading to the surviving machines per `policy`. Charges the faultless
+/// `2·|survivors|` queries per `D` plus every retry and failed attempt.
+pub fn sequential_sample_degraded<S: QuantumState>(
+    dataset: &DistributedDataset,
+    fault_plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> Result<DegradedRun<S, SequentialLayout>, SampleError> {
+    let layout = SequentialLayout::for_dataset(dataset);
+    let d = DistributingOperator::new(dataset.capacity());
+    let modulus = dataset.capacity() + 1;
+    let (elem, count, flag) = (layout.elem, layout.count, layout.flag);
+    let anchor = layout.uniform_anchor().clone();
+    let sim_layout = layout.layout.clone();
+    run_degraded(
+        dataset,
+        fault_plan,
+        policy,
+        layout,
+        sim_layout,
+        elem,
+        flag,
+        anchor,
+        move |state: &mut S, inverse, survivors, faulty, session| {
+            // Lemma 4.2 over the survivors: forward cascade ascending,
+            // inverse cascade descending — 2·|survivors| charged probes.
+            let fwd = faulty.probe_machines(survivors, session)?;
+            let rev: Vec<usize> = survivors.iter().rev().copied().collect();
+            let inv = faulty.probe_machines(&rev, session)?;
+            let tf = faulty.answered_total_table(&fwd);
+            let ti = faulty.answered_total_table(&inv);
+            apply_net_d(&d, state, (elem, count, flag), modulus, &tf, &ti, inverse)
+                .map_err(OracleError::from)
+        },
+    )
+}
+
+/// Runs the parallel sampler (Theorem 4.5) against a fault plan. Each `D`
+/// charges the faultless 4 composite rounds over the survivors (Lemma 4.4:
+/// compute/uncompute per count load); uncompute rounds carry their compute
+/// round's answer content but still probe — and can fail — like any round.
+pub fn parallel_sample_degraded<S: QuantumState>(
+    dataset: &DistributedDataset,
+    fault_plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> Result<DegradedRun<S, ParallelLayout>, SampleError> {
+    let layout = ParallelLayout::for_dataset(dataset);
+    let d = DistributingOperator::new(dataset.capacity());
+    let modulus = dataset.capacity() + 1;
+    let (elem, count, flag) = (layout.elem, layout.count, layout.flag);
+    let anchor = layout.uniform_anchor().clone();
+    let sim_layout = layout.layout.clone();
+    run_degraded(
+        dataset,
+        fault_plan,
+        policy,
+        layout,
+        sim_layout,
+        elem,
+        flag,
+        anchor,
+        move |state: &mut S, inverse, survivors, faulty, session| {
+            let r1 = faulty.probe_round_machines(survivors, session)?; // load: O
+            let _r2 = faulty.probe_round_machines(survivors, session)?; // load: O† (frozen to r1)
+            let r3 = faulty.probe_round_machines(survivors, session)?; // unload: O
+            let _r4 = faulty.probe_round_machines(survivors, session)?; // unload: O† (frozen to r3)
+            let tf = faulty.answered_total_table(&r1);
+            let ti = faulty.answered_total_table(&r3);
+            apply_net_d(&d, state, (elem, count, flag), modulus, &tf, &ti, inverse)
+                .map_err(OracleError::from)
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parallel::parallel_sample;
+    use crate::sequential::sequential_sample;
+    use dqs_db::{FaultEvent, FaultKind, Multiset};
+    use dqs_math::approx::approx_eq;
+    use dqs_sim::SparseState;
+
+    fn dataset() -> DistributedDataset {
+        // c = (2, 2, 0, 3) over N = 4, ν = 4; M = 7.
+        DistributedDataset::new(
+            4,
+            4,
+            vec![
+                Multiset::from_counts([(0, 2), (1, 1)]),
+                Multiset::from_counts([(1, 1), (3, 3)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn crash(machine_schedules: Vec<Vec<FaultEvent>>) -> FaultPlan {
+        FaultPlan::from_schedules(machine_schedules)
+    }
+
+    #[test]
+    fn fault_free_degraded_equals_faultless_bit_for_bit() {
+        let ds = dataset();
+        let plan = FaultPlan::none(2);
+        let policy = RetryPolicy::default();
+        let deg =
+            sequential_sample_degraded::<SparseState>(&ds, &plan, &policy).expect("no faults");
+        let base = sequential_sample::<SparseState>(&ds).expect("faultless");
+        assert_eq!(deg.state.to_table(), base.state.to_table());
+        assert_eq!(deg.queries, base.queries);
+        assert_eq!(deg.fidelity_bound, 1.0);
+        assert_eq!(deg.restarts, 1);
+        assert!(deg.dead.is_empty());
+        assert_eq!(deg.total_retries, 0);
+        assert_eq!(deg.backoff_ticks, 0);
+        assert!(!deg.is_degraded());
+    }
+
+    #[test]
+    fn fault_free_parallel_degraded_equals_faultless_bit_for_bit() {
+        let ds = dataset();
+        let plan = FaultPlan::none(2);
+        let policy = RetryPolicy::default();
+        let deg = parallel_sample_degraded::<SparseState>(&ds, &plan, &policy).expect("no faults");
+        let base = parallel_sample::<SparseState>(&ds).expect("faultless");
+        assert_eq!(deg.state.to_table(), base.state.to_table());
+        assert_eq!(deg.queries, base.queries);
+        assert_eq!(deg.fidelity_bound, 1.0);
+    }
+
+    #[test]
+    fn crashed_machine_degrades_with_exact_fidelity_bound() {
+        let ds = dataset();
+        // Machine 1 (holding c_1 = 1, c_3 = 3) is dead from the start.
+        let plan = crash(vec![
+            vec![],
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Crashed,
+            }],
+        ]);
+        let policy = RetryPolicy::default();
+        let deg = sequential_sample_degraded::<SparseState>(&ds, &plan, &policy).expect("degrades");
+        assert_eq!(deg.dead, vec![1]);
+        assert_eq!(deg.survivors, vec![0]);
+        assert_eq!(deg.restarts, 2);
+        assert!(deg.is_degraded());
+        // Exact bound: survivors hold c^surv = (2,1,0,0), M_surv = 3;
+        // (√(2·2) + √(1·2))²/(3·7) = (2 + √2)²/21.
+        let expected = (2.0 + 2f64.sqrt()).powi(2) / 21.0;
+        assert!(approx_eq(deg.fidelity_bound, expected));
+        // Pure data loss: the run lands exactly on |ψ_surv⟩, so the
+        // measured fidelity against the true target meets the bound.
+        assert!(deg.fidelity_vs_surviving > 1.0 - 1e-9);
+        assert!(
+            (deg.fidelity_vs_target - deg.fidelity_bound).abs() < 1e-9,
+            "{} vs bound {}",
+            deg.fidelity_vs_target,
+            deg.fidelity_bound
+        );
+        // The probe that discovered the crash is charged.
+        assert_eq!(deg.queries.per_machine[1], 1);
+        assert!(deg.queries.per_machine[0] > 0);
+    }
+
+    #[test]
+    fn parallel_crash_degrades_identically() {
+        let ds = dataset();
+        let plan = crash(vec![
+            vec![],
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Crashed,
+            }],
+        ]);
+        let policy = RetryPolicy::default();
+        let deg = parallel_sample_degraded::<SparseState>(&ds, &plan, &policy).expect("degrades");
+        let seq = sequential_sample_degraded::<SparseState>(&ds, &plan, &policy).expect("degrades");
+        assert_eq!(deg.dead, vec![1]);
+        assert!(approx_eq(deg.fidelity_bound, seq.fidelity_bound));
+        assert!((deg.fidelity_vs_target - deg.fidelity_bound).abs() < 1e-9);
+        // The failed attempt's round is charged, then the surviving run
+        // pays 4 rounds per D.
+        assert!(deg.queries.parallel_rounds > 4);
+        assert_eq!(deg.queries.total_sequential(), 0);
+    }
+
+    #[test]
+    fn transient_faults_retry_with_backoff_and_recover_exactly() {
+        let ds = dataset();
+        let plan = crash(vec![
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Transient { fail_count: 2 },
+            }],
+            vec![],
+        ]);
+        let policy = RetryPolicy {
+            max_retries: 5,
+            breaker_threshold: 6,
+            ..RetryPolicy::default()
+        };
+        let deg = sequential_sample_degraded::<SparseState>(&ds, &plan, &policy).expect("recovers");
+        assert!(deg.dead.is_empty());
+        assert_eq!(deg.restarts, 1);
+        assert_eq!(deg.total_retries, 2);
+        // Backoff: base·2⁰ + base·2¹ = 3 ticks.
+        assert_eq!(deg.backoff_ticks, 3);
+        // Full recovery: exact sampling state.
+        assert_eq!(deg.fidelity_bound, 1.0);
+        assert!(deg.fidelity_vs_target > 1.0 - 1e-9);
+        // The two failed probes are charged on top of the faultless count.
+        let base = sequential_sample::<SparseState>(&ds).expect("faultless");
+        assert_eq!(deg.queries.per_machine[0], base.queries.per_machine[0] + 2);
+        assert_eq!(deg.queries.per_machine[1], base.queries.per_machine[1]);
+    }
+
+    #[test]
+    fn circuit_breaker_kills_flappy_machine() {
+        let ds = dataset();
+        // Machine 0 fails 10 consecutive queries — more than the breaker
+        // tolerates — so it is declared dead even though the fault is
+        // transient in principle.
+        let plan = crash(vec![
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Transient { fail_count: 10 },
+            }],
+            vec![],
+        ]);
+        let policy = RetryPolicy::default(); // breaker at 3
+        let deg = sequential_sample_degraded::<SparseState>(&ds, &plan, &policy).expect("degrades");
+        assert_eq!(deg.dead, vec![0]);
+        assert_eq!(deg.survivors, vec![1]);
+        assert_eq!(deg.restarts, 2);
+        assert_eq!(deg.total_retries, 2, "two retries before the breaker");
+        // All three failed probes of machine 0 are charged.
+        assert_eq!(deg.queries.per_machine[0], 3);
+        assert!(deg.fidelity_vs_surviving > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn corrupt_answers_degrade_measured_fidelity_not_the_bound() {
+        let ds = dataset();
+        let plan = crash(vec![
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Corrupt { delta: 1 },
+            }],
+            vec![],
+        ]);
+        let policy = RetryPolicy::default();
+        let deg = sequential_sample_degraded::<SparseState>(&ds, &plan, &policy).expect("runs");
+        // Nobody died, so the data-loss bound is trivial…
+        assert!(deg.dead.is_empty());
+        assert_eq!(deg.fidelity_bound, 1.0);
+        // …but the lying machine twisted the run away from |ψ_surv⟩ = |ψ⟩.
+        assert!(
+            deg.fidelity_vs_surviving < 1.0 - 1e-6,
+            "corruption must show up in the measured fidelity: {}",
+            deg.fidelity_vs_surviving
+        );
+        // Still a unit vector — the faulty D stays unitary.
+        assert!(approx_eq(deg.state.norm(), 1.0));
+    }
+
+    #[test]
+    fn all_machines_dead_is_a_typed_error() {
+        let ds = dataset();
+        let plan = crash(vec![
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Crashed,
+            }],
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Crashed,
+            }],
+        ]);
+        let policy = RetryPolicy::default();
+        let err = match sequential_sample_degraded::<SparseState>(&ds, &plan, &policy) {
+            Ok(_) => panic!("sampling with every machine dead must fail"),
+            Err(e) => e,
+        };
+        assert_eq!(err, SampleError::NoSurvivingData { dead: vec![0, 1] });
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_capped() {
+        let p = RetryPolicy {
+            backoff_base: 2,
+            backoff_cap: 10,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(p.backoff(0), 2);
+        assert_eq!(p.backoff(1), 4);
+        assert_eq!(p.backoff(2), 8);
+        assert_eq!(p.backoff(3), 10, "capped");
+        assert_eq!(p.backoff(60), 10, "no overflow at large indices");
+    }
+}

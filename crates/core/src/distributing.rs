@@ -79,8 +79,9 @@ impl DistributingOperator {
 
     /// The input-independent rotation `𝒰` of Eq. (6), as a 2×2 matrix on the
     /// flag register given the current count-register value `c`:
-    /// `𝒰|c,0⟩ = √(c/ν)|c,0⟩ + √((ν−c)/ν)|c,1⟩`.
-    fn u_gate(&self, count: u64) -> MatC {
+    /// `𝒰|c,0⟩ = √(c/ν)|c,0⟩ + √((ν−c)/ν)|c,1⟩`. Crate-visible so the
+    /// degraded sampler can rebuild the fused `D` from faulty answers.
+    pub(crate) fn u_gate(&self, count: u64) -> MatC {
         let nu = self.capacity as f64;
         debug_assert!(count <= self.capacity, "count exceeds capacity");
         let cos = (count as f64 / nu).sqrt();

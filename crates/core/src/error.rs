@@ -1,0 +1,77 @@
+//! The crate-level error type for fallible sampling entry points.
+//!
+//! The faultless algorithms of Theorems 4.3/4.5 cannot fail on a valid
+//! dataset, but the public entry points return `Result` uniformly so the
+//! fault-injecting and estimating variants compose without `unwrap` walls
+//! at call sites.
+
+use dqs_db::OracleError;
+use std::fmt;
+
+/// Everything that can go wrong in a sampling run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleError {
+    /// The oracle layer failed and the retry policy could not absorb it
+    /// (only reachable through the fault-injecting entry points).
+    Oracle(OracleError),
+    /// Degraded mode: every machine is dead, or the survivors hold no data
+    /// (`M_surv = 0`) — there is nothing left to sample.
+    NoSurvivingData {
+        /// The machines the circuit breaker declared dead.
+        dead: Vec<usize>,
+    },
+    /// Estimation: every shot measured flag 1, so `M̂ = 0` and no
+    /// amplification schedule exists. Retry with a larger shot budget.
+    NoFlagZeroOutcomes {
+        /// How many shots were spent.
+        shots: u64,
+    },
+    /// Estimation was asked to run with zero shots.
+    InvalidShotBudget,
+}
+
+impl fmt::Display for SampleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SampleError::Oracle(e) => write!(f, "oracle failure: {e}"),
+            SampleError::NoSurvivingData { dead } => {
+                write!(f, "no surviving data (dead machines: {dead:?})")
+            }
+            SampleError::NoFlagZeroOutcomes { shots } => {
+                write!(
+                    f,
+                    "no flag-0 outcomes in {shots} shots; increase the shot budget"
+                )
+            }
+            SampleError::InvalidShotBudget => write!(f, "shot budget must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
+impl From<OracleError> for SampleError {
+    fn from(e: OracleError) -> Self {
+        SampleError::Oracle(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SampleError::NoSurvivingData { dead: vec![0, 2] };
+        assert!(e.to_string().contains("[0, 2]"));
+        assert!(SampleError::InvalidShotBudget
+            .to_string()
+            .contains("positive"));
+        let o = SampleError::from(OracleError::MachineUnavailable {
+            machine: 1,
+            attempt: 7,
+            permanent: true,
+        });
+        assert!(o.to_string().contains("machine 1"));
+    }
+}

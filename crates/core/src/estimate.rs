@@ -17,6 +17,7 @@
 
 use crate::amplify::{execute_plan, AaPlan};
 use crate::distributing::DistributingOperator;
+use crate::error::SampleError;
 use crate::layouts::SequentialLayout;
 use dqs_db::{DistributedDataset, LedgerSnapshot, OracleSet, QueryLedger};
 use dqs_sim::{measure_register, QuantumState, SparseState};
@@ -37,17 +38,20 @@ pub struct EstimationRun {
 
 /// Estimates `M` with `shots` prepare-measure rounds.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if every shot lands on flag 1 (all-empty estimate) — with
-/// `shots ≳ 3νN/M` this has vanishing probability; callers should retry
-/// with more shots.
+/// [`SampleError::InvalidShotBudget`] for `shots == 0`, and
+/// [`SampleError::NoFlagZeroOutcomes`] when every shot lands on flag 1
+/// (all-empty estimate) — with `shots ≳ 3νN/M` the latter has vanishing
+/// probability; retry with more shots.
 pub fn estimate_total_count(
     dataset: &DistributedDataset,
     shots: u64,
     rng: &mut impl Rng,
-) -> EstimationRun {
-    assert!(shots > 0);
+) -> Result<EstimationRun, SampleError> {
+    if shots == 0 {
+        return Err(SampleError::InvalidShotBudget);
+    }
     let ledger = QueryLedger::new(dataset.num_machines());
     let oracles = OracleSet::new(dataset, &ledger);
     let layout = SequentialLayout::for_dataset(dataset);
@@ -62,17 +66,16 @@ pub fn estimate_total_count(
         let (flag, _) = measure_register(&mut state, layout.flag, rng);
         zeros += u64::from(flag == 0);
     }
-    assert!(
-        zeros > 0,
-        "no flag-0 outcomes in {shots} shots; increase the shot budget"
-    );
+    if zeros == 0 {
+        return Err(SampleError::NoFlagZeroOutcomes { shots });
+    }
     let a_hat = zeros as f64 / shots as f64;
-    EstimationRun {
+    Ok(EstimationRun {
         estimated_total: a_hat * dataset.capacity() as f64 * dataset.universe() as f64,
         estimated_a: a_hat,
         shots,
         queries: ledger.snapshot(),
-    }
+    })
 }
 
 /// Result of the adaptive (estimated-`M`) sampler.
@@ -95,8 +98,8 @@ pub fn sequential_sample_adaptive(
     dataset: &DistributedDataset,
     shots: u64,
     rng: &mut impl Rng,
-) -> AdaptiveRun {
-    let estimation = estimate_total_count(dataset, shots, rng);
+) -> Result<AdaptiveRun, SampleError> {
+    let estimation = estimate_total_count(dataset, shots, rng)?;
     let plan = AaPlan::for_success_probability(estimation.estimated_a.clamp(1e-12, 1.0));
 
     let ledger = QueryLedger::new(dataset.num_machines());
@@ -113,12 +116,12 @@ pub fn sequential_sample_adaptive(
 
     let target = dataset.target_state(&layout.layout, layout.elem);
     let fidelity = state.fidelity_with_table(&target);
-    AdaptiveRun {
+    Ok(AdaptiveRun {
         estimation,
         plan,
         sampling_queries: ledger.snapshot(),
         fidelity,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -145,7 +148,7 @@ mod tests {
     fn estimate_converges_to_true_total() {
         let ds = dataset();
         let mut rng = StdRng::seed_from_u64(1);
-        let run = estimate_total_count(&ds, 4000, &mut rng);
+        let run = estimate_total_count(&ds, 4000, &mut rng).expect("plenty of shots");
         let rel = (run.estimated_total - ds.total_count() as f64).abs() / ds.total_count() as f64;
         assert!(rel < 0.08, "relative error {rel} after 4000 shots");
     }
@@ -154,7 +157,7 @@ mod tests {
     fn estimation_query_cost_is_2n_per_shot() {
         let ds = dataset();
         let mut rng = StdRng::seed_from_u64(2);
-        let run = estimate_total_count(&ds, 50, &mut rng);
+        let run = estimate_total_count(&ds, 50, &mut rng).expect("plenty of shots");
         assert_eq!(
             run.queries.total_sequential(),
             50 * 2 * ds.num_machines() as u64
@@ -169,9 +172,13 @@ mod tests {
         // average a few trials to damp the estimator's randomness
         for seed in 0..5u64 {
             let mut rng = StdRng::seed_from_u64(seed);
-            f_small += sequential_sample_adaptive(&ds, 30, &mut rng).fidelity;
+            f_small += sequential_sample_adaptive(&ds, 30, &mut rng)
+                .expect("a = 0.375 shows up within 30 shots")
+                .fidelity;
             let mut rng = StdRng::seed_from_u64(100 + seed);
-            f_large += sequential_sample_adaptive(&ds, 3000, &mut rng).fidelity;
+            f_large += sequential_sample_adaptive(&ds, 3000, &mut rng)
+                .expect("plenty of shots")
+                .fidelity;
         }
         f_small /= 5.0;
         f_large /= 5.0;
@@ -191,7 +198,29 @@ mod tests {
         // true probability through a huge shot count upper-bounding drift.
         let ds = dataset();
         let mut rng = StdRng::seed_from_u64(9);
-        let run = sequential_sample_adaptive(&ds, 20_000, &mut rng);
+        let run = sequential_sample_adaptive(&ds, 20_000, &mut rng).expect("plenty of shots");
         assert!(run.fidelity > 0.999, "fidelity {}", run.fidelity);
+    }
+
+    #[test]
+    fn shot_budget_errors_are_typed() {
+        let ds = dataset();
+        let mut rng = StdRng::seed_from_u64(3);
+        let err = estimate_total_count(&ds, 0, &mut rng).unwrap_err();
+        assert_eq!(err, SampleError::InvalidShotBudget);
+        assert_eq!(
+            sequential_sample_adaptive(&ds, 0, &mut rng).unwrap_err(),
+            SampleError::InvalidShotBudget
+        );
+    }
+
+    #[test]
+    fn starved_estimate_is_a_typed_error() {
+        // a = 1/(64·64) = 2.4e-4 — a single shot essentially always reads
+        // flag 1, so the estimator must report the failure, not panic.
+        let ds = DistributedDataset::new(64, 64, vec![Multiset::from_counts([(0, 1)])]).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let err = estimate_total_count(&ds, 1, &mut rng).unwrap_err();
+        assert_eq!(err, SampleError::NoFlagZeroOutcomes { shots: 1 });
     }
 }

@@ -21,6 +21,12 @@
 //!   structural obliviousness checks.
 //! * [`estimate`] — extension: estimate `M` through the oracle interface
 //!   (the paper assumes it public) and sample adaptively.
+//! * [`degraded`] — extension: run either sampler against a
+//!   [`dqs_db::FaultPlan`] with bounded retries, deterministic backoff, a
+//!   per-machine circuit breaker, and graceful degradation to the
+//!   surviving machines with an exact fidelity lower bound.
+//! * [`error`] — the crate-level [`SampleError`] returned by every
+//!   sampling entry point.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,19 +34,25 @@
 pub mod amplify;
 pub mod circuit;
 pub mod cost;
+pub mod degraded;
 pub mod distributing;
+pub mod error;
 pub mod estimate;
 pub mod layouts;
 pub mod parallel;
 pub mod sequential;
 
-pub use amplify::{AaPlan, FinalRotation};
+pub use amplify::{try_execute_plan, AaPlan, FinalRotation};
 pub use circuit::{
     compile_distributing, compile_parallel, compile_parallel_optimized, compile_sequential,
     compile_sequential_optimized,
 };
 pub use cost::{parallel_cost, sequential_cost, CostModel};
+pub use degraded::{
+    parallel_sample_degraded, sequential_sample_degraded, DegradedRun, RetryPolicy, RetrySession,
+};
 pub use distributing::DistributingOperator;
+pub use error::SampleError;
 pub use estimate::{estimate_total_count, sequential_sample_adaptive, AdaptiveRun, EstimationRun};
 pub use layouts::{ParallelLayout, SequentialLayout};
 pub use parallel::{parallel_sample, ParallelRun};

@@ -8,6 +8,7 @@
 use crate::amplify::{execute_plan, AaPlan};
 use crate::cost::{cost_model, CostModel};
 use crate::distributing::DistributingOperator;
+use crate::error::SampleError;
 use crate::layouts::ParallelLayout;
 use dqs_db::{DistributedDataset, LedgerSnapshot, OracleSet, QueryLedger};
 use dqs_sim::{QuantumState, StateTable};
@@ -32,7 +33,12 @@ pub struct ParallelRun<S> {
 }
 
 /// Runs Theorem 4.5's algorithm.
-pub fn parallel_sample<S: QuantumState>(dataset: &DistributedDataset) -> ParallelRun<S> {
+///
+/// The faultless oracles cannot fail on a valid dataset; the `Result`
+/// keeps the signature uniform with [`crate::degraded`].
+pub fn parallel_sample<S: QuantumState>(
+    dataset: &DistributedDataset,
+) -> Result<ParallelRun<S>, SampleError> {
     let ledger = QueryLedger::new(dataset.num_machines());
     let oracles = OracleSet::new(dataset, &ledger);
 
@@ -52,7 +58,7 @@ pub fn parallel_sample<S: QuantumState>(dataset: &DistributedDataset) -> Paralle
 
     let target = dataset.target_state(&layout.layout, layout.elem);
     let fidelity = state.fidelity_with_table(&target);
-    ParallelRun {
+    Ok(ParallelRun {
         state,
         layout,
         plan,
@@ -60,7 +66,7 @@ pub fn parallel_sample<S: QuantumState>(dataset: &DistributedDataset) -> Paralle
         cost: cost_model(&params),
         fidelity,
         target,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -85,14 +91,14 @@ mod tests {
 
     #[test]
     fn parallel_output_is_exact() {
-        let run = parallel_sample::<SparseState>(&dataset());
+        let run = parallel_sample::<SparseState>(&dataset()).expect("faultless run");
         assert!(run.fidelity > 1.0 - 1e-9, "fidelity {}", run.fidelity);
         assert!(approx_eq(run.state.norm(), 1.0));
     }
 
     #[test]
     fn round_count_matches_cost_model_and_is_n_free() {
-        let run = parallel_sample::<SparseState>(&dataset());
+        let run = parallel_sample::<SparseState>(&dataset()).expect("faultless run");
         assert_eq!(run.queries.parallel_rounds, run.cost.parallel_rounds);
         assert_eq!(run.queries.total_sequential(), 0);
         assert_eq!(
@@ -104,8 +110,8 @@ mod tests {
     #[test]
     fn parallel_and_sequential_produce_the_same_distribution() {
         let ds = dataset();
-        let par = parallel_sample::<SparseState>(&ds);
-        let seq = sequential_sample::<SparseState>(&ds);
+        let par = parallel_sample::<SparseState>(&ds).expect("faultless run");
+        let seq = sequential_sample::<SparseState>(&ds).expect("faultless run");
         let p_par = par.state.register_probabilities(par.layout.elem);
         let p_seq = seq.state.register_probabilities(seq.layout.elem);
         for i in 0..ds.universe() as usize {
@@ -115,7 +121,7 @@ mod tests {
 
     #[test]
     fn ancillas_end_clean() {
-        let run = parallel_sample::<SparseState>(&dataset());
+        let run = parallel_sample::<SparseState>(&dataset()).expect("faultless run");
         for (b, _) in run.state.to_table().iter() {
             for j in 0..run.layout.machines() {
                 assert_eq!(b[run.layout.anc_elem[j]], 0);
@@ -137,8 +143,8 @@ mod tests {
             Multiset::new(),
         ];
         let ds4 = DistributedDataset::new(16, 4, shards4).unwrap();
-        let r1 = parallel_sample::<SparseState>(&ds1);
-        let r4 = parallel_sample::<SparseState>(&ds4);
+        let r1 = parallel_sample::<SparseState>(&ds1).expect("faultless run");
+        let r4 = parallel_sample::<SparseState>(&ds4).expect("faultless run");
         assert_eq!(r1.queries.parallel_rounds, r4.queries.parallel_rounds);
         assert!(r4.fidelity > 1.0 - 1e-9);
     }

@@ -10,6 +10,7 @@
 use crate::amplify::{execute_plan, AaPlan};
 use crate::cost::{cost_model, CostModel};
 use crate::distributing::DistributingOperator;
+use crate::error::SampleError;
 use crate::layouts::SequentialLayout;
 use dqs_db::{DistributedDataset, LedgerSnapshot, OracleSet, QueryLedger, UpdateLog};
 use dqs_sim::{QuantumState, StateTable};
@@ -34,7 +35,13 @@ pub struct SequentialRun<S> {
 }
 
 /// Runs Theorem 4.3's algorithm over a static dataset.
-pub fn sequential_sample<S: QuantumState>(dataset: &DistributedDataset) -> SequentialRun<S> {
+///
+/// The faultless oracles cannot fail on a valid dataset, so the `Err` arm
+/// is unreachable here — the `Result` keeps the signature uniform with the
+/// fault-injecting [`crate::degraded`] entry points.
+pub fn sequential_sample<S: QuantumState>(
+    dataset: &DistributedDataset,
+) -> Result<SequentialRun<S>, SampleError> {
     sequential_sample_with_realization(dataset, true)
 }
 
@@ -46,7 +53,7 @@ pub fn sequential_sample<S: QuantumState>(dataset: &DistributedDataset) -> Seque
 pub fn sequential_sample_with_realization<S: QuantumState>(
     dataset: &DistributedDataset,
     fused: bool,
-) -> SequentialRun<S> {
+) -> Result<SequentialRun<S>, SampleError> {
     let ledger = QueryLedger::new(dataset.num_machines());
     let oracles = OracleSet::new(dataset, &ledger);
     run_with_oracles(dataset, &oracles, &ledger, None, fused)
@@ -58,7 +65,7 @@ pub fn sequential_sample_with_realization<S: QuantumState>(
 pub fn sequential_sample_with_updates<S: QuantumState>(
     dataset: &DistributedDataset,
     updates: &UpdateLog,
-) -> SequentialRun<S> {
+) -> Result<SequentialRun<S>, SampleError> {
     let ledger = QueryLedger::new(dataset.num_machines());
     let oracles = OracleSet::with_updates(dataset, &ledger, updates);
     run_with_oracles(dataset, &oracles, &ledger, Some(updates), true)
@@ -70,7 +77,7 @@ fn run_with_oracles<S: QuantumState>(
     ledger: &QueryLedger,
     updates: Option<&UpdateLog>,
     fused: bool,
-) -> SequentialRun<S> {
+) -> Result<SequentialRun<S>, SampleError> {
     let effective = match updates {
         Some(log) => log.apply_to(dataset),
         None => dataset.clone(),
@@ -94,7 +101,7 @@ fn run_with_oracles<S: QuantumState>(
 
     let target = effective.target_state(&layout.layout, layout.elem);
     let fidelity = state.fidelity_with_table(&target);
-    SequentialRun {
+    Ok(SequentialRun {
         state,
         layout,
         plan,
@@ -102,7 +109,7 @@ fn run_with_oracles<S: QuantumState>(
         cost: cost_model(&params),
         fidelity,
         target,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -126,7 +133,7 @@ mod tests {
 
     #[test]
     fn output_state_is_exact_sampling_state() {
-        let run = sequential_sample::<SparseState>(&dataset());
+        let run = sequential_sample::<SparseState>(&dataset()).expect("faultless run");
         assert!(
             run.fidelity > 1.0 - 1e-9,
             "zero-error AA must land exactly: fidelity {}",
@@ -137,7 +144,7 @@ mod tests {
 
     #[test]
     fn query_count_matches_cost_model_exactly() {
-        let run = sequential_sample::<SparseState>(&dataset());
+        let run = sequential_sample::<SparseState>(&dataset()).expect("faultless run");
         assert_eq!(run.queries.total_sequential(), run.cost.sequential_queries);
         assert_eq!(run.queries.parallel_rounds, 0);
         // every machine is queried equally often (obliviousness)
@@ -148,8 +155,8 @@ mod tests {
     #[test]
     fn dense_and_sparse_backends_agree() {
         let ds = dataset();
-        let a = sequential_sample::<SparseState>(&ds);
-        let b = sequential_sample::<DenseState>(&ds);
+        let a = sequential_sample::<SparseState>(&ds).expect("faultless run");
+        let b = sequential_sample::<DenseState>(&ds).expect("faultless run");
         assert!(a.state.to_table().distance_sqr(&b.state.to_table()) < 1e-15);
         assert_eq!(a.queries, b.queries);
     }
@@ -157,7 +164,7 @@ mod tests {
     #[test]
     fn output_marginal_matches_frequencies() {
         let ds = dataset();
-        let run = sequential_sample::<SparseState>(&ds);
+        let run = sequential_sample::<SparseState>(&ds).expect("faultless run");
         let probs = run.state.register_probabilities(run.layout.elem);
         let m_total = ds.total_count() as f64;
         for i in 0..ds.universe() {
@@ -175,7 +182,7 @@ mod tests {
         let ds =
             DistributedDataset::new(16, 2, vec![Multiset::from_counts([(0, 1), (7, 2), (9, 1)])])
                 .unwrap();
-        let run = sequential_sample::<SparseState>(&ds);
+        let run = sequential_sample::<SparseState>(&ds).expect("faultless run");
         assert!(run.fidelity > 1.0 - 1e-9);
         assert_eq!(run.queries.per_machine.len(), 1);
     }
@@ -186,7 +193,7 @@ mod tests {
         let mut log = UpdateLog::new();
         log.push(UpdateOp::insert(0, 3)); // brand-new element 3
         log.push(UpdateOp::delete(1, 6)); // 6: 3 → 2
-        let run = sequential_sample_with_updates::<SparseState>(&ds, &log);
+        let run = sequential_sample_with_updates::<SparseState>(&ds, &log).expect("faultless run");
         assert!(run.fidelity > 1.0 - 1e-9);
         // the target itself is the updated distribution
         let updated = log.apply_to(&ds);
@@ -202,7 +209,7 @@ mod tests {
             .map(|_| Multiset::from_counts((0..4u64).map(|i| (i, 1))))
             .collect();
         let ds = DistributedDataset::new(4, 2, shards).unwrap();
-        let run = sequential_sample::<SparseState>(&ds);
+        let run = sequential_sample::<SparseState>(&ds).expect("faultless run");
         assert_eq!(run.plan.total_iterations(), 0);
         assert_eq!(run.queries.total_sequential(), 2 * n_machines as u64);
         assert!(run.fidelity > 1.0 - 1e-9);
@@ -212,7 +219,7 @@ mod tests {
     fn measurement_sampling_follows_data_frequencies() {
         use rand::SeedableRng;
         let ds = dataset();
-        let run = sequential_sample::<SparseState>(&ds);
+        let run = sequential_sample::<SparseState>(&ds).expect("faultless run");
         let mut rng = rand::rngs::StdRng::seed_from_u64(42);
         let trials = 4000usize;
         let mut hits = vec![0usize; ds.universe() as usize];

@@ -1,0 +1,171 @@
+//! Property-based checks for the fault-injection layer's replay contract:
+//! on *random* datasets and *random* seeded fault plans,
+//!
+//! 1. a degraded run is bit-for-bit deterministic — replaying the same
+//!    `(dataset, plan, policy)` reproduces the identical state table,
+//!    ledger snapshot, dead set, and retry/backoff accounting;
+//! 2. the sparse and dense backends agree on every observable (ledger,
+//!    breaker decisions, fidelities, output distribution);
+//! 3. a zero-fault plan is indistinguishable from the faultless samplers —
+//!    identical state tables *and* identical ledger snapshots, sequential
+//!    and parallel alike.
+
+use dqs_core::{
+    parallel_sample, parallel_sample_degraded, sequential_sample, sequential_sample_degraded,
+    DegradedRun, RetryPolicy,
+};
+use dqs_db::{DistributedDataset, FaultPlan, FaultRates, Multiset};
+use dqs_sim::{DenseState, QuantumState, SparseState};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// A random dataset: `universe ∈ [2,8]`, `ν ∈ [1,4]`, `1..=3` machines,
+/// nonempty (same shape as the fused-equivalence suite).
+fn dataset_strategy() -> impl Strategy<Value = DistributedDataset> {
+    (2u64..=8, 1u64..=4, 1usize..=3)
+        .prop_flat_map(|(universe, capacity, machines)| {
+            let counts = proptest::collection::vec(
+                proptest::collection::vec(0..=capacity, universe as usize),
+                machines,
+            );
+            (Just(universe), Just(capacity), counts)
+        })
+        .prop_map(|(universe, capacity, mut counts)| {
+            for i in 0..universe as usize {
+                let mut running = 0;
+                for shard in counts.iter_mut() {
+                    shard[i] = shard[i].min(capacity - running);
+                    running += shard[i];
+                }
+            }
+            if counts.iter().all(|shard| shard.iter().all(|&c| c == 0)) {
+                counts[0][0] = 1;
+            }
+            let shards = counts
+                .into_iter()
+                .map(|per_elem| {
+                    Multiset::from_counts(
+                        per_elem
+                            .into_iter()
+                            .enumerate()
+                            .filter(|(_, c)| *c > 0)
+                            .map(|(i, c)| (i as u64, c)),
+                    )
+                })
+                .collect();
+            DistributedDataset::new(universe, capacity, shards).expect("valid random dataset")
+        })
+}
+
+/// Flattens a run into its comparable observables (the state is compared
+/// separately, bit-exactly or by distance depending on the claim).
+fn observables<S: QuantumState, L>(
+    run: &DegradedRun<S, L>,
+) -> (Vec<u64>, u64, u64, Vec<usize>, Vec<usize>, u64, u64) {
+    (
+        run.queries.per_machine.clone(),
+        run.queries.parallel_rounds,
+        run.restarts,
+        run.survivors.clone(),
+        run.dead.clone(),
+        run.total_retries,
+        run.backoff_ticks,
+    )
+}
+
+fn ok<T>(r: Result<T, dqs_core::SampleError>) -> Result<T, TestCaseError> {
+    r.map_err(|e| TestCaseError::fail(format!("unexpected sampling error: {e}")))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn degraded_runs_replay_bit_identically_and_backends_agree(
+        ds in dataset_strategy(),
+        seed in 0u64..512,
+        rate_permille in 0u64..=400,
+    ) {
+        let rate = rate_permille as f64 / 1000.0;
+        // Onsets inside the window machines are actually queried in, so
+        // the generated faults are non-vacuous.
+        let rates = FaultRates::uniform(rate, 16);
+        let plan = FaultPlan::seeded(ds.num_machines(), seed, &rates);
+        // Seeded generation itself must be deterministic.
+        prop_assert_eq!(&plan, &FaultPlan::seeded(ds.num_machines(), seed, &rates));
+        let policy = RetryPolicy::default();
+
+        let a = sequential_sample_degraded::<SparseState>(&ds, &plan, &policy);
+        let b = sequential_sample_degraded::<SparseState>(&ds, &plan, &policy);
+        let c = sequential_sample_degraded::<DenseState>(&ds, &plan, &policy);
+        match (a, b, c) {
+            (Ok(a), Ok(b), Ok(c)) => {
+                // Replay: bit-identical state and accounting.
+                prop_assert_eq!(a.state.to_table(), b.state.to_table());
+                prop_assert_eq!(observables(&a), observables(&b));
+                // Backends: identical accounting, same state up to
+                // float-roundoff-free equality of the table distance.
+                prop_assert_eq!(observables(&a), observables(&c));
+                prop_assert!(
+                    a.state.to_table().distance_sqr(&c.state.to_table()) < 1e-18,
+                    "sparse and dense degraded states diverged"
+                );
+                prop_assert!((a.fidelity_bound - c.fidelity_bound).abs() < 1e-12);
+                prop_assert!((0.0..=1.0 + 1e-9).contains(&a.fidelity_bound));
+                // The run state stays a unit vector whatever the faults did.
+                prop_assert!((a.state.norm() - 1.0).abs() < 1e-9);
+            }
+            (Err(a), Err(b), Err(c)) => {
+                prop_assert_eq!(&a, &b);
+                prop_assert_eq!(&a, &c);
+            }
+            _ => prop_assert!(false, "replays/backends disagreed on run outcome"),
+        }
+    }
+
+    #[test]
+    fn parallel_degraded_runs_replay_bit_identically(
+        ds in dataset_strategy(),
+        seed in 0u64..512,
+        rate_permille in 0u64..=400,
+    ) {
+        let rate = rate_permille as f64 / 1000.0;
+        let plan = FaultPlan::seeded(ds.num_machines(), seed, &FaultRates::uniform(rate, 16));
+        let policy = RetryPolicy::default();
+        let a = parallel_sample_degraded::<SparseState>(&ds, &plan, &policy);
+        let b = parallel_sample_degraded::<SparseState>(&ds, &plan, &policy);
+        match (a, b) {
+            (Ok(a), Ok(b)) => {
+                prop_assert_eq!(a.state.to_table(), b.state.to_table());
+                prop_assert_eq!(observables(&a), observables(&b));
+                // Parallel charging is rounds-only: the per-machine
+                // sequential counters must stay untouched.
+                prop_assert_eq!(a.queries.total_sequential(), 0);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(&a, &b),
+            _ => prop_assert!(false, "parallel replay diverged"),
+        }
+    }
+
+    #[test]
+    fn zero_fault_plan_is_indistinguishable_from_faultless(
+        ds in dataset_strategy(),
+    ) {
+        let plan = FaultPlan::none(ds.num_machines());
+        prop_assert!(plan.is_fault_free());
+        let policy = RetryPolicy::default();
+
+        let deg = ok(sequential_sample_degraded::<SparseState>(&ds, &plan, &policy))?;
+        let base = ok(sequential_sample::<SparseState>(&ds))?;
+        prop_assert_eq!(deg.state.to_table(), base.state.to_table());
+        prop_assert_eq!(&deg.queries, &base.queries);
+        prop_assert_eq!(deg.restarts, 1);
+        prop_assert_eq!(deg.total_retries, 0);
+        prop_assert_eq!(deg.fidelity_bound, 1.0);
+
+        let degp = ok(parallel_sample_degraded::<SparseState>(&ds, &plan, &policy))?;
+        let basep = ok(parallel_sample::<SparseState>(&ds))?;
+        prop_assert_eq!(degp.state.to_table(), basep.state.to_table());
+        prop_assert_eq!(&degp.queries, &basep.queries);
+    }
+}

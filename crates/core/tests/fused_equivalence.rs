@@ -175,8 +175,10 @@ fn fused_run_ledger_and_cost_model_match_gate_by_gate() {
     let grid: &[(u64, u64, usize)] = &[(8, 4, 2), (16, 8, 3), (32, 6, 1)];
     for &(universe, total, machines) in grid {
         let ds = dqs_workloads::WorkloadSpec::small_uniform(universe, total, machines, 7).build();
-        let fused = sequential_sample_with_realization::<SparseState>(&ds, true);
-        let gbg = sequential_sample_with_realization::<SparseState>(&ds, false);
+        let fused =
+            sequential_sample_with_realization::<SparseState>(&ds, true).expect("faultless run");
+        let gbg =
+            sequential_sample_with_realization::<SparseState>(&ds, false).expect("faultless run");
         assert_eq!(
             fused.queries, gbg.queries,
             "ledger snapshots diverged at N={universe} n={machines}"

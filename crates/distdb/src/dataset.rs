@@ -39,6 +39,12 @@ pub enum DatasetError {
     EmptyDataset,
     /// No machines.
     NoMachines,
+    /// Summing multiplicities overflowed `u64` — the input is corrupt
+    /// (no physical dataset has `2⁶⁴` copies of an element).
+    CountOverflow {
+        /// The element whose total overflowed.
+        element: u64,
+    },
 }
 
 impl fmt::Display for DatasetError {
@@ -62,6 +68,9 @@ impl fmt::Display for DatasetError {
             ),
             DatasetError::EmptyDataset => write!(f, "dataset is empty (M = 0)"),
             DatasetError::NoMachines => write!(f, "dataset has no machines"),
+            DatasetError::CountOverflow { element } => {
+                write!(f, "total multiplicity of element {element} overflows u64")
+            }
         }
     }
 }
@@ -138,7 +147,14 @@ impl DistributedDataset {
         };
         let mut total = 0u64;
         for i in ds.support() {
-            let c = ds.total_multiplicity(i);
+            // Checked accumulation: untrusted loaders (TSV) feed raw counts
+            // in here, and a corrupt file must not wrap or panic.
+            let mut c = 0u64;
+            for shard in &ds.shards {
+                c = c
+                    .checked_add(shard.multiplicity(i))
+                    .ok_or(DatasetError::CountOverflow { element: i })?;
+            }
             if c > capacity {
                 return Err(DatasetError::CapacityExceeded {
                     element: i,
@@ -146,7 +162,9 @@ impl DistributedDataset {
                     capacity,
                 });
             }
-            total += c;
+            total = total
+                .checked_add(c)
+                .ok_or(DatasetError::CountOverflow { element: i })?;
         }
         if total == 0 {
             return Err(DatasetError::EmptyDataset);
@@ -159,7 +177,10 @@ impl DistributedDataset {
         let mut totals: std::collections::BTreeMap<u64, u64> = Default::default();
         for s in &shards {
             for (e, c) in s.iter() {
-                *totals.entry(e).or_insert(0) += c;
+                let slot = totals.entry(e).or_insert(0);
+                *slot = slot
+                    .checked_add(c)
+                    .ok_or(DatasetError::CountOverflow { element: e })?;
             }
         }
         let cap = totals.values().copied().max().unwrap_or(0).max(1);

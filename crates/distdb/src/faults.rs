@@ -1,0 +1,1048 @@
+//! Fault injection for the distributed oracle model.
+//!
+//! The paper assumes every machine answers every counting-oracle query
+//! perfectly. This module drops that assumption *deterministically*: a
+//! [`FaultPlan`] is a per-machine schedule of faults (crashes, transient
+//! failures, stale views, corrupted counts) keyed on the machine's own
+//! query-attempt counter, and a [`FaultyOracleSet`] wraps an [`OracleSet`]
+//! so the same cascades the samplers already use surface failures as a
+//! typed [`OracleError`] instead of panicking.
+//!
+//! ## Accounting rules (honest ledger)
+//!
+//! * Every probe of a machine — successful, failed, or retried — is charged
+//!   to the [`QueryLedger`](crate::QueryLedger) **before** its outcome is
+//!   inspected. A retry is a real oracle query; a crashed machine still
+//!   costs the query that discovered the crash. Charging is therefore
+//!   impossible to skip on any error path.
+//! * In the parallel model every round queries every machine once, so each
+//!   round bumps every machine's attempt counter and bills one round —
+//!   including rounds that have to be replayed because a machine failed.
+//!
+//! ## Probe-then-apply
+//!
+//! Cascade methods first probe *every* machine in cascade order (collecting
+//! answers and charging queries) and only then touch the quantum state. On
+//! failure the state is untouched, and the fused and gate-by-gate
+//! realizations — which probe in the same order — stay bit-identical in
+//! both output state and ledger, faulty or not.
+
+use crate::counter::QueryLedger;
+use crate::oracle::{OracleRegisters, OracleSet, ParallelRegisters};
+use dqs_sim::{QuantumState, SimError};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One kind of machine misbehaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// The machine stops answering permanently from the trigger query on.
+    Crashed,
+    /// The machine fails the next `fail_count` queries after the trigger,
+    /// then recovers.
+    Transient {
+        /// How many consecutive queries fail.
+        fail_count: u32,
+    },
+    /// The machine answers from a stale view: only the first
+    /// `as_of_update` operations of the update log are visible to it.
+    Stale {
+        /// Length of the update-log prefix the machine has applied.
+        as_of_update: usize,
+    },
+    /// Every answer from the machine is off by `delta` (clamped at zero).
+    /// Multiple corrupt events accumulate.
+    Corrupt {
+        /// Signed count error added to every answer.
+        delta: i64,
+    },
+}
+
+/// A scheduled fault: `kind` takes effect at the machine's `at_query`-th
+/// query attempt (0-based) and — except for `Transient` — stays in effect
+/// for every later attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultEvent {
+    /// 0-based query-attempt index at which the fault triggers.
+    pub at_query: u64,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// Fault probabilities and magnitudes for seeded plan generation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultRates {
+    /// Probability a machine crashes somewhere in the horizon.
+    pub crash: f64,
+    /// Probability of one transient-failure burst.
+    pub transient: f64,
+    /// Probability the machine serves a stale update-log prefix.
+    pub stale: f64,
+    /// Probability the machine's answers are corrupted.
+    pub corrupt: f64,
+    /// Fault onset times are drawn uniformly from `[0, horizon)`.
+    pub horizon: u64,
+    /// Transient bursts fail `1..=max_transient_failures` queries.
+    pub max_transient_failures: u32,
+    /// Corrupt deltas are drawn from `±1..=max_corrupt_delta`.
+    pub max_corrupt_delta: i64,
+    /// Stale prefixes are drawn from `0..max_stale_updates`.
+    pub max_stale_updates: usize,
+}
+
+impl FaultRates {
+    /// Every fault class at the same `rate`, onsets within `horizon`
+    /// queries, with small default magnitudes.
+    pub fn uniform(rate: f64, horizon: u64) -> Self {
+        Self {
+            crash: rate,
+            transient: rate,
+            stale: rate,
+            corrupt: rate,
+            horizon: horizon.max(1),
+            max_transient_failures: 3,
+            max_corrupt_delta: 2,
+            max_stale_updates: 4,
+        }
+    }
+}
+
+/// The fixed-increment splitmix64 generator — tiny, seedable, and
+/// dependency-free, so plans stay bit-identical across platforms and
+/// builds (the workspace `rand` is only a dev-dependency here).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn unit_f64(state: &mut u64) -> f64 {
+    // 53 uniform bits → [0, 1)
+    (splitmix64(state) >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// A deterministic per-machine fault schedule.
+///
+/// Two plans built from the same seed and rates are equal (`PartialEq` is
+/// exact), and [`FaultPlan::outcome`] is a pure function of
+/// `(machine, attempt)` — replaying a run replays its faults bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    schedules: Vec<Vec<FaultEvent>>,
+}
+
+impl FaultPlan {
+    /// The fault-free plan for `n` machines.
+    pub fn none(n: usize) -> Self {
+        Self {
+            schedules: vec![Vec::new(); n],
+        }
+    }
+
+    /// A plan from explicit per-machine schedules; each schedule is sorted
+    /// by trigger query.
+    pub fn from_schedules(mut schedules: Vec<Vec<FaultEvent>>) -> Self {
+        for s in &mut schedules {
+            s.sort_by_key(|e| e.at_query);
+        }
+        Self { schedules }
+    }
+
+    /// A seeded plan: for each machine, each fault class fires
+    /// independently with its [`FaultRates`] probability at a uniform
+    /// onset in `[0, horizon)`. Fully deterministic in `(n, seed, rates)`.
+    pub fn seeded(n: usize, seed: u64, rates: &FaultRates) -> Self {
+        let mut schedules = Vec::with_capacity(n);
+        for machine in 0..n {
+            // Decorrelate machine streams so inserting a machine does not
+            // shift every later machine's schedule.
+            let mut s = seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add((machine as u64).wrapping_mul(0xd1b5_4a32_d192_ed03));
+            let mut events = Vec::new();
+            let onset = |s: &mut u64| splitmix64(s) % rates.horizon.max(1);
+            if unit_f64(&mut s) < rates.crash {
+                events.push(FaultEvent {
+                    at_query: onset(&mut s),
+                    kind: FaultKind::Crashed,
+                });
+            }
+            if unit_f64(&mut s) < rates.transient {
+                let fail_count =
+                    1 + (splitmix64(&mut s) % rates.max_transient_failures.max(1) as u64) as u32;
+                events.push(FaultEvent {
+                    at_query: onset(&mut s),
+                    kind: FaultKind::Transient { fail_count },
+                });
+            }
+            if unit_f64(&mut s) < rates.stale {
+                let as_of_update =
+                    (splitmix64(&mut s) % rates.max_stale_updates.max(1) as u64) as usize;
+                events.push(FaultEvent {
+                    at_query: onset(&mut s),
+                    kind: FaultKind::Stale { as_of_update },
+                });
+            }
+            if unit_f64(&mut s) < rates.corrupt {
+                let mag = 1 + (splitmix64(&mut s) % rates.max_corrupt_delta.max(1) as u64) as i64;
+                let delta = if splitmix64(&mut s) & 1 == 0 {
+                    mag
+                } else {
+                    -mag
+                };
+                events.push(FaultEvent {
+                    at_query: onset(&mut s),
+                    kind: FaultKind::Corrupt { delta },
+                });
+            }
+            events.sort_by_key(|e| e.at_query);
+            schedules.push(events);
+        }
+        Self { schedules }
+    }
+
+    /// Number of machines the plan covers.
+    pub fn num_machines(&self) -> usize {
+        self.schedules.len()
+    }
+
+    /// The schedule for one machine, sorted by trigger query.
+    pub fn schedule(&self, machine: usize) -> &[FaultEvent] {
+        &self.schedules[machine]
+    }
+
+    /// True when no machine has any scheduled fault.
+    pub fn is_fault_free(&self) -> bool {
+        self.schedules.iter().all(Vec::is_empty)
+    }
+
+    /// The outcome of `machine`'s `attempt`-th query (0-based): either a
+    /// (possibly degraded) [`Answer`] or a failure. Pure and total.
+    pub fn outcome(&self, machine: usize, attempt: u64) -> QueryOutcome {
+        let mut stale_as_of = None;
+        let mut corrupt_delta = 0i64;
+        let mut failed: Option<bool> = None;
+        for ev in &self.schedules[machine] {
+            if ev.at_query > attempt {
+                break; // sorted: nothing later has triggered yet
+            }
+            match ev.kind {
+                FaultKind::Crashed => failed = Some(true),
+                FaultKind::Transient { fail_count } => {
+                    if attempt < ev.at_query + u64::from(fail_count) && failed != Some(true) {
+                        failed = Some(false);
+                    }
+                }
+                FaultKind::Stale { as_of_update } => stale_as_of = Some(as_of_update),
+                FaultKind::Corrupt { delta } => corrupt_delta += delta,
+            }
+        }
+        match failed {
+            Some(permanent) => QueryOutcome::Failed { permanent },
+            None => QueryOutcome::Answer(Answer {
+                stale_as_of,
+                corrupt_delta,
+            }),
+        }
+    }
+}
+
+/// The content of a (possibly degraded) oracle answer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Answer {
+    /// `Some(k)` — the machine has only applied the first `k` update-log
+    /// operations; `None` — the view is current.
+    pub stale_as_of: Option<usize>,
+    /// Accumulated corruption added to every count (clamped at zero).
+    pub corrupt_delta: i64,
+}
+
+impl Answer {
+    /// The honest answer.
+    pub fn clean() -> Self {
+        Self {
+            stale_as_of: None,
+            corrupt_delta: 0,
+        }
+    }
+
+    /// True when the answer matches the faultless oracle exactly.
+    pub fn is_clean(&self) -> bool {
+        self.stale_as_of.is_none() && self.corrupt_delta == 0
+    }
+}
+
+/// What one query attempt produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// The machine answered (perhaps stale or corrupt).
+    Answer(Answer),
+    /// The machine failed; `permanent` distinguishes crashes from
+    /// transient faults that may clear on retry.
+    Failed {
+        /// Retrying can never succeed when true.
+        permanent: bool,
+    },
+}
+
+/// Typed failure surfaced by the faulty oracle layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OracleError {
+    /// A machine failed and the fault handler gave up on it.
+    MachineUnavailable {
+        /// The failed machine.
+        machine: usize,
+        /// Its attempt counter at the failing query (0-based).
+        attempt: u64,
+        /// True for crashes — retrying is pointless.
+        permanent: bool,
+    },
+    /// The simulator rejected an answer-driven state rewrite.
+    Sim(SimError),
+}
+
+impl fmt::Display for OracleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OracleError::MachineUnavailable {
+                machine,
+                attempt,
+                permanent,
+            } => write!(
+                f,
+                "machine {machine} unavailable at query {attempt} ({})",
+                if *permanent { "crashed" } else { "transient" }
+            ),
+            OracleError::Sim(e) => write!(f, "simulator rejected oracle answer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OracleError {}
+
+impl From<SimError> for OracleError {
+    fn from(e: SimError) -> Self {
+        OracleError::Sim(e)
+    }
+}
+
+/// What a [`FaultHandler`] wants done about one failed probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureAction {
+    /// Probe the machine again (the retry is charged like any query).
+    Retry,
+    /// Stop querying; the cascade fails with
+    /// [`OracleError::MachineUnavailable`].
+    GiveUp,
+}
+
+/// Per-failure policy hook: retry/backoff/circuit-breaker logic lives in
+/// the caller (see `dqs-core`'s `RetryPolicy`), not in the oracle layer.
+pub trait FaultHandler {
+    /// Called after a failed (and charged) probe of `machine`.
+    fn on_failure(&mut self, machine: usize, attempt: u64, permanent: bool) -> FailureAction;
+
+    /// Called after a successful probe — lets policies reset
+    /// consecutive-failure counters.
+    fn on_success(&mut self, _machine: usize) {}
+}
+
+/// The trivial handler: never retries.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FailFast;
+
+impl FaultHandler for FailFast {
+    fn on_failure(&mut self, _machine: usize, _attempt: u64, _permanent: bool) -> FailureAction {
+        FailureAction::GiveUp
+    }
+}
+
+/// A machine's effective view for one answered query: the stale update-log
+/// prefix (when stale) and the accumulated corruption.
+struct MachineView {
+    machine: usize,
+    /// `Some(net)` — per-element net deltas of the visible log prefix;
+    /// `None` — current view (full log composed by the base oracle).
+    stale_net: Option<BTreeMap<u64, i64>>,
+    corrupt: i64,
+}
+
+/// A fault-injecting wrapper over an [`OracleSet`].
+///
+/// Holds per-machine attempt counters (the clock faults are keyed on) and
+/// surfaces failures as [`OracleError`]. All cascade entry points are
+/// probe-then-apply: on `Err` the state is untouched, while every probe
+/// made — including the failing one — remains charged in the ledger.
+pub struct FaultyOracleSet<'a> {
+    oracles: &'a OracleSet<'a>,
+    plan: &'a FaultPlan,
+    attempts: Vec<AtomicU64>,
+}
+
+impl<'a> FaultyOracleSet<'a> {
+    /// Wraps `oracles` with the given plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan covers a different number of machines than the
+    /// dataset.
+    pub fn new(oracles: &'a OracleSet<'a>, plan: &'a FaultPlan) -> Self {
+        assert_eq!(
+            plan.num_machines(),
+            oracles.dataset().num_machines(),
+            "fault plan must cover every machine"
+        );
+        Self {
+            oracles,
+            plan,
+            attempts: (0..plan.num_machines())
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    /// The wrapped oracle set.
+    pub fn oracles(&self) -> &OracleSet<'a> {
+        self.oracles
+    }
+
+    /// The fault plan in effect.
+    pub fn plan(&self) -> &FaultPlan {
+        self.plan
+    }
+
+    /// The ledger every probe is charged to.
+    pub fn ledger(&self) -> &QueryLedger {
+        self.oracles.ledger()
+    }
+
+    /// How many times `machine` has been probed so far.
+    pub fn attempts(&self, machine: usize) -> u64 {
+        self.attempts[machine].load(Ordering::Relaxed)
+    }
+
+    /// Per-machine probe counters.
+    pub fn attempt_counts(&self) -> Vec<u64> {
+        (0..self.attempts.len()).map(|j| self.attempts(j)).collect()
+    }
+
+    /// Issues one query to `machine`: charges the ledger, bumps the
+    /// attempt counter, and reports the scheduled outcome. The charge
+    /// happens *first*, unconditionally — failures are real queries.
+    pub fn probe(&self, machine: usize) -> QueryOutcome {
+        self.oracles.ledger().record_sequential(machine);
+        let attempt = self.attempts[machine].fetch_add(1, Ordering::Relaxed);
+        self.plan.outcome(machine, attempt)
+    }
+
+    /// Probes `machine` until it answers or `handler` gives up. Every
+    /// retry is a charged query.
+    pub fn probe_with_retry(
+        &self,
+        machine: usize,
+        handler: &mut impl FaultHandler,
+    ) -> Result<Answer, OracleError> {
+        loop {
+            let attempt = self.attempts(machine);
+            match self.probe(machine) {
+                QueryOutcome::Answer(ans) => {
+                    handler.on_success(machine);
+                    return Ok(ans);
+                }
+                QueryOutcome::Failed { permanent } => {
+                    match handler.on_failure(machine, attempt, permanent) {
+                        FailureAction::Retry => continue,
+                        FailureAction::GiveUp => {
+                            return Err(OracleError::MachineUnavailable {
+                                machine,
+                                attempt,
+                                permanent,
+                            })
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds the effective per-machine view for one answer. Stale views
+    /// compose only the visible update-log prefix.
+    fn view(&self, machine: usize, ans: Answer) -> MachineView {
+        let stale_net = ans.stale_as_of.map(|k| {
+            let mut net = BTreeMap::new();
+            if let Some(log) = self.oracles.updates() {
+                for op in log.ops().iter().take(k) {
+                    if op.machine == machine {
+                        *net.entry(op.element).or_insert(0) += op.delta;
+                    }
+                }
+            }
+            net
+        });
+        MachineView {
+            machine,
+            stale_net,
+            corrupt: ans.corrupt_delta,
+        }
+    }
+
+    /// The count this view answers for `elem` — stale prefix composed,
+    /// corruption added, clamped at zero. Callers reduce mod `ν+1` exactly
+    /// like the honest oracle does.
+    fn answered_count(&self, view: &MachineView, elem: u64) -> u64 {
+        let base = match &view.stale_net {
+            Some(net) => {
+                let b = self.oracles.dataset().multiplicity(elem, view.machine) as i64
+                    + net.get(&elem).copied().unwrap_or(0);
+                b.max(0) as u64
+            }
+            None => self.oracles.effective_multiplicity(elem, view.machine),
+        };
+        (base as i64).saturating_add(view.corrupt).max(0) as u64
+    }
+
+    /// Fallible `O_j` (or `O_j†`): one probed (and charged) query, then
+    /// the Eq. (1) rewrite with whatever count the machine answered.
+    pub fn apply_oj<S: QuantumState>(
+        &self,
+        state: &mut S,
+        machine: usize,
+        regs: OracleRegisters,
+        inverse: bool,
+        handler: &mut impl FaultHandler,
+    ) -> Result<(), OracleError> {
+        let ans = self.probe_with_retry(machine, handler)?;
+        let view = self.view(machine, ans);
+        let modulus = self.oracles.modulus();
+        state.try_apply_permutation(|b| {
+            let c = self.answered_count(&view, b[regs.elem]) % modulus;
+            let add = if inverse { modulus - c } else { c } % modulus;
+            b[regs.count] = (b[regs.count] + add) % modulus;
+        })?;
+        Ok(())
+    }
+
+    /// Fallible flag-controlled `Ô_j` (Eq. 2).
+    #[allow(clippy::too_many_arguments)]
+    pub fn apply_hat_oj<S: QuantumState>(
+        &self,
+        state: &mut S,
+        machine: usize,
+        elem_reg: usize,
+        count_reg: usize,
+        flag_reg: usize,
+        inverse: bool,
+        handler: &mut impl FaultHandler,
+    ) -> Result<(), OracleError> {
+        let ans = self.probe_with_retry(machine, handler)?;
+        let view = self.view(machine, ans);
+        let modulus = self.oracles.modulus();
+        state.try_apply_permutation(|b| {
+            if b[flag_reg] == 1 {
+                let c = self.answered_count(&view, b[elem_reg]) % modulus;
+                let add = if inverse { modulus - c } else { c } % modulus;
+                b[count_reg] = (b[count_reg] + add) % modulus;
+            }
+        })?;
+        Ok(())
+    }
+
+    /// Probes `machines` in the given order (one sequential query each,
+    /// retried per `handler`); returns `(machine, answer)` pairs in probe
+    /// order. On `Err` every probe already made stays charged. This is the
+    /// building block degraded samplers use to run cascades over a
+    /// *surviving subset* of machines.
+    pub fn probe_machines(
+        &self,
+        machines: &[usize],
+        handler: &mut impl FaultHandler,
+    ) -> Result<Vec<(usize, Answer)>, OracleError> {
+        let mut out = Vec::with_capacity(machines.len());
+        for &j in machines {
+            out.push((j, self.probe_with_retry(j, handler)?));
+        }
+        Ok(out)
+    }
+
+    /// One composite parallel round over `machines`: every attempt charges
+    /// one round and bumps each listed machine's counter; rounds where some
+    /// machine failed are replayed whole (per `handler`). Returns
+    /// `(machine, answer)` pairs for the round that finally succeeded.
+    pub fn probe_round_machines(
+        &self,
+        machines: &[usize],
+        handler: &mut impl FaultHandler,
+    ) -> Result<Vec<(usize, Answer)>, OracleError> {
+        loop {
+            self.oracles.ledger().record_parallel_round();
+            let mut outcomes = Vec::with_capacity(machines.len());
+            for &j in machines {
+                let attempt = self.attempts[j].fetch_add(1, Ordering::Relaxed);
+                outcomes.push((j, attempt, self.plan.outcome(j, attempt)));
+            }
+            let mut retry = false;
+            let mut answers = Vec::with_capacity(machines.len());
+            for (j, attempt, outcome) in outcomes {
+                match outcome {
+                    QueryOutcome::Answer(ans) => {
+                        handler.on_success(j);
+                        answers.push((j, ans));
+                    }
+                    QueryOutcome::Failed { permanent } => {
+                        match handler.on_failure(j, attempt, permanent) {
+                            FailureAction::Retry => retry = true,
+                            FailureAction::GiveUp => {
+                                return Err(OracleError::MachineUnavailable {
+                                    machine: j,
+                                    attempt,
+                                    permanent,
+                                })
+                            }
+                        }
+                    }
+                }
+            }
+            if !retry {
+                return Ok(answers);
+            }
+        }
+    }
+
+    /// The per-element answered totals `(Σ_j (a_j(i) mod (ν+1))) mod (ν+1)`
+    /// of one probed cascade, indexed over the whole universe — the table a
+    /// fused faulty `D` realization rotates by. For clean answers this
+    /// equals the honest `total_table` reduced mod `ν+1`.
+    pub fn answered_total_table(&self, answers: &[(usize, Answer)]) -> Vec<u64> {
+        let modulus = self.oracles.modulus();
+        let views: Vec<MachineView> = answers.iter().map(|&(j, a)| self.view(j, a)).collect();
+        (0..self.oracles.dataset().universe())
+            .map(|i| {
+                views
+                    .iter()
+                    .map(|v| self.answered_count(v, i) % modulus)
+                    .sum::<u64>()
+                    % modulus
+            })
+            .collect()
+    }
+
+    /// Probes every machine in cascade order, retrying per `handler`,
+    /// collecting views. On `Err` all probes made so far stay charged.
+    fn collect_cascade(
+        &self,
+        inverse: bool,
+        handler: &mut impl FaultHandler,
+    ) -> Result<Vec<MachineView>, OracleError> {
+        let n = self.oracles.dataset().num_machines();
+        let order: Vec<usize> = if inverse {
+            (0..n).rev().collect()
+        } else {
+            (0..n).collect()
+        };
+        let answers = self.probe_machines(&order, handler)?;
+        Ok(answers
+            .into_iter()
+            .map(|(j, ans)| self.view(j, ans))
+            .collect())
+    }
+
+    /// Fallible gate-by-gate cascade `O_1 … O_n` (reversed for the
+    /// inverse): probe-then-apply, one rewrite per machine.
+    pub fn apply_all_sequential<S: QuantumState>(
+        &self,
+        state: &mut S,
+        regs: OracleRegisters,
+        inverse: bool,
+        handler: &mut impl FaultHandler,
+    ) -> Result<(), OracleError> {
+        let views = self.collect_cascade(inverse, handler)?;
+        let modulus = self.oracles.modulus();
+        for view in &views {
+            state.try_apply_permutation(|b| {
+                let c = self.answered_count(view, b[regs.elem]) % modulus;
+                let add = if inverse { modulus - c } else { c } % modulus;
+                b[regs.count] = (b[regs.count] + add) % modulus;
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Fallible fused cascade: probes every machine exactly like
+    /// [`Self::apply_all_sequential`] (same order, same charges), then
+    /// applies the summed answer in one support pass. Bit-identical to the
+    /// gate-by-gate path in state and ledger — faults included.
+    pub fn apply_all_fused<S: QuantumState>(
+        &self,
+        state: &mut S,
+        regs: OracleRegisters,
+        inverse: bool,
+        handler: &mut impl FaultHandler,
+    ) -> Result<(), OracleError> {
+        let views = self.collect_cascade(inverse, handler)?;
+        let modulus = self.oracles.modulus();
+        state.try_apply_permutation(|b| {
+            let total: u64 = views
+                .iter()
+                .map(|v| self.answered_count(v, b[regs.elem]) % modulus)
+                .sum();
+            let c = total % modulus;
+            let add = if inverse { modulus - c } else { c } % modulus;
+            b[regs.count] = (b[regs.count] + add) % modulus;
+        })?;
+        Ok(())
+    }
+
+    /// Fallible composite parallel round `O = ⊗_j Ô_j` (Eq. 3). Each
+    /// attempted round charges one parallel round and bumps every
+    /// machine's attempt counter; rounds where some machine failed are
+    /// replayed whole (per `handler`) — partial rounds never touch the
+    /// state.
+    pub fn apply_parallel_round<S: QuantumState>(
+        &self,
+        state: &mut S,
+        regs: &ParallelRegisters,
+        inverse: bool,
+        handler: &mut impl FaultHandler,
+    ) -> Result<(), OracleError> {
+        let n = self.oracles.dataset().num_machines();
+        assert_eq!(
+            regs.machines(),
+            n,
+            "parallel register triples must match the machine count"
+        );
+        let all: Vec<usize> = (0..n).collect();
+        let answers = self.probe_round_machines(&all, handler)?;
+        let views: Vec<MachineView> = answers
+            .into_iter()
+            .map(|(j, ans)| self.view(j, ans))
+            .collect();
+        let modulus = self.oracles.modulus();
+        state.try_apply_permutation(|b| {
+            for view in &views {
+                let j = view.machine;
+                if b[regs.flag[j]] == 1 {
+                    let c = self.answered_count(view, b[regs.elem[j]]) % modulus;
+                    let add = if inverse { modulus - c } else { c } % modulus;
+                    b[regs.count[j]] = (b[regs.count[j]] + add) % modulus;
+                }
+            }
+        })?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::DistributedDataset;
+    use crate::multiset::Multiset;
+    use crate::update::{UpdateLog, UpdateOp};
+    use dqs_sim::{Layout, QuantumState, SparseState};
+
+    fn dataset() -> DistributedDataset {
+        DistributedDataset::new(
+            4,
+            4,
+            vec![
+                Multiset::from_counts([(0, 2), (1, 1)]),
+                Multiset::from_counts([(1, 1), (3, 3)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn seq_layout(ds: &DistributedDataset) -> Layout {
+        Layout::builder()
+            .register("i", ds.universe())
+            .register("s", ds.capacity() + 1)
+            .register("b", 2)
+            .build()
+    }
+
+    const REGS: OracleRegisters = OracleRegisters { elem: 0, count: 1 };
+
+    /// Retries every transient failure, gives up on crashes.
+    struct RetryTransient;
+    impl FaultHandler for RetryTransient {
+        fn on_failure(&mut self, _m: usize, _a: u64, permanent: bool) -> FailureAction {
+            if permanent {
+                FailureAction::GiveUp
+            } else {
+                FailureAction::Retry
+            }
+        }
+    }
+
+    fn superposed(ds: &DistributedDataset) -> SparseState {
+        let mut s = SparseState::from_basis(seq_layout(ds), &[0, 0, 0]);
+        s.apply_register_unitary(0, &dqs_sim::gates::dft(ds.universe()));
+        s
+    }
+
+    #[test]
+    fn zero_fault_plan_matches_faultless_path_bit_for_bit() {
+        let ds = dataset();
+        let plan = FaultPlan::none(2);
+        assert!(plan.is_fault_free());
+
+        let ledger_f = QueryLedger::new(2);
+        let oracles_f = OracleSet::new(&ds, &ledger_f);
+        let faulty = FaultyOracleSet::new(&oracles_f, &plan);
+        let mut sf = superposed(&ds);
+        faulty
+            .apply_all_sequential(&mut sf, REGS, false, &mut FailFast)
+            .unwrap();
+
+        let ledger_h = QueryLedger::new(2);
+        let oracles_h = OracleSet::new(&ds, &ledger_h);
+        let mut sh = superposed(&ds);
+        oracles_h.apply_all_sequential(&mut sh, REGS, false);
+
+        assert_eq!(sf.to_table(), sh.to_table());
+        assert_eq!(ledger_f.snapshot(), ledger_h.snapshot());
+    }
+
+    #[test]
+    fn fused_equals_gate_by_gate_under_faults() {
+        let ds = dataset();
+        let plan = FaultPlan::from_schedules(vec![
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Corrupt { delta: 1 },
+            }],
+            vec![FaultEvent {
+                at_query: 1,
+                kind: FaultKind::Corrupt { delta: -2 },
+            }],
+        ]);
+        for inverse in [false, true] {
+            let ledger_g = QueryLedger::new(2);
+            let oracles_g = OracleSet::new(&ds, &ledger_g);
+            let faulty_g = FaultyOracleSet::new(&oracles_g, &plan);
+            let mut sg = superposed(&ds);
+            faulty_g
+                .apply_all_sequential(&mut sg, REGS, inverse, &mut FailFast)
+                .unwrap();
+            faulty_g
+                .apply_all_sequential(&mut sg, REGS, inverse, &mut FailFast)
+                .unwrap();
+
+            let ledger_f = QueryLedger::new(2);
+            let oracles_f = OracleSet::new(&ds, &ledger_f);
+            let faulty_f = FaultyOracleSet::new(&oracles_f, &plan);
+            let mut sf = superposed(&ds);
+            faulty_f
+                .apply_all_fused(&mut sf, REGS, inverse, &mut FailFast)
+                .unwrap();
+            faulty_f
+                .apply_all_fused(&mut sf, REGS, inverse, &mut FailFast)
+                .unwrap();
+
+            assert_eq!(sg.to_table(), sf.to_table(), "inverse={inverse}");
+            assert_eq!(ledger_g.snapshot(), ledger_f.snapshot());
+        }
+    }
+
+    #[test]
+    fn transient_fault_retries_are_charged() {
+        let ds = dataset();
+        let plan = FaultPlan::from_schedules(vec![
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Transient { fail_count: 2 },
+            }],
+            vec![],
+        ]);
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        let faulty = FaultyOracleSet::new(&oracles, &plan);
+        let mut s = SparseState::from_basis(seq_layout(&ds), &[0, 0, 0]);
+        faulty
+            .apply_all_sequential(&mut s, REGS, false, &mut RetryTransient)
+            .unwrap();
+        // Machine 0 fails twice then answers: 3 charged queries; machine 1
+        // answers first try.
+        assert_eq!(ledger.snapshot().per_machine, vec![3, 1]);
+        // The answer after recovery is honest.
+        use dqs_math::approx::approx_eq_c;
+        assert!(approx_eq_c(
+            s.amplitude(&[0, 2, 0]),
+            dqs_math::Complex64::ONE
+        ));
+    }
+
+    #[test]
+    fn crash_fails_loudly_charges_probe_and_leaves_state_untouched() {
+        let ds = dataset();
+        let plan = FaultPlan::from_schedules(vec![
+            vec![],
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Crashed,
+            }],
+        ]);
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        let faulty = FaultyOracleSet::new(&oracles, &plan);
+        let mut s = superposed(&ds);
+        let before = s.to_table();
+        let err = faulty
+            .apply_all_sequential(&mut s, REGS, false, &mut RetryTransient)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            OracleError::MachineUnavailable {
+                machine: 1,
+                attempt: 0,
+                permanent: true
+            }
+        );
+        // Probe-then-apply: the state is untouched...
+        assert_eq!(s.to_table(), before);
+        // ...but both probes (machine 0's answer, machine 1's crash
+        // discovery) are charged.
+        assert_eq!(ledger.snapshot().per_machine, vec![1, 1]);
+    }
+
+    #[test]
+    fn stale_machine_answers_log_prefix() {
+        let ds = dataset();
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(0, 0)); // op 0: c_{0,0}: 2 → 3
+        log.push(UpdateOp::insert(0, 0)); // op 1: c_{0,0}: 3 → 4
+        let plan = FaultPlan::from_schedules(vec![
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Stale { as_of_update: 1 },
+            }],
+            vec![],
+        ]);
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::with_updates(&ds, &ledger, &log);
+        let faulty = FaultyOracleSet::new(&oracles, &plan);
+        let mut s = SparseState::from_basis(seq_layout(&ds), &[0, 0, 0]);
+        faulty
+            .apply_oj(&mut s, 0, REGS, false, &mut FailFast)
+            .unwrap();
+        // Stale view saw only op 0: answers 3, not the current 4.
+        use dqs_math::approx::approx_eq_c;
+        assert!(approx_eq_c(
+            s.amplitude(&[0, 3, 0]),
+            dqs_math::Complex64::ONE
+        ));
+    }
+
+    #[test]
+    fn corrupt_answers_clamp_at_zero() {
+        let ds = dataset();
+        let plan = FaultPlan::from_schedules(vec![
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Corrupt { delta: -5 },
+            }],
+            vec![],
+        ]);
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        let faulty = FaultyOracleSet::new(&oracles, &plan);
+        // c_{0,0} = 2, corrupted by −5 → clamped to 0: identity on counts.
+        let mut s = SparseState::from_basis(seq_layout(&ds), &[0, 1, 0]);
+        faulty
+            .apply_oj(&mut s, 0, REGS, false, &mut FailFast)
+            .unwrap();
+        use dqs_math::approx::approx_eq_c;
+        assert!(approx_eq_c(
+            s.amplitude(&[0, 1, 0]),
+            dqs_math::Complex64::ONE
+        ));
+    }
+
+    #[test]
+    fn parallel_round_replays_whole_rounds_and_charges_them() {
+        let ds = dataset();
+        let layout = Layout::builder()
+            .register("i0", ds.universe())
+            .register("s0", ds.capacity() + 1)
+            .register("b0", 2)
+            .register("i1", ds.universe())
+            .register("s1", ds.capacity() + 1)
+            .register("b1", 2)
+            .build();
+        let pregs = ParallelRegisters {
+            elem: vec![0, 3],
+            count: vec![1, 4],
+            flag: vec![2, 5],
+        };
+        let plan = FaultPlan::from_schedules(vec![
+            vec![],
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Transient { fail_count: 1 },
+            }],
+        ]);
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        let faulty = FaultyOracleSet::new(&oracles, &plan);
+        let mut s = SparseState::from_basis(layout, &[1, 0, 1, 3, 0, 1]);
+        faulty
+            .apply_parallel_round(&mut s, &pregs, false, &mut RetryTransient)
+            .unwrap();
+        // Round 0 failed on machine 1 and was replayed: 2 rounds charged,
+        // both machines probed twice.
+        assert_eq!(ledger.parallel_rounds(), 2);
+        assert_eq!(faulty.attempt_counts(), vec![2, 2]);
+        // The replayed round answers honestly: c_{1,0}=1, c_{3,1}=3.
+        use dqs_math::approx::approx_eq_c;
+        assert!(approx_eq_c(
+            s.amplitude(&[1, 1, 1, 3, 3, 1]),
+            dqs_math::Complex64::ONE
+        ));
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic() {
+        let rates = FaultRates::uniform(0.5, 16);
+        let a = FaultPlan::seeded(8, 42, &rates);
+        let b = FaultPlan::seeded(8, 42, &rates);
+        assert_eq!(a, b);
+        // Prefix stability: machine j's schedule does not depend on n.
+        let wider = FaultPlan::seeded(12, 42, &rates);
+        for j in 0..8 {
+            assert_eq!(a.schedule(j), wider.schedule(j), "machine {j}");
+        }
+        // A saturated plan actually schedules faults.
+        let all = FaultPlan::seeded(8, 7, &FaultRates::uniform(1.0, 16));
+        assert!(all.schedules.iter().all(|s| s.len() == 4));
+    }
+
+    #[test]
+    fn outcome_is_pure_and_total() {
+        let plan = FaultPlan::from_schedules(vec![vec![
+            FaultEvent {
+                at_query: 2,
+                kind: FaultKind::Transient { fail_count: 1 },
+            },
+            FaultEvent {
+                at_query: 5,
+                kind: FaultKind::Crashed,
+            },
+        ]]);
+        assert_eq!(plan.outcome(0, 0), QueryOutcome::Answer(Answer::clean()));
+        assert_eq!(
+            plan.outcome(0, 2),
+            QueryOutcome::Failed { permanent: false }
+        );
+        assert_eq!(plan.outcome(0, 3), QueryOutcome::Answer(Answer::clean()));
+        for attempt in 5..10 {
+            assert_eq!(
+                plan.outcome(0, attempt),
+                QueryOutcome::Failed { permanent: true },
+                "crashed machines stay crashed (attempt {attempt})"
+            );
+        }
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod counter;
 pub mod dataset;
+pub mod faults;
 pub mod multiset;
 pub mod oracle;
 pub mod stats;
@@ -31,8 +32,12 @@ pub mod update;
 
 pub use counter::{LedgerSnapshot, QueryLedger};
 pub use dataset::{DatasetError, DistributedDataset, Params};
+pub use faults::{
+    Answer, FailFast, FailureAction, FaultEvent, FaultHandler, FaultKind, FaultPlan, FaultRates,
+    FaultyOracleSet, OracleError, QueryOutcome,
+};
 pub use multiset::Multiset;
 pub use oracle::{OracleRegisters, OracleSet, ParallelRegisters};
 pub use stats::{dataset_stats, DatasetStats};
-pub use tsv::{from_tsv, to_tsv, TsvError};
+pub use tsv::{from_tsv, read_tsv_file, to_tsv, write_tsv_file, TsvError};
 pub use update::{UpdateLog, UpdateOp};

@@ -51,6 +51,18 @@ impl Multiset {
         }
     }
 
+    /// Adds `k` occurrences of `elem`, refusing on `u64` overflow: returns
+    /// the new multiplicity, or `None` with the multiset unchanged. This is
+    /// the loading-path variant — untrusted inputs (TSV files) go through
+    /// here so a corrupt count surfaces as a typed error, not a panic.
+    pub fn checked_insert_many(&mut self, elem: u64, k: u64) -> Option<u64> {
+        let new = self.multiplicity(elem).checked_add(k)?;
+        if k > 0 {
+            self.counts.insert(elem, new);
+        }
+        Some(new)
+    }
+
     /// Adds one occurrence.
     pub fn insert(&mut self, elem: u64) {
         self.insert_many(elem, 1);

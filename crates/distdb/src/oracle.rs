@@ -94,6 +94,16 @@ impl<'a> OracleSet<'a> {
         self.dataset
     }
 
+    /// The ledger every query is charged to.
+    pub fn ledger(&self) -> &QueryLedger {
+        self.ledger
+    }
+
+    /// The composed dynamic-update log, if any.
+    pub fn updates(&self) -> Option<&UpdateLog> {
+        self.updates
+    }
+
     /// The modulus `ν+1` of the count register.
     pub fn modulus(&self) -> u64 {
         self.dataset.capacity() + 1
@@ -165,13 +175,15 @@ impl<'a> OracleSet<'a> {
         regs: OracleRegisters,
         inverse: bool,
     ) {
+        // Charge first, unconditionally: a query that reaches the machine
+        // is billed even if applying its answer fails further down.
+        self.ledger.record_sequential(machine);
         let modulus = self.modulus();
         debug_assert_eq!(
             state.layout().dim(regs.count),
             modulus,
             "count register dimension must be ν+1"
         );
-        self.ledger.record_sequential(machine);
         state.apply_permutation(|b| {
             let c = self.effective_multiplicity(b[regs.elem], machine) % modulus;
             let add = if inverse { modulus - c } else { c } % modulus;
@@ -190,8 +202,8 @@ impl<'a> OracleSet<'a> {
         flag_reg: usize,
         inverse: bool,
     ) {
-        let modulus = self.modulus();
         self.ledger.record_sequential(machine);
+        let modulus = self.modulus();
         state.apply_permutation(|b| {
             if b[flag_reg] == 1 {
                 let c = self.effective_multiplicity(b[elem_reg], machine) % modulus;
@@ -235,13 +247,13 @@ impl<'a> OracleSet<'a> {
         regs: OracleRegisters,
         inverse: bool,
     ) {
+        self.charge_all_sequential();
         let modulus = self.modulus();
         debug_assert_eq!(
             state.layout().dim(regs.count),
             modulus,
             "count register dimension must be ν+1"
         );
-        self.charge_all_sequential();
         let totals = self.total_table();
         state.apply_permutation(|b| {
             let c = totals[b[regs.elem] as usize] % modulus;
@@ -259,6 +271,7 @@ impl<'a> OracleSet<'a> {
         regs: &ParallelRegisters,
         inverse: bool,
     ) {
+        self.ledger.record_parallel_round();
         let n = self.dataset.num_machines();
         assert_eq!(
             regs.machines(),
@@ -266,7 +279,6 @@ impl<'a> OracleSet<'a> {
             "parallel register triples must match the machine count"
         );
         let modulus = self.modulus();
-        self.ledger.record_parallel_round();
         state.apply_permutation(|b| {
             for j in 0..n {
                 if b[regs.flag[j]] == 1 {
@@ -543,6 +555,45 @@ mod tests {
         oracles.charge_parallel_round();
         assert_eq!(ledger.snapshot().per_machine, vec![1, 1]);
         assert_eq!(ledger.parallel_rounds(), 1);
+    }
+
+    #[test]
+    fn failed_apply_is_still_charged() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let ds = dataset();
+        let layout = seq_layout(&ds);
+
+        // A register assignment pointing past the layout makes the state
+        // application panic *after* the query reached the machine — the
+        // charge must already be on the books (charge-before-apply).
+        let bad = OracleRegisters { elem: 0, count: 9 };
+
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        let mut s = SparseState::from_basis(layout.clone(), &[0, 0, 0]);
+        assert!(catch_unwind(AssertUnwindSafe(|| {
+            oracles.apply_oj(&mut s, 0, bad, false);
+        }))
+        .is_err());
+        assert_eq!(ledger.sequential_queries(0), 1, "failed O_j not billed");
+
+        let mut s = SparseState::from_basis(layout.clone(), &[0, 0, 1]);
+        assert!(catch_unwind(AssertUnwindSafe(|| {
+            oracles.apply_hat_oj(&mut s, 1, 0, 9, 2, false);
+        }))
+        .is_err());
+        assert_eq!(ledger.sequential_queries(1), 1, "failed Ô_j not billed");
+
+        let mut s = SparseState::from_basis(layout, &[0, 0, 0]);
+        assert!(catch_unwind(AssertUnwindSafe(|| {
+            oracles.apply_all_fused(&mut s, bad, false);
+        }))
+        .is_err());
+        assert_eq!(
+            ledger.snapshot().per_machine,
+            vec![2, 2],
+            "failed fused cascade not billed"
+        );
     }
 
     #[test]

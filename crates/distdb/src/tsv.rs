@@ -28,8 +28,21 @@ pub enum TsvError {
         /// The offending content.
         content: String,
     },
+    /// Two data lines name the same `(machine, element)` pair — almost
+    /// certainly a corrupt or hand-mangled file, so we refuse rather than
+    /// silently summing.
+    DuplicateRow {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// The repeated machine index.
+        machine: usize,
+        /// The repeated element.
+        element: u64,
+    },
     /// The parsed data violates the model (propagated).
     Invalid(String),
+    /// Reading or writing the file failed.
+    Io(String),
 }
 
 impl std::fmt::Display for TsvError {
@@ -37,7 +50,16 @@ impl std::fmt::Display for TsvError {
         match self {
             TsvError::BadHeader(s) => write!(f, "bad header: {s}"),
             TsvError::BadLine { line, content } => write!(f, "bad line {line}: {content:?}"),
+            TsvError::DuplicateRow {
+                line,
+                machine,
+                element,
+            } => write!(
+                f,
+                "line {line} repeats machine {machine}, element {element}"
+            ),
             TsvError::Invalid(s) => write!(f, "invalid dataset: {s}"),
+            TsvError::Io(s) => write!(f, "io error: {s}"),
         }
     }
 }
@@ -77,7 +99,7 @@ pub fn from_tsv(text: &str) -> Result<DistributedDataset, TsvError> {
     let mut universe: Option<u64> = None;
     let mut capacity: Option<u64> = None;
     let mut machines: Option<usize> = None;
-    let mut triples: Vec<(usize, u64, u64)> = Vec::new();
+    let mut triples: Vec<(usize, usize, u64, u64)> = Vec::new();
 
     for (idx, raw) in lines {
         let line = raw.trim();
@@ -97,7 +119,7 @@ pub fn from_tsv(text: &str) -> Result<DistributedDataset, TsvError> {
                 let j: usize = j.parse().map_err(|_| bad())?;
                 let e: u64 = e.parse().map_err(|_| bad())?;
                 let c: u64 = c.parse().map_err(|_| bad())?;
-                triples.push((j, e, c));
+                triples.push((idx + 1, j, e, c));
             }
             _ => return Err(bad()),
         }
@@ -106,15 +128,46 @@ pub fn from_tsv(text: &str) -> Result<DistributedDataset, TsvError> {
     let capacity = capacity.ok_or_else(|| TsvError::BadHeader("missing capacity".into()))?;
     let machines = machines.ok_or_else(|| TsvError::BadHeader("missing machines".into()))?;
     let mut shards = vec![Multiset::new(); machines];
-    for (j, e, c) in triples {
+    for (line, j, e, c) in triples {
         if j >= machines {
             return Err(TsvError::Invalid(format!(
                 "machine index {j} out of range 0..{machines}"
             )));
         }
-        shards[j].insert_many(e, c);
+        if shards[j].multiplicity(e) > 0 {
+            return Err(TsvError::DuplicateRow {
+                line,
+                machine: j,
+                element: e,
+            });
+        }
+        // `checked_insert_many` so a corrupt count errors instead of
+        // wrapping or panicking (the dataset validator re-checks totals
+        // across machines with the same discipline).
+        shards[j]
+            .checked_insert_many(e, c)
+            .ok_or(TsvError::Invalid(
+                DatasetError::CountOverflow { element: e }.to_string(),
+            ))?;
     }
     Ok(DistributedDataset::new(universe, capacity, shards)?)
+}
+
+/// Reads and parses a dataset from a TSV file on disk.
+pub fn read_tsv_file(path: impl AsRef<std::path::Path>) -> Result<DistributedDataset, TsvError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| TsvError::Io(format!("{}: {e}", path.display())))?;
+    from_tsv(&text)
+}
+
+/// Serializes a dataset to a TSV file on disk.
+pub fn write_tsv_file(
+    ds: &DistributedDataset,
+    path: impl AsRef<std::path::Path>,
+) -> Result<(), TsvError> {
+    let path = path.as_ref();
+    std::fs::write(path, to_tsv(ds)).map_err(|e| TsvError::Io(format!("{}: {e}", path.display())))
 }
 
 #[cfg(test)]
@@ -186,5 +239,49 @@ mod tests {
         // capacity violated: element 0 total 5 > ν = 2
         let text = "# dqs-dataset v1\nuniverse\t8\ncapacity\t2\nmachines\t1\n0\t0\t5\n";
         assert!(matches!(from_tsv(text), Err(TsvError::Invalid(_))));
+    }
+
+    #[test]
+    fn duplicate_row_rejected_with_position() {
+        let text = "# dqs-dataset v1\nuniverse\t8\ncapacity\t4\nmachines\t1\n0\t1\t2\n0\t1\t1\n";
+        match from_tsv(text) {
+            Err(TsvError::DuplicateRow {
+                line,
+                machine,
+                element,
+            }) => {
+                assert_eq!((line, machine, element), (6, 0, 1));
+            }
+            other => panic!("expected DuplicateRow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn overflowing_count_is_a_typed_error_not_a_panic() {
+        // Two near-u64::MAX counts on different machines: each row parses,
+        // the cross-machine total overflows — caught by the validator.
+        let huge = u64::MAX - 1;
+        let text = format!(
+            "# dqs-dataset v1\nuniverse\t8\ncapacity\t{huge}\nmachines\t2\n0\t1\t{huge}\n1\t1\t{huge}\n"
+        );
+        match from_tsv(&text) {
+            Err(TsvError::Invalid(msg)) => assert!(msg.contains("overflow"), "{msg}"),
+            other => panic!("expected overflow error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn file_round_trip_and_io_errors() {
+        let dir = std::env::temp_dir().join("dqs-tsv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ds.tsv");
+        write_tsv_file(&dataset(), &path).unwrap();
+        assert_eq!(read_tsv_file(&path).unwrap(), dataset());
+        let missing = dir.join("does-not-exist.tsv");
+        match read_tsv_file(&missing) {
+            Err(TsvError::Io(msg)) => assert!(msg.contains("does-not-exist"), "{msg}"),
+            other => panic!("expected Io error, got {other:?}"),
+        }
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -59,5 +59,5 @@ pub use measure::{coherent_copy, fidelity_after_measurement, measure_register};
 pub use program::{Instruction, Program};
 pub use register::{Layout, LayoutBuilder, Register};
 pub use sparse::SparseState;
-pub use state::QuantumState;
+pub use state::{QuantumState, SimError};
 pub use table::StateTable;

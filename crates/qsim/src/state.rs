@@ -9,6 +9,46 @@ use crate::register::Layout;
 use crate::table::StateTable;
 use dqs_math::{Complex64, MatC};
 use rand::Rng;
+use std::fmt;
+
+/// Typed error from a *checked* state operation.
+///
+/// The unchecked entry points ([`QuantumState::apply_permutation`] and
+/// friends) debug-assert their contract and panic on violation — the right
+/// behaviour for trusted, internally generated circuits. Fault-injection
+/// layers rewrite basis tuples from *untrusted* (possibly corrupt) oracle
+/// answers, so they go through [`QuantumState::try_apply_permutation`],
+/// which surfaces contract violations as this error instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// A permutation closure wrote a register value `value ≥ dim` — the
+    /// rewritten tuple is not a valid basis state of the layout.
+    BasisOutOfRange {
+        /// Offending register index.
+        register: usize,
+        /// The out-of-range value the closure produced.
+        value: u64,
+        /// The register's dimension (valid values are `0..dim`).
+        dim: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BasisOutOfRange {
+                register,
+                value,
+                dim,
+            } => write!(
+                f,
+                "permutation wrote {value} into register {register} of dimension {dim}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// A mutable pure quantum state over a multi-register [`Layout`].
 ///
@@ -51,6 +91,33 @@ pub trait QuantumState: Clone {
     /// `Ô_j` (Eq. 2) and the parallel composite `O` (Eq. 3), as well as
     /// ancilla copy/uncopy steps.
     fn apply_permutation(&mut self, f: impl Fn(&mut [u64]) + Sync);
+
+    /// Checked variant of [`Self::apply_permutation`] for untrusted maps
+    /// (e.g. oracle answers rewritten by a fault-injection layer).
+    ///
+    /// Dry-runs `f` over the current support first and validates every
+    /// rewritten register value against the layout; on violation the state
+    /// is left **unchanged** and a [`SimError`] is returned. Only then is
+    /// the map applied for real. Costs one extra pass over the support.
+    fn try_apply_permutation(&mut self, f: impl Fn(&mut [u64]) + Sync) -> Result<(), SimError> {
+        let layout = self.layout().clone();
+        // Walk the sorted support so the reported violation is deterministic.
+        for (basis, _) in self.to_table().iter() {
+            let mut tuple = basis.to_vec();
+            f(&mut tuple);
+            for (r, &v) in tuple.iter().enumerate() {
+                if v >= layout.dim(r) {
+                    return Err(SimError::BasisOutOfRange {
+                        register: r,
+                        value: v,
+                        dim: layout.dim(r),
+                    });
+                }
+            }
+        }
+        self.apply_permutation(f);
+        Ok(())
+    }
 
     /// Applies a unitary on register `target`, conditioned on the values of
     /// the other registers: the matrix used for a basis tuple `b` is
@@ -144,5 +211,67 @@ pub(crate) fn debug_check_norm<S: QuantumState>(state: &S, op: &str) {
             "norm drifted to {n} after {op} (layout {:?})",
             state.layout()
         );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseState;
+    use crate::sparse::SparseState;
+
+    fn layout() -> Layout {
+        Layout::builder().register("i", 4).register("s", 3).build()
+    }
+
+    fn superposed<S: QuantumState>() -> S {
+        let mut s = S::from_basis(layout(), &[1, 0]);
+        // Spread support over two tuples so the dry-run walks more than one.
+        s.apply_register_unitary(0, &crate::gates::dft(4));
+        s
+    }
+
+    fn checked_roundtrip<S: QuantumState>() {
+        let mut s: S = superposed();
+        let before = s.to_table();
+
+        // Valid map: matches the unchecked path bit-for-bit.
+        let mut unchecked: S = superposed();
+        unchecked.apply_permutation(|b| b[1] = (b[1] + 2) % 3);
+        s.try_apply_permutation(|b| b[1] = (b[1] + 2) % 3)
+            .expect("in-range map");
+        assert_eq!(s.to_table(), unchecked.to_table());
+
+        // Invalid map: typed error, and the state must be untouched.
+        let mut t: S = superposed();
+        let err = t
+            .try_apply_permutation(|b| b[1] += 3)
+            .expect_err("out-of-range write must be rejected");
+        assert_eq!(
+            err,
+            SimError::BasisOutOfRange {
+                register: 1,
+                value: 3,
+                dim: 3
+            }
+        );
+        assert_eq!(t.to_table(), before, "state mutated on rejected map");
+    }
+
+    #[test]
+    fn try_apply_permutation_checks_both_backends() {
+        checked_roundtrip::<DenseState>();
+        checked_roundtrip::<SparseState>();
+    }
+
+    #[test]
+    fn sim_error_displays_offending_register() {
+        let msg = SimError::BasisOutOfRange {
+            register: 2,
+            value: 9,
+            dim: 5,
+        }
+        .to_string();
+        assert!(msg.contains("register 2") && msg.contains('9'), "{msg}");
     }
 }

@@ -11,7 +11,11 @@ use crate::register::Layout;
 use dqs_math::Complex64;
 
 /// A sorted, deduplicated pure-state snapshot over a [`Layout`].
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` is *bit-exact* (entries compare by `f64` equality, no
+/// tolerance) — exactly what determinism tests want, but use
+/// [`StateTable::fidelity`] for numerical closeness.
+#[derive(Clone, Debug, PartialEq)]
 pub struct StateTable {
     layout: Layout,
     entries: Vec<(Box<[u64]>, Complex64)>,

@@ -3,9 +3,13 @@
 //! The examples and benches keep re-using a handful of recognizable
 //! configurations; naming them here keeps parameters consistent across the
 //! repository and gives README-level narratives a single source of truth.
+//! [`FaultScenario`] extends a preset with a seeded fault environment so a
+//! whole chaos experiment — data, placement, and failure schedule — is one
+//! reproducible value with a text form for run manifests.
 
 use crate::partition::PartitionScheme;
 use crate::spec::{Distribution, WorkloadSpec};
+use dqs_db::{FaultPlan, FaultRates};
 
 /// A named, ready-to-build scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -107,6 +111,97 @@ impl Scenario {
     }
 }
 
+/// A [`Scenario`] plus a seeded fault environment: everything a chaos
+/// experiment needs to be replayed bit-for-bit, with a line-oriented
+/// `key = value` text form (the offline serde stub provides only marker
+/// traits, so (de)serialization is hand-rolled).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultScenario {
+    /// The data/placement preset.
+    pub scenario: Scenario,
+    /// Universe scale handed to [`Scenario::spec`].
+    pub scale: u64,
+    /// Seed for both the dataset and the fault plan.
+    pub seed: u64,
+    /// Per-class fault probability (see [`FaultRates::uniform`]).
+    pub fault_rate: f64,
+    /// Fault onsets are drawn from `[0, horizon)` query attempts.
+    pub horizon: u64,
+}
+
+impl FaultScenario {
+    /// The dataset spec of the underlying preset.
+    pub fn workload(&self) -> WorkloadSpec {
+        self.scenario.spec(self.scale, self.seed)
+    }
+
+    /// The uniform fault rates of this scenario.
+    pub fn fault_rates(&self) -> FaultRates {
+        FaultRates::uniform(self.fault_rate, self.horizon)
+    }
+
+    /// The deterministic fault plan for the preset's machine count.
+    pub fn fault_plan(&self) -> FaultPlan {
+        let machines = self.workload().machines;
+        FaultPlan::seeded(machines, self.seed, &self.fault_rates())
+    }
+
+    /// Serializes to the manifest text form.
+    pub fn to_text(&self) -> String {
+        format!(
+            "scenario = {}\nscale = {}\nseed = {}\nfault_rate = {}\nhorizon = {}\n",
+            self.scenario.name(),
+            self.scale,
+            self.seed,
+            self.fault_rate,
+            self.horizon,
+        )
+    }
+
+    /// Parses the text form produced by [`FaultScenario::to_text`]. Keys
+    /// may appear in any order; unknown keys, missing keys, and malformed
+    /// values are errors (returned as a human-readable message).
+    pub fn from_text(text: &str) -> Result<Self, String> {
+        let (mut scenario, mut scale, mut seed, mut rate, mut horizon) =
+            (None, None, None, None, None);
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let bad = |e: &dyn std::fmt::Display| format!("line {}: {key}: {e}", lineno + 1);
+            match key {
+                "scenario" => {
+                    scenario = Some(
+                        Scenario::all()
+                            .into_iter()
+                            .find(|s| s.name() == value)
+                            .ok_or_else(|| {
+                                format!("line {}: unknown scenario {value:?}", lineno + 1)
+                            })?,
+                    );
+                }
+                "scale" => scale = Some(value.parse::<u64>().map_err(|e| bad(&e))?),
+                "seed" => seed = Some(value.parse::<u64>().map_err(|e| bad(&e))?),
+                "fault_rate" => rate = Some(value.parse::<f64>().map_err(|e| bad(&e))?),
+                "horizon" => horizon = Some(value.parse::<u64>().map_err(|e| bad(&e))?),
+                other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+            }
+        }
+        Ok(Self {
+            scenario: scenario.ok_or("missing key: scenario")?,
+            scale: scale.ok_or("missing key: scale")?,
+            seed: seed.ok_or("missing key: seed")?,
+            fault_rate: rate.ok_or("missing key: fault_rate")?,
+            horizon: horizon.ok_or("missing key: horizon")?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,5 +245,56 @@ mod tests {
     fn scale_is_clamped() {
         let ds = Scenario::BalancedCluster.spec(4, 1).build();
         assert_eq!(ds.universe(), 64);
+    }
+
+    #[test]
+    fn fault_scenario_text_round_trips() {
+        for sc in Scenario::all() {
+            let fs = FaultScenario {
+                scenario: sc,
+                scale: 128,
+                seed: 9,
+                fault_rate: 0.125,
+                horizon: 40,
+            };
+            let parsed = FaultScenario::from_text(&fs.to_text()).expect("round trip");
+            assert_eq!(parsed, fs);
+            // The replay contract: the parsed manifest regenerates the
+            // identical fault schedule and dataset.
+            assert_eq!(parsed.fault_plan(), fs.fault_plan());
+            assert_eq!(parsed.workload().build(), fs.workload().build());
+        }
+    }
+
+    #[test]
+    fn fault_scenario_text_tolerates_comments_and_order() {
+        let text = "# chaos manifest\nhorizon = 12\nseed = 3\n\nfault_rate = 0.5\nscenario = log-ingest\nscale = 256\n";
+        let fs = FaultScenario::from_text(text).expect("parse");
+        assert_eq!(fs.scenario, Scenario::LogIngest);
+        assert_eq!(fs.horizon, 12);
+        assert_eq!(fs.fault_rate, 0.5);
+    }
+
+    #[test]
+    fn fault_scenario_text_rejects_garbage() {
+        assert!(FaultScenario::from_text("scenario = nope\n").is_err());
+        assert!(FaultScenario::from_text("scale = twelve\n").is_err());
+        assert!(FaultScenario::from_text("bogus = 1\n").is_err());
+        assert!(FaultScenario::from_text("scenario = log-ingest\n")
+            .unwrap_err()
+            .contains("missing key"));
+        assert!(FaultScenario::from_text("no equals sign here\n").is_err());
+    }
+
+    #[test]
+    fn fault_free_scenario_has_empty_plan() {
+        let fs = FaultScenario {
+            scenario: Scenario::BalancedCluster,
+            scale: 64,
+            seed: 1,
+            fault_rate: 0.0,
+            horizon: 16,
+        };
+        assert!(fs.fault_plan().is_fault_free());
     }
 }

@@ -25,7 +25,7 @@ fn main() {
 
     // Run the compiled circuit and check it against the interpreter.
     let state: SparseState = program.run_from_basis(&[0, 0, 0]);
-    let reference = sequential_sample::<SparseState>(&dataset);
+    let reference = sequential_sample::<SparseState>(&dataset).expect("faultless run");
     let fidelity = state.to_table().fidelity(&reference.state.to_table());
     println!("  fidelity vs interpreter: {fidelity:.12}");
     assert!(fidelity > 1.0 - 1e-9);

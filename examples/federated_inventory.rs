@@ -40,7 +40,7 @@ fn main() {
     println!("per-site units: {:?}", p.machine_counts);
 
     // Baseline sample of the current inventory.
-    let before = sequential_sample::<SparseState>(&dataset);
+    let before = sequential_sample::<SparseState>(&dataset).expect("faultless run");
     println!(
         "\nbefore churn: fidelity = {:.12}, queries = {}",
         before.fidelity,
@@ -57,13 +57,14 @@ fn main() {
     );
 
     // Sample through the composed oracles (no rebuild).
-    let live = sequential_sample_with_updates::<SparseState>(&dataset, &log);
+    let live =
+        sequential_sample_with_updates::<SparseState>(&dataset, &log).expect("faultless run");
     println!("composed-oracle sample: fidelity = {:.12}", live.fidelity);
     assert!(live.fidelity > 1.0 - 1e-9);
 
     // Cross-check: rebuild the database from scratch and sample again.
     let rebuilt = log.apply_to(&dataset);
-    let fresh = sequential_sample::<SparseState>(&rebuilt);
+    let fresh = sequential_sample::<SparseState>(&rebuilt).expect("faultless run");
     println!("rebuilt-database sample: fidelity = {:.12}", fresh.fidelity);
 
     let p_live = live.state.register_probabilities(live.layout.elem);

@@ -42,7 +42,7 @@ fn main() {
     );
 
     // Quantum: sequential distributed sampling.
-    let run = sequential_sample::<SparseState>(&dataset);
+    let run = sequential_sample::<SparseState>(&dataset).expect("faultless run");
     println!("\nquantum frequency encoding:");
     println!("  oracle queries : {}", run.queries.total_sequential());
     println!("  fidelity       : {:.12}", run.fidelity);

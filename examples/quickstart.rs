@@ -24,7 +24,7 @@ fn main() {
     println!("per-machine loads M_j = {:?}", p.machine_counts);
 
     // --- sequential model (Theorem 4.3) ---------------------------------
-    let seq = sequential_sample::<SparseState>(&dataset);
+    let seq = sequential_sample::<SparseState>(&dataset).expect("faultless run");
     println!("\nsequential sampler:");
     println!("  AA iterations        : {}", seq.plan.total_iterations());
     println!(
@@ -40,7 +40,7 @@ fn main() {
     assert!(seq.fidelity > 1.0 - 1e-9, "zero-error AA must be exact");
 
     // --- parallel model (Theorem 4.5) -----------------------------------
-    let par = parallel_sample::<SparseState>(&dataset);
+    let par = parallel_sample::<SparseState>(&dataset).expect("faultless run");
     println!("\nparallel sampler:");
     println!(
         "  rounds               : {} (predicted {})",

@@ -17,7 +17,7 @@
 //! let dataset = WorkloadSpec::small_uniform(32, 60, 3, 42).build();
 //!
 //! // Run Theorem 4.3's sequential sampler on the sparse backend.
-//! let run = sequential_sample::<SparseState>(&dataset);
+//! let run = sequential_sample::<SparseState>(&dataset).expect("faultless run");
 //! assert!(run.fidelity > 1.0 - 1e-9);          // zero-error: exactly |ψ⟩
 //! assert_eq!(
 //!     run.queries.total_sequential(),          // ledger == closed form
@@ -53,13 +53,14 @@ pub mod prelude {
     pub use dqs_adversary::{HardInputFamily, ParallelHybrid, SequentialHybrid};
     pub use dqs_baselines::{centralized_sample, classical_sample, plain_sequential_sample};
     pub use dqs_core::{
-        compile_sequential, estimate_total_count, parallel_sample, sequential_sample,
-        sequential_sample_adaptive, sequential_sample_with_updates, AaPlan, DistributingOperator,
-        ParallelLayout, SequentialLayout,
+        compile_sequential, estimate_total_count, parallel_sample, parallel_sample_degraded,
+        sequential_sample, sequential_sample_adaptive, sequential_sample_degraded,
+        sequential_sample_with_updates, AaPlan, DegradedRun, DistributingOperator, ParallelLayout,
+        RetryPolicy, SampleError, SequentialLayout,
     };
     pub use dqs_db::{
-        dataset_stats, from_tsv, to_tsv, DistributedDataset, Multiset, OracleSet, QueryLedger,
-        UpdateLog, UpdateOp,
+        dataset_stats, from_tsv, to_tsv, DistributedDataset, FaultKind, FaultPlan, FaultRates,
+        FaultyOracleSet, Multiset, OracleError, OracleSet, QueryLedger, UpdateLog, UpdateOp,
     };
     pub use dqs_math::{Complex64, Welford};
     pub use dqs_sim::{
@@ -76,7 +77,7 @@ mod tests {
     #[test]
     fn facade_quickstart_compiles_and_runs() {
         let dataset = WorkloadSpec::small_uniform(16, 24, 2, 7).build();
-        let run = sequential_sample::<SparseState>(&dataset);
+        let run = sequential_sample::<SparseState>(&dataset).expect("faultless run");
         assert!(run.fidelity > 1.0 - 1e-9);
     }
 }

@@ -44,7 +44,7 @@ fn grid() -> Vec<WorkloadSpec> {
 fn sequential_sampler_is_exact_on_the_whole_grid() {
     for spec in grid() {
         let ds = spec.build();
-        let run = sequential_sample::<SparseState>(&ds);
+        let run = sequential_sample::<SparseState>(&ds).expect("faultless run");
         assert!(
             run.fidelity > 1.0 - 1e-9,
             "fidelity {} on {spec:?}",
@@ -62,7 +62,7 @@ fn sequential_sampler_is_exact_on_the_whole_grid() {
 fn parallel_sampler_is_exact_on_the_whole_grid() {
     for spec in grid() {
         let ds = spec.build();
-        let run = parallel_sample::<SparseState>(&ds);
+        let run = parallel_sample::<SparseState>(&ds).expect("faultless run");
         assert!(run.fidelity > 1.0 - 1e-9, "fidelity on {spec:?}");
         assert_eq!(run.queries.parallel_rounds, run.cost.parallel_rounds);
         assert_eq!(run.queries.total_sequential(), 0);
@@ -74,8 +74,8 @@ fn dense_and_sparse_agree_end_to_end() {
     // dense backend only at tiny sizes (joint dim N·(ν+1)·2)
     let spec = WorkloadSpec::small_uniform(16, 24, 2, 77);
     let ds = spec.build();
-    let sparse = sequential_sample::<SparseState>(&ds);
-    let dense = sequential_sample::<DenseState>(&ds);
+    let sparse = sequential_sample::<SparseState>(&ds).expect("faultless run");
+    let dense = sequential_sample::<DenseState>(&ds).expect("faultless run");
     assert!(
         sparse
             .state
@@ -90,8 +90,8 @@ fn dense_and_sparse_agree_end_to_end() {
 fn parallel_and_sequential_agree_on_marginals() {
     for spec in grid().into_iter().take(6) {
         let ds = spec.build();
-        let seq = sequential_sample::<SparseState>(&ds);
-        let par = parallel_sample::<SparseState>(&ds);
+        let seq = sequential_sample::<SparseState>(&ds).expect("faultless run");
+        let par = parallel_sample::<SparseState>(&ds).expect("faultless run");
         let ps = seq.state.register_probabilities(seq.layout.elem);
         let pp = par.state.register_probabilities(par.layout.elem);
         for i in 0..ds.universe() as usize {
@@ -103,7 +103,7 @@ fn parallel_and_sequential_agree_on_marginals() {
 #[test]
 fn measurement_statistics_converge_to_frequencies() {
     let ds = WorkloadSpec::small_uniform(16, 40, 2, 5).build();
-    let run = sequential_sample::<SparseState>(&ds);
+    let run = sequential_sample::<SparseState>(&ds).expect("faultless run");
     let mut rng = StdRng::seed_from_u64(123);
     let trials = 20_000;
     let mut hist = [0u32; 16];
@@ -144,8 +144,8 @@ fn oblivious_schedule_is_input_independent() {
     )
     .unwrap();
     assert_eq!(a.params().total_count, b.params().total_count);
-    let ra = sequential_sample::<SparseState>(&a);
-    let rb = sequential_sample::<SparseState>(&b);
+    let ra = sequential_sample::<SparseState>(&a).expect("faultless run");
+    let rb = sequential_sample::<SparseState>(&b).expect("faultless run");
     assert_eq!(ra.queries, rb.queries, "schedule leaked input information");
     assert!(ra.fidelity > 1.0 - 1e-9 && rb.fidelity > 1.0 - 1e-9);
 }

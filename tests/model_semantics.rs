@@ -111,8 +111,8 @@ fn update_composition_equals_rebuild_for_long_traces() {
     .build();
     let mut rng = StdRng::seed_from_u64(14);
     let log = churn_trace(&ds, 100, 0.5, &mut rng);
-    let live = sequential_sample_with_updates::<SparseState>(&ds, &log);
-    let rebuilt = sequential_sample::<SparseState>(&log.apply_to(&ds));
+    let live = sequential_sample_with_updates::<SparseState>(&ds, &log).expect("faultless run");
+    let rebuilt = sequential_sample::<SparseState>(&log.apply_to(&ds)).expect("faultless run");
     assert!(live.fidelity > 1.0 - 1e-9);
     assert!(live
         .state
@@ -146,8 +146,8 @@ fn no_measurement_needed_anywhere() {
     // to output (Lemma 5.3's "algorithms without measurements" is the
     // regime our implementation already lives in).
     let ds = dataset();
-    let run = sequential_sample::<SparseState>(&ds);
+    let run = sequential_sample::<SparseState>(&ds).expect("faultless run");
     assert!((run.state.norm() - 1.0).abs() < 1e-9);
-    let par = parallel_sample::<SparseState>(&ds);
+    let par = parallel_sample::<SparseState>(&ds).expect("faultless run");
     assert!((par.state.norm() - 1.0).abs() < 1e-9);
 }

@@ -25,7 +25,7 @@ fn sequential_cost_is_sandwiched() {
         }
         .build();
         let p = ds.params();
-        let run = sequential_sample::<SparseState>(&ds);
+        let run = sequential_sample::<SparseState>(&ds).expect("faultless run");
         let measured = run.queries.total_sequential() as f64;
         let lower = sequential_query_lower_bound(&p);
         // upper envelope with explicit constants: 2n(2(m̃+1)+1), m̃ ≤ (π/4)√(νN/M)
@@ -53,7 +53,7 @@ fn parallel_cost_is_sandwiched() {
         }
         .build();
         let p = ds.params();
-        let run = parallel_sample::<SparseState>(&ds);
+        let run = parallel_sample::<SparseState>(&ds).expect("faultless run");
         let measured = run.queries.parallel_rounds as f64;
         let lower = parallel_query_lower_bound(&p);
         let upper = 4.0 * (2.0 * (std::f64::consts::FRAC_PI_4 * p.sqrt_vn_over_m() + 2.0) + 1.0);

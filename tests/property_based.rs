@@ -26,7 +26,7 @@ proptest! {
 
     #[test]
     fn sequential_sampler_is_always_exact(ds in dataset_strategy()) {
-        let run = sequential_sample::<SparseState>(&ds);
+        let run = sequential_sample::<SparseState>(&ds).expect("faultless run");
         prop_assert!(run.fidelity > 1.0 - 1e-9, "fidelity {}", run.fidelity);
         prop_assert!((run.state.norm() - 1.0).abs() < 1e-9);
         prop_assert_eq!(run.queries.total_sequential(), run.cost.sequential_queries);
@@ -34,14 +34,14 @@ proptest! {
 
     #[test]
     fn parallel_sampler_is_always_exact(ds in dataset_strategy()) {
-        let run = parallel_sample::<SparseState>(&ds);
+        let run = parallel_sample::<SparseState>(&ds).expect("faultless run");
         prop_assert!(run.fidelity > 1.0 - 1e-9, "fidelity {}", run.fidelity);
         prop_assert_eq!(run.queries.parallel_rounds, run.cost.parallel_rounds);
     }
 
     #[test]
     fn output_marginal_equals_data_frequencies(ds in dataset_strategy()) {
-        let run = sequential_sample::<SparseState>(&ds);
+        let run = sequential_sample::<SparseState>(&ds).expect("faultless run");
         let probs = run.state.register_probabilities(run.layout.elem);
         let m_total = ds.total_count() as f64;
         for i in 0..ds.universe() {
@@ -97,7 +97,7 @@ proptest! {
         use distributed_quantum_sampling::core::compile_sequential;
         let program = compile_sequential(&ds);
         let compiled: SparseState = program.run_from_basis(&[0, 0, 0]);
-        let interpreted = sequential_sample::<SparseState>(&ds);
+        let interpreted = sequential_sample::<SparseState>(&ds).expect("faultless run");
         // phase-blind comparison; the compiled circuit tracks −1 as e^{iπ}
         let f = compiled.to_table().fidelity(&interpreted.state.to_table());
         prop_assert!(f > 1.0 - 1e-9, "compiled/interpreted fidelity {}", f);
@@ -124,9 +124,9 @@ proptest! {
         ).unwrap();
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let log = churn_trace(&ds, 12, 0.5, &mut rng);
-        let live = sequential_sample_with_updates::<SparseState>(&ds, &log);
+        let live = sequential_sample_with_updates::<SparseState>(&ds, &log).expect("faultless run");
         prop_assert!(live.fidelity > 1.0 - 1e-9);
-        let rebuilt = sequential_sample::<SparseState>(&log.apply_to(&ds));
+        let rebuilt = sequential_sample::<SparseState>(&log.apply_to(&ds)).expect("faultless run");
         let pl = live.state.register_probabilities(0);
         let pr = rebuilt.state.register_probabilities(0);
         for (a, b) in pl.iter().zip(&pr) {
@@ -138,7 +138,7 @@ proptest! {
     fn centralizing_preserves_everything_but_cost(ds in dataset_strategy()) {
         use distributed_quantum_sampling::baselines::centralized_sample;
         let central = centralized_sample::<SparseState>(&ds);
-        let distributed = sequential_sample::<SparseState>(&ds);
+        let distributed = sequential_sample::<SparseState>(&ds).expect("faultless run");
         prop_assert!(central.run.fidelity > 1.0 - 1e-9);
         prop_assert_eq!(
             central.run.plan.total_iterations(),
