@@ -1,0 +1,102 @@
+//! CI bench-regression gate: checks the committed `BENCH_qsim.json`
+//! baseline's invariants and re-measures key rows in-process, failing
+//! (exit 1) when either drifts beyond tolerance.
+//!
+//! ```text
+//! cargo run --release -p dqs-bench --bin bench_gate                    # full gate
+//! cargo run --release -p dqs-bench --bin bench_gate -- --tolerance 0.3
+//! cargo run --release -p dqs-bench --bin bench_gate -- --baseline other.json
+//! cargo run --release -p dqs-bench --bin bench_gate -- --baseline-only # skip fresh runs
+//! cargo run --release -p dqs-bench --bin bench_gate -- --write-baseline
+//! ```
+//!
+//! `--tolerance` scales the performance thresholds (default 0.5, i.e.
+//! ratios may drift up to 50% before the gate trips); exactness checks
+//! (fidelity 1, zero-fault overhead 1) are never relaxed. `--baseline-only`
+//! validates the document without running samplers — fast enough for a
+//! pre-commit hook.
+//!
+//! **`--write-baseline` is the escape hatch** for intentional performance
+//! changes: it regenerates `BENCH_qsim.json` (full measurement sweep plus
+//! the chaos section, through the same code paths as `bench_json` and
+//! `chaos_sweep`), re-validates the fresh file, and exits. Commit the
+//! regenerated file together with the change that shifted the numbers, and
+//! say why in the commit message.
+
+use dqs_bench::bench_data;
+use dqs_bench::chaos_data;
+use dqs_bench::gate::{check_baseline, check_fresh, render_report, DEFAULT_TOLERANCE};
+use dqs_bench::jsonv::Json;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tolerance = args
+        .iter()
+        .position(|a| a == "--tolerance")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| s.parse::<f64>().expect("--tolerance takes a number"))
+        .unwrap_or(DEFAULT_TOLERANCE);
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| {
+            bench_data::repo_root()
+                .join("BENCH_qsim.json")
+                .to_string_lossy()
+                .into_owned()
+        });
+    let baseline_only = args.iter().any(|a| a == "--baseline-only");
+
+    if args.iter().any(|a| a == "--write-baseline") {
+        eprintln!("bench_gate: regenerating {baseline_path} (full sweep — takes a while)");
+        let json = bench_data::generate(false);
+        std::fs::write(&baseline_path, &json).expect("write baseline");
+        let (_, section) = chaos_data::generate(false);
+        chaos_data::merge_into(&baseline_path, &section).expect("merge chaos section");
+        let text = std::fs::read_to_string(&baseline_path).expect("re-read baseline");
+        let doc = Json::parse(&text).expect("fresh baseline parses");
+        let violations = check_baseline(&doc, tolerance);
+        print!("{}", render_report(&violations));
+        if !violations.is_empty() {
+            eprintln!("bench_gate: freshly written baseline already violates the gate — the build itself has regressed");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "bench_gate: wrote {baseline_path}; commit it with the change that moved the numbers"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match Json::parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("bench_gate: {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut violations = check_baseline(&doc, tolerance);
+    if !baseline_only {
+        violations.extend(check_fresh(&doc, tolerance));
+    }
+    print!("{}", render_report(&violations));
+    if violations.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!(
+            "bench_gate: failed against {baseline_path} (tolerance {tolerance}); \
+             if the regression is intentional, rerun with --write-baseline and commit the result"
+        );
+        ExitCode::FAILURE
+    }
+}

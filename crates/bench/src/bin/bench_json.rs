@@ -1,5 +1,6 @@
 //! Machine-readable simulator benchmark: writes `BENCH_qsim.json` at the
-//! repository root.
+//! repository root, plus the `BENCH_qsim.metrics.json` observability
+//! sidecar.
 //!
 //! Regenerate with:
 //!
@@ -9,373 +10,47 @@
 //!
 //! (offline: `./tools/offline-stubs/check.sh run --release -p dqs-bench --bin bench_json`)
 //!
-//! Measures gate-application throughput (permutation and conditioned
-//! unitary) on the sparse and dense backends across state sizes, one fused
-//! vs gate-by-gate comparison of a single distributing-operator application,
-//! and an `n`-sweep of end-to-end `sequential_sample` runs in both
-//! realizations (plus one run inside an explicitly built rayon thread pool,
-//! recording the thread count actually observed). Each measurement reports
-//! the median of several timed repetitions.
+//! The measurements themselves live in [`dqs_bench::bench_data`] so the
+//! `bench_gate` binary can regenerate baselines through the same code path.
+//! Timed loops run **without** a recorder installed (observability must not
+//! perturb the numbers CI gates on); the sidecar comes from separate
+//! instrumented passes after timing finishes.
 //!
 //! `--smoke` runs everything at tiny sizes with one repetition and does
-//! **not** overwrite `BENCH_qsim.json` — the CI compile-and-run check.
+//! **not** overwrite any file — the CI compile-and-run check.
+//! `--metrics-only` refreshes just the sidecar, leaving the committed
+//! timing baseline untouched (the sidecar's counters are deterministic, so
+//! it can be regenerated on any machine).
 
-use dqs_core::{
-    sequential_sample, sequential_sample_with_realization, DistributingOperator, SequentialLayout,
-};
-use dqs_db::{OracleSet, QueryLedger};
-use dqs_sim::{gates, DenseState, Layout, QuantumState, SparseState};
-use dqs_workloads::WorkloadSpec;
-use std::fmt::Write as _;
-use std::hint::black_box;
-use std::path::PathBuf;
-use std::time::Instant;
-
-/// Timed repetitions per measurement (median reported); 1 under `--smoke`.
-fn samples(smoke: bool) -> usize {
-    if smoke {
-        1
-    } else {
-        7
-    }
-}
-
-/// Registers: elem_hi × elem_lo (each √size) + count 8 + flag 2.
-fn layout(size: u64) -> Layout {
-    let side = (size as f64).sqrt().round() as u64;
-    assert_eq!(side * side, size, "bench sizes must be perfect squares");
-    Layout::builder()
-        .register("elem_hi", side)
-        .register("elem_lo", side)
-        .register("count", 8)
-        .register("flag", 2)
-        .build()
-}
-
-fn uniform_sparse(size: u64) -> SparseState {
-    let l = layout(size);
-    let side = l.dim(0);
-    let mut s = SparseState::from_basis(l, &[0, 0, 0, 0]);
-    s.apply_register_unitary(0, &gates::dft(side));
-    s.apply_register_unitary(1, &gates::dft(side));
-    s
-}
-
-fn uniform_dense(size: u64) -> DenseState {
-    let l = layout(size);
-    let side = l.dim(0);
-    let mut s = DenseState::from_basis(l, &[0, 0, 0, 0]);
-    s.apply_register_unitary(0, &gates::dft(side));
-    s.apply_register_unitary(1, &gates::dft(side));
-    s
-}
-
-/// Median wall-clock seconds of `n` runs of `f` (one warm-up first).
-fn median_secs(n: usize, mut f: impl FnMut()) -> f64 {
-    f();
-    let mut times: Vec<f64> = (0..n)
-        .map(|_| {
-            let t0 = Instant::now();
-            f();
-            t0.elapsed().as_secs_f64()
-        })
-        .collect();
-    times.sort_by(|a, b| a.total_cmp(b));
-    times[times.len() / 2]
-}
-
-struct GateRow {
-    op: &'static str,
-    backend: &'static str,
-    support: u64,
-    seconds: f64,
-}
-
-impl GateRow {
-    fn ops_per_sec(&self) -> f64 {
-        1.0 / self.seconds
-    }
-    fn ns_per_amplitude(&self) -> f64 {
-        self.seconds * 1e9 / self.support as f64
-    }
-}
-
-fn bench_gates(smoke: bool) -> Vec<GateRow> {
-    // The element index is split across two registers of dimension √size so
-    // the uniform state is prepared with two small DFTs (a single
-    // `dft(2^18)` would materialize a 2^18×2^18 matrix).
-    let sparse_sizes: &[u64] = if smoke {
-        &[1 << 10]
-    } else {
-        &[1 << 10, 1 << 14, 1 << 18]
-    };
-    let dense_sizes: &[u64] = if smoke {
-        &[1 << 10]
-    } else {
-        &[1 << 10, 1 << 14]
-    };
-    let reps = samples(smoke);
-
-    let mut rows = Vec::new();
-    for &n in sparse_sizes {
-        let s = uniform_sparse(n);
-        let secs = median_secs(reps, || {
-            let mut s = s.clone();
-            s.apply_permutation(|t| t[2] = (t[2] + (t[0] + t[1]) % 7) % 8);
-            black_box(s.support_len());
-        });
-        rows.push(GateRow {
-            op: "permutation",
-            backend: "sparse",
-            support: n,
-            seconds: secs,
-        });
-        let secs = median_secs(reps, || {
-            let mut s = s.clone();
-            s.apply_conditioned_unitary(3, |t| {
-                let c = (t[2] as f64 / 7.0).min(1.0);
-                gates::ry_by_cos_sin(c, (1.0 - c * c).sqrt())
-            });
-            black_box(s.support_len());
-        });
-        rows.push(GateRow {
-            op: "conditioned_unitary",
-            backend: "sparse",
-            support: n,
-            seconds: secs,
-        });
-    }
-    for &n in dense_sizes {
-        let d = uniform_dense(n);
-        let secs = median_secs(reps, || {
-            let mut d = d.clone();
-            d.apply_permutation(|t| t[2] = (t[2] + (t[0] + t[1]) % 7) % 8);
-            black_box(d.norm());
-        });
-        rows.push(GateRow {
-            op: "permutation",
-            backend: "dense",
-            support: n,
-            seconds: secs,
-        });
-        let secs = median_secs(reps, || {
-            let mut d = d.clone();
-            d.apply_conditioned_unitary(3, |t| {
-                let c = (t[2] as f64 / 7.0).min(1.0);
-                gates::ry_by_cos_sin(c, (1.0 - c * c).sqrt())
-            });
-            black_box(d.norm());
-        });
-        rows.push(GateRow {
-            op: "conditioned_unitary",
-            backend: "dense",
-            support: n,
-            seconds: secs,
-        });
-    }
-    rows
-}
-
-struct DRow {
-    mode: &'static str,
-    machines: usize,
-    universe: u64,
-    seconds: f64,
-}
-
-/// One application of the full distributing operator `D` on a uniform
-/// state, fused single pass vs the literal `2n+1`-pass cascade.
-fn bench_distributing(smoke: bool) -> Vec<DRow> {
-    let (universe, total) = if smoke {
-        (64u64, 32u64)
-    } else {
-        (1024u64, 512u64)
-    };
-    let machine_counts: &[usize] = if smoke { &[2] } else { &[2, 8, 16] };
-    let reps = samples(smoke);
-    let mut rows = Vec::new();
-    for &machines in machine_counts {
-        let dataset = WorkloadSpec::small_uniform(universe, total, machines, 42).build();
-        let sl = SequentialLayout::for_dataset(&dataset);
-        let base = SparseState::from_table(sl.uniform_anchor());
-        for (mode, fused) in [("fused", true), ("gate_by_gate", false)] {
-            let d = DistributingOperator::with_fused(dataset.capacity(), fused);
-            let ledger = QueryLedger::new(machines);
-            let oracles = OracleSet::new(&dataset, &ledger);
-            let secs = median_secs(reps, || {
-                let mut s = base.clone();
-                d.apply_sequential(&oracles, &mut s, &sl, false);
-                black_box(s.support_len());
-            });
-            rows.push(DRow {
-                mode,
-                machines,
-                universe,
-                seconds: secs,
-            });
-        }
-    }
-    rows
-}
-
-struct E2eRow {
-    machines: usize,
-    mode: &'static str,
-    threads: usize,
-    seconds: f64,
-    fidelity: f64,
-}
-
-/// End-to-end `sequential_sample` sweep over machine counts, fused vs
-/// gate-by-gate, plus one fused run inside an explicitly built rayon pool.
-/// The `threads` field records `rayon::current_num_threads()` as observed
-/// inside the run (the offline stub executes serially and reports 1).
-fn bench_end_to_end(smoke: bool, universe: u64, total: u64, seed: u64) -> Vec<E2eRow> {
-    let machine_counts: &[usize] = if smoke { &[2] } else { &[2, 4, 8, 16] };
-    let reps = samples(smoke);
-    let mut rows = Vec::new();
-    for &machines in machine_counts {
-        let dataset = WorkloadSpec::small_uniform(universe, total, machines, seed).build();
-        for (mode, fused) in [("fused", true), ("gate_by_gate", false)] {
-            let mut fidelity = 1.0;
-            let secs = median_secs(reps, || {
-                let run = sequential_sample_with_realization::<SparseState>(&dataset, fused)
-                    .expect("faultless run");
-                fidelity = run.fidelity;
-                black_box(run.fidelity);
-            });
-            rows.push(E2eRow {
-                machines,
-                mode,
-                threads: rayon::current_num_threads(),
-                seconds: secs,
-                fidelity,
-            });
-        }
-    }
-
-    // Multi-threaded row: ask for a >1-thread pool and record what we got.
-    let mt_machines = *machine_counts.last().expect("non-empty sweep");
-    let dataset = WorkloadSpec::small_uniform(universe, total, mt_machines, seed).build();
-    let want = std::thread::available_parallelism().map_or(2, |p| p.get().min(8));
-    let pool = rayon::ThreadPoolBuilder::new()
-        .num_threads(want.max(2))
-        .build()
-        .expect("build bench thread pool");
-    let mut observed = 1;
-    let mut fidelity = 1.0;
-    let secs = median_secs(reps, || {
-        pool.install(|| {
-            observed = rayon::current_num_threads();
-            let run = sequential_sample::<SparseState>(&dataset).expect("faultless run");
-            fidelity = run.fidelity;
-            black_box(run.fidelity);
-        })
-    });
-    rows.push(E2eRow {
-        machines: mt_machines,
-        mode: "fused_pool",
-        threads: observed,
-        seconds: secs,
-        fidelity,
-    });
-    rows
-}
-
-fn repo_root() -> PathBuf {
-    std::env::var("CARGO_MANIFEST_DIR")
-        .map(|d| {
-            PathBuf::from(d)
-                .parent()
-                .and_then(|p| p.parent())
-                .map(|p| p.to_path_buf())
-                .unwrap_or_else(|| PathBuf::from("."))
-        })
-        .unwrap_or_else(|_| PathBuf::from("."))
-}
+use dqs_bench::bench_data::{collect_metrics, generate, repo_root};
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
-    let gate_rows = bench_gates(smoke);
-    let d_rows = bench_distributing(smoke);
-
-    let (universe, total, seed) = if smoke {
-        (256u64, 128u64, 42u64)
-    } else {
-        (2048u64, 1024u64, 42u64)
-    };
-    let e2e_rows = bench_end_to_end(smoke, universe, total, seed);
-
-    // Legacy headline row (PR 1 compatibility): n = 4, default (fused) path.
-    let machines = 4usize;
-    let dataset = WorkloadSpec::small_uniform(universe, total, machines, seed).build();
-    let e2e_secs = median_secs(samples(smoke), || {
-        black_box(
-            sequential_sample::<SparseState>(&dataset)
-                .expect("faultless run")
-                .fidelity,
-        );
-    });
-
-    let mut json = String::new();
-    json.push_str("{\n");
-    json.push_str("  \"generated_by\": \"cargo run --release -p dqs-bench --bin bench_json\",\n");
-    let _ = writeln!(
-        json,
-        "  \"rayon_threads\": {},",
-        rayon::current_num_threads()
-    );
-    json.push_str("  \"gate_application\": [\n");
-    for (i, r) in gate_rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"op\": \"{}\", \"backend\": \"{}\", \"support\": {}, \"seconds\": {:.6e}, \"ops_per_sec\": {:.3}, \"ns_per_amplitude\": {:.3}}}",
-            r.op,
-            r.backend,
-            r.support,
-            r.seconds,
-            r.ops_per_sec(),
-            r.ns_per_amplitude(),
-        );
-        json.push_str(if i + 1 < gate_rows.len() { ",\n" } else { "\n" });
+    if std::env::args().any(|a| a == "--metrics-only") {
+        let metrics = collect_metrics(smoke);
+        if smoke {
+            println!("{metrics}");
+            return;
+        }
+        let metrics_path = repo_root().join("BENCH_qsim.metrics.json");
+        std::fs::write(&metrics_path, &metrics).expect("write BENCH_qsim.metrics.json");
+        println!("wrote {}", metrics_path.display());
+        return;
     }
-    json.push_str("  ],\n");
-    json.push_str("  \"distributing_apply\": [\n");
-    for (i, r) in d_rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"mode\": \"{}\", \"machines\": {}, \"universe\": {}, \"seconds\": {:.6e}}}",
-            r.mode, r.machines, r.universe, r.seconds,
-        );
-        json.push_str(if i + 1 < d_rows.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ],\n");
-    let _ = writeln!(
-        json,
-        "  \"end_to_end_sweep\": {{\"name\": \"sequential_sample\", \"backend\": \"sparse\", \"universe\": {universe}, \"total_records\": {total}, \"seed\": {seed}, \"rows\": ["
-    );
-    for (i, r) in e2e_rows.iter().enumerate() {
-        let _ = write!(
-            json,
-            "    {{\"machines\": {}, \"mode\": \"{}\", \"rayon_threads\": {}, \"seconds\": {:.6e}, \"fidelity\": {:.12}}}",
-            r.machines, r.mode, r.threads, r.seconds, r.fidelity,
-        );
-        json.push_str(if i + 1 < e2e_rows.len() { ",\n" } else { "\n" });
-    }
-    json.push_str("  ]},\n");
-    let _ = writeln!(
-        json,
-        "  \"end_to_end\": {{\"name\": \"sequential_sample\", \"backend\": \"sparse\", \"universe\": {universe}, \"total_records\": {total}, \"machines\": {machines}, \"seed\": {seed}, \"seconds\": {e2e_secs:.6e}}}"
-    );
-    json.push_str("}\n");
+    let json = generate(smoke);
+    let metrics = collect_metrics(smoke);
 
     if smoke {
         println!("{json}");
+        println!("{metrics}");
         println!("--smoke: BENCH_qsim.json left untouched");
         return;
     }
     let path = repo_root().join("BENCH_qsim.json");
     std::fs::write(&path, &json).expect("write BENCH_qsim.json");
+    let metrics_path = repo_root().join("BENCH_qsim.metrics.json");
+    std::fs::write(&metrics_path, &metrics).expect("write BENCH_qsim.metrics.json");
     println!("{json}");
     println!("wrote {}", path.display());
+    println!("wrote {}", metrics_path.display());
 }

@@ -1,0 +1,134 @@
+//! Human-readable observability report: run one instrumented sampler and
+//! render where the time and the oracle queries went, phase by phase.
+//!
+//! ```text
+//! cargo run --release -p dqs-bench --bin trace_report
+//! cargo run --release -p dqs-bench --bin trace_report -- --algorithm degraded --machines 8
+//! cargo run --release -p dqs-bench --bin trace_report -- --export trace.jsonl
+//! ```
+//!
+//! `--algorithm` picks `sequential` (default), `parallel`, `degraded`
+//! (30% fault injection) or `adaptive`; `--machines`, `--universe`,
+//! `--total` and `--seed` size the workload. `--export PATH` additionally
+//! writes the raw deterministic event stream as JSONL — the same stream the
+//! `obs_determinism` suite proves bit-identical across backends.
+
+use dqs_bench::chaos_data::CHAOS_WORKLOAD;
+use dqs_core::{
+    parallel_sample, sequential_sample, sequential_sample_adaptive, sequential_sample_degraded,
+    RetryPolicy,
+};
+use dqs_db::{FaultPlan, FaultRates};
+use dqs_obs::{attribute_queries, Recorder};
+use dqs_sim::SparseState;
+use dqs_workloads::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let algorithm = flag(&args, "--algorithm").unwrap_or_else(|| "sequential".into());
+    let machines: usize = flag(&args, "--machines").map_or(4, |s| s.parse().expect("--machines"));
+    let (def_universe, def_total) = CHAOS_WORKLOAD;
+    let universe: u64 =
+        flag(&args, "--universe").map_or(def_universe, |s| s.parse().expect("--universe"));
+    let total: u64 = flag(&args, "--total").map_or(def_total, |s| s.parse().expect("--total"));
+    let seed: u64 = flag(&args, "--seed").map_or(42, |s| s.parse().expect("--seed"));
+    let export = flag(&args, "--export");
+
+    let dataset = WorkloadSpec::small_uniform(universe, total, machines, seed).build();
+    let rec = Recorder::new();
+    dqs_obs::with_recorder(&rec, || match algorithm.as_str() {
+        "sequential" => {
+            let run = sequential_sample::<SparseState>(&dataset).expect("faultless run");
+            eprintln!("fidelity {:.12}", run.fidelity);
+        }
+        "parallel" => {
+            let run = parallel_sample::<SparseState>(&dataset).expect("faultless run");
+            eprintln!("fidelity {:.12}", run.fidelity);
+        }
+        "degraded" => {
+            let horizon = (universe / machines as u64).max(1);
+            let plan = FaultPlan::seeded(machines, seed, &FaultRates::uniform(0.3, horizon));
+            let run =
+                sequential_sample_degraded::<SparseState>(&dataset, &plan, &RetryPolicy::default())
+                    .expect("degraded run");
+            eprintln!(
+                "fidelity_vs_target {:.12} (restarts {}, dead {:?})",
+                run.fidelity_vs_target, run.restarts, run.dead
+            );
+        }
+        "adaptive" => {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let run = sequential_sample_adaptive(&dataset, 500, &mut rng).expect("adaptive run");
+            eprintln!("fidelity {:.12}", run.fidelity);
+        }
+        other => panic!("unknown --algorithm {other} (sequential|parallel|degraded|adaptive)"),
+    });
+
+    println!(
+        "trace_report: {algorithm} sampler, n = {machines}, N = {universe}, M = {total}, seed {seed}"
+    );
+    println!();
+
+    // Per-phase query attribution from the deterministic event stream.
+    let events = rec.events();
+    println!(
+        "{:<22} {:>8} {:>12} {:>10}  other",
+        "span", "entries", "oracle-qs", "rounds"
+    );
+    for (name, attr) in attribute_queries(&events) {
+        let other: Vec<String> = attr
+            .other_counters
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect();
+        println!(
+            "{:<22} {:>8} {:>12} {:>10}  {}",
+            name,
+            attr.entries,
+            attr.oracle_queries,
+            attr.oracle_rounds,
+            other.join(" ")
+        );
+    }
+    println!();
+
+    // Wall-clock per span (aggregated outside the event stream, so the
+    // stream itself stays deterministic).
+    println!(
+        "{:<22} {:>6} {:>12} {:>12} {:>12}",
+        "span timing", "count", "total-ms", "min-ms", "max-ms"
+    );
+    for (name, stat) in rec.span_stats() {
+        println!(
+            "{:<22} {:>6} {:>12.3} {:>12.3} {:>12.3}",
+            name,
+            stat.count,
+            stat.total_ns as f64 / 1e6,
+            stat.min_ns as f64 / 1e6,
+            stat.max_ns as f64 / 1e6
+        );
+    }
+    println!();
+
+    println!("counters:");
+    for ((name, machine), v) in rec.counters() {
+        match machine {
+            Some(j) => println!("  {name}#{j} = {v}"),
+            None => println!("  {name} = {v}"),
+        }
+    }
+
+    if let Some(path) = export {
+        std::fs::write(&path, rec.export_jsonl()).expect("write JSONL export");
+        eprintln!("trace_report: wrote event stream to {path}");
+    }
+}

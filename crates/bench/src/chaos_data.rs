@@ -1,0 +1,186 @@
+//! The chaos-sweep grid, factored out of the `chaos_sweep` binary so
+//! `bench_gate --write-baseline` can regenerate the `"chaos_sweep"` section
+//! of `BENCH_qsim.json` through the same code path.
+
+use dqs_core::parallel_sample_degraded;
+use dqs_core::{
+    parallel_sample, sequential_sample, sequential_sample_degraded, DegradedRun, RetryPolicy,
+    SampleError,
+};
+use dqs_db::{FaultPlan, FaultRates};
+use dqs_sim::SparseState;
+use dqs_workloads::WorkloadSpec;
+use std::time::Instant;
+
+/// One grid cell's outcome, already JSON-shaped.
+pub struct Row {
+    /// `sequential` or `parallel`.
+    pub algorithm: &'static str,
+    /// Machine count of the cell.
+    pub machines: usize,
+    /// Per-query fault probability.
+    pub fault_rate: f64,
+    /// Workload seed.
+    pub seed: u64,
+    /// The rendered JSON object for this cell.
+    pub json: String,
+}
+
+/// The `(universe, total_records)` every chaos cell samples from.
+pub const CHAOS_WORKLOAD: (u64, u64) = (64, 96);
+
+/// The faultless cost of a run: sequential queries for the sequential
+/// algorithm, parallel rounds for the parallel one.
+fn degraded_cost<S, L>(algorithm: &str, run: &DegradedRun<S, L>) -> u64 {
+    match algorithm {
+        "sequential" => run.queries.total_sequential(),
+        _ => run.queries.parallel_rounds,
+    }
+}
+
+/// Runs one grid cell.
+#[allow(clippy::too_many_arguments)]
+pub fn cell(
+    algorithm: &'static str,
+    machines: usize,
+    fault_rate: f64,
+    seed: u64,
+    universe: u64,
+    total: u64,
+    policy: &RetryPolicy,
+) -> Row {
+    let ds = WorkloadSpec::small_uniform(universe, total, machines, seed).build();
+    let baseline_cost = match algorithm {
+        "sequential" => sequential_sample::<SparseState>(&ds)
+            .expect("faultless run")
+            .queries
+            .total_sequential(),
+        _ => {
+            parallel_sample::<SparseState>(&ds)
+                .expect("faultless run")
+                .queries
+                .parallel_rounds
+        }
+    };
+    // Fault onsets must land inside the window a machine is actually
+    // queried in, or the plan is vacuous: per-machine attempts are
+    // cost/n sequentially and one per round in parallel.
+    let horizon = match algorithm {
+        "sequential" => baseline_cost / machines as u64,
+        _ => baseline_cost,
+    }
+    .max(1);
+    let plan = FaultPlan::seeded(
+        machines,
+        seed ^ fault_rate.to_bits(),
+        &FaultRates::uniform(fault_rate, horizon),
+    );
+    let start = Instant::now();
+    let result = match algorithm {
+        "sequential" => sequential_sample_degraded::<SparseState>(&ds, &plan, policy).map(|r| {
+            (
+                degraded_cost(algorithm, &r),
+                r.restarts,
+                r.dead.clone(),
+                r.total_retries,
+                r.backoff_ticks,
+                r.fidelity_bound,
+                r.fidelity_vs_target,
+                r.fidelity_vs_surviving,
+            )
+        }),
+        _ => parallel_sample_degraded::<SparseState>(&ds, &plan, policy).map(|r| {
+            (
+                degraded_cost(algorithm, &r),
+                r.restarts,
+                r.dead.clone(),
+                r.total_retries,
+                r.backoff_ticks,
+                r.fidelity_bound,
+                r.fidelity_vs_target,
+                r.fidelity_vs_surviving,
+            )
+        }),
+    };
+    let seconds = start.elapsed().as_secs_f64();
+    let json = match result {
+        Ok((cost, restarts, dead, retries, ticks, bound, f_target, f_surv)) => format!(
+            "{{\"algorithm\": \"{algorithm}\", \"machines\": {machines}, \"fault_rate\": {fault_rate}, \"seed\": {seed}, \"horizon\": {horizon}, \
+             \"completed\": true, \"restarts\": {restarts}, \"dead_machines\": {dead:?}, \
+             \"retries\": {retries}, \"backoff_ticks\": {ticks}, \
+             \"cost\": {cost}, \"baseline_cost\": {baseline_cost}, \"query_overhead\": {:.4}, \
+             \"fidelity_bound\": {bound:.9}, \"fidelity_vs_target\": {f_target:.9}, \
+             \"fidelity_vs_surviving\": {f_surv:.9}, \"seconds\": {seconds:.3e}}}",
+            cost as f64 / baseline_cost as f64,
+        ),
+        Err(SampleError::NoSurvivingData { dead }) => format!(
+            "{{\"algorithm\": \"{algorithm}\", \"machines\": {machines}, \"fault_rate\": {fault_rate}, \"seed\": {seed}, \"horizon\": {horizon}, \
+             \"completed\": false, \"dead_machines\": {dead:?}, \"baseline_cost\": {baseline_cost}, \
+             \"seconds\": {seconds:.3e}}}"
+        ),
+        Err(e) => panic!("unexpected sampling error in chaos sweep: {e}"),
+    };
+    Row {
+        algorithm,
+        machines,
+        fault_rate,
+        seed,
+        json,
+    }
+}
+
+/// Runs the whole grid (`--smoke` uses the 2-cell grid) and renders the
+/// `"chaos_sweep"` section value. Also returns the rows for invariant
+/// checks.
+pub fn generate(smoke: bool) -> (Vec<Row>, String) {
+    let (universe, total) = CHAOS_WORKLOAD;
+    let policy = RetryPolicy::default();
+    let (machine_grid, rate_grid): (&[usize], &[f64]) = if smoke {
+        (&[2], &[0.0, 0.3])
+    } else {
+        (&[2, 4, 8], &[0.0, 0.05, 0.15, 0.3])
+    };
+
+    let mut rows = Vec::new();
+    for &machines in machine_grid {
+        for &rate in rate_grid {
+            for algorithm in ["sequential", "parallel"] {
+                let row = cell(algorithm, machines, rate, 42, universe, total, &policy);
+                eprintln!(
+                    "chaos_sweep: {} n={} p={} done",
+                    row.algorithm, row.machines, row.fault_rate
+                );
+                debug_assert_eq!(row.seed, 42);
+                rows.push(row);
+            }
+        }
+    }
+
+    let body: Vec<String> = rows.iter().map(|r| format!("    {}", r.json)).collect();
+    let section = format!(
+        "{{\"name\": \"chaos_sweep\", \"backend\": \"sparse\", \"universe\": {universe}, \
+         \"total_records\": {total}, \
+         \"policy\": {{\"max_retries\": {}, \"backoff_base\": {}, \"backoff_cap\": {}, \"breaker_threshold\": {}}}, \"rows\": [\n{}\n  ]}}",
+        policy.max_retries,
+        policy.backoff_base,
+        policy.backoff_cap,
+        policy.breaker_threshold,
+        body.join(",\n"),
+    );
+    (rows, section)
+}
+
+/// Replaces (or appends) the `"chaos_sweep"` section, which is kept as the
+/// last section of the file so the surgery stays a suffix operation.
+pub fn merge_into(path: &str, section: &str) -> std::io::Result<()> {
+    let text = std::fs::read_to_string(path)?;
+    let trimmed = text.trim_end();
+    let body = match trimmed.find(",\n  \"chaos_sweep\"") {
+        Some(idx) => trimmed[..idx].trim_end(),
+        None => trimmed
+            .strip_suffix('}')
+            .expect("BENCH_qsim.json must end with '}'")
+            .trim_end(),
+    };
+    std::fs::write(path, format!("{body},\n  \"chaos_sweep\": {section}\n}}\n"))
+}

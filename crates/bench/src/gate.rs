@@ -1,0 +1,516 @@
+//! The bench-regression gate: turns `BENCH_qsim.json` into an enforced
+//! contract.
+//!
+//! Two layers of checks, both returning a list of human-readable violations
+//! (empty = pass):
+//!
+//! * [`check_baseline`] — pure invariants of the committed baseline
+//!   document itself: exact fidelities, zero-fault chaos cells matching the
+//!   faultless baseline, fused-realization flatness across machine counts,
+//!   and the fused-vs-gate-by-gate speedup floor. These catch a regressed
+//!   *committed* baseline (someone re-ran `bench_json` on a build where the
+//!   fused path stopped being fast or exact).
+//! * [`check_fresh`] — re-runs key measurements in-process (smoke-sized
+//!   correctness rows plus a speedup probe at the baseline's own workload)
+//!   and compares them against the committed numbers. These catch a
+//!   regressed *build* whose baseline file is stale.
+//!
+//! The `tolerance` knob (default [`DEFAULT_TOLERANCE`]) scales every
+//! threshold: relative comparisons accept a factor `1 ± tolerance`.
+//! Exactness checks (fidelity 1, overhead 1) are *not* scaled — those are
+//! correctness, not performance.
+
+use crate::bench_data::{self, median_secs};
+use crate::jsonv::Json;
+use dqs_core::{parallel_sample, sequential_sample_with_realization};
+use dqs_db::LedgerSnapshot;
+use dqs_sim::SparseState;
+use dqs_workloads::WorkloadSpec;
+use std::fmt::Write as _;
+use std::hint::black_box;
+
+/// Default relative tolerance for performance comparisons.
+pub const DEFAULT_TOLERANCE: f64 = 0.5;
+
+/// Absolute slack for "exactly 1" fidelity checks.
+const FIDELITY_EPS: f64 = 1e-9;
+
+fn push(violations: &mut Vec<String>, msg: String) {
+    violations.push(msg);
+}
+
+/// Smallest/largest fused e2e seconds and the per-machine mode table.
+fn e2e_rows(doc: &Json) -> Vec<(u64, String, f64, Option<f64>)> {
+    doc.get("end_to_end_sweep")
+        .and_then(|s| s.get("rows"))
+        .and_then(Json::as_array)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| {
+                    Some((
+                        r.get("machines")?.as_f64()? as u64,
+                        r.get("mode")?.as_str()?.to_string(),
+                        r.get("seconds")?.as_f64()?,
+                        r.get("fidelity").and_then(Json::as_f64),
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Checks the committed baseline document's own invariants.
+pub fn check_baseline(doc: &Json, tolerance: f64) -> Vec<String> {
+    let mut v = Vec::new();
+
+    let rows = e2e_rows(doc);
+    if rows.is_empty() {
+        push(
+            &mut v,
+            "baseline has no end_to_end_sweep rows — wrong or truncated file".into(),
+        );
+        return v;
+    }
+
+    // 1. Zero-error amplification is part of the contract: every sweep row
+    //    must report fidelity 1 to within float noise.
+    for (machines, mode, _, fidelity) in &rows {
+        match fidelity {
+            Some(f) if (f - 1.0).abs() <= FIDELITY_EPS => {}
+            Some(f) => push(
+                &mut v,
+                format!("e2e n={machines} {mode}: fidelity {f} is not 1 (exactness regression)"),
+            ),
+            None => push(&mut v, format!("e2e n={machines} {mode}: missing fidelity")),
+        }
+    }
+
+    // 2. Fused flatness: the fused sampler's wall time must stay flat in n
+    //    (that is the point of the single-pass realization). The committed
+    //    spread is ~1.10×; allow 1.2×(1+tolerance).
+    let fused: Vec<f64> = rows
+        .iter()
+        .filter(|(_, mode, _, _)| mode == "fused")
+        .map(|&(_, _, s, _)| s)
+        .collect();
+    if fused.len() >= 2 {
+        let (min, max) = fused
+            .iter()
+            .fold((f64::INFINITY, 0f64), |(lo, hi), &s| (lo.min(s), hi.max(s)));
+        let limit = 1.2 * (1.0 + tolerance);
+        if max / min > limit {
+            push(
+                &mut v,
+                format!(
+                    "fused e2e seconds vary {:.2}x across machine counts (limit {limit:.2}x) — \
+                     fused realization no longer flat in n",
+                    max / min
+                ),
+            );
+        }
+    }
+
+    // 3. Fused speedup at the largest machine count: gate-by-gate costs
+    //    Θ(n) passes per D, fused costs 1, so the ratio should track n/2
+    //    conservatively. Committed: 7.6x at n = 16.
+    let largest = rows
+        .iter()
+        .filter(|(_, mode, _, _)| mode == "gate_by_gate")
+        .map(|&(n, _, _, _)| n)
+        .max();
+    if let Some(n) = largest {
+        let fused_s = rows
+            .iter()
+            .find(|&&(m, ref mode, _, _)| m == n && mode == "fused")
+            .map(|&(_, _, s, _)| s);
+        let gbg_s = rows
+            .iter()
+            .find(|&&(m, ref mode, _, _)| m == n && mode == "gate_by_gate")
+            .map(|&(_, _, s, _)| s);
+        match (fused_s, gbg_s) {
+            (Some(f), Some(g)) => {
+                let floor = (n as f64 / 2.0) * (1.0 - tolerance);
+                if g / f < floor {
+                    push(
+                        &mut v,
+                        format!(
+                            "e2e n={n}: fused speedup {:.2}x below floor {floor:.2}x",
+                            g / f
+                        ),
+                    );
+                }
+            }
+            _ => push(
+                &mut v,
+                format!("e2e n={n}: missing fused/gate_by_gate pair"),
+            ),
+        }
+    }
+
+    // 4. Same floor for a single distributing-operator application.
+    if let Some(rows) = doc.get("distributing_apply").and_then(Json::as_array) {
+        let parsed: Vec<(u64, &str, f64)> = rows
+            .iter()
+            .filter_map(|r| {
+                Some((
+                    r.get("machines")?.as_f64()? as u64,
+                    r.get("mode")?.as_str()?,
+                    r.get("seconds")?.as_f64()?,
+                ))
+            })
+            .collect();
+        if let Some(n) = parsed.iter().map(|&(n, _, _)| n).max() {
+            let fused = parsed
+                .iter()
+                .find(|&&(m, mode, _)| m == n && mode == "fused")
+                .map(|&(_, _, s)| s);
+            let gbg = parsed
+                .iter()
+                .find(|&&(m, mode, _)| m == n && mode == "gate_by_gate")
+                .map(|&(_, _, s)| s);
+            if let (Some(f), Some(g)) = (fused, gbg) {
+                let floor = (n as f64 / 2.0) * (1.0 - tolerance);
+                if g / f < floor {
+                    push(
+                        &mut v,
+                        format!(
+                            "distributing_apply n={n}: fused speedup {:.2}x below floor {floor:.2}x",
+                            g / f
+                        ),
+                    );
+                }
+            }
+        }
+    } else {
+        push(&mut v, "baseline has no distributing_apply section".into());
+    }
+
+    // 5. Chaos sweep: a zero-fault cell must be indistinguishable from the
+    //    faultless baseline — overhead exactly 1, bounds exactly 1.
+    if let Some(rows) = doc
+        .get("chaos_sweep")
+        .and_then(|s| s.get("rows"))
+        .and_then(Json::as_array)
+    {
+        for r in rows {
+            let rate = r.get("fault_rate").and_then(Json::as_f64).unwrap_or(-1.0);
+            if rate != 0.0 {
+                continue;
+            }
+            let alg = r.get("algorithm").and_then(Json::as_str).unwrap_or("?");
+            let n = r.get("machines").and_then(Json::as_f64).unwrap_or(0.0);
+            if r.get("completed") != Some(&Json::Bool(true)) {
+                push(
+                    &mut v,
+                    format!("chaos {alg} n={n} p=0: zero-fault cell did not complete"),
+                );
+                continue;
+            }
+            for (key, eps) in [
+                ("query_overhead", 1e-6),
+                ("fidelity_bound", FIDELITY_EPS),
+                ("fidelity_vs_target", FIDELITY_EPS),
+            ] {
+                match r.get(key).and_then(Json::as_f64) {
+                    Some(x) if (x - 1.0).abs() <= eps => {}
+                    Some(x) => push(
+                        &mut v,
+                        format!("chaos {alg} n={n} p=0: {key} = {x}, expected exactly 1"),
+                    ),
+                    None => push(&mut v, format!("chaos {alg} n={n} p=0: missing {key}")),
+                }
+            }
+        }
+    }
+
+    v
+}
+
+/// Ledger totals must equal the cost model's prediction to the query.
+fn check_exact_costs(
+    violations: &mut Vec<String>,
+    label: &str,
+    queries: &LedgerSnapshot,
+    expected_sequential: u64,
+    expected_rounds: u64,
+) {
+    if queries.total_sequential() != expected_sequential {
+        violations.push(format!(
+            "{label}: ledger charged {} sequential queries, cost model predicts {expected_sequential}",
+            queries.total_sequential()
+        ));
+    }
+    if queries.parallel_rounds != expected_rounds {
+        violations.push(format!(
+            "{label}: ledger charged {} parallel rounds, cost model predicts {expected_rounds}",
+            queries.parallel_rounds
+        ));
+    }
+}
+
+/// Re-measures key rows in-process and compares against the baseline.
+///
+/// Correctness rows (fidelity, exact cost accounting, obs/ledger
+/// reconciliation) run at smoke sizes; the fused-speedup probe runs at the
+/// baseline's own end-to-end workload so the ratio is comparable, with
+/// [`bench_data::samples`]`(true)`-style short repetition counts.
+pub fn check_fresh(doc: &Json, tolerance: f64) -> Vec<String> {
+    let mut v = Vec::new();
+
+    // Correctness at smoke size, under a recorder so the obs/ledger
+    // reconciliation is exercised explicitly (release builds skip the
+    // debug assert inside the sampler).
+    let (universe, total, seed) = bench_data::e2e_workload(true);
+    let machines = 2usize;
+    let dataset = WorkloadSpec::small_uniform(universe, total, machines, seed).build();
+    let rec = dqs_obs::Recorder::new();
+    dqs_obs::with_recorder(&rec, || {
+        for (mode, fused) in [("fused", true), ("gate_by_gate", false)] {
+            let probe = dqs_obs::LedgerProbe::begin(&rec, machines);
+            let run = sequential_sample_with_realization::<SparseState>(&dataset, fused)
+                .expect("faultless run");
+            if (run.fidelity - 1.0).abs() > FIDELITY_EPS {
+                push(
+                    &mut v,
+                    format!(
+                        "fresh sequential ({mode}): fidelity {} is not 1",
+                        run.fidelity
+                    ),
+                );
+            }
+            check_exact_costs(
+                &mut v,
+                &format!("fresh sequential ({mode})"),
+                &run.queries,
+                run.cost.sequential_queries,
+                0,
+            );
+            if let Err(e) =
+                probe.reconcile(&rec, &run.queries.per_machine, run.queries.parallel_rounds)
+            {
+                push(&mut v, format!("fresh sequential ({mode}): {e}"));
+            }
+        }
+
+        let probe = dqs_obs::LedgerProbe::begin(&rec, machines);
+        let run = parallel_sample::<SparseState>(&dataset).expect("faultless run");
+        if (run.fidelity - 1.0).abs() > FIDELITY_EPS {
+            push(
+                &mut v,
+                format!("fresh parallel: fidelity {} is not 1", run.fidelity),
+            );
+        }
+        check_exact_costs(
+            &mut v,
+            "fresh parallel",
+            &run.queries,
+            0,
+            run.cost.parallel_rounds,
+        );
+        if let Err(e) = probe.reconcile(&rec, &run.queries.per_machine, run.queries.parallel_rounds)
+        {
+            push(&mut v, format!("fresh parallel: {e}"));
+        }
+    });
+
+    // Fresh fused-vs-gate-by-gate speedup at the baseline's own workload
+    // and largest machine count; compare ratio to the baseline's ratio —
+    // the ratio-of-medians is machine-independent enough to gate on.
+    let rows = e2e_rows(doc);
+    let spec = doc.get("end_to_end_sweep");
+    let b_universe = spec
+        .and_then(|s| s.get("universe"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0) as u64;
+    let b_total = spec
+        .and_then(|s| s.get("total_records"))
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0) as u64;
+    let b_seed = spec
+        .and_then(|s| s.get("seed"))
+        .and_then(Json::as_f64)
+        .unwrap_or(42.0) as u64;
+    let largest = rows
+        .iter()
+        .filter(|(_, mode, _, _)| mode == "gate_by_gate")
+        .map(|&(n, _, _, _)| n)
+        .max();
+    if let (Some(n), true) = (largest, b_universe > 0 && b_total > 0) {
+        let base_fused = rows
+            .iter()
+            .find(|&&(m, ref mode, _, _)| m == n && mode == "fused")
+            .map(|&(_, _, s, _)| s);
+        let base_gbg = rows
+            .iter()
+            .find(|&&(m, ref mode, _, _)| m == n && mode == "gate_by_gate")
+            .map(|&(_, _, s, _)| s);
+        if let (Some(bf), Some(bg)) = (base_fused, base_gbg) {
+            let ds = WorkloadSpec::small_uniform(b_universe, b_total, n as usize, b_seed).build();
+            let reps = 3;
+            let fresh_fused = median_secs(reps, || {
+                black_box(
+                    sequential_sample_with_realization::<SparseState>(&ds, true)
+                        .expect("faultless run")
+                        .fidelity,
+                );
+            });
+            let fresh_gbg = median_secs(reps, || {
+                black_box(
+                    sequential_sample_with_realization::<SparseState>(&ds, false)
+                        .expect("faultless run")
+                        .fidelity,
+                );
+            });
+            let base_ratio = bg / bf;
+            let fresh_ratio = fresh_gbg / fresh_fused;
+            if fresh_ratio < base_ratio * (1.0 - tolerance) {
+                push(
+                    &mut v,
+                    format!(
+                        "fresh e2e n={n}: fused speedup {fresh_ratio:.2}x fell below \
+                         baseline {base_ratio:.2}x by more than the {tolerance:.0e}-scaled \
+                         tolerance (floor {:.2}x)",
+                        base_ratio * (1.0 - tolerance)
+                    ),
+                );
+            }
+        }
+    }
+
+    v
+}
+
+/// Renders a violation list as a report (empty list → "ok" line).
+pub fn render_report(violations: &[String]) -> String {
+    if violations.is_empty() {
+        return "bench_gate: ok — all checks passed\n".to_string();
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "bench_gate: {} violation(s):", violations.len());
+    for msg in violations {
+        let _ = writeln!(out, "  - {msg}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A structurally faithful miniature baseline that passes every check.
+    fn good_baseline() -> String {
+        r#"{
+  "generated_by": "test",
+  "rayon_threads": 1,
+  "gate_application": [],
+  "distributing_apply": [
+    {"mode": "fused", "machines": 2, "universe": 64, "seconds": 1.0e-4},
+    {"mode": "gate_by_gate", "machines": 2, "universe": 64, "seconds": 3.0e-4},
+    {"mode": "fused", "machines": 16, "universe": 64, "seconds": 1.5e-4},
+    {"mode": "gate_by_gate", "machines": 16, "universe": 64, "seconds": 1.5e-3}
+  ],
+  "end_to_end_sweep": {"name": "sequential_sample", "backend": "sparse", "universe": 256, "total_records": 128, "seed": 42, "rows": [
+    {"machines": 2, "mode": "fused", "rayon_threads": 1, "seconds": 2.1e-3, "fidelity": 1.000000000000},
+    {"machines": 2, "mode": "gate_by_gate", "rayon_threads": 1, "seconds": 4.4e-3, "fidelity": 1.000000000000},
+    {"machines": 16, "mode": "fused", "rayon_threads": 1, "seconds": 2.3e-3, "fidelity": 1.000000000000},
+    {"machines": 16, "mode": "gate_by_gate", "rayon_threads": 1, "seconds": 1.8e-2, "fidelity": 1.000000000000}
+  ]},
+  "end_to_end": {"name": "sequential_sample", "seconds": 2.3e-3},
+  "chaos_sweep": {"name": "chaos_sweep", "rows": [
+    {"algorithm": "sequential", "machines": 2, "fault_rate": 0, "completed": true, "query_overhead": 1.0000, "fidelity_bound": 1.000000000, "fidelity_vs_target": 1.000000000},
+    {"algorithm": "parallel", "machines": 2, "fault_rate": 0.3, "completed": true, "query_overhead": 1.61, "fidelity_bound": 0.72, "fidelity_vs_target": 0.72}
+  ]}
+}"#
+        .to_string()
+    }
+
+    #[test]
+    fn good_baseline_passes() {
+        let doc = Json::parse(&good_baseline()).unwrap();
+        let v = check_baseline(&doc, DEFAULT_TOLERANCE);
+        assert!(v.is_empty(), "unexpected violations: {v:?}");
+    }
+
+    #[test]
+    fn fidelity_perturbation_fails_the_gate() {
+        // The negative test the acceptance criteria ask for: perturb one
+        // key metric beyond tolerance and the gate must fail.
+        let perturbed = good_baseline().replace(
+            "\"machines\": 16, \"mode\": \"fused\", \"rayon_threads\": 1, \"seconds\": 2.3e-3, \"fidelity\": 1.000000000000",
+            "\"machines\": 16, \"mode\": \"fused\", \"rayon_threads\": 1, \"seconds\": 2.3e-3, \"fidelity\": 0.991000000000",
+        );
+        assert_ne!(perturbed, good_baseline(), "replace must hit");
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, DEFAULT_TOLERANCE);
+        assert!(
+            v.iter().any(|m| m.contains("fidelity 0.991")),
+            "expected a fidelity violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn speedup_regression_fails_the_gate() {
+        // Fused path slowed to gate-by-gate speed at n = 16: speedup 1x,
+        // far below the 16/2·(1−0.5) = 4x floor.
+        let perturbed = good_baseline().replace(
+            "\"machines\": 16, \"mode\": \"fused\", \"rayon_threads\": 1, \"seconds\": 2.3e-3",
+            "\"machines\": 16, \"mode\": \"fused\", \"rayon_threads\": 1, \"seconds\": 1.8e-2",
+        );
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, DEFAULT_TOLERANCE);
+        assert!(
+            v.iter().any(|m| m.contains("below floor")),
+            "expected a speedup violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn zero_fault_chaos_drift_fails_the_gate() {
+        let perturbed =
+            good_baseline().replace("\"query_overhead\": 1.0000,", "\"query_overhead\": 1.2000,");
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, DEFAULT_TOLERANCE);
+        assert!(
+            v.iter().any(|m| m.contains("query_overhead")),
+            "expected a chaos violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn flatness_regression_fails_the_gate() {
+        // Fused time growing 3x from n=2 to n=16 breaks the flatness check
+        // while staying above the speedup floor.
+        let perturbed = good_baseline()
+            .replace(
+                "\"machines\": 16, \"mode\": \"fused\", \"rayon_threads\": 1, \"seconds\": 2.3e-3",
+                "\"machines\": 16, \"mode\": \"fused\", \"rayon_threads\": 1, \"seconds\": 6.3e-3",
+            )
+            .replace(
+                "\"machines\": 16, \"mode\": \"gate_by_gate\", \"rayon_threads\": 1, \"seconds\": 1.8e-2",
+                "\"machines\": 16, \"mode\": \"gate_by_gate\", \"rayon_threads\": 1, \"seconds\": 6.3e-2",
+            );
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, DEFAULT_TOLERANCE);
+        assert!(
+            v.iter().any(|m| m.contains("no longer flat")),
+            "expected a flatness violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn committed_baseline_passes_the_gate() {
+        let root = env!("CARGO_MANIFEST_DIR");
+        let path = std::path::Path::new(root).join("../../BENCH_qsim.json");
+        let text = std::fs::read_to_string(path).expect("committed BENCH_qsim.json");
+        let doc = Json::parse(&text).expect("baseline parses");
+        let v = check_baseline(&doc, DEFAULT_TOLERANCE);
+        assert!(v.is_empty(), "committed baseline violates the gate: {v:?}");
+    }
+
+    #[test]
+    fn report_rendering() {
+        assert!(render_report(&[]).contains("ok"));
+        let r = render_report(&["a".into(), "b".into()]);
+        assert!(r.contains("2 violation(s)") && r.contains("- a") && r.contains("- b"));
+    }
+}

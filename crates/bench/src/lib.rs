@@ -15,7 +15,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bench_data;
+pub mod chaos_data;
 pub mod experiments;
+pub mod gate;
+pub mod jsonv;
 pub mod report;
 
 pub use report::{log_log_slope, write_report, Table};

@@ -209,6 +209,7 @@ pub fn try_execute_plan<S: QuantumState, E>(
 ) -> Result<(), E> {
     let pi = std::f64::consts::PI;
     let mut q = |state: &mut S, varphi: f64, phi: f64| -> Result<(), E> {
+        dqs_obs::counter(dqs_obs::names::AA_ITERATION, 1);
         // rightmost factor first: S_χ(φ)
         state.apply_phase(|b| {
             if b[flag_reg] == 0 {

@@ -152,10 +152,14 @@ impl FaultHandler for RetrySession<'_> {
             || failures >= self.policy.breaker_threshold
         {
             self.dead[machine] = true;
+            dqs_obs::machine_counter(dqs_obs::names::BREAKER_TRIP, machine, 1);
             return FailureAction::GiveUp;
         }
         self.total_retries += 1;
-        self.backoff_ticks += self.policy.backoff(failures - 1);
+        let ticks = self.policy.backoff(failures - 1);
+        self.backoff_ticks += ticks;
+        dqs_obs::machine_counter(dqs_obs::names::RETRY, machine, 1);
+        dqs_obs::observe(dqs_obs::names::BACKOFF_TICKS, ticks);
         FailureAction::Retry
     }
 
@@ -302,6 +306,9 @@ where
     ) -> Result<(), OracleError>,
 {
     let n = dataset.num_machines();
+    let _run_span = dqs_obs::span(dqs_obs::names::SPAN_DEGRADED);
+    // One probe spans every attempt — all of them charge the same ledger.
+    let obs_probe = dqs_obs::begin_probe(n);
     let ledger = QueryLedger::new(n);
     let oracles = OracleSet::new(dataset, &ledger);
     let faulty = FaultyOracleSet::new(&oracles, fault_plan);
@@ -313,6 +320,7 @@ where
     let mut restarts = 0u64;
     loop {
         restarts += 1;
+        dqs_obs::counter(dqs_obs::names::RESTART, 1);
         let survivors = session.survivors();
         let mut surv_totals = vec![0u64; universe as usize];
         for &j in &survivors {
@@ -329,6 +337,10 @@ where
 
         let a = m_surv as f64 / (capacity as f64 * universe as f64);
         let plan = AaPlan::for_success_probability(a);
+        dqs_obs::gauge(
+            dqs_obs::names::AA_PLAN_ITERATIONS,
+            plan.total_iterations() as i64,
+        );
         let mut state = S::from_table(&anchor);
         let outcome = (|| -> Result<(), OracleError> {
             apply_d(&mut state, false, &survivors, &faulty, &mut session)?;
@@ -343,11 +355,15 @@ where
                 let target_full = target_from_totals(&sim_layout, elem, &full_totals);
                 let fidelity_vs_surviving = state.fidelity_with_table(&target_surviving);
                 let fidelity_vs_target = state.fidelity_with_table(&target_full);
+                dqs_obs::gauge(dqs_obs::names::SURVIVORS, survivors.len() as i64);
+                dqs_obs::float_metric("degraded.fidelity_vs_target", fidelity_vs_target);
+                let queries = ledger.snapshot();
+                dqs_obs::debug_check(&obs_probe, &queries.per_machine, queries.parallel_rounds);
                 return Ok(DegradedRun {
                     state,
                     layout,
                     plan,
-                    queries: ledger.snapshot(),
+                    queries,
                     restarts,
                     survivors,
                     dead: session.dead_machines(),

@@ -52,6 +52,8 @@ pub fn estimate_total_count(
     if shots == 0 {
         return Err(SampleError::InvalidShotBudget);
     }
+    let _run_span = dqs_obs::span(dqs_obs::names::SPAN_ESTIMATE);
+    let probe = dqs_obs::begin_probe(dataset.num_machines());
     let ledger = QueryLedger::new(dataset.num_machines());
     let oracles = OracleSet::new(dataset, &ledger);
     let layout = SequentialLayout::for_dataset(dataset);
@@ -59,6 +61,7 @@ pub fn estimate_total_count(
 
     let mut zeros = 0u64;
     for _ in 0..shots {
+        dqs_obs::counter(dqs_obs::names::ESTIMATE_SHOT, 1);
         // Compiled prep: load the cached `|π,0,0⟩` table (built once per
         // layout — especially important here, once per shot).
         let mut state = SparseState::from_table(layout.uniform_anchor());
@@ -66,6 +69,9 @@ pub fn estimate_total_count(
         let (flag, _) = measure_register(&mut state, layout.flag, rng);
         zeros += u64::from(flag == 0);
     }
+    dqs_obs::gauge(dqs_obs::names::ESTIMATE_ZEROS, zeros as i64);
+    let queries = ledger.snapshot();
+    dqs_obs::debug_check(&probe, &queries.per_machine, queries.parallel_rounds);
     if zeros == 0 {
         return Err(SampleError::NoFlagZeroOutcomes { shots });
     }
@@ -74,7 +80,7 @@ pub fn estimate_total_count(
         estimated_total: a_hat * dataset.capacity() as f64 * dataset.universe() as f64,
         estimated_a: a_hat,
         shots,
-        queries: ledger.snapshot(),
+        queries,
     })
 }
 
@@ -99,9 +105,17 @@ pub fn sequential_sample_adaptive(
     shots: u64,
     rng: &mut impl Rng,
 ) -> Result<AdaptiveRun, SampleError> {
+    let _run_span = dqs_obs::span(dqs_obs::names::SPAN_ADAPTIVE);
     let estimation = estimate_total_count(dataset, shots, rng)?;
     let plan = AaPlan::for_success_probability(estimation.estimated_a.clamp(1e-12, 1.0));
+    dqs_obs::gauge(
+        dqs_obs::names::AA_PLAN_ITERATIONS,
+        plan.total_iterations() as i64,
+    );
 
+    // Sampling phase on its own ledger: a fresh probe keeps the estimation
+    // phase's (already reconciled) charges out of this comparison.
+    let probe = dqs_obs::begin_probe(dataset.num_machines());
     let ledger = QueryLedger::new(dataset.num_machines());
     let oracles = OracleSet::new(dataset, &ledger);
     let layout = SequentialLayout::for_dataset(dataset);
@@ -109,17 +123,30 @@ pub fn sequential_sample_adaptive(
 
     let anchor = layout.uniform_anchor();
     let mut state = SparseState::from_table(anchor);
-    d.apply_sequential(&oracles, &mut state, &layout, false);
-    execute_plan(&mut state, &plan, anchor, layout.flag, |s, inv| {
-        d.apply_sequential(&oracles, s, &layout, inv)
-    });
+    {
+        let _d_span = dqs_obs::span(dqs_obs::names::PHASE_INITIAL_D);
+        d.apply_sequential(&oracles, &mut state, &layout, false);
+    }
+    {
+        let _aa_span = dqs_obs::span(dqs_obs::names::PHASE_AMPLIFY);
+        execute_plan(&mut state, &plan, anchor, layout.flag, |s, inv| {
+            d.apply_sequential(&oracles, s, &layout, inv)
+        });
+    }
 
     let target = dataset.target_state(&layout.layout, layout.elem);
     let fidelity = state.fidelity_with_table(&target);
+    dqs_obs::float_metric("adaptive.fidelity", fidelity);
+    let sampling_queries = ledger.snapshot();
+    dqs_obs::debug_check(
+        &probe,
+        &sampling_queries.per_machine,
+        sampling_queries.parallel_rounds,
+    );
     Ok(AdaptiveRun {
         estimation,
         plan,
-        sampling_queries: ledger.snapshot(),
+        sampling_queries,
         fidelity,
     })
 }

@@ -39,30 +39,51 @@ pub struct ParallelRun<S> {
 pub fn parallel_sample<S: QuantumState>(
     dataset: &DistributedDataset,
 ) -> Result<ParallelRun<S>, SampleError> {
+    let run_span = dqs_obs::span(dqs_obs::names::SPAN_PARALLEL);
+    let probe = dqs_obs::begin_probe(dataset.num_machines());
     let ledger = QueryLedger::new(dataset.num_machines());
     let oracles = OracleSet::new(dataset, &ledger);
 
+    let prepare_span = dqs_obs::span(dqs_obs::names::PHASE_PREPARE);
     let layout = ParallelLayout::for_dataset(dataset);
     let params = dataset.params();
     let plan = AaPlan::for_success_probability(params.initial_success_probability());
+    dqs_obs::gauge(
+        dqs_obs::names::AA_PLAN_ITERATIONS,
+        plan.total_iterations() as i64,
+    );
     let d = DistributingOperator::new(dataset.capacity());
 
     // Compiled prep: `F|0⟩ = |π⟩` is exactly the cached anchor table.
     let anchor = layout.uniform_anchor();
     let mut state = S::from_table(anchor);
+    drop(prepare_span);
 
-    d.apply_parallel(&oracles, &mut state, &layout, false);
-    execute_plan(&mut state, &plan, anchor, layout.flag, |s, inv| {
-        d.apply_parallel(&oracles, s, &layout, inv)
-    });
+    {
+        let _d_span = dqs_obs::span(dqs_obs::names::PHASE_INITIAL_D);
+        d.apply_parallel(&oracles, &mut state, &layout, false);
+    }
+    {
+        let _aa_span = dqs_obs::span(dqs_obs::names::PHASE_AMPLIFY);
+        execute_plan(&mut state, &plan, anchor, layout.flag, |s, inv| {
+            d.apply_parallel(&oracles, s, &layout, inv)
+        });
+    }
 
+    let verify_span = dqs_obs::span(dqs_obs::names::PHASE_VERIFY);
     let target = dataset.target_state(&layout.layout, layout.elem);
     let fidelity = state.fidelity_with_table(&target);
+    dqs_obs::float_metric("parallel.fidelity", fidelity);
+    drop(verify_span);
+
+    let queries = ledger.snapshot();
+    dqs_obs::debug_check(&probe, &queries.per_machine, queries.parallel_rounds);
+    drop(run_span);
     Ok(ParallelRun {
         state,
         layout,
         plan,
-        queries: ledger.snapshot(),
+        queries,
         cost: cost_model(&params),
         fidelity,
         target,

@@ -78,6 +78,10 @@ fn run_with_oracles<S: QuantumState>(
     updates: Option<&UpdateLog>,
     fused: bool,
 ) -> Result<SequentialRun<S>, SampleError> {
+    let run_span = dqs_obs::span(dqs_obs::names::SPAN_SEQUENTIAL);
+    let probe = dqs_obs::begin_probe(dataset.num_machines());
+
+    let prepare_span = dqs_obs::span(dqs_obs::names::PHASE_PREPARE);
     let effective = match updates {
         Some(log) => log.apply_to(dataset),
         None => dataset.clone(),
@@ -85,6 +89,10 @@ fn run_with_oracles<S: QuantumState>(
     let layout = SequentialLayout::for_dataset(dataset);
     let params = effective.params();
     let plan = AaPlan::for_success_probability(params.initial_success_probability());
+    dqs_obs::gauge(
+        dqs_obs::names::AA_PLAN_ITERATIONS,
+        plan.total_iterations() as i64,
+    );
     let d = DistributingOperator::with_fused(dataset.capacity(), fused);
 
     // |0,0,0⟩ → |π,0,0⟩. `F|0⟩ = |π⟩` has a closed form — the cached
@@ -92,20 +100,34 @@ fn run_with_oracles<S: QuantumState>(
     // applying the `N × N` DFT matrix (which dominated end-to-end time).
     let anchor = layout.uniform_anchor();
     let mut state = S::from_table(anchor);
+    drop(prepare_span);
 
     // A|0⟩ = D|π,0,0⟩, then amplify.
-    d.apply_sequential(oracles, &mut state, &layout, false);
-    execute_plan(&mut state, &plan, anchor, layout.flag, |s, inv| {
-        d.apply_sequential(oracles, s, &layout, inv)
-    });
+    {
+        let _d_span = dqs_obs::span(dqs_obs::names::PHASE_INITIAL_D);
+        d.apply_sequential(oracles, &mut state, &layout, false);
+    }
+    {
+        let _aa_span = dqs_obs::span(dqs_obs::names::PHASE_AMPLIFY);
+        execute_plan(&mut state, &plan, anchor, layout.flag, |s, inv| {
+            d.apply_sequential(oracles, s, &layout, inv)
+        });
+    }
 
+    let verify_span = dqs_obs::span(dqs_obs::names::PHASE_VERIFY);
     let target = effective.target_state(&layout.layout, layout.elem);
     let fidelity = state.fidelity_with_table(&target);
+    dqs_obs::float_metric("sequential.fidelity", fidelity);
+    drop(verify_span);
+
+    let queries = ledger.snapshot();
+    dqs_obs::debug_check(&probe, &queries.per_machine, queries.parallel_rounds);
+    drop(run_span);
     Ok(SequentialRun {
         state,
         layout,
         plan,
-        queries: ledger.snapshot(),
+        queries,
         cost: cost_model(&params),
         fidelity,
         target,

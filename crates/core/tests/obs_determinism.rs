@@ -1,0 +1,223 @@
+//! Observability determinism suite.
+//!
+//! The event stream is part of the reproducibility contract: events carry
+//! only static names and integers (timings and float metrics are aggregated
+//! *outside* the stream), so on identical seeds and datasets the stream
+//! must be **bit-identical** across simulator backends — and installing a
+//! recorder must never change what a sampler computes.
+
+use dqs_core::{
+    estimate_total_count, parallel_sample, sequential_sample_degraded,
+    sequential_sample_with_realization, RetryPolicy,
+};
+use dqs_db::{DistributedDataset, FaultPlan, FaultRates, Multiset};
+use dqs_obs::Recorder;
+use dqs_sim::{DenseState, QuantumState, SparseState};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Boolean strategy (the offline proptest stub has no `proptest::bool`).
+fn any_bool() -> impl Strategy<Value = bool> {
+    (0u8..2).prop_map(|x| x == 1)
+}
+
+/// A random dataset: `universe ∈ [2,8]`, `ν ∈ [1,4]`, `1..=3` machines —
+/// small enough that the dense backend stays cheap.
+fn dataset_strategy() -> impl Strategy<Value = DistributedDataset> {
+    (2u64..=8, 1u64..=4, 1usize..=3)
+        .prop_flat_map(|(universe, capacity, machines)| {
+            let counts = proptest::collection::vec(
+                proptest::collection::vec(0..=capacity, universe as usize),
+                machines,
+            );
+            (Just(universe), Just(capacity), counts)
+        })
+        .prop_map(|(universe, capacity, mut counts)| {
+            // Clamp per-element totals to `ν` machine by machine.
+            for i in 0..universe as usize {
+                let mut running = 0;
+                for shard in counts.iter_mut() {
+                    shard[i] = shard[i].min(capacity - running);
+                    running += shard[i];
+                }
+            }
+            if counts.iter().all(|shard| shard.iter().all(|&c| c == 0)) {
+                counts[0][0] = 1;
+            }
+            let shards = counts
+                .into_iter()
+                .map(|per_elem| {
+                    Multiset::from_counts(
+                        per_elem
+                            .into_iter()
+                            .enumerate()
+                            .filter(|(_, c)| *c > 0)
+                            .map(|(i, c)| (i as u64, c)),
+                    )
+                })
+                .collect();
+            DistributedDataset::new(universe, capacity, shards).expect("valid random dataset")
+        })
+}
+
+/// Runs `f` under a fresh recorder and returns `(recorder, f's output)`.
+fn recorded<T>(f: impl FnOnce() -> T) -> (Recorder, T) {
+    let rec = Recorder::new();
+    let out = dqs_obs::with_recorder(&rec, f);
+    (rec, out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sparse and dense backends walk the exact same circuit, so the
+    /// deterministic event stream (spans, counters, gauges — no timings)
+    /// must be bit-identical between them, fused or gate-by-gate.
+    #[test]
+    fn sequential_event_stream_identical_across_backends(
+        ds in dataset_strategy(),
+        fused in any_bool(),
+    ) {
+        let (rec_sparse, _) = recorded(|| {
+            sequential_sample_with_realization::<SparseState>(&ds, fused).expect("faultless run")
+        });
+        let (rec_dense, _) = recorded(|| {
+            sequential_sample_with_realization::<DenseState>(&ds, fused).expect("faultless run")
+        });
+        prop_assert_eq!(rec_sparse.events(), rec_dense.events(), "backend changed the stream");
+        prop_assert_eq!(rec_sparse.counters(), rec_dense.counters());
+    }
+
+    #[test]
+    fn parallel_event_stream_identical_across_backends(ds in dataset_strategy()) {
+        let (rec_sparse, _) = recorded(|| parallel_sample::<SparseState>(&ds).expect("faultless run"));
+        let (rec_dense, _) = recorded(|| parallel_sample::<DenseState>(&ds).expect("faultless run"));
+        prop_assert_eq!(rec_sparse.events(), rec_dense.events(), "backend changed the stream");
+        prop_assert_eq!(rec_sparse.counters(), rec_dense.counters());
+    }
+
+    /// A recorder is an observer, not a participant: running with one
+    /// installed must leave the sampler's outputs bit-identical to running
+    /// without. (This is the zero-cost-when-disabled claim's semantic
+    /// half — the disabled path is also a single relaxed atomic load.)
+    #[test]
+    fn recorder_does_not_perturb_sequential_outputs(
+        ds in dataset_strategy(),
+        fused in any_bool(),
+    ) {
+        let bare = sequential_sample_with_realization::<SparseState>(&ds, fused)
+            .expect("faultless run");
+        let (_rec, observed) = recorded(|| {
+            sequential_sample_with_realization::<SparseState>(&ds, fused).expect("faultless run")
+        });
+        prop_assert_eq!(
+            bare.state.to_table().distance_sqr(&observed.state.to_table()),
+            0.0,
+            "recorder changed the output state"
+        );
+        prop_assert_eq!(bare.queries, observed.queries, "recorder changed the ledger");
+        prop_assert_eq!(bare.fidelity.to_bits(), observed.fidelity.to_bits());
+    }
+
+    #[test]
+    fn recorder_does_not_perturb_parallel_outputs(ds in dataset_strategy()) {
+        let bare = parallel_sample::<SparseState>(&ds).expect("faultless run");
+        let (_rec, observed) = recorded(|| parallel_sample::<SparseState>(&ds).expect("faultless run"));
+        prop_assert_eq!(
+            bare.state.to_table().distance_sqr(&observed.state.to_table()),
+            0.0,
+            "recorder changed the output state"
+        );
+        prop_assert_eq!(bare.queries, observed.queries, "recorder changed the ledger");
+        prop_assert_eq!(bare.fidelity.to_bits(), observed.fidelity.to_bits());
+    }
+
+    /// Degraded runs replay identically: same dataset, fault plan and
+    /// policy → same event stream on repeat, and the recorder leaves the
+    /// run's observable results untouched.
+    #[test]
+    fn degraded_runs_replay_identically(ds in dataset_strategy(), seed in 0u64..32) {
+        let machines = ds.num_machines();
+        let horizon = (ds.universe() / machines as u64).max(1);
+        let plan = FaultPlan::seeded(machines, seed, &FaultRates::uniform(0.25, horizon));
+        let policy = RetryPolicy::default();
+
+        let run = |()| sequential_sample_degraded::<SparseState>(&ds, &plan, &policy);
+        let bare = run(());
+        let (rec_a, obs_a) = recorded(|| run(()));
+        let (rec_b, obs_b) = recorded(|| run(()));
+        prop_assert_eq!(rec_a.events(), rec_b.events(), "degraded replay diverged");
+        prop_assert_eq!(rec_a.counters(), rec_b.counters());
+        match (bare, obs_a, obs_b) {
+            (Ok(x), Ok(y), Ok(_)) => {
+                prop_assert_eq!(x.restarts, y.restarts);
+                prop_assert_eq!(x.dead, y.dead);
+                prop_assert_eq!(x.queries, y.queries, "recorder changed the ledger");
+                prop_assert_eq!(x.fidelity_vs_target.to_bits(), y.fidelity_vs_target.to_bits());
+            }
+            (Err(x), Err(y), Err(_)) => prop_assert_eq!(x, y),
+            _ => prop_assert!(false, "recorder flipped the run's outcome"),
+        }
+    }
+
+    /// Every instrumented sampler's oracle counters must reconcile exactly
+    /// with its `QueryLedger` snapshot — checked here explicitly through
+    /// `LedgerProbe` (the in-sampler `debug_check` already panics on drift
+    /// in debug builds; this keeps the invariant enforced in release test
+    /// runs too).
+    #[test]
+    fn obs_counters_reconcile_with_ledger(
+        ds in dataset_strategy(),
+        fused in any_bool(),
+    ) {
+        let machines = ds.num_machines();
+        let rec = Recorder::new();
+        dqs_obs::with_recorder(&rec, || {
+            let probe = dqs_obs::LedgerProbe::begin(&rec, machines);
+            let run = sequential_sample_with_realization::<SparseState>(&ds, fused)
+                .expect("faultless run");
+            probe
+                .reconcile(&rec, &run.queries.per_machine, run.queries.parallel_rounds)
+                .expect("sequential counters drifted from the ledger");
+
+            let probe = dqs_obs::LedgerProbe::begin(&rec, machines);
+            let run = parallel_sample::<SparseState>(&ds).expect("faultless run");
+            probe
+                .reconcile(&rec, &run.queries.per_machine, run.queries.parallel_rounds)
+                .expect("parallel counters drifted from the ledger");
+
+            let probe = dqs_obs::LedgerProbe::begin(&rec, machines);
+            let mut rng = StdRng::seed_from_u64(5);
+            let run = estimate_total_count(&ds, 20, &mut rng);
+            let queries = match &run {
+                Ok(r) => r.queries.clone(),
+                // All-flag-1 estimates still charge their shots.
+                Err(_) => return,
+            };
+            probe
+                .reconcile(&rec, &queries.per_machine, queries.parallel_rounds)
+                .expect("estimation counters drifted from the ledger");
+        });
+    }
+
+    /// Degraded runs reconcile too — the retry/fault path charges the same
+    /// ledger the probe compares against, across every restart.
+    #[test]
+    fn degraded_counters_reconcile_with_ledger(ds in dataset_strategy(), seed in 0u64..16) {
+        let machines = ds.num_machines();
+        let horizon = (ds.universe() / machines as u64).max(1);
+        let plan = FaultPlan::seeded(machines, seed, &FaultRates::uniform(0.2, horizon));
+        let rec = Recorder::new();
+        dqs_obs::with_recorder(&rec, || {
+            let probe = dqs_obs::LedgerProbe::begin(&rec, machines);
+            if let Ok(run) =
+                sequential_sample_degraded::<SparseState>(&ds, &plan, &RetryPolicy::default())
+            {
+                probe
+                    .reconcile(&rec, &run.queries.per_machine, run.queries.parallel_rounds)
+                    .expect("degraded counters drifted from the ledger");
+            }
+        });
+    }
+}

@@ -11,7 +11,7 @@
 //! ## Accounting rules (honest ledger)
 //!
 //! * Every probe of a machine — successful, failed, or retried — is charged
-//!   to the [`QueryLedger`](crate::QueryLedger) **before** its outcome is
+//!   to the [`QueryLedger`] **before** its outcome is
 //!   inspected. A retry is a real oracle query; a crashed machine still
 //!   costs the query that discovered the crash. Charging is therefore
 //!   impossible to skip on any error path.
@@ -289,6 +289,21 @@ pub enum QueryOutcome {
     },
 }
 
+/// Emits the observability event matching one probe outcome: failures and
+/// degraded (stale/corrupt) answers are counted per machine; clean answers
+/// stay silent — the `oracle.query` charge already covers them.
+fn emit_outcome(machine: usize, outcome: &QueryOutcome) {
+    match outcome {
+        QueryOutcome::Failed { .. } => {
+            dqs_obs::machine_counter(dqs_obs::names::FAULT_FAILURE, machine, 1)
+        }
+        QueryOutcome::Answer(ans) if !ans.is_clean() => {
+            dqs_obs::machine_counter(dqs_obs::names::FAULT_DEGRADED, machine, 1)
+        }
+        QueryOutcome::Answer(_) => {}
+    }
+}
+
 /// Typed failure surfaced by the faulty oracle layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OracleError {
@@ -435,8 +450,11 @@ impl<'a> FaultyOracleSet<'a> {
     /// happens *first*, unconditionally — failures are real queries.
     pub fn probe(&self, machine: usize) -> QueryOutcome {
         self.oracles.ledger().record_sequential(machine);
+        dqs_obs::machine_counter(dqs_obs::names::ORACLE_QUERY, machine, 1);
         let attempt = self.attempts[machine].fetch_add(1, Ordering::Relaxed);
-        self.plan.outcome(machine, attempt)
+        let outcome = self.plan.outcome(machine, attempt);
+        emit_outcome(machine, &outcome);
+        outcome
     }
 
     /// Probes `machine` until it answers or `handler` gives up. Every
@@ -579,10 +597,13 @@ impl<'a> FaultyOracleSet<'a> {
     ) -> Result<Vec<(usize, Answer)>, OracleError> {
         loop {
             self.oracles.ledger().record_parallel_round();
+            dqs_obs::counter(dqs_obs::names::ORACLE_ROUND, 1);
             let mut outcomes = Vec::with_capacity(machines.len());
             for &j in machines {
                 let attempt = self.attempts[j].fetch_add(1, Ordering::Relaxed);
-                outcomes.push((j, attempt, self.plan.outcome(j, attempt)));
+                let outcome = self.plan.outcome(j, attempt);
+                emit_outcome(j, &outcome);
+                outcomes.push((j, attempt, outcome));
             }
             let mut retry = false;
             let mut answers = Vec::with_capacity(machines.len());

@@ -157,6 +157,7 @@ impl<'a> OracleSet<'a> {
     pub fn charge_all_sequential(&self) {
         for j in 0..self.dataset.num_machines() {
             self.ledger.record_sequential(j);
+            dqs_obs::machine_counter(dqs_obs::names::ORACLE_QUERY, j, 1);
         }
     }
 
@@ -164,6 +165,7 @@ impl<'a> OracleSet<'a> {
     /// the parallel-model analogue of [`Self::charge_all_sequential`].
     pub fn charge_parallel_round(&self) {
         self.ledger.record_parallel_round();
+        dqs_obs::counter(dqs_obs::names::ORACLE_ROUND, 1);
     }
 
     /// Applies `O_j` (or `O_j†` when `inverse`) on `(regs.elem, regs.count)`.
@@ -178,6 +180,7 @@ impl<'a> OracleSet<'a> {
         // Charge first, unconditionally: a query that reaches the machine
         // is billed even if applying its answer fails further down.
         self.ledger.record_sequential(machine);
+        dqs_obs::machine_counter(dqs_obs::names::ORACLE_QUERY, machine, 1);
         let modulus = self.modulus();
         debug_assert_eq!(
             state.layout().dim(regs.count),
@@ -203,6 +206,7 @@ impl<'a> OracleSet<'a> {
         inverse: bool,
     ) {
         self.ledger.record_sequential(machine);
+        dqs_obs::machine_counter(dqs_obs::names::ORACLE_QUERY, machine, 1);
         let modulus = self.modulus();
         state.apply_permutation(|b| {
             if b[flag_reg] == 1 {
@@ -272,6 +276,7 @@ impl<'a> OracleSet<'a> {
         inverse: bool,
     ) {
         self.ledger.record_parallel_round();
+        dqs_obs::counter(dqs_obs::names::ORACLE_ROUND, 1);
         let n = self.dataset.num_machines();
         assert_eq!(
             regs.machines(),

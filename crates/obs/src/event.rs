@@ -1,0 +1,148 @@
+//! The deterministic event vocabulary.
+
+/// One observability event.
+///
+/// Events are deliberately restricted to static names and integers: no
+/// wall-clock data, no floats, no heap payloads. This keeps streams
+/// bit-identical across simulator backends and repeated runs, which the
+/// `obs_determinism` proptest suite asserts. Timings and float metrics are
+/// aggregated by the [`Recorder`](crate::Recorder) outside the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A named span was entered.
+    SpanEnter {
+        /// Span name (see [`crate::names`]).
+        name: &'static str,
+    },
+    /// A named span was exited.
+    SpanExit {
+        /// Span name (see [`crate::names`]).
+        name: &'static str,
+    },
+    /// A counter was incremented, optionally attributed to one machine.
+    Counter {
+        /// Counter name (see [`crate::names`]).
+        name: &'static str,
+        /// Machine index for per-machine counters, `None` for global ones.
+        machine: Option<usize>,
+        /// Increment amount.
+        delta: u64,
+    },
+    /// An integer gauge was set.
+    Gauge {
+        /// Gauge name (see [`crate::names`]).
+        name: &'static str,
+        /// The new value.
+        value: i64,
+    },
+    /// One integer histogram observation.
+    Observe {
+        /// Histogram name (see [`crate::names`]).
+        name: &'static str,
+        /// The observed value.
+        value: u64,
+    },
+}
+
+impl Event {
+    /// The event's name field, whatever its variant.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Event::SpanEnter { name }
+            | Event::SpanExit { name }
+            | Event::Counter { name, .. }
+            | Event::Gauge { name, .. }
+            | Event::Observe { name, .. } => name,
+        }
+    }
+
+    /// Renders the event as one JSON object (one JSONL line, sans newline).
+    pub fn to_json(&self) -> String {
+        match self {
+            Event::SpanEnter { name } => {
+                format!("{{\"type\":\"span_enter\",\"name\":\"{name}\"}}")
+            }
+            Event::SpanExit { name } => {
+                format!("{{\"type\":\"span_exit\",\"name\":\"{name}\"}}")
+            }
+            Event::Counter {
+                name,
+                machine,
+                delta,
+            } => match machine {
+                Some(m) => format!(
+                    "{{\"type\":\"counter\",\"name\":\"{name}\",\"machine\":{m},\"delta\":{delta}}}"
+                ),
+                None => format!("{{\"type\":\"counter\",\"name\":\"{name}\",\"delta\":{delta}}}"),
+            },
+            Event::Gauge { name, value } => {
+                format!("{{\"type\":\"gauge\",\"name\":\"{name}\",\"value\":{value}}}")
+            }
+            Event::Observe { name, value } => {
+                format!("{{\"type\":\"observe\",\"name\":\"{name}\",\"value\":{value}}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_shapes() {
+        assert_eq!(
+            Event::SpanEnter { name: "s" }.to_json(),
+            "{\"type\":\"span_enter\",\"name\":\"s\"}"
+        );
+        assert_eq!(
+            Event::Counter {
+                name: "c",
+                machine: Some(3),
+                delta: 2
+            }
+            .to_json(),
+            "{\"type\":\"counter\",\"name\":\"c\",\"machine\":3,\"delta\":2}"
+        );
+        assert_eq!(
+            Event::Counter {
+                name: "c",
+                machine: None,
+                delta: 1
+            }
+            .to_json(),
+            "{\"type\":\"counter\",\"name\":\"c\",\"delta\":1}"
+        );
+        assert_eq!(
+            Event::Gauge {
+                name: "g",
+                value: -4
+            }
+            .to_json(),
+            "{\"type\":\"gauge\",\"name\":\"g\",\"value\":-4}"
+        );
+    }
+
+    #[test]
+    fn name_accessor_covers_all_variants() {
+        let events = [
+            Event::SpanEnter { name: "a" },
+            Event::SpanExit { name: "b" },
+            Event::Counter {
+                name: "c",
+                machine: None,
+                delta: 0,
+            },
+            Event::Gauge {
+                name: "d",
+                value: 0,
+            },
+            Event::Observe {
+                name: "e",
+                value: 0,
+            },
+        ];
+        let names: Vec<_> = events.iter().map(Event::name).collect();
+        assert_eq!(names, vec!["a", "b", "c", "d", "e"]);
+    }
+}

@@ -1,0 +1,374 @@
+//! # dqs-obs
+//!
+//! The workspace's observability layer: spans, counters, gauges, and
+//! histograms with a deterministic in-memory [`Recorder`], a JSONL event
+//! exporter, and [`LedgerProbe`] reconciliation against the query ledger.
+//! Dependency-free by design (consistent with the offline-stubs policy).
+//!
+//! ## Design rules
+//!
+//! * **Zero cost when disabled.** No recorder installed means every
+//!   instrumentation call is a single relaxed atomic load and an early
+//!   return — no allocation, no clock read, no lock. Samplers and oracles
+//!   stay bit-identical to their uninstrumented selves (asserted by
+//!   `crates/core/tests/obs_determinism.rs`).
+//! * **Deterministic event stream.** [`Event`]s carry only structural data:
+//!   static names, machine indices, integer deltas. Wall-clock span timings
+//!   are aggregated into [`SpanStat`]s *outside* the event stream, and
+//!   state-derived floats never enter it — so two runs with the same seed
+//!   and dataset produce bit-identical streams on every simulator backend.
+//! * **Reconciliation, not duplication.** The oracle layer emits one
+//!   [`names::ORACLE_QUERY`] / [`names::ORACLE_ROUND`] counter increment at
+//!   each point it charges the `QueryLedger`, from independent call sites —
+//!   [`debug_check`] then asserts (in debug builds) that the
+//!   two accountings agree exactly after every sampler run.
+//!
+//! ## Usage
+//!
+//! ```
+//! use dqs_obs as obs;
+//!
+//! let rec = obs::Recorder::new();
+//! obs::with_recorder(&rec, || {
+//!     let _span = obs::span("phase.work");
+//!     obs::machine_counter(obs::names::ORACLE_QUERY, 0, 1);
+//! });
+//! assert_eq!(rec.counter_total(obs::names::ORACLE_QUERY, Some(0)), 1);
+//! assert!(rec.export_jsonl().contains("span_enter"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod reconcile;
+mod recorder;
+mod report;
+
+pub use event::Event;
+pub use reconcile::{begin_probe, debug_check, LedgerProbe};
+pub use recorder::{CounterKey, HistStat, Recorder, SpanStat};
+pub use report::{attribute_queries, SpanAttribution};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// Canonical event and metric names used by the instrumented crates.
+///
+/// Centralized so the emitting layer (`dqs-db`, `dqs-core`) and the
+/// consuming layer (`trace_report`, reconciliation, tests) cannot drift.
+pub mod names {
+    /// One sequential oracle query charged to a machine — emitted exactly
+    /// where `QueryLedger::record_sequential` is called.
+    pub const ORACLE_QUERY: &str = "oracle.query";
+    /// One composite parallel round — emitted exactly where
+    /// `QueryLedger::record_parallel_round` is called.
+    pub const ORACLE_ROUND: &str = "oracle.round";
+    /// A probe that came back failed (crash or transient).
+    pub const FAULT_FAILURE: &str = "oracle.fault_failure";
+    /// A probe answered, but stale or corrupt.
+    pub const FAULT_DEGRADED: &str = "oracle.degraded_answer";
+    /// One generalized Grover iteration `Q(φ,ϕ)` executed.
+    pub const AA_ITERATION: &str = "aa.iteration";
+    /// Planned total `Q` iterations (gauge).
+    pub const AA_PLAN_ITERATIONS: &str = "aa.plan_iterations";
+    /// One charged retry issued by the retry policy.
+    pub const RETRY: &str = "retry.attempt";
+    /// The circuit breaker declared a machine dead.
+    pub const BREAKER_TRIP: &str = "retry.breaker_trip";
+    /// Deterministic backoff ticks accumulated before retries (histogram).
+    pub const BACKOFF_TICKS: &str = "retry.backoff_ticks";
+    /// A degraded sampler started over on the surviving subset.
+    pub const RESTART: &str = "sample.restart";
+    /// Surviving-machine count of the completing degraded attempt (gauge).
+    pub const SURVIVORS: &str = "sample.survivors";
+    /// One prepare-and-measure estimation shot.
+    pub const ESTIMATE_SHOT: &str = "estimate.shot";
+    /// Flag-zero outcomes observed by the estimator (gauge).
+    pub const ESTIMATE_ZEROS: &str = "estimate.flag_zeros";
+
+    /// Whole-run span: Theorem 4.3 sequential sampler.
+    pub const SPAN_SEQUENTIAL: &str = "sample.sequential";
+    /// Whole-run span: Theorem 4.5 parallel sampler.
+    pub const SPAN_PARALLEL: &str = "sample.parallel";
+    /// Whole-run span: degraded (fault-tolerant) sampler.
+    pub const SPAN_DEGRADED: &str = "sample.degraded";
+    /// Whole-run span: `M`-estimation phase.
+    pub const SPAN_ESTIMATE: &str = "sample.estimate";
+    /// Whole-run span: adaptive (estimated-`M`) sampler.
+    pub const SPAN_ADAPTIVE: &str = "sample.adaptive";
+    /// Phase span: state preparation (`|0⟩ → |π,0,0⟩`).
+    pub const PHASE_PREPARE: &str = "phase.prepare";
+    /// Phase span: the initial `D` application (`A|0⟩`).
+    pub const PHASE_INITIAL_D: &str = "phase.initial_d";
+    /// Phase span: the amplitude-amplification schedule.
+    pub const PHASE_AMPLIFY: &str = "phase.amplify";
+    /// Phase span: target construction and fidelity measurement.
+    pub const PHASE_VERIFY: &str = "phase.verify";
+}
+
+/// Count of recorders installed across all threads. A single relaxed load
+/// of this is the entire disabled-path cost of every instrumentation call.
+static ACTIVE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// The stack of recorders installed on this thread (innermost last).
+    static STACK: RefCell<Vec<Recorder>> = const { RefCell::new(Vec::new()) };
+}
+
+/// True when at least one recorder is installed somewhere in the process.
+/// Cheap enough to call unconditionally from hot oracle paths.
+#[inline]
+pub fn is_active() -> bool {
+    ACTIVE.load(Ordering::Relaxed) != 0
+}
+
+/// Pops the recorder pushed by [`with_recorder`] even on unwind.
+struct StackGuard;
+
+impl Drop for StackGuard {
+    fn drop(&mut self) {
+        STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+        ACTIVE.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs `f` with `recorder` installed on the current thread.
+///
+/// Installation nests: an inner `with_recorder` records to both recorders.
+/// Instrumentation emitted from *other* threads (e.g. rayon workers inside
+/// a gate pass) is not captured — the instrumented layers only emit from
+/// the coordinating thread, which keeps event streams deterministic.
+pub fn with_recorder<T>(recorder: &Recorder, f: impl FnOnce() -> T) -> T {
+    STACK.with(|s| s.borrow_mut().push(recorder.clone()));
+    ACTIVE.fetch_add(1, Ordering::Relaxed);
+    let _guard = StackGuard;
+    f()
+}
+
+/// Applies `f` to every recorder installed on this thread.
+fn each_recorder(f: impl Fn(&Recorder)) {
+    STACK.with(|s| {
+        for rec in s.borrow().iter() {
+            f(rec);
+        }
+    });
+}
+
+/// Applies `f` to the innermost recorder installed on this thread, if any.
+/// Used by the reconciliation probes, which compare against one stream.
+pub(crate) fn innermost_recorder(mut f: impl FnMut(&Recorder)) {
+    STACK.with(|s| {
+        if let Some(rec) = s.borrow().last() {
+            f(rec);
+        }
+    });
+}
+
+/// An RAII span: enter is recorded at construction, exit (plus the
+/// aggregated wall-clock duration) when the guard drops.
+#[must_use = "a span guard records its exit when dropped"]
+pub struct SpanGuard {
+    name: &'static str,
+    /// `None` when no recorder was active at entry — the drop is then free.
+    start: Option<Instant>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let elapsed = start.elapsed().as_nanos() as u64;
+            each_recorder(|rec| {
+                rec.record(Event::SpanExit { name: self.name });
+                rec.record_span_timing(self.name, elapsed);
+            });
+        }
+    }
+}
+
+/// Opens a named span. When no recorder is installed this costs one atomic
+/// load and returns an inert guard.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !is_active() {
+        return SpanGuard { name, start: None };
+    }
+    each_recorder(|rec| rec.record(Event::SpanEnter { name }));
+    SpanGuard {
+        name,
+        start: Some(Instant::now()),
+    }
+}
+
+/// Increments an unattributed counter by `delta`.
+#[inline]
+pub fn counter(name: &'static str, delta: u64) {
+    if !is_active() {
+        return;
+    }
+    each_recorder(|rec| {
+        rec.record(Event::Counter {
+            name,
+            machine: None,
+            delta,
+        })
+    });
+}
+
+/// Increments a per-machine counter by `delta`.
+#[inline]
+pub fn machine_counter(name: &'static str, machine: usize, delta: u64) {
+    if !is_active() {
+        return;
+    }
+    each_recorder(|rec| {
+        rec.record(Event::Counter {
+            name,
+            machine: Some(machine),
+            delta,
+        })
+    });
+}
+
+/// Sets an integer gauge. Gauges enter the event stream (they are
+/// deterministic); the recorder additionally keeps the latest value.
+#[inline]
+pub fn gauge(name: &'static str, value: i64) {
+    if !is_active() {
+        return;
+    }
+    each_recorder(|rec| rec.record(Event::Gauge { name, value }));
+}
+
+/// Records one integer histogram observation (count/sum/min/max are
+/// aggregated by the recorder; the observation itself enters the stream).
+#[inline]
+pub fn observe(name: &'static str, value: u64) {
+    if !is_active() {
+        return;
+    }
+    each_recorder(|rec| rec.record(Event::Observe { name, value }));
+}
+
+/// Records a named floating-point measurement (e.g. a fidelity). Floats are
+/// aggregated **outside** the event stream so sparse/dense last-ulp
+/// differences can never break stream determinism.
+#[inline]
+pub fn float_metric(name: &'static str, value: f64) {
+    if !is_active() {
+        return;
+    }
+    each_recorder(|rec| rec.record_float(name, value));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_calls_are_inert() {
+        assert!(!is_active());
+        counter("x", 1);
+        machine_counter("y", 0, 1);
+        gauge("g", -3);
+        observe("h", 7);
+        float_metric("f", 0.5);
+        let _s = span("s");
+    }
+
+    #[test]
+    fn recorder_captures_events_in_order() {
+        let rec = Recorder::new();
+        with_recorder(&rec, || {
+            let _outer = span("outer");
+            counter("c", 2);
+            machine_counter("m", 1, 3);
+            gauge("g", 5);
+            observe("h", 9);
+        });
+        assert!(!is_active());
+        let events = rec.events();
+        assert_eq!(
+            events,
+            vec![
+                Event::SpanEnter { name: "outer" },
+                Event::Counter {
+                    name: "c",
+                    machine: None,
+                    delta: 2
+                },
+                Event::Counter {
+                    name: "m",
+                    machine: Some(1),
+                    delta: 3
+                },
+                Event::Gauge {
+                    name: "g",
+                    value: 5
+                },
+                Event::Observe {
+                    name: "h",
+                    value: 9
+                },
+                Event::SpanExit { name: "outer" },
+            ]
+        );
+        assert_eq!(rec.counter_total("c", None), 2);
+        assert_eq!(rec.counter_total("m", Some(1)), 3);
+        assert_eq!(rec.counter_total("m", Some(0)), 0);
+    }
+
+    #[test]
+    fn nested_recorders_both_capture() {
+        let outer = Recorder::new();
+        let inner = Recorder::new();
+        with_recorder(&outer, || {
+            counter("a", 1);
+            with_recorder(&inner, || counter("a", 1));
+        });
+        assert_eq!(outer.counter_total("a", None), 2);
+        assert_eq!(inner.counter_total("a", None), 1);
+    }
+
+    #[test]
+    fn span_timings_are_aggregated_not_streamed() {
+        let rec = Recorder::new();
+        with_recorder(&rec, || {
+            let _s = span("work");
+        });
+        let stats = rec.span_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].0, "work");
+        assert_eq!(stats[0].1.count, 1);
+        // The stream has exactly enter + exit, no timing payload.
+        assert_eq!(rec.events().len(), 2);
+    }
+
+    #[test]
+    fn active_flag_tracks_installation() {
+        assert!(!is_active());
+        let rec = Recorder::new();
+        with_recorder(&rec, || assert!(is_active()));
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn other_threads_do_not_capture() {
+        let rec = Recorder::new();
+        with_recorder(&rec, || {
+            std::thread::spawn(|| {
+                // No recorder installed on this thread's stack: inert even
+                // though the global active count is non-zero.
+                counter("elsewhere", 1);
+            })
+            .join()
+            .unwrap();
+            counter("here", 1);
+        });
+        assert_eq!(rec.counter_total("elsewhere", None), 0);
+        assert_eq!(rec.counter_total("here", None), 1);
+    }
+}

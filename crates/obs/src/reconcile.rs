@@ -1,0 +1,183 @@
+//! Reconciliation between obs counters and the query ledger.
+//!
+//! The oracle layer charges the `QueryLedger` and emits obs counters from
+//! the same call sites but through independent code paths. A [`LedgerProbe`]
+//! snapshots the obs totals before a sampler run and compares the deltas
+//! against the ledger's own accounting afterwards — any drift means a
+//! charge site forgot one side or double-charged the other.
+
+use crate::names;
+use crate::recorder::Recorder;
+
+/// Snapshot of obs query totals at the start of an instrumented region.
+#[derive(Debug, Clone)]
+pub struct LedgerProbe {
+    /// Whether a recorder was active at `begin`; reconciliation is vacuous
+    /// (always `Ok`) when it wasn't, since no counters were emitted.
+    active: bool,
+    start_per_machine: Vec<u64>,
+    start_rounds: u64,
+}
+
+impl LedgerProbe {
+    /// Snapshots the given recorder's oracle counters for `machines`
+    /// machines. Call before the sampler run whose charges you want to
+    /// reconcile; the recorder must already be installed.
+    pub fn begin(recorder: &Recorder, machines: usize) -> Self {
+        LedgerProbe {
+            active: crate::is_active(),
+            start_per_machine: recorder.machine_counter_totals(names::ORACLE_QUERY, machines),
+            start_rounds: recorder.counter_total(names::ORACLE_ROUND, None),
+        }
+    }
+
+    /// A probe for the disabled path: reconciliation is vacuously `Ok`.
+    pub fn inactive() -> Self {
+        LedgerProbe {
+            active: false,
+            start_per_machine: Vec::new(),
+            start_rounds: 0,
+        }
+    }
+
+    /// Compares the obs-counter deltas since [`begin`](Self::begin) against
+    /// the ledger's per-machine sequential totals and parallel-round count.
+    /// Returns a diagnostic message on any mismatch.
+    pub fn reconcile(
+        &self,
+        recorder: &Recorder,
+        ledger_per_machine: &[u64],
+        ledger_rounds: u64,
+    ) -> Result<(), String> {
+        if !self.active {
+            return Ok(());
+        }
+        let now = recorder.machine_counter_totals(names::ORACLE_QUERY, ledger_per_machine.len());
+        if self.start_per_machine.len() != ledger_per_machine.len() {
+            return Err(format!(
+                "ledger reconciliation: machine count changed mid-run ({} at begin, {} at end)",
+                self.start_per_machine.len(),
+                ledger_per_machine.len()
+            ));
+        }
+        for (m, (&end, (&start, &ledger))) in now
+            .iter()
+            .zip(self.start_per_machine.iter().zip(ledger_per_machine))
+            .enumerate()
+        {
+            let obs = end - start;
+            if obs != ledger {
+                return Err(format!(
+                    "ledger reconciliation: machine {m} obs counted {obs} sequential queries, ledger charged {ledger}"
+                ));
+            }
+        }
+        let obs_rounds = recorder.counter_total(names::ORACLE_ROUND, None) - self.start_rounds;
+        if obs_rounds != ledger_rounds {
+            return Err(format!(
+                "ledger reconciliation: obs counted {obs_rounds} parallel rounds, ledger charged {ledger_rounds}"
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Debug-build assertion form of reconciliation, run by every sampler on
+/// the thread's innermost recorder (if any) after its ledger settles.
+/// Release builds only evaluate the cheap active check.
+pub fn debug_check(probe: &LedgerProbe, ledger_per_machine: &[u64], ledger_rounds: u64) {
+    if !probe.active || !cfg!(debug_assertions) {
+        return;
+    }
+    crate::innermost_recorder(|rec| {
+        if let Err(msg) = probe.reconcile(rec, ledger_per_machine, ledger_rounds) {
+            panic!("{msg}");
+        }
+    });
+}
+
+/// Begins a probe against the thread's innermost recorder, or an inactive
+/// probe when none is installed. The sampler-facing entry point.
+pub fn begin_probe(machines: usize) -> LedgerProbe {
+    if !crate::is_active() {
+        return LedgerProbe::inactive();
+    }
+    let mut probe = None;
+    crate::innermost_recorder(|rec| probe = Some(LedgerProbe::begin(rec, machines)));
+    probe.unwrap_or_else(LedgerProbe::inactive)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{machine_counter, with_recorder};
+
+    #[test]
+    fn reconciles_matching_charges() {
+        let rec = Recorder::new();
+        with_recorder(&rec, || {
+            let probe = begin_probe(2);
+            machine_counter(names::ORACLE_QUERY, 0, 3);
+            machine_counter(names::ORACLE_QUERY, 1, 5);
+            crate::counter(names::ORACLE_ROUND, 2);
+            assert!(probe.reconcile(&rec, &[3, 5], 2).is_ok());
+            debug_check(&probe, &[3, 5], 2);
+        });
+    }
+
+    #[test]
+    fn detects_per_machine_drift() {
+        let rec = Recorder::new();
+        with_recorder(&rec, || {
+            let probe = begin_probe(2);
+            machine_counter(names::ORACLE_QUERY, 0, 3);
+            let err = probe.reconcile(&rec, &[3, 1], 0).unwrap_err();
+            assert!(err.contains("machine 1"), "{err}");
+        });
+    }
+
+    #[test]
+    fn detects_round_drift() {
+        let rec = Recorder::new();
+        with_recorder(&rec, || {
+            let probe = begin_probe(1);
+            crate::counter(names::ORACLE_ROUND, 4);
+            let err = probe.reconcile(&rec, &[0], 3).unwrap_err();
+            assert!(err.contains("parallel rounds"), "{err}");
+        });
+    }
+
+    #[test]
+    #[cfg_attr(
+        not(debug_assertions),
+        ignore = "debug_check asserts only in debug builds"
+    )]
+    #[should_panic(expected = "ledger reconciliation")]
+    fn debug_check_panics_on_drift() {
+        let rec = Recorder::new();
+        with_recorder(&rec, || {
+            let probe = begin_probe(1);
+            machine_counter(names::ORACLE_QUERY, 0, 1);
+            debug_check(&probe, &[2], 0);
+        });
+    }
+
+    #[test]
+    fn inactive_probe_is_vacuous() {
+        let rec = Recorder::new();
+        let probe = begin_probe(3);
+        assert!(probe.reconcile(&rec, &[9, 9, 9], 9).is_ok());
+        debug_check(&probe, &[9, 9, 9], 9);
+    }
+
+    #[test]
+    fn probe_only_sees_deltas() {
+        let rec = Recorder::new();
+        with_recorder(&rec, || {
+            machine_counter(names::ORACLE_QUERY, 0, 10);
+            let probe = begin_probe(1);
+            machine_counter(names::ORACLE_QUERY, 0, 4);
+            assert!(probe.reconcile(&rec, &[4], 0).is_ok());
+        });
+    }
+}

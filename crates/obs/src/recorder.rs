@@ -1,0 +1,331 @@
+//! The deterministic in-memory recorder.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use crate::event::Event;
+
+/// Key for an aggregated counter: name plus optional machine attribution.
+pub type CounterKey = (&'static str, Option<usize>);
+
+/// Aggregated wall-clock statistics for one span name.
+///
+/// Timings live here, *outside* the event stream, so the stream stays
+/// deterministic while the report still gets real durations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Number of completed spans with this name.
+    pub count: u64,
+    /// Total nanoseconds across all completions.
+    pub total_ns: u64,
+    /// Shortest single completion in nanoseconds.
+    pub min_ns: u64,
+    /// Longest single completion in nanoseconds.
+    pub max_ns: u64,
+}
+
+/// Aggregated integer histogram statistics for one metric name.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HistStat {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Smallest observed value.
+    pub min: u64,
+    /// Largest observed value.
+    pub max: u64,
+}
+
+#[derive(Default)]
+struct RecorderState {
+    events: Vec<Event>,
+    counters: BTreeMap<CounterKey, u64>,
+    gauges: BTreeMap<&'static str, i64>,
+    hists: BTreeMap<&'static str, HistStat>,
+    spans: BTreeMap<&'static str, SpanStat>,
+    floats: BTreeMap<&'static str, f64>,
+}
+
+/// A cloneable handle to shared recorder state. Install it on a thread with
+/// [`crate::with_recorder`]; clones observe the same stream.
+#[derive(Clone, Default)]
+pub struct Recorder {
+    state: Arc<Mutex<RecorderState>>,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> MutexGuard<'_, RecorderState> {
+        // A panic while holding the lock cannot corrupt append-only state.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Appends one event to the stream and folds it into the aggregates.
+    pub fn record(&self, event: Event) {
+        let mut st = self.lock();
+        match event {
+            Event::Counter {
+                name,
+                machine,
+                delta,
+            } => *st.counters.entry((name, machine)).or_insert(0) += delta,
+            Event::Gauge { name, value } => {
+                st.gauges.insert(name, value);
+            }
+            Event::Observe { name, value } => {
+                let h = st.hists.entry(name).or_default();
+                if h.count == 0 {
+                    h.min = value;
+                    h.max = value;
+                } else {
+                    h.min = h.min.min(value);
+                    h.max = h.max.max(value);
+                }
+                h.count += 1;
+                h.sum += value;
+            }
+            Event::SpanEnter { .. } | Event::SpanExit { .. } => {}
+        }
+        st.events.push(event);
+    }
+
+    /// Folds one completed span duration into the per-name aggregate.
+    /// Called by the span guard on drop; never enters the event stream.
+    pub fn record_span_timing(&self, name: &'static str, elapsed_ns: u64) {
+        let mut st = self.lock();
+        let s = st.spans.entry(name).or_default();
+        if s.count == 0 {
+            s.min_ns = elapsed_ns;
+            s.max_ns = elapsed_ns;
+        } else {
+            s.min_ns = s.min_ns.min(elapsed_ns);
+            s.max_ns = s.max_ns.max(elapsed_ns);
+        }
+        s.count += 1;
+        s.total_ns += elapsed_ns;
+    }
+
+    /// Records a named float measurement (latest value wins). Kept outside
+    /// the event stream: floats may differ in the last ulp across backends.
+    pub fn record_float(&self, name: &'static str, value: f64) {
+        self.lock().floats.insert(name, value);
+    }
+
+    /// A copy of the full event stream, in emission order.
+    pub fn events(&self) -> Vec<Event> {
+        self.lock().events.clone()
+    }
+
+    /// Total recorded for a counter under one attribution key.
+    pub fn counter_total(&self, name: &'static str, machine: Option<usize>) -> u64 {
+        self.lock()
+            .counters
+            .get(&(name, machine))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Per-machine totals for a counter, for machines `0..machines`.
+    pub fn machine_counter_totals(&self, name: &'static str, machines: usize) -> Vec<u64> {
+        let st = self.lock();
+        (0..machines)
+            .map(|m| st.counters.get(&(name, Some(m))).copied().unwrap_or(0))
+            .collect()
+    }
+
+    /// All counter aggregates, sorted by key.
+    pub fn counters(&self) -> Vec<(CounterKey, u64)> {
+        self.lock().counters.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Latest value of an integer gauge, if ever set.
+    pub fn gauge_value(&self, name: &'static str) -> Option<i64> {
+        self.lock().gauges.get(name).copied()
+    }
+
+    /// Histogram aggregate for one metric name, if any observation landed.
+    pub fn hist_stat(&self, name: &'static str) -> Option<HistStat> {
+        self.lock().hists.get(name).copied()
+    }
+
+    /// Wall-clock aggregates for every completed span name, sorted by name.
+    pub fn span_stats(&self) -> Vec<(&'static str, SpanStat)> {
+        self.lock().spans.iter().map(|(k, v)| (*k, *v)).collect()
+    }
+
+    /// Latest value of a float metric, if ever recorded.
+    pub fn float_value(&self, name: &'static str) -> Option<f64> {
+        self.lock().floats.get(name).copied()
+    }
+
+    /// Renders the event stream as JSONL (one event object per line).
+    pub fn export_jsonl(&self) -> String {
+        let st = self.lock();
+        let mut out = String::new();
+        for e in &st.events {
+            out.push_str(&e.to_json());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders the aggregates (counters, gauges, histograms, span timings,
+    /// float metrics) as one pretty-printed JSON object — the shape written
+    /// to the `*.metrics.json` bench sidecars.
+    pub fn metrics_json(&self) -> String {
+        let st = self.lock();
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for ((name, machine), total) in &st.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            match machine {
+                Some(m) => out.push_str(&format!("\n    \"{name}#{m}\": {total}")),
+                None => out.push_str(&format!("\n    \"{name}\": {total}")),
+            }
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"gauges\": {");
+        first = true;
+        for (name, value) in &st.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{name}\": {value}"));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"histograms\": {");
+        first = true;
+        for (name, h) in &st.hists {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    \"{name}\": {{ \"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {} }}",
+                h.count, h.sum, h.min, h.max
+            ));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"spans\": {");
+        first = true;
+        for (name, s) in &st.spans {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!(
+                "\n    \"{name}\": {{ \"count\": {}, \"total_ns\": {}, \"min_ns\": {}, \"max_ns\": {} }}",
+                s.count, s.total_ns, s.min_ns, s.max_ns
+            ));
+        }
+        out.push_str(if first { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"floats\": {");
+        first = true;
+        for (name, value) in &st.floats {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("\n    \"{name}\": {value:e}"));
+        }
+        out.push_str(if first { "}\n}\n" } else { "\n  }\n}\n" });
+        out
+    }
+
+    /// Drops all recorded events and aggregates, keeping the handle live.
+    pub fn clear(&self) {
+        let mut st = self.lock();
+        st.events.clear();
+        st.counters.clear();
+        st.gauges.clear();
+        st.hists.clear();
+        st.spans.clear();
+        st.floats.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_aggregates() {
+        let rec = Recorder::new();
+        for v in [5u64, 1, 9] {
+            rec.record(Event::Observe {
+                name: "h",
+                value: v,
+            });
+        }
+        let h = rec.hist_stat("h").unwrap();
+        assert_eq!(
+            h,
+            HistStat {
+                count: 3,
+                sum: 15,
+                min: 1,
+                max: 9
+            }
+        );
+    }
+
+    #[test]
+    fn gauge_latest_wins() {
+        let rec = Recorder::new();
+        rec.record(Event::Gauge {
+            name: "g",
+            value: 2,
+        });
+        rec.record(Event::Gauge {
+            name: "g",
+            value: 7,
+        });
+        assert_eq!(rec.gauge_value("g"), Some(7));
+    }
+
+    #[test]
+    fn metrics_json_is_well_formed() {
+        let rec = Recorder::new();
+        rec.record(Event::Counter {
+            name: "c",
+            machine: Some(0),
+            delta: 4,
+        });
+        rec.record(Event::Observe {
+            name: "h",
+            value: 2,
+        });
+        rec.record_span_timing("s", 100);
+        rec.record_float("f", 1.0);
+        let json = rec.metrics_json();
+        assert!(json.contains("\"c#0\": 4"));
+        assert!(json.contains("\"count\": 1"));
+        assert!(json.contains("\"total_ns\": 100"));
+        assert!(json.contains("\"f\": 1e0"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let rec = Recorder::new();
+        rec.record(Event::Counter {
+            name: "c",
+            machine: None,
+            delta: 1,
+        });
+        rec.record_span_timing("s", 10);
+        rec.clear();
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.counter_total("c", None), 0);
+        assert!(rec.span_stats().is_empty());
+    }
+}

@@ -1,0 +1,152 @@
+//! Event-stream replay: attribute counters to their innermost open span.
+//!
+//! Used by the `trace_report` bin to turn a flat recorded stream into a
+//! per-phase query breakdown.
+
+use std::collections::BTreeMap;
+
+use crate::event::Event;
+use crate::names;
+
+/// Per-span attribution computed by replaying an event stream.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanAttribution {
+    /// Times a span with this name was entered.
+    pub entries: u64,
+    /// Sequential oracle queries emitted while this span was innermost.
+    pub oracle_queries: u64,
+    /// Parallel oracle rounds emitted while this span was innermost.
+    pub oracle_rounds: u64,
+    /// All other counter increments while innermost, keyed by counter name.
+    pub other_counters: BTreeMap<&'static str, u64>,
+}
+
+/// Replays `events`, attributing every counter increment to the innermost
+/// span open at the time it was emitted. Increments emitted outside any
+/// span land under the pseudo-span `"(root)"`. Returns spans in first-entry
+/// order.
+pub fn attribute_queries(events: &[Event]) -> Vec<(&'static str, SpanAttribution)> {
+    let mut order: Vec<&'static str> = Vec::new();
+    let mut spans: BTreeMap<&'static str, SpanAttribution> = BTreeMap::new();
+    let mut stack: Vec<&'static str> = Vec::new();
+
+    fn entry<'a>(
+        order: &mut Vec<&'static str>,
+        spans: &'a mut BTreeMap<&'static str, SpanAttribution>,
+        name: &'static str,
+    ) -> &'a mut SpanAttribution {
+        if !spans.contains_key(name) {
+            order.push(name);
+        }
+        spans.entry(name).or_default()
+    }
+
+    for event in events {
+        match *event {
+            Event::SpanEnter { name } => {
+                stack.push(name);
+                entry(&mut order, &mut spans, name).entries += 1;
+            }
+            Event::SpanExit { name } => {
+                if stack.last() == Some(&name) {
+                    stack.pop();
+                } else if let Some(pos) = stack.iter().rposition(|&s| s == name) {
+                    // Tolerate malformed streams: close the matching frame.
+                    stack.remove(pos);
+                }
+            }
+            Event::Counter { name, delta, .. } => {
+                let owner = stack.last().copied().unwrap_or("(root)");
+                let attr = entry(&mut order, &mut spans, owner);
+                match name {
+                    n if n == names::ORACLE_QUERY => attr.oracle_queries += delta,
+                    n if n == names::ORACLE_ROUND => attr.oracle_rounds += delta,
+                    other => *attr.other_counters.entry(other).or_insert(0) += delta,
+                }
+            }
+            Event::Gauge { .. } | Event::Observe { .. } => {}
+        }
+    }
+
+    order
+        .into_iter()
+        .map(|name| (name, spans.remove(name).unwrap_or_default()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attributes_to_innermost_span() {
+        let events = [
+            Event::SpanEnter { name: "outer" },
+            Event::Counter {
+                name: names::ORACLE_QUERY,
+                machine: Some(0),
+                delta: 2,
+            },
+            Event::SpanEnter { name: "inner" },
+            Event::Counter {
+                name: names::ORACLE_QUERY,
+                machine: Some(1),
+                delta: 5,
+            },
+            Event::Counter {
+                name: names::ORACLE_ROUND,
+                machine: None,
+                delta: 1,
+            },
+            Event::SpanExit { name: "inner" },
+            Event::Counter {
+                name: "retry.attempt",
+                machine: None,
+                delta: 1,
+            },
+            Event::SpanExit { name: "outer" },
+        ];
+        let attr = attribute_queries(&events);
+        assert_eq!(attr.len(), 2);
+        assert_eq!(attr[0].0, "outer");
+        assert_eq!(attr[0].1.oracle_queries, 2);
+        assert_eq!(attr[0].1.other_counters.get("retry.attempt"), Some(&1));
+        assert_eq!(attr[1].0, "inner");
+        assert_eq!(attr[1].1.oracle_queries, 5);
+        assert_eq!(attr[1].1.oracle_rounds, 1);
+    }
+
+    #[test]
+    fn counters_outside_spans_land_in_root() {
+        let events = [Event::Counter {
+            name: names::ORACLE_QUERY,
+            machine: Some(0),
+            delta: 3,
+        }];
+        let attr = attribute_queries(&events);
+        assert_eq!(
+            attr,
+            vec![(
+                "(root)",
+                SpanAttribution {
+                    entries: 0,
+                    oracle_queries: 3,
+                    oracle_rounds: 0,
+                    other_counters: BTreeMap::new(),
+                }
+            )]
+        );
+    }
+
+    #[test]
+    fn reentrant_spans_accumulate() {
+        let events = [
+            Event::SpanEnter { name: "s" },
+            Event::SpanExit { name: "s" },
+            Event::SpanEnter { name: "s" },
+            Event::SpanExit { name: "s" },
+        ];
+        let attr = attribute_queries(&events);
+        assert_eq!(attr[0].1.entries, 2);
+    }
+}

@@ -20,7 +20,7 @@
 //! - `apply_phase`, `filter_amplitudes`, and `scale` are element-parallel
 //!   (`par_iter_mut`).
 //! - `support_len`, `norm`, and `inner` are parallel reductions.
-//! - `to_table` collects surviving entries per [`PAR_CHUNK`]-sized chunk in
+//! - `to_table` collects surviving entries per `PAR_CHUNK`-sized chunk in
 //!   parallel and concatenates chunks in index order, so the resulting
 //!   [`StateTable`] order is identical to a serial scan.
 //!

@@ -13,7 +13,7 @@
 //! [`Layout::encode_u128`] packed key and the state is a flat
 //! **sorted** `Vec<(u128, Complex64)>` with a double-buffered scratch
 //! vector. Gate application becomes allocation-free merge/scan passes
-//! (rayon-parallel over [`PAR_CHUNK`]-sized chunks) instead of hash-map
+//! (rayon-parallel over `PAR_CHUNK`-sized chunks) instead of hash-map
 //! rebuilds with one boxed-slice key allocation per amplitude. Because the
 //! first register is the most significant digit, sorted key order equals
 //! sorted basis-tuple order, so snapshots and merge-joins agree with
