@@ -89,6 +89,8 @@ impl HardInputFamily {
         let mut shards = vec![Multiset::new(); machines];
         shards[k] = Multiset::from_counts((0..support).map(|i| (i, mult)));
         let base = DistributedDataset::new(universe, capacity, shards)
+            // lint: allow(panic): the asserts above pin mult ≤ capacity and
+            // support ≤ universe, which is exactly what `new` validates.
             .expect("canonical hard input is valid");
         Self::new(base, k)
     }
@@ -133,6 +135,8 @@ impl HardInputFamily {
             shard.support().collect::<Vec<_>>(),
             "map source must equal the shard support"
         );
+        // lint: allow(panic): the assert_eq above guarantees every shard
+        // element is in the map's source set.
         let relabeled = shard.relabel(|e| map.apply(e).expect("support element"));
         self.base.with_shard_replaced(self.machine, relabeled)
     }

@@ -76,6 +76,8 @@ impl PotentialTrace {
 
     /// The final value `D_{t_k}`.
     pub fn final_potential(&self) -> f64 {
+        // lint: allow(panic): `d` is seeded with the t = 0 entry at
+        // construction and only ever grows.
         *self.d.last().expect("trace has at least t = 0")
     }
 

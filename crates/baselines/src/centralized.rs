@@ -7,7 +7,7 @@
 //! identical (it depends only on `M, N, ν`), and the sequential cost scales
 //! by exactly `n`.
 
-use dqs_core::{sequential_sample, SequentialRun};
+use dqs_core::{sequential_sample, SampleError, SequentialRun};
 use dqs_db::{DistributedDataset, Multiset};
 use dqs_sim::QuantumState;
 
@@ -19,16 +19,27 @@ pub struct CentralizedRun<S> {
 }
 
 /// Merges all shards onto one machine (same `N`, same `ν`) and samples.
-pub fn centralized_sample<S: QuantumState>(dataset: &DistributedDataset) -> CentralizedRun<S> {
+///
+/// # Errors
+///
+/// Propagates [`SampleError`] from the inner sequential run (unreachable
+/// on a faultless oracle set, but typed so callers compose uniformly with
+/// the other sampling entry points).
+pub fn centralized_sample<S: QuantumState>(
+    dataset: &DistributedDataset,
+) -> Result<CentralizedRun<S>, SampleError> {
     let merged = dataset
         .shards()
         .iter()
         .fold(Multiset::new(), |acc, s| acc.union(s));
     let central = DistributedDataset::new(dataset.universe(), dataset.capacity(), vec![merged])
+        // lint: allow(panic): `new` validates the cross-machine totals
+        // c_i = Σ_j c_ij against ν, and merging shards preserves every c_i,
+        // so a valid input dataset always yields a valid merged one.
         .expect("merged dataset is valid when the original is");
-    CentralizedRun {
-        run: sequential_sample::<S>(&central).expect("faultless run"),
-    }
+    Ok(CentralizedRun {
+        run: sequential_sample::<S>(&central)?,
+    })
 }
 
 #[cfg(test)]
@@ -44,14 +55,14 @@ mod tests {
 
     #[test]
     fn centralized_output_is_exact() {
-        let run = centralized_sample::<SparseState>(&dataset());
+        let run = centralized_sample::<SparseState>(&dataset()).expect("faultless run");
         assert!(run.run.fidelity > 1.0 - 1e-9);
     }
 
     #[test]
     fn same_iteration_count_as_distributed() {
         let ds = dataset();
-        let central = centralized_sample::<SparseState>(&ds);
+        let central = centralized_sample::<SparseState>(&ds).expect("faultless run");
         let distributed = sequential_sample::<SparseState>(&ds).expect("faultless run");
         assert_eq!(
             central.run.plan.total_iterations(),
@@ -63,7 +74,7 @@ mod tests {
     #[test]
     fn distributed_cost_is_exactly_n_times_centralized() {
         let ds = dataset();
-        let central = centralized_sample::<SparseState>(&ds);
+        let central = centralized_sample::<SparseState>(&ds).expect("faultless run");
         let distributed = sequential_sample::<SparseState>(&ds).expect("faultless run");
         assert_eq!(
             distributed.queries.total_sequential(),
@@ -74,7 +85,7 @@ mod tests {
     #[test]
     fn same_output_distribution() {
         let ds = dataset();
-        let central = centralized_sample::<SparseState>(&ds);
+        let central = centralized_sample::<SparseState>(&ds).expect("faultless run");
         let distributed = sequential_sample::<SparseState>(&ds).expect("faultless run");
         let pc = central.run.state.register_probabilities(0);
         let pd = distributed.state.register_probabilities(0);

@@ -1,6 +1,9 @@
 //! Runs every experiment in DESIGN.md §4's index and writes each report
 //! under `results/`. This regenerates the entire evaluation.
 
+// Wall-clock progress timing, same opt-in as the dqs-bench library root.
+#![allow(clippy::disallowed_methods)]
+
 fn main() {
     let started = std::time::Instant::now();
     for (name, runner) in dqs_bench::experiments::all() {

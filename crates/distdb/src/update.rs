@@ -130,6 +130,8 @@ impl UpdateLog {
             shards[machine].insert_many(element, eff as u64);
         }
         DistributedDataset::new(base.universe(), base.capacity(), shards)
+            // lint: allow(panic): part of the documented `# Panics` contract
+            // above — a log that breaks validity has no consistent history.
             .expect("updated dataset must stay valid")
     }
 }

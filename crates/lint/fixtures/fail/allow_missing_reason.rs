@@ -1,0 +1,9 @@
+//@ path: crates/core/src/lookup.rs
+//@ expect: R0:allow-directive
+//@ expect: R3:panic
+// A reasonless allow grants nothing: it is reported itself (R0) and the
+// unwrap it tried to cover still fires (R3).
+pub fn first_element(xs: &[u64]) -> u64 {
+    // lint: allow(panic)
+    *xs.first().unwrap()
+}

@@ -1,0 +1,12 @@
+//@ path: crates/distdb/src/cache.rs
+//@ expect: R1:determinism
+// Randomly-seeded hash iteration in a deterministic crate.
+use std::collections::HashMap;
+
+pub fn histogram(xs: &[u64]) -> Vec<(u64, u64)> {
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}

@@ -1,0 +1,10 @@
+//@ path: crates/core/src/timing.rs
+//@ expect: R1:determinism
+// A deterministic crate reading the wall clock: R1 must fire on the import
+// and on the call site.
+use std::time::Instant;
+
+pub fn elapsed_ns() -> u64 {
+    let start = Instant::now();
+    start.elapsed().as_nanos() as u64
+}

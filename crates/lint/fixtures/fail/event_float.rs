@@ -1,0 +1,17 @@
+//@ path: crates/obs/src/event.rs
+//@ expect: R5:event-purity
+// A float payload and float formatting in the event stream: last-ulp
+// differences across backends would break stream bit-identity.
+pub enum Event {
+    Fidelity { name: &'static str, value: f64 },
+}
+
+impl Event {
+    pub fn to_json(&self) -> String {
+        match self {
+            Event::Fidelity { name, value } => {
+                format!("{{\"name\":\"{name}\",\"value\":{:.12}}}", value)
+            }
+        }
+    }
+}

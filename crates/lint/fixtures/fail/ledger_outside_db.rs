@@ -1,0 +1,7 @@
+//@ path: crates/core/src/shortcut.rs
+//@ expect: R2:ledger-pairing
+// Charging the ledger from outside dqs-db bypasses the charging wrappers
+// (and their obs pairing) entirely.
+pub fn bill_directly(ledger: &QueryLedger) {
+    ledger.record_sequential(0);
+}

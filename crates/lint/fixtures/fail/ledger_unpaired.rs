@@ -1,0 +1,15 @@
+//@ path: crates/distdb/src/charging.rs
+//@ expect: R2:ledger-pairing
+// A ledger charge with no obs counter in the same function: the two
+// accountings can drift and reconciliation would only catch it at runtime.
+impl Oracles {
+    pub fn apply_oj(&self, machine: usize) {
+        self.ledger.record_sequential(machine);
+        self.do_apply(machine);
+    }
+
+    pub fn apply_round(&self) {
+        self.ledger.record_parallel_round();
+        self.do_round();
+    }
+}

@@ -1,0 +1,9 @@
+//@ path: crates/core/src/lookup.rs
+//@ expect: R3:panic
+// unwrap()/expect() in library code: all-paths exactness means no panic
+// may hide on an unexecuted branch.
+pub fn first_element(xs: &[u64]) -> u64 {
+    let head = xs.first().unwrap();
+    let checked = xs.get(0).expect("slice is non-empty");
+    *head + *checked
+}

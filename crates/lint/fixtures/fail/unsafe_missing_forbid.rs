@@ -1,0 +1,6 @@
+//@ path: crates/qmath/src/lib.rs
+//@ expect: R4:unsafe
+// A crate root without #![forbid(unsafe_code)].
+#![warn(missing_docs)]
+
+pub mod complex;

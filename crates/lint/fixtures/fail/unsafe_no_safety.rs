@@ -1,0 +1,10 @@
+//@ path: crates/qsim/src/simd.rs
+//@ expect: R4:unsafe
+// An unsafe block with no SAFETY justification.
+pub fn sum_amps(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..xs.len() {
+        acc += unsafe { *xs.get_unchecked(i) };
+    }
+    acc
+}

@@ -1,0 +1,8 @@
+//@ path: crates/core/src/lookup.rs
+// A directive with a reason covers its code line, even across a multi-line
+// comment.
+pub fn first_element(xs: &[u64]) -> u64 {
+    // lint: allow(panic): the caller guarantees xs is the non-empty support
+    // of a normalized state.
+    *xs.first().unwrap()
+}

@@ -1,0 +1,28 @@
+//@ path: crates/distdb/src/cache.rs
+// Deterministic alternatives stay quiet: BTreeMap in production code, a
+// std HashMap inside #[cfg(test)], and an allow-annotated sanctioned use.
+use std::collections::BTreeMap;
+
+pub fn histogram(xs: &[u64]) -> Vec<(u64, u64)> {
+    let mut counts: BTreeMap<u64, u64> = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+// lint: allow(determinism): keys are only probed, never iterated, so the
+// random seed cannot influence any output.
+pub type ProbeSet = std::collections::HashSet<u64>;
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashMap;
+
+    #[test]
+    fn test_code_may_hash() {
+        let mut m = HashMap::new();
+        m.insert(1u64, 2u64);
+        assert_eq!(m[&1], 2);
+    }
+}

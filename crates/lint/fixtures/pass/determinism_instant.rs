@@ -1,0 +1,14 @@
+//@ path: crates/core/src/timing.rs
+// The deterministic replacement: a logical tick counter. Mentions of the
+// banned names in comments (Instant::now) and strings must not fire.
+pub struct TickClock {
+    ticks: u64,
+}
+
+impl TickClock {
+    pub fn tick(&mut self) -> u64 {
+        self.ticks += 1;
+        let _why = "we never call Instant::now here";
+        self.ticks
+    }
+}

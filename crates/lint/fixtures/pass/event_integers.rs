@@ -1,0 +1,19 @@
+//@ path: crates/obs/src/event.rs
+// Static names and integers only — the real event vocabulary's shape.
+pub enum Event {
+    Counter { name: &'static str, delta: u64 },
+    Gauge { name: &'static str, value: i64 },
+}
+
+impl Event {
+    pub fn to_json(&self) -> String {
+        match self {
+            Event::Counter { name, delta } => {
+                format!("{{\"name\":\"{name}\",\"delta\":{delta}}}")
+            }
+            Event::Gauge { name, value } => {
+                format!("{{\"name\":\"{name}\",\"value\":{value}}}")
+            }
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//@ path: crates/core/src/shortcut.rs
+// Consumers go through the dqs-db charging wrappers; reading ledger totals
+// is fine, only charging is restricted.
+pub fn run_phase(oracles: &OracleSet, state: &mut S, regs: OracleRegisters) -> u64 {
+    oracles.apply_all_fused(state, regs, false);
+    oracles.ledger().total_sequential()
+}

@@ -1,0 +1,16 @@
+//@ path: crates/distdb/src/charging.rs
+// Every charge emits its matching counter in the same function — the shape
+// of the 7 real charge sites in oracle.rs / faults.rs.
+impl Oracles {
+    pub fn apply_oj(&self, machine: usize) {
+        self.ledger.record_sequential(machine);
+        dqs_obs::machine_counter(dqs_obs::names::ORACLE_QUERY, machine, 1);
+        self.do_apply(machine);
+    }
+
+    pub fn apply_round(&self) {
+        self.ledger.record_parallel_round();
+        dqs_obs::counter(dqs_obs::names::ORACLE_ROUND, 1);
+        self.do_round();
+    }
+}

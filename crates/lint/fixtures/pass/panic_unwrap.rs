@@ -1,0 +1,26 @@
+//@ path: crates/core/src/lookup.rs
+// The three sanctioned shapes: typed errors, non-panicking combinators
+// (unwrap_or_else is a different identifier and must not fire), a justified
+// allow-comment, and test-only unwraps.
+pub fn first_element(xs: &[u64]) -> Result<u64, SampleError> {
+    xs.first().copied().ok_or(SampleError::InvalidShotBudget)
+}
+
+pub fn first_or_zero(xs: &[u64]) -> u64 {
+    xs.first().copied().unwrap_or_else(|| 0)
+}
+
+pub fn anchor(xs: &[u64]) -> u64 {
+    // lint: allow(panic): callers pass the amplification schedule, which is
+    // non-empty by construction (plan_iterations >= 1).
+    *xs.first().expect("non-empty schedule")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let xs = vec![1u64];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

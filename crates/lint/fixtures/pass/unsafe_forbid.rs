@@ -1,0 +1,5 @@
+//@ path: crates/qmath/src/lib.rs
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod complex;

@@ -1,0 +1,11 @@
+//@ path: crates/qsim/src/simd.rs
+// The justified form: a SAFETY comment immediately above the unsafe block.
+pub fn sum_amps(xs: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for i in 0..xs.len() {
+        // SAFETY: i < xs.len() by the loop bound, so the unchecked index
+        // is always in range.
+        acc += unsafe { *xs.get_unchecked(i) };
+    }
+    acc
+}

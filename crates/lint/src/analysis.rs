@@ -1,0 +1,212 @@
+//! Token-stream analyses shared by the rule passes: test-code masking and
+//! function-body spans.
+
+use crate::lexer::{Kind, Tok};
+
+/// Returns a mask over `toks` that is `true` for every token inside
+/// test-only code: an item annotated `#[cfg(test)]` / `#[test]` (attribute
+/// included, through the matching closing brace of the item body).
+///
+/// The detection is deliberately conservative in one direction: attributes
+/// containing a `not` ident (e.g. `#[cfg(not(test))]`) are treated as
+/// production code, so rules still apply there.
+pub fn test_mask(toks: &[Tok]) -> Vec<bool> {
+    let n = toks.len();
+    let mut mask = vec![false; n];
+    let mut i = 0usize;
+    while i < n {
+        if toks[i].text == "#" && i + 1 < n && toks[i + 1].text == "[" {
+            let (attr_end, is_test) = scan_attr(toks, i + 1);
+            if is_test {
+                // Skip any further attributes stacked on the same item.
+                let mut k = attr_end + 1;
+                loop {
+                    if k + 1 < n && toks[k].text == "#" && toks[k + 1].text == "[" {
+                        let (e, _) = scan_attr(toks, k + 1);
+                        k = e + 1;
+                    } else {
+                        break;
+                    }
+                }
+                // Advance to the item body (or a bodyless `;` item, which
+                // we cannot follow across files — see DESIGN.md §11).
+                while k < n && toks[k].text != "{" && toks[k].text != ";" {
+                    k += 1;
+                }
+                if k < n && toks[k].text == "{" {
+                    let end = match_brace(toks, k);
+                    for m in mask.iter_mut().take(end + 1).skip(i) {
+                        *m = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+                i = k + 1;
+                continue;
+            }
+            i = attr_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// Scans one attribute starting at its `[` token; returns the index of the
+/// matching `]` and whether the attribute marks test-only code.
+fn scan_attr(toks: &[Tok], open: usize) -> (usize, bool) {
+    let n = toks.len();
+    let mut depth = 0usize;
+    let mut has_test = false;
+    let mut has_not = false;
+    let mut j = open;
+    while j < n {
+        match toks[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            "test" if toks[j].kind == Kind::Ident => has_test = true,
+            "not" if toks[j].kind == Kind::Ident => has_not = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (j.min(n.saturating_sub(1)), has_test && !has_not)
+}
+
+/// Index of the `}` matching the `{` at `open` (last token if unbalanced).
+pub fn match_brace(toks: &[Tok], open: usize) -> usize {
+    let n = toks.len();
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < n {
+        match toks[j].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    n.saturating_sub(1)
+}
+
+/// The token span `(open_brace, close_brace)` of every `fn` body in the
+/// stream, in source order. Trait-method declarations without a body are
+/// skipped. Nested functions and closures simply yield nested spans; use
+/// [`innermost_body`] to attribute a token to its tightest enclosing `fn`.
+pub fn fn_bodies(toks: &[Tok]) -> Vec<(usize, usize)> {
+    let n = toks.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        if toks[i].kind != Kind::Ident || toks[i].text != "fn" {
+            continue;
+        }
+        // Scan the signature for the body `{`, stopping at a bodyless `;`.
+        let mut paren = 0usize;
+        let mut j = i + 1;
+        while j < n {
+            match toks[j].text.as_str() {
+                "(" => paren += 1,
+                ")" => paren = paren.saturating_sub(1),
+                "{" if paren == 0 => {
+                    out.push((j, match_brace(toks, j)));
+                    break;
+                }
+                ";" if paren == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+    }
+    out
+}
+
+/// The tightest `fn` body span containing token index `idx`, if any.
+pub fn innermost_body(bodies: &[(usize, usize)], idx: usize) -> Option<(usize, usize)> {
+    bodies
+        .iter()
+        .filter(|(s, e)| *s < idx && idx < *e)
+        .min_by_key(|(s, e)| e - s)
+        .copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_mod_is_masked() {
+        let src = "fn prod() { x.unwrap(); }\n#[cfg(test)]\nmod tests { fn t() { y.unwrap(); } }\nfn prod2() {}";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.toks);
+        let unwraps: Vec<bool> = lexed
+            .toks
+            .iter()
+            .zip(&mask)
+            .filter(|(t, _)| t.text == "unwrap")
+            .map(|(_, m)| *m)
+            .collect();
+        assert_eq!(unwraps, vec![false, true]);
+        let prod2 = lexed
+            .toks
+            .iter()
+            .position(|t| t.text == "prod2")
+            .expect("prod2");
+        assert!(!mask[prod2]);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_masked() {
+        let src = "#[cfg(not(test))]\nfn prod() { x.unwrap(); }";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.toks);
+        let u = lexed
+            .toks
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .expect("unwrap");
+        assert!(!mask[u]);
+    }
+
+    #[test]
+    fn stacked_attributes_mask_through_the_body() {
+        let src = "#[test]\n#[should_panic(expected = \"boom\")]\nfn t() { z.unwrap(); }";
+        let lexed = lex(src);
+        let mask = test_mask(&lexed.toks);
+        let u = lexed
+            .toks
+            .iter()
+            .position(|t| t.text == "unwrap")
+            .expect("unwrap");
+        assert!(mask[u]);
+    }
+
+    #[test]
+    fn fn_bodies_and_innermost() {
+        let src = "fn outer() { fn inner() { mark(); } other(); }\ntrait T { fn decl(&self); }";
+        let lexed = lex(src);
+        let bodies = fn_bodies(&lexed.toks);
+        assert_eq!(bodies.len(), 2);
+        let mark = lexed
+            .toks
+            .iter()
+            .position(|t| t.text == "mark")
+            .expect("mark");
+        let inner = innermost_body(&bodies, mark).expect("inner body");
+        // The innermost body for `mark` is `inner`'s, not `outer`'s.
+        let (s, e) = inner;
+        assert!(bodies
+            .iter()
+            .any(|b| *b == (s, e) && e - s < bodies[0].1 - bodies[0].0));
+    }
+}

@@ -1,0 +1,86 @@
+//! Lint diagnostics and their text / JSON renderings.
+
+use std::fmt;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier, e.g. `R3:panic`.
+    pub rule: &'static str,
+    /// Workspace-relative path of the offending file.
+    pub path: String,
+    /// 1-based line number.
+    pub line: u32,
+    /// Human-readable explanation with the suggested fix.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Minimal JSON string escaping (the subset `jsonv` reads back).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Diagnostic {
+    /// Renders the diagnostic as one JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"path\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            escape(self.rule),
+            escape(&self.path),
+            self.line,
+            escape(&self.message)
+        )
+    }
+}
+
+/// Renders a full report: `{"count": N, "violations": [...]}`.
+pub fn report_json(diags: &[Diagnostic]) -> String {
+    let body: Vec<String> = diags.iter().map(|d| format!("  {}", d.to_json())).collect();
+    format!(
+        "{{\n\"count\": {},\n\"violations\": [\n{}\n]\n}}",
+        diags.len(),
+        body.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shape() {
+        let d = Diagnostic {
+            rule: "R3:panic",
+            path: "crates/core/src/a.rs".to_string(),
+            line: 7,
+            message: "say \"no\"".to_string(),
+        };
+        assert_eq!(
+            d.to_json(),
+            "{\"rule\":\"R3:panic\",\"path\":\"crates/core/src/a.rs\",\"line\":7,\"message\":\"say \\\"no\\\"\"}"
+        );
+        assert!(report_json(&[d]).starts_with("{\n\"count\": 1,"));
+    }
+}

@@ -1,0 +1,447 @@
+//! A token-level lexer for Rust source, in the spirit of the workspace's
+//! `jsonv` reader: small, dependency-free, and specialized to exactly what
+//! the rule passes need.
+//!
+//! The lexer strips comments, string/char literals, and lifetimes so that
+//! rule passes match real code tokens only — a banned name inside a doc
+//! comment, a doctest, or a string literal never fires. While stripping it
+//! *keeps* two kinds of information the rules do need:
+//!
+//! * **Directives** found in comments: `// lint: allow(<rule>): <reason>`
+//!   escape hatches and `// SAFETY:` justifications, recorded with their
+//!   line numbers.
+//! * **String literal contents**, as [`Kind::Str`] tokens, so the
+//!   event-purity rule can spot float formatting like `{:.3}` inside
+//!   `format!` strings.
+//!
+//! It is intentionally not a full Rust lexer: it only needs to be exact
+//! about the boundaries of comments and literals (so no token is invented
+//! or lost) and about line numbers (so diagnostics and allow-comments line
+//! up). Everything else — numeric suffixes, operator gluing — is
+//! deliberately loose.
+
+use std::collections::BTreeSet;
+
+/// What a token is, at the granularity the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// An identifier or keyword (`fn`, `unwrap`, `HashMap`, ...).
+    Ident,
+    /// A numeric literal (`0xFF`, `1u64`, `5f64` as one token).
+    Num,
+    /// A string literal; `text` holds the raw contents (escapes unresolved).
+    Str,
+    /// A single punctuation character (`.`, `#`, `{`, ...).
+    Punct,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token text: the identifier/number itself, the raw string contents,
+    /// or the single punctuation character.
+    pub text: String,
+    /// Token class.
+    pub kind: Kind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+/// One `lint: allow(<rule>)` directive found in a comment.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule key inside the parentheses, e.g. `panic`.
+    pub rule: String,
+    /// 1-based line the directive sits on.
+    pub line: u32,
+    /// Whether a non-empty reason follows the `allow(...)`.
+    pub has_reason: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens, in source order.
+    pub toks: Vec<Tok>,
+    /// Every allow directive found in comments.
+    pub allows: Vec<Allow>,
+    /// Lines covered by a `SAFETY:` comment.
+    pub safety: BTreeSet<u32>,
+    /// Lines on which at least one code token starts.
+    pub code_lines: BTreeSet<u32>,
+}
+
+impl Lexed {
+    /// True when a comment on `from` reaches code on `line`: either the
+    /// same line (trailing comment), or `line` is the *first* line with any
+    /// code after `from` — so a directive or SAFETY comment may span
+    /// several comment lines before the code it covers.
+    fn reaches(&self, from: u32, line: u32) -> bool {
+        line == from || (line > from && self.code_lines.range(from + 1..line).next().is_none())
+    }
+
+    /// True when `line` is covered by a well-formed `allow(rule)`
+    /// directive. Directives without a reason never grant an exemption —
+    /// they are reported separately (R0).
+    pub fn allowed(&self, line: u32, rule: &str) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.rule == rule && a.has_reason && self.reaches(a.line, line))
+    }
+
+    /// True when `line` is covered by a `SAFETY:` comment (same line, or a
+    /// comment block immediately above).
+    pub fn safety_near(&self, line: u32) -> bool {
+        if self.safety.contains(&line) {
+            return true;
+        }
+        self.safety
+            .range(..line)
+            .next_back()
+            .is_some_and(|&s| self.reaches(s, line))
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_cont(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Scans one comment's text for directives and records them.
+fn scan_comment(text: &str, line: u32, out: &mut Lexed) {
+    if text.contains("SAFETY:") {
+        out.safety.insert(line);
+    }
+    if let Some(p) = text.find("lint: allow(") {
+        let rest = &text[p + "lint: allow(".len()..];
+        if let Some(q) = rest.find(')') {
+            let rule = rest[..q].trim().to_string();
+            let tail = rest[q + 1..]
+                .trim_start()
+                .trim_start_matches([':', '-', '—'])
+                .trim();
+            out.allows.push(Allow {
+                rule,
+                line,
+                has_reason: !tail.is_empty(),
+            });
+        }
+    }
+}
+
+/// Lexes `src` into tokens plus comment directives.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! bump_lines {
+        ($range:expr) => {
+            for &c in &b[$range] {
+                if c == b'\n' {
+                    line += 1;
+                }
+            }
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment (plain, doc `///`, or inner-doc `//!`). Directives
+        // are only honored in *plain* comments: doc comments are prose (and
+        // routinely quote the directive syntax when documenting it).
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            let start = i;
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            let is_doc = matches!(b.get(start + 2), Some(b'/' | b'!'));
+            if !is_doc {
+                let text = String::from_utf8_lossy(&b[start..i]).into_owned();
+                scan_comment(&text, line, &mut out);
+            }
+            continue;
+        }
+        // Block comment, possibly nested.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1usize;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            let is_doc = matches!(b.get(start + 2), Some(b'*' | b'!'));
+            if !is_doc {
+                let text = String::from_utf8_lossy(&b[start..i]).into_owned();
+                // A multi-line SAFETY block comment covers every line spanned.
+                if text.contains("SAFETY:") {
+                    for l in start_line..=line {
+                        out.safety.insert(l);
+                    }
+                }
+                scan_comment(&text, start_line, &mut out);
+            }
+            continue;
+        }
+        // Raw strings and raw identifiers: r"...", r#"..."#, r#ident, plus
+        // the raw byte-string variant br#"..."#. (Plain `b"..."` keeps its
+        // escapes and is handled by the ordinary string branch below.)
+        if c == b'r' || c == b'b' {
+            // Peek past an optional `b` prefix on `br`.
+            let mut j = i + 1;
+            let saw_r = if c == b'b' {
+                if j < n && b[j] == b'r' {
+                    j += 1;
+                    true
+                } else {
+                    false
+                }
+            } else {
+                true
+            };
+            let mut hashes = 0usize;
+            while j < n && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            if saw_r && j < n && b[j] == b'"' {
+                // Raw (byte) string: scan to `"` followed by `hashes` hashes.
+                let tok_line = line;
+                let content_start = j + 1;
+                let mut k = content_start;
+                'raw: while k < n {
+                    if b[k] == b'"' {
+                        let mut h = 0usize;
+                        while h < hashes && k + 1 + h < n && b[k + 1 + h] == b'#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            break 'raw;
+                        }
+                    }
+                    k += 1;
+                }
+                bump_lines!(i..k.min(n));
+                out.toks.push(Tok {
+                    text: String::from_utf8_lossy(&b[content_start..k.min(n)]).into_owned(),
+                    kind: Kind::Str,
+                    line: tok_line,
+                });
+                i = (k + 1 + hashes).min(n);
+                continue;
+            }
+            if c == b'r' && hashes == 1 && j < n && is_ident_start(b[j]) {
+                // Raw identifier r#ident.
+                let start = j;
+                let mut k = j;
+                while k < n && is_ident_cont(b[k]) {
+                    k += 1;
+                }
+                out.toks.push(Tok {
+                    text: String::from_utf8_lossy(&b[start..k]).into_owned(),
+                    kind: Kind::Ident,
+                    line,
+                });
+                i = k;
+                continue;
+            }
+            // Fall through: plain identifier starting with r/b.
+        }
+        // Plain string literal (or byte string handled above falls here via
+        // the `b"` prefix not matching the raw branch).
+        if c == b'"' || (c == b'b' && i + 1 < n && b[i + 1] == b'"') {
+            let tok_line = line;
+            let mut k = if c == b'"' { i + 1 } else { i + 2 };
+            let content_start = k;
+            while k < n {
+                match b[k] {
+                    b'\\' => k += 2,
+                    b'"' => break,
+                    b'\n' => {
+                        line += 1;
+                        k += 1;
+                    }
+                    _ => k += 1,
+                }
+            }
+            out.toks.push(Tok {
+                text: String::from_utf8_lossy(&b[content_start..k.min(n)]).into_owned(),
+                kind: Kind::Str,
+                line: tok_line,
+            });
+            i = (k + 1).min(n);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if i + 1 < n && b[i + 1] == b'\\' {
+                // Escaped char literal: '\n', '\'', '\u{..}'.
+                let mut k = i + 2;
+                if k < n {
+                    k += 1; // the escaped char (or 'u')
+                }
+                while k < n && b[k] != b'\'' {
+                    k += 1;
+                }
+                i = (k + 1).min(n);
+                continue;
+            }
+            if i + 2 < n && is_ident_start(b[i + 1]) && b[i + 2] != b'\'' {
+                // Lifetime: consume the tick and identifier, emit nothing.
+                let mut k = i + 1;
+                while k < n && is_ident_cont(b[k]) {
+                    k += 1;
+                }
+                i = k;
+                continue;
+            }
+            // Simple char literal: 'a', '(', ' '.
+            let mut k = i + 1;
+            while k < n && b[k] != b'\'' {
+                if b[k] == b'\n' {
+                    line += 1;
+                }
+                k += 1;
+            }
+            i = (k + 1).min(n);
+            continue;
+        }
+        // Identifier / keyword.
+        if is_ident_start(c) {
+            let start = i;
+            while i < n && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                kind: Kind::Ident,
+                line,
+            });
+            continue;
+        }
+        // Number (suffixes glued on: `1u64`, `5f64`, `0xFF`).
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < n && is_ident_cont(b[i]) {
+                i += 1;
+            }
+            out.toks.push(Tok {
+                text: String::from_utf8_lossy(&b[start..i]).into_owned(),
+                kind: Kind::Num,
+                line,
+            });
+            continue;
+        }
+        // Single punctuation character.
+        out.toks.push(Tok {
+            text: (c as char).to_string(),
+            kind: Kind::Punct,
+            line,
+        });
+        i += 1;
+    }
+    for t in &out.toks {
+        out.code_lines.insert(t.line);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn texts(src: &str) -> Vec<String> {
+        lex(src).toks.into_iter().map(|t| t.text).collect()
+    }
+
+    #[test]
+    fn strips_comments_and_strings() {
+        let src = r#"
+            // HashMap in a comment
+            /* Instant::now in a block /* nested */ */
+            let x = "thread_rng inside a string";
+            let y = foo.unwrap();
+        "#;
+        let t = texts(src);
+        assert!(!t.contains(&"HashMap".to_string()));
+        assert!(!t.contains(&"Instant".to_string()));
+        assert!(t.contains(&"unwrap".to_string()));
+        // The string contents survive as a Str token, not an Ident.
+        let lexed = lex(src);
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == Kind::Str && t.text.contains("thread_rng")));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let t = texts("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(t.iter().filter(|s| *s == "str").count(), 2);
+        assert!(t.contains(&"x".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_and_raw_idents() {
+        let lexed = lex(r###"let a = r#"quote " inside"#; let r#type = 1;"###);
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == Kind::Str && t.text.contains("quote")));
+        assert!(lexed
+            .toks
+            .iter()
+            .any(|t| t.kind == Kind::Ident && t.text == "type"));
+    }
+
+    #[test]
+    fn directives_are_recorded() {
+        let src = "\n// lint: allow(panic): index is bounds-checked above\nx.unwrap();\n// SAFETY: pointer is valid\nunsafe {}\n// lint: allow(determinism)\n";
+        let lexed = lex(src);
+        assert!(lexed.allowed(2, "panic"));
+        assert!(lexed.allowed(3, "panic"), "directive covers the next line");
+        assert!(!lexed.allowed(4, "panic"));
+        assert!(lexed.safety_near(4));
+        assert!(lexed.safety_near(5));
+        // The reasonless directive is recorded but grants nothing.
+        assert!(!lexed.allowed(6, "determinism"));
+        assert_eq!(lexed.allows.len(), 2);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "/* a\nb\nc */\nfoo();\n\"s1\ns2\"\nbar();";
+        let lexed = lex(src);
+        let foo = lexed.toks.iter().find(|t| t.text == "foo").expect("foo");
+        assert_eq!(foo.line, 4);
+        let bar = lexed.toks.iter().find(|t| t.text == "bar").expect("bar");
+        assert_eq!(bar.line, 7);
+    }
+}

@@ -1,0 +1,38 @@
+//! # dqs-lint
+//!
+//! The workspace invariant linter: a dependency-free, token-level static
+//! scanner that enforces the repo's correctness contracts over **all**
+//! paths, not just the ones the test suite happens to execute.
+//!
+//! The exactness story of this reproduction — fidelity exactly 1
+//! (BHMT zero-error amplitude amplification, Theorem 4.3), every oracle
+//! query billed to the `QueryLedger`, and bit-for-bit reproducible runs
+//! for the Theorem 5.1/5.2 lower-bound experiments — previously lived in
+//! debug-asserts and proptests that only fire on executed paths. `dqs-lint`
+//! checks the same invariants at the source level:
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `R1:determinism`    | deterministic crates never touch wall clocks, OS-seeded RNGs, or randomly-seeded hash collections |
+//! | `R2:ledger-pairing` | every ledger charge in dqs-db emits its obs counter in the same function; no charges outside dqs-db |
+//! | `R3:panic`          | no `unwrap()`/`expect()` in non-test library code |
+//! | `R4:unsafe`         | `#![forbid(unsafe_code)]` in every crate root; any `unsafe` carries a `// SAFETY:` comment |
+//! | `R5:event-purity`   | no `f64`/`f32` payloads or float formatting in the dqs-obs event stream |
+//!
+//! Run it with `cargo run --release -p dqs-lint` (add `--format json` for
+//! machine-readable output). Escape hatch:
+//! `// lint: allow(<rule>): <reason>` on the offending line or the line
+//! above — the reason is mandatory.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod diagnostics;
+pub mod lexer;
+pub mod rules;
+pub mod workspace;
+
+pub use diagnostics::{report_json, Diagnostic};
+pub use rules::{lint_source, FileCtx};
+pub use workspace::{find_root, lint_workspace, production_sources};

@@ -1,0 +1,89 @@
+//! `dqs-lint` CLI: walk the workspace and report invariant violations.
+//!
+//! ```text
+//! cargo run --release -p dqs-lint                 # human-readable report
+//! cargo run --release -p dqs-lint -- --format json
+//! cargo run --release -p dqs-lint -- --root /path/to/repo
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
+
+use dqs_lint::{find_root, lint_workspace, report_json};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: Option<PathBuf>,
+    json: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--format" => match it.next().as_deref() {
+                Some("json") => args.json = true,
+                Some("text") => args.json = false,
+                other => return Err(format!("--format expects json|text, got {other:?}")),
+            },
+            "--root" => match it.next() {
+                Some(p) => args.root = Some(PathBuf::from(p)),
+                None => return Err("--root expects a path".to_string()),
+            },
+            "--help" | "-h" => {
+                return Err("usage: dqs-lint [--root PATH] [--format text|json]".to_string())
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let start = args
+        .root
+        .or_else(|| std::env::current_dir().ok())
+        .unwrap_or_else(|| PathBuf::from("."));
+    let Some(root) = find_root(&start) else {
+        eprintln!(
+            "dqs-lint: no workspace root (Cargo.toml + crates/) at or above {}",
+            start.display()
+        );
+        return ExitCode::from(2);
+    };
+    let diags = match lint_workspace(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("dqs-lint: I/O error while scanning {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if args.json {
+        println!("{}", report_json(&diags));
+    } else {
+        for d in &diags {
+            println!("{d}");
+        }
+        if diags.is_empty() {
+            println!("dqs-lint: workspace clean (R1–R5 hold on every production source file)");
+        } else {
+            println!("dqs-lint: {} violation(s)", diags.len());
+        }
+    }
+    if diags.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

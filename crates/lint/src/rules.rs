@@ -1,0 +1,395 @@
+//! The five rule passes (R1–R5) and the per-file lint driver.
+//!
+//! Every pass works on the same inputs: the lexed token stream (comments
+//! and literals already stripped by [`crate::lexer`]), the test-code mask,
+//! and the file's [`FileCtx`]. Escape hatches are uniform: a
+//! `// lint: allow(<key>): <reason>` comment on the offending line (or the
+//! line above) silences exactly one rule, and the reason is mandatory —
+//! a reasonless directive is itself reported (R0).
+
+use crate::analysis::{fn_bodies, innermost_body, test_mask};
+use crate::diagnostics::Diagnostic;
+use crate::lexer::{lex, Kind, Lexed};
+
+/// Crates whose runs must be bit-for-bit reproducible (Theorems 5.1/5.2
+/// only validate against deterministic executions). `dqs-obs` and
+/// `dqs-bench` keep wall-clock timing in side-tables and are exempt.
+pub const DETERMINISTIC_CRATES: &[&str] =
+    &["dqs-core", "dqs-db", "dqs-sim", "dqs-math", "dqs-adversary"];
+
+/// Crates exempt from the panic-hygiene rule: the experiment harness is
+/// top-level binary code where aborting on a broken invariant is the
+/// correct behavior.
+pub const PANIC_EXEMPT_CRATES: &[&str] = &["dqs-bench"];
+
+/// The allow-comment keys, one per rule.
+pub const RULE_KEYS: &[&str] = &[
+    "determinism",
+    "ledger-pairing",
+    "panic",
+    "unsafe",
+    "event-purity",
+];
+
+/// Identifiers banned in deterministic crates, with the suggested
+/// replacement shown in the diagnostic.
+const NONDETERMINISTIC_IDENTS: &[(&str, &str)] = &[
+    (
+        "Instant",
+        "integer tick counters, or a dqs-obs span side-table",
+    ),
+    (
+        "SystemTime",
+        "integer tick counters, or a dqs-obs span side-table",
+    ),
+    ("thread_rng", "a seeded StdRng (`StdRng::seed_from_u64`)"),
+    (
+        "HashMap",
+        "crate-deterministic `fxhash::FxHashMap` (fixed iteration order) or `BTreeMap`",
+    ),
+    (
+        "HashSet",
+        "a sorted `Vec`, `BTreeSet`, or an `fxhash`-keyed map",
+    ),
+];
+
+/// What the linter knows about a file before reading it.
+#[derive(Debug, Clone)]
+pub struct FileCtx {
+    /// Workspace-relative path, forward slashes.
+    pub path: String,
+    /// Cargo package name (`dqs-core`, ...); the root crate is
+    /// `distributed-quantum-sampling`.
+    pub crate_name: String,
+    /// True for `src/lib.rs` crate roots (where `#![forbid(unsafe_code)]`
+    /// must live).
+    pub is_crate_root: bool,
+}
+
+impl FileCtx {
+    /// Derives the context from a workspace-relative path like
+    /// `crates/core/src/sequential.rs` or `src/lib.rs`.
+    pub fn from_rel_path(rel: &str) -> FileCtx {
+        let rel = rel.replace('\\', "/");
+        let crate_name = match rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+        {
+            Some(dir) => crate_dir_to_name(dir).to_string(),
+            None => "distributed-quantum-sampling".to_string(),
+        };
+        let is_crate_root = rel.ends_with("src/lib.rs");
+        FileCtx {
+            path: rel,
+            crate_name,
+            is_crate_root,
+        }
+    }
+}
+
+/// Maps a `crates/<dir>` directory to its package name.
+pub fn crate_dir_to_name(dir: &str) -> &str {
+    match dir {
+        "core" => "dqs-core",
+        "distdb" => "dqs-db",
+        "qsim" => "dqs-sim",
+        "qmath" => "dqs-math",
+        "obs" => "dqs-obs",
+        "bench" => "dqs-bench",
+        "adversary" => "dqs-adversary",
+        "baselines" => "dqs-baselines",
+        "workloads" => "dqs-workloads",
+        "lint" => "dqs-lint",
+        other => other,
+    }
+}
+
+/// Lints one source file; the core entry point used by the workspace
+/// walker, the fixture tests, and the CI canary alike.
+pub fn lint_source(ctx: &FileCtx, text: &str) -> Vec<Diagnostic> {
+    let lexed = lex(text);
+    let mask = test_mask(&lexed.toks);
+    let mut diags = Vec::new();
+    check_allow_directives(ctx, &lexed, &mut diags);
+    rule_determinism(ctx, &lexed, &mask, &mut diags);
+    rule_ledger_pairing(ctx, &lexed, &mask, &mut diags);
+    rule_panic(ctx, &lexed, &mask, &mut diags);
+    rule_unsafe(ctx, &lexed, &mask, &mut diags);
+    rule_event_purity(ctx, &lexed, &mask, &mut diags);
+    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    diags
+}
+
+/// R0: every allow directive must name a known rule and carry a reason.
+fn check_allow_directives(ctx: &FileCtx, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
+    for a in &lexed.allows {
+        if !RULE_KEYS.contains(&a.rule.as_str()) {
+            diags.push(Diagnostic {
+                rule: "R0:allow-directive",
+                path: ctx.path.clone(),
+                line: a.line,
+                message: format!(
+                    "unknown lint rule `{}` in allow directive (known: {})",
+                    a.rule,
+                    RULE_KEYS.join(", ")
+                ),
+            });
+        } else if !a.has_reason {
+            diags.push(Diagnostic {
+                rule: "R0:allow-directive",
+                path: ctx.path.clone(),
+                line: a.line,
+                message: format!(
+                    "`lint: allow({})` needs a reason: `// lint: allow({}): <why this is sound>`",
+                    a.rule, a.rule
+                ),
+            });
+        }
+    }
+}
+
+/// R1: deterministic crates must not touch wall clocks, OS-seeded RNGs, or
+/// randomly-seeded hash collections.
+fn rule_determinism(ctx: &FileCtx, lexed: &Lexed, mask: &[bool], diags: &mut Vec<Diagnostic>) {
+    if !DETERMINISTIC_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if t.kind != Kind::Ident || mask[i] {
+            continue;
+        }
+        if let Some((_, fix)) = NONDETERMINISTIC_IDENTS
+            .iter()
+            .find(|(name, _)| *name == t.text)
+        {
+            if lexed.allowed(t.line, "determinism") {
+                continue;
+            }
+            diags.push(Diagnostic {
+                rule: "R1:determinism",
+                path: ctx.path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` is nondeterministic and `{}` is a deterministic crate \
+                     (exact replay underpins the Theorem 5.1/5.2 experiments); use {}",
+                    t.text, ctx.crate_name, fix
+                ),
+            });
+        }
+    }
+}
+
+/// R2: every `QueryLedger` charge inside `dqs-db` must emit its matching
+/// obs counter in the same function, and no other crate may charge the
+/// ledger directly — oracle applications go through the charging wrappers.
+fn rule_ledger_pairing(ctx: &FileCtx, lexed: &Lexed, mask: &[bool], diags: &mut Vec<Diagnostic>) {
+    const CHARGES: &[(&str, &str)] = &[
+        ("record_sequential", "ORACLE_QUERY"),
+        ("record_parallel_round", "ORACLE_ROUND"),
+    ];
+    let in_db = ctx.crate_name == "dqs-db";
+    let bodies = if in_db {
+        fn_bodies(&lexed.toks)
+    } else {
+        Vec::new()
+    };
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if t.kind != Kind::Ident || mask[i] {
+            continue;
+        }
+        let Some((_, counter_name)) = CHARGES.iter().find(|(c, _)| *c == t.text) else {
+            continue;
+        };
+        // Skip the method *definitions* in counter.rs (`fn record_...`).
+        if i > 0 && lexed.toks[i - 1].text == "fn" {
+            continue;
+        }
+        if lexed.allowed(t.line, "ledger-pairing") {
+            continue;
+        }
+        if !in_db {
+            diags.push(Diagnostic {
+                rule: "R2:ledger-pairing",
+                path: ctx.path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` charged outside dqs-db: oracle queries must be billed through the \
+                     dqs-db charging wrappers (OracleSet::apply_*/charge_* or FaultyOracleSet::probe_*), \
+                     which pair every charge with its obs counter",
+                    t.text
+                ),
+            });
+            continue;
+        }
+        let Some((s, e)) = innermost_body(&bodies, i) else {
+            continue;
+        };
+        let paired = lexed.toks[s..=e]
+            .iter()
+            .any(|u| u.kind == Kind::Ident && u.text == *counter_name);
+        if !paired {
+            diags.push(Diagnostic {
+                rule: "R2:ledger-pairing",
+                path: ctx.path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` has no matching `dqs_obs::names::{}` emission in the same function; \
+                     ledger reconciliation (dqs-obs) requires the two accountings to move together",
+                    t.text, counter_name
+                ),
+            });
+        }
+    }
+}
+
+/// R3: no `unwrap()`/`expect()` in non-test library code.
+fn rule_panic(ctx: &FileCtx, lexed: &Lexed, mask: &[bool], diags: &mut Vec<Diagnostic>) {
+    if PANIC_EXEMPT_CRATES.contains(&ctx.crate_name.as_str()) {
+        return;
+    }
+    let toks = &lexed.toks;
+    for i in 0..toks.len() {
+        if toks[i].text != "." || toks[i].kind != Kind::Punct {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1) else {
+            continue;
+        };
+        if name.kind != Kind::Ident || (name.text != "unwrap" && name.text != "expect") {
+            continue;
+        }
+        if !matches!(toks.get(i + 2), Some(p) if p.text == "(") {
+            continue;
+        }
+        if mask[i + 1] || lexed.allowed(name.line, "panic") {
+            continue;
+        }
+        diags.push(Diagnostic {
+            rule: "R3:panic",
+            path: ctx.path.clone(),
+            line: name.line,
+            message: format!(
+                "`.{}()` in library code: propagate a typed error (`SampleError`/`OracleError`) \
+                 or, if the panic is provably unreachable, annotate \
+                 `// lint: allow(panic): <why it cannot fire>`",
+                name.text
+            ),
+        });
+    }
+}
+
+/// R4: crate roots must carry `#![forbid(unsafe_code)]`, and any `unsafe`
+/// token needs a `// SAFETY:` justification.
+fn rule_unsafe(ctx: &FileCtx, lexed: &Lexed, mask: &[bool], diags: &mut Vec<Diagnostic>) {
+    if ctx.is_crate_root {
+        let toks = &lexed.toks;
+        let attr = &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"];
+        let has_forbid = (0..toks.len().saturating_sub(attr.len() - 1))
+            .any(|i| attr.iter().enumerate().all(|(k, w)| toks[i + k].text == *w));
+        if !has_forbid && !lexed.allowed(1, "unsafe") {
+            diags.push(Diagnostic {
+                rule: "R4:unsafe",
+                path: ctx.path.clone(),
+                line: 1,
+                message: "crate root is missing `#![forbid(unsafe_code)]` (this workspace is \
+                          unsafe-free; the attribute keeps it that way)"
+                    .to_string(),
+            });
+        }
+    }
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if t.kind != Kind::Ident || t.text != "unsafe" || mask[i] {
+            continue;
+        }
+        // `forbid(unsafe_code)` mentions are handled above; `unsafe_code`
+        // is a different ident, so any `unsafe` here is a real block/fn/impl.
+        if lexed.safety_near(t.line) || lexed.allowed(t.line, "unsafe") {
+            continue;
+        }
+        diags.push(Diagnostic {
+            rule: "R4:unsafe",
+            path: ctx.path.clone(),
+            line: t.line,
+            message: "`unsafe` without a `// SAFETY:` comment on it (or the line above) \
+                      explaining why the invariants hold"
+                .to_string(),
+        });
+    }
+}
+
+/// Files making up the dqs-obs event-stream emission path: the event
+/// vocabulary and its JSONL rendering. Floats stay in recorder side-tables.
+const EVENT_STREAM_FILES: &[&str] = &["crates/obs/src/event.rs"];
+
+/// R5: the event stream carries only static names and integers — no float
+/// payloads, no float formatting.
+fn rule_event_purity(ctx: &FileCtx, lexed: &Lexed, mask: &[bool], diags: &mut Vec<Diagnostic>) {
+    if ctx.crate_name != "dqs-obs" || !EVENT_STREAM_FILES.contains(&ctx.path.as_str()) {
+        return;
+    }
+    for (i, t) in lexed.toks.iter().enumerate() {
+        if mask[i] || lexed.allowed(t.line, "event-purity") {
+            continue;
+        }
+        if t.kind == Kind::Ident && (t.text == "f64" || t.text == "f32") {
+            diags.push(Diagnostic {
+                rule: "R5:event-purity",
+                path: ctx.path.clone(),
+                line: t.line,
+                message: format!(
+                    "`{}` in the event-stream emission path: floats differ in the last ulp \
+                     across backends and would break stream bit-identity; aggregate them in \
+                     the recorder's float side-table instead",
+                    t.text
+                ),
+            });
+        }
+        if t.kind == Kind::Str && (t.text.contains("{:.") || t.text.contains(":e}")) {
+            diags.push(Diagnostic {
+                rule: "R5:event-purity",
+                path: ctx.path.clone(),
+                line: t.line,
+                message: "float formatting in an event-stream string: the JSONL stream must \
+                          render integers and static names only"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint(path: &str, src: &str) -> Vec<Diagnostic> {
+        lint_source(&FileCtx::from_rel_path(path), src)
+    }
+
+    #[test]
+    fn ctx_classification() {
+        let c = FileCtx::from_rel_path("crates/distdb/src/oracle.rs");
+        assert_eq!(c.crate_name, "dqs-db");
+        assert!(!c.is_crate_root);
+        let r = FileCtx::from_rel_path("src/lib.rs");
+        assert_eq!(r.crate_name, "distributed-quantum-sampling");
+        assert!(r.is_crate_root);
+    }
+
+    #[test]
+    fn clean_file_is_clean() {
+        let diags = lint(
+            "crates/core/src/x.rs",
+            "fn f() -> Result<u32, ()> { Ok(1) }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn banned_ident_in_nondeterministic_crate_is_fine() {
+        let diags = lint(
+            "crates/obs/src/lib.rs",
+            "#![forbid(unsafe_code)]\nuse std::time::Instant;\nfn f() { let _ = Instant::now(); }",
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Workspace walking: find every production `.rs` file and lint it.
+//!
+//! The walk covers the root crate's `src/` and every `crates/<name>/src/`
+//! tree. Integration-test directories (`crates/*/tests/`, `tests/`),
+//! `examples/`, and the lint fixture corpus are intentionally outside the
+//! walk: test code is exempt from the hygiene rules by design, and the
+//! `[workspace.lints]` table (rustc-level `unsafe_code = "forbid"`) covers
+//! those targets at compile time.
+
+use crate::diagnostics::Diagnostic;
+use crate::rules::{lint_source, FileCtx};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Finds the workspace root at or above `start`: the nearest ancestor
+/// containing both a `Cargo.toml` and a `crates/` directory.
+pub fn find_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        if d.join("Cargo.toml").is_file() && d.join("crates").is_dir() {
+            return Some(d);
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Every production source file under the workspace root, as
+/// workspace-relative forward-slash paths, sorted for deterministic output.
+pub fn production_sources(root: &Path) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    collect_rs(&root.join("src"), root, &mut out)?;
+    let crates_dir = root.join("crates");
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let entry = entry?;
+        if entry.file_type()?.is_dir() {
+            collect_rs(&entry.path().join("src"), root, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Recursively collects `.rs` files under `dir` (if it exists) into `out`
+/// as workspace-relative paths.
+fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if entry.file_type()?.is_dir() {
+            collect_rs(&path, root, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            out.push(rel);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace; diagnostics come back sorted by path/line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let mut diags = Vec::new();
+    for rel in production_sources(root)? {
+        let text = std::fs::read_to_string(root.join(&rel))?;
+        let ctx = FileCtx::from_rel_path(&rel);
+        diags.extend(lint_source(&ctx, &text));
+    }
+    diags.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
+    Ok(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn repo_root() -> PathBuf {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        find_root(manifest.parent().expect("crates/").parent().expect("root"))
+            .expect("workspace root")
+    }
+
+    #[test]
+    fn walk_covers_every_crate_and_skips_fixtures() {
+        let files = production_sources(&repo_root()).expect("walk");
+        assert!(files.iter().any(|f| f == "src/lib.rs"));
+        assert!(files.iter().any(|f| f == "crates/distdb/src/oracle.rs"));
+        assert!(files.iter().any(|f| f == "crates/lint/src/rules.rs"));
+        assert!(
+            files.iter().all(|f| !f.contains("fixtures")),
+            "fixture corpus must stay out of the production walk"
+        );
+        assert!(
+            files.iter().all(|f| !f.contains("/tests/")),
+            "integration tests are exempt by design"
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Fixture corpus tests: every rule must fire on its `fail/` fixture and
+//! stay quiet on its `pass/` twin.
+//!
+//! Fixture headers:
+//! * `//@ path: <workspace-relative path>` — the path the file pretends to
+//!   live at (drives crate classification).
+//! * `//@ expect: <rule id>` — (fail fixtures only) a rule that must fire.
+//!   Any rule firing that is *not* listed is an error too.
+
+use dqs_lint::{lint_source, FileCtx};
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+fn fixtures_dir(kind: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("fixtures")
+        .join(kind)
+}
+
+struct Fixture {
+    name: String,
+    ctx: FileCtx,
+    text: String,
+    expects: BTreeSet<String>,
+}
+
+fn load(kind: &str) -> Vec<Fixture> {
+    let dir = fixtures_dir(kind);
+    let mut out = Vec::new();
+    for entry in std::fs::read_dir(&dir).expect("fixtures dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().map_or(true, |e| e != "rs") {
+            continue;
+        }
+        let name = path
+            .file_name()
+            .expect("file name")
+            .to_string_lossy()
+            .into_owned();
+        let text = std::fs::read_to_string(&path).expect("fixture readable");
+        let mut virtual_path = None;
+        let mut expects = BTreeSet::new();
+        for line in text.lines() {
+            if let Some(p) = line.strip_prefix("//@ path:") {
+                virtual_path = Some(p.trim().to_string());
+            } else if let Some(r) = line.strip_prefix("//@ expect:") {
+                expects.insert(r.trim().to_string());
+            }
+        }
+        let virtual_path =
+            virtual_path.unwrap_or_else(|| panic!("{name}: missing `//@ path:` header"));
+        out.push(Fixture {
+            name,
+            ctx: FileCtx::from_rel_path(&virtual_path),
+            text,
+            expects,
+        });
+    }
+    assert!(!out.is_empty(), "no fixtures found under {}", dir.display());
+    out.sort_by(|a, b| a.name.cmp(&b.name));
+    out
+}
+
+#[test]
+fn every_fail_fixture_fires_exactly_its_expected_rules() {
+    for f in load("fail") {
+        assert!(
+            !f.expects.is_empty(),
+            "{}: fail fixture needs `//@ expect:` headers",
+            f.name
+        );
+        let diags = lint_source(&f.ctx, &f.text);
+        let fired: BTreeSet<String> = diags.iter().map(|d| d.rule.to_string()).collect();
+        for want in &f.expects {
+            assert!(
+                fired.contains(want),
+                "{}: expected {} to fire, got {:?}",
+                f.name,
+                want,
+                diags
+            );
+        }
+        for got in &fired {
+            assert!(
+                f.expects.contains(got),
+                "{}: unexpected rule {} fired: {:?}",
+                f.name,
+                got,
+                diags
+            );
+        }
+    }
+}
+
+#[test]
+fn every_pass_fixture_is_clean() {
+    for f in load("pass") {
+        let diags = lint_source(&f.ctx, &f.text);
+        assert!(
+            diags.is_empty(),
+            "{}: pass fixture must be clean, got {:?}",
+            f.name,
+            diags
+        );
+    }
+}
+
+#[test]
+fn corpus_covers_every_rule() {
+    let covered: BTreeSet<String> = load("fail")
+        .iter()
+        .flat_map(|f| f.expects.clone())
+        .collect();
+    for rule in [
+        "R0:allow-directive",
+        "R1:determinism",
+        "R2:ledger-pairing",
+        "R3:panic",
+        "R4:unsafe",
+        "R5:event-purity",
+    ] {
+        assert!(
+            covered.contains(rule),
+            "no fail fixture exercises {rule}; add one under crates/lint/fixtures/fail/"
+        );
+    }
+}
+
+#[test]
+fn diagnostics_point_at_the_virtual_path() {
+    let fixtures = load("fail");
+    let f = &fixtures[0];
+    let diags = lint_source(&f.ctx, &f.text);
+    assert!(diags.iter().all(|d| d.path == f.ctx.path));
+}

@@ -1,0 +1,51 @@
+//! The linter must run clean on its own workspace — the executable form of
+//! "the invariants hold today" — and must still *fail* on a seeded
+//! violation (the negative test CI re-runs by injecting a canary file).
+
+use dqs_lint::{find_root, lint_workspace, report_json};
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    find_root(manifest.parent().expect("crates/").parent().expect("root")).expect("workspace root")
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let diags = lint_workspace(&repo_root()).expect("workspace scan");
+    assert!(
+        diags.is_empty(),
+        "dqs-lint violations in the workspace:\n{}",
+        diags
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn seeded_violation_fails_a_workspace_scan() {
+    // Build a minimal throwaway workspace with one bad file and check the
+    // walker + rules reject it end to end.
+    let dir = std::env::temp_dir().join(format!("dqs-lint-canary-{}", std::process::id()));
+    let src = dir.join("crates").join("core").join("src");
+    std::fs::create_dir_all(&src).expect("temp workspace");
+    std::fs::write(dir.join("Cargo.toml"), "[workspace]\n").expect("manifest");
+    std::fs::write(
+        src.join("lib.rs"),
+        "#![forbid(unsafe_code)]\npub fn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    )
+    .expect("canary source");
+
+    let diags = lint_workspace(&dir).expect("canary scan");
+    std::fs::remove_dir_all(&dir).ok();
+
+    assert_eq!(diags.len(), 1, "exactly the canary should fire: {diags:?}");
+    assert_eq!(diags[0].rule, "R3:panic");
+    assert_eq!(diags[0].path, "crates/core/src/lib.rs");
+    // The machine-readable report carries the same content.
+    let json = report_json(&diags);
+    assert!(json.contains("\"count\": 1"));
+    assert!(json.contains("R3:panic"));
+}

@@ -39,6 +39,11 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Span timing is this crate's job: `Instant::now` is disallowed
+// workspace-wide (clippy.toml) to keep wall-clock out of the deterministic
+// crates, and dqs-obs is the one sanctioned clock reader (timings stay in
+// SpanStats, outside the event stream).
+#![allow(clippy::disallowed_methods)]
 
 mod event;
 mod reconcile;

@@ -112,6 +112,8 @@ pub fn eigh(a: &MatC) -> EigenDecomposition {
 
     // extract, sort ascending, permute vectors accordingly
     let mut pairs: Vec<(f64, usize)> = (0..n).map(|k| (h[(k, k)].re, k)).collect();
+    // lint: allow(panic): Jacobi rotations of a finite Hermitian matrix keep
+    // the diagonal finite, so the comparison is always defined.
     pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite eigenvalues"));
     let values: Vec<f64> = pairs.iter().map(|(val, _)| *val).collect();
     let vectors = MatC::from_fn(n, n, |r, c| v[(r, pairs[c].1)]);

@@ -63,6 +63,8 @@ impl DenseState {
     pub fn zero_vector(layout: Layout) -> Self {
         let dim = layout
             .dense_dim()
+            // lint: allow(panic): documented constructor contract — callers
+            // pick the sparse backend for layouts past the dense limit.
             .expect("layout too large for dense backend");
         Self {
             layout,

@@ -35,6 +35,8 @@ impl Hasher for FxHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
+            // lint: allow(panic): chunks_exact(8) yields exactly 8-byte
+            // slices, so the conversion cannot fail.
             self.mix(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
         }
         let rem = chunks.remainder();
@@ -70,6 +72,9 @@ impl Hasher for FxHasher {
 pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
 
 /// A `HashMap` keyed with the Fx hasher.
+// lint: allow(determinism): this alias IS the sanctioned deterministic
+// replacement — FxBuildHasher has no random seed, so iteration order is a
+// pure function of the inserted keys.
 pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
 
 #[cfg(test)]

@@ -196,6 +196,8 @@ pub trait QuantumState: Clone {
             }
             u -= p;
         }
+        // lint: allow(panic): a normalized state has norm 1, so its support
+        // iterator yields at least one entry.
         last.expect("non-empty support")
     }
 }

@@ -183,8 +183,10 @@ impl StateTable {
             self.layout.dim(reg) as usize,
             "target amplitude vector must match the register dimension"
         );
-        use std::collections::HashMap;
-        let mut groups: HashMap<Box<[u64]>, Complex64> = HashMap::new();
+        // BTreeMap, not a hash map: the group sums below are accumulated in
+        // key order, so the float rounding is identical on every run.
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<Box<[u64]>, Complex64> = BTreeMap::new();
         for (b, amp) in self.iter() {
             let coeff = target[b[reg] as usize].conj();
             if coeff.norm_sqr() == 0.0 {
@@ -218,9 +220,10 @@ impl StateTable {
     pub fn reduced_density_matrix(&self, reg: usize) -> dqs_math::MatC {
         let dim = self.layout.dim(reg);
         assert!(dim <= 4096, "register too large for a dense density matrix");
-        use std::collections::HashMap;
-        // group amplitudes by the rest-tuple
-        let mut groups: HashMap<Box<[u64]>, Vec<(u64, Complex64)>> = HashMap::new();
+        // group amplitudes by the rest-tuple, in key order (see above: the
+        // ρ accumulation order must not depend on hash-map internals)
+        use std::collections::BTreeMap;
+        let mut groups: BTreeMap<Box<[u64]>, Vec<(u64, Complex64)>> = BTreeMap::new();
         for (b, amp) in self.iter() {
             let v = b[reg];
             let mut rest = b.to_vec();

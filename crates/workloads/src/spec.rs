@@ -110,6 +110,8 @@ impl WorkloadSpec {
         };
         let capacity = ((max_total as f64) * self.capacity_slack).ceil() as u64;
         DistributedDataset::new(self.universe, capacity.max(1), shards)
+            // lint: allow(panic): capacity is computed above as a ceiling of
+            // the max total, so the built shards always fit it.
             .expect("spec-built dataset must be valid")
     }
 }

@@ -137,7 +137,7 @@ proptest! {
     #[test]
     fn centralizing_preserves_everything_but_cost(ds in dataset_strategy()) {
         use distributed_quantum_sampling::baselines::centralized_sample;
-        let central = centralized_sample::<SparseState>(&ds);
+        let central = centralized_sample::<SparseState>(&ds).expect("faultless run");
         let distributed = sequential_sample::<SparseState>(&ds).expect("faultless run");
         prop_assert!(central.run.fidelity > 1.0 - 1e-9);
         prop_assert_eq!(

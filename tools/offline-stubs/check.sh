@@ -22,4 +22,5 @@ if [ "$#" -gt 0 ]; then
 else
   cargo "${cfg[@]}" --offline build --release
   cargo "${cfg[@]}" --offline test -q
+  cargo "${cfg[@]}" --offline run --release -p dqs-lint
 fi
