@@ -4,7 +4,8 @@
 //! checks can re-measure individual rows in-process.
 
 use dqs_core::{
-    sequential_sample, sequential_sample_with_realization, DistributingOperator, SequentialLayout,
+    sequential_sample, sequential_sample_batch, sequential_sample_with_realization,
+    DistributingOperator, SequentialLayout,
 };
 use dqs_db::{OracleSet, QueryLedger};
 use dqs_sim::{gates, DenseState, Layout, QuantumState, SparseState};
@@ -88,6 +89,54 @@ impl GateRow {
     }
 }
 
+/// Measures one `(op, backend)` kernel at `support`, reusable by both the
+/// full sweep and `bench_gate`'s fresh per-row re-measurements. Returns
+/// `None` for an unknown op/backend pair (forward compatibility: the gate
+/// skips rows it cannot re-measure instead of failing on them).
+pub fn measure_gate(op: &str, backend: &str, support: u64, reps: usize) -> Option<f64> {
+    match backend {
+        "sparse" => {
+            let s = uniform_sparse(support);
+            match op {
+                "permutation" => Some(median_secs(reps, || {
+                    let mut s = s.clone();
+                    s.apply_permutation(|t| t[2] = (t[2] + (t[0] + t[1]) % 7) % 8);
+                    black_box(s.support_len());
+                })),
+                "conditioned_unitary" => Some(median_secs(reps, || {
+                    let mut s = s.clone();
+                    s.apply_conditioned_unitary(3, |t| {
+                        let c = (t[2] as f64 / 7.0).min(1.0);
+                        gates::ry_by_cos_sin(c, (1.0 - c * c).sqrt())
+                    });
+                    black_box(s.support_len());
+                })),
+                _ => None,
+            }
+        }
+        "dense" => {
+            let d = uniform_dense(support);
+            match op {
+                "permutation" => Some(median_secs(reps, || {
+                    let mut d = d.clone();
+                    d.apply_permutation(|t| t[2] = (t[2] + (t[0] + t[1]) % 7) % 8);
+                    black_box(d.norm());
+                })),
+                "conditioned_unitary" => Some(median_secs(reps, || {
+                    let mut d = d.clone();
+                    d.apply_conditioned_unitary(3, |t| {
+                        let c = (t[2] as f64 / 7.0).min(1.0);
+                        gates::ry_by_cos_sin(c, (1.0 - c * c).sqrt())
+                    });
+                    black_box(d.norm());
+                })),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
 /// Gate-application throughput across backends and state sizes.
 pub fn bench_gates(smoke: bool) -> Vec<GateRow> {
     // The element index is split across two registers of dimension √size so
@@ -106,61 +155,18 @@ pub fn bench_gates(smoke: bool) -> Vec<GateRow> {
     let reps = samples(smoke);
 
     let mut rows = Vec::new();
-    for &n in sparse_sizes {
-        let s = uniform_sparse(n);
-        let secs = median_secs(reps, || {
-            let mut s = s.clone();
-            s.apply_permutation(|t| t[2] = (t[2] + (t[0] + t[1]) % 7) % 8);
-            black_box(s.support_len());
-        });
-        rows.push(GateRow {
-            op: "permutation",
-            backend: "sparse",
-            support: n,
-            seconds: secs,
-        });
-        let secs = median_secs(reps, || {
-            let mut s = s.clone();
-            s.apply_conditioned_unitary(3, |t| {
-                let c = (t[2] as f64 / 7.0).min(1.0);
-                gates::ry_by_cos_sin(c, (1.0 - c * c).sqrt())
-            });
-            black_box(s.support_len());
-        });
-        rows.push(GateRow {
-            op: "conditioned_unitary",
-            backend: "sparse",
-            support: n,
-            seconds: secs,
-        });
-    }
-    for &n in dense_sizes {
-        let d = uniform_dense(n);
-        let secs = median_secs(reps, || {
-            let mut d = d.clone();
-            d.apply_permutation(|t| t[2] = (t[2] + (t[0] + t[1]) % 7) % 8);
-            black_box(d.norm());
-        });
-        rows.push(GateRow {
-            op: "permutation",
-            backend: "dense",
-            support: n,
-            seconds: secs,
-        });
-        let secs = median_secs(reps, || {
-            let mut d = d.clone();
-            d.apply_conditioned_unitary(3, |t| {
-                let c = (t[2] as f64 / 7.0).min(1.0);
-                gates::ry_by_cos_sin(c, (1.0 - c * c).sqrt())
-            });
-            black_box(d.norm());
-        });
-        rows.push(GateRow {
-            op: "conditioned_unitary",
-            backend: "dense",
-            support: n,
-            seconds: secs,
-        });
+    for (backend, sizes) in [("sparse", sparse_sizes), ("dense", dense_sizes)] {
+        for &n in sizes {
+            for op in ["permutation", "conditioned_unitary"] {
+                let secs = measure_gate(op, backend, n, reps).expect("known op/backend pair");
+                rows.push(GateRow {
+                    op,
+                    backend,
+                    support: n,
+                    seconds: secs,
+                });
+            }
+        }
     }
     rows
 }
@@ -282,6 +288,56 @@ pub fn bench_end_to_end(smoke: bool, universe: u64, total: u64, seed: u64) -> Ve
     rows
 }
 
+/// One batched-vs-solo end-to-end measurement.
+pub struct BatchRow {
+    /// Batch size `B`.
+    pub batch: usize,
+    /// Machine count `n`.
+    pub machines: usize,
+    /// Median seconds for one `sequential_sample_batch(ds, B)` call.
+    pub batched_seconds: f64,
+    /// Median seconds for `B` solo `sequential_sample` calls.
+    pub solo_seconds: f64,
+}
+
+impl BatchRow {
+    /// How much faster the batch is than `B` solo runs.
+    pub fn speedup(&self) -> f64 {
+        self.solo_seconds / self.batched_seconds
+    }
+}
+
+/// `B = 8` multi-tenant batched sampling against 8 solo runs on the same
+/// workload. The batched path executes the circuit once and replays the
+/// ledger/event accounting for the other tenants, so the speedup should
+/// approach `B` as the circuit cost dominates the accounting cost.
+pub fn bench_batched_e2e(smoke: bool, universe: u64, total: u64, seed: u64) -> Vec<BatchRow> {
+    let machines = 4usize;
+    let batch = 8usize;
+    let dataset = WorkloadSpec::small_uniform(universe, total, machines, seed).build();
+    let reps = samples(smoke);
+    let batched_seconds = median_secs(reps, || {
+        let runs =
+            sequential_sample_batch::<SparseState>(&dataset, batch).expect("faultless batch");
+        black_box(runs.len());
+    });
+    let solo_seconds = median_secs(reps, || {
+        for _ in 0..batch {
+            black_box(
+                sequential_sample::<SparseState>(&dataset)
+                    .expect("faultless run")
+                    .fidelity,
+            );
+        }
+    });
+    vec![BatchRow {
+        batch,
+        machines,
+        batched_seconds,
+        solo_seconds,
+    }]
+}
+
 /// The repository root (two levels above this crate's manifest).
 pub fn repo_root() -> PathBuf {
     std::env::var("CARGO_MANIFEST_DIR")
@@ -311,6 +367,7 @@ pub fn generate(smoke: bool) -> String {
     let d_rows = bench_distributing(smoke);
     let (universe, total, seed) = e2e_workload(smoke);
     let e2e_rows = bench_end_to_end(smoke, universe, total, seed);
+    let batch_rows = bench_batched_e2e(smoke, universe, total, seed);
 
     // Legacy headline row (PR 1 compatibility): n = 4, default (fused) path.
     let machines = 4usize;
@@ -367,6 +424,23 @@ pub fn generate(smoke: bool) -> String {
             r.machines, r.mode, r.threads, r.seconds, r.fidelity,
         );
         json.push_str(if i + 1 < e2e_rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]},\n");
+    let _ = writeln!(
+        json,
+        "  \"batched_e2e\": {{\"name\": \"sequential_sample_batch\", \"backend\": \"sparse\", \"universe\": {universe}, \"total_records\": {total}, \"seed\": {seed}, \"rows\": ["
+    );
+    for (i, r) in batch_rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"batch\": {}, \"machines\": {}, \"batched_seconds\": {:.6e}, \"solo_seconds\": {:.6e}, \"speedup\": {:.3}}}",
+            r.batch,
+            r.machines,
+            r.batched_seconds,
+            r.solo_seconds,
+            r.speedup(),
+        );
+        json.push_str(if i + 1 < batch_rows.len() { ",\n" } else { "\n" });
     }
     json.push_str("  ]},\n");
     let _ = writeln!(

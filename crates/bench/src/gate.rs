@@ -22,7 +22,10 @@
 
 use crate::bench_data::{self, median_secs};
 use crate::jsonv::Json;
-use dqs_core::{parallel_sample, sequential_sample_with_realization};
+use dqs_core::{
+    parallel_sample, sequential_sample, sequential_sample_batch,
+    sequential_sample_with_realization,
+};
 use dqs_db::LedgerSnapshot;
 use dqs_sim::SparseState;
 use dqs_workloads::WorkloadSpec;
@@ -34,6 +37,16 @@ pub const DEFAULT_TOLERANCE: f64 = 0.5;
 
 /// Absolute slack for "exactly 1" fidelity checks.
 const FIDELITY_EPS: f64 = 1e-9;
+
+/// Extra multiplicative headroom for fresh single-kernel re-measurements:
+/// a lone `apply_permutation` at 2^10 support runs in tens of microseconds,
+/// where scheduler jitter is proportionally much larger than on the
+/// end-to-end rows, so the per-kernel gate is `(1 + tolerance) ×` this.
+pub const KERNEL_NOISE: f64 = 1.5;
+
+/// The committed batched-e2e speedup floor: a `B = 8` batch must beat 8
+/// solo runs by at least this factor (scaled by `1 − tolerance`).
+pub const BATCH_SPEEDUP_FLOOR: f64 = 2.0;
 
 fn push(violations: &mut Vec<String>, msg: String) {
     violations.push(msg);
@@ -52,6 +65,47 @@ fn e2e_rows(doc: &Json) -> Vec<(u64, String, f64, Option<f64>)> {
                         r.get("mode")?.as_str()?.to_string(),
                         r.get("seconds")?.as_f64()?,
                         r.get("fidelity").and_then(Json::as_f64),
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Parsed `gate_application` rows: `(op, backend, support, seconds, ns/amp)`.
+fn gate_rows(doc: &Json) -> Vec<(String, String, u64, f64, f64)> {
+    doc.get("gate_application")
+        .and_then(Json::as_array)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| {
+                    Some((
+                        r.get("op")?.as_str()?.to_string(),
+                        r.get("backend")?.as_str()?.to_string(),
+                        r.get("support")?.as_f64()? as u64,
+                        r.get("seconds")?.as_f64()?,
+                        r.get("ns_per_amplitude")?.as_f64()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Parsed `batched_e2e` rows: `(batch, machines, batched_s, solo_s, speedup)`.
+fn batch_rows(doc: &Json) -> Vec<(u64, u64, f64, f64, f64)> {
+    doc.get("batched_e2e")
+        .and_then(|s| s.get("rows"))
+        .and_then(Json::as_array)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| {
+                    Some((
+                        r.get("batch")?.as_f64()? as u64,
+                        r.get("machines")?.as_f64()? as u64,
+                        r.get("batched_seconds")?.as_f64()?,
+                        r.get("solo_seconds")?.as_f64()?,
+                        r.get("speedup")?.as_f64()?,
                     ))
                 })
                 .collect()
@@ -185,7 +239,65 @@ pub fn check_baseline(doc: &Json, tolerance: f64) -> Vec<String> {
         push(&mut v, "baseline has no distributing_apply section".into());
     }
 
-    // 5. Chaos sweep: a zero-fault cell must be indistinguishable from the
+    // 5. Gate-application rows: the section must exist (the per-amplitude
+    //    kernel gate has nothing to hold onto otherwise), and each row's
+    //    reported ns_per_amplitude must be consistent with its own
+    //    seconds/support to 1% — a derived field drifting from its inputs
+    //    means the baseline was hand-edited or the renderer regressed.
+    let kernels = gate_rows(doc);
+    if kernels.is_empty() {
+        push(
+            &mut v,
+            "baseline has no gate_application rows — per-kernel throughput is ungated".into(),
+        );
+    }
+    for (op, backend, support, seconds, ns) in &kernels {
+        let derived = seconds * 1e9 / *support as f64;
+        if (ns / derived - 1.0).abs() > 0.01 {
+            push(
+                &mut v,
+                format!(
+                    "gate_application {op}/{backend} support={support}: ns_per_amplitude {ns:.3} \
+                     inconsistent with seconds ({derived:.3} derived)"
+                ),
+            );
+        }
+    }
+
+    // 6. Batched execution: the committed baseline must show a B-way batch
+    //    beating B solo runs by the floor (the whole point of the batched
+    //    entry points), with the derived speedup consistent to 1%.
+    let batches = batch_rows(doc);
+    if batches.is_empty() {
+        push(
+            &mut v,
+            "baseline has no batched_e2e rows — batched execution is ungated".into(),
+        );
+    }
+    for (batch, machines, batched_s, solo_s, speedup) in &batches {
+        let derived = solo_s / batched_s;
+        if (speedup / derived - 1.0).abs() > 0.01 {
+            push(
+                &mut v,
+                format!(
+                    "batched_e2e B={batch} n={machines}: speedup {speedup:.3} inconsistent \
+                     with solo/batched seconds ({derived:.3} derived)"
+                ),
+            );
+        }
+        let floor = BATCH_SPEEDUP_FLOOR * (1.0 - tolerance);
+        if *speedup < floor {
+            push(
+                &mut v,
+                format!(
+                    "batched_e2e B={batch} n={machines}: speedup {speedup:.2}x below \
+                     floor {floor:.2}x"
+                ),
+            );
+        }
+    }
+
+    // 7. Chaos sweep: a zero-fault cell must be indistinguishable from the
     //    faultless baseline — overhead exactly 1, bounds exactly 1.
     if let Some(rows) = doc
         .get("chaos_sweep")
@@ -377,6 +489,85 @@ pub fn check_fresh(doc: &Json, tolerance: f64) -> Vec<String> {
         }
     }
 
+    // Per-kernel throughput: re-measure every smoke-sized (2^10 support)
+    // gate_application row in-process and gate on ns_per_amplitude. Larger
+    // supports stay baseline-only — re-measuring 2^18 rows would dominate
+    // the gate's runtime for no extra signal (the kernels are the same
+    // code, only the constant in front of the support changes).
+    let smoke_support = 1u64 << 10;
+    for (op, backend, support, _, base_ns) in gate_rows(doc) {
+        if support != smoke_support {
+            continue;
+        }
+        let Some(fresh_secs) = bench_data::measure_gate(&op, &backend, support, 3) else {
+            continue; // unknown op/backend: baseline-only row
+        };
+        let fresh_ns = fresh_secs * 1e9 / support as f64;
+        let limit = base_ns * (1.0 + tolerance) * KERNEL_NOISE;
+        if fresh_ns > limit {
+            push(
+                &mut v,
+                format!(
+                    "fresh kernel {op}/{backend} support={support}: {fresh_ns:.1} ns/amplitude \
+                     exceeds baseline {base_ns:.1} beyond the noise-scaled limit {limit:.1}"
+                ),
+            );
+        }
+    }
+
+    // Fresh batched-execution probe at the baseline's own batched workload:
+    // the batch-vs-solo ratio is a ratio of medians on the same build, so
+    // it transfers across machines like the fused-speedup probe above.
+    let bspec = doc.get("batched_e2e");
+    let bw = (
+        bspec
+            .and_then(|s| s.get("universe"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64,
+        bspec
+            .and_then(|s| s.get("total_records"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64,
+        bspec
+            .and_then(|s| s.get("seed"))
+            .and_then(Json::as_f64)
+            .unwrap_or(42.0) as u64,
+    );
+    for (batch, machines, _, _, base_speedup) in batch_rows(doc) {
+        if bw.0 == 0 || bw.1 == 0 {
+            break;
+        }
+        let ds = WorkloadSpec::small_uniform(bw.0, bw.1, machines as usize, bw.2).build();
+        let b = batch as usize;
+        let fresh_batched = median_secs(3, || {
+            black_box(
+                sequential_sample_batch::<SparseState>(&ds, b)
+                    .expect("faultless batch")
+                    .len(),
+            );
+        });
+        let fresh_solo = median_secs(3, || {
+            for _ in 0..b {
+                black_box(
+                    sequential_sample::<SparseState>(&ds)
+                        .expect("faultless run")
+                        .fidelity,
+                );
+            }
+        });
+        let fresh_speedup = fresh_solo / fresh_batched;
+        let floor = (base_speedup * (1.0 - tolerance)).max(BATCH_SPEEDUP_FLOOR * (1.0 - tolerance));
+        if fresh_speedup < floor {
+            push(
+                &mut v,
+                format!(
+                    "fresh batched_e2e B={batch} n={machines}: speedup {fresh_speedup:.2}x \
+                     below floor {floor:.2}x (baseline {base_speedup:.2}x)"
+                ),
+            );
+        }
+    }
+
     v
 }
 
@@ -402,7 +593,12 @@ mod tests {
         r#"{
   "generated_by": "test",
   "rayon_threads": 1,
-  "gate_application": [],
+  "gate_application": [
+    {"op": "permutation", "backend": "sparse", "support": 1024, "seconds": 2.7e-5, "ops_per_sec": 37037.037, "ns_per_amplitude": 26.367},
+    {"op": "conditioned_unitary", "backend": "sparse", "support": 1024, "seconds": 9.1e-5, "ops_per_sec": 10989.011, "ns_per_amplitude": 88.867},
+    {"op": "permutation", "backend": "dense", "support": 1024, "seconds": 1.3e-4, "ops_per_sec": 7692.308, "ns_per_amplitude": 126.953},
+    {"op": "conditioned_unitary", "backend": "dense", "support": 1024, "seconds": 1.5e-4, "ops_per_sec": 6666.667, "ns_per_amplitude": 146.484}
+  ],
   "distributing_apply": [
     {"mode": "fused", "machines": 2, "universe": 64, "seconds": 1.0e-4},
     {"mode": "gate_by_gate", "machines": 2, "universe": 64, "seconds": 3.0e-4},
@@ -414,6 +610,9 @@ mod tests {
     {"machines": 2, "mode": "gate_by_gate", "rayon_threads": 1, "seconds": 4.4e-3, "fidelity": 1.000000000000},
     {"machines": 16, "mode": "fused", "rayon_threads": 1, "seconds": 2.3e-3, "fidelity": 1.000000000000},
     {"machines": 16, "mode": "gate_by_gate", "rayon_threads": 1, "seconds": 1.8e-2, "fidelity": 1.000000000000}
+  ]},
+  "batched_e2e": {"name": "sequential_sample_batch", "backend": "sparse", "universe": 256, "total_records": 128, "seed": 42, "rows": [
+    {"batch": 8, "machines": 4, "batched_seconds": 2.6e-3, "solo_seconds": 1.7e-2, "speedup": 6.538}
   ]},
   "end_to_end": {"name": "sequential_sample", "seconds": 2.3e-3},
   "chaos_sweep": {"name": "chaos_sweep", "rows": [
@@ -494,6 +693,71 @@ mod tests {
         assert!(
             v.iter().any(|m| m.contains("no longer flat")),
             "expected a flatness violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn kernel_inconsistency_fails_the_gate() {
+        // ns_per_amplitude no longer matching its own seconds/support —
+        // a hand-edited or stale derived field.
+        let perturbed = good_baseline().replace(
+            "\"seconds\": 2.7e-5, \"ops_per_sec\": 37037.037, \"ns_per_amplitude\": 26.367",
+            "\"seconds\": 2.7e-5, \"ops_per_sec\": 37037.037, \"ns_per_amplitude\": 52.734",
+        );
+        assert_ne!(perturbed, good_baseline(), "replace must hit");
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, DEFAULT_TOLERANCE);
+        assert!(
+            v.iter()
+                .any(|m| m.contains("inconsistent") && m.contains("permutation/sparse")),
+            "expected a kernel-consistency violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn missing_gate_rows_fail_the_gate() {
+        let start = good_baseline().find("\"gate_application\": [").unwrap();
+        let end = good_baseline()[start..].find(']').unwrap() + start;
+        let mut perturbed = good_baseline();
+        perturbed.replace_range(start..=end, "\"gate_application\": []");
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, DEFAULT_TOLERANCE);
+        assert!(
+            v.iter().any(|m| m.contains("no gate_application rows")),
+            "expected a missing-section violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn batched_speedup_regression_fails_the_gate() {
+        // A batch slower than its solo runs: speedup 0.895, below the
+        // 2.0·(1−0.5) = 1.0 floor at default tolerance.
+        let perturbed = good_baseline().replace(
+            "\"batched_seconds\": 2.6e-3, \"solo_seconds\": 1.7e-2, \"speedup\": 6.538",
+            "\"batched_seconds\": 1.9e-2, \"solo_seconds\": 1.7e-2, \"speedup\": 0.895",
+        );
+        assert_ne!(perturbed, good_baseline(), "replace must hit");
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, DEFAULT_TOLERANCE);
+        assert!(
+            v.iter()
+                .any(|m| m.contains("batched_e2e") && m.contains("below")),
+            "expected a batched-speedup violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn missing_batched_section_fails_the_gate() {
+        let base = good_baseline();
+        let start = base.find("  \"batched_e2e\":").unwrap();
+        let end = base[start..].find("]},\n").unwrap() + start + 4;
+        let mut perturbed = base.clone();
+        perturbed.replace_range(start..end, "");
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, DEFAULT_TOLERANCE);
+        assert!(
+            v.iter().any(|m| m.contains("no batched_e2e rows")),
+            "expected a missing-section violation, got: {v:?}"
         );
     }
 

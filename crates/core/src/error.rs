@@ -28,6 +28,9 @@ pub enum SampleError {
     },
     /// Estimation was asked to run with zero shots.
     InvalidShotBudget,
+    /// A batched entry point was asked to run with zero batch members
+    /// (no tenants / no seeds — there is nothing to execute).
+    EmptyBatch,
 }
 
 impl fmt::Display for SampleError {
@@ -44,6 +47,9 @@ impl fmt::Display for SampleError {
                 )
             }
             SampleError::InvalidShotBudget => write!(f, "shot budget must be positive"),
+            SampleError::EmptyBatch => {
+                write!(f, "batch must contain at least one member")
+            }
         }
     }
 }
@@ -67,6 +73,9 @@ mod tests {
         assert!(SampleError::InvalidShotBudget
             .to_string()
             .contains("positive"));
+        assert!(SampleError::EmptyBatch
+            .to_string()
+            .contains("at least one member"));
         let o = SampleError::from(OracleError::MachineUnavailable {
             machine: 1,
             attempt: 7,

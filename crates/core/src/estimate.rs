@@ -84,6 +84,83 @@ pub fn estimate_total_count(
     })
 }
 
+/// Estimates `M` for a batch of tenants, one independent RNG per tenant,
+/// sharing the prepared probe state across the whole batch.
+///
+/// The measured state `D|π,0,0⟩` depends only on the dataset — the per-shot
+/// randomness enters purely at measurement time. The first shot of the
+/// first tenant therefore prepares the state through the real instrumented
+/// path, and every other shot in the batch charges its `2n` queries and
+/// measures a clone: each tenant's ledger, event stream and estimate are
+/// bit-identical to a solo [`estimate_total_count`] call with the same RNG.
+///
+/// # Errors
+///
+/// [`SampleError::InvalidShotBudget`] for `shots == 0`,
+/// [`SampleError::EmptyBatch`] when `rngs` is empty, and the first
+/// [`SampleError::NoFlagZeroOutcomes`] encountered aborts the batch (solo
+/// runs for the earlier tenants are unaffected — their results are simply
+/// discarded with the failed batch).
+pub fn estimate_total_count_batch<R: Rng>(
+    dataset: &DistributedDataset,
+    shots: u64,
+    rngs: &mut [R],
+) -> Result<Vec<EstimationRun>, SampleError> {
+    if shots == 0 {
+        return Err(SampleError::InvalidShotBudget);
+    }
+    if rngs.is_empty() {
+        return Err(SampleError::EmptyBatch);
+    }
+    let layout = SequentialLayout::for_dataset(dataset);
+    let d = DistributingOperator::new(dataset.capacity());
+    // Post-`D` probe state, built once on the first shot (through the real
+    // instrumented path) and cloned for every later shot in the batch.
+    let mut template: Option<SparseState> = None;
+
+    let mut runs = Vec::with_capacity(rngs.len());
+    for rng in rngs.iter_mut() {
+        let _run_span = dqs_obs::span(dqs_obs::names::SPAN_ESTIMATE);
+        let probe = dqs_obs::begin_probe(dataset.num_machines());
+        let ledger = QueryLedger::new(dataset.num_machines());
+        let oracles = OracleSet::new(dataset, &ledger);
+
+        let mut zeros = 0u64;
+        for _ in 0..shots {
+            dqs_obs::counter(dqs_obs::names::ESTIMATE_SHOT, 1);
+            let mut state = if let Some(t) = template.as_ref() {
+                // Shared evolution: the shot is still billed its full `2n`
+                // queries (forward + inverse cascade) on this tenant's
+                // ledger, but the support pass is a clone.
+                oracles.charge_all_sequential();
+                oracles.charge_all_sequential();
+                t.clone()
+            } else {
+                let mut s = SparseState::from_table(layout.uniform_anchor());
+                d.apply_sequential(&oracles, &mut s, &layout, false);
+                template = Some(s.clone());
+                s
+            };
+            let (flag, _) = measure_register(&mut state, layout.flag, rng);
+            zeros += u64::from(flag == 0);
+        }
+        dqs_obs::gauge(dqs_obs::names::ESTIMATE_ZEROS, zeros as i64);
+        let queries = ledger.snapshot();
+        dqs_obs::debug_check(&probe, &queries.per_machine, queries.parallel_rounds);
+        if zeros == 0 {
+            return Err(SampleError::NoFlagZeroOutcomes { shots });
+        }
+        let a_hat = zeros as f64 / shots as f64;
+        runs.push(EstimationRun {
+            estimated_total: a_hat * dataset.capacity() as f64 * dataset.universe() as f64,
+            estimated_a: a_hat,
+            shots,
+            queries,
+        });
+    }
+    Ok(runs)
+}
+
 /// Result of the adaptive (estimated-`M`) sampler.
 #[derive(Debug, Clone)]
 pub struct AdaptiveRun {
@@ -238,6 +315,37 @@ mod tests {
         assert_eq!(
             sequential_sample_adaptive(&ds, 0, &mut rng).unwrap_err(),
             SampleError::InvalidShotBudget
+        );
+    }
+
+    #[test]
+    fn batched_estimation_matches_solo_runs_bitwise() {
+        let ds = dataset();
+        let mut rngs: Vec<StdRng> = (0..3u64).map(|s| StdRng::seed_from_u64(10 + s)).collect();
+        let batch = estimate_total_count_batch(&ds, 200, &mut rngs).expect("plenty of shots");
+        assert_eq!(batch.len(), 3);
+        for (i, run) in batch.iter().enumerate() {
+            let mut rng = StdRng::seed_from_u64(10 + i as u64);
+            let solo = estimate_total_count(&ds, 200, &mut rng).expect("plenty of shots");
+            assert_eq!(run.estimated_a, solo.estimated_a);
+            assert_eq!(run.estimated_total, solo.estimated_total);
+            assert_eq!(run.shots, solo.shots);
+            assert_eq!(run.queries, solo.queries);
+        }
+    }
+
+    #[test]
+    fn batched_estimation_rejects_bad_inputs() {
+        let ds = dataset();
+        let mut rngs: Vec<StdRng> = vec![StdRng::seed_from_u64(1)];
+        assert_eq!(
+            estimate_total_count_batch(&ds, 0, &mut rngs).unwrap_err(),
+            SampleError::InvalidShotBudget
+        );
+        let mut none: Vec<StdRng> = vec![];
+        assert_eq!(
+            estimate_total_count_batch(&ds, 5, &mut none).unwrap_err(),
+            SampleError::EmptyBatch
         );
     }
 

@@ -13,7 +13,10 @@
 //!   final-rotation phase solve, so the output state is `|ψ⟩` with fidelity
 //!   1 — not 1−ε.
 //! * [`sequential`] / [`parallel`] — the end-to-end samplers of
-//!   Theorems 4.3 and 4.5, generic over the simulator backend.
+//!   Theorems 4.3 and 4.5, generic over the simulator backend, plus
+//!   batched multi-tenant variants (`*_sample_batch`) that bill every
+//!   tenant the full query cost while amortizing the circuit evolution
+//!   across the batch.
 //! * [`cost`] — closed-form query-count predictors matching the ledger
 //!   exactly, plus the `Θ(n√(νN/M))` / `Θ(√(νN/M))` theory envelopes.
 //! * [`circuit`] — compiles both samplers to the data-driven
@@ -53,10 +56,13 @@ pub use degraded::{
 };
 pub use distributing::DistributingOperator;
 pub use error::SampleError;
-pub use estimate::{estimate_total_count, sequential_sample_adaptive, AdaptiveRun, EstimationRun};
+pub use estimate::{
+    estimate_total_count, estimate_total_count_batch, sequential_sample_adaptive, AdaptiveRun,
+    EstimationRun,
+};
 pub use layouts::{ParallelLayout, SequentialLayout};
-pub use parallel::{parallel_sample, ParallelRun};
+pub use parallel::{parallel_sample, parallel_sample_batch, ParallelRun};
 pub use sequential::{
-    sequential_sample, sequential_sample_with_realization, sequential_sample_with_updates,
-    SequentialRun,
+    sequential_sample, sequential_sample_batch, sequential_sample_with_realization,
+    sequential_sample_with_updates, SequentialRun,
 };

@@ -90,6 +90,85 @@ pub fn parallel_sample<S: QuantumState>(
     })
 }
 
+/// Runs Theorem 4.5's algorithm for a batch of `B ≥ 1` tenants over the
+/// same static dataset, paying the circuit evolution once per batch.
+///
+/// Same contract as [`crate::sequential_sample_batch`]: the parallel
+/// sampler is deterministic and oblivious, so member 0 executes the real
+/// circuit and members `1..B` replay its ledger rounds and observability
+/// events call-for-call on fresh ledgers. Every tenant is billed the full
+/// `4(2k+1)` parallel rounds of Lemma 4.4 and the results are bit-identical
+/// to `B` solo [`parallel_sample`] calls.
+pub fn parallel_sample_batch<S: QuantumState>(
+    dataset: &DistributedDataset,
+    batch: usize,
+) -> Result<Vec<ParallelRun<S>>, SampleError> {
+    if batch == 0 {
+        return Err(SampleError::EmptyBatch);
+    }
+    let mut runs = Vec::with_capacity(batch);
+    runs.push(parallel_sample::<S>(dataset)?);
+    for _ in 1..batch {
+        let replayed = replay_parallel_run(dataset, &runs[0]);
+        runs.push(replayed);
+    }
+    Ok(runs)
+}
+
+/// Charges and instruments one tenant's parallel run without re-evolving
+/// the state. Mirrors [`parallel_sample`] event for event: each fused
+/// `D`/`D†` application costs 4 composite parallel rounds (Lemma 4.4), and
+/// each `Q` iteration applies `D` twice.
+fn replay_parallel_run<S: QuantumState>(
+    dataset: &DistributedDataset,
+    template: &ParallelRun<S>,
+) -> ParallelRun<S> {
+    let run_span = dqs_obs::span(dqs_obs::names::SPAN_PARALLEL);
+    let probe = dqs_obs::begin_probe(dataset.num_machines());
+    let ledger = QueryLedger::new(dataset.num_machines());
+    let oracles = OracleSet::new(dataset, &ledger);
+
+    {
+        let _prepare_span = dqs_obs::span(dqs_obs::names::PHASE_PREPARE);
+        dqs_obs::gauge(
+            dqs_obs::names::AA_PLAN_ITERATIONS,
+            template.plan.total_iterations() as i64,
+        );
+    }
+    {
+        let _d_span = dqs_obs::span(dqs_obs::names::PHASE_INITIAL_D);
+        for _ in 0..4 {
+            oracles.charge_parallel_round();
+        }
+    }
+    {
+        let _aa_span = dqs_obs::span(dqs_obs::names::PHASE_AMPLIFY);
+        for _ in 0..template.plan.total_iterations() {
+            dqs_obs::counter(dqs_obs::names::AA_ITERATION, 1);
+            for _ in 0..8 {
+                oracles.charge_parallel_round();
+            }
+        }
+    }
+    {
+        let _verify_span = dqs_obs::span(dqs_obs::names::PHASE_VERIFY);
+        dqs_obs::float_metric("parallel.fidelity", template.fidelity);
+    }
+
+    let queries = ledger.snapshot();
+    dqs_obs::debug_check(&probe, &queries.per_machine, queries.parallel_rounds);
+    drop(run_span);
+    ParallelRun {
+        state: template.state.clone(),
+        layout: template.layout.clone(),
+        plan: template.plan,
+        queries,
+        cost: template.cost,
+        fidelity: template.fidelity,
+        target: template.target.clone(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -150,6 +229,30 @@ mod tests {
                 assert_eq!(b[run.layout.anc_flag[j]], 0);
             }
         }
+    }
+
+    #[test]
+    fn batched_parallel_runs_match_a_solo_run_exactly() {
+        let ds = dataset();
+        let solo = parallel_sample::<SparseState>(&ds).expect("faultless run");
+        let batch = parallel_sample_batch::<SparseState>(&ds, 3).expect("faultless batch");
+        assert_eq!(batch.len(), 3);
+        for run in &batch {
+            assert_eq!(
+                run.state.to_table().distance_sqr(&solo.state.to_table()),
+                0.0
+            );
+            assert_eq!(run.queries, solo.queries);
+            assert_eq!(run.queries.total_sequential(), 0);
+            assert_eq!(
+                run.queries.parallel_rounds,
+                4 * (2 * run.plan.total_iterations() + 1)
+            );
+        }
+        assert!(matches!(
+            parallel_sample_batch::<SparseState>(&ds, 0),
+            Err(SampleError::EmptyBatch)
+        ));
     }
 
     #[test]

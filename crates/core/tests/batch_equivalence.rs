@@ -1,0 +1,158 @@
+//! Batched-sampler equivalence suite.
+//!
+//! The batched entry points (`sequential_sample_batch`,
+//! `parallel_sample_batch`, `estimate_total_count_batch`) promise that a
+//! batch of `B` tenants is indistinguishable from `B` solo runs on every
+//! observable axis: the output states (bitwise), the per-tenant ledger
+//! snapshots, **and** the full observability event stream. This suite pins
+//! all three, plus a genuine multi-member [`dqs_sim::Program::run_batch`]
+//! drive of the compiled sampler circuit.
+
+use dqs_core::{
+    compile_sequential_optimized, estimate_total_count, estimate_total_count_batch,
+    parallel_sample, parallel_sample_batch, sequential_sample, sequential_sample_batch,
+};
+use dqs_db::{DistributedDataset, Multiset};
+use dqs_math::Complex64;
+use dqs_obs::Recorder;
+use dqs_sim::{BatchedState, DenseState, QuantumState, SparseState};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn dataset() -> DistributedDataset {
+    DistributedDataset::new(
+        8,
+        4,
+        vec![
+            Multiset::from_counts([(0, 2), (1, 1), (5, 1)]),
+            Multiset::from_counts([(1, 1), (6, 3)]),
+        ],
+    )
+    .unwrap()
+}
+
+/// Runs `f` under a fresh recorder and returns `(recorder, f's output)`.
+fn recorded<T>(f: impl FnOnce() -> T) -> (Recorder, T) {
+    let rec = Recorder::new();
+    let out = dqs_obs::with_recorder(&rec, f);
+    (rec, out)
+}
+
+#[test]
+fn sequential_batch_event_stream_matches_b_solo_runs() {
+    let ds = dataset();
+    let b = 4;
+    let (rec_batch, batch) =
+        recorded(|| sequential_sample_batch::<SparseState>(&ds, b).expect("faultless batch"));
+    let (rec_solo, solos) = recorded(|| {
+        (0..b)
+            .map(|_| sequential_sample::<SparseState>(&ds).expect("faultless run"))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(
+        rec_batch.events(),
+        rec_solo.events(),
+        "batched replay changed the event stream"
+    );
+    assert_eq!(rec_batch.counters(), rec_solo.counters());
+    for (run, solo) in batch.iter().zip(&solos) {
+        assert_eq!(run.state.to_table().distance_sqr(&solo.state.to_table()), 0.0);
+        assert_eq!(run.queries, solo.queries);
+        assert_eq!(run.fidelity.to_bits(), solo.fidelity.to_bits());
+    }
+}
+
+#[test]
+fn parallel_batch_event_stream_matches_b_solo_runs() {
+    let ds = dataset();
+    let b = 3;
+    let (rec_batch, batch) =
+        recorded(|| parallel_sample_batch::<SparseState>(&ds, b).expect("faultless batch"));
+    let (rec_solo, solos) = recorded(|| {
+        (0..b)
+            .map(|_| parallel_sample::<SparseState>(&ds).expect("faultless run"))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(
+        rec_batch.events(),
+        rec_solo.events(),
+        "batched replay changed the event stream"
+    );
+    assert_eq!(rec_batch.counters(), rec_solo.counters());
+    for (run, solo) in batch.iter().zip(&solos) {
+        assert_eq!(run.state.to_table().distance_sqr(&solo.state.to_table()), 0.0);
+        assert_eq!(run.queries, solo.queries);
+        assert_eq!(run.fidelity.to_bits(), solo.fidelity.to_bits());
+    }
+}
+
+#[test]
+fn estimation_batch_event_stream_matches_b_solo_runs() {
+    let ds = dataset();
+    let seeds = [11u64, 12, 13];
+    let shots = 64;
+    let (rec_batch, batch) = recorded(|| {
+        let mut rngs: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+        estimate_total_count_batch(&ds, shots, &mut rngs).expect("plenty of shots")
+    });
+    let (rec_solo, solos) = recorded(|| {
+        seeds
+            .iter()
+            .map(|&s| {
+                let mut rng = StdRng::seed_from_u64(s);
+                estimate_total_count(&ds, shots, &mut rng).expect("plenty of shots")
+            })
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(
+        rec_batch.events(),
+        rec_solo.events(),
+        "batched estimation changed the event stream"
+    );
+    assert_eq!(rec_batch.counters(), rec_solo.counters());
+    for (run, solo) in batch.iter().zip(&solos) {
+        assert_eq!(run.estimated_a.to_bits(), solo.estimated_a.to_bits());
+        assert_eq!(run.estimated_total.to_bits(), solo.estimated_total.to_bits());
+        assert_eq!(run.queries, solo.queries);
+    }
+}
+
+/// The compiled sampler circuit, driven through [`BatchedState`] with `B`
+/// genuinely distinct members (per-member phase ramps): batched execution
+/// must be bit-identical to running each member through [`Program::run`]
+/// solo, on both backends.
+///
+/// [`Program::run`]: dqs_sim::Program::run
+#[test]
+fn compiled_circuit_run_batch_matches_solo_runs() {
+    let ds = dataset();
+    let program = compile_sequential_optimized(&ds);
+    let b = 5;
+
+    fn member<S: QuantumState>(layout: dqs_sim::Layout, seed: u64) -> S {
+        let mut s = S::from_basis(layout, &[0, 0, 0]);
+        s.apply_phase(|basis| Complex64::cis(0.003 * ((seed * 11 + 1) * (basis[0] + 1)) as f64));
+        s
+    }
+
+    fn check<S: QuantumState>(program: &dqs_sim::Program, b: u64) {
+        let mut batch = BatchedState::new(
+            (0..b)
+                .map(|seed| member::<S>(program.layout().clone(), seed))
+                .collect(),
+        );
+        batch.run(program);
+        for (seed, got) in batch.states().iter().enumerate() {
+            let mut want = member::<S>(program.layout().clone(), seed as u64);
+            program.run(&mut want);
+            assert_eq!(
+                got.to_table().distance_sqr(&want.to_table()),
+                0.0,
+                "batch member {seed} diverged from its solo compiled run"
+            );
+        }
+    }
+
+    check::<SparseState>(&program, b);
+    check::<DenseState>(&program, b);
+}

@@ -1,0 +1,12 @@
+//@ path: crates/qsim/src/radix.rs
+//@ expect: R1:determinism
+// Wall-clock-driven partition sizing inside the radix merge: the kernel
+// crates are deterministic, so R1 must fire on the import and the call.
+use std::time::Instant;
+
+pub fn partition_budget(scratch: &mut RadixScratch, len: usize) -> usize {
+    let t0 = Instant::now();
+    scratch.histogram.clear();
+    let spent = t0.elapsed().as_nanos() as usize;
+    len / (1 + spent % 8)
+}

@@ -1,0 +1,11 @@
+//@ path: crates/qsim/src/radix.rs
+// The deterministic replacement: partition counts derived from the input
+// length alone, scratch buffers reused across calls. Banned names inside
+// comments (Instant::now) must not fire.
+pub fn partition_budget(scratch: &mut RadixScratch, len: usize) -> usize {
+    // Never Instant::now here — the partition count is a pure function of
+    // the input length, so every thread count sees the same split.
+    scratch.histogram.clear();
+    scratch.histogram.resize(len.min(256), 0);
+    scratch.histogram.len()
+}

@@ -1,0 +1,11 @@
+//@ path: crates/core/src/sequential.rs
+// The batched replay charges every member through the dqs-db wrappers, so
+// each replayed charge carries the same obs pairing as the solo run it
+// mirrors; reading totals afterwards is unrestricted.
+pub fn replay_charges<S>(oracles: &OracleSet, batch: usize) -> u64 {
+    for _ in 0..batch {
+        oracles.charge_all_sequential();
+        oracles.charge_all_sequential();
+    }
+    oracles.ledger().total_sequential()
+}

@@ -16,6 +16,7 @@
 //! * [`eigen`] — Hermitian eigendecomposition (Jacobi), entropy, purity.
 //! * [`vector`] — state-vector helpers: norms, inner products, normalization.
 //! * [`metrics`] — fidelity and trace distance between pure states.
+//! * [`slices`] — structure-of-arrays kernels over split re/im `f64` slices.
 //! * [`stats`] — streaming mean/variance for Monte-Carlo reporting.
 //! * [`combinatorics`] — exact and log-space binomial coefficients.
 //! * [`approx`] — tolerant floating-point comparison helpers.
@@ -29,6 +30,7 @@ pub mod complex;
 pub mod eigen;
 pub mod matrix;
 pub mod metrics;
+pub mod slices;
 pub mod stats;
 pub mod vector;
 

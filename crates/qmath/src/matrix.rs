@@ -14,21 +14,75 @@ use crate::complex::Complex64;
 use std::fmt;
 use std::ops::{Add, Index, IndexMut, Mul, Sub};
 
+/// Element count up to which a matrix lives inline instead of on the heap.
+///
+/// Covers every 2×2 gate — the flag rotations and phase gates that the
+/// sparse conditioned-unitary kernel requests once *per bucket*. Keeping
+/// those off the allocator matters: a heap round-trip per bucket is
+/// comparable to the whole 2×2 matvec it feeds.
+const INLINE_LEN: usize = 4;
+
+/// Backing storage: small matrices are stored inline, larger ones on the
+/// heap. Which variant is in use is an implementation detail — equality,
+/// indexing, and every public constructor see only the logical element
+/// slice.
+#[derive(Clone)]
+enum Store {
+    Inline([Complex64; INLINE_LEN]),
+    Heap(Vec<Complex64>),
+}
+
 /// A dense complex matrix, row-major.
-#[derive(Clone, PartialEq)]
+#[derive(Clone)]
 pub struct MatC {
     rows: usize,
     cols: usize,
-    data: Vec<Complex64>,
+    data: Store,
+}
+
+impl PartialEq for MatC {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.as_slice() == other.as_slice()
+    }
 }
 
 impl MatC {
+    /// Row-major element slice (`rows · cols` long).
+    #[inline]
+    fn as_slice(&self) -> &[Complex64] {
+        match &self.data {
+            Store::Inline(buf) => &buf[..self.rows * self.cols],
+            Store::Heap(v) => v,
+        }
+    }
+
+    /// Mutable row-major element slice.
+    #[inline]
+    fn as_mut_slice(&mut self) -> &mut [Complex64] {
+        match &mut self.data {
+            Store::Inline(buf) => &mut buf[..self.rows * self.cols],
+            Store::Heap(v) => v,
+        }
+    }
+
     /// Creates a zero matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows * cols;
+        let data = if len <= INLINE_LEN {
+            Store::Inline([Complex64::ZERO; INLINE_LEN])
+        } else {
+            Store::Heap(vec![Complex64::ZERO; len])
+        };
+        Self { rows, cols, data }
+    }
+
+    /// Builds a 2×2 matrix `[[a, b], [c, d]]` without heap allocation.
+    #[inline]
+    pub fn mat2(a: Complex64, b: Complex64, c: Complex64, d: Complex64) -> Self {
         Self {
-            rows,
-            cols,
-            data: vec![Complex64::ZERO; rows * cols],
+            rows: 2,
+            cols: 2,
+            data: Store::Inline([a, b, c, d]),
         }
     }
 
@@ -48,6 +102,13 @@ impl MatC {
     /// Panics if `data.len() != rows * cols`.
     pub fn from_rows(rows: usize, cols: usize, data: Vec<Complex64>) -> Self {
         assert_eq!(data.len(), rows * cols, "element count mismatch");
+        let data = if data.len() <= INLINE_LEN {
+            let mut buf = [Complex64::ZERO; INLINE_LEN];
+            buf[..data.len()].copy_from_slice(&data);
+            Store::Inline(buf)
+        } else {
+            Store::Heap(data)
+        };
         Self { rows, cols, data }
     }
 
@@ -89,7 +150,7 @@ impl MatC {
     /// Panics if `v.len() != cols`.
     pub fn mul_vec(&self, v: &[Complex64]) -> Vec<Complex64> {
         assert_eq!(v.len(), self.cols, "matrix-vector shape mismatch");
-        self.data
+        self.as_slice()
             .chunks_exact(self.cols)
             .map(|row| {
                 row.iter()
@@ -145,16 +206,20 @@ impl MatC {
 
     /// Frobenius norm.
     pub fn frobenius_norm(&self) -> f64 {
-        self.data.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt()
+        self.as_slice()
+            .iter()
+            .map(|z| z.norm_sqr())
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// Scales every entry by a complex factor.
     pub fn scaled(&self, k: Complex64) -> Self {
-        Self {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|z| *z * k).collect(),
+        let mut out = self.clone();
+        for z in out.as_mut_slice() {
+            *z = *z * k;
         }
+        out
     }
 }
 
@@ -162,14 +227,22 @@ impl Index<(usize, usize)> for MatC {
     type Output = Complex64;
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &Complex64 {
-        &self.data[r * self.cols + c]
+        let idx = r * self.cols + c;
+        match &self.data {
+            Store::Inline(buf) => &buf[..self.rows * self.cols][idx],
+            Store::Heap(v) => &v[idx],
+        }
     }
 }
 
 impl IndexMut<(usize, usize)> for MatC {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut Complex64 {
-        &mut self.data[r * self.cols + c]
+        let idx = r * self.cols + c;
+        match &mut self.data {
+            Store::Inline(buf) => &mut buf[..self.rows * self.cols][idx],
+            Store::Heap(v) => &mut v[idx],
+        }
     }
 }
 
@@ -177,16 +250,11 @@ impl Add for MatC {
     type Output = MatC;
     fn add(self, rhs: Self) -> MatC {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        MatC {
-            rows: self.rows,
-            cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(rhs.data.iter())
-                .map(|(a, b)| *a + *b)
-                .collect(),
+        let mut out = self;
+        for (a, b) in out.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *a = *a + *b;
         }
+        out
     }
 }
 
@@ -194,16 +262,11 @@ impl Sub for MatC {
     type Output = MatC;
     fn sub(self, rhs: Self) -> MatC {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
-        MatC {
-            rows: self.rows,
-            cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(rhs.data.iter())
-                .map(|(a, b)| *a - *b)
-                .collect(),
+        let mut out = self;
+        for (a, b) in out.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
+            *a = *a - *b;
         }
+        out
     }
 }
 
@@ -260,8 +323,8 @@ mod tests {
         let i4 = MatC::identity(4);
         assert!(i4.is_unitary());
         let m = MatC::from_fn(4, 4, |r, c_| c((r * 4 + c_) as f64, 1.0));
-        assert_eq!((i4.clone() * m.clone()).data, m.data);
-        assert_eq!((m.clone() * i4).data, m.data);
+        assert_eq!(i4.clone() * m.clone(), m);
+        assert_eq!(m.clone() * i4, m);
     }
 
     #[test]
@@ -285,7 +348,7 @@ mod tests {
             }
         }
         let back = a.adjoint().adjoint();
-        assert_eq!(back.data, a.data);
+        assert_eq!(back, a);
     }
 
     #[test]
@@ -357,6 +420,25 @@ mod tests {
     fn scaled_by_phase_preserves_unitarity() {
         let h = hadamard().scaled(Complex64::cis(0.3));
         assert!(h.is_unitary());
+    }
+
+    #[test]
+    fn inline_and_heap_storage_agree() {
+        // 2×2 lives inline; the same values through the Vec constructor
+        // must compare equal and index identically.
+        let a = MatC::mat2(c(1.0, 2.0), c(3.0, 4.0), c(5.0, 6.0), c(7.0, 8.0));
+        let b = MatC::from_rows(
+            2,
+            2,
+            vec![c(1.0, 2.0), c(3.0, 4.0), c(5.0, 6.0), c(7.0, 8.0)],
+        );
+        assert_eq!(a, b);
+        assert_eq!(a[(1, 0)], c(5.0, 6.0));
+        // A 3×3 exceeds the inline capacity and exercises the heap variant
+        // through the same operations.
+        let m = MatC::from_fn(3, 3, |r, cc| c(r as f64, cc as f64));
+        assert_eq!(m.scaled(Complex64::ONE), m);
+        assert_eq!(m.adjoint().adjoint(), m);
     }
 
     #[test]

@@ -1,0 +1,105 @@
+//! Structure-of-arrays complex kernels.
+//!
+//! The sparse simulator backend stores amplitudes as two parallel `f64`
+//! slices (`re[i] + i·im[i]`) instead of a slice of [`Complex64`] so the
+//! hot whole-support passes compile to straight-line loops over contiguous
+//! `f64` data that the autovectorizer can chew on. These kernels are the
+//! shared scalar-slice counterparts of the [`Complex64`] operations; each
+//! one documents (and tests pin) that it is **bit-identical** to the
+//! equivalent element-wise `Complex64` arithmetic, because the simulator's
+//! cross-backend equivalence suite demands exact agreement, not just
+//! approximate agreement.
+
+use crate::complex::Complex64;
+
+/// Multiplies every amplitude `re[i] + i·im[i]` by the complex scalar `k`,
+/// in place.
+///
+/// Bit-identical to `amp[i] = amp[i] * k` on `Complex64` values: the loop
+/// body routes through the very same `Mul` impl, so no reassociation can
+/// creep in.
+///
+/// # Panics
+///
+/// Panics when the two slices disagree in length.
+#[inline]
+pub fn scale_in_place(re: &mut [f64], im: &mut [f64], k: Complex64) {
+    assert_eq!(re.len(), im.len(), "re/im slice length mismatch");
+    for (r, i) in re.iter_mut().zip(im.iter_mut()) {
+        let v = Complex64::new(*r, *i) * k;
+        *r = v.re;
+        *i = v.im;
+    }
+}
+
+/// Sums `re[i]² + im[i]²` left to right — the squared ℓ² mass of the slice
+/// pair.
+///
+/// Bit-identical to `iter().map(Complex64::norm_sqr).sum()` over the same
+/// elements in the same order (strict left-to-right accumulation, no
+/// pairwise reassociation), which is what the deterministic chunk-ordered
+/// norm reductions in the sparse backend require.
+///
+/// # Panics
+///
+/// Panics when the two slices disagree in length.
+#[inline]
+pub fn norm_sqr_sum(re: &[f64], im: &[f64]) -> f64 {
+    assert_eq!(re.len(), im.len(), "re/im slice length mismatch");
+    let mut acc = 0.0;
+    for (r, i) in re.iter().zip(im.iter()) {
+        acc += r * r + i * i;
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn amps() -> Vec<Complex64> {
+        (0..97)
+            .map(|k| Complex64::new((k as f64).sin() * 0.3, (k as f64 * 1.7).cos() * 0.2))
+            .collect()
+    }
+
+    fn split(v: &[Complex64]) -> (Vec<f64>, Vec<f64>) {
+        (
+            v.iter().map(|a| a.re).collect(),
+            v.iter().map(|a| a.im).collect(),
+        )
+    }
+
+    #[test]
+    fn scale_matches_elementwise_complex_mul_bitwise() {
+        let a = amps();
+        let k = Complex64::new(0.3, -1.2);
+        let (mut re, mut im) = split(&a);
+        scale_in_place(&mut re, &mut im, k);
+        for (j, amp) in a.iter().enumerate() {
+            let want = *amp * k;
+            assert_eq!(want.re.to_bits(), re[j].to_bits(), "re at {j}");
+            assert_eq!(want.im.to_bits(), im[j].to_bits(), "im at {j}");
+        }
+    }
+
+    #[test]
+    fn norm_sqr_sum_matches_sequential_complex_sum_bitwise() {
+        let a = amps();
+        let (re, im) = split(&a);
+        let want: f64 = a.iter().map(|z| z.norm_sqr()).sum();
+        assert_eq!(want.to_bits(), norm_sqr_sum(&re, &im).to_bits());
+    }
+
+    #[test]
+    fn empty_slices_are_fine() {
+        assert_eq!(norm_sqr_sum(&[], &[]), 0.0);
+        scale_in_place(&mut [], &mut [], Complex64::I);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_are_rejected() {
+        norm_sqr_sum(&[1.0], &[]);
+    }
+}

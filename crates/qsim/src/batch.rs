@@ -1,0 +1,189 @@
+//! Batched multi-circuit execution.
+//!
+//! [`BatchedState`] holds `B` independent states over one shared [`Layout`]
+//! and advances all of them through a common gate sequence in a single
+//! pass ([`Program::run_batch`]): the outer loop is over instructions, the
+//! inner loop over states, so per-instruction setup — closure construction,
+//! oracle count-table reads, rank-one anchor encoding — is paid once per
+//! gate instead of once per (gate, state). This is the same batched-shot
+//! trick GPU state-vector simulators use, applied to the sparse backend:
+//! the natural consumers are multi-seed estimation and multi-tenant
+//! sampling in `dqs-core`, where many circuits share the exact gate
+//! sequence and differ only in their initial state or measurement seed.
+//!
+//! Batching is an *execution schedule*, not an approximation: results are
+//! bit-identical to running each member separately (the cross-backend
+//! batch-equivalence suite pins this).
+
+use crate::program::Program;
+use crate::register::Layout;
+use crate::state::QuantumState;
+
+/// A batch of `B ≥ 1` independent states over one shared layout.
+#[derive(Clone)]
+pub struct BatchedState<S: QuantumState> {
+    states: Vec<S>,
+}
+
+impl<S: QuantumState> BatchedState<S> {
+    /// Wraps a non-empty batch of states.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `states` is empty or the layouts disagree.
+    pub fn new(states: Vec<S>) -> Self {
+        assert!(!states.is_empty(), "batch must contain at least one state");
+        let layout = states[0].layout().clone();
+        for (i, s) in states.iter().enumerate() {
+            assert_eq!(
+                s.layout(),
+                &layout,
+                "batch member {i} disagrees on the layout"
+            );
+        }
+        Self { states }
+    }
+
+    /// `B` copies of the basis state `|basis⟩`.
+    pub fn from_basis(layout: Layout, basis: &[u64], b: usize) -> Self {
+        assert!(b > 0, "batch must contain at least one state");
+        Self::new(
+            (0..b)
+                .map(|_| S::from_basis(layout.clone(), basis))
+                .collect(),
+        )
+    }
+
+    /// Batch size `B`.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Always false: construction rejects empty batches.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The shared layout.
+    pub fn layout(&self) -> &Layout {
+        self.states[0].layout()
+    }
+
+    /// The member states.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Mutable access to the member states (e.g. to seed each member with a
+    /// different initial table before a shared gate sequence).
+    pub fn states_mut(&mut self) -> &mut [S] {
+        &mut self.states
+    }
+
+    /// Unwraps the batch.
+    pub fn into_states(self) -> Vec<S> {
+        self.states
+    }
+
+    /// Advances every member through `program` in one instruction-major
+    /// pass. See [`Program::run_batch`] for the exact semantics.
+    pub fn run(&mut self, program: &Program) {
+        program.run_batch(&mut self.states);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gates;
+    use crate::sparse::SparseState;
+    use crate::table::StateTable;
+    use crate::Instruction;
+    use dqs_math::Complex64;
+
+    fn layout() -> Layout {
+        Layout::builder()
+            .register("elem", 4)
+            .register("count", 3)
+            .register("flag", 2)
+            .build()
+    }
+
+    fn amplification_like_program() -> Program {
+        let mut anchor = StateTable::new(
+            layout(),
+            vec![
+                (vec![0, 0, 0].into(), Complex64::from_real(1.0)),
+                (vec![2, 1, 0].into(), Complex64::from_real(1.0)),
+            ],
+        );
+        anchor.normalize();
+        let mut p = Program::new(layout());
+        p.push(Instruction::RegisterUnitary {
+            target: 0,
+            matrix: gates::dft(4),
+        });
+        p.push(Instruction::OracleAdd {
+            machine: 0,
+            elem: 0,
+            count: 1,
+            table: std::sync::Arc::new(vec![0, 1, 2, 1]),
+            modulus: 3,
+            inverse: false,
+        });
+        p.push(Instruction::PhaseIfZero { reg: 1, phi: 0.9 });
+        p.push(Instruction::RankOnePhase { anchor, phi: 1.3 });
+        p.push(Instruction::GlobalPhase {
+            phi: std::f64::consts::PI,
+        });
+        p
+    }
+
+    #[test]
+    fn batch_run_matches_sequential_runs_bitwise() {
+        let p = amplification_like_program();
+        // Distinct members: different initial phases per seed.
+        let member = |seed: u64| {
+            let mut s = SparseState::from_basis(layout(), &[0, 0, 0]);
+            s.apply_phase(|b| Complex64::cis(0.01 * (seed * 7 + b[0]) as f64));
+            s
+        };
+        let mut batch = BatchedState::new((0..5).map(member).collect());
+        batch.run(&p);
+        for (seed, got) in batch.states().iter().enumerate() {
+            let mut want = member(seed as u64);
+            p.run(&mut want);
+            assert_eq!(
+                got.to_table().distance_sqr(&want.to_table()),
+                0.0,
+                "batch member {seed} diverged from its solo run"
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_basis_constructor_builds_b_members() {
+        let b: BatchedState<SparseState> = BatchedState::from_basis(layout(), &[1, 0, 0], 3);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+        for s in b.states() {
+            assert_eq!(s.amplitude(&[1, 0, 0]), Complex64::ONE);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn empty_batch_rejected() {
+        let _ = BatchedState::<SparseState>::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "disagrees on the layout")]
+    fn mixed_layouts_rejected() {
+        let other = Layout::builder().register("x", 2).build();
+        let _ = BatchedState::new(vec![
+            SparseState::from_basis(layout(), &[0, 0, 0]),
+            SparseState::from_basis(other, &[0]),
+        ]);
+    }
+}

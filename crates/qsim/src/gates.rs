@@ -9,48 +9,36 @@ use dqs_math::{Complex64, MatC};
 /// 2×2 Hadamard.
 pub fn hadamard() -> MatC {
     let s = Complex64::from_real(1.0 / 2.0f64.sqrt());
-    MatC::from_rows(2, 2, vec![s, s, s, -s])
+    MatC::mat2(s, s, s, -s)
 }
 
 /// 2×2 Pauli-X (NOT).
 pub fn pauli_x() -> MatC {
-    MatC::from_rows(
-        2,
-        2,
-        vec![
-            Complex64::ZERO,
-            Complex64::ONE,
-            Complex64::ONE,
-            Complex64::ZERO,
-        ],
+    MatC::mat2(
+        Complex64::ZERO,
+        Complex64::ONE,
+        Complex64::ONE,
+        Complex64::ZERO,
     )
 }
 
 /// 2×2 Pauli-Z.
 pub fn pauli_z() -> MatC {
-    MatC::from_rows(
-        2,
-        2,
-        vec![
-            Complex64::ONE,
-            Complex64::ZERO,
-            Complex64::ZERO,
-            -Complex64::ONE,
-        ],
+    MatC::mat2(
+        Complex64::ONE,
+        Complex64::ZERO,
+        Complex64::ZERO,
+        -Complex64::ONE,
     )
 }
 
 /// 2×2 phase gate `diag(1, e^{iφ})`.
 pub fn phase(phi: f64) -> MatC {
-    MatC::from_rows(
-        2,
-        2,
-        vec![
-            Complex64::ONE,
-            Complex64::ZERO,
-            Complex64::ZERO,
-            Complex64::cis(phi),
-        ],
+    MatC::mat2(
+        Complex64::ONE,
+        Complex64::ZERO,
+        Complex64::ZERO,
+        Complex64::cis(phi),
     )
 }
 
@@ -64,15 +52,11 @@ pub fn ry_by_cos_sin(c: f64, s: f64) -> MatC {
         (c * c + s * s - 1.0).abs() < 1e-9,
         "ry_by_cos_sin needs c² + s² = 1, got c={c}, s={s}"
     );
-    MatC::from_rows(
-        2,
-        2,
-        vec![
-            Complex64::from_real(c),
-            Complex64::from_real(-s),
-            Complex64::from_real(s),
-            Complex64::from_real(c),
-        ],
+    MatC::mat2(
+        Complex64::from_real(c),
+        Complex64::from_real(-s),
+        Complex64::from_real(s),
+        Complex64::from_real(c),
     )
 }
 

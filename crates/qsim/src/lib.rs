@@ -44,16 +44,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod dense;
 pub mod fxhash;
 pub mod gates;
 pub mod measure;
 pub mod program;
+mod radix;
 pub mod register;
 pub mod sparse;
 pub mod state;
 pub mod table;
 
+pub use batch::BatchedState;
 pub use dense::DenseState;
 pub use measure::{coherent_copy, fidelity_after_measurement, measure_register};
 pub use program::{Instruction, Program};

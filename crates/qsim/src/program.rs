@@ -251,6 +251,28 @@ impl Instruction {
         }
     }
 
+    /// Applies the instruction to every state in a batch.
+    ///
+    /// Bit-identical to looping [`Instruction::apply`] over the states —
+    /// which is the fallback for most variants — but instructions with
+    /// per-application preprocessing route through the backend's batched
+    /// hooks so the preprocessing is paid once per instruction rather than
+    /// once per (instruction, state). Today that is
+    /// [`Instruction::RankOnePhase`], whose anchor encoding dominates the
+    /// per-gate overhead of the amplification loop.
+    pub fn apply_batch<S: QuantumState>(&self, states: &mut [S]) {
+        match self {
+            Instruction::RankOnePhase { anchor, phi } => {
+                S::apply_rank_one_phase_batch(states, anchor, *phi);
+            }
+            _ => {
+                for state in states {
+                    self.apply(state);
+                }
+            }
+        }
+    }
+
     /// The exact inverse instruction.
     pub fn inverse(&self) -> Instruction {
         match self {
@@ -461,6 +483,27 @@ impl Program {
         assert_eq!(state.layout(), &self.layout, "layout mismatch");
         for instr in &self.instructions {
             instr.apply(state);
+        }
+    }
+
+    /// Runs the program on a batch of independent states in **one pass over
+    /// the gate sequence**: the outer loop is over instructions, the inner
+    /// loop over states, so per-instruction work (closure setup, oracle
+    /// table reads, anchor encoding via the backend's batched hooks) is
+    /// amortized across the whole batch.
+    ///
+    /// Bit-identical to calling [`Program::run`] on each state separately.
+    /// An empty batch is a no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any state's layout differs from the program's.
+    pub fn run_batch<S: QuantumState>(&self, states: &mut [S]) {
+        for state in states.iter() {
+            assert_eq!(state.layout(), &self.layout, "layout mismatch");
+        }
+        for instr in &self.instructions {
+            instr.apply_batch(states);
         }
     }
 

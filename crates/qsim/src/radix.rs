@@ -1,0 +1,275 @@
+//! Radix-partitioned merge for the packed sparse backend.
+//!
+//! The structure-of-arrays sparse representation keeps `(keys, re, im)` as
+//! three parallel arrays sorted by key. After a permutation pass (or the
+//! bucket-major remap of a conditioned unitary) the triples are out of
+//! order and must be restored to sorted key order. Instead of one global
+//! `par_sort_unstable_by_key` over the whole support, [`sort_soa`]:
+//!
+//! 1. picks a power-of-two partition count and a shift so the **high bits**
+//!    of `key - min` index a partition (the partition id is monotone in the
+//!    key, so sorted partitions concatenate into a globally sorted array);
+//! 2. histograms the keys and scatters the triples into their partitions
+//!    (two cheap `O(n)` passes);
+//! 3. sorts every partition **independently in parallel** — this is where
+//!    the `O(n log n)` work lives — and concatenates by construction.
+//!
+//! ## Determinism
+//!
+//! The partition plan (`min`, shift, partition count) is a pure function of
+//! the key multiset, the scatter preserves input order within a partition,
+//! and `sort_unstable` is a deterministic algorithm, so the result is
+//! bit-identical regardless of `RAYON_NUM_THREADS`. For the simulator's
+//! callers keys are unique, which makes the sorted order fully determined
+//! anyway.
+//!
+//! Supports below [`RADIX_MIN_LEN`] skip the partitioning and sort the
+//! staging buffer directly — the histogram/scatter overhead only pays for
+//! itself once partitions are big enough to keep several workers busy.
+
+use rayon::prelude::*;
+
+/// Support size below which a plain sort of the staging buffer wins over
+/// partitioning. Low enough that the `--smoke` bench sizes (2^10 support)
+/// still exercise the partitioned path in CI.
+pub(crate) const RADIX_MIN_LEN: usize = 768;
+
+/// Target number of triples per partition.
+const TARGET_PARTITION_LEN: usize = 2048;
+
+/// Upper bound on the partition count (bounds `counts` and per-call setup).
+const MAX_PARTITIONS: usize = 256;
+
+/// Elements per rayon task in the stage/unzip passes.
+const CHUNK: usize = 4096;
+
+/// Reusable scratch for [`sort_soa`]: the AoS staging buffer the triples
+/// are scattered into, and the partition histogram. Contents are
+/// meaningless between calls — the allocations are what we keep (they live
+/// in the sparse state's arena and persist across amplification rounds).
+#[derive(Default)]
+pub(crate) struct RadixScratch {
+    stage: Vec<(u128, f64, f64)>,
+    counts: Vec<usize>,
+}
+
+/// Sorts the parallel arrays `(keys, re, im)` by `keys`, in place.
+///
+/// # Panics
+///
+/// Panics (debug) when the slice lengths disagree.
+pub(crate) fn sort_soa(
+    keys: &mut [u128],
+    re: &mut [f64],
+    im: &mut [f64],
+    scratch: &mut RadixScratch,
+) {
+    let n = keys.len();
+    debug_assert_eq!(n, re.len(), "keys/re length mismatch");
+    debug_assert_eq!(n, im.len(), "keys/im length mismatch");
+    if n <= 1 || keys.windows(2).all(|w| w[0] <= w[1]) {
+        return;
+    }
+
+    // `resize` only writes elements beyond the current length, so across
+    // repeated calls (amplification rounds) this is free once warm.
+    if scratch.stage.len() < n {
+        scratch.stage.resize(n, (0, 0.0, 0.0));
+    }
+    let stage = &mut scratch.stage[..n];
+
+    if n < RADIX_MIN_LEN {
+        for (slot, ((&k, &r), &i)) in stage.iter_mut().zip(keys.iter().zip(re.iter()).zip(&*im)) {
+            *slot = (k, r, i);
+        }
+        stage.sort_unstable_by_key(|e| e.0);
+        unzip(stage, keys, re, im);
+        return;
+    }
+
+    // Partition plan: monotone in the key so that concatenating sorted
+    // partitions yields a globally sorted array. `n ≥ RADIX_MIN_LEN ≥ 2`
+    // here, so the key range is well defined.
+    let (min, max) = keys
+        .iter()
+        .fold((u128::MAX, 0u128), |(lo, hi), &k| (lo.min(k), hi.max(k)));
+    let spread = max - min;
+    let parts = n
+        .div_ceil(TARGET_PARTITION_LEN)
+        .next_power_of_two()
+        .clamp(2, MAX_PARTITIONS);
+    let mut shift = 0u32;
+    while (spread >> shift) >= parts as u128 {
+        shift += 1;
+    }
+    let part_of = |k: u128| ((k - min) >> shift) as usize;
+
+    // Histogram → exclusive prefix sum → per-partition write cursors.
+    scratch.counts.clear();
+    scratch.counts.resize(parts + 1, 0);
+    for &k in keys.iter() {
+        scratch.counts[part_of(k) + 1] += 1;
+    }
+    for p in 0..parts {
+        scratch.counts[p + 1] += scratch.counts[p];
+    }
+
+    // Scatter the triples into their partitions (input order preserved
+    // within each partition).
+    {
+        let cursors = &mut scratch.counts[..parts];
+        for j in 0..n {
+            let p = part_of(keys[j]);
+            let dst = cursors[p];
+            cursors[p] += 1;
+            stage[dst] = (keys[j], re[j], im[j]);
+        }
+        // The cursor pass turned `counts[p]` into the *end* of partition
+        // `p`, i.e. exactly the exclusive prefix shifted by one — so
+        // `counts` now holds partition ends and `counts[parts] == n` from
+        // the prefix pass still closes the last one.
+    }
+
+    // Sort every partition independently — the parallel part.
+    let mut segments: Vec<&mut [(u128, f64, f64)]> = Vec::with_capacity(parts);
+    let mut rest = stage;
+    let mut prev = 0;
+    for p in 0..parts {
+        let end = scratch.counts[p];
+        let (seg, tail) = rest.split_at_mut(end - prev);
+        segments.push(seg);
+        rest = tail;
+        prev = end;
+    }
+    segments
+        .into_par_iter()
+        .for_each(|seg| seg.sort_unstable_by_key(|e| e.0));
+
+    unzip(&scratch.stage[..n], keys, re, im);
+}
+
+/// Splits the sorted AoS staging buffer back into the three output arrays.
+fn unzip(stage: &[(u128, f64, f64)], keys: &mut [u128], re: &mut [f64], im: &mut [f64]) {
+    keys.par_chunks_mut(CHUNK)
+        .zip(re.par_chunks_mut(CHUNK))
+        .zip(im.par_chunks_mut(CHUNK))
+        .zip(stage.par_chunks(CHUNK))
+        .for_each(|(((ko, ro), io), src)| {
+            for (j, &(k, r, i)) in src.iter().enumerate() {
+                ko[j] = k;
+                ro[j] = r;
+                io[j] = i;
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic key mixer (splitmix64-style) — no RNG dependencies.
+    fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn scrambled(n: usize, key_spread: u128) -> (Vec<u128>, Vec<f64>, Vec<f64>) {
+        let keys: Vec<u128> = (0..n)
+            .map(|j| (mix(j as u64) as u128) % key_spread)
+            .collect();
+        let re: Vec<f64> = (0..n).map(|j| j as f64 * 0.5).collect();
+        let im: Vec<f64> = (0..n).map(|j| -(j as f64) * 0.25).collect();
+        (keys, re, im)
+    }
+
+    fn check_against_reference(n: usize, key_spread: u128) {
+        let (mut keys, mut re, mut im) = scrambled(n, key_spread);
+        // Full-tuple ordering (payloads as bits) makes the reference unique
+        // even with duplicate keys: the simulator only ever has unique keys,
+        // so [`sort_soa`] does not promise stability among equals.
+        let tuples = |ks: &[u128], rs: &[f64], is: &[f64]| -> Vec<(u128, u64, u64)> {
+            let mut v: Vec<(u128, u64, u64)> = ks
+                .iter()
+                .zip(rs)
+                .zip(is)
+                .map(|((&k, &r), &i)| (k, r.to_bits(), i.to_bits()))
+                .collect();
+            v.sort_unstable();
+            v
+        };
+        let reference = tuples(&keys, &re, &im);
+
+        let mut scratch = RadixScratch::default();
+        sort_soa(&mut keys, &mut re, &mut im, &mut scratch);
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "keys not sorted (n={n})"
+        );
+        assert_eq!(
+            tuples(&keys, &re, &im),
+            reference,
+            "triple multiset changed (n={n})"
+        );
+    }
+
+    #[test]
+    fn small_path_matches_reference_sort() {
+        for n in [0, 1, 2, 5, RADIX_MIN_LEN - 1] {
+            check_against_reference(n, u128::MAX - 1);
+        }
+    }
+
+    #[test]
+    fn partitioned_path_matches_reference_sort() {
+        for n in [RADIX_MIN_LEN, 1024, 5000, 3 * TARGET_PARTITION_LEN + 17] {
+            check_against_reference(n, u128::MAX - 1);
+        }
+    }
+
+    #[test]
+    fn narrow_key_ranges_are_handled() {
+        // Spread smaller than the partition count, including all-equal keys.
+        check_against_reference(4096, 3);
+        check_against_reference(4096, 1);
+    }
+
+    #[test]
+    fn wide_u128_keys_beyond_64_bits() {
+        let n = 4096;
+        let (mut keys, mut re, mut im) = scrambled(n, u128::MAX);
+        for k in keys.iter_mut() {
+            *k = (*k << 64) | (mix(*k as u64) as u128);
+        }
+        let mut reference: Vec<u128> = keys.clone();
+        reference.sort_unstable();
+        let mut scratch = RadixScratch::default();
+        sort_soa(&mut keys, &mut re, &mut im, &mut scratch);
+        assert_eq!(keys, reference);
+    }
+
+    #[test]
+    fn already_sorted_input_is_untouched() {
+        let n = 10_000;
+        let mut keys: Vec<u128> = (0..n as u128).map(|k| k * 3).collect();
+        let mut re: Vec<f64> = (0..n).map(|j| j as f64).collect();
+        let mut im = vec![0.0; n];
+        let before = keys.clone();
+        let mut scratch = RadixScratch::default();
+        sort_soa(&mut keys, &mut re, &mut im, &mut scratch);
+        assert_eq!(keys, before);
+        assert_eq!(scratch.stage.len(), 0, "sorted input must not stage");
+    }
+
+    #[test]
+    fn scratch_is_reused_across_calls() {
+        let mut scratch = RadixScratch::default();
+        let (mut keys, mut re, mut im) = scrambled(8192, u128::MAX - 1);
+        sort_soa(&mut keys, &mut re, &mut im, &mut scratch);
+        let cap = scratch.stage.capacity();
+        let (mut keys, mut re, mut im) = scrambled(8192, 977);
+        sort_soa(&mut keys, &mut re, &mut im, &mut scratch);
+        assert_eq!(scratch.stage.capacity(), cap, "arena must be reused");
+    }
+}

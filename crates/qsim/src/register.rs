@@ -185,14 +185,27 @@ impl Layout {
 
     /// Inverse of [`Self::encode_u128`]; writes into `out` (one slot per
     /// register).
-    pub fn decode_u128(&self, mut idx: u128, out: &mut [u64]) {
+    pub fn decode_u128(&self, idx: u128, out: &mut [u64]) {
         debug_assert_eq!(out.len(), self.regs.len());
-        for (slot, r) in out.iter_mut().zip(self.regs.iter()).rev() {
-            let d = u128::from(r.dim);
-            *slot = (idx % d) as u64;
-            idx /= d;
+        // Keys that fit in 64 bits — every layout short of the parallel
+        // model's widest — decode with native divisions instead of the
+        // libcall-per-digit u128 path. This sits on the conditioned-unitary
+        // kernel's per-bucket path, so the narrow case must stay cheap.
+        if let Ok(mut small) = u64::try_from(idx) {
+            for (slot, r) in out.iter_mut().zip(self.regs.iter()).rev() {
+                *slot = small % r.dim;
+                small /= r.dim;
+            }
+            debug_assert_eq!(small, 0, "index out of range for layout");
+        } else {
+            let mut idx = idx;
+            for (slot, r) in out.iter_mut().zip(self.regs.iter()).rev() {
+                let d = u128::from(r.dim);
+                *slot = (idx % d) as u64;
+                idx /= d;
+            }
+            debug_assert_eq!(idx, 0, "index out of range for layout");
         }
-        debug_assert_eq!(idx, 0, "index out of range for layout");
     }
 
     /// Packed-key stride of register `r` (see [`Self::stride`]): adding

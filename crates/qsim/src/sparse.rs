@@ -9,15 +9,30 @@
 //!
 //! Whenever the layout's joint dimension fits in 128 bits
 //! ([`Layout::packed_dim`] is `Some` — true for every layout in this
-//! reproduction), each amplitude is keyed by its mixed-radix
-//! [`Layout::encode_u128`] packed key and the state is a flat
-//! **sorted** `Vec<(u128, Complex64)>` with a double-buffered scratch
-//! vector. Gate application becomes allocation-free merge/scan passes
-//! (rayon-parallel over `PAR_CHUNK`-sized chunks) instead of hash-map
-//! rebuilds with one boxed-slice key allocation per amplitude. Because the
-//! first register is the most significant digit, sorted key order equals
-//! sorted basis-tuple order, so snapshots and merge-joins agree with
-//! [`StateTable`] ordering.
+//! reproduction), the state is a **structure of arrays**: a sorted
+//! `keys: Vec<u128>` of mixed-radix [`Layout::encode_u128`] packed keys plus
+//! two parallel `re`/`im` `Vec<f64>` slices holding the amplitudes. The hot
+//! whole-support passes (phase, scale, norm, filter, the per-bucket matvec
+//! of a conditioned unitary) therefore stream over contiguous homogeneous
+//! `f64`/`u128` data instead of 32-byte `(u128, Complex64)` tuples, which
+//! both halves the bytes the key-only passes touch and lets the
+//! autovectorizer at the amplitude arithmetic. Because the first register is
+//! the most significant digit, sorted key order equals sorted basis-tuple
+//! order, so snapshots and merge-joins agree with [`StateTable`] ordering.
+//!
+//! Passes that reorder the support (permutations, conditioned unitaries on
+//! a non-final register) restore key order with the radix-partitioned merge
+//! in [`crate::radix`] — partition by high key bits, sort partitions
+//! independently in parallel, concatenate — instead of a global
+//! `par_sort_unstable_by_key`. A conditioned unitary whose target is the
+//! **last** register (`stride == 1` — the flag register in every sampler
+//! layout) needs no sorting at all: key order is already bucket-major and
+//! the per-bucket outputs concatenate in sorted order.
+//!
+//! All scratch lives in a per-state arena (`Arena`) that is reused across
+//! gate applications — across a whole amplitude-amplification schedule the
+//! backend allocates only for genuine support growth, not per gate. The
+//! arena is skipped by `Clone`: it is transient workspace, not state.
 //!
 //! Layouts whose joint dimension exceeds 128 bits fall back to the original
 //! `FxHashMap<Box<[u64]>, Complex64>` representation
@@ -26,9 +41,10 @@
 //! ## Determinism
 //!
 //! All parallel reductions are chunked with fixed chunk boundaries and the
-//! partial results are combined in chunk order, so every operation returns
-//! bit-identical results regardless of thread count (including
-//! `RAYON_NUM_THREADS=1`).
+//! partial results are combined in chunk order, and the radix merge's
+//! partition plan is a pure function of the key multiset, so every
+//! operation returns bit-identical results regardless of thread count
+//! (including `RAYON_NUM_THREADS=1`).
 //!
 //! Amplitudes whose squared modulus falls below [`PRUNE_EPS_SQR`] (1e-24,
 //! i.e. |amp| < 1e-12 — pure floating-point residue, ~8 orders of magnitude
@@ -36,10 +52,11 @@
 //! support from accreting round-off junk.
 
 use crate::fxhash::FxHashMap;
+use crate::radix::{sort_soa, RadixScratch};
 use crate::register::Layout;
 use crate::state::{debug_check_norm, QuantumState};
 use crate::table::StateTable;
-use dqs_math::{Complex64, MatC};
+use dqs_math::{slices, Complex64, MatC};
 use rayon::prelude::*;
 
 /// Squared-modulus threshold below which amplitudes are dropped.
@@ -55,22 +72,73 @@ const BUCKETS_PER_TASK: usize = 256;
 
 type BoxedKey = Box<[u64]>;
 
-/// Packed representation: sorted `(key, amplitude)` pairs plus a reusable
-/// scratch buffer (the other half of the double buffer).
+/// Reusable workspace for the packed passes. Contents are meaningless
+/// between operations — the allocations are what we keep, so a long gate
+/// sequence (an amplification schedule) stops allocating once the buffers
+/// have grown to the working support size.
+#[derive(Default)]
+struct Arena {
+    /// Output assembly for out-of-place passes (the other half of the
+    /// double buffer); swapped wholesale into the state.
+    out_keys: Vec<u128>,
+    out_re: Vec<f64>,
+    out_im: Vec<f64>,
+    /// Bucket boundaries of the conditioned-unitary pass.
+    ranges: Vec<(usize, usize)>,
+    /// Staging for the radix-partitioned merge.
+    radix: RadixScratch,
+}
+
+/// Packed structure-of-arrays representation: `keys[i]` holds the basis
+/// state of amplitude `re[i] + i·im[i]`.
 struct Packed {
-    /// Sorted by key, keys unique, every `norm_sqr > PRUNE_EPS_SQR`.
-    amps: Vec<(u128, Complex64)>,
-    /// Scratch for out-of-place passes; contents are meaningless between
-    /// operations, the allocation is what we keep.
-    scratch: Vec<(u128, Complex64)>,
+    /// Sorted, unique; every stored `re² + im² > PRUNE_EPS_SQR`.
+    keys: Vec<u128>,
+    /// Real parts, parallel to `keys`.
+    re: Vec<f64>,
+    /// Imaginary parts, parallel to `keys`.
+    im: Vec<f64>,
+    /// Reused scratch; never cloned.
+    arena: Arena,
+}
+
+impl Packed {
+    fn new(keys: Vec<u128>, re: Vec<f64>, im: Vec<f64>) -> Self {
+        debug_assert_eq!(keys.len(), re.len());
+        debug_assert_eq!(keys.len(), im.len());
+        Self {
+            keys,
+            re,
+            im,
+            arena: Arena::default(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    #[inline]
+    fn amp(&self, i: usize) -> Complex64 {
+        Complex64::new(self.re[i], self.im[i])
+    }
+
+    /// Swaps the arena's assembled output buffers in as the new support.
+    fn adopt_output(&mut self) {
+        std::mem::swap(&mut self.keys, &mut self.arena.out_keys);
+        std::mem::swap(&mut self.re, &mut self.arena.out_re);
+        std::mem::swap(&mut self.im, &mut self.arena.out_im);
+    }
 }
 
 impl Clone for Packed {
     fn clone(&self) -> Self {
-        // The scratch buffer is transient state — don't copy its contents.
+        // The arena is transient workspace — don't copy it.
         Self {
-            amps: self.amps.clone(),
-            scratch: Vec::new(),
+            keys: self.keys.clone(),
+            re: self.re.clone(),
+            im: self.im.clone(),
+            arena: Arena::default(),
         }
     }
 }
@@ -133,16 +201,83 @@ impl SparseState {
             }
         }
     }
+
+    /// Encodes an anchor table's packed sorted `(key, amplitude)` pairs.
+    ///
+    /// StateTable iterates in sorted tuple order == sorted key order, so
+    /// this is a sorted list and the overlap merge-join visits anchor
+    /// entries in the same order the boxed path does.
+    fn encode_anchor(layout: &Layout, anchor: &StateTable) -> Vec<(u128, Complex64)> {
+        let akeys: Vec<(u128, Complex64)> = anchor
+            .iter()
+            .map(|(b, a)| (layout.encode_u128(b), a))
+            .collect();
+        debug_assert!(akeys.windows(2).all(|w| w[0].0 < w[1].0));
+        akeys
+    }
+
+    /// The packed rank-one phase pass, shared between the single-state
+    /// entry point and the batched override (which encodes the anchor keys
+    /// once for the whole batch).
+    fn rank_one_packed(p: &mut Packed, akeys: &[(u128, Complex64)], phi: f64) {
+        let mut overlap = Complex64::ZERO;
+        {
+            let mut i = 0;
+            for &(key, a) in akeys {
+                while i < p.len() && p.keys[i] < key {
+                    i += 1;
+                }
+                if i < p.len() && p.keys[i] == key {
+                    overlap += a.conj() * p.amp(i);
+                }
+            }
+        }
+        let coef = (Complex64::cis(phi) - Complex64::ONE) * overlap;
+        if coef.norm_sqr() == 0.0 {
+            return;
+        }
+        // Merge state + coef·anchor into the arena, pruning as we go.
+        p.arena.out_keys.clear();
+        p.arena.out_re.clear();
+        p.arena.out_im.clear();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < p.len() || j < akeys.len() {
+            let take_state = j >= akeys.len() || (i < p.len() && p.keys[i] < akeys[j].0);
+            let take_anchor = i >= p.len() || (j < akeys.len() && akeys[j].0 < p.keys[i]);
+            let (key, v) = if take_state {
+                let e = (p.keys[i], p.amp(i));
+                i += 1;
+                e
+            } else if take_anchor {
+                let (key, a) = akeys[j];
+                j += 1;
+                (key, coef * a)
+            } else {
+                let (key, a) = akeys[j];
+                let v = p.amp(i) + coef * a;
+                i += 1;
+                j += 1;
+                (key, v)
+            };
+            if v.norm_sqr() > PRUNE_EPS_SQR {
+                p.arena.out_keys.push(key);
+                p.arena.out_re.push(v.re);
+                p.arena.out_im.push(v.im);
+            }
+        }
+        p.adopt_output();
+    }
 }
 
 impl QuantumState for SparseState {
     fn from_basis(layout: Layout, basis: &[u64]) -> Self {
         layout.assert_basis(basis);
         let repr = if layout.packed_dim().is_some() {
-            Repr::Packed(Packed {
-                amps: vec![(layout.encode_u128(basis), Complex64::ONE)],
-                scratch: Vec::new(),
-            })
+            Repr::Packed(Packed::new(
+                vec![layout.encode_u128(basis)],
+                vec![1.0],
+                vec![0.0],
+            ))
         } else {
             let mut amps = FxHashMap::default();
             amps.insert(basis.into(), Complex64::ONE);
@@ -157,16 +292,18 @@ impl QuantumState for SparseState {
             // StateTable iterates in sorted basis-tuple order, and the
             // first register is the most significant key digit, so the
             // packed keys come out already sorted.
-            let amps: Vec<(u128, Complex64)> = table
-                .iter()
-                .filter(|(_, a)| a.norm_sqr() > PRUNE_EPS_SQR)
-                .map(|(b, a)| (layout.encode_u128(b), a))
-                .collect();
-            debug_assert!(amps.windows(2).all(|w| w[0].0 < w[1].0));
-            Repr::Packed(Packed {
-                amps,
-                scratch: Vec::new(),
-            })
+            let mut keys = Vec::with_capacity(table.len());
+            let mut re = Vec::with_capacity(table.len());
+            let mut im = Vec::with_capacity(table.len());
+            for (b, a) in table.iter() {
+                if a.norm_sqr() > PRUNE_EPS_SQR {
+                    keys.push(layout.encode_u128(b));
+                    re.push(a.re);
+                    im.push(a.im);
+                }
+            }
+            debug_assert!(keys.windows(2).all(|w| w[0] < w[1]));
+            Repr::Packed(Packed::new(keys, re, im))
         } else {
             let mut map = FxHashMap::default();
             for (b, a) in table.iter() {
@@ -190,8 +327,8 @@ impl QuantumState for SparseState {
         match &self.repr {
             Repr::Packed(p) => {
                 let key = self.layout.encode_u128(basis);
-                match p.amps.binary_search_by_key(&key, |e| e.0) {
-                    Ok(i) => p.amps[i].1,
+                match p.keys.binary_search(&key) {
+                    Ok(i) => p.amp(i),
                     Err(_) => Complex64::ZERO,
                 }
             }
@@ -201,7 +338,7 @@ impl QuantumState for SparseState {
 
     fn support_len(&self) -> usize {
         match &self.repr {
-            Repr::Packed(p) => p.amps.len(),
+            Repr::Packed(p) => p.len(),
             Repr::Boxed(map) => map.len(),
         }
     }
@@ -211,38 +348,25 @@ impl QuantumState for SparseState {
         match &mut self.repr {
             Repr::Packed(p) => {
                 let n_regs = layout.num_registers();
-                p.scratch.clear();
-                p.scratch.resize(p.amps.len(), (0, Complex64::ZERO));
-                p.scratch
-                    .par_chunks_mut(PAR_CHUNK)
-                    .zip(p.amps.par_chunks(PAR_CHUNK))
-                    .for_each(|(dst, src)| {
-                        let mut basis = vec![0u64; n_regs];
-                        for (slot, &(key, amp)) in dst.iter_mut().zip(src) {
-                            layout.decode_u128(key, &mut basis);
-                            f(&mut basis);
-                            layout.assert_basis(&basis);
-                            *slot = (layout.encode_u128(&basis), amp);
-                        }
-                    });
-                p.scratch.par_sort_unstable_by_key(|e| e.0);
-                // Merge duplicates (a bijection produces none; debug-checked).
-                p.amps.clear();
-                for &(key, amp) in p.scratch.iter() {
-                    match p.amps.last_mut() {
-                        Some((prev, acc)) if *prev == key => {
-                            debug_assert!(
-                                false,
-                                "permutation closure is not injective (collision at key {key})"
-                            );
-                            *acc += amp;
-                            if acc.norm_sqr() <= PRUNE_EPS_SQR {
-                                p.amps.pop();
-                            }
-                        }
-                        _ => p.amps.push((key, amp)),
+                // Rewrite every key in place — the amplitudes ride along in
+                // their own arrays, so no tuple scratch (and no write-only
+                // zero-fill) is needed.
+                p.keys.par_chunks_mut(PAR_CHUNK).for_each(|chunk| {
+                    let mut basis = vec![0u64; n_regs];
+                    for key in chunk {
+                        layout.decode_u128(*key, &mut basis);
+                        f(&mut basis);
+                        layout.assert_basis(&basis);
+                        *key = layout.encode_u128(&basis);
                     }
-                }
+                });
+                sort_soa(&mut p.keys, &mut p.re, &mut p.im, &mut p.arena.radix);
+                // A bijection maps unique keys to unique keys; the contract
+                // (see `QuantumState::apply_permutation`) is debug-checked.
+                debug_assert!(
+                    p.keys.windows(2).all(|w| w[0] < w[1]),
+                    "permutation closure is not injective"
+                );
             }
             Repr::Boxed(map) => {
                 let mut out: FxHashMap<BoxedKey, Complex64> = FxHashMap::default();
@@ -272,34 +396,78 @@ impl QuantumState for SparseState {
                 let n_regs = layout.num_registers();
                 let stride = layout.stride_u128(target);
                 let d_wide = d as u128;
-                // (key with target digit zeroed, target value)
-                let split = |key: u128| {
-                    let t = (key / stride) % d_wide;
-                    (key - t * stride, t as usize)
+                let block = stride * d_wide;
+                // Bucket-major remap: with `key = hi·(stride·d) + t·stride
+                // + lo` (t the target digit, lo the digits below it), map to
+                // `rkey = hi·(stride·d) + lo·d + t` — a bijection of the
+                // key space whose order is (masked key, target value), so
+                // one sort makes buckets contiguous with ascending t. When
+                // the target is the last register (`stride == 1`, the flag
+                // in every sampler layout) the remap is the identity and
+                // the support is **already** bucket-major: no sort at all.
+                let sorted_in_place = stride == 1;
+                if !sorted_in_place {
+                    p.keys.par_chunks_mut(PAR_CHUNK).for_each(|chunk| {
+                        for key in chunk {
+                            let hi = *key / block;
+                            let rem = *key % block;
+                            let t = rem / stride;
+                            let lo = rem % stride;
+                            *key = hi * block + lo * d_wide + t;
+                        }
+                    });
+                    sort_soa(&mut p.keys, &mut p.re, &mut p.im, &mut p.arena.radix);
+                }
+                // `d` is a power of two for every flag/ancilla register, and
+                // `key / d` + `key % d` run once or more per *entry* below —
+                // shift/mask instead of the u128 division libcall when we
+                // can. The branch on `d_pow2` predicts perfectly.
+                let d_pow2 = d_wide.is_power_of_two();
+                let d_shift = d_wide.trailing_zeros();
+                let bucket_of = |k: u128| if d_pow2 { k >> d_shift } else { k / d_wide };
+                let digit_of = |k: u128| {
+                    (if d_pow2 { k & (d_wide - 1) } else { k % d_wide }) as usize
                 };
-                // Sort the support into buckets sharing a masked key. Keys
-                // are unique, so (masked, key) is a deterministic total
-                // order regardless of the unstable sort.
-                p.amps
-                    .par_sort_unstable_by_key(|&(key, _)| (split(key).0, key));
-                // Bucket boundaries (one bucket = one masked key).
-                let mut ranges: Vec<(usize, usize)> = Vec::new();
+                // Unmasking a bucket id back to its base key divides by the
+                // stride; the stride-1 fast path (the flag register) skips
+                // that division entirely.
+                let masked_of = |bucket: u128| {
+                    if sorted_in_place {
+                        bucket * block
+                    } else {
+                        (bucket / stride) * block + bucket % stride
+                    }
+                };
+                // Bucket boundaries: one bucket = one run of `rkey / d`.
+                // The ranges buffer is arena-owned, so steady-state gate
+                // application does not allocate here; reserving to the
+                // support size keeps a cold arena (fresh clone) from paying
+                // doubling-growth copies on its first pass.
+                let n = p.len();
+                p.arena.ranges.clear();
+                p.arena.ranges.reserve(n);
                 let mut start = 0;
-                for i in 1..=p.amps.len() {
-                    if i == p.amps.len() || split(p.amps[i].0).0 != split(p.amps[start].0).0 {
-                        ranges.push((start, i));
+                let mut start_bucket = if n > 0 { bucket_of(p.keys[0]) } else { 0 };
+                for i in 1..=n {
+                    let b = if i == n { 0 } else { bucket_of(p.keys[i]) };
+                    if i == n || b != start_bucket {
+                        p.arena.ranges.push((start, i));
                         start = i;
+                        start_bucket = b;
                     }
                 }
-                let amps = &p.amps;
-                let outputs: Vec<Vec<(u128, Complex64)>> = ranges
+                let (keys, re, im) = (&p.keys, &p.re, &p.im);
+                let outputs: Vec<(Vec<u128>, Vec<f64>, Vec<f64>)> = p
+                    .arena
+                    .ranges
                     .par_chunks(BUCKETS_PER_TASK)
                     .map(|task| {
                         let mut basis = vec![0u64; n_regs];
-                        let mut col = vec![Complex64::ZERO; d];
-                        let mut local: Vec<(u128, Complex64)> = Vec::new();
+                        let mut col_re = vec![0.0; d];
+                        let mut col_im = vec![0.0; d];
+                        let mut out = (Vec::new(), Vec::new(), Vec::new());
                         for &(lo, hi) in task {
-                            let masked = split(amps[lo].0).0;
+                            let masked = masked_of(bucket_of(keys[lo]));
                             layout.decode_u128(masked, &mut basis);
                             debug_assert_eq!(basis[target], 0, "masked key has target 0");
                             let u = u_of(&basis);
@@ -308,35 +476,60 @@ impl QuantumState for SparseState {
                                 (d, d),
                                 "conditioned unitary has wrong shape for register {target}"
                             );
-                            // col[r] = Σ_{(t, amp)} U[r,t] · amp over the
-                            // bucket's nonzero inputs.
-                            col.fill(Complex64::ZERO);
-                            for &(key, amp) in &amps[lo..hi] {
-                                let t = split(key).1;
-                                for (r, slot) in col.iter_mut().enumerate() {
+                            // col[r] = Σ_t U[r,t] · amp_t over the bucket's
+                            // nonzero inputs, in ascending t.
+                            col_re.fill(0.0);
+                            col_im.fill(0.0);
+                            for j in lo..hi {
+                                let t = digit_of(keys[j]);
+                                let amp = Complex64::new(re[j], im[j]);
+                                for r in 0..d {
                                     let m = u[(r, t)];
                                     if m.norm_sqr() != 0.0 {
-                                        *slot += m * amp;
+                                        let v = m * amp;
+                                        col_re[r] += v.re;
+                                        col_im[r] += v.im;
                                     }
                                 }
                             }
-                            for (r, &amp) in col.iter().enumerate() {
-                                if amp.norm_sqr() > PRUNE_EPS_SQR {
-                                    local.push((masked + r as u128 * stride, amp));
+                            for r in 0..d {
+                                let v = Complex64::new(col_re[r], col_im[r]);
+                                if v.norm_sqr() > PRUNE_EPS_SQR {
+                                    out.0.push(masked + r as u128 * stride);
+                                    out.1.push(v.re);
+                                    out.2.push(v.im);
                                 }
                             }
                         }
-                        local
+                        out
                     })
                     .collect();
-                p.scratch.clear();
-                for chunk in outputs {
-                    p.scratch.extend(chunk);
+                p.arena.out_keys.clear();
+                p.arena.out_re.clear();
+                p.arena.out_im.clear();
+                let total: usize = outputs.iter().map(|(k, _, _)| k.len()).sum();
+                p.arena.out_keys.reserve(total);
+                p.arena.out_re.reserve(total);
+                p.arena.out_im.reserve(total);
+                for (k, r, i) in outputs {
+                    p.arena.out_keys.extend(k);
+                    p.arena.out_re.extend(r);
+                    p.arena.out_im.extend(i);
                 }
-                // Bucket outputs have unique keys; restore global key order.
-                p.scratch.par_sort_unstable_by_key(|e| e.0);
-                debug_assert!(p.scratch.windows(2).all(|w| w[0].0 < w[1].0));
-                std::mem::swap(&mut p.amps, &mut p.scratch);
+                if !sorted_in_place {
+                    // Bucket outputs have unique keys; restore global key
+                    // order with the partitioned merge. In the stride == 1
+                    // case bucket-major order *is* key order, so the
+                    // concatenation above is already sorted.
+                    sort_soa(
+                        &mut p.arena.out_keys,
+                        &mut p.arena.out_re,
+                        &mut p.arena.out_im,
+                        &mut p.arena.radix,
+                    );
+                }
+                debug_assert!(p.arena.out_keys.windows(2).all(|w| w[0] < w[1]));
+                p.adopt_output();
             }
             Repr::Boxed(map) => {
                 // Group support by the tuple with the target register zeroed.
@@ -389,18 +582,24 @@ impl QuantumState for SparseState {
         match &mut self.repr {
             Repr::Packed(p) => {
                 let n_regs = layout.num_registers();
-                p.amps.par_chunks_mut(PAR_CHUNK).for_each(|chunk| {
-                    let mut basis = vec![0u64; n_regs];
-                    for (key, amp) in chunk {
-                        layout.decode_u128(*key, &mut basis);
-                        let ph = f(&basis);
-                        debug_assert!(
-                            (ph.abs() - 1.0).abs() < 1e-9,
-                            "phase factor must be unit modulus, got {ph}"
-                        );
-                        *amp *= ph;
-                    }
-                });
+                p.keys
+                    .par_chunks(PAR_CHUNK)
+                    .zip(p.re.par_chunks_mut(PAR_CHUNK))
+                    .zip(p.im.par_chunks_mut(PAR_CHUNK))
+                    .for_each(|((ck, cre), cim)| {
+                        let mut basis = vec![0u64; n_regs];
+                        for j in 0..ck.len() {
+                            layout.decode_u128(ck[j], &mut basis);
+                            let ph = f(&basis);
+                            debug_assert!(
+                                (ph.abs() - 1.0).abs() < 1e-9,
+                                "phase factor must be unit modulus, got {ph}"
+                            );
+                            let v = Complex64::new(cre[j], cim[j]) * ph;
+                            cre[j] = v.re;
+                            cim[j] = v.im;
+                        }
+                    });
             }
             Repr::Boxed(map) => {
                 for (key, amp) in map.iter_mut() {
@@ -429,58 +628,8 @@ impl QuantumState for SparseState {
         let layout = &self.layout;
         match &mut self.repr {
             Repr::Packed(p) => {
-                // StateTable iterates in sorted tuple order == sorted key
-                // order, so this is a sorted list and the overlap merge-join
-                // visits anchor entries in the same order the boxed path did.
-                let akeys: Vec<(u128, Complex64)> = anchor
-                    .iter()
-                    .map(|(b, a)| (layout.encode_u128(b), a))
-                    .collect();
-                debug_assert!(akeys.windows(2).all(|w| w[0].0 < w[1].0));
-                let mut overlap = Complex64::ZERO;
-                {
-                    let mut i = 0;
-                    for &(key, a) in &akeys {
-                        while i < p.amps.len() && p.amps[i].0 < key {
-                            i += 1;
-                        }
-                        if i < p.amps.len() && p.amps[i].0 == key {
-                            overlap += a.conj() * p.amps[i].1;
-                        }
-                    }
-                }
-                let coef = (Complex64::cis(phi) - Complex64::ONE) * overlap;
-                if coef.norm_sqr() == 0.0 {
-                    return;
-                }
-                // Merge state + coef·anchor into scratch, pruning as we go.
-                p.scratch.clear();
-                let (mut i, mut j) = (0usize, 0usize);
-                while i < p.amps.len() || j < akeys.len() {
-                    let take_state =
-                        j >= akeys.len() || (i < p.amps.len() && p.amps[i].0 < akeys[j].0);
-                    let take_anchor =
-                        i >= p.amps.len() || (j < akeys.len() && akeys[j].0 < p.amps[i].0);
-                    let (key, v) = if take_state {
-                        let e = p.amps[i];
-                        i += 1;
-                        e
-                    } else if take_anchor {
-                        let (key, a) = akeys[j];
-                        j += 1;
-                        (key, coef * a)
-                    } else {
-                        let (key, a) = akeys[j];
-                        let v = p.amps[i].1 + coef * a;
-                        i += 1;
-                        j += 1;
-                        (key, v)
-                    };
-                    if v.norm_sqr() > PRUNE_EPS_SQR {
-                        p.scratch.push((key, v));
-                    }
-                }
-                std::mem::swap(&mut p.amps, &mut p.scratch);
+                let akeys = Self::encode_anchor(layout, anchor);
+                Self::rank_one_packed(p, &akeys, phi);
             }
             Repr::Boxed(map) => {
                 let mut overlap = Complex64::ZERO;
@@ -502,12 +651,43 @@ impl QuantumState for SparseState {
         debug_check_norm(self, "apply_rank_one_phase");
     }
 
+    fn apply_rank_one_phase_batch(states: &mut [Self], anchor: &StateTable, phi: f64) {
+        let layout = anchor.layout();
+        if layout.packed_dim().is_none() {
+            for s in states {
+                s.apply_rank_one_phase(anchor, phi);
+            }
+            return;
+        }
+        debug_assert!(
+            (anchor.norm() - 1.0).abs() < 1e-9,
+            "rank-one anchor must be normalized"
+        );
+        // Encode the anchor's packed keys once for the whole batch — the
+        // per-state pass is then identical to the single-state entry point.
+        let akeys = Self::encode_anchor(layout, anchor);
+        for s in states.iter_mut() {
+            assert_eq!(
+                anchor.layout(),
+                &s.layout,
+                "anchor layout mismatch in rank-one phase"
+            );
+            match &mut s.repr {
+                Repr::Packed(p) => {
+                    Self::rank_one_packed(p, &akeys, phi);
+                    debug_check_norm(s, "apply_rank_one_phase");
+                }
+                Repr::Boxed(_) => s.apply_rank_one_phase(anchor, phi),
+            }
+        }
+    }
+
     fn scale(&mut self, k: Complex64) {
         match &mut self.repr {
             Repr::Packed(p) => {
-                p.amps
-                    .par_chunks_mut(PAR_CHUNK)
-                    .for_each(|chunk| chunk.iter_mut().for_each(|(_, a)| *a *= k));
+                p.re.par_chunks_mut(PAR_CHUNK)
+                    .zip(p.im.par_chunks_mut(PAR_CHUNK))
+                    .for_each(|(cre, cim)| slices::scale_in_place(cre, cim, k));
             }
             Repr::Boxed(map) => {
                 for amp in map.values_mut() {
@@ -523,9 +703,10 @@ impl QuantumState for SparseState {
                 // Chunked parallel reduction; partials combined in chunk
                 // order so the sum is thread-count independent.
                 let partials: Vec<f64> = p
-                    .amps
+                    .re
                     .par_chunks(PAR_CHUNK)
-                    .map(|chunk| chunk.iter().map(|(_, a)| a.norm_sqr()).sum::<f64>())
+                    .zip(p.im.par_chunks(PAR_CHUNK))
+                    .map(|(cre, cim)| slices::norm_sqr_sum(cre, cim))
                     .collect();
                 partials.iter().sum::<f64>().sqrt()
             }
@@ -541,19 +722,21 @@ impl QuantumState for SparseState {
                 // of `self` joins against the matching key range of `other`
                 // found by binary search. Partials combine in chunk order.
                 let partials: Vec<Complex64> = a
-                    .amps
+                    .keys
                     .par_chunks(PAR_CHUNK)
-                    .map(|chunk| {
-                        let lo = chunk[0].0;
-                        let mut j = b.amps.partition_point(|e| e.0 < lo);
+                    .enumerate()
+                    .map(|(ci, chunk)| {
+                        let base = ci * PAR_CHUNK;
+                        let lo = chunk[0];
+                        let mut j = b.keys.partition_point(|&e| e < lo);
                         let mut acc = Complex64::ZERO;
                         let mut i = 0;
-                        while i < chunk.len() && j < b.amps.len() {
-                            match chunk[i].0.cmp(&b.amps[j].0) {
+                        while i < chunk.len() && j < b.len() {
+                            match chunk[i].cmp(&b.keys[j]) {
                                 std::cmp::Ordering::Less => i += 1,
                                 std::cmp::Ordering::Greater => j += 1,
                                 std::cmp::Ordering::Equal => {
-                                    acc += chunk[i].1.conj() * b.amps[j].1;
+                                    acc += a.amp(base + i).conj() * b.amp(j);
                                     i += 1;
                                     j += 1;
                                 }
@@ -599,23 +782,38 @@ impl QuantumState for SparseState {
                 // invariant guarantees no live entry is zero), summing the
                 // survivors per chunk; combine partials in chunk order.
                 let partials: Vec<f64> = p
-                    .amps
-                    .par_chunks_mut(PAR_CHUNK)
-                    .map(|chunk| {
+                    .keys
+                    .par_chunks(PAR_CHUNK)
+                    .zip(p.re.par_chunks_mut(PAR_CHUNK))
+                    .zip(p.im.par_chunks_mut(PAR_CHUNK))
+                    .map(|((ck, cre), cim)| {
                         let mut basis = vec![0u64; n_regs];
                         let mut survived = 0.0;
-                        for (key, amp) in chunk {
-                            layout.decode_u128(*key, &mut basis);
+                        for j in 0..ck.len() {
+                            layout.decode_u128(ck[j], &mut basis);
                             if keep(&basis) {
-                                survived += amp.norm_sqr();
+                                survived += cre[j] * cre[j] + cim[j] * cim[j];
                             } else {
-                                *amp = Complex64::ZERO;
+                                cre[j] = 0.0;
+                                cim[j] = 0.0;
                             }
                         }
                         survived
                     })
                     .collect();
-                p.amps.retain(|(_, a)| a.norm_sqr() > 0.0);
+                // Compact the three arrays with one serial write cursor.
+                let mut w = 0;
+                for i in 0..p.keys.len() {
+                    if p.re[i] * p.re[i] + p.im[i] * p.im[i] > 0.0 {
+                        p.keys[w] = p.keys[i];
+                        p.re[w] = p.re[i];
+                        p.im[w] = p.im[i];
+                        w += 1;
+                    }
+                }
+                p.keys.truncate(w);
+                p.re.truncate(w);
+                p.im.truncate(w);
                 partials.iter().sum()
             }
             Repr::Boxed(map) => {
@@ -639,15 +837,19 @@ impl QuantumState for SparseState {
                 let layout = &self.layout;
                 let n_regs = layout.num_registers();
                 let entries: Vec<(BoxedKey, Complex64)> = p
-                    .amps
+                    .keys
                     .par_chunks(PAR_CHUNK)
-                    .map(|chunk| {
+                    .zip(p.re.par_chunks(PAR_CHUNK))
+                    .zip(p.im.par_chunks(PAR_CHUNK))
+                    .map(|((ck, cre), cim)| {
                         let mut basis = vec![0u64; n_regs];
-                        chunk
-                            .iter()
-                            .map(|&(key, amp)| {
-                                layout.decode_u128(key, &mut basis);
-                                (basis.clone().into_boxed_slice(), amp)
+                        (0..ck.len())
+                            .map(|j| {
+                                layout.decode_u128(ck[j], &mut basis);
+                                (
+                                    basis.clone().into_boxed_slice(),
+                                    Complex64::new(cre[j], cim[j]),
+                                )
                             })
                             .collect::<Vec<_>>()
                     })
@@ -734,6 +936,27 @@ mod tests {
     }
 
     #[test]
+    fn conditioned_unitary_on_non_final_register_sorts_back() {
+        // Target register 1 has stride 2 ≠ 1, exercising the bucket-major
+        // remap + radix-merge path (not the flag fast path).
+        let mut s = SparseState::from_basis(small_layout(), &[0, 0, 1]);
+        s.apply_register_unitary(0, &gates::dft(4));
+        s.apply_register_unitary(1, &gates::dft(3));
+        assert!(approx_eq(s.norm(), 1.0));
+        assert_eq!(s.support_len(), 12);
+        // Snapshot order must equal sorted tuple order (sorted keys).
+        let t = s.to_table();
+        let tuples: Vec<Vec<u64>> = t.iter().map(|(b, _)| b.to_vec()).collect();
+        let mut sorted = tuples.clone();
+        sorted.sort();
+        assert_eq!(tuples, sorted, "support must come back key-sorted");
+        assert!(approx_eq(
+            s.amplitude(&[1, 2, 1]).abs(),
+            1.0 / (12.0f64).sqrt()
+        ));
+    }
+
+    #[test]
     fn phase_only_touches_support() {
         let mut s = SparseState::from_basis(small_layout(), &[1, 1, 1]);
         s.apply_phase(|b| Complex64::cis(b[0] as f64));
@@ -765,6 +988,34 @@ mod tests {
         v.apply_rank_one_phase(&anchor, 1.0);
         assert_eq!(v.support_len(), 1);
         assert!(approx_eq_c(v.amplitude(&[1, 0, 0]), Complex64::ONE));
+    }
+
+    #[test]
+    fn batched_rank_one_matches_single_state_bitwise() {
+        let layout = small_layout();
+        let mut anchor = StateTable::new(
+            layout.clone(),
+            vec![
+                (vec![0, 1, 0].into(), Complex64::from_real(1.0)),
+                (vec![2, 2, 1].into(), Complex64::from_real(1.0)),
+            ],
+        );
+        anchor.normalize();
+        let mut mk = |seed: u64| {
+            let mut s = SparseState::from_basis(layout.clone(), &[0, 0, 0]);
+            s.apply_register_unitary(0, &gates::dft(4));
+            s.apply_phase(|b| Complex64::cis(0.1 * (seed + b[0]) as f64));
+            s
+        };
+        let mut batch: Vec<SparseState> = (0..4).map(&mut mk).collect();
+        let mut solo: Vec<SparseState> = (0..4).map(&mut mk).collect();
+        SparseState::apply_rank_one_phase_batch(&mut batch, &anchor, 1.3);
+        for s in solo.iter_mut() {
+            s.apply_rank_one_phase(&anchor, 1.3);
+        }
+        for (b, s) in batch.iter().zip(&solo) {
+            assert_eq!(b.to_table().distance_sqr(&s.to_table()), 0.0);
+        }
     }
 
     #[test]
@@ -840,6 +1091,41 @@ mod tests {
         let (tp, tf) = (run_circuit(packed), run_circuit(fallback));
         assert_eq!(tp.len(), tf.len());
         assert!(tp.distance_sqr(&tf) < 1e-18, "representations diverged");
+    }
+
+    #[test]
+    fn packed_and_fallback_agree_above_the_radix_threshold() {
+        // Support 2048 ≥ RADIX_MIN_LEN: the permutation and the mid-register
+        // conditioned unitary both go through the partitioned merge, and the
+        // fallback hash-map path is the reference.
+        let layout = Layout::builder()
+            .register("a", 64)
+            .register("b", 32)
+            .register("c", 8)
+            .build();
+        let run = |mut s: SparseState| -> StateTable {
+            s.apply_register_unitary(0, &gates::dft(64));
+            s.apply_register_unitary(1, &gates::dft(32));
+            s.apply_permutation(|b| {
+                b[0] = (b[0] * 37 + b[1]) % 64;
+                b[2] = (b[2] + b[1]) % 8;
+            });
+            s.apply_conditioned_unitary(1, |b| {
+                let c = (b[0] as f64 / 63.0).min(1.0);
+                let mut u = gates::dft(32);
+                if c > 0.5 {
+                    u = u.adjoint();
+                }
+                u
+            });
+            s.to_table()
+        };
+        let packed = SparseState::from_basis(layout.clone(), &[0, 0, 3]);
+        assert!(packed.is_packed());
+        let fallback = SparseState::from_basis_fallback(layout, &[0, 0, 3]);
+        let (tp, tf) = (run(packed), run(fallback));
+        assert_eq!(tp.len(), tf.len());
+        assert!(tp.distance_sqr(&tf) < 1e-15, "representations diverged");
     }
 
     #[test]

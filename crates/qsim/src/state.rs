@@ -139,6 +139,19 @@ pub trait QuantumState: Clone {
     /// realizes `S_π(ϕ)` conjugated into place (Theorem 4.3).
     fn apply_rank_one_phase(&mut self, anchor: &StateTable, phi: f64);
 
+    /// Applies the same rank-one phase to every state in a batch.
+    ///
+    /// Semantically identical (bit-for-bit) to calling
+    /// [`Self::apply_rank_one_phase`] on each state in order — which is
+    /// exactly what this default does. Backends override it to amortize the
+    /// anchor preprocessing (key encoding, sorting checks) across the batch;
+    /// [`crate::program::Program::run_batch`] routes through this hook.
+    fn apply_rank_one_phase_batch(states: &mut [Self], anchor: &StateTable, phi: f64) {
+        for s in states {
+            s.apply_rank_one_phase(anchor, phi);
+        }
+    }
+
     /// Multiplies the whole state by a scalar (e.g. the global `−1` in
     /// `Q = −D S_π(ϕ) D† S_χ(φ)`).
     fn scale(&mut self, k: Complex64);

@@ -1,0 +1,189 @@
+//! Property-based validation of batched execution: advancing `B` states
+//! through one shared gate sequence with [`Program::run_batch`] /
+//! [`BatchedState`] must be **bit-identical** (not approximately equal) to
+//! running each state through [`Program::run`] on its own, on all three
+//! backends — dense, sparse packed-`u128`, and the sparse boxed-key
+//! fallback. Batching is an execution schedule, never a semantic change.
+
+use dqs_math::Complex64;
+use dqs_sim::{gates, BatchedState, DenseState, Instruction, Layout, Program, QuantumState};
+use dqs_sim::{SparseState, StateTable};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const UNIVERSE: u64 = 6;
+const COUNTS: u64 = 4;
+
+fn layout() -> Layout {
+    Layout::builder()
+        .register("elem", UNIVERSE)
+        .register("count", COUNTS)
+        .register("flag", 2)
+        .build()
+}
+
+/// One random instruction, covering every [`Instruction`] kind that the
+/// three-register layout supports (the ancilla kinds need the parallel
+/// layout and are covered by the `dqs-core` batch tests).
+#[derive(Debug, Clone)]
+enum Op {
+    AddMod { mult: u64, inverse: bool },
+    CondRotate { scale: u64 },
+    PhaseIfZero { phi_milli: u64 },
+    RankOne { a: u64, b: u64, phi_milli: u64 },
+    Dft,
+    GlobalPhase { phi_milli: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u64..5, 0u8..2).prop_map(|(mult, inv)| Op::AddMod {
+            mult,
+            inverse: inv == 1
+        }),
+        (1u64..4).prop_map(|scale| Op::CondRotate { scale }),
+        (1u64..6283).prop_map(|phi_milli| Op::PhaseIfZero { phi_milli }),
+        (0u64..UNIVERSE, 0u64..UNIVERSE, 1u64..6283).prop_map(|(a, b, phi_milli)| Op::RankOne {
+            a,
+            b,
+            phi_milli
+        }),
+        Just(Op::Dft),
+        (1u64..6283).prop_map(|phi_milli| Op::GlobalPhase { phi_milli }),
+    ]
+}
+
+fn anchor(a: u64, b: u64) -> StateTable {
+    let amp = if a == b {
+        Complex64::ONE
+    } else {
+        Complex64::from_real(1.0 / 2.0f64.sqrt())
+    };
+    let mut entries = vec![(vec![a, 0, 0].into_boxed_slice(), amp)];
+    if a != b {
+        entries.push((vec![b, 0, 0].into_boxed_slice(), amp));
+    }
+    StateTable::new(layout(), entries)
+}
+
+fn compile(ops: &[Op]) -> Program {
+    let mut p = Program::new(layout());
+    for op in ops {
+        p.push(match *op {
+            Op::AddMod { mult, inverse } => Instruction::OracleAdd {
+                machine: 0,
+                elem: 0,
+                count: 1,
+                table: Arc::new((0..UNIVERSE).map(|e| (e * mult) % COUNTS).collect()),
+                modulus: COUNTS,
+                inverse,
+            },
+            Op::CondRotate { scale } => Instruction::UnitaryByRegister {
+                target: 2,
+                by: 1,
+                matrices: (0..COUNTS)
+                    .map(|v| {
+                        let c = (((v * scale) % COUNTS) as f64 / (COUNTS - 1) as f64).min(1.0);
+                        gates::ry_by_cos_sin(c, (1.0 - c * c).sqrt())
+                    })
+                    .collect(),
+            },
+            Op::PhaseIfZero { phi_milli } => Instruction::PhaseIfZero {
+                reg: 2,
+                phi: phi_milli as f64 / 1000.0,
+            },
+            Op::RankOne { a, b, phi_milli } => Instruction::RankOnePhase {
+                anchor: anchor(a, b),
+                phi: phi_milli as f64 / 1000.0,
+            },
+            Op::Dft => Instruction::RegisterUnitary {
+                target: 0,
+                matrix: gates::dft(UNIVERSE),
+            },
+            Op::GlobalPhase { phi_milli } => Instruction::GlobalPhase {
+                phi: phi_milli as f64 / 1000.0,
+            },
+        });
+    }
+    p
+}
+
+/// Per-member initial state: a basis load plus a member-specific phase ramp
+/// so no two batch members coincide (a real multi-seed workload).
+fn member<S: QuantumState>(mk: impl Fn() -> S, seed: u64) -> S {
+    let mut s = mk();
+    s.apply_register_unitary(0, &gates::dft(UNIVERSE));
+    s.apply_phase(|b| Complex64::cis(0.001 * ((seed * 13 + 1) * (b[0] + 2 * b[1])) as f64));
+    s
+}
+
+fn assert_batch_matches_solo<S: QuantumState>(mk: impl Fn() -> S, program: &Program, b: usize) {
+    let mut batch = BatchedState::new((0..b as u64).map(|seed| member(&mk, seed)).collect());
+    batch.run(program);
+    for (seed, got) in batch.states().iter().enumerate() {
+        let mut want = member(&mk, seed as u64);
+        program.run(&mut want);
+        let d = got.to_table().distance_sqr(&want.to_table());
+        assert_eq!(
+            d, 0.0,
+            "batch member {seed}/{b} diverged from its solo run by {d:.3e}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `run_batch` ≡ B × `run`, bitwise, on all three backends.
+    #[test]
+    fn run_batch_is_bit_identical_to_sequential_runs(
+        start in (0u64..UNIVERSE, 0u64..COUNTS, 0u64..2),
+        ops in proptest::collection::vec(op_strategy(), 1..12),
+        b in 1usize..6,
+    ) {
+        let basis = [start.0, start.1, start.2];
+        let program = compile(&ops);
+        assert_batch_matches_solo(
+            || DenseState::from_basis(layout(), &basis),
+            &program,
+            b,
+        );
+        assert_batch_matches_solo(
+            || SparseState::from_basis(layout(), &basis),
+            &program,
+            b,
+        );
+        assert_batch_matches_solo(
+            || SparseState::from_basis_fallback(layout(), &basis),
+            &program,
+            b,
+        );
+    }
+
+    /// The batched rank-one hook alone (the one instruction with a real
+    /// batched override) agrees bitwise between packed and the solo path,
+    /// including repeated application.
+    #[test]
+    fn repeated_batched_rank_one_stays_bit_identical(
+        a in 0u64..UNIVERSE,
+        bb in 0u64..UNIVERSE,
+        phi_milli in 1u64..6283,
+        reps in 1usize..4,
+        b in 2usize..5,
+    ) {
+        let anchor = anchor(a, bb);
+        let phi = phi_milli as f64 / 1000.0;
+        let mk = || SparseState::from_basis(layout(), &[0, 0, 0]);
+        let mut batch: Vec<SparseState> = (0..b as u64).map(|s| member(mk, s)).collect();
+        let mut solo: Vec<SparseState> = (0..b as u64).map(|s| member(mk, s)).collect();
+        for _ in 0..reps {
+            SparseState::apply_rank_one_phase_batch(&mut batch, &anchor, phi);
+            for s in solo.iter_mut() {
+                s.apply_rank_one_phase(&anchor, phi);
+            }
+        }
+        for (x, y) in batch.iter().zip(&solo) {
+            prop_assert_eq!(x.to_table().distance_sqr(&y.to_table()), 0.0);
+        }
+    }
+}
