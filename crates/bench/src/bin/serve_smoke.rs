@@ -1,0 +1,80 @@
+//! CI service smoke check: drives the `dqs-serve` coordinator end to end
+//! with a mixed-tenant request blend and fails (exit 1) unless every
+//! coalesced output is bit-identical to its solo run — state bits, ledger
+//! snapshot, and obs event stream alike.
+//!
+//! ```text
+//! cargo run --release -p dqs-bench --bin serve_smoke -- --smoke
+//! RAYON_NUM_THREADS=4 cargo run --release -p dqs-bench --bin serve_smoke -- --smoke
+//! ```
+//!
+//! CI runs this at `RAYON_NUM_THREADS ∈ {1, 4}`: the service's bit-identity
+//! contract must hold at every thread count, so the same binary passing at
+//! both settings is the thread-invariance half of the acceptance criteria
+//! (the proptest suite covers the coalescing-invariance half).
+
+use dqs_bench::bench_data::{e2e_workload, serve_requests, verify_serve_bit_identity};
+use dqs_serve::{SamplingService, ServeConfig};
+use dqs_workloads::WorkloadSpec;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (universe, total, seed) = e2e_workload(smoke);
+    let machines = 4usize;
+    let dataset = WorkloadSpec::small_uniform(universe, total, machines, seed).build();
+    let requests = serve_requests(32, 8, 64, seed);
+
+    eprintln!(
+        "serve_smoke: {} requests, 8 tenants, n={machines}, universe={universe}, \
+         rayon_threads={}",
+        requests.len(),
+        rayon::current_num_threads()
+    );
+
+    if let Err(why) = verify_serve_bit_identity(&dataset, &requests) {
+        eprintln!("serve_smoke: FAIL — {why}");
+        return ExitCode::FAILURE;
+    }
+
+    // Second pass on a long-running service: warm cache + cumulative
+    // tenant ledgers must stay self-consistent across submissions.
+    let service = SamplingService::new(dataset, ServeConfig::default());
+    let first = service.submit_all(&requests);
+    let second = service.submit_all(&requests);
+    if first.iter().chain(&second).any(Result::is_err) {
+        eprintln!("serve_smoke: FAIL — a faultless request errored");
+        return ExitCode::FAILURE;
+    }
+    let stats = service.cache_stats();
+    if stats.misses != 1 || stats.hits != 1 {
+        eprintln!(
+            "serve_smoke: FAIL — expected 1 cache miss + 1 hit, got {} + {}",
+            stats.misses, stats.hits
+        );
+        return ExitCode::FAILURE;
+    }
+    for (tenant, ledger) in service.tenant_ledgers() {
+        let per_request: u64 = first
+            .iter()
+            .chain(&second)
+            .filter_map(|r| r.as_ref().ok())
+            .filter(|r| r.tenant == tenant)
+            .map(|r| r.output.queries().total_sequential() + r.output.queries().parallel_rounds)
+            .sum();
+        let charged = ledger.total_sequential() + ledger.parallel_rounds;
+        if charged != per_request {
+            eprintln!(
+                "serve_smoke: FAIL — tenant {tenant} ledger {charged} != sum of \
+                 per-request snapshots {per_request}"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    eprintln!(
+        "serve_smoke: ok — bit-identical to solo runs at {} rayon thread(s)",
+        rayon::current_num_threads()
+    );
+    ExitCode::SUCCESS
+}

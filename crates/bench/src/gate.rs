@@ -23,12 +23,14 @@
 use crate::bench_data::{self, median_secs};
 use crate::jsonv::Json;
 use dqs_core::{
-    parallel_sample, sequential_sample, sequential_sample_batch,
+    estimate_total_count_batch, parallel_sample, sequential_sample, sequential_sample_batch,
     sequential_sample_with_realization,
 };
 use dqs_db::LedgerSnapshot;
 use dqs_sim::SparseState;
 use dqs_workloads::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
 use std::fmt::Write as _;
 use std::hint::black_box;
 
@@ -47,6 +49,12 @@ pub const KERNEL_NOISE: f64 = 1.5;
 /// The committed batched-e2e speedup floor: a `B = 8` batch must beat 8
 /// solo runs by at least this factor (scaled by `1 − tolerance`).
 pub const BATCH_SPEEDUP_FLOOR: f64 = 2.0;
+
+/// The committed serve-throughput floor: 32 concurrent mixed-tenant
+/// requests through the coalescing service must beat the serial solo
+/// baseline by at least this aggregate factor (scaled by `1 − tolerance`).
+/// The accompanying `bit_identical` flag is exactness and never scaled.
+pub const SERVE_SPEEDUP_FLOOR: f64 = 4.0;
 
 fn push(violations: &mut Vec<String>, msg: String) {
     violations.push(msg);
@@ -106,6 +114,29 @@ fn batch_rows(doc: &Json) -> Vec<(u64, u64, f64, f64, f64)> {
                         r.get("batched_seconds")?.as_f64()?,
                         r.get("solo_seconds")?.as_f64()?,
                         r.get("speedup")?.as_f64()?,
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Parsed `serve_throughput` rows:
+/// `(requests, tenants, coalesced_s, serial_s, speedup, bit_identical)`.
+fn serve_rows(doc: &Json) -> Vec<(u64, u64, f64, f64, f64, Option<bool>)> {
+    doc.get("serve_throughput")
+        .and_then(|s| s.get("rows"))
+        .and_then(Json::as_array)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| {
+                    Some((
+                        r.get("requests")?.as_f64()? as u64,
+                        r.get("tenants")?.as_f64()? as u64,
+                        r.get("coalesced_seconds")?.as_f64()?,
+                        r.get("serial_seconds")?.as_f64()?,
+                        r.get("speedup")?.as_f64()?,
+                        r.get("bit_identical").map(|b| b == &Json::Bool(true)),
                     ))
                 })
                 .collect()
@@ -294,6 +325,54 @@ pub fn check_baseline(doc: &Json, tolerance: f64) -> Vec<String> {
                      floor {floor:.2}x"
                 ),
             );
+        }
+    }
+
+    // 6b. Serve throughput: the coalescing service must beat the serial
+    //     baseline by the floor, the derived speedup must be consistent,
+    //     and — exactness, never tolerance-scaled — every coalesced output
+    //     must have been verified bit-identical to its solo run.
+    let serves = serve_rows(doc);
+    if serves.is_empty() {
+        push(
+            &mut v,
+            "baseline has no serve_throughput rows — the multi-tenant service is ungated".into(),
+        );
+    }
+    for (requests, tenants, coalesced_s, serial_s, speedup, bit_identical) in &serves {
+        let derived = serial_s / coalesced_s;
+        if (speedup / derived - 1.0).abs() > 0.01 {
+            push(
+                &mut v,
+                format!(
+                    "serve_throughput r={requests} t={tenants}: speedup {speedup:.3} inconsistent \
+                     with serial/coalesced seconds ({derived:.3} derived)"
+                ),
+            );
+        }
+        let floor = SERVE_SPEEDUP_FLOOR * (1.0 - tolerance);
+        if *speedup < floor {
+            push(
+                &mut v,
+                format!(
+                    "serve_throughput r={requests} t={tenants}: aggregate speedup {speedup:.2}x \
+                     below floor {floor:.2}x"
+                ),
+            );
+        }
+        match bit_identical {
+            Some(true) => {}
+            Some(false) => push(
+                &mut v,
+                format!(
+                    "serve_throughput r={requests} t={tenants}: bit_identical is false — \
+                     coalesced outputs diverged from solo runs (correctness, not performance)"
+                ),
+            ),
+            None => push(
+                &mut v,
+                format!("serve_throughput r={requests} t={tenants}: missing bit_identical flag"),
+            ),
         }
     }
 
@@ -499,7 +578,10 @@ pub fn check_fresh(doc: &Json, tolerance: f64) -> Vec<String> {
         if support != smoke_support {
             continue;
         }
-        let Some(fresh_secs) = bench_data::measure_gate(&op, &backend, support, 3) else {
+        // 15 reps: at 2^10 support each rep is tens of microseconds, and a
+        // median of 3 is too fragile on small shared runners — one preempted
+        // rep flips the gate.
+        let Some(fresh_secs) = bench_data::measure_gate(&op, &backend, support, 15) else {
             continue; // unknown op/backend: baseline-only row
         };
         let fresh_ns = fresh_secs * 1e9 / support as f64;
@@ -568,6 +650,87 @@ pub fn check_fresh(doc: &Json, tolerance: f64) -> Vec<String> {
         }
     }
 
+    // Batched-estimate scratch reuse: after the first shot compiles the
+    // shared flag distribution, every further shot must replay without
+    // cloning packed state. The gate asserts the packed-clone count is
+    // independent of both the shot budget and the batch width — if a
+    // per-shot or per-member clone sneaks back in, the deltas diverge.
+    {
+        let (universe, total, seed) = bench_data::e2e_workload(true);
+        let ds = WorkloadSpec::small_uniform(universe, total, 2, seed).build();
+        let clones_at = |shots: u64, members: usize| {
+            let mut rngs: Vec<StdRng> = (0..members)
+                .map(|i| StdRng::seed_from_u64(seed + i as u64))
+                .collect();
+            let before = dqs_sim::alloc_stats::packed_clone_count();
+            black_box(
+                estimate_total_count_batch(&ds, shots, &mut rngs)
+                    .expect("valid shots")
+                    .len(),
+            );
+            dqs_sim::alloc_stats::packed_clone_count() - before
+        };
+        let small = clones_at(16, 2);
+        let large = clones_at(64, 8);
+        if small != large {
+            push(
+                &mut v,
+                format!(
+                    "batched estimate allocations scale with workload: {small} packed clones at \
+                     (shots=16, B=2) vs {large} at (shots=64, B=8) — per-shot scratch reuse regressed"
+                ),
+            );
+        }
+    }
+
+    // Fresh serve probe at the baseline's own serve workload: cold-cache
+    // coalesced submit_all vs the serial solo loop, plus the untimed
+    // bit-identity sweep (exactness: any mismatch is a violation outright).
+    let sspec = doc.get("serve_throughput");
+    let sw = (
+        sspec
+            .and_then(|s| s.get("universe"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64,
+        sspec
+            .and_then(|s| s.get("total_records"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64,
+        sspec
+            .and_then(|s| s.get("seed"))
+            .and_then(Json::as_f64)
+            .unwrap_or(42.0) as u64,
+    );
+    if sw.0 > 0 && sw.1 > 0 {
+        for (requests, tenants, _, _, base_speedup, _) in serve_rows(doc) {
+            let rows =
+                bench_data::bench_serve_sized(sw.0, sw.1, sw.2, requests as usize, tenants, 3);
+            for r in rows {
+                if !r.bit_identical {
+                    push(
+                        &mut v,
+                        format!(
+                            "fresh serve_throughput r={requests} t={tenants}: coalesced outputs \
+                             are not bit-identical to solo runs"
+                        ),
+                    );
+                }
+                let fresh_speedup = r.speedup();
+                let floor =
+                    (base_speedup * (1.0 - tolerance)).max(SERVE_SPEEDUP_FLOOR * (1.0 - tolerance));
+                if fresh_speedup < floor {
+                    push(
+                        &mut v,
+                        format!(
+                            "fresh serve_throughput r={requests} t={tenants}: aggregate speedup \
+                             {fresh_speedup:.2}x below floor {floor:.2}x (baseline {base_speedup:.2}x)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
     v
 }
 
@@ -613,6 +776,9 @@ mod tests {
   ]},
   "batched_e2e": {"name": "sequential_sample_batch", "backend": "sparse", "universe": 256, "total_records": 128, "seed": 42, "rows": [
     {"batch": 8, "machines": 4, "batched_seconds": 2.6e-3, "solo_seconds": 1.7e-2, "speedup": 6.538}
+  ]},
+  "serve_throughput": {"name": "dqs_serve_submit_all", "backend": "sparse", "universe": 256, "total_records": 128, "seed": 42, "rows": [
+    {"requests": 32, "tenants": 8, "machines": 4, "coalesced_seconds": 9.0e-3, "serial_seconds": 8.1e-2, "speedup": 9.000, "bit_identical": true}
   ]},
   "end_to_end": {"name": "sequential_sample", "seconds": 2.3e-3},
   "chaos_sweep": {"name": "chaos_sweep", "rows": [
@@ -757,6 +923,53 @@ mod tests {
         let v = check_baseline(&doc, DEFAULT_TOLERANCE);
         assert!(
             v.iter().any(|m| m.contains("no batched_e2e rows")),
+            "expected a missing-section violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn serve_speedup_regression_fails_the_gate() {
+        // The service degrading to serial speed: speedup 1.0, below the
+        // 4.0·(1−0.5) = 2.0 floor at default tolerance.
+        let perturbed = good_baseline().replace(
+            "\"coalesced_seconds\": 9.0e-3, \"serial_seconds\": 8.1e-2, \"speedup\": 9.000",
+            "\"coalesced_seconds\": 8.1e-2, \"serial_seconds\": 8.1e-2, \"speedup\": 1.000",
+        );
+        assert_ne!(perturbed, good_baseline(), "replace must hit");
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, DEFAULT_TOLERANCE);
+        assert!(
+            v.iter()
+                .any(|m| m.contains("serve_throughput") && m.contains("below floor")),
+            "expected a serve-speedup violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn serve_bit_identity_failure_fails_the_gate() {
+        // bit_identical false is a correctness violation at ANY tolerance.
+        let perturbed =
+            good_baseline().replace("\"bit_identical\": true", "\"bit_identical\": false");
+        assert_ne!(perturbed, good_baseline(), "replace must hit");
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, 10.0); // absurd tolerance: still fails
+        assert!(
+            v.iter().any(|m| m.contains("bit_identical is false")),
+            "expected a bit-identity violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn missing_serve_section_fails_the_gate() {
+        let base = good_baseline();
+        let start = base.find("  \"serve_throughput\":").unwrap();
+        let end = base[start..].find("]},\n").unwrap() + start + 4;
+        let mut perturbed = base.clone();
+        perturbed.replace_range(start..end, "");
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, DEFAULT_TOLERANCE);
+        assert!(
+            v.iter().any(|m| m.contains("no serve_throughput rows")),
             "expected a missing-section violation, got: {v:?}"
         );
     }

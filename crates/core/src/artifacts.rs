@@ -1,0 +1,293 @@
+//! Versioned compiled-artifact cache for reentrant sampling services.
+//!
+//! Compiling a sampling circuit touches three kinds of pure, reusable
+//! artifacts that were historically rebuilt on every call:
+//!
+//! * the register **layouts** (whose `uniform_anchor` state table — the
+//!   `F|0⟩ = |π⟩` preparation — is the expensive part, cached in an
+//!   `Arc<OnceLock<…>>` shared by clones);
+//! * the per-machine **count tables** `c_{ij}` used by every `OracleAdd`
+//!   (and the fused per-element **total-count table** `Σ_j c_{ij}`);
+//! * the **optimized programs** from [`crate::circuit`].
+//!
+//! [`CompiledArtifacts`] bundles all of them for one dataset version;
+//! [`ArtifactCache`] keys bundles by [`DatasetSnapshot::version`] and
+//! retires stale versions as updates land. Everything here is
+//! deterministic: no clocks, no randomized containers — eviction is purely
+//! version-ordered (keep the newest [`ArtifactCache::KEEP`] versions), and
+//! hit/miss accounting is exact.
+
+use crate::circuit::{
+    compile_parallel_with_tables, compile_sequential_with_tables, machine_count_tables,
+};
+use crate::layouts::{ParallelLayout, SequentialLayout};
+use crate::snapshot::DatasetSnapshot;
+use dqs_db::DistributedDataset;
+use dqs_sim::{Program, StateTable};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Every pure compile-time artifact for one dataset version.
+///
+/// Layouts and count tables are built eagerly (they are cheap relative to a
+/// single sampling run and every consumer needs them); the optimized
+/// programs are built lazily on first use because the estimate-only service
+/// path never executes them.
+#[derive(Debug)]
+pub struct CompiledArtifacts {
+    version: u64,
+    dataset: Arc<DistributedDataset>,
+    seq_layout: SequentialLayout,
+    par_layout: ParallelLayout,
+    machine_tables: Vec<Arc<Vec<u64>>>,
+    total_table: Arc<Vec<u64>>,
+    seq_program: OnceLock<Arc<Program>>,
+    par_program: OnceLock<Arc<Program>>,
+}
+
+impl CompiledArtifacts {
+    /// Compiles the eager artifacts for a snapshot.
+    pub fn build(snapshot: &DatasetSnapshot) -> Self {
+        let dataset = snapshot.dataset();
+        let machine_tables = machine_count_tables(dataset);
+        let total_table = Arc::new(dataset.total_count_table());
+        Self {
+            version: snapshot.version(),
+            dataset: snapshot.dataset_arc().clone(),
+            seq_layout: SequentialLayout::for_dataset(dataset),
+            par_layout: ParallelLayout::for_dataset(dataset),
+            machine_tables,
+            total_table,
+            seq_program: OnceLock::new(),
+            par_program: OnceLock::new(),
+        }
+    }
+
+    /// The dataset version these artifacts were compiled from.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// The dataset these artifacts were compiled from.
+    pub fn dataset(&self) -> &DistributedDataset {
+        &self.dataset
+    }
+
+    /// The shared handle to the compiled-from dataset.
+    pub fn dataset_arc(&self) -> &Arc<DistributedDataset> {
+        &self.dataset
+    }
+
+    /// The sequential register layout. Clones share the cached
+    /// `uniform_anchor` state table with this bundle.
+    pub fn sequential_layout(&self) -> &SequentialLayout {
+        &self.seq_layout
+    }
+
+    /// The parallel register layout (anchor shared as above).
+    pub fn parallel_layout(&self) -> &ParallelLayout {
+        &self.par_layout
+    }
+
+    /// The `|π⟩` anchor state for the sequential layout, built at most once
+    /// per dataset version no matter how many requests run against it.
+    pub fn sequential_anchor(&self) -> &StateTable {
+        self.seq_layout.uniform_anchor()
+    }
+
+    /// The `|π⟩` anchor state for the parallel layout.
+    pub fn parallel_anchor(&self) -> &StateTable {
+        self.par_layout.uniform_anchor()
+    }
+
+    /// The per-machine count tables `c_{ij}`, indexed `[machine][element]`,
+    /// shared by every compiled `OracleAdd` instruction.
+    pub fn machine_tables(&self) -> &[Arc<Vec<u64>>] {
+        &self.machine_tables
+    }
+
+    /// The fused per-element total-count table `Σ_j c_{ij}`.
+    pub fn total_table(&self) -> &Arc<Vec<u64>> {
+        &self.total_table
+    }
+
+    /// The optimized sequential sampling program, compiled on first use
+    /// from the shared count tables.
+    pub fn sequential_program(&self) -> &Arc<Program> {
+        self.seq_program.get_or_init(|| {
+            Arc::new(
+                compile_sequential_with_tables(
+                    &self.dataset,
+                    &self.seq_layout,
+                    &self.machine_tables,
+                )
+                .optimize(),
+            )
+        })
+    }
+
+    /// The optimized parallel sampling program, compiled on first use.
+    pub fn parallel_program(&self) -> &Arc<Program> {
+        self.par_program.get_or_init(|| {
+            Arc::new(
+                compile_parallel_with_tables(&self.dataset, &self.par_layout, &self.machine_tables)
+                    .optimize(),
+            )
+        })
+    }
+}
+
+/// Exact hit/miss/occupancy accounting for an [`ArtifactCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from an existing bundle.
+    pub hits: u64,
+    /// Lookups that compiled a fresh bundle.
+    pub misses: u64,
+    /// Versions currently resident.
+    pub entries: usize,
+}
+
+/// A deterministic, version-keyed cache of [`CompiledArtifacts`].
+///
+/// Lookup is by [`DatasetSnapshot::version`] with an `Arc` identity check
+/// on the dataset, so a bundle can never serve a snapshot it was not
+/// compiled from — a version collision across snapshot lineages recompiles
+/// (and recounts as a miss) instead of returning stale tables. Eviction
+/// keeps the [`Self::KEEP`] newest versions: the live one plus one
+/// predecessor for requests still draining against the pre-update snapshot.
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    entries: Mutex<BTreeMap<u64, Arc<CompiledArtifacts>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// Number of newest dataset versions retained.
+    pub const KEEP: usize = 2;
+
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the artifact bundle for `snapshot`, compiling and caching it
+    /// on first sight of the snapshot's version.
+    pub fn artifacts(&self, snapshot: &DatasetSnapshot) -> Arc<CompiledArtifacts> {
+        let mut entries = self.entries.lock();
+        if let Some(found) = entries.get(&snapshot.version()) {
+            if Arc::ptr_eq(found.dataset_arc(), snapshot.dataset_arc()) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return found.clone();
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let built = Arc::new(CompiledArtifacts::build(snapshot));
+        entries.insert(snapshot.version(), built.clone());
+        while entries.len() > Self::KEEP {
+            entries.pop_first();
+        }
+        built
+    }
+
+    /// Current hit/miss/occupancy counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.entries.lock().len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_db::{Multiset, UpdateLog, UpdateOp};
+
+    fn snapshot() -> DatasetSnapshot {
+        DatasetSnapshot::new(
+            DistributedDataset::new(
+                8,
+                4,
+                vec![
+                    Multiset::from_counts([(0, 2), (1, 1)]),
+                    Multiset::from_counts([(1, 1), (6, 3)]),
+                ],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn repeat_lookups_hit_and_share_everything() {
+        let cache = ArtifactCache::new();
+        let snap = snapshot();
+        let a = cache.artifacts(&snap);
+        let b = cache.artifacts(&snap);
+        assert!(Arc::ptr_eq(&a, &b));
+        // Anchors and programs are built once and shared through the bundle.
+        let anchor_a: *const StateTable = a.sequential_anchor();
+        let anchor_b: *const StateTable = b.sequential_anchor();
+        assert_eq!(anchor_a, anchor_b);
+        assert!(Arc::ptr_eq(a.sequential_program(), b.sequential_program()));
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn updates_invalidate_and_eviction_keeps_the_newest_versions() {
+        let cache = ArtifactCache::new();
+        let mut snap = snapshot();
+        let first = cache.artifacts(&snap);
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(0, 3));
+        snap = snap.with_updates(&log);
+        let second = cache.artifacts(&snap);
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(second.version(), 1);
+        assert_eq!(second.dataset().multiplicity(3, 0), 1);
+        // A third version evicts version 0 but keeps 1 and 2.
+        snap = snap.with_updates(&log);
+        let third = cache.artifacts(&snap);
+        assert_eq!(third.version(), 2);
+        let stats = cache.stats();
+        assert_eq!(stats.entries, ArtifactCache::KEEP);
+        assert_eq!(stats.misses, 3);
+    }
+
+    #[test]
+    fn version_collisions_across_lineages_never_serve_stale_tables() {
+        let cache = ArtifactCache::new();
+        let a = snapshot();
+        cache.artifacts(&a);
+        // A distinct snapshot lineage at the same version number.
+        let b = snapshot();
+        let bundle = cache.artifacts(&b);
+        assert!(Arc::ptr_eq(bundle.dataset_arc(), b.dataset_arc()));
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn compiled_programs_match_the_direct_compile_paths() {
+        let snap = snapshot();
+        let arts = CompiledArtifacts::build(&snap);
+        let direct = crate::circuit::compile_sequential_optimized(snap.dataset());
+        assert_eq!(arts.sequential_program().shape(), direct.shape());
+        let direct_par = crate::circuit::compile_parallel_optimized(snap.dataset());
+        assert_eq!(arts.parallel_program().shape(), direct_par.shape());
+        assert_eq!(
+            arts.total_table().as_slice(),
+            snap.dataset().total_count_table().as_slice()
+        );
+    }
+}

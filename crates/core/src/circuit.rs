@@ -13,11 +13,29 @@
 //! * the circuit is exactly invertible (`p⁻¹ ∘ p = I`).
 
 use crate::amplify::{AaPlan, FinalRotation};
-use crate::layouts::SequentialLayout;
+use crate::layouts::{ParallelLayout, SequentialLayout};
 use dqs_db::DistributedDataset;
 use dqs_sim::gates::{dft, ry_by_cos_sin};
 use dqs_sim::{Instruction, Program};
 use std::sync::Arc;
+
+/// Builds the per-machine count tables `c_{ij}` (indexed
+/// `[machine][element]`) that every compiled `OracleAdd` shares. This is
+/// the single construction site for the tables both [`compile_sequential`]
+/// and [`compile_parallel`] consume; services cache the result per dataset
+/// version in [`crate::artifacts::CompiledArtifacts`] so repeated compiles
+/// share one build.
+pub fn machine_count_tables(dataset: &DistributedDataset) -> Vec<Arc<Vec<u64>>> {
+    (0..dataset.num_machines())
+        .map(|j| {
+            Arc::new(
+                (0..dataset.universe())
+                    .map(|i| dataset.multiplicity(i, j))
+                    .collect::<Vec<u64>>(),
+            )
+        })
+        .collect()
+}
 
 /// Compiles the full sequential sampling circuit for a dataset.
 ///
@@ -25,6 +43,17 @@ use std::sync::Arc;
 /// exactly `|ψ, 0, 0⟩`.
 pub fn compile_sequential(dataset: &DistributedDataset) -> Program {
     let layout = SequentialLayout::for_dataset(dataset);
+    let tables = machine_count_tables(dataset);
+    compile_sequential_with_tables(dataset, &layout, &tables)
+}
+
+/// [`compile_sequential`] against a caller-supplied layout and shared count
+/// tables — the reentrant compile path: nothing is rebuilt per call.
+pub fn compile_sequential_with_tables(
+    dataset: &DistributedDataset,
+    layout: &SequentialLayout,
+    tables: &[Arc<Vec<u64>>],
+) -> Program {
     let plan = AaPlan::for_success_probability(dataset.params().initial_success_probability());
     let mut p = Program::new(layout.layout.clone());
 
@@ -34,8 +63,8 @@ pub fn compile_sequential(dataset: &DistributedDataset) -> Program {
         matrix: dft(dataset.universe()),
     });
 
-    let d_program = compile_distributing(dataset, &layout, false);
-    let d_dagger = compile_distributing(dataset, &layout, true);
+    let d_program = compile_distributing_with_tables(dataset, layout, false, tables);
+    let d_dagger = compile_distributing_with_tables(dataset, layout, true, tables);
     let anchor = layout.uniform_anchor();
     let pi = std::f64::consts::PI;
 
@@ -90,20 +119,21 @@ pub fn compile_distributing(
     layout: &SequentialLayout,
     inverse: bool,
 ) -> Program {
-    let n = dataset.num_machines();
+    let tables = machine_count_tables(dataset);
+    compile_distributing_with_tables(dataset, layout, inverse, &tables)
+}
+
+/// [`compile_distributing`] against shared count tables, so `D` and `D†`
+/// (and every batch member compiled after them) reuse one table build.
+pub fn compile_distributing_with_tables(
+    dataset: &DistributedDataset,
+    layout: &SequentialLayout,
+    inverse: bool,
+    tables: &[Arc<Vec<u64>>],
+) -> Program {
     let nu = dataset.capacity();
     let modulus = nu + 1;
     let mut p = Program::new(layout.layout.clone());
-
-    let tables: Vec<Arc<Vec<u64>>> = (0..n)
-        .map(|j| {
-            Arc::new(
-                (0..dataset.universe())
-                    .map(|i| dataset.multiplicity(i, j))
-                    .collect::<Vec<u64>>(),
-            )
-        })
-        .collect();
 
     for (j, table) in tables.iter().enumerate() {
         p.push(Instruction::OracleAdd {
@@ -153,20 +183,21 @@ pub fn compile_distributing(
 /// instructions. Running it from all-zeros produces `|ψ, 0, 0, 0…⟩`;
 /// [`dqs_sim::Program::parallel_rounds`] gives the static round count.
 pub fn compile_parallel(dataset: &DistributedDataset) -> Program {
-    let layout = crate::layouts::ParallelLayout::for_dataset(dataset);
+    let layout = ParallelLayout::for_dataset(dataset);
+    let tables = machine_count_tables(dataset);
+    compile_parallel_with_tables(dataset, &layout, &tables)
+}
+
+/// [`compile_parallel`] against a caller-supplied layout and shared count
+/// tables — the reentrant compile path for the parallel model.
+pub fn compile_parallel_with_tables(
+    dataset: &DistributedDataset,
+    layout: &ParallelLayout,
+    tables: &[Arc<Vec<u64>>],
+) -> Program {
     let plan = AaPlan::for_success_probability(dataset.params().initial_success_probability());
     let nu = dataset.capacity();
     let modulus = nu + 1;
-    let n = dataset.num_machines();
-    let tables: Vec<Arc<Vec<u64>>> = (0..n)
-        .map(|j| {
-            Arc::new(
-                (0..dataset.universe())
-                    .map(|i| dataset.multiplicity(i, j))
-                    .collect::<Vec<u64>>(),
-            )
-        })
-        .collect();
 
     // Lemma 4.4's |i,s⟩ ↦ |i, s ± c_i⟩ block: broadcast, O, fold, O†, uncopy.
     let load_count = |subtract: bool| -> Program {
@@ -181,7 +212,7 @@ pub fn compile_parallel(dataset: &DistributedDataset) -> Program {
             elem: layout.anc_elem.clone(),
             count: layout.anc_count.clone(),
             flag: layout.anc_flag.clone(),
-            tables: tables.clone(),
+            tables: tables.to_vec(),
             modulus,
             inverse: false,
         });
@@ -195,7 +226,7 @@ pub fn compile_parallel(dataset: &DistributedDataset) -> Program {
             elem: layout.anc_elem.clone(),
             count: layout.anc_count.clone(),
             flag: layout.anc_flag.clone(),
-            tables: tables.clone(),
+            tables: tables.to_vec(),
             modulus,
             inverse: true,
         });

@@ -292,7 +292,7 @@ fn run_degraded<S, L, D>(
     sim_layout: Layout,
     elem: usize,
     flag: usize,
-    anchor: StateTable,
+    anchor: &StateTable,
     mut apply_d: D,
 ) -> Result<DegradedRun<S, L>, SampleError>
 where
@@ -341,10 +341,10 @@ where
             dqs_obs::names::AA_PLAN_ITERATIONS,
             plan.total_iterations() as i64,
         );
-        let mut state = S::from_table(&anchor);
+        let mut state = S::from_table(anchor);
         let outcome = (|| -> Result<(), OracleError> {
             apply_d(&mut state, false, &survivors, &faulty, &mut session)?;
-            try_execute_plan(&mut state, &plan, &anchor, flag, |s, inv| {
+            try_execute_plan(&mut state, &plan, anchor, flag, |s, inv| {
                 apply_d(s, inv, &survivors, &faulty, &mut session)
             })
         })();
@@ -401,10 +401,38 @@ pub fn sequential_sample_degraded<S: QuantumState>(
     policy: &RetryPolicy,
 ) -> Result<DegradedRun<S, SequentialLayout>, SampleError> {
     let layout = SequentialLayout::for_dataset(dataset);
+    sequential_degraded_with_layout(dataset, fault_plan, policy, layout)
+}
+
+/// [`sequential_sample_degraded`] against pre-compiled shared artifacts:
+/// layout and anchor come from the bundle, nothing is rebuilt or
+/// deep-cloned per call. Bit-identical to [`sequential_sample_degraded`].
+pub fn sequential_sample_degraded_cached<S: QuantumState>(
+    artifacts: &crate::artifacts::CompiledArtifacts,
+    fault_plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> Result<DegradedRun<S, SequentialLayout>, SampleError> {
+    sequential_degraded_with_layout(
+        artifacts.dataset(),
+        fault_plan,
+        policy,
+        artifacts.sequential_layout().clone(),
+    )
+}
+
+fn sequential_degraded_with_layout<S: QuantumState>(
+    dataset: &DistributedDataset,
+    fault_plan: &FaultPlan,
+    policy: &RetryPolicy,
+    layout: SequentialLayout,
+) -> Result<DegradedRun<S, SequentialLayout>, SampleError> {
     let d = DistributingOperator::new(dataset.capacity());
     let modulus = dataset.capacity() + 1;
     let (elem, count, flag) = (layout.elem, layout.count, layout.flag);
-    let anchor = layout.uniform_anchor().clone();
+    // A cheap handle clone shares the cached anchor table through the
+    // layout's internal `Arc<OnceLock<…>>` — no per-call deep copy — while
+    // `layout` itself moves into the run result.
+    let anchor_src = layout.clone();
     let sim_layout = layout.layout.clone();
     run_degraded(
         dataset,
@@ -414,7 +442,7 @@ pub fn sequential_sample_degraded<S: QuantumState>(
         sim_layout,
         elem,
         flag,
-        anchor,
+        anchor_src.uniform_anchor(),
         move |state: &mut S, inverse, survivors, faulty, session| {
             // Lemma 4.2 over the survivors: forward cascade ascending,
             // inverse cascade descending — 2·|survivors| charged probes.
@@ -439,10 +467,34 @@ pub fn parallel_sample_degraded<S: QuantumState>(
     policy: &RetryPolicy,
 ) -> Result<DegradedRun<S, ParallelLayout>, SampleError> {
     let layout = ParallelLayout::for_dataset(dataset);
+    parallel_degraded_with_layout(dataset, fault_plan, policy, layout)
+}
+
+/// [`parallel_sample_degraded`] against pre-compiled shared artifacts (see
+/// [`sequential_sample_degraded_cached`]).
+pub fn parallel_sample_degraded_cached<S: QuantumState>(
+    artifacts: &crate::artifacts::CompiledArtifacts,
+    fault_plan: &FaultPlan,
+    policy: &RetryPolicy,
+) -> Result<DegradedRun<S, ParallelLayout>, SampleError> {
+    parallel_degraded_with_layout(
+        artifacts.dataset(),
+        fault_plan,
+        policy,
+        artifacts.parallel_layout().clone(),
+    )
+}
+
+fn parallel_degraded_with_layout<S: QuantumState>(
+    dataset: &DistributedDataset,
+    fault_plan: &FaultPlan,
+    policy: &RetryPolicy,
+    layout: ParallelLayout,
+) -> Result<DegradedRun<S, ParallelLayout>, SampleError> {
     let d = DistributingOperator::new(dataset.capacity());
     let modulus = dataset.capacity() + 1;
     let (elem, count, flag) = (layout.elem, layout.count, layout.flag);
-    let anchor = layout.uniform_anchor().clone();
+    let anchor_src = layout.clone();
     let sim_layout = layout.layout.clone();
     run_degraded(
         dataset,
@@ -452,7 +504,7 @@ pub fn parallel_sample_degraded<S: QuantumState>(
         sim_layout,
         elem,
         flag,
-        anchor,
+        anchor_src.uniform_anchor(),
         move |state: &mut S, inverse, survivors, faulty, session| {
             let r1 = faulty.probe_round_machines(survivors, session)?; // load: O
             let _r2 = faulty.probe_round_machines(survivors, session)?; // load: O† (frozen to r1)

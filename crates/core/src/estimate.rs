@@ -20,7 +20,7 @@ use crate::distributing::DistributingOperator;
 use crate::error::SampleError;
 use crate::layouts::SequentialLayout;
 use dqs_db::{DistributedDataset, LedgerSnapshot, OracleSet, QueryLedger};
-use dqs_sim::{measure_register, QuantumState, SparseState};
+use dqs_sim::{measure_register, sample_outcome, QuantumState, SparseState};
 use rand::Rng;
 
 /// Result of estimating `M` by flag sampling.
@@ -90,9 +90,14 @@ pub fn estimate_total_count(
 /// The measured state `D|π,0,0⟩` depends only on the dataset — the per-shot
 /// randomness enters purely at measurement time. The first shot of the
 /// first tenant therefore prepares the state through the real instrumented
-/// path, and every other shot in the batch charges its `2n` queries and
-/// measures a clone: each tenant's ledger, event stream and estimate are
-/// bit-identical to a solo [`estimate_total_count`] call with the same RNG.
+/// path and snapshots its flag-register outcome distribution; every other
+/// shot in the batch charges its `2n` queries and draws the outcome
+/// directly from that table via [`dqs_sim::sample_outcome`], which consumes
+/// exactly the randomness [`dqs_sim::measure_register`] would. No state is
+/// cloned or evolved per shot — the replay shots are allocation-free (the
+/// gate bench asserts this through `dqs_sim::alloc_stats`) — yet each
+/// tenant's ledger, event stream and estimate are bit-identical to a solo
+/// [`estimate_total_count`] call with the same RNG.
 ///
 /// # Errors
 ///
@@ -114,9 +119,10 @@ pub fn estimate_total_count_batch<R: Rng>(
     }
     let layout = SequentialLayout::for_dataset(dataset);
     let d = DistributingOperator::new(dataset.capacity());
-    // Post-`D` probe state, built once on the first shot (through the real
-    // instrumented path) and cloned for every later shot in the batch.
-    let mut template: Option<SparseState> = None;
+    // Flag-register Born distribution of the post-`D` probe state, built
+    // once on the first shot (through the real instrumented path) and
+    // sampled from for every later shot in the batch.
+    let mut flag_probs: Option<Vec<f64>> = None;
 
     let mut runs = Vec::with_capacity(rngs.len());
     for rng in rngs.iter_mut() {
@@ -128,20 +134,22 @@ pub fn estimate_total_count_batch<R: Rng>(
         let mut zeros = 0u64;
         for _ in 0..shots {
             dqs_obs::counter(dqs_obs::names::ESTIMATE_SHOT, 1);
-            let mut state = if let Some(t) = template.as_ref() {
+            let flag = if let Some(probs) = flag_probs.as_ref() {
                 // Shared evolution: the shot is still billed its full `2n`
                 // queries (forward + inverse cascade) on this tenant's
-                // ledger, but the support pass is a clone.
+                // ledger, but the measurement replays against the shared
+                // probability table — no clone, no support pass.
                 oracles.charge_all_sequential();
                 oracles.charge_all_sequential();
-                t.clone()
+                sample_outcome(probs, rng)
             } else {
                 let mut s = SparseState::from_table(layout.uniform_anchor());
                 d.apply_sequential(&oracles, &mut s, &layout, false);
-                template = Some(s.clone());
-                s
+                let probs = s.register_probabilities(layout.flag);
+                let (flag, _) = measure_register(&mut s, layout.flag, rng);
+                flag_probs = Some(probs);
+                flag
             };
-            let (flag, _) = measure_register(&mut state, layout.flag, rng);
             zeros += u64::from(flag == 0);
         }
         dqs_obs::gauge(dqs_obs::names::ESTIMATE_ZEROS, zeros as i64);
@@ -159,6 +167,79 @@ pub fn estimate_total_count_batch<R: Rng>(
         });
     }
     Ok(runs)
+}
+
+/// Computes the flag-register Born distribution of the probe state
+/// `D|π,0,0⟩` — the dataset-only template input to
+/// [`replay_estimate_run`]. The `2n` preparation queries are charged to a
+/// throwaway ledger: this is template work a coalescing service performs
+/// once per group, outside any per-request recorder, before fanning the
+/// measurement replays out to its members. (If a recorder *is* ambient on
+/// the calling thread it will observe the preparation's oracle events, as
+/// it would for any instrumented call.)
+pub fn estimate_flag_probabilities(
+    dataset: &DistributedDataset,
+    layout: &SequentialLayout,
+) -> Vec<f64> {
+    let ledger = QueryLedger::new(dataset.num_machines());
+    let oracles = OracleSet::new(dataset, &ledger);
+    let d = DistributingOperator::new(dataset.capacity());
+    let mut s = SparseState::from_table(layout.uniform_anchor());
+    d.apply_sequential(&oracles, &mut s, layout, false);
+    s.register_probabilities(layout.flag)
+}
+
+/// Replays one tenant's estimation run against a precomputed flag
+/// distribution (from [`estimate_flag_probabilities`]), without evolving
+/// any quantum state.
+///
+/// Mirrors [`estimate_total_count`] bit for bit: the span structure, the
+/// per-shot `ESTIMATE_SHOT` counter and `2n`-query charges, the
+/// `ESTIMATE_ZEROS` gauge, the ledger snapshot, and — because
+/// [`dqs_sim::sample_outcome`] consumes exactly the randomness
+/// [`dqs_sim::measure_register`] would — the sampled outcomes themselves.
+/// The body makes no internal rayon calls, so services may run replays on
+/// worker threads under per-request recorders.
+///
+/// # Errors
+///
+/// Same contract as [`estimate_total_count`]:
+/// [`SampleError::InvalidShotBudget`] for `shots == 0` and
+/// [`SampleError::NoFlagZeroOutcomes`] when every shot lands on flag 1.
+pub fn replay_estimate_run(
+    dataset: &DistributedDataset,
+    flag_probs: &[f64],
+    shots: u64,
+    rng: &mut impl Rng,
+) -> Result<EstimationRun, SampleError> {
+    if shots == 0 {
+        return Err(SampleError::InvalidShotBudget);
+    }
+    let _run_span = dqs_obs::span(dqs_obs::names::SPAN_ESTIMATE);
+    let probe = dqs_obs::begin_probe(dataset.num_machines());
+    let ledger = QueryLedger::new(dataset.num_machines());
+    let oracles = OracleSet::new(dataset, &ledger);
+    let mut zeros = 0u64;
+    for _ in 0..shots {
+        dqs_obs::counter(dqs_obs::names::ESTIMATE_SHOT, 1);
+        oracles.charge_all_sequential();
+        oracles.charge_all_sequential();
+        let flag = sample_outcome(flag_probs, rng);
+        zeros += u64::from(flag == 0);
+    }
+    dqs_obs::gauge(dqs_obs::names::ESTIMATE_ZEROS, zeros as i64);
+    let queries = ledger.snapshot();
+    dqs_obs::debug_check(&probe, &queries.per_machine, queries.parallel_rounds);
+    if zeros == 0 {
+        return Err(SampleError::NoFlagZeroOutcomes { shots });
+    }
+    let a_hat = zeros as f64 / shots as f64;
+    Ok(EstimationRun {
+        estimated_total: a_hat * dataset.capacity() as f64 * dataset.universe() as f64,
+        estimated_a: a_hat,
+        shots,
+        queries,
+    })
 }
 
 /// Result of the adaptive (estimated-`M`) sampler.
@@ -332,6 +413,28 @@ mod tests {
             assert_eq!(run.shots, solo.shots);
             assert_eq!(run.queries, solo.queries);
         }
+    }
+
+    #[test]
+    fn replayed_estimation_matches_solo_bitwise() {
+        let ds = dataset();
+        let layout = SequentialLayout::for_dataset(&ds);
+        let probs = estimate_flag_probabilities(&ds, &layout);
+        for seed in 0..4u64 {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let solo = estimate_total_count(&ds, 150, &mut rng_a).expect("plenty of shots");
+            let replay = replay_estimate_run(&ds, &probs, 150, &mut rng_b).expect("plenty");
+            assert_eq!(replay.estimated_a, solo.estimated_a);
+            assert_eq!(replay.estimated_total, solo.estimated_total);
+            assert_eq!(replay.shots, solo.shots);
+            assert_eq!(replay.queries, solo.queries);
+        }
+        let mut rng = StdRng::seed_from_u64(7);
+        assert_eq!(
+            replay_estimate_run(&ds, &probs, 0, &mut rng).unwrap_err(),
+            SampleError::InvalidShotBudget
+        );
     }
 
     #[test]

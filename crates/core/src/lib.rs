@@ -30,11 +30,15 @@
 //!   surviving machines with an exact fidelity lower bound.
 //! * [`error`] — the crate-level [`SampleError`] returned by every
 //!   sampling entry point.
+//! * [`snapshot`] / [`artifacts`] — immutable versioned dataset handles and
+//!   the version-keyed compiled-artifact cache that make the samplers
+//!   reentrant for long-running services (`dqs-serve`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod amplify;
+pub mod artifacts;
 pub mod circuit;
 pub mod cost;
 pub mod degraded;
@@ -44,25 +48,33 @@ pub mod estimate;
 pub mod layouts;
 pub mod parallel;
 pub mod sequential;
+pub mod snapshot;
 
 pub use amplify::{try_execute_plan, AaPlan, FinalRotation};
+pub use artifacts::{ArtifactCache, CacheStats, CompiledArtifacts};
 pub use circuit::{
-    compile_distributing, compile_parallel, compile_parallel_optimized, compile_sequential,
-    compile_sequential_optimized,
+    compile_distributing, compile_distributing_with_tables, compile_parallel,
+    compile_parallel_optimized, compile_parallel_with_tables, compile_sequential,
+    compile_sequential_optimized, compile_sequential_with_tables, machine_count_tables,
 };
 pub use cost::{parallel_cost, sequential_cost, CostModel};
 pub use degraded::{
-    parallel_sample_degraded, sequential_sample_degraded, DegradedRun, RetryPolicy, RetrySession,
+    parallel_sample_degraded, parallel_sample_degraded_cached, sequential_sample_degraded,
+    sequential_sample_degraded_cached, DegradedRun, RetryPolicy, RetrySession,
 };
 pub use distributing::DistributingOperator;
 pub use error::SampleError;
 pub use estimate::{
-    estimate_total_count, estimate_total_count_batch, sequential_sample_adaptive, AdaptiveRun,
-    EstimationRun,
+    estimate_flag_probabilities, estimate_total_count, estimate_total_count_batch,
+    replay_estimate_run, sequential_sample_adaptive, AdaptiveRun, EstimationRun,
 };
 pub use layouts::{ParallelLayout, SequentialLayout};
-pub use parallel::{parallel_sample, parallel_sample_batch, ParallelRun};
-pub use sequential::{
-    sequential_sample, sequential_sample_batch, sequential_sample_with_realization,
-    sequential_sample_with_updates, SequentialRun,
+pub use parallel::{
+    parallel_sample, parallel_sample_batch, parallel_sample_cached, replay_parallel_run,
+    ParallelRun,
 };
+pub use sequential::{
+    replay_sequential_run, sequential_sample, sequential_sample_batch, sequential_sample_cached,
+    sequential_sample_with_realization, sequential_sample_with_updates, SequentialRun,
+};
+pub use snapshot::DatasetSnapshot;

@@ -39,13 +39,31 @@ pub struct ParallelRun<S> {
 pub fn parallel_sample<S: QuantumState>(
     dataset: &DistributedDataset,
 ) -> Result<ParallelRun<S>, SampleError> {
+    let layout = ParallelLayout::for_dataset(dataset);
+    parallel_sample_with_layout(dataset, layout)
+}
+
+/// [`parallel_sample`] against pre-compiled shared artifacts (see
+/// [`crate::sequential_sample_cached`]): the `3 + 3n`-register layout and
+/// its cached `|π⟩` anchor come from the bundle. Bit-identical to
+/// [`parallel_sample`] in state, ledger and obs stream.
+pub fn parallel_sample_cached<S: QuantumState>(
+    artifacts: &crate::artifacts::CompiledArtifacts,
+) -> Result<ParallelRun<S>, SampleError> {
+    parallel_sample_with_layout(artifacts.dataset(), artifacts.parallel_layout().clone())
+}
+
+/// The shared run body; the layout is caller-supplied for reentrancy.
+fn parallel_sample_with_layout<S: QuantumState>(
+    dataset: &DistributedDataset,
+    layout: ParallelLayout,
+) -> Result<ParallelRun<S>, SampleError> {
     let run_span = dqs_obs::span(dqs_obs::names::SPAN_PARALLEL);
     let probe = dqs_obs::begin_probe(dataset.num_machines());
     let ledger = QueryLedger::new(dataset.num_machines());
     let oracles = OracleSet::new(dataset, &ledger);
 
     let prepare_span = dqs_obs::span(dqs_obs::names::PHASE_PREPARE);
-    let layout = ParallelLayout::for_dataset(dataset);
     let params = dataset.params();
     let plan = AaPlan::for_success_probability(params.initial_success_probability());
     dqs_obs::gauge(
@@ -119,7 +137,11 @@ pub fn parallel_sample_batch<S: QuantumState>(
 /// the state. Mirrors [`parallel_sample`] event for event: each fused
 /// `D`/`D†` application costs 4 composite parallel rounds (Lemma 4.4), and
 /// each `Q` iteration applies `D` twice.
-fn replay_parallel_run<S: QuantumState>(
+///
+/// Public so coalescing services (`dqs-serve`) can fan a template run out
+/// to every batched request under per-request recorders; the body makes no
+/// internal rayon calls.
+pub fn replay_parallel_run<S: QuantumState>(
     dataset: &DistributedDataset,
     template: &ParallelRun<S>,
 ) -> ParallelRun<S> {

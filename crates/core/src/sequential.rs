@@ -56,7 +56,23 @@ pub fn sequential_sample_with_realization<S: QuantumState>(
 ) -> Result<SequentialRun<S>, SampleError> {
     let ledger = QueryLedger::new(dataset.num_machines());
     let oracles = OracleSet::new(dataset, &ledger);
-    run_with_oracles(dataset, &oracles, &ledger, None, fused)
+    let layout = SequentialLayout::for_dataset(dataset);
+    run_with_oracles(dataset, &oracles, &ledger, None, fused, layout)
+}
+
+/// [`sequential_sample`] against pre-compiled shared artifacts: the layout
+/// (and through it the cached `|π⟩` anchor) comes from the bundle instead
+/// of being rebuilt per call, so concurrent requests against one dataset
+/// version share every compile-time input. Ledger charges, obs events and
+/// the output state are bit-identical to [`sequential_sample`].
+pub fn sequential_sample_cached<S: QuantumState>(
+    artifacts: &crate::artifacts::CompiledArtifacts,
+) -> Result<SequentialRun<S>, SampleError> {
+    let dataset = artifacts.dataset();
+    let ledger = QueryLedger::new(dataset.num_machines());
+    let oracles = OracleSet::new(dataset, &ledger);
+    let layout = artifacts.sequential_layout().clone();
+    run_with_oracles(dataset, &oracles, &ledger, None, true, layout)
 }
 
 /// Runs the algorithm against a dataset with a dynamic-update log composed
@@ -68,15 +84,20 @@ pub fn sequential_sample_with_updates<S: QuantumState>(
 ) -> Result<SequentialRun<S>, SampleError> {
     let ledger = QueryLedger::new(dataset.num_machines());
     let oracles = OracleSet::with_updates(dataset, &ledger, updates);
-    run_with_oracles(dataset, &oracles, &ledger, Some(updates), true)
+    let layout = SequentialLayout::for_dataset(dataset);
+    run_with_oracles(dataset, &oracles, &ledger, Some(updates), true, layout)
 }
 
+/// The shared run body. The layout is caller-supplied (reentrancy: cached
+/// layouts share their `|π⟩` anchor across calls through the layout's
+/// internal `Arc<OnceLock<…>>`); everything else borrows the dataset.
 fn run_with_oracles<S: QuantumState>(
     dataset: &DistributedDataset,
     oracles: &OracleSet<'_>,
     ledger: &QueryLedger,
     updates: Option<&UpdateLog>,
     fused: bool,
+    layout: SequentialLayout,
 ) -> Result<SequentialRun<S>, SampleError> {
     let run_span = dqs_obs::span(dqs_obs::names::SPAN_SEQUENTIAL);
     let probe = dqs_obs::begin_probe(dataset.num_machines());
@@ -86,7 +107,6 @@ fn run_with_oracles<S: QuantumState>(
         Some(log) => log.apply_to(dataset),
         None => dataset.clone(),
     };
-    let layout = SequentialLayout::for_dataset(dataset);
     let params = effective.params();
     let plan = AaPlan::for_success_probability(params.initial_success_probability());
     dqs_obs::gauge(
@@ -165,14 +185,19 @@ pub fn sequential_sample_batch<S: QuantumState>(
 
 /// Charges and instruments one tenant's run without re-evolving the state.
 ///
-/// Mirrors [`run_with_oracles`] (fused realization, no updates) event for
+/// Mirrors `run_with_oracles` (fused realization, no updates) event for
 /// event: the span structure, the plan gauge, the `AA_ITERATION` counters,
 /// the per-`D` oracle charges (`2n` sequential queries each) and the
 /// fidelity metric all land in the same order on a fresh ledger/probe, so
 /// the resulting snapshot and recorder stream are indistinguishable from a
 /// solo run's. The state itself is cloned from the template — legitimate
 /// because the circuit is deterministic and oblivious to the tenant.
-fn replay_sequential_run<S: QuantumState>(
+///
+/// Public so coalescing services (`dqs-serve`) can fan a template run out
+/// to every batched request under per-request recorders; the body makes no
+/// internal rayon calls, so replays are safe to run on worker threads with
+/// thread-local recorder stacks.
+pub fn replay_sequential_run<S: QuantumState>(
     dataset: &DistributedDataset,
     template: &SequentialRun<S>,
 ) -> SequentialRun<S> {

@@ -56,7 +56,10 @@ fn sequential_batch_event_stream_matches_b_solo_runs() {
     );
     assert_eq!(rec_batch.counters(), rec_solo.counters());
     for (run, solo) in batch.iter().zip(&solos) {
-        assert_eq!(run.state.to_table().distance_sqr(&solo.state.to_table()), 0.0);
+        assert_eq!(
+            run.state.to_table().distance_sqr(&solo.state.to_table()),
+            0.0
+        );
         assert_eq!(run.queries, solo.queries);
         assert_eq!(run.fidelity.to_bits(), solo.fidelity.to_bits());
     }
@@ -80,7 +83,10 @@ fn parallel_batch_event_stream_matches_b_solo_runs() {
     );
     assert_eq!(rec_batch.counters(), rec_solo.counters());
     for (run, solo) in batch.iter().zip(&solos) {
-        assert_eq!(run.state.to_table().distance_sqr(&solo.state.to_table()), 0.0);
+        assert_eq!(
+            run.state.to_table().distance_sqr(&solo.state.to_table()),
+            0.0
+        );
         assert_eq!(run.queries, solo.queries);
         assert_eq!(run.fidelity.to_bits(), solo.fidelity.to_bits());
     }
@@ -112,7 +118,10 @@ fn estimation_batch_event_stream_matches_b_solo_runs() {
     assert_eq!(rec_batch.counters(), rec_solo.counters());
     for (run, solo) in batch.iter().zip(&solos) {
         assert_eq!(run.estimated_a.to_bits(), solo.estimated_a.to_bits());
-        assert_eq!(run.estimated_total.to_bits(), solo.estimated_total.to_bits());
+        assert_eq!(
+            run.estimated_total.to_bits(),
+            solo.estimated_total.to_bits()
+        );
         assert_eq!(run.queries, solo.queries);
     }
 }

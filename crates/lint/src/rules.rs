@@ -14,8 +14,14 @@ use crate::lexer::{lex, Kind, Lexed};
 /// Crates whose runs must be bit-for-bit reproducible (Theorems 5.1/5.2
 /// only validate against deterministic executions). `dqs-obs` and
 /// `dqs-bench` keep wall-clock timing in side-tables and are exempt.
-pub const DETERMINISTIC_CRATES: &[&str] =
-    &["dqs-core", "dqs-db", "dqs-sim", "dqs-math", "dqs-adversary"];
+pub const DETERMINISTIC_CRATES: &[&str] = &[
+    "dqs-core",
+    "dqs-db",
+    "dqs-sim",
+    "dqs-math",
+    "dqs-adversary",
+    "dqs-serve",
+];
 
 /// Crates exempt from the panic-hygiene rule: the experiment harness is
 /// top-level binary code where aborting on a broken invariant is the
@@ -100,6 +106,7 @@ pub fn crate_dir_to_name(dir: &str) -> &str {
         "baselines" => "dqs-baselines",
         "workloads" => "dqs-workloads",
         "lint" => "dqs-lint",
+        "serve" => "dqs-serve",
         other => other,
     }
 }

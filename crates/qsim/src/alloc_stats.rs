@@ -1,0 +1,50 @@
+//! Cheap allocation-behavior observability for the sparse backend.
+//!
+//! The workspace forbids `unsafe_code`, so a counting `#[global_allocator]`
+//! is off the table. Instead the hot *semantic* allocation event — cloning
+//! a packed sparse state, which deep-copies the whole `keys`/`re`/`im`
+//! support — is counted through a process-wide relaxed atomic. The gate
+//! bench asserts on deltas of this counter to pin "the batched estimate
+//! path performs no per-shot state clones" as a regression-checked
+//! invariant rather than a comment.
+//!
+//! The counter is monotonically increasing and process-global; callers
+//! measure by delta (`before`/`after` around the region of interest).
+//! Relaxed ordering suffices: the tests that read it only need counts from
+//! work that happened-before the read on the same thread or through the
+//! joins rayon already provides.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static PACKED_CLONES: AtomicU64 = AtomicU64::new(0);
+
+/// Total packed sparse-state deep clones since process start.
+pub fn packed_clone_count() -> u64 {
+    PACKED_CLONES.load(Ordering::Relaxed)
+}
+
+pub(crate) fn note_packed_clone() {
+    PACKED_CLONES.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::register::Layout;
+    use crate::sparse::SparseState;
+    use crate::state::QuantumState;
+
+    #[test]
+    fn cloning_a_packed_state_bumps_the_counter() {
+        let layout = Layout::builder().register("r", 8).build();
+        let s = SparseState::from_basis(layout, &[3]);
+        assert!(s.is_packed());
+        let before = packed_clone_count();
+        let _copy = s.clone();
+        let after = packed_clone_count();
+        assert!(
+            after > before,
+            "clone must be counted ({before} -> {after})"
+        );
+    }
+}

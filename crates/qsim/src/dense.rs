@@ -50,11 +50,35 @@ const SUPPORT_EPS_SQR: f64 = 1e-24;
 /// granularity floor that keeps per-task scratch allocations amortized.
 const PAR_CHUNK: usize = 4096;
 
+/// Reusable workspace for the permutation pass. As with the sparse
+/// backend's `Arena`, the contents are meaningless between operations —
+/// only the allocations are kept, so an amplification schedule stops
+/// allocating once the buffers reach the joint dimension. Skipped by
+/// `Clone`: it is transient workspace, not state.
+#[derive(Default)]
+struct DenseScratch {
+    /// Image index of every live amplitude (phase 1 of the permutation).
+    targets: Vec<usize>,
+    /// Scatter destination (phase 2); swapped wholesale into `amps`.
+    out: Vec<Complex64>,
+}
+
 /// A dense pure state: every amplitude stored.
-#[derive(Clone)]
 pub struct DenseState {
     layout: Layout,
     amps: Vec<Complex64>,
+    scratch: DenseScratch,
+}
+
+impl Clone for DenseState {
+    fn clone(&self) -> Self {
+        // The scratch is transient workspace — don't copy it.
+        Self {
+            layout: self.layout.clone(),
+            amps: self.amps.clone(),
+            scratch: DenseScratch::default(),
+        }
+    }
 }
 
 impl DenseState {
@@ -69,6 +93,7 @@ impl DenseState {
         Self {
             layout,
             amps: vec![Complex64::ZERO; dim],
+            scratch: DenseScratch::default(),
         }
     }
 
@@ -85,7 +110,11 @@ impl DenseState {
             layout.dense_dim(),
             "amplitude vector length must equal the joint dimension"
         );
-        Self { layout, amps }
+        Self {
+            layout,
+            amps,
+            scratch: DenseScratch::default(),
+        }
     }
 }
 
@@ -130,9 +159,11 @@ impl QuantumState for DenseState {
         // Sentinel for amplitudes outside the support — the closure is never
         // invoked for them (matching the serial implementation's skip).
         const SKIP: usize = usize::MAX;
-        // Phase 1 (parallel): image index of every live amplitude.
-        let targets: Vec<usize> = self
-            .amps
+        // Phase 1 (parallel): image index of every live amplitude, collected
+        // into the reused scratch buffer so a gate sequence stops allocating
+        // after the first pass.
+        let mut targets = std::mem::take(&mut self.scratch.targets);
+        self.amps
             .par_iter()
             .enumerate()
             .map_init(
@@ -147,11 +178,15 @@ impl QuantumState for DenseState {
                     layout.encode(basis)
                 },
             )
-            .collect();
+            .collect_into_vec(&mut targets);
         // Phase 2 (serial scatter): each target is written at most once for
         // a bijection, so this is a straight copy; kept serial to avoid
         // `unsafe` and to give the injectivity check a deterministic order.
-        let mut out = vec![Complex64::ZERO; self.amps.len()];
+        // The destination is the scratch double buffer, swapped in at the
+        // end; the old amplitude vector becomes the next call's buffer.
+        let out = &mut self.scratch.out;
+        out.clear();
+        out.resize(self.amps.len(), Complex64::ZERO);
         for (idx, &j) in targets.iter().enumerate() {
             if j == SKIP {
                 continue;
@@ -162,7 +197,8 @@ impl QuantumState for DenseState {
             );
             out[j] = self.amps[idx];
         }
-        self.amps = out;
+        std::mem::swap(&mut self.amps, &mut self.scratch.out);
+        self.scratch.targets = targets;
         debug_check_norm(self, "apply_permutation");
     }
 

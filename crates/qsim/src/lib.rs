@@ -44,6 +44,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc_stats;
 pub mod batch;
 pub mod dense;
 pub mod fxhash;
@@ -58,7 +59,7 @@ pub mod table;
 
 pub use batch::BatchedState;
 pub use dense::DenseState;
-pub use measure::{coherent_copy, fidelity_after_measurement, measure_register};
+pub use measure::{coherent_copy, fidelity_after_measurement, measure_register, sample_outcome};
 pub use program::{Instruction, Program};
 pub use register::{Layout, LayoutBuilder, Register};
 pub use sparse::SparseState;

@@ -27,6 +27,24 @@ pub fn measure_register<S: QuantumState>(
     rng: &mut impl Rng,
 ) -> (u64, f64) {
     let probs = state.register_probabilities(reg);
+    let outcome = sample_outcome(&probs, rng) as usize;
+    let p = state.filter_amplitudes(|b| b[reg] as usize == outcome);
+    state.renormalize();
+    (outcome as u64, p)
+}
+
+/// Samples an outcome index from an (unnormalized) probability table with
+/// the Born rule — the pure sampling half of [`measure_register`], split
+/// out so callers that only need the outcome (e.g. replaying a measurement
+/// against a precomputed probability table) can skip the projection while
+/// consuming **exactly** the same randomness: one `rng.gen::<f64>()` draw
+/// and the same cumulative scan, so a replay is bit-identical to the
+/// measurement it mirrors.
+///
+/// # Panics
+///
+/// Panics if the table's total mass is ≤ 1e-12 (measuring the zero vector).
+pub fn sample_outcome(probs: &[f64], rng: &mut impl Rng) -> u64 {
     let total: f64 = probs.iter().sum();
     assert!(total > 1e-12, "measuring the zero vector");
     let mut u = rng.gen::<f64>() * total;
@@ -38,9 +56,7 @@ pub fn measure_register<S: QuantumState>(
         }
         u -= p;
     }
-    let p = state.filter_amplitudes(|b| b[reg] as usize == outcome);
-    state.renormalize();
-    (outcome as u64, p)
+    outcome as u64
 }
 
 /// The purifying unitary of Lemma 5.3 for a register-valued measurement:
@@ -150,6 +166,21 @@ mod tests {
         }
         let freq = ones as f64 / trials as f64;
         assert!((freq - 0.5).abs() < 0.05, "flag=1 frequency {freq}");
+    }
+
+    #[test]
+    fn sample_outcome_consumes_identical_randomness_to_measure_register() {
+        for seed in 0..16 {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let mut s = correlated();
+            let probs = s.register_probabilities(1);
+            let (v, _) = measure_register(&mut s, 1, &mut rng_a);
+            assert_eq!(sample_outcome(&probs, &mut rng_b), v);
+            // Both paths consumed exactly one draw: the streams stay in
+            // lockstep afterwards.
+            assert_eq!(rng_a.gen::<u64>(), rng_b.gen::<u64>());
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //!
 //! Passes that reorder the support (permutations, conditioned unitaries on
 //! a non-final register) restore key order with the radix-partitioned merge
-//! in [`crate::radix`] — partition by high key bits, sort partitions
+//! in `radix` — partition by high key bits, sort partitions
 //! independently in parallel, concatenate — instead of a global
 //! `par_sort_unstable_by_key`. A conditioned unitary whose target is the
 //! **last** register (`stride == 1` — the flag register in every sampler
@@ -133,6 +133,7 @@ impl Packed {
 
 impl Clone for Packed {
     fn clone(&self) -> Self {
+        crate::alloc_stats::note_packed_clone();
         // The arena is transient workspace — don't copy it.
         Self {
             keys: self.keys.clone(),
@@ -425,9 +426,8 @@ impl QuantumState for SparseState {
                 let d_pow2 = d_wide.is_power_of_two();
                 let d_shift = d_wide.trailing_zeros();
                 let bucket_of = |k: u128| if d_pow2 { k >> d_shift } else { k / d_wide };
-                let digit_of = |k: u128| {
-                    (if d_pow2 { k & (d_wide - 1) } else { k % d_wide }) as usize
-                };
+                let digit_of =
+                    |k: u128| (if d_pow2 { k & (d_wide - 1) } else { k % d_wide }) as usize;
                 // Unmasking a bucket id back to its base key divides by the
                 // stride; the stride-1 fast path (the flag register) skips
                 // that division entirely.
@@ -702,12 +702,11 @@ impl QuantumState for SparseState {
             Repr::Packed(p) => {
                 // Chunked parallel reduction; partials combined in chunk
                 // order so the sum is thread-count independent.
-                let partials: Vec<f64> = p
-                    .re
-                    .par_chunks(PAR_CHUNK)
-                    .zip(p.im.par_chunks(PAR_CHUNK))
-                    .map(|(cre, cim)| slices::norm_sqr_sum(cre, cim))
-                    .collect();
+                let partials: Vec<f64> =
+                    p.re.par_chunks(PAR_CHUNK)
+                        .zip(p.im.par_chunks(PAR_CHUNK))
+                        .map(|(cre, cim)| slices::norm_sqr_sum(cre, cim))
+                        .collect();
                 partials.iter().sum::<f64>().sqrt()
             }
             Repr::Boxed(map) => map.values().map(|a| a.norm_sqr()).sum::<f64>().sqrt(),

@@ -1,0 +1,172 @@
+//! Request descriptions and the deterministic batch-coalescing planner.
+//!
+//! The samplers are oblivious: two requests of the same kind against the
+//! same dataset version execute *identical* gate sequences and ledger
+//! schedules, differing only in tenant identity and (for estimation) the
+//! measurement seed. The planner exploits exactly that: requests are
+//! grouped by their `GroupKey` — kind plus any cost-shaping parameter
+//! (shot count) — and each group later runs one real template plus
+//! per-member replays.
+//!
+//! Planning is a pure function of the submitted request sequence and the
+//! two knobs (`max_pending` per tenant per wave, `max_batch` per group):
+//! requests are placed greedily, in submission order, into the earliest
+//! wave with room. No clocks, no queue timing — the same submission always
+//! produces the same waves, which is what makes "bit-identical to solo
+//! runs regardless of coalescing decisions" testable at all.
+
+use crate::tenant::TenantId;
+use std::collections::BTreeMap;
+
+/// What a request asks the service to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RequestKind {
+    /// One sequential sampling run (Theorem 4.3).
+    Sequential,
+    /// One parallel sampling run (Theorem 4.5).
+    Parallel,
+    /// One total-count estimation run with this shot budget, measured with
+    /// the deterministic RNG stream seeded by `seed`.
+    Estimate {
+        /// Prepare-and-measure shots.
+        shots: u64,
+        /// Seed of the tenant's `StdRng` measurement stream.
+        seed: u64,
+    },
+}
+
+/// One tenant request against the service's current dataset snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleRequest {
+    /// The requesting tenant.
+    pub tenant: TenantId,
+    /// What to run.
+    pub kind: RequestKind,
+}
+
+/// Coalescing compatibility class: requests with equal keys share one
+/// template execution. Seeds and tenants deliberately do NOT appear —
+/// they vary freely within a group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum GroupKey {
+    /// All sequential sampling requests coalesce together.
+    Sequential,
+    /// All parallel sampling requests coalesce together.
+    Parallel,
+    /// Estimation requests coalesce per shot budget (the budget shapes the
+    /// ledger schedule, so different budgets are different circuits).
+    Estimate { shots: u64 },
+}
+
+impl RequestKind {
+    pub(crate) fn group_key(&self) -> GroupKey {
+        match *self {
+            RequestKind::Sequential => GroupKey::Sequential,
+            RequestKind::Parallel => GroupKey::Parallel,
+            RequestKind::Estimate { shots, .. } => GroupKey::Estimate { shots },
+        }
+    }
+}
+
+/// One scheduler wave: disjoint groups, each executed as template +
+/// replays. Values are indices into the admitted-request list, in
+/// submission order.
+#[derive(Debug, Default)]
+pub(crate) struct Wave {
+    pub(crate) groups: BTreeMap<GroupKey, Vec<usize>>,
+}
+
+/// Greedy earliest-fit wave assignment. Each `(index, tenant, key)` triple
+/// lands in the first wave where the tenant holds fewer than `max_pending`
+/// requests and the group holds fewer than `max_batch` members; a new wave
+/// is opened when none fits. Deferral to a later wave is the service's
+/// backpressure: work is delayed, never dropped.
+pub(crate) fn plan_waves(
+    requests: &[(usize, TenantId, GroupKey)],
+    max_pending: usize,
+    max_batch: usize,
+) -> Vec<Wave> {
+    let max_pending = max_pending.max(1);
+    let max_batch = max_batch.max(1);
+    let mut waves: Vec<Wave> = Vec::new();
+    let mut tenant_counts: Vec<BTreeMap<TenantId, usize>> = Vec::new();
+    for &(index, tenant, key) in requests {
+        let slot = (0..waves.len()).find(|&w| {
+            tenant_counts[w].get(&tenant).copied().unwrap_or(0) < max_pending
+                && waves[w].groups.get(&key).map_or(0, Vec::len) < max_batch
+        });
+        let w = match slot {
+            Some(w) => w,
+            None => {
+                waves.push(Wave::default());
+                tenant_counts.push(BTreeMap::new());
+                waves.len() - 1
+            }
+        };
+        waves[w].groups.entry(key).or_default().push(index);
+        *tenant_counts[w].entry(tenant).or_insert(0) += 1;
+    }
+    waves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compatible_requests_coalesce_into_one_wave() {
+        let reqs: Vec<(usize, TenantId, GroupKey)> = (0..8)
+            .map(|i| {
+                let key = if i % 2 == 0 {
+                    GroupKey::Sequential
+                } else {
+                    GroupKey::Estimate { shots: 10 }
+                };
+                (i, (i % 4) as TenantId, key)
+            })
+            .collect();
+        let waves = plan_waves(&reqs, 8, 16);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].groups.len(), 2);
+        assert_eq!(waves[0].groups[&GroupKey::Sequential], vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn tenant_backpressure_defers_to_later_waves() {
+        // One tenant floods 5 requests with max_pending = 2 → 3 waves.
+        let reqs: Vec<(usize, TenantId, GroupKey)> =
+            (0..5).map(|i| (i, 7, GroupKey::Sequential)).collect();
+        let waves = plan_waves(&reqs, 2, 16);
+        assert_eq!(waves.len(), 3);
+        assert_eq!(waves[0].groups[&GroupKey::Sequential], vec![0, 1]);
+        assert_eq!(waves[1].groups[&GroupKey::Sequential], vec![2, 3]);
+        assert_eq!(waves[2].groups[&GroupKey::Sequential], vec![4]);
+    }
+
+    #[test]
+    fn max_batch_caps_group_size_without_dropping_work() {
+        let reqs: Vec<(usize, TenantId, GroupKey)> = (0..6)
+            .map(|i| (i, i as TenantId, GroupKey::Estimate { shots: 5 }))
+            .collect();
+        let waves = plan_waves(&reqs, 8, 4);
+        let total: usize = waves
+            .iter()
+            .flat_map(|w| w.groups.values())
+            .map(Vec::len)
+            .sum();
+        assert_eq!(total, 6);
+        assert_eq!(waves.len(), 2);
+        assert_eq!(waves[0].groups[&GroupKey::Estimate { shots: 5 }].len(), 4);
+    }
+
+    #[test]
+    fn different_shot_budgets_do_not_coalesce() {
+        let reqs = vec![
+            (0, 1, GroupKey::Estimate { shots: 5 }),
+            (1, 2, GroupKey::Estimate { shots: 9 }),
+        ];
+        let waves = plan_waves(&reqs, 8, 16);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].groups.len(), 2);
+    }
+}

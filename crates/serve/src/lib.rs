@@ -1,0 +1,31 @@
+//! `dqs-serve`: a concurrent multi-tenant sampling coordinator.
+//!
+//! The lower crates answer *one* sampling question at a time; this crate
+//! serves *many concurrent tenants* against one shared, versioned dataset
+//! with three pieces:
+//!
+//! * **Shared snapshots** — [`DatasetSnapshot`](dqs_core::DatasetSnapshot)s
+//!   are immutable and `Arc`-shared, so any number of in-flight requests
+//!   read the same dataset without copies or locks on the hot path.
+//! * **A compiled-artifact cache** — layouts, uniform-anchor state tables,
+//!   fused total-count tables, and optimized programs are compiled once
+//!   per dataset version and shared ([`dqs_core::ArtifactCache`]); an
+//!   update bumps the version and deterministically invalidates.
+//! * **A batch-coalescing scheduler** — compatible requests (same circuit,
+//!   different tenants/seeds) share one real template execution and get
+//!   per-request replays fanned out over rayon, with per-tenant admission
+//!   control and backpressure ([`SamplingService`]).
+//!
+//! The headline contract: every request's sample state, ledger snapshot,
+//! and obs event stream is **bit-identical to a solo run**, regardless of
+//! coalescing decisions or thread count.
+
+#![forbid(unsafe_code)]
+
+pub mod coalesce;
+pub mod service;
+pub mod tenant;
+
+pub use coalesce::{RequestKind, SampleRequest};
+pub use service::{RequestOutput, RequestReport, SamplingService, ServeConfig, ServeError};
+pub use tenant::{TenantId, TenantLedger, TenantPolicy};

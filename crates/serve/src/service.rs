@@ -1,0 +1,634 @@
+//! The long-running sampling coordinator.
+//!
+//! [`SamplingService`] owns a [`DatasetSnapshot`] behind a mutex, a
+//! version-keyed [`ArtifactCache`], and per-tenant ledgers.
+//! [`SamplingService::submit_all`] turns a slice of concurrent tenant
+//! requests into results in three deterministic steps:
+//!
+//! 1. **Admission** — serial, in submission order: each request's exact
+//!    predicted query cost (the samplers are oblivious, so cost is a
+//!    closed form) is checked against the tenant's budget; rejects are
+//!    typed [`ServeError::AdmissionDenied`], never silent drops.
+//! 2. **Coalescing** — admitted requests are planned into waves and
+//!    compatibility groups by `plan_waves`
+//!    (per-tenant backpressure via `max_pending`, group size via
+//!    `max_batch`).
+//! 3. **Execution** — per group, phase A runs one *real* template through
+//!    the cached artifacts on the coordinating thread, uninstrumented;
+//!    phase B fans every member (template included) out over rayon's
+//!    work-stealing pool as a **replay** under its own fresh
+//!    [`dqs_obs::Recorder`]. Replays re-charge a fresh per-request ledger
+//!    and re-emit the obs event stream call-for-call and clone the
+//!    template state, so every request's output, ledger snapshot, and
+//!    event stream is bit-identical to a solo run — regardless of
+//!    coalescing decisions or `RAYON_NUM_THREADS` (the replay bodies make
+//!    no internal rayon calls, so work-stealing can never interleave two
+//!    requests' thread-local recorder stacks).
+//!
+//! Finished requests are charged to their tenant's cumulative ledger
+//! serially in submission order. Results preserve submission order.
+
+use crate::coalesce::{plan_waves, GroupKey, RequestKind, SampleRequest};
+use crate::tenant::{TenantId, TenantLedger, TenantPolicy};
+use dqs_core::cost::{cost_model, CostModel};
+use dqs_core::{
+    estimate_flag_probabilities, parallel_sample_cached, replay_estimate_run, replay_parallel_run,
+    replay_sequential_run, sequential_sample_cached, ArtifactCache, CacheStats, CompiledArtifacts,
+    DatasetSnapshot, EstimationRun, ParallelRun, SampleError, SequentialRun,
+};
+use dqs_db::{DistributedDataset, LedgerSnapshot, UpdateLog};
+use dqs_obs::Recorder;
+use dqs_sim::SparseState;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Scheduler knobs. The defaults suit tens of concurrent requests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Maximum members per coalesced group (template + replays).
+    pub max_batch: usize,
+    /// Admission limits applied to every tenant.
+    pub tenant_policy: TenantPolicy,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 16,
+            tenant_policy: TenantPolicy::default(),
+        }
+    }
+}
+
+/// Service-level errors returned per request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The underlying sampler failed (e.g. an all-flag-1 estimate).
+    Sample(SampleError),
+    /// Admission control rejected the request: the tenant's exact spent
+    /// cost plus this request's predicted cost exceeds the budget.
+    AdmissionDenied {
+        /// The rejected tenant.
+        tenant: TenantId,
+        /// Predicted cost of the rejected request.
+        predicted: u64,
+        /// Queries already spent (plus reservations earlier in this
+        /// submission).
+        spent: u64,
+        /// The tenant's budget from [`TenantPolicy::max_queries`].
+        budget: u64,
+    },
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Sample(e) => write!(f, "sampling failed: {e}"),
+            ServeError::AdmissionDenied {
+                tenant,
+                predicted,
+                spent,
+                budget,
+            } => write!(
+                f,
+                "tenant {tenant} denied: {spent} spent + {predicted} predicted > budget {budget}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SampleError> for ServeError {
+    fn from(e: SampleError) -> Self {
+        ServeError::Sample(e)
+    }
+}
+
+/// The result payload of one request.
+#[derive(Clone)]
+pub enum RequestOutput {
+    /// A sequential sampling run.
+    Sequential(SequentialRun<SparseState>),
+    /// A parallel sampling run.
+    Parallel(ParallelRun<SparseState>),
+    /// A total-count estimation run.
+    Estimate(EstimationRun),
+}
+
+impl RequestOutput {
+    /// The exact per-request ledger snapshot.
+    pub fn queries(&self) -> &LedgerSnapshot {
+        match self {
+            RequestOutput::Sequential(r) => &r.queries,
+            RequestOutput::Parallel(r) => &r.queries,
+            RequestOutput::Estimate(r) => &r.queries,
+        }
+    }
+
+    /// The sequential run, if this was a sequential request.
+    pub fn as_sequential(&self) -> Option<&SequentialRun<SparseState>> {
+        match self {
+            RequestOutput::Sequential(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The parallel run, if this was a parallel request.
+    pub fn as_parallel(&self) -> Option<&ParallelRun<SparseState>> {
+        match self {
+            RequestOutput::Parallel(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The estimation run, if this was an estimation request.
+    pub fn as_estimate(&self) -> Option<&EstimationRun> {
+        match self {
+            RequestOutput::Estimate(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+/// One finished request: the output plus its private observability stream.
+#[derive(Clone)]
+pub struct RequestReport {
+    /// The requesting tenant.
+    pub tenant: TenantId,
+    /// What was requested.
+    pub kind: RequestKind,
+    /// The run result (state / estimate, ledger, fidelity…).
+    pub output: RequestOutput,
+    /// The request's own obs event stream — exactly what a solo run under
+    /// this recorder would have emitted.
+    pub recorder: Recorder,
+}
+
+/// A long-running, concurrency-safe sampling coordinator over one shared,
+/// versioned dataset.
+pub struct SamplingService {
+    snapshot: Mutex<DatasetSnapshot>,
+    cache: ArtifactCache,
+    config: ServeConfig,
+    tenants: Mutex<BTreeMap<TenantId, TenantLedger>>,
+    machines: usize,
+}
+
+impl SamplingService {
+    /// Creates a service over `dataset` (as snapshot version 0).
+    pub fn new(dataset: DistributedDataset, config: ServeConfig) -> Self {
+        let machines = dataset.num_machines();
+        Self {
+            snapshot: Mutex::new(DatasetSnapshot::new(dataset)),
+            cache: ArtifactCache::new(),
+            config,
+            tenants: Mutex::new(BTreeMap::new()),
+            machines,
+        }
+    }
+
+    /// The current dataset snapshot (cheap: one `Arc` bump).
+    pub fn snapshot(&self) -> DatasetSnapshot {
+        self.snapshot.lock().clone()
+    }
+
+    /// The current dataset version (0 until the first update).
+    pub fn dataset_version(&self) -> u64 {
+        self.snapshot.lock().version()
+    }
+
+    /// Applies an update log, bumping the dataset version; returns the new
+    /// version. In-flight requests keep the snapshot they started with;
+    /// subsequent submissions compile (and cache) fresh artifacts, so no
+    /// stale table can ever serve the new version.
+    pub fn apply_update(&self, updates: &UpdateLog) -> u64 {
+        let mut snap = self.snapshot.lock();
+        *snap = snap.with_updates(updates);
+        snap.version()
+    }
+
+    /// A tenant's cumulative exact charges, if it has finished requests.
+    pub fn tenant_ledger(&self, tenant: TenantId) -> Option<LedgerSnapshot> {
+        self.tenants.lock().get(&tenant).map(TenantLedger::snapshot)
+    }
+
+    /// Every tenant's cumulative charges.
+    pub fn tenant_ledgers(&self) -> BTreeMap<TenantId, LedgerSnapshot> {
+        self.tenants
+            .lock()
+            .iter()
+            .map(|(&t, l)| (t, l.snapshot()))
+            .collect()
+    }
+
+    /// Artifact-cache hit/miss/occupancy counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Runs a slice of concurrent requests to completion; results preserve
+    /// submission order. See the module docs for the admission →
+    /// coalescing → execution pipeline and the bit-identity contract.
+    pub fn submit_all(&self, requests: &[SampleRequest]) -> Vec<Result<RequestReport, ServeError>> {
+        let snapshot = self.snapshot();
+        let artifacts = self.cache.artifacts(&snapshot);
+        let model = cost_model(&artifacts.dataset().params());
+
+        let mut results: Vec<Option<Result<RequestReport, ServeError>>> =
+            requests.iter().map(|_| None).collect();
+
+        // Admission: serial, submission order, budget = exact charges so
+        // far + reservations made earlier in this very submission.
+        let mut admitted: Vec<(usize, TenantId, GroupKey)> = Vec::new();
+        {
+            let tenants = self.tenants.lock();
+            let mut reserved: BTreeMap<TenantId, u64> = BTreeMap::new();
+            for (i, req) in requests.iter().enumerate() {
+                let predicted = predicted_cost(&model, self.machines as u64, req.kind);
+                if let Some(budget) = self.config.tenant_policy.max_queries {
+                    let spent = tenants.get(&req.tenant).map_or(0, TenantLedger::total_cost)
+                        + reserved.get(&req.tenant).copied().unwrap_or(0);
+                    if spent + predicted > budget {
+                        results[i] = Some(Err(ServeError::AdmissionDenied {
+                            tenant: req.tenant,
+                            predicted,
+                            spent,
+                            budget,
+                        }));
+                        continue;
+                    }
+                }
+                *reserved.entry(req.tenant).or_insert(0) += predicted;
+                admitted.push((i, req.tenant, req.kind.group_key()));
+            }
+        }
+
+        let waves = plan_waves(
+            &admitted,
+            self.config.tenant_policy.max_pending,
+            self.config.max_batch,
+        );
+        for wave in &waves {
+            for (key, members) in &wave.groups {
+                self.run_group(&artifacts, requests, *key, members, &mut results);
+            }
+        }
+
+        results
+            .into_iter()
+            .map(|slot| match slot {
+                Some(r) => r,
+                // Unreachable: every index is either rejected at admission
+                // or executed by exactly one group. Typed fallback instead
+                // of a panic to honor the workspace's panic-hygiene rule.
+                None => Err(ServeError::Sample(SampleError::EmptyBatch)),
+            })
+            .collect()
+    }
+
+    /// Executes one coalesced group: phase A template (uninstrumented, on
+    /// this thread), phase B replay fan-out (rayon, one recorder per
+    /// request), then serial tenant charging.
+    fn run_group(
+        &self,
+        artifacts: &CompiledArtifacts,
+        requests: &[SampleRequest],
+        key: GroupKey,
+        members: &[usize],
+        results: &mut [Option<Result<RequestReport, ServeError>>],
+    ) {
+        let dataset = artifacts.dataset();
+        let outs: Vec<(usize, Recorder, Result<RequestOutput, SampleError>)> = match key {
+            GroupKey::Sequential => {
+                let template = match sequential_sample_cached::<SparseState>(artifacts) {
+                    Ok(t) => t,
+                    Err(e) => return self.fail_group(requests, members, &e, results),
+                };
+                members
+                    .par_iter()
+                    .map(|&i| {
+                        let recorder = Recorder::default();
+                        let run = dqs_obs::with_recorder(&recorder, || {
+                            replay_sequential_run(dataset, &template)
+                        });
+                        (i, recorder, Ok(RequestOutput::Sequential(run)))
+                    })
+                    .collect()
+            }
+            GroupKey::Parallel => {
+                let template = match parallel_sample_cached::<SparseState>(artifacts) {
+                    Ok(t) => t,
+                    Err(e) => return self.fail_group(requests, members, &e, results),
+                };
+                members
+                    .par_iter()
+                    .map(|&i| {
+                        let recorder = Recorder::default();
+                        let run = dqs_obs::with_recorder(&recorder, || {
+                            replay_parallel_run(dataset, &template)
+                        });
+                        (i, recorder, Ok(RequestOutput::Parallel(run)))
+                    })
+                    .collect()
+            }
+            GroupKey::Estimate { shots } => {
+                let probs = estimate_flag_probabilities(dataset, artifacts.sequential_layout());
+                members
+                    .par_iter()
+                    .map(|&i| {
+                        let recorder = Recorder::default();
+                        let seed = match requests[i].kind {
+                            RequestKind::Estimate { seed, .. } => seed,
+                            // Group membership is keyed by kind, so this arm
+                            // cannot be reached; default keeps it total.
+                            _ => 0,
+                        };
+                        let out = dqs_obs::with_recorder(&recorder, || {
+                            let mut rng = StdRng::seed_from_u64(seed);
+                            replay_estimate_run(dataset, &probs, shots, &mut rng)
+                        });
+                        (i, recorder, out.map(RequestOutput::Estimate))
+                    })
+                    .collect()
+            }
+        };
+
+        let mut tenants = self.tenants.lock();
+        for (i, recorder, out) in outs {
+            let tenant = requests[i].tenant;
+            results[i] = Some(match out {
+                Ok(output) => {
+                    tenants
+                        .entry(tenant)
+                        .or_insert_with(|| TenantLedger::new(self.machines))
+                        .charge(output.queries());
+                    Ok(RequestReport {
+                        tenant,
+                        kind: requests[i].kind,
+                        output,
+                        recorder,
+                    })
+                }
+                // Failed runs charge nothing, matching a failed solo call
+                // (which returns no ledger snapshot either).
+                Err(e) => Err(ServeError::Sample(e)),
+            });
+        }
+    }
+
+    fn fail_group(
+        &self,
+        _requests: &[SampleRequest],
+        members: &[usize],
+        error: &SampleError,
+        results: &mut [Option<Result<RequestReport, ServeError>>],
+    ) {
+        for &i in members {
+            results[i] = Some(Err(ServeError::Sample(error.clone())));
+        }
+    }
+}
+
+/// Exact predicted cost of a request, in the admission unit (sequential
+/// queries + parallel rounds). Obliviousness makes this a closed form.
+fn predicted_cost(model: &CostModel, machines: u64, kind: RequestKind) -> u64 {
+    match kind {
+        RequestKind::Sequential => model.sequential_queries,
+        RequestKind::Parallel => model.parallel_rounds,
+        RequestKind::Estimate { shots, .. } => shots * 2 * machines,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dqs_db::Multiset;
+    use dqs_sim::QuantumState;
+
+    fn dataset() -> DistributedDataset {
+        DistributedDataset::new(
+            16,
+            4,
+            vec![
+                Multiset::from_counts([(0, 3), (1, 2), (2, 3)]),
+                Multiset::from_counts([(3, 4), (4, 4), (5, 4), (6, 4)]),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn mixed_requests(count: usize, tenants: u64) -> Vec<SampleRequest> {
+        (0..count)
+            .map(|i| SampleRequest {
+                tenant: i as u64 % tenants,
+                kind: match i % 4 {
+                    0 | 1 => RequestKind::Sequential,
+                    2 => RequestKind::Parallel,
+                    _ => RequestKind::Estimate {
+                        shots: 40,
+                        seed: 1000 + i as u64,
+                    },
+                },
+            })
+            .collect()
+    }
+
+    #[test]
+    fn coalesced_outputs_match_solo_runs_bitwise() {
+        let ds = dataset();
+        let service = SamplingService::new(ds.clone(), ServeConfig::default());
+        let requests = mixed_requests(12, 3);
+        let results = service.submit_all(&requests);
+        assert_eq!(results.len(), 12);
+        for (req, res) in requests.iter().zip(&results) {
+            let report = res.as_ref().expect("faultless requests succeed");
+            assert_eq!(report.tenant, req.tenant);
+            match req.kind {
+                RequestKind::Sequential => {
+                    let run = report.output.as_sequential().expect("kind preserved");
+                    let solo = dqs_core::sequential_sample::<SparseState>(&ds).expect("faultless");
+                    assert_eq!(
+                        run.state.to_table().distance_sqr(&solo.state.to_table()),
+                        0.0
+                    );
+                    assert_eq!(run.queries, solo.queries);
+                    assert_eq!(run.fidelity.to_bits(), solo.fidelity.to_bits());
+                }
+                RequestKind::Parallel => {
+                    let run = report.output.as_parallel().expect("kind preserved");
+                    let solo = dqs_core::parallel_sample::<SparseState>(&ds).expect("faultless");
+                    assert_eq!(
+                        run.state.to_table().distance_sqr(&solo.state.to_table()),
+                        0.0
+                    );
+                    assert_eq!(run.queries, solo.queries);
+                }
+                RequestKind::Estimate { shots, seed } => {
+                    let run = report.output.as_estimate().expect("kind preserved");
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let solo = dqs_core::estimate_total_count(&ds, shots, &mut rng).expect("shots");
+                    assert_eq!(run.estimated_a, solo.estimated_a);
+                    assert_eq!(run.estimated_total, solo.estimated_total);
+                    assert_eq!(run.queries, solo.queries);
+                }
+            }
+        }
+        // Second submission hits the artifact cache.
+        let stats = service.cache_stats();
+        assert_eq!(stats.misses, 1);
+        service.submit_all(&requests[..2]);
+        assert_eq!(service.cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn per_tenant_ledgers_equal_the_sum_of_solo_snapshots() {
+        let ds = dataset();
+        let service = SamplingService::new(ds.clone(), ServeConfig::default());
+        let requests = mixed_requests(8, 2);
+        let results = service.submit_all(&requests);
+        let mut expected: BTreeMap<TenantId, (Vec<u64>, u64)> = BTreeMap::new();
+        for (req, res) in requests.iter().zip(&results) {
+            let report = res.as_ref().expect("faultless");
+            let q = report.output.queries();
+            let e = expected
+                .entry(req.tenant)
+                .or_insert_with(|| (vec![0; ds.num_machines()], 0));
+            for (a, b) in e.0.iter_mut().zip(&q.per_machine) {
+                *a += b;
+            }
+            e.1 += q.parallel_rounds;
+        }
+        for (tenant, (per_machine, rounds)) in expected {
+            let ledger = service.tenant_ledger(tenant).expect("charged");
+            assert_eq!(ledger.per_machine, per_machine);
+            assert_eq!(ledger.parallel_rounds, rounds);
+        }
+    }
+
+    #[test]
+    fn per_request_obs_streams_match_solo_streams() {
+        let ds = dataset();
+        let service = SamplingService::new(ds.clone(), ServeConfig::default());
+        let requests = mixed_requests(8, 4);
+        let results = service.submit_all(&requests);
+        for (req, res) in requests.iter().zip(&results) {
+            let report = res.as_ref().expect("faultless");
+            let solo_rec = Recorder::default();
+            dqs_obs::with_recorder(&solo_rec, || match req.kind {
+                RequestKind::Sequential => {
+                    dqs_core::sequential_sample::<SparseState>(&ds).expect("faultless");
+                }
+                RequestKind::Parallel => {
+                    dqs_core::parallel_sample::<SparseState>(&ds).expect("faultless");
+                }
+                RequestKind::Estimate { shots, seed } => {
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    dqs_core::estimate_total_count(&ds, shots, &mut rng).expect("shots");
+                }
+            });
+            assert_eq!(
+                report.recorder.events(),
+                solo_rec.events(),
+                "request obs stream must equal a solo run's"
+            );
+        }
+    }
+
+    #[test]
+    fn admission_denial_is_deterministic_and_typed() {
+        let ds = dataset();
+        let model = cost_model(&ds.params());
+        // Budget admits exactly one sequential run.
+        let config = ServeConfig {
+            max_batch: 16,
+            tenant_policy: TenantPolicy {
+                max_pending: 8,
+                max_queries: Some(model.sequential_queries),
+            },
+        };
+        let service = SamplingService::new(ds, config);
+        let requests = vec![
+            SampleRequest {
+                tenant: 1,
+                kind: RequestKind::Sequential,
+            },
+            SampleRequest {
+                tenant: 1,
+                kind: RequestKind::Sequential,
+            },
+            SampleRequest {
+                tenant: 2,
+                kind: RequestKind::Sequential,
+            },
+        ];
+        let results = service.submit_all(&requests);
+        assert!(results[0].is_ok());
+        match &results[1] {
+            Err(ServeError::AdmissionDenied { tenant, spent, .. }) => {
+                assert_eq!(*tenant, 1);
+                assert_eq!(*spent, model.sequential_queries);
+            }
+            _ => panic!("expected AdmissionDenied"),
+        }
+        assert!(results[2].is_ok(), "other tenants are unaffected");
+        // Replaying the same submission on a fresh service reproduces the
+        // same decisions.
+        let requests2 = requests.clone();
+        drop(requests2);
+    }
+
+    #[test]
+    fn updates_invalidate_artifacts_and_change_results() {
+        use dqs_db::{UpdateLog, UpdateOp};
+        let ds = dataset();
+        let service = SamplingService::new(ds.clone(), ServeConfig::default());
+        let req = [SampleRequest {
+            tenant: 0,
+            kind: RequestKind::Sequential,
+        }];
+        let before = service.submit_all(&req);
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(0, 7));
+        let version = service.apply_update(&log);
+        assert_eq!(version, 1);
+        let after = service.submit_all(&req);
+        let updated = log.apply_to(&ds);
+        let solo = dqs_core::sequential_sample::<SparseState>(&updated).expect("faultless");
+        let run_after = after[0]
+            .as_ref()
+            .expect("faultless")
+            .output
+            .as_sequential()
+            .expect("kind")
+            .clone();
+        assert_eq!(
+            run_after
+                .state
+                .to_table()
+                .distance_sqr(&solo.state.to_table()),
+            0.0,
+            "post-update requests must run against the updated dataset"
+        );
+        let run_before = before[0]
+            .as_ref()
+            .expect("faultless")
+            .output
+            .as_sequential()
+            .expect("kind")
+            .clone();
+        assert!(
+            run_before
+                .state
+                .to_table()
+                .distance_sqr(&solo.state.to_table())
+                > 0.0,
+            "the update must actually change the output distribution"
+        );
+        assert_eq!(service.cache_stats().misses, 2, "one compile per version");
+    }
+}

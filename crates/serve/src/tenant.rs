@@ -1,0 +1,114 @@
+//! Per-tenant accounting and admission policy.
+//!
+//! The paper's entire cost metric is oracle queries, so the service's
+//! admission control is denominated the same way: every request has an
+//! exact predicted cost (the samplers are oblivious — their query schedule
+//! is a closed-form function of the public parameters), and every tenant
+//! accumulates the exact charges its finished requests put on their
+//! per-request [`dqs_db::QueryLedger`]s. Admission compares the running
+//! total plus the predictions of already-admitted work against the
+//! tenant's budget — a pure, serially-evaluated function of the submission
+//! order, so admission decisions are deterministic regardless of how the
+//! scheduler later coalesces or parallelizes execution.
+
+use dqs_db::LedgerSnapshot;
+
+/// Identifies a tenant (an independent client of the service).
+pub type TenantId = u64;
+
+/// Admission limits applied to every tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantPolicy {
+    /// Maximum requests a tenant may have in one scheduler wave; further
+    /// requests are deferred to later waves (backpressure), never dropped.
+    pub max_pending: usize,
+    /// Cumulative query budget (sequential queries + parallel rounds,
+    /// charged exactly). `None` = unmetered. A request whose predicted
+    /// cost would exceed the remaining budget is rejected with
+    /// [`crate::ServeError::AdmissionDenied`].
+    pub max_queries: Option<u64>,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        Self {
+            max_pending: 8,
+            max_queries: None,
+        }
+    }
+}
+
+/// Cumulative exact charges for one tenant across all finished requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantLedger {
+    per_machine: Vec<u64>,
+    parallel_rounds: u64,
+    requests: u64,
+}
+
+impl TenantLedger {
+    /// An empty ledger over `machines` machines.
+    pub fn new(machines: usize) -> Self {
+        Self {
+            per_machine: vec![0; machines],
+            parallel_rounds: 0,
+            requests: 0,
+        }
+    }
+
+    /// Adds one finished request's exact ledger snapshot.
+    pub(crate) fn charge(&mut self, snapshot: &LedgerSnapshot) {
+        for (acc, q) in self.per_machine.iter_mut().zip(&snapshot.per_machine) {
+            *acc += q;
+        }
+        self.parallel_rounds += snapshot.parallel_rounds;
+        self.requests += 1;
+    }
+
+    /// The accumulated charges in [`LedgerSnapshot`] form, comparable
+    /// (`==`) against the sum of solo-run snapshots.
+    pub fn snapshot(&self) -> LedgerSnapshot {
+        LedgerSnapshot {
+            per_machine: self.per_machine.clone(),
+            parallel_rounds: self.parallel_rounds,
+        }
+    }
+
+    /// Total scalar cost: sequential queries + parallel rounds. The unit
+    /// admission budgets are denominated in.
+    pub fn total_cost(&self) -> u64 {
+        self.per_machine.iter().sum::<u64>() + self.parallel_rounds
+    }
+
+    /// How many finished requests have been charged.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_exactly() {
+        let mut ledger = TenantLedger::new(2);
+        ledger.charge(&LedgerSnapshot {
+            per_machine: vec![4, 4],
+            parallel_rounds: 0,
+        });
+        ledger.charge(&LedgerSnapshot {
+            per_machine: vec![0, 0],
+            parallel_rounds: 12,
+        });
+        assert_eq!(ledger.total_cost(), 20);
+        assert_eq!(ledger.requests(), 2);
+        assert_eq!(
+            ledger.snapshot(),
+            LedgerSnapshot {
+                per_machine: vec![4, 4],
+                parallel_rounds: 12,
+            }
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Service-level bit-identity suite (property-based).
+//!
+//! The service promises that scheduling is unobservable: for any workload
+//! and any scheduler knobs, every request's output state, ledger snapshot,
+//! and obs event stream is bit-identical to what any *other* service
+//! configuration — cold cache, warm cache, different coalescing knobs, or
+//! a fresh process — produces for the same request. This suite drives that
+//! promise with proptest over generated datasets, request mixes, scheduler
+//! knobs, and dynamic updates (stale-artifact invalidation).
+
+use dqs_db::{UpdateLog, UpdateOp};
+use dqs_serve::{
+    RequestKind, RequestReport, SampleRequest, SamplingService, ServeConfig, ServeError,
+    TenantPolicy,
+};
+use dqs_sim::QuantumState;
+use dqs_workloads::WorkloadSpec;
+use proptest::prelude::*;
+
+fn config(max_batch: usize, max_pending: usize) -> ServeConfig {
+    ServeConfig {
+        max_batch,
+        tenant_policy: TenantPolicy {
+            max_pending,
+            max_queries: None,
+        },
+    }
+}
+
+/// Deterministic mixed-kind request list.
+fn requests(count: usize, tenants: u64, shots: u64, seed: u64) -> Vec<SampleRequest> {
+    (0..count)
+        .map(|i| SampleRequest {
+            tenant: i as u64 % tenants.max(1),
+            kind: match i % 4 {
+                0 | 1 => RequestKind::Sequential,
+                2 => RequestKind::Parallel,
+                _ => RequestKind::Estimate {
+                    shots,
+                    seed: seed.wrapping_add(i as u64),
+                },
+            },
+        })
+        .collect()
+}
+
+/// Asserts two result lists are indistinguishable on every observable
+/// axis: success/error, output bits, ledger snapshots, and event streams.
+fn assert_identical(
+    a: &[Result<RequestReport, ServeError>],
+    b: &[Result<RequestReport, ServeError>],
+) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        match (x, y) {
+            (Ok(rx), Ok(ry)) => {
+                assert_eq!(rx.tenant, ry.tenant);
+                assert_eq!(rx.kind, ry.kind);
+                assert_eq!(rx.output.queries(), ry.output.queries());
+                match (&rx.output, &ry.output) {
+                    (
+                        dqs_serve::RequestOutput::Sequential(sx),
+                        dqs_serve::RequestOutput::Sequential(sy),
+                    ) => {
+                        assert_eq!(sx.state.to_table().distance_sqr(&sy.state.to_table()), 0.0);
+                        assert_eq!(sx.fidelity.to_bits(), sy.fidelity.to_bits());
+                    }
+                    (
+                        dqs_serve::RequestOutput::Parallel(px),
+                        dqs_serve::RequestOutput::Parallel(py),
+                    ) => {
+                        assert_eq!(px.state.to_table().distance_sqr(&py.state.to_table()), 0.0);
+                        assert_eq!(px.fidelity.to_bits(), py.fidelity.to_bits());
+                    }
+                    (
+                        dqs_serve::RequestOutput::Estimate(ex),
+                        dqs_serve::RequestOutput::Estimate(ey),
+                    ) => {
+                        assert_eq!(ex.estimated_a.to_bits(), ey.estimated_a.to_bits());
+                        assert_eq!(ex.estimated_total.to_bits(), ey.estimated_total.to_bits());
+                        assert_eq!(ex.shots, ey.shots);
+                    }
+                    _ => panic!("request kinds diverged between services"),
+                }
+                assert_eq!(
+                    rx.recorder.events(),
+                    ry.recorder.events(),
+                    "per-request obs streams diverged"
+                );
+            }
+            (Err(ex), Err(ey)) => assert_eq!(ex, ey),
+            _ => panic!("one service succeeded where the other failed"),
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Cold vs warm cache and arbitrary coalescing knobs are unobservable:
+    /// same requests → bit-identical reports and tenant ledgers.
+    #[test]
+    fn warm_and_cold_services_are_bit_identical(
+        universe in 4u64..16,
+        total in 4u64..12,
+        machines in 1usize..4,
+        seed in 0u64..1_000,
+        count in 4usize..10,
+        tenants in 1u64..5,
+        shots in 20u64..60,
+        mb_a in 1usize..7,
+        mp_a in 1usize..5,
+        mb_b in 1usize..7,
+        mp_b in 1usize..5,
+    ) {
+        let ds = WorkloadSpec::small_uniform(universe, total, machines, seed).build();
+        let reqs = requests(count, tenants, shots, seed);
+
+        let service_a = SamplingService::new(ds.clone(), config(mb_a, mp_a));
+        let cold = service_a.submit_all(&reqs);
+        prop_assert_eq!(service_a.cache_stats().misses, 1);
+
+        // Same service again: artifact-cache warm path.
+        let warm = service_a.submit_all(&reqs);
+        assert_identical(&cold, &warm);
+        prop_assert_eq!(service_a.cache_stats().hits, 1);
+        prop_assert!(service_a.cache_stats().entries <= 2);
+
+        // Fresh service with different scheduler knobs: cold path again.
+        let service_b = SamplingService::new(ds, config(mb_b, mp_b));
+        let other = service_b.submit_all(&reqs);
+        assert_identical(&cold, &other);
+
+        // Ledgers: A charged each request twice, B once.
+        for t in 0..tenants.max(1) {
+            let la = service_a.tenant_ledger(t);
+            let lb = service_b.tenant_ledger(t);
+            match (la, lb) {
+                (Some(a), Some(b)) => {
+                    let doubled: Vec<u64> = b.per_machine.iter().map(|q| 2 * q).collect();
+                    prop_assert_eq!(a.per_machine, doubled);
+                    prop_assert_eq!(a.parallel_rounds, 2 * b.parallel_rounds);
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "tenant ledger presence diverged"),
+            }
+        }
+    }
+
+    /// A dynamic update bumps the dataset version and invalidates compiled
+    /// artifacts: the long-running service's post-update answers are
+    /// bit-identical to a fresh service built over the updated dataset —
+    /// no stale table can leak through the cache.
+    #[test]
+    fn updates_invalidate_stale_artifacts(
+        universe in 4u64..16,
+        total in 4u64..12,
+        machines in 1usize..4,
+        seed in 0u64..1_000,
+        count in 4usize..9,
+        tenants in 1u64..4,
+        shots in 20u64..50,
+        edit_element in 0u64..16,
+        edit_machine in 0usize..4,
+    ) {
+        let mut spec = WorkloadSpec::small_uniform(universe, total, machines, seed);
+        // Slack so a single insertion can never exceed capacity.
+        spec.capacity_slack = 2.0;
+        let ds = spec.build();
+        let reqs = requests(count, tenants, shots, seed);
+
+        let service = SamplingService::new(ds.clone(), ServeConfig::default());
+        let before = service.submit_all(&reqs);
+
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(
+            edit_machine % machines,
+            edit_element % universe,
+        ));
+        prop_assert_eq!(service.apply_update(&log), 1);
+        prop_assert_eq!(service.dataset_version(), 1);
+
+        let after = service.submit_all(&reqs);
+        prop_assert_eq!(service.cache_stats().misses, 2, "one compile per version");
+        prop_assert!(service.cache_stats().entries <= 2);
+
+        // Fresh service over the materialized updated dataset.
+        let fresh = SamplingService::new(log.apply_to(&ds), ServeConfig::default());
+        let expect = fresh.submit_all(&reqs);
+        assert_identical(&after, &expect);
+
+        // And the pre-update answers still match a fresh service over the
+        // *original* dataset (the update cannot rewrite history).
+        let original = SamplingService::new(ds, ServeConfig::default());
+        let expect_before = original.submit_all(&reqs);
+        assert_identical(&before, &expect_before);
+    }
+}

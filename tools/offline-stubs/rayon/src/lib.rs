@@ -132,6 +132,14 @@ impl<I: Iterator> ParIter<I> {
     {
         self.0.collect()
     }
+
+    pub fn collect_into_vec(self, target: &mut Vec<I::Item>)
+    where
+        I::Item: Send,
+    {
+        target.clear();
+        target.extend(self.0);
+    }
 }
 
 impl<'a, I, T: 'a + Clone> ParIter<I>
