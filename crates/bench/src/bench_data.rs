@@ -416,7 +416,7 @@ pub fn verify_serve_bit_identity(
             Err(e) => return Err(format!("request {i}: service error: {e}")),
         };
         let solo_rec = dqs_obs::Recorder::new();
-        let mismatch = dqs_obs::with_recorder(&solo_rec, || match req.kind {
+        let mismatch = dqs_obs::with_recorder(&solo_rec, || match &req.kind {
             RequestKind::Sequential => {
                 let solo = sequential_sample::<SparseState>(dataset).expect("faultless run");
                 let run = report
@@ -449,8 +449,8 @@ pub fn verify_serve_bit_identity(
                 Ok(())
             }
             RequestKind::Estimate { shots, seed } => {
-                let mut rng = StdRng::seed_from_u64(seed);
-                let solo = estimate_total_count(dataset, shots, &mut rng).expect("valid shots");
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let solo = estimate_total_count(dataset, *shots, &mut rng).expect("valid shots");
                 let run = report
                     .output
                     .as_estimate()
@@ -463,6 +463,9 @@ pub fn verify_serve_bit_identity(
                 }
                 Ok(())
             }
+            // Degraded blends go through the dedicated checker, which also
+            // compares typed deadline trips against solo runs.
+            _ => Err("degraded request in the faultless blend — use verify_degraded_bit_identity"),
         });
         if let Err(why) = mismatch {
             return Err(format!("request {i} (tenant {}): {why}", req.tenant));
@@ -507,7 +510,7 @@ pub fn bench_serve_sized(
     });
     let serial_seconds = median_secs(reps, || {
         for req in &requests {
-            match req.kind {
+            match &req.kind {
                 RequestKind::Sequential => {
                     black_box(
                         sequential_sample::<SparseState>(&dataset)
@@ -523,13 +526,14 @@ pub fn bench_serve_sized(
                     );
                 }
                 RequestKind::Estimate { shots, seed } => {
-                    let mut rng = StdRng::seed_from_u64(seed);
+                    let mut rng = StdRng::seed_from_u64(*seed);
                     black_box(
-                        estimate_total_count(&dataset, shots, &mut rng)
+                        estimate_total_count(&dataset, *shots, &mut rng)
                             .expect("valid shots")
                             .estimated_a,
                     );
                 }
+                _ => unreachable!("serve_requests emits only faultless kinds"),
             }
         }
     });
@@ -678,6 +682,8 @@ pub fn generate(smoke: bool) -> String {
         });
     }
     json.push_str("  ]},\n");
+    let (_, serve_chaos_section) = crate::serve_chaos_data::generate(smoke);
+    let _ = writeln!(json, "  \"serve_chaos\": {serve_chaos_section},");
     let _ = writeln!(
         json,
         "  \"end_to_end\": {{\"name\": \"sequential_sample\", \"backend\": \"sparse\", \"universe\": {universe}, \"total_records\": {total}, \"machines\": {machines}, \"seed\": {seed}, \"seconds\": {e2e_secs:.6e}}}"

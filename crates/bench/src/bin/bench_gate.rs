@@ -25,8 +25,11 @@
 
 use dqs_bench::bench_data;
 use dqs_bench::chaos_data;
-use dqs_bench::gate::{check_baseline, check_fresh, render_report, DEFAULT_TOLERANCE};
+use dqs_bench::gate::{
+    check_baseline, check_chaos_sidecar, check_fresh, render_report, DEFAULT_TOLERANCE,
+};
 use dqs_bench::jsonv::Json;
+use std::path::Path;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -56,6 +59,24 @@ fn main() -> ExitCode {
         std::fs::write(&baseline_path, &json).expect("write baseline");
         let (_, section) = chaos_data::generate(false);
         chaos_data::merge_into(&baseline_path, &section).expect("merge chaos section");
+        // The deterministic observability sidecars ride along: a baseline
+        // refresh must never leave them stale against the reconciliation
+        // checks (the gate compares them byte-for-byte).
+        let dir = Path::new(&baseline_path)
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .unwrap_or_else(|| Path::new("."))
+            .to_path_buf();
+        std::fs::write(
+            dir.join("BENCH_qsim.metrics.json"),
+            bench_data::collect_metrics(false),
+        )
+        .expect("write BENCH_qsim.metrics.json");
+        std::fs::write(
+            dir.join("BENCH_chaos.metrics.json"),
+            chaos_data::chaos_metrics(),
+        )
+        .expect("write BENCH_chaos.metrics.json");
         let text = std::fs::read_to_string(&baseline_path).expect("re-read baseline");
         let doc = Json::parse(&text).expect("fresh baseline parses");
         let violations = check_baseline(&doc, tolerance);
@@ -88,6 +109,11 @@ fn main() -> ExitCode {
     let mut violations = check_baseline(&doc, tolerance);
     if !baseline_only {
         violations.extend(check_fresh(&doc, tolerance));
+        let dir = Path::new(&baseline_path)
+            .parent()
+            .filter(|p| !p.as_os_str().is_empty())
+            .unwrap_or_else(|| Path::new("."));
+        violations.extend(check_chaos_sidecar(dir));
     }
     print!("{}", render_report(&violations));
     if violations.is_empty() {

@@ -17,23 +17,7 @@
 //! 2-cell grid and prints the section to stdout without touching any file —
 //! that is the CI health check.
 
-use dqs_bench::chaos_data::{cell, generate, merge_into, CHAOS_WORKLOAD};
-use dqs_core::RetryPolicy;
-
-/// One instrumented degraded run per algorithm — the retry/breaker/fault
-/// counters for the sidecar. Separate from the timed grid so recording
-/// never contaminates the `"seconds"` fields.
-fn chaos_metrics() -> String {
-    let rec = dqs_obs::Recorder::new();
-    let (universe, total) = CHAOS_WORKLOAD;
-    let policy = RetryPolicy::default();
-    dqs_obs::with_recorder(&rec, || {
-        for algorithm in ["sequential", "parallel"] {
-            cell(algorithm, 2, 0.3, 42, universe, total, &policy);
-        }
-    });
-    rec.metrics_json()
-}
+use dqs_bench::chaos_data::{chaos_metrics, generate, merge_into};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

@@ -1,0 +1,64 @@
+//! Degraded-serving chaos check: drive fault-carrying requests through the
+//! `dqs-serve` coordinator across a machines × fault-rate × coalescing grid
+//! and fail (exit 1) unless every cell is bit-identical to solo runs and
+//! every zero-fault cell reports an exact fidelity bound of 1.
+//!
+//! ```text
+//! cargo run --release -p dqs-bench --bin serve_chaos -- --smoke
+//! RAYON_NUM_THREADS=4 cargo run --release -p dqs-bench --bin serve_chaos -- --smoke
+//! cargo run --release -p dqs-bench --bin serve_chaos            # full grid, stdout only
+//! ```
+//!
+//! CI runs `--smoke` at `RAYON_NUM_THREADS ∈ {1, 4}`: degraded-mode
+//! serving must keep the bit-identity contract at every thread count and
+//! under every coalescing decision, deadline trips included. The grid
+//! itself lives in [`dqs_bench::serve_chaos_data`]; the committed
+//! `"serve_chaos"` section of `BENCH_qsim.json` is refreshed through the
+//! same code path by `bench_json` or `bench_gate --write-baseline` — this
+//! binary never writes files.
+
+use dqs_bench::serve_chaos_data::generate;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (rows, section) = generate(smoke);
+    println!("\"serve_chaos\": {section}");
+
+    let mut failed = false;
+    for r in &rows {
+        if !r.bit_identical {
+            eprintln!(
+                "serve_chaos: FAIL — n={} p={} {}: outputs not bit-identical to solo runs",
+                r.machines, r.fault_rate, r.coalescing
+            );
+            failed = true;
+        }
+        if r.fault_rate == 0.0 {
+            if (r.min_fidelity_bound - 1.0).abs() > 1e-12 {
+                eprintln!(
+                    "serve_chaos: FAIL — n={} p=0 {}: min_fidelity_bound {} is not exactly 1",
+                    r.machines, r.coalescing, r.min_fidelity_bound
+                );
+                failed = true;
+            }
+            if r.deadline_trips != 0 {
+                eprintln!(
+                    "serve_chaos: FAIL — n={} p=0 {}: {} deadline trips in a zero-fault cell",
+                    r.machines, r.coalescing, r.deadline_trips
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "serve_chaos{}: ok — {} cells bit-identical at {} rayon thread(s)",
+        if smoke { " --smoke" } else { "" },
+        rows.len(),
+        rayon::current_num_threads()
+    );
+    ExitCode::SUCCESS
+}

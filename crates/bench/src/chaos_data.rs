@@ -170,6 +170,24 @@ pub fn generate(smoke: bool) -> (Vec<Row>, String) {
     (rows, section)
 }
 
+/// One instrumented degraded run per algorithm — the retry/breaker/fault
+/// counters for the `BENCH_chaos.metrics.json` sidecar. Separate from the
+/// timed grid so recording never contaminates the `"seconds"` fields; the
+/// counters are deterministic, so `bench_gate` regenerates this in-process
+/// and requires the committed sidecar to match on every field except the
+/// span timings (`*_ns`).
+pub fn chaos_metrics() -> String {
+    let rec = dqs_obs::Recorder::new();
+    let (universe, total) = CHAOS_WORKLOAD;
+    let policy = RetryPolicy::default();
+    dqs_obs::with_recorder(&rec, || {
+        for algorithm in ["sequential", "parallel"] {
+            cell(algorithm, 2, 0.3, 42, universe, total, &policy);
+        }
+    });
+    rec.metrics_json()
+}
+
 /// Replaces (or appends) the `"chaos_sweep"` section, which is kept as the
 /// last section of the file so the surgery stays a suffix operation.
 pub fn merge_into(path: &str, section: &str) -> std::io::Result<()> {

@@ -40,6 +40,11 @@ pub const DEFAULT_TOLERANCE: f64 = 0.5;
 /// Absolute slack for "exactly 1" fidelity checks.
 const FIDELITY_EPS: f64 = 1e-9;
 
+/// Absolute slack for "these two rendered fidelities are the same number":
+/// both sides are printed with nine decimals, so two exact-equal values can
+/// differ by one rounding ulp each. Still exactness, never tolerance-scaled.
+const BOUND_EXACT_EPS: f64 = 5e-9;
+
 /// Extra multiplicative headroom for fresh single-kernel re-measurements:
 /// a lone `apply_permutation` at 2^10 support runs in tens of microseconds,
 /// where scheduler jitter is proportionally much larger than on the
@@ -377,7 +382,12 @@ pub fn check_baseline(doc: &Json, tolerance: f64) -> Vec<String> {
     }
 
     // 7. Chaos sweep: a zero-fault cell must be indistinguishable from the
-    //    faultless baseline — overhead exactly 1, bounds exactly 1.
+    //    faultless baseline — overhead exactly 1, bounds exactly 1. And on
+    //    every completed cell where zero-error amplification held over the
+    //    surviving data (fidelity_vs_surviving = 1 — crash rows included),
+    //    the achieved target fidelity must *hit* the classical surviving-
+    //    data bound exactly: the bound is an equality theorem, not an
+    //    estimate, so any daylight between the two is a correctness bug.
     if let Some(rows) = doc
         .get("chaos_sweep")
         .and_then(|s| s.get("rows"))
@@ -385,11 +395,27 @@ pub fn check_baseline(doc: &Json, tolerance: f64) -> Vec<String> {
     {
         for r in rows {
             let rate = r.get("fault_rate").and_then(Json::as_f64).unwrap_or(-1.0);
+            let alg = r.get("algorithm").and_then(Json::as_str).unwrap_or("?");
+            let n = r.get("machines").and_then(Json::as_f64).unwrap_or(0.0);
+            if r.get("completed") == Some(&Json::Bool(true)) {
+                let vs_surv = r.get("fidelity_vs_surviving").and_then(Json::as_f64);
+                let vs_target = r.get("fidelity_vs_target").and_then(Json::as_f64);
+                let bound = r.get("fidelity_bound").and_then(Json::as_f64);
+                if let (Some(s), Some(t), Some(b)) = (vs_surv, vs_target, bound) {
+                    if (s - 1.0).abs() <= FIDELITY_EPS && (t - b).abs() > BOUND_EXACT_EPS {
+                        push(
+                            &mut v,
+                            format!(
+                                "chaos {alg} n={n} p={rate}: fidelity_vs_target {t} missed the \
+                                 exact surviving-data bound {b} (exactness, never tolerance-scaled)"
+                            ),
+                        );
+                    }
+                }
+            }
             if rate != 0.0 {
                 continue;
             }
-            let alg = r.get("algorithm").and_then(Json::as_str).unwrap_or("?");
-            let n = r.get("machines").and_then(Json::as_f64).unwrap_or(0.0);
             if r.get("completed") != Some(&Json::Bool(true)) {
                 push(
                     &mut v,
@@ -414,6 +440,170 @@ pub fn check_baseline(doc: &Json, tolerance: f64) -> Vec<String> {
         }
     }
 
+    // 8. Serve chaos: the degraded serving grid. Every cell's replay
+    //    bit-identity flag is exactness (any tolerance); zero-fault cells
+    //    must report a fidelity bound of exactly 1 with no dead machines
+    //    and no deadline trips — a degraded request with an empty fault
+    //    plan is the faultless service, bit for bit.
+    let serve_chaos = serve_chaos_rows(doc);
+    if serve_chaos.is_empty() {
+        push(
+            &mut v,
+            "baseline has no serve_chaos rows — degraded serving is ungated".into(),
+        );
+    }
+    for row in &serve_chaos {
+        let label = format!(
+            "serve_chaos n={} p={} {}",
+            row.machines, row.fault_rate, row.coalescing
+        );
+        match row.bit_identical {
+            Some(true) => {}
+            Some(false) => push(
+                &mut v,
+                format!(
+                    "{label}: bit_identical is false — degraded service outputs diverged from \
+                     solo runs (correctness, not performance)"
+                ),
+            ),
+            None => push(&mut v, format!("{label}: missing bit_identical flag")),
+        }
+        match row.min_fidelity_bound {
+            Some(b) if b > 0.0 && b <= 1.0 + FIDELITY_EPS => {}
+            Some(b) => push(
+                &mut v,
+                format!("{label}: min_fidelity_bound {b} outside (0, 1]"),
+            ),
+            None => push(&mut v, format!("{label}: missing min_fidelity_bound")),
+        }
+        if row.fault_rate == 0.0 {
+            if let Some(b) = row.min_fidelity_bound {
+                if (b - 1.0).abs() > FIDELITY_EPS {
+                    push(
+                        &mut v,
+                        format!("{label}: min_fidelity_bound = {b}, expected exactly 1"),
+                    );
+                }
+            }
+            if row.dead_machines != Some(0) {
+                push(
+                    &mut v,
+                    format!("{label}: zero-fault cell reports dead machines"),
+                );
+            }
+            if row.deadline_trips != Some(0) {
+                push(
+                    &mut v,
+                    format!("{label}: zero-fault cell reports deadline trips"),
+                );
+            }
+        }
+    }
+
+    v
+}
+
+/// One parsed `serve_chaos` row; `dead_machines` is the array length.
+struct ServeChaosRow {
+    machines: u64,
+    fault_rate: f64,
+    coalescing: String,
+    min_fidelity_bound: Option<f64>,
+    bit_identical: Option<bool>,
+    dead_machines: Option<usize>,
+    deadline_trips: Option<u64>,
+}
+
+/// Parsed `serve_chaos` rows.
+fn serve_chaos_rows(doc: &Json) -> Vec<ServeChaosRow> {
+    doc.get("serve_chaos")
+        .and_then(|s| s.get("rows"))
+        .and_then(Json::as_array)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| {
+                    Some(ServeChaosRow {
+                        machines: r.get("machines")?.as_f64()? as u64,
+                        fault_rate: r.get("fault_rate")?.as_f64()?,
+                        coalescing: r.get("coalescing")?.as_str()?.to_string(),
+                        min_fidelity_bound: r.get("min_fidelity_bound").and_then(Json::as_f64),
+                        bit_identical: r.get("bit_identical").map(|b| b == &Json::Bool(true)),
+                        dead_machines: r
+                            .get("dead_machines")
+                            .and_then(Json::as_array)
+                            .map(|a| a.len()),
+                        deadline_trips: r
+                            .get("deadline_trips")
+                            .and_then(Json::as_f64)
+                            .map(|x| x as u64),
+                    })
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Strips the wall-clock fields (`*_ns`) from a metrics document, leaving
+/// only the deterministic counters, gauges, histograms, and span counts.
+fn strip_timings(value: &Json) -> Json {
+    match value {
+        Json::Obj(m) => Json::Obj(
+            m.iter()
+                .filter(|(k, _)| !k.ends_with("_ns"))
+                .map(|(k, v)| (k.clone(), strip_timings(v)))
+                .collect(),
+        ),
+        Json::Arr(a) => Json::Arr(a.iter().map(strip_timings).collect()),
+        other => other.clone(),
+    }
+}
+
+/// Reconciles the committed `BENCH_chaos.metrics.json` sidecar against a
+/// fresh in-process regeneration. Every field except the span timings
+/// (`*_ns`, the one wall-clock concession the sidecar makes) is a
+/// deterministic counter, so the comparison is exact: any drift means the
+/// committed file is stale relative to the build's actual
+/// retry/breaker/fault behavior.
+pub fn check_chaos_sidecar(baseline_dir: &std::path::Path) -> Vec<String> {
+    let mut v = Vec::new();
+    let path = baseline_dir.join("BENCH_chaos.metrics.json");
+    match std::fs::read_to_string(&path) {
+        Ok(committed) => {
+            let fresh = crate::chaos_data::chaos_metrics();
+            match (Json::parse(&committed), Json::parse(&fresh)) {
+                (Ok(c), Ok(f)) => {
+                    if strip_timings(&c) != strip_timings(&f) {
+                        push(
+                            &mut v,
+                            format!(
+                                "{}: committed chaos metrics sidecar differs from an in-process \
+                                 regeneration (deterministic fields only; span timings ignored) — \
+                                 refresh it with `chaos_sweep --metrics-only` (or \
+                                 `bench_gate --write-baseline`) and commit the result",
+                                path.display()
+                            ),
+                        );
+                    }
+                }
+                (Err(e), _) => push(
+                    &mut v,
+                    format!("{}: committed chaos metrics sidecar: {e}", path.display()),
+                ),
+                (_, Err(e)) => push(
+                    &mut v,
+                    format!("in-process chaos metrics regeneration is not valid JSON: {e}"),
+                ),
+            }
+        }
+        Err(e) => push(
+            &mut v,
+            format!(
+                "{}: cannot read chaos metrics sidecar: {e} — degraded-run observability \
+                 is unreconciled",
+                path.display()
+            ),
+        ),
+    }
     v
 }
 
@@ -701,6 +891,31 @@ pub fn check_fresh(doc: &Json, tolerance: f64) -> Vec<String> {
             .and_then(Json::as_f64)
             .unwrap_or(42.0) as u64,
     );
+    // Fresh degraded-serving probe: re-run smoke-grid serve_chaos cells
+    // in-process. Bit-identity and the zero-fault bound are exactness —
+    // a failure here is a regressed build no matter what the baseline says.
+    for (rate, coalescing) in [(0.0, "shared"), (0.25, "shared"), (0.25, "distinct")] {
+        let row = crate::serve_chaos_data::cell(2, rate, coalescing, 1);
+        if !row.bit_identical {
+            push(
+                &mut v,
+                format!(
+                    "fresh serve_chaos n=2 p={rate} {coalescing}: degraded service outputs \
+                     are not bit-identical to solo runs"
+                ),
+            );
+        }
+        if rate == 0.0 && (row.min_fidelity_bound - 1.0).abs() > FIDELITY_EPS {
+            push(
+                &mut v,
+                format!(
+                    "fresh serve_chaos n=2 p=0 {coalescing}: min_fidelity_bound {} is not 1",
+                    row.min_fidelity_bound
+                ),
+            );
+        }
+    }
+
     if sw.0 > 0 && sw.1 > 0 {
         for (requests, tenants, _, _, base_speedup, _) in serve_rows(doc) {
             let rows =
@@ -780,10 +995,14 @@ mod tests {
   "serve_throughput": {"name": "dqs_serve_submit_all", "backend": "sparse", "universe": 256, "total_records": 128, "seed": 42, "rows": [
     {"requests": 32, "tenants": 8, "machines": 4, "coalesced_seconds": 9.0e-3, "serial_seconds": 8.1e-2, "speedup": 9.000, "bit_identical": true}
   ]},
+  "serve_chaos": {"name": "dqs_serve_degraded", "backend": "sparse", "universe": 64, "total_records": 96, "seed": 42, "rows": [
+    {"machines": 2, "fault_rate": 0, "coalescing": "shared", "requests": 8, "tenants": 4, "completed": 8, "deadline_trips": 0, "dead_machines": [], "min_fidelity_bound": 1.000000000, "bit_identical": true, "seconds": 1.0e-2},
+    {"machines": 2, "fault_rate": 0.25, "coalescing": "distinct", "requests": 8, "tenants": 4, "completed": 7, "deadline_trips": 1, "dead_machines": [0], "min_fidelity_bound": 0.498713250, "bit_identical": true, "seconds": 1.4e-2}
+  ]},
   "end_to_end": {"name": "sequential_sample", "seconds": 2.3e-3},
   "chaos_sweep": {"name": "chaos_sweep", "rows": [
     {"algorithm": "sequential", "machines": 2, "fault_rate": 0, "completed": true, "query_overhead": 1.0000, "fidelity_bound": 1.000000000, "fidelity_vs_target": 1.000000000},
-    {"algorithm": "parallel", "machines": 2, "fault_rate": 0.3, "completed": true, "query_overhead": 1.61, "fidelity_bound": 0.72, "fidelity_vs_target": 0.72}
+    {"algorithm": "parallel", "machines": 2, "fault_rate": 0.3, "completed": true, "dead_machines": [1], "query_overhead": 1.61, "fidelity_bound": 0.720000000, "fidelity_vs_target": 0.720000000, "fidelity_vs_surviving": 1.000000000}
   ]}
 }"#
         .to_string()
@@ -972,6 +1191,79 @@ mod tests {
             v.iter().any(|m| m.contains("no serve_throughput rows")),
             "expected a missing-section violation, got: {v:?}"
         );
+    }
+
+    #[test]
+    fn chaos_bound_miss_fails_the_gate() {
+        // A completed crash row whose achieved target fidelity no longer
+        // hits the exact surviving-data bound: the equality theorem broke.
+        let perturbed = good_baseline().replace(
+            "\"fidelity_bound\": 0.720000000, \"fidelity_vs_target\": 0.720000000",
+            "\"fidelity_bound\": 0.720000000, \"fidelity_vs_target\": 0.718000000",
+        );
+        assert_ne!(perturbed, good_baseline(), "replace must hit");
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, 10.0); // absurd tolerance: still fails
+        assert!(
+            v.iter()
+                .any(|m| m.contains("missed the exact surviving-data bound")),
+            "expected a bound-exactness violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn serve_chaos_bit_identity_failure_fails_the_gate() {
+        let perturbed = good_baseline().replace(
+            "\"min_fidelity_bound\": 0.498713250, \"bit_identical\": true",
+            "\"min_fidelity_bound\": 0.498713250, \"bit_identical\": false",
+        );
+        assert_ne!(perturbed, good_baseline(), "replace must hit");
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, 10.0); // absurd tolerance: still fails
+        assert!(
+            v.iter()
+                .any(|m| m.contains("serve_chaos") && m.contains("bit_identical is false")),
+            "expected a serve_chaos bit-identity violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn serve_chaos_zero_fault_bound_drift_fails_the_gate() {
+        let perturbed = good_baseline().replace(
+            "\"dead_machines\": [], \"min_fidelity_bound\": 1.000000000",
+            "\"dead_machines\": [], \"min_fidelity_bound\": 0.999000000",
+        );
+        assert_ne!(perturbed, good_baseline(), "replace must hit");
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, DEFAULT_TOLERANCE);
+        assert!(
+            v.iter()
+                .any(|m| m.contains("serve_chaos") && m.contains("expected exactly 1")),
+            "expected a zero-fault bound violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn missing_serve_chaos_section_fails_the_gate() {
+        let base = good_baseline();
+        let start = base.find("  \"serve_chaos\":").unwrap();
+        let end = base[start..].find("]},\n").unwrap() + start + 4;
+        let mut perturbed = base.clone();
+        perturbed.replace_range(start..end, "");
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, DEFAULT_TOLERANCE);
+        assert!(
+            v.iter().any(|m| m.contains("no serve_chaos rows")),
+            "expected a missing-section violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn committed_chaos_sidecar_reconciles() {
+        let root = env!("CARGO_MANIFEST_DIR");
+        let dir = std::path::Path::new(root).join("../..");
+        let v = check_chaos_sidecar(&dir);
+        assert!(v.is_empty(), "committed chaos sidecar is stale: {v:?}");
     }
 
     #[test]

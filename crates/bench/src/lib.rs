@@ -25,5 +25,6 @@ pub mod experiments;
 pub mod gate;
 pub mod jsonv;
 pub mod report;
+pub mod serve_chaos_data;
 
 pub use report::{log_log_slope, write_report, Table};

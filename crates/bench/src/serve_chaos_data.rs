@@ -1,0 +1,439 @@
+//! The `serve_chaos` grid: degraded-mode requests driven *through the
+//! multi-tenant service* across a machines × fault-rate × coalescing grid,
+//! factored out of the `serve_chaos` binary so `bench_data::generate` can
+//! emit the `"serve_chaos"` section of `BENCH_qsim.json` through the same
+//! code path the CI smoke check runs.
+//!
+//! Each cell submits a mixed blend of degraded requests (sequential,
+//! parallel, estimate) to a cold [`SamplingService`] and records:
+//!
+//! * the minimum exact fidelity lower bound across the cell's outputs —
+//!   gated for exactness (`bench_gate` requires zero-fault cells to report
+//!   exactly 1, never tolerance-scaled);
+//! * a `bit_identical` replay flag: every service output — including typed
+//!   deadline trips — re-checked against a solo run of the same fault spec
+//!   on every observable axis (state bits, ledgers, counters, obs events);
+//! * the union of dead machines and the number of deadline trips.
+//!
+//! The `coalescing` axis is the serving-layer contract under test: the
+//! `shared` cells give every request one `Arc`-shared [`FaultSpec`] so the
+//! scheduler coalesces them into template+replay groups, while `distinct`
+//! cells perturb each request's spec (a different fault seed, or at rate 0
+//! a different backoff cap) so every fault-plan hash differs and nothing
+//! coalesces. Both must be bit-identical to solo runs.
+
+use dqs_core::{
+    estimate_total_count_degraded, parallel_sample_degraded_spec, sequential_sample_degraded_spec,
+    DegradedSpec, RetryPolicy, SampleError,
+};
+use dqs_db::{DistributedDataset, FaultPlan, FaultRates};
+use dqs_serve::{
+    DegradedAlgorithm, FaultSpec, RequestKind, SampleRequest, SamplingService, ServeConfig,
+    ServeError,
+};
+use dqs_sim::{QuantumState, SparseState};
+use dqs_workloads::WorkloadSpec;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The `(universe, total_records)` every serve-chaos cell samples from.
+/// Chaos-sized, not throughput-sized: these cells gate exactness of the
+/// degraded serving path, not its speed.
+pub const SERVE_CHAOS_WORKLOAD: (u64, u64) = (64, 96);
+
+/// Workload seed shared by every cell.
+pub const SERVE_CHAOS_SEED: u64 = 42;
+
+/// One grid cell's outcome, already JSON-shaped.
+pub struct Row {
+    /// Machine count of the cell.
+    pub machines: usize,
+    /// Per-query fault probability of the shared (or perturbed) plans.
+    pub fault_rate: f64,
+    /// `shared` (one fault spec, requests coalesce) or `distinct` (one
+    /// spec per request, nothing coalesces).
+    pub coalescing: &'static str,
+    /// Minimum exact fidelity lower bound across the cell's outputs.
+    pub min_fidelity_bound: f64,
+    /// Every output (and typed deadline trip) matched its solo run bitwise.
+    pub bit_identical: bool,
+    /// How many requests tripped their deadline (typed, still billed).
+    pub deadline_trips: usize,
+    /// The rendered JSON object for this cell.
+    pub json: String,
+}
+
+/// The deterministic degraded request blend: kinds cycle
+/// `[DegSeq, DegSeq, DegPar, DegEst]`, tenants round-robin, each request
+/// taking its fault spec from `faults[i % faults.len()]`.
+pub fn degraded_requests(
+    count: usize,
+    tenants: u64,
+    shots: u64,
+    seed: u64,
+    faults: &[Arc<FaultSpec>],
+) -> Vec<SampleRequest> {
+    (0..count)
+        .map(|i| {
+            let fault = faults[i % faults.len()].clone();
+            SampleRequest {
+                tenant: i as u64 % tenants.max(1),
+                kind: match i % 4 {
+                    0 | 1 => RequestKind::Degraded {
+                        algorithm: DegradedAlgorithm::Sequential,
+                        fault,
+                    },
+                    2 => RequestKind::Degraded {
+                        algorithm: DegradedAlgorithm::Parallel,
+                        fault,
+                    },
+                    _ => RequestKind::DegradedEstimate {
+                        shots,
+                        seed: seed.wrapping_add(i as u64),
+                        fault,
+                    },
+                },
+            }
+        })
+        .collect()
+}
+
+/// Runs the degraded requests through a cold service and compares every
+/// result — successes *and* typed deadline trips — against a solo run of
+/// the same fault spec on every observable axis. Returns the first
+/// mismatch as an error string.
+pub fn verify_degraded_bit_identity(
+    dataset: &DistributedDataset,
+    requests: &[SampleRequest],
+) -> Result<(), String> {
+    let service = SamplingService::new(dataset.clone(), ServeConfig::default());
+    let results = service.submit_all(requests);
+    for (i, (req, res)) in requests.iter().zip(&results).enumerate() {
+        let fail = |why: String| Err(format!("request {i} (tenant {}): {why}", req.tenant));
+        let report = match res {
+            Ok(r) => r,
+            Err(ServeError::DeadlineExceeded { partial, .. }) => {
+                // A deadline trip is an output too: the solo run must trip
+                // at the identical charged-attempt point with the identical
+                // partial (counters, survivors, bound bits).
+                let solo = match &req.kind {
+                    RequestKind::Degraded {
+                        algorithm: DegradedAlgorithm::Sequential,
+                        fault,
+                    } => sequential_sample_degraded_spec::<SparseState>(
+                        dataset,
+                        &fault.plan,
+                        &fault.spec,
+                    )
+                    .map(|_| ()),
+                    RequestKind::Degraded {
+                        algorithm: DegradedAlgorithm::Parallel,
+                        fault,
+                    } => parallel_sample_degraded_spec::<SparseState>(
+                        dataset,
+                        &fault.plan,
+                        &fault.spec,
+                    )
+                    .map(|_| ()),
+                    RequestKind::DegradedEstimate { shots, seed, fault } => {
+                        let mut rng = StdRng::seed_from_u64(*seed);
+                        estimate_total_count_degraded(
+                            dataset,
+                            &fault.plan,
+                            &fault.spec,
+                            *shots,
+                            &mut rng,
+                        )
+                        .map(|_| ())
+                    }
+                    _ => return fail("non-degraded request tripped a deadline".into()),
+                };
+                match solo {
+                    Err(SampleError::DeadlineExceeded { partial: solo_p }) => {
+                        if **partial != *solo_p {
+                            return fail("deadline partial differs from solo run".into());
+                        }
+                        continue;
+                    }
+                    _ => return fail("service tripped a deadline the solo run did not".into()),
+                }
+            }
+            Err(e) => return fail(format!("service error: {e}")),
+        };
+        let solo_rec = dqs_obs::Recorder::new();
+        let mismatch = dqs_obs::with_recorder(&solo_rec, || match &req.kind {
+            RequestKind::Degraded {
+                algorithm: DegradedAlgorithm::Sequential,
+                fault,
+            } => {
+                let solo = sequential_sample_degraded_spec::<SparseState>(
+                    dataset,
+                    &fault.plan,
+                    &fault.spec,
+                )
+                .map_err(|e| format!("solo degraded run failed: {e}"))?;
+                let run = report
+                    .output
+                    .as_degraded_sequential()
+                    .ok_or("kind mismatch: expected degraded sequential")?;
+                if run.state.to_table().distance_sqr(&solo.state.to_table()) != 0.0 {
+                    return Err("degraded sequential state differs from solo run".into());
+                }
+                if run.queries != solo.queries
+                    || run.restarts != solo.restarts
+                    || run.dead != solo.dead
+                    || run.total_retries != solo.total_retries
+                    || run.backoff_ticks != solo.backoff_ticks
+                {
+                    return Err("degraded sequential counters differ from solo run".into());
+                }
+                if run.fidelity_bound.to_bits() != solo.fidelity_bound.to_bits()
+                    || run.fidelity_vs_target.to_bits() != solo.fidelity_vs_target.to_bits()
+                {
+                    return Err("degraded sequential fidelity differs from solo run".into());
+                }
+                Ok(())
+            }
+            RequestKind::Degraded {
+                algorithm: DegradedAlgorithm::Parallel,
+                fault,
+            } => {
+                let solo =
+                    parallel_sample_degraded_spec::<SparseState>(dataset, &fault.plan, &fault.spec)
+                        .map_err(|e| format!("solo degraded run failed: {e}"))?;
+                let run = report
+                    .output
+                    .as_degraded_parallel()
+                    .ok_or("kind mismatch: expected degraded parallel")?;
+                if run.state.to_table().distance_sqr(&solo.state.to_table()) != 0.0 {
+                    return Err("degraded parallel state differs from solo run".into());
+                }
+                if run.queries != solo.queries
+                    || run.restarts != solo.restarts
+                    || run.dead != solo.dead
+                    || run.total_retries != solo.total_retries
+                    || run.backoff_ticks != solo.backoff_ticks
+                {
+                    return Err("degraded parallel counters differ from solo run".into());
+                }
+                if run.fidelity_bound.to_bits() != solo.fidelity_bound.to_bits()
+                    || run.fidelity_vs_target.to_bits() != solo.fidelity_vs_target.to_bits()
+                {
+                    return Err("degraded parallel fidelity differs from solo run".into());
+                }
+                Ok(())
+            }
+            RequestKind::DegradedEstimate { shots, seed, fault } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let solo = estimate_total_count_degraded(
+                    dataset,
+                    &fault.plan,
+                    &fault.spec,
+                    *shots,
+                    &mut rng,
+                )
+                .map_err(|e| format!("solo degraded estimate failed: {e}"))?;
+                let run = report
+                    .output
+                    .as_degraded_estimate()
+                    .ok_or("kind mismatch: expected degraded estimate")?;
+                if run.estimated_total.to_bits() != solo.estimated_total.to_bits()
+                    || run.estimated_a.to_bits() != solo.estimated_a.to_bits()
+                {
+                    return Err("degraded estimate differs from solo run".into());
+                }
+                if run.queries != solo.queries || run.dead != solo.dead {
+                    return Err("degraded estimate ledger differs from solo run".into());
+                }
+                if run.fidelity_bound.to_bits() != solo.fidelity_bound.to_bits() {
+                    return Err("degraded estimate bound differs from solo run".into());
+                }
+                Ok(())
+            }
+            _ => Err("non-degraded request in the serve_chaos blend".to_string()),
+        });
+        if let Err(why) = mismatch {
+            return fail(why);
+        }
+        if report.recorder.events() != solo_rec.events() {
+            return fail("obs event stream differs from solo run".into());
+        }
+    }
+    Ok(())
+}
+
+/// The fault specs for one cell: one `Arc`-shared spec (`shared`), or one
+/// perturbed spec per request (`distinct` — different fault seeds, and at
+/// rate 0, where every seeded plan degenerates to the same empty plan, a
+/// different backoff cap, which is behavior-neutral but hash-distinct).
+fn cell_faults(
+    machines: usize,
+    fault_rate: f64,
+    coalescing: &str,
+    horizon: u64,
+    count: usize,
+) -> Vec<Arc<FaultSpec>> {
+    let rates = FaultRates::uniform(fault_rate, horizon);
+    let base_seed = SERVE_CHAOS_SEED ^ fault_rate.to_bits();
+    if coalescing == "shared" {
+        vec![Arc::new(FaultSpec::from_plan(FaultPlan::seeded(
+            machines, base_seed, &rates,
+        )))]
+    } else {
+        (0..count)
+            .map(|i| {
+                let plan = FaultPlan::seeded(machines, base_seed.wrapping_add(i as u64), &rates);
+                let mut spec = DegradedSpec::from_policy(RetryPolicy::default());
+                spec.policy.backoff_cap = 64 + i as u64;
+                Arc::new(FaultSpec { plan, spec })
+            })
+            .collect()
+    }
+}
+
+/// Runs one grid cell.
+pub fn cell(machines: usize, fault_rate: f64, coalescing: &'static str, reps: usize) -> Row {
+    let (universe, total) = SERVE_CHAOS_WORKLOAD;
+    let dataset = WorkloadSpec::small_uniform(universe, total, machines, SERVE_CHAOS_SEED).build();
+    // Fault onsets must land inside the per-machine query window, like the
+    // solo chaos sweep: sequential cost spread over n machines.
+    let horizon = (dqs_core::sequential_sample::<SparseState>(&dataset)
+        .expect("faultless run")
+        .queries
+        .total_sequential()
+        / machines as u64)
+        .max(1);
+
+    let count = 8usize;
+    let tenants = 4u64;
+    let shots = 24u64;
+    let faults = cell_faults(machines, fault_rate, coalescing, horizon, count);
+    let mut requests = degraded_requests(count, tenants, shots, SERVE_CHAOS_SEED, &faults);
+    // One deadline-carrying request per faulty cell (the last one, so the
+    // rest of the blend keeps the cell's coalescing shape): a budget of one
+    // charged attempt trips deterministically once any restart is needed,
+    // exercising the typed-deadline path end to end.
+    if fault_rate > 0.0 {
+        let mut spec = faults[0].spec.clone();
+        spec.deadline = Some(1);
+        let deadline_fault = Arc::new(FaultSpec {
+            plan: faults[0].plan.clone(),
+            spec,
+        });
+        if let Some(RequestKind::DegradedEstimate { fault, .. }) =
+            requests.last_mut().map(|r| &mut r.kind)
+        {
+            *fault = deadline_fault;
+        }
+    }
+
+    let mut seconds = f64::INFINITY;
+    let mut min_bound = f64::INFINITY;
+    let mut deadline_trips = 0usize;
+    let mut dead: Vec<usize> = Vec::new();
+    let mut completed = 0usize;
+    for rep in 0..reps.max(1) {
+        let service = SamplingService::new(dataset.clone(), ServeConfig::default());
+        let rep_start = Instant::now();
+        let results = service.submit_all(&requests);
+        seconds = seconds.min(rep_start.elapsed().as_secs_f64());
+        if rep > 0 {
+            continue; // counters are deterministic; record them once
+        }
+        for res in &results {
+            match res {
+                Ok(report) => {
+                    completed += 1;
+                    let (bound, run_dead): (f64, &[usize]) =
+                        if let Some(run) = report.output.as_degraded_sequential() {
+                            (run.fidelity_bound, &run.dead)
+                        } else if let Some(run) = report.output.as_degraded_parallel() {
+                            (run.fidelity_bound, &run.dead)
+                        } else if let Some(run) = report.output.as_degraded_estimate() {
+                            (run.fidelity_bound, &run.dead)
+                        } else {
+                            (1.0, &[])
+                        };
+                    min_bound = min_bound.min(bound);
+                    dead.extend_from_slice(run_dead);
+                }
+                Err(ServeError::DeadlineExceeded { partial, .. }) => {
+                    deadline_trips += 1;
+                    min_bound = min_bound.min(partial.fidelity_bound());
+                    dead.extend_from_slice(&partial.dead);
+                }
+                Err(e) => panic!("unexpected serving error in serve_chaos cell: {e}"),
+            }
+        }
+    }
+    dead.sort_unstable();
+    dead.dedup();
+    if !min_bound.is_finite() {
+        min_bound = 1.0;
+    }
+    let bit_identical = verify_degraded_bit_identity(&dataset, &requests).is_ok();
+
+    let json = format!(
+        "{{\"machines\": {machines}, \"fault_rate\": {fault_rate}, \"coalescing\": \"{coalescing}\", \
+         \"requests\": {}, \"tenants\": {tenants}, \"horizon\": {horizon}, \"completed\": {completed}, \
+         \"deadline_trips\": {deadline_trips}, \"dead_machines\": {dead:?}, \
+         \"min_fidelity_bound\": {min_bound:.9}, \"bit_identical\": {bit_identical}, \
+         \"seconds\": {seconds:.3e}}}",
+        requests.len(),
+    );
+    Row {
+        machines,
+        fault_rate,
+        coalescing,
+        min_fidelity_bound: min_bound,
+        bit_identical,
+        deadline_trips,
+        json,
+    }
+}
+
+/// Runs the whole grid (`--smoke` uses the 4-cell grid) and renders the
+/// `"serve_chaos"` section value. Also returns the rows for invariant
+/// checks.
+pub fn generate(smoke: bool) -> (Vec<Row>, String) {
+    let (universe, total) = SERVE_CHAOS_WORKLOAD;
+    let policy = RetryPolicy::default();
+    let (machine_grid, rate_grid, reps): (&[usize], &[f64], usize) = if smoke {
+        (&[2], &[0.0, 0.25], 1)
+    } else {
+        (&[2, 4], &[0.0, 0.1, 0.25], 3)
+    };
+
+    let mut rows = Vec::new();
+    for &machines in machine_grid {
+        for &rate in rate_grid {
+            for coalescing in ["shared", "distinct"] {
+                let row = cell(machines, rate, coalescing, reps);
+                eprintln!(
+                    "serve_chaos: n={} p={} {} done (bit_identical={})",
+                    row.machines, row.fault_rate, row.coalescing, row.bit_identical
+                );
+                rows.push(row);
+            }
+        }
+    }
+
+    let body: Vec<String> = rows.iter().map(|r| format!("    {}", r.json)).collect();
+    let mut section = format!(
+        "{{\"name\": \"dqs_serve_degraded\", \"backend\": \"sparse\", \"universe\": {universe}, \
+         \"total_records\": {total}, \"seed\": {SERVE_CHAOS_SEED}, "
+    );
+    let _ = write!(
+        section,
+        "\"policy\": {{\"max_retries\": {}, \"backoff_base\": {}, \"backoff_cap\": {}, \"breaker_threshold\": {}}}, \"rows\": [\n{}\n  ]}}",
+        policy.max_retries,
+        policy.backoff_base,
+        policy.backoff_cap,
+        policy.breaker_threshold,
+        body.join(",\n"),
+    );
+    (rows, section)
+}

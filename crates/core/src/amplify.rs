@@ -233,6 +233,32 @@ pub fn try_execute_plan<S: QuantumState, E>(
     Ok(())
 }
 
+/// Walks the *query schedule* of [`try_execute_plan`] without touching any
+/// state: per iteration it emits the same `aa.iteration` counter and calls
+/// `apply_d(true)` then `apply_d(false)`, aborting at the first `Err`
+/// exactly where the real execution would. Degraded-run replays use this
+/// to re-issue every oracle probe (and re-emit every event) of a template
+/// run while skipping the simulator work. Must stay in lockstep with
+/// [`try_execute_plan`]'s call order.
+pub fn walk_plan_queries<E>(
+    plan: &AaPlan,
+    mut apply_d: impl FnMut(bool) -> Result<(), E>,
+) -> Result<(), E> {
+    let mut q = |_varphi: f64, _phi: f64| -> Result<(), E> {
+        dqs_obs::counter(dqs_obs::names::AA_ITERATION, 1);
+        apply_d(true)?;
+        apply_d(false)
+    };
+    let pi = std::f64::consts::PI;
+    for _ in 0..plan.full_iterations {
+        q(pi, pi)?;
+    }
+    if let FinalRotation::Phases { varphi, phi } = plan.final_rotation {
+        q(varphi, phi)?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

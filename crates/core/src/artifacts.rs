@@ -22,7 +22,7 @@ use crate::circuit::{
 };
 use crate::layouts::{ParallelLayout, SequentialLayout};
 use crate::snapshot::DatasetSnapshot;
-use dqs_db::DistributedDataset;
+use dqs_db::{DistributedDataset, FaultHandler, FaultyOracleSet, OracleError};
 use dqs_sim::{Program, StateTable};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -63,6 +63,50 @@ impl CompiledArtifacts {
             seq_program: OnceLock::new(),
             par_program: OnceLock::new(),
         }
+    }
+
+    /// Compiles the eager artifacts by reading every machine's count table
+    /// *through the (possibly faulty) oracle layer* — the warm path a
+    /// service uses to pre-build a cache entry while a fault injector is
+    /// live. Each machine is probed once with retries, charged on the
+    /// faulty set's ledger, and its table is composed from whatever that
+    /// machine actually *answered* — stale or corrupt answers produce
+    /// poisoned tables. Whether any read was dirty is recorded on the
+    /// faulty set's [`FaultyOracleSet::is_tainted`] flag, which
+    /// [`ArtifactCache::warm`] keys its insert decision on.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OracleError::MachineUnavailable`] when a machine fails
+    /// past what `handler` absorbs; probes made so far stay charged.
+    pub fn build_probed(
+        snapshot: &DatasetSnapshot,
+        faulty: &FaultyOracleSet<'_>,
+        handler: &mut impl FaultHandler,
+    ) -> Result<Self, OracleError> {
+        let dataset = snapshot.dataset();
+        let machines: Vec<usize> = (0..dataset.num_machines()).collect();
+        let answers = faulty.probe_machines(&machines, handler)?;
+        let machine_tables: Vec<Arc<Vec<u64>>> = answers
+            .iter()
+            .map(|&(j, ans)| Arc::new(faulty.answered_count_table(j, ans)))
+            .collect();
+        let mut total = vec![0u64; dataset.universe() as usize];
+        for table in &machine_tables {
+            for (acc, v) in total.iter_mut().zip(table.iter()) {
+                *acc += v;
+            }
+        }
+        Ok(Self {
+            version: snapshot.version(),
+            dataset: snapshot.dataset_arc().clone(),
+            seq_layout: SequentialLayout::for_dataset(dataset),
+            par_layout: ParallelLayout::for_dataset(dataset),
+            machine_tables,
+            total_table: Arc::new(total),
+            seq_program: OnceLock::new(),
+            par_program: OnceLock::new(),
+        })
     }
 
     /// The dataset version these artifacts were compiled from.
@@ -193,6 +237,51 @@ impl ArtifactCache {
         built
     }
 
+    /// Warm path: build a bundle through the (possibly faulty) oracle
+    /// layer and install it **only if every read that produced it was
+    /// clean**. A tainted build is dropped on the floor — never inserted —
+    /// so a chaos-warmed cache can only ever serve artifacts bit-identical
+    /// to a faultless compile; the probes' charges are the rejected
+    /// build's only trace. A bundle already resident for the snapshot wins
+    /// without probing (it got there through a clean path). Warm lookups
+    /// leave the hit/miss counters untouched — those account for
+    /// [`Self::artifacts`] serving decisions only.
+    ///
+    /// Note the taint flag is monotone over the *whole* faulty set's
+    /// lifetime: if earlier probes through the same set answered dirty,
+    /// the warm build is rejected even when its own reads were clean — a
+    /// value derived from the earlier dirty read may already be in flight.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`OracleError`] from the probe pass; nothing is inserted.
+    pub fn warm(
+        &self,
+        snapshot: &DatasetSnapshot,
+        faulty: &FaultyOracleSet<'_>,
+        handler: &mut impl FaultHandler,
+    ) -> Result<Option<Arc<CompiledArtifacts>>, OracleError> {
+        {
+            let entries = self.entries.lock();
+            if let Some(found) = entries.get(&snapshot.version()) {
+                if Arc::ptr_eq(found.dataset_arc(), snapshot.dataset_arc()) {
+                    return Ok(Some(found.clone()));
+                }
+            }
+        }
+        let built = CompiledArtifacts::build_probed(snapshot, faulty, handler)?;
+        if faulty.is_tainted() {
+            return Ok(None);
+        }
+        let built = Arc::new(built);
+        let mut entries = self.entries.lock();
+        entries.insert(snapshot.version(), built.clone());
+        while entries.len() > Self::KEEP {
+            entries.pop_first();
+        }
+        Ok(Some(built))
+    }
+
     /// Current hit/miss/occupancy counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -275,6 +364,99 @@ mod tests {
         let bundle = cache.artifacts(&b);
         assert!(Arc::ptr_eq(bundle.dataset_arc(), b.dataset_arc()));
         assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn clean_warm_inserts_a_bundle_bit_identical_to_a_cold_build() {
+        use crate::degraded::{RetryPolicy, RetrySession};
+        use dqs_db::{FaultPlan, OracleSet, QueryLedger};
+        let cache = ArtifactCache::new();
+        let snap = snapshot();
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(snap.dataset(), &ledger);
+        let plan = FaultPlan::none(2);
+        let faulty = FaultyOracleSet::new(&oracles, &plan);
+        let policy = RetryPolicy::default();
+        let mut session = RetrySession::new(2, &policy);
+        let warmed = cache
+            .warm(&snap, &faulty, &mut session)
+            .expect("no failures")
+            .expect("clean reads insert");
+        let cold = CompiledArtifacts::build(&snap);
+        assert_eq!(
+            warmed.total_table().as_slice(),
+            cold.total_table().as_slice()
+        );
+        for (w, c) in warmed.machine_tables().iter().zip(cold.machine_tables()) {
+            assert_eq!(w.as_slice(), c.as_slice());
+        }
+        // The warm probes were charged, one per machine.
+        assert_eq!(ledger.snapshot().per_machine, vec![1, 1]);
+        // A later serving lookup reuses the warmed bundle verbatim.
+        let served = cache.artifacts(&snap);
+        assert!(Arc::ptr_eq(&served, &warmed));
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn tainted_warm_is_never_inserted() {
+        use crate::degraded::{RetryPolicy, RetrySession};
+        use dqs_db::{FaultEvent, FaultKind, FaultPlan, OracleSet, QueryLedger};
+        let cache = ArtifactCache::new();
+        let snap = snapshot();
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(snap.dataset(), &ledger);
+        // Machine 0 silently lies on its first answer: the probe succeeds,
+        // the table is poisoned, the taint flag is the only witness.
+        let plan = FaultPlan::from_schedules(vec![
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Corrupt { delta: 1 },
+            }],
+            vec![],
+        ]);
+        let faulty = FaultyOracleSet::new(&oracles, &plan);
+        let policy = RetryPolicy::default();
+        let mut session = RetrySession::new(2, &policy);
+        let warmed = cache
+            .warm(&snap, &faulty, &mut session)
+            .expect("no failures");
+        assert!(warmed.is_none(), "poisoned build must be rejected");
+        assert_eq!(cache.stats().entries, 0);
+        // The discarded build's probes stay charged.
+        assert_eq!(ledger.snapshot().per_machine, vec![1, 1]);
+        // Serving afterwards compiles a clean bundle from the snapshot.
+        let clean = cache.artifacts(&snap);
+        assert_eq!(
+            clean.total_table().as_slice(),
+            snap.dataset().total_count_table().as_slice()
+        );
+    }
+
+    #[test]
+    fn crashed_warm_is_a_typed_error_and_inserts_nothing() {
+        use crate::degraded::{RetryPolicy, RetrySession};
+        use dqs_db::{FaultEvent, FaultKind, FaultPlan, OracleSet, QueryLedger};
+        let cache = ArtifactCache::new();
+        let snap = snapshot();
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(snap.dataset(), &ledger);
+        let plan = FaultPlan::from_schedules(vec![
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Crashed,
+            }],
+            vec![],
+        ]);
+        let faulty = FaultyOracleSet::new(&oracles, &plan);
+        let policy = RetryPolicy::default();
+        let mut session = RetrySession::new(2, &policy);
+        let err = cache.warm(&snap, &faulty, &mut session).unwrap_err();
+        assert!(matches!(
+            err,
+            OracleError::MachineUnavailable { machine: 0, .. }
+        ));
+        assert_eq!(cache.stats().entries, 0);
     }
 
     #[test]

@@ -46,7 +46,8 @@
 //! logical query run backwards), but they remain real charged rounds whose
 //! failures retry or trip the breaker.
 
-use crate::amplify::{try_execute_plan, AaPlan};
+use crate::amplify::{try_execute_plan, walk_plan_queries, AaPlan};
+use crate::artifacts::CompiledArtifacts;
 use crate::distributing::DistributingOperator;
 use crate::error::SampleError;
 use crate::layouts::{ParallelLayout, SequentialLayout};
@@ -55,7 +56,8 @@ use dqs_db::{
     OracleError, OracleSet, QueryLedger,
 };
 use dqs_math::Complex64;
-use dqs_sim::{Layout, QuantumState, SimError, StateTable};
+use dqs_sim::{measure_register, Layout, QuantumState, SimError, SparseState, StateTable};
+use rand::Rng;
 
 /// Bounded-retry policy with deterministic exponential backoff and a
 /// per-machine circuit breaker.
@@ -94,6 +96,101 @@ impl RetryPolicy {
     }
 }
 
+/// Everything a caller can ask of a degraded run beyond the fault plan:
+/// the retry policy, an optional deterministic deadline, and machines to
+/// quarantine up front (a shared circuit breaker's memory of past trips).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedSpec {
+    /// Retry/backoff/breaker policy.
+    pub policy: RetryPolicy,
+    /// Budget on total *charged attempts* — sequential queries plus
+    /// parallel rounds — checked only at restart boundaries (never inside
+    /// an attempt), so a `deadline: None` run produces an event stream
+    /// bit-identical to one with no deadline machinery at all. Counted in
+    /// charges, not wall clocks: deadlines replay deterministically
+    /// (lint R1).
+    pub deadline: Option<u64>,
+    /// Machines declared dead before the run starts, exactly as if their
+    /// breaker had tripped in an earlier run (order irrelevant,
+    /// out-of-range indices ignored, no trip events re-emitted).
+    pub quarantined: Vec<usize>,
+}
+
+impl DegradedSpec {
+    /// A spec with no deadline and no quarantine — the plain retry policy.
+    pub fn from_policy(policy: RetryPolicy) -> Self {
+        Self {
+            policy,
+            deadline: None,
+            quarantined: Vec::new(),
+        }
+    }
+}
+
+impl Default for DegradedSpec {
+    fn default() -> Self {
+        Self::from_policy(RetryPolicy::default())
+    }
+}
+
+impl From<RetryPolicy> for DegradedSpec {
+    fn from(policy: RetryPolicy) -> Self {
+        Self::from_policy(policy)
+    }
+}
+
+/// What a deadline-tripped run had established when it gave up: the exact
+/// charges, retry/breaker state, and the survivor-set fidelity bound —
+/// which is classical, so it never needed the circuit to finish.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DegradedPartial {
+    /// Exact charges at the restart boundary that tripped.
+    pub queries: LedgerSnapshot,
+    /// Attempts fully started before the trip.
+    pub restarts: u64,
+    /// Machines still alive at the trip, ascending.
+    pub survivors: Vec<usize>,
+    /// Machines dead at the trip (quarantined or breaker-tripped),
+    /// ascending.
+    pub dead: Vec<usize>,
+    /// Total charged retries.
+    pub total_retries: u64,
+    /// Deterministic backoff ticks spent before those retries.
+    pub backoff_ticks: u64,
+    /// `|⟨ψ_surv|ψ⟩|²` as its IEEE-754 bit pattern: the bound is a
+    /// deterministic function of the counts, so bit equality is the right
+    /// notion and [`SampleError`](crate::error::SampleError) keeps `Eq`.
+    fidelity_bound_bits: u64,
+}
+
+impl DegradedPartial {
+    /// Packages a partial run; `fidelity_bound` is stored bit-exactly.
+    pub fn new(
+        queries: LedgerSnapshot,
+        restarts: u64,
+        survivors: Vec<usize>,
+        dead: Vec<usize>,
+        total_retries: u64,
+        backoff_ticks: u64,
+        fidelity_bound: f64,
+    ) -> Self {
+        Self {
+            queries,
+            restarts,
+            survivors,
+            dead,
+            total_retries,
+            backoff_ticks,
+            fidelity_bound_bits: fidelity_bound.to_bits(),
+        }
+    }
+
+    /// The fidelity the surviving data could still promise at the trip.
+    pub fn fidelity_bound(&self) -> f64 {
+        f64::from_bits(self.fidelity_bound_bits)
+    }
+}
+
 /// One sampling run's retry/breaker state: the [`FaultHandler`] the
 /// degraded samplers hand to the faulty oracle layer.
 #[derive(Debug)]
@@ -115,6 +212,19 @@ impl<'p> RetrySession<'p> {
             total_retries: 0,
             backoff_ticks: 0,
         }
+    }
+
+    /// A session whose breaker memory is pre-seeded: every machine in
+    /// `quarantined` starts dead. No trip events are emitted — those
+    /// happened in whatever earlier run built the quarantine.
+    pub fn with_quarantined(n: usize, policy: &'p RetryPolicy, quarantined: &[usize]) -> Self {
+        let mut session = Self::new(n, policy);
+        for &machine in quarantined {
+            if machine < n {
+                session.dead[machine] = true;
+            }
+        }
+        session
     }
 
     /// True when the breaker has declared `machine` dead.
@@ -279,31 +389,84 @@ fn apply_net_d<S: QuantumState>(
     Ok(())
 }
 
+/// Per-element totals over a survivor subset.
+fn survivor_totals(dataset: &DistributedDataset, survivors: &[usize]) -> Vec<u64> {
+    let mut totals = vec![0u64; dataset.universe() as usize];
+    for &j in survivors {
+        for (e, c) in dataset.shards()[j].iter() {
+            totals[e as usize] += c;
+        }
+    }
+    totals
+}
+
+/// Emits the deadline event and packages the partial run at a tripped
+/// restart boundary.
+fn deadline_partial(
+    dataset: &DistributedDataset,
+    full_totals: &[u64],
+    ledger: &QueryLedger,
+    session: &RetrySession<'_>,
+    restarts: u64,
+) -> SampleError {
+    dqs_obs::counter(dqs_obs::names::DEADLINE_EXCEEDED, 1);
+    let queries = ledger.snapshot();
+    let survivors = session.survivors();
+    let surv_totals = survivor_totals(dataset, &survivors);
+    SampleError::DeadlineExceeded {
+        partial: Box::new(DegradedPartial::new(
+            queries,
+            restarts,
+            survivors,
+            session.dead_machines(),
+            session.total_retries(),
+            session.backoff_ticks(),
+            fidelity_lower_bound(full_totals, &surv_totals),
+        )),
+    }
+}
+
+/// True when the spec's deadline has been consumed by the charges so far.
+fn deadline_tripped(spec: &DegradedSpec, ledger: &QueryLedger) -> bool {
+    spec.deadline.is_some_and(|deadline| {
+        let q = ledger.snapshot();
+        q.total_sequential() + q.parallel_rounds >= deadline
+    })
+}
+
 /// The shared restart loop: plan over the survivors, run one attempt
 /// through the faulty `D`, and either finish (reporting fidelities) or
 /// bury the newly dead machine and start over. One ledger spans all
 /// attempts.
+///
+/// `probe_d` charges (and retries) one `D`'s worth of probes over the
+/// survivors and returns the answered totals `(tf, ti)` of its forward and
+/// inverse cascades. In execute mode (`template == None`) every `D` then
+/// acts on the simulator state via [`apply_net_d`]. In replay mode the
+/// state is never touched: the loop walks the identical probe/retry/
+/// restart schedule — same events, same ledger — via [`walk_plan_queries`]
+/// and clones the template's state and fidelities on success. Replay
+/// bodies make no internal rayon calls, so services may run them on worker
+/// threads under per-request recorders.
 #[allow(clippy::too_many_arguments)]
-fn run_degraded<S, L, D>(
+fn run_degraded<S, L, P>(
     dataset: &DistributedDataset,
     fault_plan: &FaultPlan,
-    policy: &RetryPolicy,
+    spec: &DegradedSpec,
     layout: L,
     sim_layout: Layout,
-    elem: usize,
-    flag: usize,
+    regs: (usize, usize, usize),
     anchor: &StateTable,
-    mut apply_d: D,
+    mut probe_d: P,
+    template: Option<&DegradedRun<S, L>>,
 ) -> Result<DegradedRun<S, L>, SampleError>
 where
     S: QuantumState,
-    D: FnMut(
-        &mut S,
-        bool,
+    P: FnMut(
         &[usize],
         &FaultyOracleSet<'_>,
         &mut RetrySession<'_>,
-    ) -> Result<(), OracleError>,
+    ) -> Result<(Vec<u64>, Vec<u64>), OracleError>,
 {
     let n = dataset.num_machines();
     let _run_span = dqs_obs::span(dqs_obs::names::SPAN_DEGRADED);
@@ -312,22 +475,32 @@ where
     let ledger = QueryLedger::new(n);
     let oracles = OracleSet::new(dataset, &ledger);
     let faulty = FaultyOracleSet::new(&oracles, fault_plan);
-    let mut session = RetrySession::new(n, policy);
+    let mut session = RetrySession::with_quarantined(n, &spec.policy, &spec.quarantined);
     let full_totals = dataset.total_count_table();
     let universe = dataset.universe();
     let capacity = dataset.capacity();
+    let d = DistributingOperator::new(capacity);
+    let modulus = capacity + 1;
+    let (elem, count, flag) = regs;
 
     let mut restarts = 0u64;
     loop {
+        // The deadline is only consulted here, between attempts, so runs
+        // without one are untouched — and a tripped run still hands back
+        // everything it paid for.
+        if deadline_tripped(spec, &ledger) {
+            return Err(deadline_partial(
+                dataset,
+                &full_totals,
+                &ledger,
+                &session,
+                restarts,
+            ));
+        }
         restarts += 1;
         dqs_obs::counter(dqs_obs::names::RESTART, 1);
         let survivors = session.survivors();
-        let mut surv_totals = vec![0u64; universe as usize];
-        for &j in &survivors {
-            for (e, c) in dataset.shards()[j].iter() {
-                surv_totals[e as usize] += c;
-            }
-        }
+        let surv_totals = survivor_totals(dataset, &survivors);
         let m_surv: u64 = surv_totals.iter().sum();
         if survivors.is_empty() || m_surv == 0 {
             return Err(SampleError::NoSurvivingData {
@@ -341,20 +514,59 @@ where
             dqs_obs::names::AA_PLAN_ITERATIONS,
             plan.total_iterations() as i64,
         );
-        let mut state = S::from_table(anchor);
-        let outcome = (|| -> Result<(), OracleError> {
-            apply_d(&mut state, false, &survivors, &faulty, &mut session)?;
-            try_execute_plan(&mut state, &plan, anchor, flag, |s, inv| {
-                apply_d(s, inv, &survivors, &faulty, &mut session)
-            })
-        })();
+        let outcome: Result<S, OracleError> = if let Some(t) = template {
+            (|| {
+                probe_d(&survivors, &faulty, &mut session)?;
+                walk_plan_queries(&plan, |_| {
+                    probe_d(&survivors, &faulty, &mut session).map(drop)
+                })?;
+                Ok(t.state.clone())
+            })()
+        } else {
+            (|| {
+                let mut state = S::from_table(anchor);
+                let (tf, ti) = probe_d(&survivors, &faulty, &mut session)?;
+                apply_net_d(
+                    &d,
+                    &mut state,
+                    (elem, count, flag),
+                    modulus,
+                    &tf,
+                    &ti,
+                    false,
+                )
+                .map_err(OracleError::from)?;
+                try_execute_plan(&mut state, &plan, anchor, flag, |s, inv| {
+                    let (tf, ti) = probe_d(&survivors, &faulty, &mut session)?;
+                    apply_net_d(&d, s, (elem, count, flag), modulus, &tf, &ti, inv)
+                        .map_err(OracleError::from)
+                })?;
+                Ok(state)
+            })()
+        };
 
         match outcome {
-            Ok(()) => {
-                let target_surviving = target_from_totals(&sim_layout, elem, &surv_totals);
-                let target_full = target_from_totals(&sim_layout, elem, &full_totals);
-                let fidelity_vs_surviving = state.fidelity_with_table(&target_surviving);
-                let fidelity_vs_target = state.fidelity_with_table(&target_full);
+            Ok(state) => {
+                let (fidelity_bound, fidelity_vs_surviving, fidelity_vs_target, target_surviving) =
+                    if let Some(t) = template {
+                        (
+                            t.fidelity_bound,
+                            t.fidelity_vs_surviving,
+                            t.fidelity_vs_target,
+                            t.target_surviving.clone(),
+                        )
+                    } else {
+                        let target_surviving = target_from_totals(&sim_layout, elem, &surv_totals);
+                        let target_full = target_from_totals(&sim_layout, elem, &full_totals);
+                        let fidelity_vs_surviving = state.fidelity_with_table(&target_surviving);
+                        let fidelity_vs_target = state.fidelity_with_table(&target_full);
+                        (
+                            fidelity_lower_bound(&full_totals, &surv_totals),
+                            fidelity_vs_surviving,
+                            fidelity_vs_target,
+                            target_surviving,
+                        )
+                    };
                 dqs_obs::gauge(dqs_obs::names::SURVIVORS, survivors.len() as i64);
                 dqs_obs::float_metric("degraded.fidelity_vs_target", fidelity_vs_target);
                 let queries = ledger.snapshot();
@@ -369,7 +581,7 @@ where
                     dead: session.dead_machines(),
                     total_retries: session.total_retries(),
                     backoff_ticks: session.backoff_ticks(),
-                    fidelity_bound: fidelity_lower_bound(&full_totals, &surv_totals),
+                    fidelity_bound,
                     fidelity_vs_surviving,
                     fidelity_vs_target,
                     target_surviving,
@@ -400,34 +612,77 @@ pub fn sequential_sample_degraded<S: QuantumState>(
     fault_plan: &FaultPlan,
     policy: &RetryPolicy,
 ) -> Result<DegradedRun<S, SequentialLayout>, SampleError> {
+    sequential_sample_degraded_spec(dataset, fault_plan, &DegradedSpec::from_policy(*policy))
+}
+
+/// [`sequential_sample_degraded`] under a full [`DegradedSpec`]: deadline
+/// budget and pre-quarantined machines included.
+pub fn sequential_sample_degraded_spec<S: QuantumState>(
+    dataset: &DistributedDataset,
+    fault_plan: &FaultPlan,
+    spec: &DegradedSpec,
+) -> Result<DegradedRun<S, SequentialLayout>, SampleError> {
     let layout = SequentialLayout::for_dataset(dataset);
-    sequential_degraded_with_layout(dataset, fault_plan, policy, layout)
+    sequential_degraded_with_layout(dataset, fault_plan, spec, layout, None)
 }
 
 /// [`sequential_sample_degraded`] against pre-compiled shared artifacts:
 /// layout and anchor come from the bundle, nothing is rebuilt or
 /// deep-cloned per call. Bit-identical to [`sequential_sample_degraded`].
 pub fn sequential_sample_degraded_cached<S: QuantumState>(
-    artifacts: &crate::artifacts::CompiledArtifacts,
+    artifacts: &CompiledArtifacts,
     fault_plan: &FaultPlan,
     policy: &RetryPolicy,
+) -> Result<DegradedRun<S, SequentialLayout>, SampleError> {
+    sequential_sample_degraded_cached_spec(
+        artifacts,
+        fault_plan,
+        &DegradedSpec::from_policy(*policy),
+    )
+}
+
+/// [`sequential_sample_degraded_cached`] under a full [`DegradedSpec`].
+pub fn sequential_sample_degraded_cached_spec<S: QuantumState>(
+    artifacts: &CompiledArtifacts,
+    fault_plan: &FaultPlan,
+    spec: &DegradedSpec,
 ) -> Result<DegradedRun<S, SequentialLayout>, SampleError> {
     sequential_degraded_with_layout(
         artifacts.dataset(),
         fault_plan,
-        policy,
+        spec,
         artifacts.sequential_layout().clone(),
+        None,
+    )
+}
+
+/// Replays a completed sequential degraded run without evolving any
+/// quantum state: identical spans, events, retries and ledger — the
+/// returned run clones the template's state and fidelities. Makes no
+/// internal rayon calls, so services may replay on worker threads under
+/// per-request recorders.
+pub fn replay_sequential_degraded_run<S: QuantumState>(
+    artifacts: &CompiledArtifacts,
+    fault_plan: &FaultPlan,
+    spec: &DegradedSpec,
+    template: &DegradedRun<S, SequentialLayout>,
+) -> Result<DegradedRun<S, SequentialLayout>, SampleError> {
+    sequential_degraded_with_layout(
+        artifacts.dataset(),
+        fault_plan,
+        spec,
+        artifacts.sequential_layout().clone(),
+        Some(template),
     )
 }
 
 fn sequential_degraded_with_layout<S: QuantumState>(
     dataset: &DistributedDataset,
     fault_plan: &FaultPlan,
-    policy: &RetryPolicy,
+    spec: &DegradedSpec,
     layout: SequentialLayout,
+    template: Option<&DegradedRun<S, SequentialLayout>>,
 ) -> Result<DegradedRun<S, SequentialLayout>, SampleError> {
-    let d = DistributingOperator::new(dataset.capacity());
-    let modulus = dataset.capacity() + 1;
     let (elem, count, flag) = (layout.elem, layout.count, layout.flag);
     // A cheap handle clone shares the cached anchor table through the
     // layout's internal `Arc<OnceLock<…>>` — no per-call deep copy — while
@@ -437,23 +692,23 @@ fn sequential_degraded_with_layout<S: QuantumState>(
     run_degraded(
         dataset,
         fault_plan,
-        policy,
+        spec,
         layout,
         sim_layout,
-        elem,
-        flag,
+        (elem, count, flag),
         anchor_src.uniform_anchor(),
-        move |state: &mut S, inverse, survivors, faulty, session| {
+        |survivors, faulty, session| {
             // Lemma 4.2 over the survivors: forward cascade ascending,
             // inverse cascade descending — 2·|survivors| charged probes.
             let fwd = faulty.probe_machines(survivors, session)?;
             let rev: Vec<usize> = survivors.iter().rev().copied().collect();
             let inv = faulty.probe_machines(&rev, session)?;
-            let tf = faulty.answered_total_table(&fwd);
-            let ti = faulty.answered_total_table(&inv);
-            apply_net_d(&d, state, (elem, count, flag), modulus, &tf, &ti, inverse)
-                .map_err(OracleError::from)
+            Ok((
+                faulty.answered_total_table(&fwd),
+                faulty.answered_total_table(&inv),
+            ))
         },
+        template,
     )
 }
 
@@ -466,56 +721,297 @@ pub fn parallel_sample_degraded<S: QuantumState>(
     fault_plan: &FaultPlan,
     policy: &RetryPolicy,
 ) -> Result<DegradedRun<S, ParallelLayout>, SampleError> {
+    parallel_sample_degraded_spec(dataset, fault_plan, &DegradedSpec::from_policy(*policy))
+}
+
+/// [`parallel_sample_degraded`] under a full [`DegradedSpec`].
+pub fn parallel_sample_degraded_spec<S: QuantumState>(
+    dataset: &DistributedDataset,
+    fault_plan: &FaultPlan,
+    spec: &DegradedSpec,
+) -> Result<DegradedRun<S, ParallelLayout>, SampleError> {
     let layout = ParallelLayout::for_dataset(dataset);
-    parallel_degraded_with_layout(dataset, fault_plan, policy, layout)
+    parallel_degraded_with_layout(dataset, fault_plan, spec, layout, None)
 }
 
 /// [`parallel_sample_degraded`] against pre-compiled shared artifacts (see
 /// [`sequential_sample_degraded_cached`]).
 pub fn parallel_sample_degraded_cached<S: QuantumState>(
-    artifacts: &crate::artifacts::CompiledArtifacts,
+    artifacts: &CompiledArtifacts,
     fault_plan: &FaultPlan,
     policy: &RetryPolicy,
+) -> Result<DegradedRun<S, ParallelLayout>, SampleError> {
+    parallel_sample_degraded_cached_spec(artifacts, fault_plan, &DegradedSpec::from_policy(*policy))
+}
+
+/// [`parallel_sample_degraded_cached`] under a full [`DegradedSpec`].
+pub fn parallel_sample_degraded_cached_spec<S: QuantumState>(
+    artifacts: &CompiledArtifacts,
+    fault_plan: &FaultPlan,
+    spec: &DegradedSpec,
 ) -> Result<DegradedRun<S, ParallelLayout>, SampleError> {
     parallel_degraded_with_layout(
         artifacts.dataset(),
         fault_plan,
-        policy,
+        spec,
         artifacts.parallel_layout().clone(),
+        None,
+    )
+}
+
+/// Replays a completed parallel degraded run (see
+/// [`replay_sequential_degraded_run`]).
+pub fn replay_parallel_degraded_run<S: QuantumState>(
+    artifacts: &CompiledArtifacts,
+    fault_plan: &FaultPlan,
+    spec: &DegradedSpec,
+    template: &DegradedRun<S, ParallelLayout>,
+) -> Result<DegradedRun<S, ParallelLayout>, SampleError> {
+    parallel_degraded_with_layout(
+        artifacts.dataset(),
+        fault_plan,
+        spec,
+        artifacts.parallel_layout().clone(),
+        Some(template),
     )
 }
 
 fn parallel_degraded_with_layout<S: QuantumState>(
     dataset: &DistributedDataset,
     fault_plan: &FaultPlan,
-    policy: &RetryPolicy,
+    spec: &DegradedSpec,
     layout: ParallelLayout,
+    template: Option<&DegradedRun<S, ParallelLayout>>,
 ) -> Result<DegradedRun<S, ParallelLayout>, SampleError> {
-    let d = DistributingOperator::new(dataset.capacity());
-    let modulus = dataset.capacity() + 1;
     let (elem, count, flag) = (layout.elem, layout.count, layout.flag);
     let anchor_src = layout.clone();
     let sim_layout = layout.layout.clone();
     run_degraded(
         dataset,
         fault_plan,
-        policy,
+        spec,
         layout,
         sim_layout,
-        elem,
-        flag,
+        (elem, count, flag),
         anchor_src.uniform_anchor(),
-        move |state: &mut S, inverse, survivors, faulty, session| {
+        |survivors, faulty, session| {
             let r1 = faulty.probe_round_machines(survivors, session)?; // load: O
             let _r2 = faulty.probe_round_machines(survivors, session)?; // load: O† (frozen to r1)
             let r3 = faulty.probe_round_machines(survivors, session)?; // unload: O
             let _r4 = faulty.probe_round_machines(survivors, session)?; // unload: O† (frozen to r3)
-            let tf = faulty.answered_total_table(&r1);
-            let ti = faulty.answered_total_table(&r3);
-            apply_net_d(&d, state, (elem, count, flag), modulus, &tf, &ti, inverse)
-                .map_err(OracleError::from)
+            Ok((
+                faulty.answered_total_table(&r1),
+                faulty.answered_total_table(&r3),
+            ))
         },
+        template,
     )
+}
+
+/// Result of estimating the *surviving* total `M_surv` under faults.
+#[derive(Debug, Clone)]
+pub struct DegradedEstimationRun {
+    /// Estimated surviving total `M̂_surv = â·νN`.
+    pub estimated_total: f64,
+    /// Estimated success probability `â` (true value `M_surv/(νN)`).
+    pub estimated_a: f64,
+    /// Shots of the completing attempt.
+    pub shots: u64,
+    /// Exact charges — every attempt's probes and retries included.
+    pub queries: LedgerSnapshot,
+    /// How many attempts the estimator started (1 = no restart).
+    pub restarts: u64,
+    /// Machines the completing attempt probed, ascending.
+    pub survivors: Vec<usize>,
+    /// Machines declared dead, ascending.
+    pub dead: Vec<usize>,
+    /// Total charged retries.
+    pub total_retries: u64,
+    /// Deterministic backoff ticks spent before those retries.
+    pub backoff_ticks: u64,
+    /// `|⟨ψ_surv|ψ⟩|²` — the best sampling from the surviving data could
+    /// do, computed classically from the counts.
+    pub fidelity_bound: f64,
+    /// The exact surviving total the estimate converges to.
+    pub surviving_total: u64,
+}
+
+impl DegradedEstimationRun {
+    /// True when any machine was lost along the way.
+    pub fn is_degraded(&self) -> bool {
+        !self.dead.is_empty()
+    }
+}
+
+/// Estimates `M_surv` with `shots` prepare-measure rounds against a fault
+/// plan: each shot probes one faulty `D` over the survivors (forward +
+/// inverse cascade, retries included) and measures the flag of the net-`D`
+/// state. A breaker trip mid-shot restarts the whole estimate over the
+/// shrunken survivor set — spent shots stay charged, the zero counter
+/// resets (mixed-population zero counts would estimate nothing meaningful).
+///
+/// Fault-free plans reproduce [`crate::estimate::estimate_total_count`]'s
+/// estimate, charges and RNG consumption exactly: clean probes make the
+/// net `D` bit-identical to the fused faultless `D`, and no `RESTART`
+/// event is emitted on the first attempt.
+///
+/// # Errors
+///
+/// [`SampleError::InvalidShotBudget`] for `shots == 0`,
+/// [`SampleError::NoFlagZeroOutcomes`] when every shot of the completing
+/// attempt lands on flag 1, [`SampleError::NoSurvivingData`] when nothing
+/// is left to probe, and [`SampleError::DeadlineExceeded`] at a tripped
+/// restart boundary.
+pub fn estimate_total_count_degraded(
+    dataset: &DistributedDataset,
+    fault_plan: &FaultPlan,
+    spec: &DegradedSpec,
+    shots: u64,
+    rng: &mut impl Rng,
+) -> Result<DegradedEstimationRun, SampleError> {
+    let layout = SequentialLayout::for_dataset(dataset);
+    estimate_degraded_with_layout(dataset, fault_plan, spec, shots, rng, layout)
+}
+
+/// [`estimate_total_count_degraded`] against pre-compiled shared
+/// artifacts. Bit-identical to the uncached entry point.
+pub fn estimate_total_count_degraded_cached(
+    artifacts: &CompiledArtifacts,
+    fault_plan: &FaultPlan,
+    spec: &DegradedSpec,
+    shots: u64,
+    rng: &mut impl Rng,
+) -> Result<DegradedEstimationRun, SampleError> {
+    estimate_degraded_with_layout(
+        artifacts.dataset(),
+        fault_plan,
+        spec,
+        shots,
+        rng,
+        artifacts.sequential_layout().clone(),
+    )
+}
+
+fn estimate_degraded_with_layout(
+    dataset: &DistributedDataset,
+    fault_plan: &FaultPlan,
+    spec: &DegradedSpec,
+    shots: u64,
+    rng: &mut impl Rng,
+    layout: SequentialLayout,
+) -> Result<DegradedEstimationRun, SampleError> {
+    if shots == 0 {
+        return Err(SampleError::InvalidShotBudget);
+    }
+    let n = dataset.num_machines();
+    let _run_span = dqs_obs::span(dqs_obs::names::SPAN_ESTIMATE);
+    let obs_probe = dqs_obs::begin_probe(n);
+    let ledger = QueryLedger::new(n);
+    let oracles = OracleSet::new(dataset, &ledger);
+    let faulty = FaultyOracleSet::new(&oracles, fault_plan);
+    let mut session = RetrySession::with_quarantined(n, &spec.policy, &spec.quarantined);
+    let full_totals = dataset.total_count_table();
+    let universe = dataset.universe();
+    let capacity = dataset.capacity();
+    let d = DistributingOperator::new(capacity);
+    let modulus = capacity + 1;
+    let (elem, count, flag) = (layout.elem, layout.count, layout.flag);
+
+    let mut restarts = 0u64;
+    loop {
+        if deadline_tripped(spec, &ledger) {
+            return Err(deadline_partial(
+                dataset,
+                &full_totals,
+                &ledger,
+                &session,
+                restarts,
+            ));
+        }
+        restarts += 1;
+        // No RESTART event on the first attempt: a fault-free degraded
+        // estimate emits the exact faultless estimate stream.
+        if restarts > 1 {
+            dqs_obs::counter(dqs_obs::names::RESTART, 1);
+        }
+        let survivors = session.survivors();
+        let surv_totals = survivor_totals(dataset, &survivors);
+        let m_surv: u64 = surv_totals.iter().sum();
+        if survivors.is_empty() || m_surv == 0 {
+            return Err(SampleError::NoSurvivingData {
+                dead: session.dead_machines(),
+            });
+        }
+
+        let mut zeros = 0u64;
+        let mut lost_machine = false;
+        for _ in 0..shots {
+            dqs_obs::counter(dqs_obs::names::ESTIMATE_SHOT, 1);
+            let probed = (|| {
+                let fwd = faulty.probe_machines(&survivors, &mut session)?;
+                let rev: Vec<usize> = survivors.iter().rev().copied().collect();
+                let inv = faulty.probe_machines(&rev, &mut session)?;
+                Ok((
+                    faulty.answered_total_table(&fwd),
+                    faulty.answered_total_table(&inv),
+                ))
+            })();
+            match probed {
+                Ok((tf, ti)) => {
+                    let mut state = SparseState::from_table(layout.uniform_anchor());
+                    apply_net_d(
+                        &d,
+                        &mut state,
+                        (elem, count, flag),
+                        modulus,
+                        &tf,
+                        &ti,
+                        false,
+                    )
+                    .map_err(|e| SampleError::Oracle(OracleError::from(e)))?;
+                    let (flag_val, _) = measure_register(&mut state, flag, rng);
+                    zeros += u64::from(flag_val == 0);
+                }
+                Err(OracleError::MachineUnavailable { machine, .. }) => {
+                    debug_assert!(
+                        session.is_dead(machine),
+                        "a give-up must kill the machine, or the restart loop spins"
+                    );
+                    lost_machine = true;
+                    break;
+                }
+                Err(e @ OracleError::Sim(_)) => return Err(SampleError::Oracle(e)),
+            }
+        }
+        if lost_machine {
+            if restarts > n as u64 {
+                return Err(SampleError::NoSurvivingData {
+                    dead: session.dead_machines(),
+                });
+            }
+            continue; // Partial attempt's shots and probes stay charged.
+        }
+        dqs_obs::gauge(dqs_obs::names::ESTIMATE_ZEROS, zeros as i64);
+        let queries = ledger.snapshot();
+        dqs_obs::debug_check(&obs_probe, &queries.per_machine, queries.parallel_rounds);
+        if zeros == 0 {
+            return Err(SampleError::NoFlagZeroOutcomes { shots });
+        }
+        let a_hat = zeros as f64 / shots as f64;
+        return Ok(DegradedEstimationRun {
+            estimated_total: a_hat * capacity as f64 * universe as f64,
+            estimated_a: a_hat,
+            shots,
+            queries,
+            restarts,
+            survivors,
+            dead: session.dead_machines(),
+            total_retries: session.total_retries(),
+            backoff_ticks: session.backoff_ticks(),
+            fidelity_bound: fidelity_lower_bound(&full_totals, &surv_totals),
+            surviving_total: m_surv,
+        });
+    }
 }
 
 #[cfg(test)]
@@ -729,6 +1225,245 @@ mod tests {
             Err(e) => e,
         };
         assert_eq!(err, SampleError::NoSurvivingData { dead: vec![0, 1] });
+    }
+
+    #[test]
+    fn zero_deadline_trips_before_any_attempt() {
+        let ds = dataset();
+        let plan = FaultPlan::none(2);
+        let spec = DegradedSpec {
+            deadline: Some(0),
+            ..DegradedSpec::default()
+        };
+        let partial = match sequential_sample_degraded_spec::<SparseState>(&ds, &plan, &spec) {
+            Err(SampleError::DeadlineExceeded { partial }) => partial,
+            Err(other) => panic!("expected a deadline trip, got {other:?}"),
+            Ok(_) => panic!("a zero budget cannot afford an attempt"),
+        };
+        assert_eq!(partial.restarts, 0, "no attempt was affordable");
+        assert_eq!(partial.queries.total_sequential(), 0);
+        assert_eq!(partial.survivors, vec![0, 1]);
+        assert!(partial.dead.is_empty());
+        assert_eq!(partial.fidelity_bound(), 1.0, "all data still reachable");
+    }
+
+    #[test]
+    fn deadline_trips_at_restart_boundary_with_exact_partial() {
+        let ds = dataset();
+        // Machine 1 is dead on arrival: attempt 1 probes machine 0 (1
+        // query), hits the crash on machine 1 (1 charged query), and
+        // restarts. With a 2-query budget the boundary check trips before
+        // attempt 2 begins.
+        let plan = crash(vec![
+            vec![],
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Crashed,
+            }],
+        ]);
+        let spec = DegradedSpec {
+            deadline: Some(2),
+            ..DegradedSpec::default()
+        };
+        let partial = match sequential_sample_degraded_spec::<SparseState>(&ds, &plan, &spec) {
+            Err(SampleError::DeadlineExceeded { partial }) => partial,
+            Err(other) => panic!("expected a deadline trip, got {other:?}"),
+            Ok(_) => panic!("a 2-query budget cannot finish a run"),
+        };
+        assert_eq!(partial.restarts, 1);
+        assert_eq!(partial.queries.per_machine, vec![1, 1]);
+        assert_eq!(partial.survivors, vec![0]);
+        assert_eq!(partial.dead, vec![1]);
+        // The bound the aborted run could still promise — computed without
+        // ever finishing a circuit.
+        let expected = (2.0 + 2f64.sqrt()).powi(2) / 21.0;
+        assert!(approx_eq(partial.fidelity_bound(), expected));
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let ds = dataset();
+        let plan = crash(vec![
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Transient { fail_count: 2 },
+            }],
+            vec![],
+        ]);
+        let policy = RetryPolicy {
+            max_retries: 5,
+            breaker_threshold: 6,
+            ..RetryPolicy::default()
+        };
+        let spec = DegradedSpec {
+            policy,
+            deadline: Some(1_000_000),
+            ..DegradedSpec::default()
+        };
+        let with = sequential_sample_degraded_spec::<SparseState>(&ds, &plan, &spec).unwrap();
+        let without = sequential_sample_degraded::<SparseState>(&ds, &plan, &policy).unwrap();
+        assert_eq!(with.state.to_table(), without.state.to_table());
+        assert_eq!(with.queries, without.queries);
+        assert_eq!(with.restarts, without.restarts);
+        assert_eq!(with.fidelity_bound, without.fidelity_bound);
+    }
+
+    #[test]
+    fn quarantined_machines_start_dead_and_are_never_probed() {
+        let ds = dataset();
+        let plan = FaultPlan::none(2);
+        let spec = DegradedSpec {
+            quarantined: vec![1, 99], // out-of-range indices are ignored
+            ..DegradedSpec::default()
+        };
+        let run = sequential_sample_degraded_spec::<SparseState>(&ds, &plan, &spec).unwrap();
+        assert_eq!(run.survivors, vec![0]);
+        assert_eq!(run.dead, vec![1]);
+        assert_eq!(run.restarts, 1, "the quarantine needs no discovery");
+        assert_eq!(run.queries.per_machine[1], 0, "dead machines cost nothing");
+        let expected = (2.0 + 2f64.sqrt()).powi(2) / 21.0;
+        assert!(approx_eq(run.fidelity_bound, expected));
+        // Identical to discovering the crash, minus the discovery probes.
+        let crashed = crash(vec![
+            vec![],
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Crashed,
+            }],
+        ]);
+        let discovered =
+            sequential_sample_degraded::<SparseState>(&ds, &crashed, &RetryPolicy::default())
+                .unwrap();
+        assert_eq!(run.state.to_table(), discovered.state.to_table());
+    }
+
+    #[test]
+    fn replay_matches_execute_bitwise_sequential() {
+        let ds = dataset();
+        let artifacts =
+            CompiledArtifacts::build(&crate::snapshot::DatasetSnapshot::new(ds.clone()));
+        let plan = crash(vec![
+            vec![FaultEvent {
+                at_query: 2,
+                kind: FaultKind::Transient { fail_count: 1 },
+            }],
+            vec![FaultEvent {
+                at_query: 3,
+                kind: FaultKind::Crashed,
+            }],
+        ]);
+        let spec = DegradedSpec::default();
+        let run = sequential_sample_degraded_cached_spec::<SparseState>(&artifacts, &plan, &spec)
+            .unwrap();
+        let replay =
+            replay_sequential_degraded_run::<SparseState>(&artifacts, &plan, &spec, &run).unwrap();
+        assert_eq!(replay.state.to_table(), run.state.to_table());
+        assert_eq!(replay.queries, run.queries);
+        assert_eq!(replay.restarts, run.restarts);
+        assert_eq!(replay.survivors, run.survivors);
+        assert_eq!(replay.dead, run.dead);
+        assert_eq!(replay.total_retries, run.total_retries);
+        assert_eq!(replay.backoff_ticks, run.backoff_ticks);
+        assert_eq!(replay.fidelity_bound, run.fidelity_bound);
+        assert_eq!(replay.fidelity_vs_target, run.fidelity_vs_target);
+    }
+
+    #[test]
+    fn replay_matches_execute_bitwise_parallel() {
+        let ds = dataset();
+        let artifacts =
+            CompiledArtifacts::build(&crate::snapshot::DatasetSnapshot::new(ds.clone()));
+        let plan = crash(vec![
+            vec![],
+            vec![FaultEvent {
+                at_query: 1,
+                kind: FaultKind::Crashed,
+            }],
+        ]);
+        let spec = DegradedSpec::default();
+        let run =
+            parallel_sample_degraded_cached_spec::<SparseState>(&artifacts, &plan, &spec).unwrap();
+        let replay =
+            replay_parallel_degraded_run::<SparseState>(&artifacts, &plan, &spec, &run).unwrap();
+        assert_eq!(replay.state.to_table(), run.state.to_table());
+        assert_eq!(replay.queries, run.queries);
+        assert_eq!(replay.restarts, run.restarts);
+        assert_eq!(replay.dead, run.dead);
+        assert_eq!(replay.fidelity_bound, run.fidelity_bound);
+    }
+
+    #[test]
+    fn fault_free_degraded_estimate_matches_faultless_bitwise() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let ds = dataset();
+        let plan = FaultPlan::none(2);
+        let spec = DegradedSpec::default();
+        let mut rng_a = StdRng::seed_from_u64(11);
+        let mut rng_b = StdRng::seed_from_u64(11);
+        let deg = estimate_total_count_degraded(&ds, &plan, &spec, 200, &mut rng_a).unwrap();
+        let base = crate::estimate::estimate_total_count(&ds, 200, &mut rng_b).unwrap();
+        assert_eq!(deg.estimated_a, base.estimated_a);
+        assert_eq!(deg.estimated_total, base.estimated_total);
+        assert_eq!(deg.queries, base.queries);
+        assert_eq!(deg.restarts, 1);
+        assert!(deg.dead.is_empty());
+        assert_eq!(deg.fidelity_bound, 1.0);
+        assert_eq!(deg.surviving_total, 7);
+    }
+
+    #[test]
+    fn degraded_estimate_tracks_the_surviving_total() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let ds = dataset();
+        let plan = crash(vec![
+            vec![],
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Crashed,
+            }],
+        ]);
+        let spec = DegradedSpec::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let run = estimate_total_count_degraded(&ds, &plan, &spec, 2000, &mut rng).unwrap();
+        assert_eq!(run.dead, vec![1]);
+        assert_eq!(run.survivors, vec![0]);
+        assert_eq!(run.restarts, 2);
+        assert_eq!(run.surviving_total, 3, "machine 0 holds c = (2,1)");
+        let rel = (run.estimated_total - 3.0).abs() / 3.0;
+        assert!(rel < 0.25, "estimate {} vs M_surv = 3", run.estimated_total);
+        let expected = (2.0 + 2f64.sqrt()).powi(2) / 21.0;
+        assert!(approx_eq(run.fidelity_bound, expected));
+        // The crashed probe of the first attempt stays charged.
+        assert_eq!(run.queries.per_machine[1], 1);
+    }
+
+    #[test]
+    fn degraded_estimate_honors_the_deadline() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let ds = dataset();
+        let plan = crash(vec![
+            vec![],
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Crashed,
+            }],
+        ]);
+        let spec = DegradedSpec {
+            deadline: Some(2),
+            ..DegradedSpec::default()
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        let err = estimate_total_count_degraded(&ds, &plan, &spec, 50, &mut rng).unwrap_err();
+        match err {
+            SampleError::DeadlineExceeded { partial } => {
+                assert_eq!(partial.restarts, 1);
+                assert_eq!(partial.dead, vec![1]);
+            }
+            other => panic!("expected a deadline trip, got {other:?}"),
+        }
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! fault-injecting and estimating variants compose without `unwrap` walls
 //! at call sites.
 
+use crate::degraded::DegradedPartial;
 use dqs_db::OracleError;
 use std::fmt;
 
@@ -31,6 +32,15 @@ pub enum SampleError {
     /// A batched entry point was asked to run with zero batch members
     /// (no tenants / no seeds — there is nothing to execute).
     EmptyBatch,
+    /// Degraded mode: the deterministic attempt-count deadline tripped at
+    /// a restart boundary before an attempt completed. The partial run —
+    /// exact charges, breaker state, and the survivor-set fidelity bound —
+    /// rides along: degradation is never free, and the bound never needed
+    /// the circuit to finish.
+    DeadlineExceeded {
+        /// Everything the aborted run had established when it gave up.
+        partial: Box<DegradedPartial>,
+    },
 }
 
 impl fmt::Display for SampleError {
@@ -50,6 +60,15 @@ impl fmt::Display for SampleError {
             SampleError::EmptyBatch => {
                 write!(f, "batch must contain at least one member")
             }
+            SampleError::DeadlineExceeded { partial } => write!(
+                f,
+                "deadline exceeded after {} charged attempts ({} restarts); \
+                 fidelity bound {} still holds over survivors {:?}",
+                partial.queries.total_sequential() + partial.queries.parallel_rounds,
+                partial.restarts,
+                partial.fidelity_bound(),
+                partial.survivors,
+            ),
         }
     }
 }
@@ -82,5 +101,22 @@ mod tests {
             permanent: true,
         });
         assert!(o.to_string().contains("machine 1"));
+        let d = SampleError::DeadlineExceeded {
+            partial: Box::new(DegradedPartial::new(
+                dqs_db::LedgerSnapshot {
+                    per_machine: vec![3, 1],
+                    parallel_rounds: 0,
+                },
+                1,
+                vec![0],
+                vec![1],
+                0,
+                0,
+                0.75,
+            )),
+        };
+        let msg = d.to_string();
+        assert!(msg.contains("deadline exceeded after 4 charged attempts"));
+        assert!(msg.contains("0.75"));
     }
 }

@@ -50,7 +50,7 @@ pub mod parallel;
 pub mod sequential;
 pub mod snapshot;
 
-pub use amplify::{try_execute_plan, AaPlan, FinalRotation};
+pub use amplify::{try_execute_plan, walk_plan_queries, AaPlan, FinalRotation};
 pub use artifacts::{ArtifactCache, CacheStats, CompiledArtifacts};
 pub use circuit::{
     compile_distributing, compile_distributing_with_tables, compile_parallel,
@@ -59,8 +59,12 @@ pub use circuit::{
 };
 pub use cost::{parallel_cost, sequential_cost, CostModel};
 pub use degraded::{
-    parallel_sample_degraded, parallel_sample_degraded_cached, sequential_sample_degraded,
-    sequential_sample_degraded_cached, DegradedRun, RetryPolicy, RetrySession,
+    estimate_total_count_degraded, estimate_total_count_degraded_cached, parallel_sample_degraded,
+    parallel_sample_degraded_cached, parallel_sample_degraded_cached_spec,
+    parallel_sample_degraded_spec, replay_parallel_degraded_run, replay_sequential_degraded_run,
+    sequential_sample_degraded, sequential_sample_degraded_cached,
+    sequential_sample_degraded_cached_spec, sequential_sample_degraded_spec, DegradedEstimationRun,
+    DegradedPartial, DegradedRun, DegradedSpec, RetryPolicy, RetrySession,
 };
 pub use distributing::DistributingOperator;
 pub use error::SampleError;

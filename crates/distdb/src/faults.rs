@@ -33,7 +33,7 @@ use dqs_sim::{QuantumState, SimError};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 
 /// One kind of machine misbehaviour.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -396,6 +396,11 @@ pub struct FaultyOracleSet<'a> {
     oracles: &'a OracleSet<'a>,
     plan: &'a FaultPlan,
     attempts: Vec<AtomicU64>,
+    /// Set once any probe returns a *silently wrong* answer (stale or
+    /// corrupt). Loud failures (crash/transient) do not taint: they either
+    /// retry into a clean answer or abort the caller with a typed error,
+    /// so no wrong value can flow into derived artifacts unnoticed.
+    tainted: AtomicBool,
 }
 
 impl<'a> FaultyOracleSet<'a> {
@@ -417,6 +422,7 @@ impl<'a> FaultyOracleSet<'a> {
             attempts: (0..plan.num_machines())
                 .map(|_| AtomicU64::new(0))
                 .collect(),
+            tainted: AtomicBool::new(false),
         }
     }
 
@@ -453,8 +459,23 @@ impl<'a> FaultyOracleSet<'a> {
         dqs_obs::machine_counter(dqs_obs::names::ORACLE_QUERY, machine, 1);
         let attempt = self.attempts[machine].fetch_add(1, Ordering::Relaxed);
         let outcome = self.plan.outcome(machine, attempt);
+        self.record_taint(&outcome);
         emit_outcome(machine, &outcome);
         outcome
+    }
+
+    /// True once any probe has answered stale or corrupt. The flag is
+    /// monotone: a later clean answer cannot clear it, because a value
+    /// derived from the earlier dirty read may already be in flight — this
+    /// is the poison signal artifact caches key their insert decision on.
+    pub fn is_tainted(&self) -> bool {
+        self.tainted.load(Ordering::Relaxed)
+    }
+
+    fn record_taint(&self, outcome: &QueryOutcome) {
+        if matches!(outcome, QueryOutcome::Answer(ans) if !ans.is_clean()) {
+            self.tainted.store(true, Ordering::Relaxed);
+        }
     }
 
     /// Probes `machine` until it answers or `handler` gives up. Every
@@ -602,6 +623,7 @@ impl<'a> FaultyOracleSet<'a> {
             for &j in machines {
                 let attempt = self.attempts[j].fetch_add(1, Ordering::Relaxed);
                 let outcome = self.plan.outcome(j, attempt);
+                self.record_taint(&outcome);
                 emit_outcome(j, &outcome);
                 outcomes.push((j, attempt, outcome));
             }
@@ -648,6 +670,20 @@ impl<'a> FaultyOracleSet<'a> {
                     .sum::<u64>()
                     % modulus
             })
+            .collect()
+    }
+
+    /// The full per-element count table `machine` answers with under one
+    /// probed [`Answer`] — stale prefix composed, corruption added, clamped
+    /// at zero, *not* reduced mod `ν+1`. For a clean answer this equals the
+    /// machine's true multiplicity table; a dirty answer yields exactly the
+    /// wrong table a poisoned artifact build would bake in, which is why
+    /// callers must pair this with [`Self::is_tainted`] before caching
+    /// anything derived from it.
+    pub fn answered_count_table(&self, machine: usize, ans: Answer) -> Vec<u64> {
+        let view = self.view(machine, ans);
+        (0..self.oracles.dataset().universe())
+            .map(|i| self.answered_count(&view, i))
             .collect()
     }
 
@@ -1065,5 +1101,109 @@ mod tests {
                 "crashed machines stay crashed (attempt {attempt})"
             );
         }
+    }
+
+    #[test]
+    fn taint_flags_dirty_answers_and_stays_set() {
+        let ds = dataset();
+        // Machine 0 lies once (corrupt), then answers cleanly forever.
+        let plan = FaultPlan::from_schedules(vec![
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Corrupt { delta: 2 },
+            }],
+            vec![],
+        ]);
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        let faulty = FaultyOracleSet::new(&oracles, &plan);
+        assert!(!faulty.is_tainted());
+        faulty.probe(1);
+        assert!(!faulty.is_tainted(), "clean answers do not taint");
+        faulty.probe(0);
+        assert!(faulty.is_tainted(), "a corrupt answer taints");
+        faulty.probe(0);
+        assert!(faulty.is_tainted(), "the flag is monotone");
+    }
+
+    #[test]
+    fn loud_failures_do_not_taint_but_stale_answers_do() {
+        let ds = dataset();
+        let plan = FaultPlan::from_schedules(vec![
+            vec![FaultEvent {
+                at_query: 0,
+                kind: FaultKind::Transient { fail_count: 2 },
+            }],
+            vec![FaultEvent {
+                at_query: 1,
+                kind: FaultKind::Stale { as_of_update: 0 },
+            }],
+        ]);
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        let faulty = FaultyOracleSet::new(&oracles, &plan);
+        let ans = faulty.probe_with_retry(0, &mut RetryTransient).unwrap();
+        assert!(ans.is_clean());
+        assert!(
+            !faulty.is_tainted(),
+            "retried-through failures yield clean reads"
+        );
+        faulty.probe(1);
+        assert!(!faulty.is_tainted());
+        faulty.probe(1);
+        assert!(faulty.is_tainted(), "a stale answer taints");
+    }
+
+    #[test]
+    fn answered_count_table_reports_the_view_the_machine_answered() {
+        let ds = dataset();
+        let plan = FaultPlan::none(2);
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::new(&ds, &ledger);
+        let faulty = FaultyOracleSet::new(&oracles, &plan);
+        // Clean: the true multiplicity table of machine 1.
+        assert_eq!(
+            faulty.answered_count_table(1, Answer::clean()),
+            vec![0, 1, 0, 3]
+        );
+        // Corrupt: every count shifted (clamped at zero).
+        assert_eq!(
+            faulty.answered_count_table(
+                1,
+                Answer {
+                    stale_as_of: None,
+                    corrupt_delta: -1,
+                }
+            ),
+            vec![0, 0, 0, 2]
+        );
+    }
+
+    #[test]
+    fn stale_answered_count_table_composes_only_the_visible_prefix() {
+        let ds = dataset();
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(0, 0)); // machine 0: c_0 2 → 3
+        log.push(UpdateOp::insert(0, 2)); // machine 0: c_2 0 → 1
+        let plan = FaultPlan::none(2);
+        let ledger = QueryLedger::new(2);
+        let oracles = OracleSet::with_updates(&ds, &ledger, &log);
+        let faulty = FaultyOracleSet::new(&oracles, &plan);
+        assert_eq!(
+            faulty.answered_count_table(0, Answer::clean()),
+            vec![3, 1, 1, 0],
+            "current view composes the whole log"
+        );
+        assert_eq!(
+            faulty.answered_count_table(
+                0,
+                Answer {
+                    stale_as_of: Some(1),
+                    corrupt_delta: 0,
+                }
+            ),
+            vec![3, 1, 0, 0],
+            "stale view stops after the first op"
+        );
     }
 }

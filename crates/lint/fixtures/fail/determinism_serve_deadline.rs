@@ -1,0 +1,25 @@
+//@ path: crates/serve/src/deadline.rs
+//@ expect: R1:determinism
+// A degraded-serving deadline denominated in wall-clock time: dqs-serve is
+// a deterministic crate, so R1 must fire on the import and the call sites.
+// Wall clocks make the deadline decision depend on scheduler jitter — two
+// runs of the same fault plan could trip at different restart boundaries.
+use std::time::Instant;
+
+pub struct WallClockDeadline {
+    started: Instant,
+    budget_secs: u64,
+}
+
+impl WallClockDeadline {
+    pub fn start(budget_secs: u64) -> Self {
+        Self {
+            started: Instant::now(),
+            budget_secs,
+        }
+    }
+
+    pub fn exceeded(&self) -> bool {
+        self.started.elapsed().as_secs() >= self.budget_secs
+    }
+}

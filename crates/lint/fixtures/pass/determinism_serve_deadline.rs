@@ -1,0 +1,22 @@
+//@ path: crates/serve/src/deadline.rs
+// The deterministic replacement the serving layer actually uses: deadlines
+// are budgets on *charged oracle attempts*, checked at restart boundaries,
+// so the trip point is a pure function of the fault plan and retry policy.
+// Mentions of the banned names in comments (Instant::now) must not fire.
+pub struct AttemptDeadline {
+    charged: u64,
+    budget: Option<u64>,
+}
+
+impl AttemptDeadline {
+    pub fn new(budget: Option<u64>) -> Self {
+        Self { charged: 0, budget }
+    }
+
+    /// Charges `attempts` and reports whether the budget is exhausted —
+    /// never consults a wall clock (no Instant::now here).
+    pub fn charge(&mut self, attempts: u64) -> bool {
+        self.charged += attempts;
+        self.budget.is_some_and(|b| self.charged > b)
+    }
+}

@@ -88,6 +88,9 @@ pub mod names {
     pub const RESTART: &str = "sample.restart";
     /// Surviving-machine count of the completing degraded attempt (gauge).
     pub const SURVIVORS: &str = "sample.survivors";
+    /// A degraded run gave up at its deterministic attempt-count deadline
+    /// (emitted once, at the restart boundary that tripped it).
+    pub const DEADLINE_EXCEEDED: &str = "sample.deadline_exceeded";
     /// One prepare-and-measure estimation shot.
     pub const ESTIMATE_SHOT: &str = "estimate.shot";
     /// Flag-zero outcomes observed by the estimator (gauge).

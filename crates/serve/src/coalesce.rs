@@ -5,8 +5,16 @@
 //! schedules, differing only in tenant identity and (for estimation) the
 //! measurement seed. The planner exploits exactly that: requests are
 //! grouped by their `GroupKey` — kind plus any cost-shaping parameter
-//! (shot count) — and each group later runs one real template plus
-//! per-member replays.
+//! (shot count, fault plan) — and each group later runs one real template
+//! plus per-member replays.
+//!
+//! Degraded requests extend the invariant: the retry/backoff/breaker
+//! trajectory of a degraded run is a pure function of the fault plan and
+//! the response spec, so two degraded requests coalesce only when both
+//! agree bit-for-bit. The planner keys them by a content hash of
+//! `(FaultPlan, DegradedSpec)`; the executor re-checks exact equality
+//! before sharing a template, so a hash collision degrades to solo
+//! execution, never to a wrong answer.
 //!
 //! Planning is a pure function of the submitted request sequence and the
 //! two knobs (`max_pending` per tenant per wave, `max_batch` per group):
@@ -16,10 +24,108 @@
 //! runs regardless of coalescing decisions" testable at all.
 
 use crate::tenant::TenantId;
+use dqs_core::DegradedSpec;
+use dqs_db::{FaultKind, FaultPlan};
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Which sampler a degraded request runs against the fault plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegradedAlgorithm {
+    /// The sequential sampler of Theorem 4.3.
+    Sequential,
+    /// The parallel sampler of Theorem 4.5.
+    Parallel,
+}
+
+/// A fault plan plus the coordinator's response spec — everything that
+/// shapes a degraded run besides the dataset itself.
+///
+/// Requests share this by `Arc`: the plan is the large part (per-machine
+/// schedules) and callers typically submit many requests against one
+/// chaos scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultSpec {
+    /// The deterministic per-machine fault schedule to run against.
+    pub plan: FaultPlan,
+    /// Retry policy, attempt-count deadline, and pre-quarantined machines.
+    pub spec: DegradedSpec,
+}
+
+impl FaultSpec {
+    /// A fault spec with the default retry policy, no deadline, and no
+    /// quarantine.
+    pub fn from_plan(plan: FaultPlan) -> Self {
+        Self {
+            plan,
+            spec: DegradedSpec::default(),
+        }
+    }
+
+    /// Content hash over the plan and spec, used as the coalescing key.
+    ///
+    /// Structural, not derive-based: every field that shapes the degraded
+    /// trajectory is folded in (schedules, policy, deadline, quarantine),
+    /// so equal specs always hash equal. The executor still re-checks
+    /// exact equality before sharing a template — a collision here costs
+    /// a solo run, not correctness.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = 0x6a09_e667_f3bc_c909; // arbitrary nonzero seed
+        let mut fold = |v: u64| h = splitmix64(h ^ v);
+        fold(self.plan.num_machines() as u64);
+        for machine in 0..self.plan.num_machines() {
+            let schedule = self.plan.schedule(machine);
+            fold(schedule.len() as u64);
+            for ev in schedule {
+                fold(ev.at_query);
+                match ev.kind {
+                    FaultKind::Crashed => fold(1),
+                    FaultKind::Transient { fail_count } => {
+                        fold(2);
+                        fold(u64::from(fail_count));
+                    }
+                    FaultKind::Stale { as_of_update } => {
+                        fold(3);
+                        fold(as_of_update as u64);
+                    }
+                    FaultKind::Corrupt { delta } => {
+                        fold(4);
+                        fold(delta as u64);
+                    }
+                }
+            }
+        }
+        fold(u64::from(self.spec.policy.max_retries));
+        fold(self.spec.policy.backoff_base);
+        fold(self.spec.policy.backoff_cap);
+        fold(u64::from(self.spec.policy.breaker_threshold));
+        match self.spec.deadline {
+            None => fold(0),
+            Some(d) => {
+                fold(1);
+                fold(d);
+            }
+        }
+        fold(self.spec.quarantined.len() as u64);
+        for &m in &self.spec.quarantined {
+            fold(m as u64);
+        }
+        h
+    }
+}
+
+/// SplitMix64 finalizer — the same mixer the fault-plan generator uses,
+/// good enough to make structurally different specs collide only
+/// adversarially (and collisions are correctness-neutral, see above).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
 
 /// What a request asks the service to run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum RequestKind {
     /// One sequential sampling run (Theorem 4.3).
     Sequential,
@@ -33,10 +139,29 @@ pub enum RequestKind {
         /// Seed of the tenant's `StdRng` measurement stream.
         seed: u64,
     },
+    /// One degraded sampling run against a fault plan: bounded retries,
+    /// deterministic backoff, circuit breaker, graceful degradation to the
+    /// survivors with an exact fidelity bound.
+    Degraded {
+        /// Which sampler to run.
+        algorithm: DegradedAlgorithm,
+        /// The fault plan and response spec.
+        fault: Arc<FaultSpec>,
+    },
+    /// One degraded estimation run: the estimator's probe stream runs
+    /// against the fault plan; measurement uses the seeded RNG stream.
+    DegradedEstimate {
+        /// Prepare-and-measure shots.
+        shots: u64,
+        /// Seed of the tenant's `StdRng` measurement stream.
+        seed: u64,
+        /// The fault plan and response spec.
+        fault: Arc<FaultSpec>,
+    },
 }
 
 /// One tenant request against the service's current dataset snapshot.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SampleRequest {
     /// The requesting tenant.
     pub tenant: TenantId,
@@ -46,7 +171,9 @@ pub struct SampleRequest {
 
 /// Coalescing compatibility class: requests with equal keys share one
 /// template execution. Seeds and tenants deliberately do NOT appear —
-/// they vary freely within a group.
+/// they vary freely within a group. Degraded keys carry the fault-spec
+/// content hash: requests whose fault plans differ must never merge,
+/// because retry charges and breaker trips depend on the plan.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub(crate) enum GroupKey {
     /// All sequential sampling requests coalesce together.
@@ -56,14 +183,46 @@ pub(crate) enum GroupKey {
     /// Estimation requests coalesce per shot budget (the budget shapes the
     /// ledger schedule, so different budgets are different circuits).
     Estimate { shots: u64 },
+    /// Degraded sampling requests coalesce per algorithm and per
+    /// fault-spec hash.
+    Degraded { parallel: bool, fault_hash: u64 },
+    /// Degraded estimation requests coalesce per shot budget and
+    /// fault-spec hash — though each member still executes in full (the
+    /// probe stream is shared-shape, the measurement stream is not).
+    DegradedEstimate { shots: u64, fault_hash: u64 },
 }
 
 impl RequestKind {
+    /// The coalescing key for the kind *as requested*. The service keys
+    /// degraded requests by their **effective** fault spec (requested
+    /// quarantine ∪ tenant quarantine) via [`GroupKey::degraded`] /
+    /// [`GroupKey::degraded_estimate`]; this method is the fault-agnostic
+    /// fallback for the faultless kinds.
     pub(crate) fn group_key(&self) -> GroupKey {
-        match *self {
+        match self {
             RequestKind::Sequential => GroupKey::Sequential,
             RequestKind::Parallel => GroupKey::Parallel,
-            RequestKind::Estimate { shots, .. } => GroupKey::Estimate { shots },
+            RequestKind::Estimate { shots, .. } => GroupKey::Estimate { shots: *shots },
+            RequestKind::Degraded { algorithm, fault } => GroupKey::degraded(*algorithm, fault),
+            RequestKind::DegradedEstimate { shots, fault, .. } => {
+                GroupKey::degraded_estimate(*shots, fault)
+            }
+        }
+    }
+}
+
+impl GroupKey {
+    pub(crate) fn degraded(algorithm: DegradedAlgorithm, fault: &FaultSpec) -> Self {
+        GroupKey::Degraded {
+            parallel: matches!(algorithm, DegradedAlgorithm::Parallel),
+            fault_hash: fault.content_hash(),
+        }
+    }
+
+    pub(crate) fn degraded_estimate(shots: u64, fault: &FaultSpec) -> Self {
+        GroupKey::DegradedEstimate {
+            shots,
+            fault_hash: fault.content_hash(),
         }
     }
 }
@@ -112,6 +271,8 @@ pub(crate) fn plan_waves(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dqs_core::RetryPolicy;
+    use dqs_db::FaultEvent;
 
     #[test]
     fn compatible_requests_coalesce_into_one_wave() {
@@ -168,5 +329,63 @@ mod tests {
         let waves = plan_waves(&reqs, 8, 16);
         assert_eq!(waves.len(), 1);
         assert_eq!(waves[0].groups.len(), 2);
+    }
+
+    fn crash_plan(machine: usize, at_query: u64) -> FaultPlan {
+        let mut schedules = vec![Vec::new(); 4];
+        schedules[machine].push(FaultEvent {
+            at_query,
+            kind: FaultKind::Crashed,
+        });
+        FaultPlan::from_schedules(schedules)
+    }
+
+    #[test]
+    fn equal_fault_specs_hash_equal_and_unequal_ones_do_not() {
+        let a = FaultSpec::from_plan(crash_plan(1, 3));
+        let b = FaultSpec::from_plan(crash_plan(1, 3));
+        assert_eq!(a, b);
+        assert_eq!(a.content_hash(), b.content_hash());
+
+        // Every shaping field moves the hash: plan, policy, deadline,
+        // quarantine.
+        let other_plan = FaultSpec::from_plan(crash_plan(2, 3));
+        assert_ne!(a.content_hash(), other_plan.content_hash());
+        let mut other_policy = a.clone();
+        other_policy.spec.policy = RetryPolicy {
+            max_retries: 9,
+            ..RetryPolicy::default()
+        };
+        assert_ne!(a.content_hash(), other_policy.content_hash());
+        let mut deadline = a.clone();
+        deadline.spec.deadline = Some(0);
+        assert_ne!(a.content_hash(), deadline.content_hash());
+        let mut quarantined = a.clone();
+        quarantined.spec.quarantined = vec![0];
+        assert_ne!(a.content_hash(), quarantined.content_hash());
+    }
+
+    #[test]
+    fn degraded_keys_split_by_fault_plan_and_algorithm() {
+        let a = FaultSpec::from_plan(crash_plan(0, 1));
+        let b = FaultSpec::from_plan(crash_plan(3, 1));
+        let seq_a = GroupKey::degraded(DegradedAlgorithm::Sequential, &a);
+        let seq_a2 = GroupKey::degraded(DegradedAlgorithm::Sequential, &a.clone());
+        let seq_b = GroupKey::degraded(DegradedAlgorithm::Sequential, &b);
+        let par_a = GroupKey::degraded(DegradedAlgorithm::Parallel, &a);
+        assert_eq!(seq_a, seq_a2);
+        assert_ne!(seq_a, seq_b);
+        assert_ne!(seq_a, par_a);
+        // And degraded never merges with the faultless classes.
+        let reqs = vec![
+            (0, 1, GroupKey::Sequential),
+            (1, 1, seq_a),
+            (2, 2, seq_a),
+            (3, 2, seq_b),
+        ];
+        let waves = plan_waves(&reqs, 8, 16);
+        assert_eq!(waves.len(), 1);
+        assert_eq!(waves[0].groups.len(), 3);
+        assert_eq!(waves[0].groups[&seq_a], vec![1, 2]);
     }
 }

@@ -19,6 +19,13 @@
 //! The headline contract: every request's sample state, ledger snapshot,
 //! and obs event stream is **bit-identical to a solo run**, regardless of
 //! coalescing decisions or thread count.
+//!
+//! Degraded-mode serving extends the contract to faults: requests carry a
+//! [`FaultSpec`] (fault plan + retry policy + attempt-count deadline +
+//! quarantine), coalesce only with bit-equal specs, share per-tenant
+//! circuit-breaker state across submissions, and surface deadline trips
+//! as typed [`ServeError::DeadlineExceeded`] values that still carry the
+//! partial run and its exact fidelity bound.
 
 #![forbid(unsafe_code)]
 
@@ -26,6 +33,6 @@ pub mod coalesce;
 pub mod service;
 pub mod tenant;
 
-pub use coalesce::{RequestKind, SampleRequest};
+pub use coalesce::{DegradedAlgorithm, FaultSpec, RequestKind, SampleRequest};
 pub use service::{RequestOutput, RequestReport, SamplingService, ServeConfig, ServeError};
 pub use tenant::{TenantId, TenantLedger, TenantPolicy};

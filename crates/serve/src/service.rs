@@ -25,16 +25,42 @@
 //!    no internal rayon calls, so work-stealing can never interleave two
 //!    requests' thread-local recorder stacks).
 //!
+//! Degraded (fault-injected) requests ride the same pipeline with three
+//! extra rules:
+//!
+//! * **Coalescing** — a degraded group is keyed by the content hash of its
+//!   *effective* [`FaultSpec`] (requested quarantine ∪ the tenant's shared
+//!   breaker state, resolved serially at admission). Requests whose fault
+//!   plans or specs differ never merge; a hash collision is caught by an
+//!   exact equality check and degrades to solo execution, never to a
+//!   shared template.
+//! * **Breaker sharing** — machines a finished (or deadline-aborted)
+//!   degraded run declares dead are merged into the tenant's quarantine,
+//!   so the *next* submission's requests start with those breakers already
+//!   tripped: no rediscovery probes, no repeated retry charges.
+//! * **Deadlines** — a tripped attempt-count deadline surfaces as
+//!   [`ServeError::DeadlineExceeded`] carrying the partial run; its exact
+//!   charges are billed to the tenant and its dead set feeds the
+//!   quarantine. Degraded *estimate* members execute in full on the
+//!   coordinating thread (their per-shot state evolution uses rayon
+//!   internally, so they must not run under per-member recorders inside
+//!   the pool).
+//!
 //! Finished requests are charged to their tenant's cumulative ledger
 //! serially in submission order. Results preserve submission order.
 
-use crate::coalesce::{plan_waves, GroupKey, RequestKind, SampleRequest};
+use crate::coalesce::{
+    plan_waves, DegradedAlgorithm, FaultSpec, GroupKey, RequestKind, SampleRequest,
+};
 use crate::tenant::{TenantId, TenantLedger, TenantPolicy};
 use dqs_core::cost::{cost_model, CostModel};
 use dqs_core::{
-    estimate_flag_probabilities, parallel_sample_cached, replay_estimate_run, replay_parallel_run,
-    replay_sequential_run, sequential_sample_cached, ArtifactCache, CacheStats, CompiledArtifacts,
-    DatasetSnapshot, EstimationRun, ParallelRun, SampleError, SequentialRun,
+    estimate_flag_probabilities, estimate_total_count_degraded_cached, parallel_sample_cached,
+    parallel_sample_degraded_cached_spec, replay_estimate_run, replay_parallel_degraded_run,
+    replay_parallel_run, replay_sequential_degraded_run, replay_sequential_run,
+    sequential_sample_cached, sequential_sample_degraded_cached_spec, ArtifactCache, CacheStats,
+    CompiledArtifacts, DatasetSnapshot, DegradedEstimationRun, DegradedPartial, DegradedRun,
+    EstimationRun, ParallelLayout, ParallelRun, SampleError, SequentialLayout, SequentialRun,
 };
 use dqs_db::{DistributedDataset, LedgerSnapshot, UpdateLog};
 use dqs_obs::Recorder;
@@ -45,6 +71,7 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Scheduler knobs. The defaults suit tens of concurrent requests.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,10 +91,14 @@ impl Default for ServeConfig {
     }
 }
 
-/// Service-level errors returned per request.
+/// The one typed error every service request resolves to. Sampler
+/// failures, admission rejections, and deadline trips all flow through
+/// here — callers match one enum, never a nesting of error layers.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ServeError {
-    /// The underlying sampler failed (e.g. an all-flag-1 estimate).
+    /// The underlying sampler failed (e.g. an all-flag-1 estimate). Never
+    /// [`SampleError::DeadlineExceeded`] — the service promotes that to
+    /// its own variant with the tenant attached.
     Sample(SampleError),
     /// Admission control rejected the request: the tenant's exact spent
     /// cost plus this request's predicted cost exceeds the budget.
@@ -81,6 +112,18 @@ pub enum ServeError {
         spent: u64,
         /// The tenant's budget from [`TenantPolicy::max_queries`].
         budget: u64,
+    },
+    /// A degraded request's attempt-count deadline tripped at a restart
+    /// boundary. Not free: the partial's exact charges are billed to the
+    /// tenant and its dead set feeds the tenant's shared quarantine — a
+    /// tiny deadline cannot be used to probe dying machines off the books.
+    DeadlineExceeded {
+        /// The tenant whose request tripped.
+        tenant: TenantId,
+        /// Everything the aborted run established before giving up:
+        /// exact charges, breaker state, and the survivor-set fidelity
+        /// bound (classical — it never needed the circuit to finish).
+        partial: Box<DegradedPartial>,
     },
 }
 
@@ -96,6 +139,15 @@ impl fmt::Display for ServeError {
             } => write!(
                 f,
                 "tenant {tenant} denied: {spent} spent + {predicted} predicted > budget {budget}"
+            ),
+            ServeError::DeadlineExceeded { tenant, partial } => write!(
+                f,
+                "tenant {tenant}: deadline exceeded after {} charged attempts \
+                 ({} restarts); fidelity bound {} still holds over survivors {:?}",
+                partial.queries.total_sequential() + partial.queries.parallel_rounds,
+                partial.restarts,
+                partial.fidelity_bound(),
+                partial.survivors,
             ),
         }
     }
@@ -118,6 +170,12 @@ pub enum RequestOutput {
     Parallel(ParallelRun<SparseState>),
     /// A total-count estimation run.
     Estimate(EstimationRun),
+    /// A degraded sequential sampling run against a fault plan.
+    DegradedSequential(DegradedRun<SparseState, SequentialLayout>),
+    /// A degraded parallel sampling run against a fault plan.
+    DegradedParallel(DegradedRun<SparseState, ParallelLayout>),
+    /// A degraded total-count estimation run against a fault plan.
+    DegradedEstimate(DegradedEstimationRun),
 }
 
 impl RequestOutput {
@@ -127,6 +185,9 @@ impl RequestOutput {
             RequestOutput::Sequential(r) => &r.queries,
             RequestOutput::Parallel(r) => &r.queries,
             RequestOutput::Estimate(r) => &r.queries,
+            RequestOutput::DegradedSequential(r) => &r.queries,
+            RequestOutput::DegradedParallel(r) => &r.queries,
+            RequestOutput::DegradedEstimate(r) => &r.queries,
         }
     }
 
@@ -150,6 +211,40 @@ impl RequestOutput {
     pub fn as_estimate(&self) -> Option<&EstimationRun> {
         match self {
             RequestOutput::Estimate(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The degraded sequential run, if this was one.
+    pub fn as_degraded_sequential(&self) -> Option<&DegradedRun<SparseState, SequentialLayout>> {
+        match self {
+            RequestOutput::DegradedSequential(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The degraded parallel run, if this was one.
+    pub fn as_degraded_parallel(&self) -> Option<&DegradedRun<SparseState, ParallelLayout>> {
+        match self {
+            RequestOutput::DegradedParallel(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The degraded estimation run, if this was one.
+    pub fn as_degraded_estimate(&self) -> Option<&DegradedEstimationRun> {
+        match self {
+            RequestOutput::DegradedEstimate(r) => Some(r),
+            _ => None,
+        }
+    }
+
+    /// The dead-machine set, when this output came from a degraded run.
+    fn degraded_dead(&self) -> Option<&[usize]> {
+        match self {
+            RequestOutput::DegradedSequential(r) => Some(&r.dead),
+            RequestOutput::DegradedParallel(r) => Some(&r.dead),
+            RequestOutput::DegradedEstimate(r) => Some(&r.dead),
             _ => None,
         }
     }
@@ -243,13 +338,19 @@ impl SamplingService {
             requests.iter().map(|_| None).collect();
 
         // Admission: serial, submission order, budget = exact charges so
-        // far + reservations made earlier in this very submission.
+        // far + reservations made earlier in this very submission. The
+        // same pass resolves each degraded request's *effective* fault
+        // spec (requested quarantine ∪ the tenant's shared breaker state)
+        // — reading the quarantine here, before any execution, is what
+        // keeps grouping independent of execution order: breaker state
+        // propagates across submissions, never within one.
         let mut admitted: Vec<(usize, TenantId, GroupKey)> = Vec::new();
+        let mut effective: BTreeMap<usize, Arc<FaultSpec>> = BTreeMap::new();
         {
             let tenants = self.tenants.lock();
             let mut reserved: BTreeMap<TenantId, u64> = BTreeMap::new();
             for (i, req) in requests.iter().enumerate() {
-                let predicted = predicted_cost(&model, self.machines as u64, req.kind);
+                let predicted = predicted_cost(&model, self.machines as u64, &req.kind);
                 if let Some(budget) = self.config.tenant_policy.max_queries {
                     let spent = tenants.get(&req.tenant).map_or(0, TenantLedger::total_cost)
                         + reserved.get(&req.tenant).copied().unwrap_or(0);
@@ -264,7 +365,22 @@ impl SamplingService {
                     }
                 }
                 *reserved.entry(req.tenant).or_insert(0) += predicted;
-                admitted.push((i, req.tenant, req.kind.group_key()));
+                let key = match &req.kind {
+                    RequestKind::Degraded { algorithm, fault } => {
+                        let eff = effective_fault(fault, tenants.get(&req.tenant));
+                        let key = GroupKey::degraded(*algorithm, &eff);
+                        effective.insert(i, eff);
+                        key
+                    }
+                    RequestKind::DegradedEstimate { shots, fault, .. } => {
+                        let eff = effective_fault(fault, tenants.get(&req.tenant));
+                        let key = GroupKey::degraded_estimate(*shots, &eff);
+                        effective.insert(i, eff);
+                        key
+                    }
+                    other => other.group_key(),
+                };
+                admitted.push((i, req.tenant, key));
             }
         }
 
@@ -275,7 +391,14 @@ impl SamplingService {
         );
         for wave in &waves {
             for (key, members) in &wave.groups {
-                self.run_group(&artifacts, requests, *key, members, &mut results);
+                self.run_group(
+                    &artifacts,
+                    requests,
+                    &effective,
+                    *key,
+                    members,
+                    &mut results,
+                );
             }
         }
 
@@ -298,6 +421,7 @@ impl SamplingService {
         &self,
         artifacts: &CompiledArtifacts,
         requests: &[SampleRequest],
+        effective: &BTreeMap<usize, Arc<FaultSpec>>,
         key: GroupKey,
         members: &[usize],
         results: &mut [Option<Result<RequestReport, ServeError>>],
@@ -356,6 +480,129 @@ impl SamplingService {
                     })
                     .collect()
             }
+            GroupKey::Degraded { parallel, .. } => {
+                // Members share a fault-spec hash; a collision (different
+                // specs, equal hash) must not share a template, so split
+                // on exact equality with the first member's effective spec
+                // and run stragglers solo.
+                let fault = Arc::clone(&effective[&members[0]]);
+                let (matching, colliding): (Vec<usize>, Vec<usize>) =
+                    members.iter().partition(|&&i| {
+                        Arc::ptr_eq(&effective[&i], &fault) || *effective[&i] == *fault
+                    });
+                let mut outs: Vec<(usize, Recorder, Result<RequestOutput, SampleError>)> =
+                    if parallel {
+                        match parallel_sample_degraded_cached_spec::<SparseState>(
+                            artifacts,
+                            &fault.plan,
+                            &fault.spec,
+                        ) {
+                            Ok(template) => matching
+                                .par_iter()
+                                .map(|&i| {
+                                    let recorder = Recorder::default();
+                                    let out = dqs_obs::with_recorder(&recorder, || {
+                                        replay_parallel_degraded_run(
+                                            artifacts,
+                                            &fault.plan,
+                                            &fault.spec,
+                                            &template,
+                                        )
+                                    });
+                                    (i, recorder, out.map(RequestOutput::DegradedParallel))
+                                })
+                                .collect(),
+                            // Every member with this spec fails identically
+                            // (a solo run would too); the charging loop
+                            // bills deadline partials per member.
+                            Err(e) => matching
+                                .iter()
+                                .map(|&i| (i, Recorder::default(), Err(e.clone())))
+                                .collect(),
+                        }
+                    } else {
+                        match sequential_sample_degraded_cached_spec::<SparseState>(
+                            artifacts,
+                            &fault.plan,
+                            &fault.spec,
+                        ) {
+                            Ok(template) => matching
+                                .par_iter()
+                                .map(|&i| {
+                                    let recorder = Recorder::default();
+                                    let out = dqs_obs::with_recorder(&recorder, || {
+                                        replay_sequential_degraded_run(
+                                            artifacts,
+                                            &fault.plan,
+                                            &fault.spec,
+                                            &template,
+                                        )
+                                    });
+                                    (i, recorder, out.map(RequestOutput::DegradedSequential))
+                                })
+                                .collect(),
+                            Err(e) => matching
+                                .iter()
+                                .map(|&i| (i, Recorder::default(), Err(e.clone())))
+                                .collect(),
+                        }
+                    };
+                // Hash-collision stragglers: full solo execution, serial —
+                // execute mode evolves the state with rayon internally, so
+                // it stays off the pool's per-member recorder tasks.
+                for &i in &colliding {
+                    let f = &effective[&i];
+                    let recorder = Recorder::default();
+                    let out = if parallel {
+                        dqs_obs::with_recorder(&recorder, || {
+                            parallel_sample_degraded_cached_spec::<SparseState>(
+                                artifacts, &f.plan, &f.spec,
+                            )
+                        })
+                        .map(RequestOutput::DegradedParallel)
+                    } else {
+                        dqs_obs::with_recorder(&recorder, || {
+                            sequential_sample_degraded_cached_spec::<SparseState>(
+                                artifacts, &f.plan, &f.spec,
+                            )
+                        })
+                        .map(RequestOutput::DegradedSequential)
+                    };
+                    outs.push((i, recorder, out));
+                }
+                outs
+            }
+            GroupKey::DegradedEstimate { shots, .. } => {
+                // Degraded estimates evolve a live state per shot (rayon
+                // inside the simulator), so they never run under
+                // per-member recorders inside the pool; each member
+                // executes in full, serially, on this thread. The group
+                // still shares admission and scheduling.
+                members
+                    .iter()
+                    .map(|&i| {
+                        let fault = &effective[&i];
+                        let seed = match requests[i].kind {
+                            RequestKind::DegradedEstimate { seed, .. } => seed,
+                            // Group membership is keyed by kind, so this arm
+                            // cannot be reached; default keeps it total.
+                            _ => 0,
+                        };
+                        let recorder = Recorder::default();
+                        let out = dqs_obs::with_recorder(&recorder, || {
+                            let mut rng = StdRng::seed_from_u64(seed);
+                            estimate_total_count_degraded_cached(
+                                artifacts,
+                                &fault.plan,
+                                &fault.spec,
+                                shots,
+                                &mut rng,
+                            )
+                        });
+                        (i, recorder, out.map(RequestOutput::DegradedEstimate))
+                    })
+                    .collect()
+            }
         };
 
         let mut tenants = self.tenants.lock();
@@ -363,19 +610,36 @@ impl SamplingService {
             let tenant = requests[i].tenant;
             results[i] = Some(match out {
                 Ok(output) => {
-                    tenants
+                    let ledger = tenants
                         .entry(tenant)
-                        .or_insert_with(|| TenantLedger::new(self.machines))
-                        .charge(output.queries());
+                        .or_insert_with(|| TenantLedger::new(self.machines));
+                    ledger.charge(output.queries());
+                    // Breaker sharing: machines this degraded run declared
+                    // dead are quarantined for the tenant's subsequent
+                    // submissions.
+                    if let Some(dead) = output.degraded_dead() {
+                        ledger.quarantine_all(dead);
+                    }
                     Ok(RequestReport {
                         tenant,
-                        kind: requests[i].kind,
+                        kind: requests[i].kind.clone(),
                         output,
                         recorder,
                     })
                 }
-                // Failed runs charge nothing, matching a failed solo call
-                // (which returns no ledger snapshot either).
+                // A deadline trip is billed exactly (the partial carries
+                // its charges) and feeds the shared quarantine; see
+                // [`ServeError::DeadlineExceeded`].
+                Err(SampleError::DeadlineExceeded { partial }) => {
+                    let ledger = tenants
+                        .entry(tenant)
+                        .or_insert_with(|| TenantLedger::new(self.machines));
+                    ledger.charge(&partial.queries);
+                    ledger.quarantine_all(&partial.dead);
+                    Err(ServeError::DeadlineExceeded { tenant, partial })
+                }
+                // Other failed runs charge nothing, matching a failed solo
+                // call (which returns no ledger snapshot either).
                 Err(e) => Err(ServeError::Sample(e)),
             });
         }
@@ -394,20 +658,50 @@ impl SamplingService {
     }
 }
 
-/// Exact predicted cost of a request, in the admission unit (sequential
-/// queries + parallel rounds). Obliviousness makes this a closed form.
-fn predicted_cost(model: &CostModel, machines: u64, kind: RequestKind) -> u64 {
+/// Predicted cost of a request, in the admission unit (sequential queries
+/// + parallel rounds). Faultless kinds are exact closed forms
+/// (obliviousness). Degraded kinds are admitted at the faultless form:
+/// the fault surcharge (retries, restarts) is unknowable a priori but
+/// policy-bounded, and actual charges are always billed exactly.
+fn predicted_cost(model: &CostModel, machines: u64, kind: &RequestKind) -> u64 {
     match kind {
         RequestKind::Sequential => model.sequential_queries,
         RequestKind::Parallel => model.parallel_rounds,
-        RequestKind::Estimate { shots, .. } => shots * 2 * machines,
+        RequestKind::Estimate { shots, .. } => *shots * 2 * machines,
+        RequestKind::Degraded { algorithm, .. } => match algorithm {
+            DegradedAlgorithm::Sequential => model.sequential_queries,
+            DegradedAlgorithm::Parallel => model.parallel_rounds,
+        },
+        RequestKind::DegradedEstimate { shots, .. } => *shots * 2 * machines,
     }
+}
+
+/// The fault spec a degraded request actually runs with: the requested
+/// quarantine unioned with the tenant's shared circuit-breaker state.
+/// Reuses the request's `Arc` when the shared state adds nothing, so the
+/// common case (healthy tenant) allocates no new plan.
+fn effective_fault(requested: &Arc<FaultSpec>, ledger: Option<&TenantLedger>) -> Arc<FaultSpec> {
+    let shared = ledger.map(TenantLedger::quarantined).unwrap_or_default();
+    if shared
+        .iter()
+        .all(|m| requested.spec.quarantined.contains(m))
+    {
+        return Arc::clone(requested);
+    }
+    let mut spec = requested.spec.clone();
+    spec.quarantined.extend(shared);
+    spec.quarantined.sort_unstable();
+    spec.quarantined.dedup();
+    Arc::new(FaultSpec {
+        plan: requested.plan.clone(),
+        spec,
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dqs_db::Multiset;
+    use dqs_db::{FaultEvent, FaultKind, FaultPlan, Multiset};
     use dqs_sim::QuantumState;
 
     fn dataset() -> DistributedDataset {
@@ -476,6 +770,7 @@ mod tests {
                     assert_eq!(run.estimated_total, solo.estimated_total);
                     assert_eq!(run.queries, solo.queries);
                 }
+                _ => unreachable!("mixed_requests emits only faultless kinds"),
             }
         }
         // Second submission hits the artifact cache.
@@ -530,6 +825,7 @@ mod tests {
                     let mut rng = StdRng::seed_from_u64(seed);
                     dqs_core::estimate_total_count(&ds, shots, &mut rng).expect("shots");
                 }
+                _ => unreachable!("mixed_requests emits only faultless kinds"),
             });
             assert_eq!(
                 report.recorder.events(),
@@ -630,5 +926,227 @@ mod tests {
             "the update must actually change the output distribution"
         );
         assert_eq!(service.cache_stats().misses, 2, "one compile per version");
+    }
+
+    fn crash_plan(machine: usize, at_query: u64, machines: usize) -> FaultPlan {
+        let mut schedules = vec![Vec::new(); machines];
+        schedules[machine].push(FaultEvent {
+            at_query,
+            kind: FaultKind::Crashed,
+        });
+        FaultPlan::from_schedules(schedules)
+    }
+
+    #[test]
+    fn degraded_requests_coalesce_and_match_solo_bitwise() {
+        let ds = dataset();
+        let service = SamplingService::new(ds.clone(), ServeConfig::default());
+        let fault = Arc::new(FaultSpec::from_plan(crash_plan(0, 2, ds.num_machines())));
+        let requests: Vec<SampleRequest> = (0..6)
+            .map(|i| SampleRequest {
+                tenant: 100 + i as u64,
+                kind: match i % 3 {
+                    0 => RequestKind::Degraded {
+                        algorithm: DegradedAlgorithm::Sequential,
+                        fault: Arc::clone(&fault),
+                    },
+                    1 => RequestKind::Degraded {
+                        algorithm: DegradedAlgorithm::Parallel,
+                        fault: Arc::clone(&fault),
+                    },
+                    _ => RequestKind::DegradedEstimate {
+                        shots: 30,
+                        seed: 4000 + i as u64,
+                        fault: Arc::clone(&fault),
+                    },
+                },
+            })
+            .collect();
+        let results = service.submit_all(&requests);
+        for (req, res) in requests.iter().zip(&results) {
+            let report = res.as_ref().expect("degraded runs complete");
+            match &req.kind {
+                RequestKind::Degraded {
+                    algorithm: DegradedAlgorithm::Sequential,
+                    ..
+                } => {
+                    let run = report.output.as_degraded_sequential().expect("kind");
+                    let solo = dqs_core::sequential_sample_degraded_spec::<SparseState>(
+                        &ds,
+                        &fault.plan,
+                        &fault.spec,
+                    )
+                    .expect("solo");
+                    assert_eq!(run.queries, solo.queries);
+                    assert_eq!(run.dead, solo.dead);
+                    assert_eq!(run.fidelity_bound.to_bits(), solo.fidelity_bound.to_bits());
+                    assert_eq!(
+                        run.state.to_table().distance_sqr(&solo.state.to_table()),
+                        0.0
+                    );
+                }
+                RequestKind::Degraded { .. } => {
+                    let run = report.output.as_degraded_parallel().expect("kind");
+                    let solo = dqs_core::parallel_sample_degraded_spec::<SparseState>(
+                        &ds,
+                        &fault.plan,
+                        &fault.spec,
+                    )
+                    .expect("solo");
+                    assert_eq!(run.queries, solo.queries);
+                    assert_eq!(run.dead, solo.dead);
+                    assert_eq!(
+                        run.state.to_table().distance_sqr(&solo.state.to_table()),
+                        0.0
+                    );
+                }
+                RequestKind::DegradedEstimate { shots, seed, .. } => {
+                    let run = report.output.as_degraded_estimate().expect("kind");
+                    let mut rng = StdRng::seed_from_u64(*seed);
+                    let solo = dqs_core::estimate_total_count_degraded(
+                        &ds,
+                        &fault.plan,
+                        &fault.spec,
+                        *shots,
+                        &mut rng,
+                    )
+                    .expect("solo");
+                    assert_eq!(run.queries, solo.queries);
+                    assert_eq!(
+                        run.estimated_total.to_bits(),
+                        solo.estimated_total.to_bits()
+                    );
+                    assert_eq!(run.dead, solo.dead);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn breaker_state_is_shared_across_a_tenants_submissions() {
+        let ds = dataset();
+        let service = SamplingService::new(ds.clone(), ServeConfig::default());
+        let crashing = Arc::new(FaultSpec::from_plan(crash_plan(0, 0, ds.num_machines())));
+        let degraded_seq = |fault: &Arc<FaultSpec>, tenant: TenantId| SampleRequest {
+            tenant,
+            kind: RequestKind::Degraded {
+                algorithm: DegradedAlgorithm::Sequential,
+                fault: Arc::clone(fault),
+            },
+        };
+        // Submission 1: machine 0 crashes, the run completes degraded.
+        let r1 = service.submit_all(&[degraded_seq(&crashing, 5)]);
+        let run1 = r1[0].as_ref().expect("completes");
+        let out1 = run1.output.as_degraded_sequential().expect("kind");
+        assert_eq!(out1.dead, vec![0]);
+        assert!(out1.restarts >= 2, "the crash forced at least one restart");
+
+        // Submission 2, same tenant, fault-free plan: machine 0 starts
+        // quarantined — dead from query zero, never probed, no retries.
+        let clean = Arc::new(FaultSpec::from_plan(FaultPlan::none(ds.num_machines())));
+        let r2 = service.submit_all(&[degraded_seq(&clean, 5)]);
+        let out2 = r2[0]
+            .as_ref()
+            .expect("completes")
+            .output
+            .as_degraded_sequential()
+            .expect("kind")
+            .clone();
+        assert_eq!(out2.dead, vec![0]);
+        assert_eq!(out2.queries.per_machine[0], 0, "quarantined ⇒ never probed");
+        assert_eq!(out2.restarts, 1, "quarantine needs no rediscovery restart");
+        assert_eq!(out2.total_retries, 0);
+        assert!(out2.fidelity_bound < 1.0);
+
+        // A different tenant with the same clean plan is unaffected.
+        let r3 = service.submit_all(&[degraded_seq(&clean, 6)]);
+        let out3 = r3[0]
+            .as_ref()
+            .expect("completes")
+            .output
+            .as_degraded_sequential()
+            .expect("kind")
+            .clone();
+        assert!(out3.dead.is_empty());
+        assert_eq!(out3.fidelity_bound.to_bits(), 1f64.to_bits());
+    }
+
+    #[test]
+    fn deadline_trips_are_typed_billed_and_feed_the_quarantine() {
+        let ds = dataset();
+        let service = SamplingService::new(ds.clone(), ServeConfig::default());
+        // A deadline of 0 trips at the first restart boundary: no charges,
+        // but the error is typed, carries the partial, and the request is
+        // still counted.
+        let mut tripping = FaultSpec::from_plan(crash_plan(0, 0, ds.num_machines()));
+        tripping.spec.deadline = Some(0);
+        let results = service.submit_all(&[SampleRequest {
+            tenant: 7,
+            kind: RequestKind::Degraded {
+                algorithm: DegradedAlgorithm::Sequential,
+                fault: Arc::new(tripping),
+            },
+        }]);
+        match &results[0] {
+            Err(ServeError::DeadlineExceeded { tenant, partial }) => {
+                assert_eq!(*tenant, 7);
+                assert_eq!(partial.restarts, 0);
+                assert_eq!(partial.queries.total_sequential(), 0);
+                let msg = ServeError::DeadlineExceeded {
+                    tenant: *tenant,
+                    partial: partial.clone(),
+                }
+                .to_string();
+                assert!(msg.contains("tenant 7"), "display names the tenant: {msg}");
+            }
+            Err(other) => panic!("expected DeadlineExceeded, got {other}"),
+            Ok(_) => panic!("expected DeadlineExceeded, got a completed run"),
+        }
+
+        // A deadline that lets the breaker trip but not the run finish:
+        // the partial's exact charges land on the tenant and its dead set
+        // feeds the quarantine.
+        let mut budgeted = FaultSpec::from_plan(crash_plan(0, 0, ds.num_machines()));
+        // One failed attempt charges > 0 queries; pick a deadline of 1 so
+        // the second restart boundary trips after the crash was billed.
+        budgeted.spec.deadline = Some(1);
+        let results = service.submit_all(&[SampleRequest {
+            tenant: 8,
+            kind: RequestKind::Degraded {
+                algorithm: DegradedAlgorithm::Sequential,
+                fault: Arc::new(budgeted),
+            },
+        }]);
+        match &results[0] {
+            Err(ServeError::DeadlineExceeded { tenant, partial }) => {
+                assert_eq!(*tenant, 8);
+                assert_eq!(partial.dead, vec![0]);
+                assert!(partial.queries.total_sequential() >= 1);
+                let billed = service.tenant_ledger(8).expect("partial was billed");
+                assert_eq!(billed, partial.queries);
+            }
+            Err(other) => panic!("expected DeadlineExceeded, got {other}"),
+            Ok(_) => panic!("expected DeadlineExceeded, got a completed run"),
+        }
+        // The quarantine took effect: the tenant's next clean degraded run
+        // starts with machine 0 dead.
+        let clean = Arc::new(FaultSpec::from_plan(FaultPlan::none(ds.num_machines())));
+        let r = service.submit_all(&[SampleRequest {
+            tenant: 8,
+            kind: RequestKind::Degraded {
+                algorithm: DegradedAlgorithm::Sequential,
+                fault: clean,
+            },
+        }]);
+        let out = r[0]
+            .as_ref()
+            .expect("completes")
+            .output
+            .as_degraded_sequential()
+            .expect("kind")
+            .clone();
+        assert_eq!(out.dead, vec![0]);
+        assert_eq!(out.queries.per_machine[0], 0);
     }
 }

@@ -12,6 +12,7 @@
 //! scheduler later coalesces or parallelizes execution.
 
 use dqs_db::LedgerSnapshot;
+use std::collections::BTreeSet;
 
 /// Identifies a tenant (an independent client of the service).
 pub type TenantId = u64;
@@ -44,6 +45,7 @@ pub struct TenantLedger {
     per_machine: Vec<u64>,
     parallel_rounds: u64,
     requests: u64,
+    quarantined: BTreeSet<usize>,
 }
 
 impl TenantLedger {
@@ -53,6 +55,7 @@ impl TenantLedger {
             per_machine: vec![0; machines],
             parallel_rounds: 0,
             requests: 0,
+            quarantined: BTreeSet::new(),
         }
     }
 
@@ -84,6 +87,24 @@ impl TenantLedger {
     pub fn requests(&self) -> u64 {
         self.requests
     }
+
+    /// Machines this tenant's earlier degraded runs declared dead — the
+    /// shared circuit-breaker state. Subsequent degraded requests from the
+    /// same tenant start with these machines quarantined (dead from query
+    /// zero, no rediscovery probes, no retry charges), so a machine that
+    /// tripped one request's breaker trips instantly for the next.
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.quarantined.iter().copied().collect()
+    }
+
+    /// Merges the dead set of a finished (or deadline-aborted) degraded
+    /// run into the shared quarantine. Monotone: machines are never
+    /// un-quarantined by charges — only a dataset update (which resets the
+    /// world) justifies forgetting a trip, and that is a policy decision
+    /// the service makes, not the ledger.
+    pub(crate) fn quarantine_all(&mut self, machines: &[usize]) {
+        self.quarantined.extend(machines.iter().copied());
+    }
 }
 
 #[cfg(test)]
@@ -110,5 +131,14 @@ mod tests {
                 parallel_rounds: 12,
             }
         );
+    }
+
+    #[test]
+    fn quarantine_is_monotone_sorted_and_deduplicated() {
+        let mut ledger = TenantLedger::new(4);
+        assert!(ledger.quarantined().is_empty());
+        ledger.quarantine_all(&[3, 1]);
+        ledger.quarantine_all(&[1, 2]);
+        assert_eq!(ledger.quarantined(), vec![1, 2, 3]);
     }
 }

@@ -1,0 +1,408 @@
+//! Degraded-serving bit-identity suite (property-based).
+//!
+//! Extends the service's headline contract to fault injection: for any
+//! generated dataset, seeded fault plan, deadline, request mix, and
+//! scheduler knobs, every degraded request's output — state, ledger
+//! snapshot, dead set, fidelity bits, obs event stream, even a typed
+//! deadline failure and its partial — is bit-identical to a solo run of
+//! the same degraded sampler. Coalescing, the artifact cache, and rayon's
+//! thread count (CI drives this suite at `RAYON_NUM_THREADS` 1 and 4) are
+//! unobservable.
+//!
+//! Also proves the two safety rails around the fault path:
+//! * zero-fault degraded requests are bit-identical to faultless runs, so
+//!   the fault machinery costs nothing when nothing fails;
+//! * chaos-warming the [`ArtifactCache`] can never poison it — a bundle
+//!   built from tainted (stale/corrupt) reads is never inserted, and what
+//!   the cache serves afterwards is bit-identical to a cold faultless
+//!   build.
+
+use dqs_core::{
+    estimate_total_count, estimate_total_count_degraded, parallel_sample,
+    parallel_sample_degraded_spec, sequential_sample, sequential_sample_degraded_spec,
+    ArtifactCache, CompiledArtifacts, DatasetSnapshot, RetryPolicy, RetrySession, SampleError,
+};
+use dqs_db::{FaultPlan, FaultRates, FaultyOracleSet, OracleSet, QueryLedger};
+use dqs_obs::Recorder;
+use dqs_serve::{
+    DegradedAlgorithm, FaultSpec, RequestKind, RequestReport, SampleRequest, SamplingService,
+    ServeConfig, ServeError, TenantPolicy,
+};
+use dqs_sim::{QuantumState, SparseState};
+use dqs_workloads::WorkloadSpec;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn config(max_batch: usize, max_pending: usize) -> ServeConfig {
+    ServeConfig {
+        max_batch,
+        tenant_policy: TenantPolicy {
+            max_pending,
+            max_queries: None,
+        },
+    }
+}
+
+/// Deterministic degraded request mix over one shared fault spec.
+fn degraded_requests(
+    count: usize,
+    tenants: u64,
+    shots: u64,
+    seed: u64,
+    fault: &Arc<FaultSpec>,
+) -> Vec<SampleRequest> {
+    (0..count)
+        .map(|i| SampleRequest {
+            tenant: i as u64 % tenants.max(1),
+            kind: match i % 4 {
+                0 | 1 => RequestKind::Degraded {
+                    algorithm: DegradedAlgorithm::Sequential,
+                    fault: Arc::clone(fault),
+                },
+                2 => RequestKind::Degraded {
+                    algorithm: DegradedAlgorithm::Parallel,
+                    fault: Arc::clone(fault),
+                },
+                _ => RequestKind::DegradedEstimate {
+                    shots,
+                    seed: seed.wrapping_add(i as u64),
+                    fault: Arc::clone(fault),
+                },
+            },
+        })
+        .collect()
+}
+
+/// Checks one service result against the matching solo degraded run and
+/// accumulates what the tenant should have been billed. Successful runs
+/// bill their exact snapshot; deadline partials bill theirs; other errors
+/// bill nothing — exactly the service's published billing rules.
+fn check_against_solo(
+    ds: &dqs_db::DistributedDataset,
+    req: &SampleRequest,
+    res: &Result<RequestReport, ServeError>,
+    billed: &mut BTreeMap<u64, (Vec<u64>, u64)>,
+) {
+    let solo_rec = Recorder::default();
+    let bill = |billed: &mut BTreeMap<u64, (Vec<u64>, u64)>, q: &dqs_db::LedgerSnapshot| {
+        let e = billed
+            .entry(req.tenant)
+            .or_insert_with(|| (vec![0; ds.num_machines()], 0));
+        for (a, b) in e.0.iter_mut().zip(&q.per_machine) {
+            *a += b;
+        }
+        e.1 += q.parallel_rounds;
+    };
+    match &req.kind {
+        RequestKind::Degraded { algorithm, fault } => {
+            let parallel = matches!(algorithm, DegradedAlgorithm::Parallel);
+            if parallel {
+                let solo = dqs_obs::with_recorder(&solo_rec, || {
+                    parallel_sample_degraded_spec::<SparseState>(ds, &fault.plan, &fault.spec)
+                });
+                match (res, solo) {
+                    (Ok(report), Ok(run)) => {
+                        let out = report.output.as_degraded_parallel().expect("kind");
+                        assert_eq!(out.state.to_table(), run.state.to_table());
+                        assert_eq!(out.queries, run.queries);
+                        assert_eq!(out.dead, run.dead);
+                        assert_eq!(out.restarts, run.restarts);
+                        assert_eq!(out.fidelity_bound.to_bits(), run.fidelity_bound.to_bits());
+                        assert_eq!(
+                            out.fidelity_vs_target.to_bits(),
+                            run.fidelity_vs_target.to_bits()
+                        );
+                        assert_eq!(report.recorder.events(), solo_rec.events());
+                        bill(billed, &out.queries);
+                    }
+                    (
+                        Err(ServeError::DeadlineExceeded { tenant, partial }),
+                        Err(SampleError::DeadlineExceeded { partial: solo_p }),
+                    ) => {
+                        assert_eq!(*tenant, req.tenant);
+                        assert_eq!(partial, &solo_p);
+                        bill(billed, &partial.queries);
+                    }
+                    (Err(ServeError::Sample(e)), Err(solo_e)) => assert_eq!(e, &solo_e),
+                    (r, s) => panic!(
+                        "service/solo outcome diverged: service ok={}, solo ok={}",
+                        r.is_ok(),
+                        s.is_ok()
+                    ),
+                }
+            } else {
+                let solo = dqs_obs::with_recorder(&solo_rec, || {
+                    sequential_sample_degraded_spec::<SparseState>(ds, &fault.plan, &fault.spec)
+                });
+                match (res, solo) {
+                    (Ok(report), Ok(run)) => {
+                        let out = report.output.as_degraded_sequential().expect("kind");
+                        assert_eq!(out.state.to_table(), run.state.to_table());
+                        assert_eq!(out.queries, run.queries);
+                        assert_eq!(out.dead, run.dead);
+                        assert_eq!(out.restarts, run.restarts);
+                        assert_eq!(out.total_retries, run.total_retries);
+                        assert_eq!(out.backoff_ticks, run.backoff_ticks);
+                        assert_eq!(out.fidelity_bound.to_bits(), run.fidelity_bound.to_bits());
+                        assert_eq!(
+                            out.fidelity_vs_target.to_bits(),
+                            run.fidelity_vs_target.to_bits()
+                        );
+                        assert_eq!(report.recorder.events(), solo_rec.events());
+                        bill(billed, &out.queries);
+                    }
+                    (
+                        Err(ServeError::DeadlineExceeded { tenant, partial }),
+                        Err(SampleError::DeadlineExceeded { partial: solo_p }),
+                    ) => {
+                        assert_eq!(*tenant, req.tenant);
+                        assert_eq!(partial, &solo_p);
+                        bill(billed, &partial.queries);
+                    }
+                    (Err(ServeError::Sample(e)), Err(solo_e)) => assert_eq!(e, &solo_e),
+                    (r, s) => panic!(
+                        "service/solo outcome diverged: service ok={}, solo ok={}",
+                        r.is_ok(),
+                        s.is_ok()
+                    ),
+                }
+            }
+        }
+        RequestKind::DegradedEstimate { shots, seed, fault } => {
+            let solo = dqs_obs::with_recorder(&solo_rec, || {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                estimate_total_count_degraded(ds, &fault.plan, &fault.spec, *shots, &mut rng)
+            });
+            match (res, solo) {
+                (Ok(report), Ok(run)) => {
+                    let out = report.output.as_degraded_estimate().expect("kind");
+                    assert_eq!(out.estimated_a.to_bits(), run.estimated_a.to_bits());
+                    assert_eq!(out.estimated_total.to_bits(), run.estimated_total.to_bits());
+                    assert_eq!(out.queries, run.queries);
+                    assert_eq!(out.dead, run.dead);
+                    assert_eq!(out.fidelity_bound.to_bits(), run.fidelity_bound.to_bits());
+                    assert_eq!(report.recorder.events(), solo_rec.events());
+                    bill(billed, &out.queries);
+                }
+                (
+                    Err(ServeError::DeadlineExceeded { tenant, partial }),
+                    Err(SampleError::DeadlineExceeded { partial: solo_p }),
+                ) => {
+                    assert_eq!(*tenant, req.tenant);
+                    assert_eq!(partial, &solo_p);
+                    bill(billed, &partial.queries);
+                }
+                (Err(ServeError::Sample(e)), Err(solo_e)) => assert_eq!(e, &solo_e),
+                (r, s) => panic!(
+                    "service/solo outcome diverged: service ok={}, solo ok={}",
+                    r.is_ok(),
+                    s.is_ok()
+                ),
+            }
+        }
+        _ => unreachable!("degraded_requests emits only degraded kinds"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Degraded service runs are bit-identical to solo degraded runs —
+    /// outputs, ledgers, dead sets, fidelity bits, obs streams, and typed
+    /// deadline failures with their billed partials — for any fault plan,
+    /// deadline, and scheduler knobs. Two services with different knobs
+    /// also agree with each other.
+    #[test]
+    fn degraded_service_runs_are_bit_identical_to_solo_runs(
+        universe in 4u64..16,
+        total in 4u64..12,
+        machines in 2usize..4,
+        seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        rate in 0.0f64..0.8,
+        deadline_raw in 0u64..120,
+        count in 4usize..9,
+        tenants in 1u64..4,
+        shots in 10u64..30,
+        mb_a in 1usize..7,
+        mp_a in 1usize..5,
+        mb_b in 1usize..7,
+        mp_b in 1usize..5,
+    ) {
+        let ds = WorkloadSpec::small_uniform(universe, total, machines, seed).build();
+        let plan = FaultPlan::seeded(ds.num_machines(), fault_seed, &FaultRates::uniform(rate, 16));
+        let mut fault = FaultSpec::from_plan(plan);
+        // Half the range means "no deadline" so both regimes get coverage.
+        fault.spec.deadline = (deadline_raw < 60).then_some(deadline_raw);
+        let fault = Arc::new(fault);
+        let reqs = degraded_requests(count, tenants, shots, seed, &fault);
+
+        let service = SamplingService::new(ds.clone(), config(mb_a, mp_a));
+        let results = service.submit_all(&reqs);
+        prop_assert_eq!(results.len(), reqs.len());
+
+        let mut billed: BTreeMap<u64, (Vec<u64>, u64)> = BTreeMap::new();
+        for (req, res) in reqs.iter().zip(&results) {
+            check_against_solo(&ds, req, res, &mut billed);
+        }
+        // Tenant ledgers equal the sum of solo charges (success snapshots
+        // plus deadline partials; other failures bill nothing).
+        for (tenant, (per_machine, rounds)) in billed {
+            if per_machine.iter().all(|&q| q == 0) && rounds == 0 {
+                continue; // a ledger entry may exist but stays all-zero
+            }
+            let ledger = service.tenant_ledger(tenant).expect("billed tenants have ledgers");
+            prop_assert_eq!(ledger.per_machine, per_machine);
+            prop_assert_eq!(ledger.parallel_rounds, rounds);
+        }
+
+        // A second service with different scheduler knobs is unobservable:
+        // identical outcomes for every request.
+        let service_b = SamplingService::new(ds, config(mb_b, mp_b));
+        let results_b = service_b.submit_all(&reqs);
+        for (x, y) in results.iter().zip(&results_b) {
+            match (x, y) {
+                (Ok(rx), Ok(ry)) => {
+                    assert_eq!(rx.output.queries(), ry.output.queries());
+                    assert_eq!(rx.recorder.events(), ry.recorder.events());
+                }
+                (Err(ex), Err(ey)) => assert_eq!(ex, ey),
+                _ => panic!("knob change flipped a request's outcome"),
+            }
+        }
+    }
+
+    /// Zero-fault degraded requests through the service are bit-identical
+    /// to *faultless* service-free runs: the entire fault apparatus —
+    /// specs, retry sessions, degraded replay, coalescing by fault hash —
+    /// charges and emits nothing extra when nothing fails.
+    #[test]
+    fn zero_fault_degraded_requests_match_faultless_bitwise(
+        universe in 4u64..16,
+        total in 4u64..12,
+        machines in 1usize..4,
+        seed in 0u64..1_000,
+        shots in 20u64..50,
+        mb in 1usize..7,
+    ) {
+        let ds = WorkloadSpec::small_uniform(universe, total, machines, seed).build();
+        let fault = Arc::new(FaultSpec::from_plan(FaultPlan::none(ds.num_machines())));
+        let reqs = degraded_requests(8, 3, shots, seed, &fault);
+        let service = SamplingService::new(ds.clone(), config(mb, 4));
+        let results = service.submit_all(&reqs);
+
+        for (req, res) in reqs.iter().zip(&results) {
+            match &req.kind {
+                RequestKind::Degraded { algorithm: DegradedAlgorithm::Sequential, .. } => {
+                    let out = res.as_ref().expect("fault-free").output.clone();
+                    let run = out.as_degraded_sequential().expect("kind");
+                    let base = sequential_sample::<SparseState>(&ds).expect("faultless");
+                    prop_assert_eq!(run.state.to_table(), base.state.to_table());
+                    prop_assert_eq!(&run.queries, &base.queries);
+                    prop_assert_eq!(run.fidelity_bound.to_bits(), 1f64.to_bits());
+                    prop_assert_eq!(run.restarts, 1);
+                    prop_assert!(run.dead.is_empty());
+                    prop_assert_eq!(run.total_retries, 0);
+                }
+                RequestKind::Degraded { .. } => {
+                    let out = res.as_ref().expect("fault-free").output.clone();
+                    let run = out.as_degraded_parallel().expect("kind");
+                    let base = parallel_sample::<SparseState>(&ds).expect("faultless");
+                    prop_assert_eq!(run.state.to_table(), base.state.to_table());
+                    prop_assert_eq!(&run.queries, &base.queries);
+                    prop_assert_eq!(run.fidelity_bound.to_bits(), 1f64.to_bits());
+                }
+                RequestKind::DegradedEstimate { shots, seed, .. } => {
+                    let mut rng = StdRng::seed_from_u64(*seed);
+                    let base = estimate_total_count(&ds, *shots, &mut rng);
+                    match (res, base) {
+                        (Ok(report), Ok(b)) => {
+                            let run = report.output.as_degraded_estimate().expect("kind");
+                            prop_assert_eq!(run.estimated_a.to_bits(), b.estimated_a.to_bits());
+                            prop_assert_eq!(
+                                run.estimated_total.to_bits(),
+                                b.estimated_total.to_bits()
+                            );
+                            prop_assert_eq!(&run.queries, &b.queries);
+                            prop_assert!(run.dead.is_empty());
+                        }
+                        // All-flag-1 shots fail both paths identically.
+                        (Err(ServeError::Sample(e)), Err(b)) => prop_assert_eq!(e, &b),
+                        _ => prop_assert!(false, "fault-free outcome diverged"),
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    /// Chaos-warming the artifact cache can never poison it: a warm
+    /// against a faulty oracle set either inserts a bundle bit-identical
+    /// to a cold faultless build (reads were provably clean), returns
+    /// nothing (tainted — stale/corrupt answers seen), or fails loudly
+    /// (crash). In every case, what the cache serves afterwards equals the
+    /// cold faultless build bit-for-bit.
+    #[test]
+    fn chaos_warmed_cache_never_serves_a_tainted_artifact(
+        universe in 4u64..16,
+        total in 4u64..12,
+        machines in 1usize..4,
+        seed in 0u64..1_000,
+        fault_seed in 0u64..1_000,
+        rate in 0.0f64..0.9,
+    ) {
+        let ds = WorkloadSpec::small_uniform(universe, total, machines, seed).build();
+        let n = ds.num_machines();
+        let plan = FaultPlan::seeded(n, fault_seed, &FaultRates::uniform(rate, 8));
+        let snap = DatasetSnapshot::new(ds);
+        let cold = CompiledArtifacts::build(&snap);
+
+        let cache = ArtifactCache::new();
+        let ledger = QueryLedger::new(n);
+        let oracles = OracleSet::new(snap.dataset(), &ledger);
+        let faulty = FaultyOracleSet::new(&oracles, &plan);
+        let policy = RetryPolicy::default();
+        let mut session = RetrySession::new(n, &policy);
+        let warmed = cache.warm(&snap, &faulty, &mut session);
+
+        match warmed {
+            Ok(Some(bundle)) => {
+                // Inserted bundles are provably clean: bit-identical to a
+                // cold faultless build.
+                prop_assert!(!faulty.is_tainted());
+                prop_assert_eq!(
+                    bundle.total_table().as_slice(),
+                    cold.total_table().as_slice()
+                );
+                for (w, c) in bundle.machine_tables().iter().zip(cold.machine_tables()) {
+                    prop_assert_eq!(w.as_slice(), c.as_slice());
+                }
+                prop_assert_eq!(cache.stats().entries, 1);
+            }
+            Ok(None) => {
+                // Tainted reads: nothing was inserted.
+                prop_assert!(faulty.is_tainted());
+                prop_assert_eq!(cache.stats().entries, 0);
+            }
+            Err(_) => {
+                // Loud failure (crash the retries could not absorb):
+                // nothing was inserted either.
+                prop_assert_eq!(cache.stats().entries, 0);
+            }
+        }
+
+        // Whatever happened, serving compiles from the snapshot itself —
+        // never from probed answers — and matches the cold build.
+        let served = cache.artifacts(&snap);
+        prop_assert_eq!(
+            served.total_table().as_slice(),
+            cold.total_table().as_slice()
+        );
+        for (s, c) in served.machine_tables().iter().zip(cold.machine_tables()) {
+            prop_assert_eq!(s.as_slice(), c.as_slice());
+        }
+    }
+}
