@@ -684,6 +684,8 @@ pub fn generate(smoke: bool) -> String {
     json.push_str("  ]},\n");
     let (_, serve_chaos_section) = crate::serve_chaos_data::generate(smoke);
     let _ = writeln!(json, "  \"serve_chaos\": {serve_chaos_section},");
+    let (_, mutate_section) = crate::mutate_data::generate(smoke);
+    let _ = writeln!(json, "  \"mutate_sweep\": {mutate_section},");
     let _ = writeln!(
         json,
         "  \"end_to_end\": {{\"name\": \"sequential_sample\", \"backend\": \"sparse\", \"universe\": {universe}, \"total_records\": {total}, \"machines\": {machines}, \"seed\": {seed}, \"seconds\": {e2e_secs:.6e}}}"
@@ -693,9 +695,11 @@ pub fn generate(smoke: bool) -> String {
 }
 
 /// Runs one instrumented fused + one gate-by-gate sampling run per machine
-/// count under a fresh recorder and returns its aggregated metrics JSON —
-/// the `BENCH_qsim.metrics.json` sidecar. Kept separate from the timed
-/// measurements above so recording overhead never contaminates them.
+/// count under a fresh recorder — plus a deterministic artifact-cache
+/// workload exercising every `cache.*` counter — and returns its
+/// aggregated metrics JSON — the `BENCH_qsim.metrics.json` sidecar. Kept
+/// separate from the timed measurements above so recording overhead never
+/// contaminates them.
 pub fn collect_metrics(smoke: bool) -> String {
     let (universe, total, seed) = e2e_workload(smoke);
     let machine_counts: &[usize] = if smoke { &[2] } else { &[2, 4, 8, 16] };
@@ -711,6 +715,55 @@ pub fn collect_metrics(smoke: bool) -> String {
                 );
             }
         }
+        collect_cache_counters(universe, total, seed);
     });
     rec.metrics_json()
+}
+
+/// The deterministic artifact-cache workload behind the sidecar's
+/// `cache.*` counters: one cold compile (miss), one warm lookup (hit), one
+/// incremental derive, and one tainted-warm rejection, in that order, so
+/// the committed counts pin the cache's hit/miss/derive/taint behavior and
+/// `bench_gate`'s reconciliation catches any drift in it.
+fn collect_cache_counters(universe: u64, total: u64, seed: u64) {
+    use dqs_core::{ArtifactCache, DatasetSnapshot, RetryPolicy, RetrySession};
+    use dqs_db::{FaultEvent, FaultKind, FaultPlan, FaultyOracleSet, UpdateLog, UpdateOp};
+    let machines = 2usize;
+    let mut spec = WorkloadSpec::small_uniform(universe, total, machines, seed);
+    // Slack so the single insertion below can never exceed capacity.
+    spec.capacity_slack = 2.0;
+    let dataset = spec.build();
+
+    let cache = ArtifactCache::new();
+    let v0 = DatasetSnapshot::new(dataset);
+    black_box(cache.artifacts(&v0).version()); // cache.miss
+    black_box(cache.artifacts(&v0).version()); // cache.hit
+    let mut log = UpdateLog::new();
+    log.push(UpdateOp::insert(0, 0));
+    let v1 = v0.try_with_updates(&log).expect("slack leaves room");
+    black_box(cache.artifacts(&v1).version()); // cache.derive
+
+    // cache.taint_reject: machine 0 silently corrupts its warm probe, so
+    // the poisoned bundle must be refused instead of cached. Warm a fresh
+    // version-2 snapshot — a version already resident (like v1 above) is
+    // returned without probing and would never see the fault.
+    let mut log2 = UpdateLog::new();
+    log2.push(UpdateOp::insert(0, 1));
+    let v2 = v1.try_with_updates(&log2).expect("slack leaves room");
+    let ledger = QueryLedger::new(machines);
+    let oracles = OracleSet::new(v2.dataset(), &ledger);
+    let plan = FaultPlan::from_schedules(vec![
+        vec![FaultEvent {
+            at_query: 0,
+            kind: FaultKind::Corrupt { delta: 1 },
+        }],
+        vec![],
+    ]);
+    let faulty = FaultyOracleSet::new(&oracles, &plan);
+    let policy = RetryPolicy::default();
+    let mut session = RetrySession::new(machines, &policy);
+    let warmed = cache
+        .warm(&v2, &faulty, &mut session)
+        .expect("corrupt probes do not crash");
+    assert!(warmed.is_none(), "tainted warm must be rejected");
 }

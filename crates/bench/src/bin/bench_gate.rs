@@ -26,7 +26,8 @@
 use dqs_bench::bench_data;
 use dqs_bench::chaos_data;
 use dqs_bench::gate::{
-    check_baseline, check_chaos_sidecar, check_fresh, render_report, DEFAULT_TOLERANCE,
+    check_baseline, check_chaos_sidecar, check_fresh, check_qsim_sidecar, render_report,
+    DEFAULT_TOLERANCE,
 };
 use dqs_bench::jsonv::Json;
 use std::path::Path;
@@ -114,6 +115,7 @@ fn main() -> ExitCode {
             .filter(|p| !p.as_os_str().is_empty())
             .unwrap_or_else(|| Path::new("."));
         violations.extend(check_chaos_sidecar(dir));
+        violations.extend(check_qsim_sidecar(dir));
     }
     print!("{}", render_report(&violations));
     if violations.is_empty() {

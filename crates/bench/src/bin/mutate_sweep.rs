@@ -1,0 +1,55 @@
+//! Live-write sweep: incremental artifact recompile vs full rebuild, and
+//! writer throughput under concurrent pinned readers, failing (exit 1)
+//! unless every row's derived artifacts — and the samples drawn from them —
+//! are bit-identical to a rebuild from scratch.
+//!
+//! ```text
+//! cargo run --release -p dqs-bench --bin mutate_sweep -- --smoke
+//! RAYON_NUM_THREADS=4 cargo run --release -p dqs-bench --bin mutate_sweep -- --smoke
+//! cargo run --release -p dqs-bench --bin mutate_sweep         # full grid, stdout only
+//! ```
+//!
+//! CI runs `--smoke` at `RAYON_NUM_THREADS ∈ {1, 4}`: the MVCC write path
+//! must keep the bit-identity contract at every thread count. The sweep
+//! itself lives in [`dqs_bench::mutate_data`]; the committed
+//! `"mutate_sweep"` section of `BENCH_qsim.json` is refreshed through the
+//! same code path by `bench_json` or `bench_gate --write-baseline` — this
+//! binary never writes files. The ≥ 10× incremental-recompile floor is
+//! enforced by `bench_gate` against the committed full-size rows, not
+//! here: smoke-sized rows are too small to gate timing ratios on.
+
+use dqs_bench::mutate_data::generate;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (rows, section) = generate(smoke);
+    println!("\"mutate_sweep\": {section}");
+
+    let mut failed = false;
+    for r in &rows {
+        if !r.bit_identical {
+            eprintln!(
+                "mutate_sweep: FAIL — n={}: derived artifacts not bit-identical to a rebuild",
+                r.machines
+            );
+            failed = true;
+        }
+        if !(r.updates_per_sec_solo > 0.0 && r.updates_per_sec_readers > 0.0) {
+            eprintln!(
+                "mutate_sweep: FAIL — n={}: non-positive writer throughput",
+                r.machines
+            );
+            failed = true;
+        }
+    }
+    if failed {
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "mutate_sweep{}: ok — {} rows bit-identical",
+        if smoke { " --smoke" } else { "" },
+        rows.len(),
+    );
+    ExitCode::SUCCESS
+}

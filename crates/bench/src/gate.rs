@@ -61,6 +61,12 @@ pub const BATCH_SPEEDUP_FLOOR: f64 = 2.0;
 /// The accompanying `bit_identical` flag is exactness and never scaled.
 pub const SERVE_SPEEDUP_FLOOR: f64 = 4.0;
 
+/// The committed incremental-recompile floor: at the sweep's largest
+/// machine count, patching artifacts forward with `advance` must beat a
+/// from-scratch rebuild by at least this factor (scaled by `1 − tolerance`).
+/// The accompanying `bit_identical` flag is exactness and never scaled.
+pub const MUTATE_SPEEDUP_FLOOR: f64 = 10.0;
+
 fn push(violations: &mut Vec<String>, msg: String) {
     violations.push(msg);
 }
@@ -141,6 +147,30 @@ fn serve_rows(doc: &Json) -> Vec<(u64, u64, f64, f64, f64, Option<bool>)> {
                         r.get("coalesced_seconds")?.as_f64()?,
                         r.get("serial_seconds")?.as_f64()?,
                         r.get("speedup")?.as_f64()?,
+                        r.get("bit_identical").map(|b| b == &Json::Bool(true)),
+                    ))
+                })
+                .collect()
+        })
+        .unwrap_or_default()
+}
+
+/// Parsed `mutate_sweep` rows: `(machines, advance_s, rebuild_s, speedup,
+/// updates_per_sec_solo, updates_per_sec_readers, bit_identical)`.
+fn mutate_rows(doc: &Json) -> Vec<(u64, f64, f64, f64, f64, f64, Option<bool>)> {
+    doc.get("mutate_sweep")
+        .and_then(|s| s.get("rows"))
+        .and_then(Json::as_array)
+        .map(|rows| {
+            rows.iter()
+                .filter_map(|r| {
+                    Some((
+                        r.get("machines")?.as_f64()? as u64,
+                        r.get("advance_seconds")?.as_f64()?,
+                        r.get("rebuild_seconds")?.as_f64()?,
+                        r.get("speedup")?.as_f64()?,
+                        r.get("updates_per_sec_solo")?.as_f64()?,
+                        r.get("updates_per_sec_readers")?.as_f64()?,
                         r.get("bit_identical").map(|b| b == &Json::Bool(true)),
                     ))
                 })
@@ -381,6 +411,69 @@ pub fn check_baseline(doc: &Json, tolerance: f64) -> Vec<String> {
         }
     }
 
+    // 6c. Mutate sweep: the live-write tier. Every row's derived speedup
+    //     must be consistent with its own seconds to 1%, writer throughput
+    //     must be positive, derived-artifact bit-identity is exactness
+    //     (never tolerance-scaled), and at the largest machine count the
+    //     incremental recompile must clear the ≥10× floor over a full
+    //     rebuild (scaled by `1 − tolerance`).
+    let mutates = mutate_rows(doc);
+    if mutates.is_empty() {
+        push(
+            &mut v,
+            "baseline has no mutate_sweep rows — the live-write tier is ungated".into(),
+        );
+    }
+    let largest_mutate = mutates.iter().map(|r| r.0).max().unwrap_or(0);
+    for (machines, advance_s, rebuild_s, speedup, ups_solo, ups_readers, bit_identical) in &mutates
+    {
+        let derived = rebuild_s / advance_s;
+        if (speedup / derived - 1.0).abs() > 0.01 {
+            push(
+                &mut v,
+                format!(
+                    "mutate_sweep n={machines}: speedup {speedup:.3} inconsistent with \
+                     rebuild/advance seconds ({derived:.3} derived)"
+                ),
+            );
+        }
+        if *machines == largest_mutate {
+            let floor = MUTATE_SPEEDUP_FLOOR * (1.0 - tolerance);
+            if *speedup < floor {
+                push(
+                    &mut v,
+                    format!(
+                        "mutate_sweep n={machines}: incremental recompile speedup {speedup:.2}x \
+                         below floor {floor:.2}x"
+                    ),
+                );
+            }
+        }
+        if !(*ups_solo > 0.0 && *ups_readers > 0.0) {
+            push(
+                &mut v,
+                format!(
+                    "mutate_sweep n={machines}: non-positive writer throughput \
+                     (solo {ups_solo:.3}, readers {ups_readers:.3})"
+                ),
+            );
+        }
+        match bit_identical {
+            Some(true) => {}
+            Some(false) => push(
+                &mut v,
+                format!(
+                    "mutate_sweep n={machines}: bit_identical is false — derived artifacts \
+                     diverged from a rebuild from scratch (correctness, not performance)"
+                ),
+            ),
+            None => push(
+                &mut v,
+                format!("mutate_sweep n={machines}: missing bit_identical flag"),
+            ),
+        }
+    }
+
     // 7. Chaos sweep: a zero-fault cell must be indistinguishable from the
     //    faultless baseline — overhead exactly 1, bounds exactly 1. And on
     //    every completed cell where zero-error amplification held over the
@@ -599,6 +692,55 @@ pub fn check_chaos_sidecar(baseline_dir: &std::path::Path) -> Vec<String> {
             &mut v,
             format!(
                 "{}: cannot read chaos metrics sidecar: {e} — degraded-run observability \
+                 is unreconciled",
+                path.display()
+            ),
+        ),
+    }
+    v
+}
+
+/// Reconciles the committed `BENCH_qsim.metrics.json` sidecar against a
+/// fresh in-process regeneration, exactly like [`check_chaos_sidecar`]:
+/// every field except the span timings (`*_ns`) is a deterministic
+/// counter — including the `cache.*` hit/miss/derive/taint counters from
+/// the artifact-cache workload — so any drift means the committed file is
+/// stale relative to the build's actual sampling or caching behavior.
+pub fn check_qsim_sidecar(baseline_dir: &std::path::Path) -> Vec<String> {
+    let mut v = Vec::new();
+    let path = baseline_dir.join("BENCH_qsim.metrics.json");
+    match std::fs::read_to_string(&path) {
+        Ok(committed) => {
+            let fresh = bench_data::collect_metrics(false);
+            match (Json::parse(&committed), Json::parse(&fresh)) {
+                (Ok(c), Ok(f)) => {
+                    if strip_timings(&c) != strip_timings(&f) {
+                        push(
+                            &mut v,
+                            format!(
+                                "{}: committed qsim metrics sidecar differs from an in-process \
+                                 regeneration (deterministic fields only; span timings ignored) — \
+                                 refresh it with `bench_json --metrics-only` (or \
+                                 `bench_gate --write-baseline`) and commit the result",
+                                path.display()
+                            ),
+                        );
+                    }
+                }
+                (Err(e), _) => push(
+                    &mut v,
+                    format!("{}: committed qsim metrics sidecar: {e}", path.display()),
+                ),
+                (_, Err(e)) => push(
+                    &mut v,
+                    format!("in-process qsim metrics regeneration is not valid JSON: {e}"),
+                ),
+            }
+        }
+        Err(e) => push(
+            &mut v,
+            format!(
+                "{}: cannot read qsim metrics sidecar: {e} — sampling/cache observability \
                  is unreconciled",
                 path.display()
             ),
@@ -916,6 +1058,55 @@ pub fn check_fresh(doc: &Json, tolerance: f64) -> Vec<String> {
         }
     }
 
+    // Fresh live-write probe at the baseline's own mutate workload and
+    // largest machine count: derived-artifact bit-identity is exactness
+    // (a mismatch is a regressed build outright), and the fresh
+    // advance-vs-rebuild ratio — a ratio of medians on the same build, so
+    // it transfers across machines — must clear the committed floor.
+    let mspec = doc.get("mutate_sweep");
+    let mw = (
+        mspec
+            .and_then(|s| s.get("universe"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64,
+        mspec
+            .and_then(|s| s.get("total_records"))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64,
+        mspec
+            .and_then(|s| s.get("seed"))
+            .and_then(Json::as_f64)
+            .unwrap_or(42.0) as u64,
+    );
+    if mw.0 > 0 && mw.1 > 0 {
+        let mutates = mutate_rows(doc);
+        if let Some(&(machines, _, _, base_speedup, _, _, _)) = mutates.iter().max_by_key(|r| r.0) {
+            let (advance_s, rebuild_s, bit_identical) =
+                crate::mutate_data::measure_advance(mw.0, mw.1, machines as usize, mw.2, 9);
+            if !bit_identical {
+                push(
+                    &mut v,
+                    format!(
+                        "fresh mutate_sweep n={machines}: derived artifacts are not \
+                         bit-identical to a rebuild from scratch"
+                    ),
+                );
+            }
+            let fresh_speedup = rebuild_s / advance_s;
+            let floor =
+                (base_speedup * (1.0 - tolerance)).max(MUTATE_SPEEDUP_FLOOR * (1.0 - tolerance));
+            if fresh_speedup < floor {
+                push(
+                    &mut v,
+                    format!(
+                        "fresh mutate_sweep n={machines}: incremental recompile speedup \
+                         {fresh_speedup:.2}x below floor {floor:.2}x (baseline {base_speedup:.2}x)"
+                    ),
+                );
+            }
+        }
+    }
+
     if sw.0 > 0 && sw.1 > 0 {
         for (requests, tenants, _, _, base_speedup, _) in serve_rows(doc) {
             let rows =
@@ -998,6 +1189,10 @@ mod tests {
   "serve_chaos": {"name": "dqs_serve_degraded", "backend": "sparse", "universe": 64, "total_records": 96, "seed": 42, "rows": [
     {"machines": 2, "fault_rate": 0, "coalescing": "shared", "requests": 8, "tenants": 4, "completed": 8, "deadline_trips": 0, "dead_machines": [], "min_fidelity_bound": 1.000000000, "bit_identical": true, "seconds": 1.0e-2},
     {"machines": 2, "fault_rate": 0.25, "coalescing": "distinct", "requests": 8, "tenants": 4, "completed": 7, "deadline_trips": 1, "dead_machines": [0], "min_fidelity_bound": 0.498713250, "bit_identical": true, "seconds": 1.4e-2}
+  ]},
+  "mutate_sweep": {"name": "artifact_advance", "backend": "sparse", "universe": 256, "total_records": 128, "seed": 42, "readers": 4, "rows": [
+    {"machines": 4, "advance_seconds": 2.0e-6, "rebuild_seconds": 1.0e-5, "speedup": 5.000, "updates_per_sec_solo": 250000.000, "updates_per_sec_readers": 180000.000, "bit_identical": true},
+    {"machines": 16, "advance_seconds": 2.0e-6, "rebuild_seconds": 3.6e-5, "speedup": 18.000, "updates_per_sec_solo": 240000.000, "updates_per_sec_readers": 170000.000, "bit_identical": true}
   ]},
   "end_to_end": {"name": "sequential_sample", "seconds": 2.3e-3},
   "chaos_sweep": {"name": "chaos_sweep", "rows": [
@@ -1254,6 +1449,75 @@ mod tests {
         let v = check_baseline(&doc, DEFAULT_TOLERANCE);
         assert!(
             v.iter().any(|m| m.contains("no serve_chaos rows")),
+            "expected a missing-section violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn mutate_speedup_regression_fails_the_gate() {
+        // Incremental recompile degrading to rebuild speed at the largest
+        // machine count: speedup 1.0, below the 10·(1−0.5) = 5 floor.
+        let perturbed = good_baseline().replace(
+            "\"machines\": 16, \"advance_seconds\": 2.0e-6, \"rebuild_seconds\": 3.6e-5, \"speedup\": 18.000",
+            "\"machines\": 16, \"advance_seconds\": 3.6e-5, \"rebuild_seconds\": 3.6e-5, \"speedup\": 1.000",
+        );
+        assert_ne!(perturbed, good_baseline(), "replace must hit");
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, DEFAULT_TOLERANCE);
+        assert!(
+            v.iter()
+                .any(|m| m.contains("mutate_sweep") && m.contains("below floor")),
+            "expected a mutate-speedup violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn mutate_speedup_inconsistency_fails_the_gate() {
+        // A speedup field drifting from its own seconds: stale or
+        // hand-edited derived data.
+        let perturbed = good_baseline().replace(
+            "\"rebuild_seconds\": 1.0e-5, \"speedup\": 5.000",
+            "\"rebuild_seconds\": 1.0e-5, \"speedup\": 7.000",
+        );
+        assert_ne!(perturbed, good_baseline(), "replace must hit");
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, DEFAULT_TOLERANCE);
+        assert!(
+            v.iter()
+                .any(|m| m.contains("mutate_sweep") && m.contains("inconsistent")),
+            "expected a mutate-consistency violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn mutate_bit_identity_failure_fails_the_gate() {
+        // A derived artifact diverging from a rebuild is a correctness
+        // violation at ANY tolerance.
+        let perturbed = good_baseline().replace(
+            "\"updates_per_sec_readers\": 170000.000, \"bit_identical\": true",
+            "\"updates_per_sec_readers\": 170000.000, \"bit_identical\": false",
+        );
+        assert_ne!(perturbed, good_baseline(), "replace must hit");
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, 10.0); // absurd tolerance: still fails
+        assert!(
+            v.iter()
+                .any(|m| m.contains("mutate_sweep") && m.contains("bit_identical is false")),
+            "expected a mutate bit-identity violation, got: {v:?}"
+        );
+    }
+
+    #[test]
+    fn missing_mutate_section_fails_the_gate() {
+        let base = good_baseline();
+        let start = base.find("  \"mutate_sweep\":").unwrap();
+        let end = base[start..].find("]},\n").unwrap() + start + 4;
+        let mut perturbed = base.clone();
+        perturbed.replace_range(start..end, "");
+        let doc = Json::parse(&perturbed).unwrap();
+        let v = check_baseline(&doc, DEFAULT_TOLERANCE);
+        assert!(
+            v.iter().any(|m| m.contains("no mutate_sweep rows")),
             "expected a missing-section violation, got: {v:?}"
         );
     }

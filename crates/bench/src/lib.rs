@@ -24,6 +24,7 @@ pub mod chaos_data;
 pub mod experiments;
 pub mod gate;
 pub mod jsonv;
+pub mod mutate_data;
 pub mod report;
 pub mod serve_chaos_data;
 

@@ -1,0 +1,272 @@
+//! The `mutate_sweep` section: live-write tier benchmarks, factored out of
+//! the `mutate_sweep` binary so `bench_data::generate` can emit the
+//! `"mutate_sweep"` section of `BENCH_qsim.json` through the same code
+//! path the CI smoke check runs.
+//!
+//! Each row measures, at one machine count, the two costs the MVCC write
+//! path (DESIGN.md §15) is designed around:
+//!
+//! * **incremental vs from-scratch recompile** — a single-element
+//!   [`UpdateLog`] patched forward with [`CompiledArtifacts::advance`]
+//!   against a full [`CompiledArtifacts::build`] of the successor snapshot
+//!   (`bench_gate` enforces the ≥ 10× floor at the largest machine count);
+//! * **writer throughput under concurrent readers** — `apply_update`
+//!   rounds per second through a live [`SamplingService`], alone and with
+//!   reader threads continuously sampling a pinned snapshot, so the
+//!   copy-on-write claim ("readers never block writers") has a number.
+//!
+//! The accompanying `bit_identical` flag is exactness, never
+//! tolerance-scaled: the derived artifacts' tables *and* the samples drawn
+//! from them (sequential and parallel) must match a rebuild-from-scratch
+//! bit for bit.
+
+use dqs_core::{
+    parallel_sample_cached, sequential_sample_cached, CompiledArtifacts, DatasetSnapshot,
+};
+use dqs_db::{DistributedDataset, UpdateLog, UpdateOp};
+use dqs_sim::{QuantumState, SparseState};
+use dqs_workloads::WorkloadSpec;
+use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::bench_data::median_secs;
+
+/// Reader threads running against the pinned snapshot in the contended
+/// writer-throughput measurement.
+pub const MUTATE_READERS: usize = 4;
+
+/// One machine count's live-write measurements.
+pub struct MutateRow {
+    /// Machine count of the row.
+    pub machines: usize,
+    /// Median seconds to patch artifacts forward with `advance`.
+    pub advance_seconds: f64,
+    /// Median seconds to rebuild artifacts from scratch.
+    pub rebuild_seconds: f64,
+    /// Applied update logs per second with no concurrent readers.
+    pub updates_per_sec_solo: f64,
+    /// Applied update logs per second with [`MUTATE_READERS`] reader
+    /// threads continuously sampling a pinned snapshot.
+    pub updates_per_sec_readers: f64,
+    /// Derived artifacts and the samples drawn from them matched a
+    /// rebuild-from-scratch bit for bit.
+    pub bit_identical: bool,
+}
+
+impl MutateRow {
+    /// Incremental-recompile speedup: rebuild time over advance time.
+    pub fn speedup(&self) -> f64 {
+        self.rebuild_seconds / self.advance_seconds
+    }
+}
+
+/// The sweep's dataset: the e2e workload with capacity slack so a
+/// single-element insertion can never exceed `ν`.
+fn mutate_dataset(universe: u64, total: u64, machines: usize, seed: u64) -> DistributedDataset {
+    let mut spec = WorkloadSpec::small_uniform(universe, total, machines, seed);
+    spec.capacity_slack = 2.0;
+    spec.build()
+}
+
+/// The single-element update every row patches with: one insertion at the
+/// first element with remaining capacity (slack guarantees one exists).
+fn single_update(ds: &DistributedDataset) -> UpdateLog {
+    let element = (0..ds.universe())
+        .find(|&i| ds.total_multiplicity(i) < ds.capacity())
+        .expect("capacity slack leaves room for an insertion");
+    let mut log = UpdateLog::new();
+    log.push(UpdateOp::insert(0, element));
+    log
+}
+
+/// Checks a derived bundle against a from-scratch rebuild on every axis
+/// the acceptance contract names: count tables, total table, and the
+/// sequential + parallel samples drawn through the cached entry points.
+fn verify_bit_identity(derived: &CompiledArtifacts, rebuilt: &CompiledArtifacts) -> bool {
+    if derived.total_table().as_slice() != rebuilt.total_table().as_slice() {
+        return false;
+    }
+    for (d, r) in derived
+        .machine_tables()
+        .iter()
+        .zip(rebuilt.machine_tables())
+    {
+        if d.as_slice() != r.as_slice() {
+            return false;
+        }
+    }
+    let (seq_d, seq_r) = (
+        sequential_sample_cached::<SparseState>(derived).expect("faultless run"),
+        sequential_sample_cached::<SparseState>(rebuilt).expect("faultless run"),
+    );
+    if seq_d.state.to_table().distance_sqr(&seq_r.state.to_table()) != 0.0
+        || seq_d.queries != seq_r.queries
+        || seq_d.fidelity.to_bits() != seq_r.fidelity.to_bits()
+    {
+        return false;
+    }
+    let (par_d, par_r) = (
+        parallel_sample_cached::<SparseState>(derived).expect("faultless run"),
+        parallel_sample_cached::<SparseState>(rebuilt).expect("faultless run"),
+    );
+    par_d.state.to_table().distance_sqr(&par_r.state.to_table()) == 0.0
+        && par_d.queries == par_r.queries
+        && par_d.fidelity.to_bits() == par_r.fidelity.to_bits()
+}
+
+/// Measures the incremental-vs-rebuild pair for one machine count.
+/// Reusable by `bench_gate`'s fresh probe; returns
+/// `(advance_seconds, rebuild_seconds, bit_identical)`.
+pub fn measure_advance(
+    universe: u64,
+    total: u64,
+    machines: usize,
+    seed: u64,
+    reps: usize,
+) -> (f64, f64, bool) {
+    let ds = mutate_dataset(universe, total, machines, seed);
+    let log = single_update(&ds);
+    let snap = DatasetSnapshot::new(ds);
+    let parent = CompiledArtifacts::build(&snap);
+    let next = snap.try_with_updates(&log).expect("valid single insert");
+
+    let advance_seconds = median_secs(reps, || {
+        black_box(
+            parent
+                .advance(&log, &next)
+                .expect("direct successor")
+                .version(),
+        );
+    });
+    let rebuild_seconds = median_secs(reps, || {
+        black_box(CompiledArtifacts::build(&next).version());
+    });
+
+    let derived = parent.advance(&log, &next).expect("direct successor");
+    let rebuilt = CompiledArtifacts::build(&next);
+    let bit_identical = verify_bit_identity(&derived, &rebuilt);
+    (advance_seconds, rebuild_seconds, bit_identical)
+}
+
+/// Measures writer throughput — applied single-op update logs per second —
+/// through a live service, with `readers` threads continuously sampling a
+/// pinned version-0 snapshot while the writer loop runs. Updates alternate
+/// insert/delete of one element so the dataset never drifts and every
+/// apply stays valid no matter how many bursts run.
+fn measure_updates_per_sec(
+    dataset: &DistributedDataset,
+    readers: usize,
+    burst: usize,
+    reps: usize,
+) -> f64 {
+    use dqs_serve::{RequestKind, SampleRequest, SamplingService, ServeConfig};
+    let service = SamplingService::new(dataset.clone(), ServeConfig::default());
+    let pinned = service.snapshot();
+    let requests = vec![SampleRequest {
+        tenant: 0,
+        kind: RequestKind::Sequential,
+    }];
+    // Compile version 0 into the cache so pinned readers run warm.
+    for r in service.submit_all_at(&pinned, &requests) {
+        r.expect("faultless pinned request");
+    }
+
+    let element = single_update(dataset)
+        .net_deltas()
+        .next()
+        .expect("single-op log")
+        .1;
+    let mut insert = UpdateLog::new();
+    insert.push(UpdateOp::insert(0, element));
+    let mut delete = UpdateLog::new();
+    delete.push(UpdateOp::delete(0, element));
+
+    let stop = AtomicBool::new(false);
+    let secs = std::thread::scope(|s| {
+        for _ in 0..readers {
+            s.spawn(|| {
+                while !stop.load(Ordering::Relaxed) {
+                    for r in service.submit_all_at(&pinned, &requests) {
+                        black_box(r.expect("faultless pinned request").tenant);
+                    }
+                }
+            });
+        }
+        let secs = median_secs(reps, || {
+            for _ in 0..burst / 2 {
+                service
+                    .apply_update_checked(None, &insert)
+                    .expect("valid insert");
+                service
+                    .apply_update_checked(None, &delete)
+                    .expect("valid delete");
+            }
+        });
+        stop.store(true, Ordering::Relaxed);
+        secs
+    });
+    burst as f64 / secs
+}
+
+/// Runs one machine count's row.
+pub fn row(universe: u64, total: u64, machines: usize, seed: u64, smoke: bool) -> MutateRow {
+    let reps = if smoke { 5 } else { 15 };
+    let (advance_seconds, rebuild_seconds, bit_identical) =
+        measure_advance(universe, total, machines, seed, reps);
+    let dataset = mutate_dataset(universe, total, machines, seed);
+    let burst = if smoke { 64 } else { 512 };
+    let updates_per_sec_solo = measure_updates_per_sec(&dataset, 0, burst, reps);
+    let updates_per_sec_readers = measure_updates_per_sec(&dataset, MUTATE_READERS, burst, reps);
+    MutateRow {
+        machines,
+        advance_seconds,
+        rebuild_seconds,
+        updates_per_sec_solo,
+        updates_per_sec_readers,
+        bit_identical,
+    }
+}
+
+/// Runs the sweep (`--smoke` uses the single-cell grid) and renders the
+/// `"mutate_sweep"` section value. Also returns the rows for invariant
+/// checks.
+pub fn generate(smoke: bool) -> (Vec<MutateRow>, String) {
+    let (universe, total, seed) = crate::bench_data::e2e_workload(smoke);
+    let machine_grid: &[usize] = if smoke { &[4] } else { &[4, 16] };
+
+    let mut rows = Vec::new();
+    for &machines in machine_grid {
+        let r = row(universe, total, machines, seed, smoke);
+        eprintln!(
+            "mutate_sweep: n={} done (speedup={:.1}x, bit_identical={})",
+            r.machines,
+            r.speedup(),
+            r.bit_identical
+        );
+        rows.push(r);
+    }
+
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"machines\": {}, \"advance_seconds\": {:.6e}, \"rebuild_seconds\": {:.6e}, \
+                 \"speedup\": {:.3}, \"updates_per_sec_solo\": {:.3}, \
+                 \"updates_per_sec_readers\": {:.3}, \"bit_identical\": {}}}",
+                r.machines,
+                r.advance_seconds,
+                r.rebuild_seconds,
+                r.speedup(),
+                r.updates_per_sec_solo,
+                r.updates_per_sec_readers,
+                r.bit_identical,
+            )
+        })
+        .collect();
+    let section = format!(
+        "{{\"name\": \"artifact_advance\", \"backend\": \"sparse\", \"universe\": {universe}, \
+         \"total_records\": {total}, \"seed\": {seed}, \"readers\": {MUTATE_READERS}, \"rows\": [\n{}\n  ]}}",
+        body.join(",\n"),
+    );
+    (rows, section)
+}

@@ -22,7 +22,7 @@ use crate::circuit::{
 };
 use crate::layouts::{ParallelLayout, SequentialLayout};
 use crate::snapshot::DatasetSnapshot;
-use dqs_db::{DistributedDataset, FaultHandler, FaultyOracleSet, OracleError};
+use dqs_db::{DistributedDataset, FaultHandler, FaultyOracleSet, OracleError, UpdateLog};
 use dqs_sim::{Program, StateTable};
 use parking_lot::Mutex;
 use std::collections::BTreeMap;
@@ -45,6 +45,7 @@ pub struct CompiledArtifacts {
     total_table: Arc<Vec<u64>>,
     seq_program: OnceLock<Arc<Program>>,
     par_program: OnceLock<Arc<Program>>,
+    tainted: bool,
 }
 
 impl CompiledArtifacts {
@@ -62,6 +63,7 @@ impl CompiledArtifacts {
             total_table,
             seq_program: OnceLock::new(),
             par_program: OnceLock::new(),
+            tainted: false,
         }
     }
 
@@ -106,7 +108,75 @@ impl CompiledArtifacts {
             total_table: Arc::new(total),
             seq_program: OnceLock::new(),
             par_program: OnceLock::new(),
+            tainted: faulty.is_tainted(),
         })
+    }
+
+    /// Patches these artifacts forward to the successor snapshot instead of
+    /// rebuilding from scratch (DESIGN.md §15).
+    ///
+    /// Cost is `O(touched machines · N)` table copies plus `O(net deltas)`
+    /// patches, versus the `O(n·N)` of [`Self::build`]: untouched machines'
+    /// count tables are shared with the parent (`Arc` bump), touched ones
+    /// are cloned once and edited in place, and the total table is cloned
+    /// once and edited at the touched elements. The layouts are shared
+    /// outright — they depend only on `(N, ν, n)`, none of which an update
+    /// can change, so the anchor amplitudes `|π⟩` carry over bit-identically.
+    /// The optimized programs are *not* carried over: the amplification
+    /// schedule depends on `M`, which updates change, so they lazily
+    /// recompile from the patched tables on first use.
+    ///
+    /// Taint is propagated: artifacts advanced from a tainted bundle are
+    /// tainted (a poisoned table stays poisoned under patching).
+    ///
+    /// Returns `None` instead of panicking when `next` is not the direct
+    /// successor these artifacts can be patched to: wrong version, a
+    /// dataset that does not descend from this bundle's, an update naming
+    /// an unknown machine or out-of-range element, or a delta inconsistent
+    /// with the resident tables. Callers fall back to [`Self::build`].
+    pub fn advance(&self, updates: &UpdateLog, next: &DatasetSnapshot) -> Option<Self> {
+        if next.version() != self.version + 1 {
+            return None;
+        }
+        let descends = next
+            .lineage()
+            .is_some_and(|l| Arc::ptr_eq(&l.parent, &self.dataset));
+        if !descends {
+            return None;
+        }
+        let universe = self.dataset.universe() as usize;
+        let mut machine_tables = self.machine_tables.clone();
+        let mut total_table = Arc::clone(&self.total_table);
+        for (machine, element, delta) in updates.net_deltas() {
+            let element = element as usize;
+            if machine >= machine_tables.len() || element >= universe {
+                return None;
+            }
+            let table = Arc::make_mut(&mut machine_tables[machine]);
+            let patched = table[element].checked_add_signed(delta)?;
+            table[element] = patched;
+            let totals = Arc::make_mut(&mut total_table);
+            totals[element] = totals[element].checked_add_signed(delta)?;
+        }
+        Some(Self {
+            version: next.version(),
+            dataset: next.dataset_arc().clone(),
+            seq_layout: self.seq_layout.clone(),
+            par_layout: self.par_layout.clone(),
+            machine_tables,
+            total_table,
+            seq_program: OnceLock::new(),
+            par_program: OnceLock::new(),
+            tainted: self.tainted,
+        })
+    }
+
+    /// Whether any read that produced these artifacts was dirty (stale or
+    /// corrupt oracle answers during [`Self::build_probed`], or descent
+    /// from a tainted parent through [`Self::advance`]). Tainted bundles
+    /// must never be served; [`ArtifactCache`] refuses to install them.
+    pub fn is_tainted(&self) -> bool {
+        self.tainted
     }
 
     /// The dataset version these artifacts were compiled from.
@@ -188,8 +258,14 @@ impl CompiledArtifacts {
 pub struct CacheStats {
     /// Lookups answered from an existing bundle.
     pub hits: u64,
-    /// Lookups that compiled a fresh bundle.
+    /// Lookups that compiled a fresh bundle from scratch.
     pub misses: u64,
+    /// Lookups answered by patching the parent version's bundle forward
+    /// ([`CompiledArtifacts::advance`]) instead of recompiling.
+    pub derives: u64,
+    /// Candidate bundles rejected for taint: dirty-read warm builds plus
+    /// derive attempts refused because the parent was tainted.
+    pub taints: u64,
     /// Versions currently resident.
     pub entries: usize,
 }
@@ -207,6 +283,8 @@ pub struct ArtifactCache {
     entries: Mutex<BTreeMap<u64, Arc<CompiledArtifacts>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    derives: AtomicU64,
+    taints: AtomicU64,
 }
 
 impl ArtifactCache {
@@ -218,23 +296,60 @@ impl ArtifactCache {
         Self::default()
     }
 
-    /// Returns the artifact bundle for `snapshot`, compiling and caching it
-    /// on first sight of the snapshot's version.
+    /// Returns the artifact bundle for `snapshot`, preferring, in order:
+    ///
+    /// 1. **hit** — a resident bundle for this exact snapshot;
+    /// 2. **derive** — patching the resident *parent* version's bundle
+    ///    forward through the snapshot's lineage
+    ///    ([`CompiledArtifacts::advance`]), when the parent is resident,
+    ///    identity-matches the lineage, and is untainted (a tainted parent
+    ///    counts a taint rejection and falls through);
+    /// 3. **miss** — compiling a fresh bundle from scratch.
     pub fn artifacts(&self, snapshot: &DatasetSnapshot) -> Arc<CompiledArtifacts> {
         let mut entries = self.entries.lock();
         if let Some(found) = entries.get(&snapshot.version()) {
             if Arc::ptr_eq(found.dataset_arc(), snapshot.dataset_arc()) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                dqs_obs::counter(dqs_obs::names::CACHE_HIT, 1);
                 return found.clone();
             }
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let built = Arc::new(CompiledArtifacts::build(snapshot));
+        let built = Arc::new(self.derive_locked(&entries, snapshot).unwrap_or_else(|| {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            dqs_obs::counter(dqs_obs::names::CACHE_MISS, 1);
+            CompiledArtifacts::build(snapshot)
+        }));
         entries.insert(snapshot.version(), built.clone());
         while entries.len() > Self::KEEP {
             entries.pop_first();
         }
         built
+    }
+
+    /// The derive-from-parent path of [`Self::artifacts`]: `None` when no
+    /// usable parent bundle is resident (the caller compiles from scratch).
+    fn derive_locked(
+        &self,
+        entries: &BTreeMap<u64, Arc<CompiledArtifacts>>,
+        snapshot: &DatasetSnapshot,
+    ) -> Option<CompiledArtifacts> {
+        let lineage = snapshot.lineage()?;
+        let parent = entries.get(&lineage.parent_version)?;
+        if !Arc::ptr_eq(parent.dataset_arc(), &lineage.parent) {
+            return None;
+        }
+        if parent.is_tainted() {
+            // Defense in depth: tainted bundles are never inserted, but if
+            // one ever became resident, deriving from it would launder the
+            // taint into a servable artifact.
+            self.taints.fetch_add(1, Ordering::Relaxed);
+            dqs_obs::counter(dqs_obs::names::CACHE_TAINT, 1);
+            return None;
+        }
+        let derived = parent.advance(&lineage.updates, snapshot)?;
+        self.derives.fetch_add(1, Ordering::Relaxed);
+        dqs_obs::counter(dqs_obs::names::CACHE_DERIVE, 1);
+        Some(derived)
     }
 
     /// Warm path: build a bundle through the (possibly faulty) oracle
@@ -270,7 +385,9 @@ impl ArtifactCache {
             }
         }
         let built = CompiledArtifacts::build_probed(snapshot, faulty, handler)?;
-        if faulty.is_tainted() {
+        if built.is_tainted() {
+            self.taints.fetch_add(1, Ordering::Relaxed);
+            dqs_obs::counter(dqs_obs::names::CACHE_TAINT, 1);
             return Ok(None);
         }
         let built = Arc::new(built);
@@ -282,11 +399,13 @@ impl ArtifactCache {
         Ok(Some(built))
     }
 
-    /// Current hit/miss/occupancy counters.
+    /// Current hit/miss/derive/taint/occupancy counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            derives: self.derives.load(Ordering::Relaxed),
+            taints: self.taints.load(Ordering::Relaxed),
             entries: self.entries.lock().len(),
         }
     }
@@ -328,6 +447,8 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
+                derives: 0,
+                taints: 0,
                 entries: 1
             }
         );
@@ -351,7 +472,10 @@ mod tests {
         assert_eq!(third.version(), 2);
         let stats = cache.stats();
         assert_eq!(stats.entries, ArtifactCache::KEEP);
-        assert_eq!(stats.misses, 3);
+        // One cold compile at version 0, then each successor is patched
+        // forward from its resident parent instead of rebuilt.
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.derives, 2);
     }
 
     #[test]
@@ -457,6 +581,89 @@ mod tests {
             OracleError::MachineUnavailable { machine: 0, .. }
         ));
         assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn advance_matches_a_from_scratch_rebuild() {
+        let snap = snapshot();
+        let parent = CompiledArtifacts::build(&snap);
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(0, 3));
+        log.push(UpdateOp::delete(1, 6));
+        let next = snap.with_updates(&log);
+        let advanced = parent.advance(&log, &next).expect("patchable successor");
+        let rebuilt = CompiledArtifacts::build(&next);
+        assert_eq!(advanced.version(), 1);
+        assert!(!advanced.is_tainted());
+        assert_eq!(
+            advanced.total_table().as_slice(),
+            rebuilt.total_table().as_slice()
+        );
+        for (a, r) in advanced
+            .machine_tables()
+            .iter()
+            .zip(rebuilt.machine_tables())
+        {
+            assert_eq!(a.as_slice(), r.as_slice());
+        }
+        // Untouched structure is shared with the parent, not copied.
+        let anchor_parent: *const StateTable = parent.sequential_anchor();
+        let anchor_advanced: *const StateTable = advanced.sequential_anchor();
+        assert_eq!(anchor_parent, anchor_advanced, "anchor carried over");
+    }
+
+    #[test]
+    fn advance_refuses_non_successors() {
+        let snap = snapshot();
+        let arts = CompiledArtifacts::build(&snap);
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(0, 3));
+        let v1 = snap.with_updates(&log);
+        let v2 = v1.with_updates(&log);
+        assert!(arts.advance(&log, &v2).is_none(), "version gap");
+        // A same-version snapshot from an unrelated lineage.
+        let other = snapshot().with_updates(&log);
+        assert!(arts.advance(&log, &other).is_none(), "foreign lineage");
+    }
+
+    #[test]
+    fn derive_is_refused_when_the_parent_was_evicted() {
+        let cache = ArtifactCache::new();
+        let mut snap = snapshot();
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(0, 3));
+        cache.artifacts(&snap); // version 0 resident
+        snap = snap.with_updates(&log);
+        snap = snap.with_updates(&log); // version 2, parent v1 never cached
+        cache.artifacts(&snap);
+        let stats = cache.stats();
+        assert_eq!(stats.derives, 0, "no resident parent to derive from");
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn derived_artifacts_serve_bit_identical_tables_and_programs() {
+        let cache = ArtifactCache::new();
+        let snap = snapshot();
+        cache.artifacts(&snap);
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(1, 2));
+        let next = snap.with_updates(&log);
+        let derived = cache.artifacts(&next);
+        assert_eq!(cache.stats().derives, 1);
+        let rebuilt = CompiledArtifacts::build(&next);
+        assert_eq!(
+            derived.total_table().as_slice(),
+            rebuilt.total_table().as_slice()
+        );
+        assert_eq!(
+            derived.sequential_program().shape(),
+            rebuilt.sequential_program().shape()
+        );
+        assert_eq!(
+            derived.parallel_program().shape(),
+            rebuilt.parallel_program().shape()
+        );
     }
 
     #[test]

@@ -81,4 +81,4 @@ pub use sequential::{
     replay_sequential_run, sequential_sample, sequential_sample_batch, sequential_sample_cached,
     sequential_sample_with_realization, sequential_sample_with_updates, SequentialRun,
 };
-pub use snapshot::DatasetSnapshot;
+pub use snapshot::{DatasetSnapshot, Lineage};

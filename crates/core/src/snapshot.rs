@@ -12,9 +12,30 @@
 //! applying a [`UpdateLog`] produces a *new* snapshot at `version + 1` and
 //! leaves the original untouched, so in-flight requests holding the old
 //! snapshot keep bit-identical semantics while new requests see the update.
+//! The underlying shards are copy-on-write, so successive versions share
+//! every per-machine segment the update did not touch (DESIGN.md §15).
+//!
+//! A derived snapshot also remembers its [`Lineage`] — the parent dataset,
+//! the parent version, and the update log that separates them. The artifact
+//! cache uses this to *patch* the parent's compiled artifacts forward
+//! ([`crate::CompiledArtifacts::advance`]) instead of rebuilding from
+//! scratch.
 
-use dqs_db::{DistributedDataset, UpdateLog};
+use dqs_db::{DistributedDataset, UpdateError, UpdateLog};
 use std::sync::Arc;
+
+/// How a snapshot version was produced from its predecessor: the parent
+/// dataset handle, the parent's version number, and the update log applied
+/// to it. Held behind an `Arc` so snapshot clones stay one-pointer cheap.
+#[derive(Debug)]
+pub struct Lineage {
+    /// The dataset the updates were applied to.
+    pub parent: Arc<DistributedDataset>,
+    /// The version the updates were applied to (`child version - 1`).
+    pub parent_version: u64,
+    /// The updates separating parent from child.
+    pub updates: UpdateLog,
+}
 
 /// An immutable dataset plus the version number used to key compiled
 /// artifacts. Cloning is cheap (one `Arc` bump).
@@ -22,6 +43,7 @@ use std::sync::Arc;
 pub struct DatasetSnapshot {
     dataset: Arc<DistributedDataset>,
     version: u64,
+    lineage: Option<Arc<Lineage>>,
 }
 
 impl DatasetSnapshot {
@@ -30,6 +52,7 @@ impl DatasetSnapshot {
         Self {
             dataset: Arc::new(dataset),
             version: 0,
+            lineage: None,
         }
     }
 
@@ -50,14 +73,43 @@ impl DatasetSnapshot {
         &self.dataset
     }
 
+    /// How this snapshot was derived from its predecessor, if it was
+    /// produced by [`Self::with_updates`] (fresh version-0 snapshots have
+    /// no lineage).
+    pub fn lineage(&self) -> Option<&Lineage> {
+        self.lineage.as_deref()
+    }
+
     /// Applies an update log, producing the successor snapshot at
     /// `version + 1`. The receiver is unchanged — readers of the old
     /// version keep a consistent view.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the log cannot apply (see [`UpdateLog::apply_to`]). Use
+    /// [`Self::try_with_updates`] on untrusted update streams.
     pub fn with_updates(&self, updates: &UpdateLog) -> Self {
-        Self {
-            dataset: Arc::new(updates.apply_to(&self.dataset)),
+        self.try_with_updates(updates)
+            // lint: allow(panic): documented contract, delegating to the
+            // panicking `UpdateLog::apply_to` semantics.
+            .expect("updated dataset must stay valid")
+    }
+
+    /// Applies an update log, producing the successor snapshot at
+    /// `version + 1`, or a typed error when the log is inconsistent with
+    /// the current data (negative counts, capacity violations, unknown
+    /// machines). The receiver is unchanged in both cases.
+    pub fn try_with_updates(&self, updates: &UpdateLog) -> Result<Self, UpdateError> {
+        let next = updates.try_apply_to(&self.dataset)?;
+        Ok(Self {
+            dataset: Arc::new(next),
             version: self.version + 1,
-        }
+            lineage: Some(Arc::new(Lineage {
+                parent: Arc::clone(&self.dataset),
+                parent_version: self.version,
+                updates: updates.clone(),
+            })),
+        })
     }
 }
 
@@ -98,5 +150,38 @@ mod tests {
         let snap = DatasetSnapshot::new(dataset());
         let clone = snap.clone();
         assert!(Arc::ptr_eq(snap.dataset_arc(), clone.dataset_arc()));
+    }
+
+    #[test]
+    fn lineage_records_the_parent_and_log() {
+        let snap = DatasetSnapshot::new(dataset());
+        assert!(snap.lineage().is_none());
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(0, 3));
+        let next = snap.with_updates(&log);
+        let lineage = next.lineage().expect("derived snapshot has lineage");
+        assert!(Arc::ptr_eq(&lineage.parent, snap.dataset_arc()));
+        assert_eq!(lineage.parent_version, 0);
+        assert_eq!(lineage.updates.ops(), log.ops());
+    }
+
+    #[test]
+    fn successive_versions_share_untouched_shards() {
+        let snap = DatasetSnapshot::new(dataset());
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(0, 3));
+        let next = snap.with_updates(&log);
+        assert!(next.dataset().shards()[1].shares_storage_with(&snap.dataset().shards()[1]));
+        assert!(!next.dataset().shards()[0].shares_storage_with(&snap.dataset().shards()[0]));
+    }
+
+    #[test]
+    fn try_with_updates_surfaces_typed_errors() {
+        let snap = DatasetSnapshot::new(dataset());
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::delete(0, 7)); // element 7 absent on machine 0
+        let err = snap.try_with_updates(&log).unwrap_err();
+        assert!(matches!(err, UpdateError::NegativeMultiplicity { .. }));
+        assert_eq!(snap.version(), 0, "receiver unchanged on error");
     }
 }

@@ -1,0 +1,242 @@
+//! Property-based checks for incremental artifact recompilation
+//! (DESIGN.md §15): on *random* datasets and *random* update logs,
+//! [`CompiledArtifacts::advance`] must be **bit-identical** to a
+//! from-scratch rebuild — count tables, total tables, anchor states, and
+//! the optimized programs' action on every backend (dense, packed sparse,
+//! boxed-slice sparse fallback) — and a snapshot-pinned reader must stay
+//! bit-identical to a pre-write solo run no matter how many versions the
+//! writer advances past it.
+
+use dqs_core::{
+    replay_sequential_run, sequential_sample, sequential_sample_cached, ArtifactCache,
+    CompiledArtifacts, DatasetSnapshot,
+};
+use dqs_db::{DistributedDataset, Multiset, UpdateLog, UpdateOp};
+use dqs_sim::{DenseState, Program, QuantumState, SparseState};
+use proptest::prelude::*;
+use proptest::test_runner::TestCaseError;
+
+/// Boolean strategy (the offline proptest stub has no `proptest::bool`).
+fn any_bool() -> impl Strategy<Value = bool> {
+    (0u8..2).prop_map(|x| x == 1)
+}
+
+/// A random dataset: `universe ∈ [2,8]`, `ν ∈ [1,4]`, `1..=3` machines,
+/// every per-machine multiplicity in `0..=ν`, at least one record overall.
+fn dataset_strategy() -> impl Strategy<Value = DistributedDataset> {
+    (2u64..=8, 1u64..=4, 1usize..=3)
+        .prop_flat_map(|(universe, capacity, machines)| {
+            let counts = proptest::collection::vec(
+                proptest::collection::vec(0..=capacity, universe as usize),
+                machines,
+            );
+            (Just(universe), Just(capacity), counts)
+        })
+        .prop_map(|(universe, capacity, mut counts)| {
+            // `ν` bounds the per-element total `Σ_j c_ij`: clamp machine by
+            // machine so each element's running total never exceeds it.
+            for i in 0..universe as usize {
+                let mut running = 0;
+                for shard in counts.iter_mut() {
+                    shard[i] = shard[i].min(capacity - running);
+                    running += shard[i];
+                }
+            }
+            // Guarantee a nonempty dataset (safe: everything is zero here).
+            if counts.iter().all(|shard| shard.iter().all(|&c| c == 0)) {
+                counts[0][0] = 1;
+            }
+            let shards = counts
+                .into_iter()
+                .map(|per_elem| {
+                    Multiset::from_counts(
+                        per_elem
+                            .into_iter()
+                            .enumerate()
+                            .filter(|(_, c)| *c > 0)
+                            .map(|(i, c)| (i as u64, c)),
+                    )
+                })
+                .collect();
+            DistributedDataset::new(universe, capacity, shards).expect("valid random dataset")
+        })
+}
+
+/// Raw update requests; [`build_log`] drops the ones that would push a
+/// multiplicity outside `0..=ν`.
+fn updates_strategy() -> impl Strategy<Value = Vec<(usize, u64, bool)>> {
+    proptest::collection::vec((0usize..3, 0u64..8, any_bool()), 0..8)
+}
+
+/// Filters raw `(machine, element, is_insert)` requests into a valid
+/// [`UpdateLog`] for `ds` — plus a guaranteed-alive floor: the log never
+/// deletes the last record (advance targets must stay nonempty).
+fn build_log(ds: &DistributedDataset, raw: &[(usize, u64, bool)]) -> UpdateLog {
+    let mut log = UpdateLog::new();
+    let mut eff: Vec<Vec<u64>> = (0..ds.num_machines())
+        .map(|j| (0..ds.universe()).map(|i| ds.multiplicity(i, j)).collect())
+        .collect();
+    let mut totals: Vec<u64> = (0..ds.universe())
+        .map(|i| ds.total_multiplicity(i))
+        .collect();
+    let mut alive: u64 = totals.iter().sum();
+    for &(machine, element, is_insert) in raw {
+        let (j, i) = (machine % ds.num_machines(), element % ds.universe());
+        if is_insert && totals[i as usize] < ds.capacity() {
+            eff[j][i as usize] += 1;
+            totals[i as usize] += 1;
+            alive += 1;
+            log.push(UpdateOp::insert(j, i));
+        } else if !is_insert && eff[j][i as usize] > 0 && alive > 1 {
+            eff[j][i as usize] -= 1;
+            totals[i as usize] -= 1;
+            alive -= 1;
+            log.push(UpdateOp::delete(j, i));
+        }
+    }
+    log
+}
+
+/// Asserts two programs act bit-identically on all three backends,
+/// starting from the all-zeros basis state of their (shared-shape) layout.
+fn assert_programs_equivalent(a: &Program, b: &Program) -> Result<(), TestCaseError> {
+    prop_assert_eq!(a.shape(), b.shape(), "program shapes diverged");
+    let zeros = a.layout().zero_basis();
+    let dense_a = a.run_from_basis::<DenseState>(&zeros).to_table();
+    let dense_b = b.run_from_basis::<DenseState>(&zeros).to_table();
+    prop_assert_eq!(dense_a.distance_sqr(&dense_b), 0.0, "dense backend");
+    let sparse_a = a.run_from_basis::<SparseState>(&zeros).to_table();
+    let sparse_b = b.run_from_basis::<SparseState>(&zeros).to_table();
+    prop_assert_eq!(sparse_a.distance_sqr(&sparse_b), 0.0, "packed sparse");
+    let mut fb_a = SparseState::from_basis_fallback(a.layout().clone(), &zeros);
+    prop_assert!(!fb_a.is_packed());
+    a.run(&mut fb_a);
+    let mut fb_b = SparseState::from_basis_fallback(b.layout().clone(), &zeros);
+    b.run(&mut fb_b);
+    prop_assert_eq!(
+        fb_a.to_table().distance_sqr(&fb_b.to_table()),
+        0.0,
+        "boxed-slice sparse fallback"
+    );
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// `advance` over a random log ≡ rebuild from scratch: count tables,
+    /// total table, anchors, and both optimized programs, across backends.
+    #[test]
+    fn advance_is_bit_identical_to_rebuild(
+        ds in dataset_strategy(),
+        raw in updates_strategy(),
+    ) {
+        let log = build_log(&ds, &raw);
+        let snap = DatasetSnapshot::new(ds);
+        let parent = CompiledArtifacts::build(&snap);
+        let next = snap.with_updates(&log);
+        let advanced = parent.advance(&log, &next).expect("direct successor");
+        let rebuilt = CompiledArtifacts::build(&next);
+
+        prop_assert_eq!(advanced.version(), rebuilt.version());
+        prop_assert_eq!(
+            advanced.total_table().as_slice(),
+            rebuilt.total_table().as_slice(),
+            "total tables diverged"
+        );
+        for (j, (a, r)) in advanced
+            .machine_tables()
+            .iter()
+            .zip(rebuilt.machine_tables())
+            .enumerate()
+        {
+            prop_assert_eq!(a.as_slice(), r.as_slice(), "machine {} table", j);
+        }
+        prop_assert_eq!(
+            advanced
+                .sequential_anchor()
+                .distance_sqr(rebuilt.sequential_anchor()),
+            0.0,
+            "sequential anchors diverged"
+        );
+        prop_assert_eq!(
+            advanced
+                .parallel_anchor()
+                .distance_sqr(rebuilt.parallel_anchor()),
+            0.0,
+            "parallel anchors diverged"
+        );
+        assert_programs_equivalent(
+            advanced.sequential_program(),
+            rebuilt.sequential_program(),
+        )?;
+        assert_programs_equivalent(
+            advanced.parallel_program(),
+            rebuilt.parallel_program(),
+        )?;
+    }
+
+    /// Chained derives through the cache stay bit-identical to rebuilds:
+    /// version `k` patched from `k-1` equals a cold compile of version `k`.
+    #[test]
+    fn chained_cache_derives_match_cold_compiles(
+        ds in dataset_strategy(),
+        raw1 in updates_strategy(),
+        raw2 in updates_strategy(),
+    ) {
+        let cache = ArtifactCache::new();
+        let v0 = DatasetSnapshot::new(ds);
+        cache.artifacts(&v0);
+        let log1 = build_log(v0.dataset(), &raw1);
+        let v1 = v0.with_updates(&log1);
+        let log2 = build_log(v1.dataset(), &raw2);
+        let v2 = v1.with_updates(&log2);
+        for snap in [&v1, &v2] {
+            let derived = cache.artifacts(snap);
+            let cold = CompiledArtifacts::build(snap);
+            prop_assert_eq!(
+                derived.total_table().as_slice(),
+                cold.total_table().as_slice()
+            );
+            for (d, c) in derived.machine_tables().iter().zip(cold.machine_tables()) {
+                prop_assert_eq!(d.as_slice(), c.as_slice());
+            }
+        }
+        prop_assert_eq!(cache.stats().derives, 2, "both versions derived");
+        prop_assert_eq!(cache.stats().misses, 1, "only version 0 cold");
+    }
+
+    /// A reader pinned at version 0 stays bit-identical to a pre-write solo
+    /// run while a writer advances versions through the same cache.
+    #[test]
+    fn pinned_readers_match_pre_write_solo_runs(
+        ds in dataset_strategy(),
+        raw1 in updates_strategy(),
+        raw2 in updates_strategy(),
+    ) {
+        let solo = sequential_sample::<SparseState>(&ds).expect("faultless");
+        let cache = ArtifactCache::new();
+        let pinned = DatasetSnapshot::new(ds);
+        cache.artifacts(&pinned);
+        // Writer lands two versions through the same cache.
+        let log1 = build_log(pinned.dataset(), &raw1);
+        let v1 = pinned.with_updates(&log1);
+        cache.artifacts(&v1);
+        let log2 = build_log(v1.dataset(), &raw2);
+        let v2 = v1.with_updates(&log2);
+        cache.artifacts(&v2);
+        // Reader resolves its pinned snapshot (possibly recompiling after
+        // eviction) and must reproduce the pre-write run bit-for-bit.
+        let arts = cache.artifacts(&pinned);
+        let template =
+            sequential_sample_cached::<SparseState>(&arts).expect("faultless");
+        let run = replay_sequential_run(pinned.dataset(), &template);
+        prop_assert_eq!(
+            run.state.to_table().distance_sqr(&solo.state.to_table()),
+            0.0,
+            "pinned reader diverged from the pre-write solo run"
+        );
+        prop_assert_eq!(&run.queries, &solo.queries);
+        prop_assert_eq!(run.fidelity.to_bits(), solo.fidelity.to_bits());
+    }
+}

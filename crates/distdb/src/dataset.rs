@@ -113,7 +113,13 @@ impl Params {
 }
 
 /// A dataset distributed over `n` machines with public constants `N`, `ν`.
-#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+///
+/// Cloning is cheap: each [`Multiset`] shard is copy-on-write, so a clone
+/// shares every shard's storage until that shard is mutated. Versioned
+/// snapshots (DESIGN.md §15) rely on this to let a writer materialize
+/// version `v+1` while readers keep sampling from `v`, with only the
+/// touched machines' count maps duplicated.
+#[derive(Clone, Debug, PartialEq)]
 pub struct DistributedDataset {
     universe: u64,
     capacity: u64,
@@ -170,6 +176,26 @@ impl DistributedDataset {
             return Err(DatasetError::EmptyDataset);
         }
         Ok(ds)
+    }
+
+    /// Assembles a dataset from parts the caller has already validated.
+    ///
+    /// This is the incremental-update fast path ([`crate::UpdateLog::try_apply_to`]):
+    /// the caller starts from an already-valid dataset and has checked the
+    /// model constraints at every touched `(machine, element)` entry, so
+    /// re-running the full `O(N·n)` validation of [`Self::new`] would defeat
+    /// the point of an `O(touched)` patch. Crate-private on purpose —
+    /// external constructors must go through [`Self::new`].
+    pub(crate) fn from_validated_parts(
+        universe: u64,
+        capacity: u64,
+        shards: Vec<Multiset>,
+    ) -> Self {
+        Self {
+            universe,
+            capacity,
+            shards,
+        }
     }
 
     /// Convenience constructor choosing `ν = max_i c_i` (tight capacity).

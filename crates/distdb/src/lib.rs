@@ -40,4 +40,4 @@ pub use multiset::Multiset;
 pub use oracle::{OracleRegisters, OracleSet, ParallelRegisters};
 pub use stats::{dataset_stats, DatasetStats};
 pub use tsv::{from_tsv, read_tsv_file, to_tsv, write_tsv_file, TsvError};
-pub use update::{UpdateLog, UpdateOp};
+pub use update::{UpdateError, UpdateLog, UpdateOp};

@@ -6,16 +6,22 @@
 //! counts in a `BTreeMap` so iteration is deterministic, which keeps every
 //! experiment reproducible bit-for-bit.
 //!
+//! The count map lives behind an `Arc`, making `Multiset::clone` O(1) and
+//! letting versioned datasets (MVCC snapshots, DESIGN.md §15) share every
+//! unchanged shard between a reader-pinned version `v` and the writer's
+//! `v+1`. Mutation goes through `Arc::make_mut`, so a shard is deep-copied
+//! lazily, only when it is actually edited while shared.
+//!
 //! Elements are `0`-based here (`0..N`) whereas the paper writes `[N] =
 //! {1,…,N}`; this is a pure relabeling.
 
-use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A multiset of elements drawn from `0..universe`.
-#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Multiset {
-    counts: BTreeMap<u64, u64>,
+    counts: Arc<BTreeMap<u64, u64>>,
 }
 
 impl Multiset {
@@ -47,7 +53,7 @@ impl Multiset {
     /// Adds `k` occurrences of `elem`.
     pub fn insert_many(&mut self, elem: u64, k: u64) {
         if k > 0 {
-            *self.counts.entry(elem).or_insert(0) += k;
+            *Arc::make_mut(&mut self.counts).entry(elem).or_insert(0) += k;
         }
     }
 
@@ -58,7 +64,7 @@ impl Multiset {
     pub fn checked_insert_many(&mut self, elem: u64, k: u64) -> Option<u64> {
         let new = self.multiplicity(elem).checked_add(k)?;
         if k > 0 {
-            self.counts.insert(elem, new);
+            Arc::make_mut(&mut self.counts).insert(elem, new);
         }
         Some(new)
     }
@@ -70,13 +76,17 @@ impl Multiset {
 
     /// Removes up to `k` occurrences; returns how many were actually removed.
     pub fn remove_many(&mut self, elem: u64, k: u64) -> u64 {
-        match self.counts.get_mut(&elem) {
-            None => 0,
-            Some(c) => {
-                let removed = (*c).min(k);
-                *c -= removed;
-                if *c == 0 {
-                    self.counts.remove(&elem);
+        // Check before `make_mut` so a no-op removal never forces a deep
+        // copy of a shared count map.
+        match self.multiplicity(elem) {
+            0 => 0,
+            c => {
+                let removed = c.min(k);
+                let counts = Arc::make_mut(&mut self.counts);
+                if c == removed {
+                    counts.remove(&elem);
+                } else {
+                    counts.insert(elem, c - removed);
                 }
                 removed
             }
@@ -131,6 +141,15 @@ impl Multiset {
             out.insert_many(e, c);
         }
         out
+    }
+
+    /// True when `self` and `other` share the same underlying count map
+    /// allocation (clones that neither side has mutated since). This is the
+    /// observable form of the copy-on-write contract: MVCC snapshot tests
+    /// use it to prove untouched shards are shared, not copied, across
+    /// versions.
+    pub fn shares_storage_with(&self, other: &Multiset) -> bool {
+        Arc::ptr_eq(&self.counts, &other.counts)
     }
 
     /// Relabels elements through `sigma` (must be injective on the support);
@@ -241,6 +260,28 @@ mod tests {
         let m: Multiset = [1u64, 1, 2].into_iter().collect();
         assert_eq!(m.multiplicity(1), 2);
         assert_eq!(m.multiplicity(2), 1);
+    }
+
+    #[test]
+    fn clones_share_storage_until_mutated() {
+        let a = Multiset::from_counts([(3, 2), (8, 1)]);
+        let mut b = a.clone();
+        assert!(a.shares_storage_with(&b), "clone is O(1) and shared");
+        b.insert(5);
+        assert!(!a.shares_storage_with(&b), "mutation unshares the clone");
+        assert_eq!(a.multiplicity(5), 0, "original is unaffected");
+        assert_eq!(b.multiplicity(5), 1);
+    }
+
+    #[test]
+    fn noop_removal_keeps_sharing() {
+        let a = Multiset::from_counts([(3, 2)]);
+        let mut b = a.clone();
+        assert_eq!(b.remove_many(7, 4), 0);
+        assert!(
+            a.shares_storage_with(&b),
+            "removing an absent element must not force a copy"
+        );
     }
 
     #[test]

@@ -9,10 +9,77 @@
 //! oracle with a log behaves identically to an oracle over the edited
 //! dataset.
 
-use crate::dataset::DistributedDataset;
+use crate::dataset::{DatasetError, DistributedDataset};
 use crate::multiset::Multiset;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// Errors raised when an [`UpdateLog`] cannot be applied to a base dataset.
+///
+/// This is the typed counterpart of [`UpdateLog::apply_to`]'s panic
+/// contract, used by the live-write tier (DESIGN.md §15): a serving process
+/// must reject a corrupt update stream as a request error, never die on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UpdateError {
+    /// An op names a machine index outside the dataset.
+    UnknownMachine {
+        /// The machine the op named.
+        machine: usize,
+        /// How many machines the dataset has.
+        machines: usize,
+    },
+    /// The net delta would drive a multiplicity negative — inconsistent
+    /// with any dataset history.
+    NegativeMultiplicity {
+        /// Machine whose shard would go negative.
+        machine: usize,
+        /// Element whose multiplicity would go negative.
+        element: u64,
+        /// The base multiplicity.
+        base: u64,
+        /// The net delta applied to it.
+        delta: i64,
+    },
+    /// The updated dataset violates a model constraint (element range,
+    /// capacity `ν`, emptiness, count overflow).
+    Dataset(DatasetError),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::UnknownMachine { machine, machines } => {
+                write!(f, "update names machine {machine} of {machines}")
+            }
+            UpdateError::NegativeMultiplicity {
+                machine,
+                element,
+                base,
+                delta,
+            } => write!(
+                f,
+                "update drives c[{element},{machine}] negative ({base} {delta:+})"
+            ),
+            UpdateError::Dataset(e) => write!(f, "updated dataset is invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UpdateError::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DatasetError> for UpdateError {
+    fn from(e: DatasetError) -> Self {
+        UpdateError::Dataset(e)
+    }
+}
 
 /// One dynamic update: the multiplicity of `element` on `machine` changes
 /// by `delta` (±1 in the paper; we allow any step and treat it as `|delta|`
@@ -114,25 +181,88 @@ impl UpdateLog {
     ///
     /// # Panics
     ///
-    /// Panics on negative effective multiplicities or machine indices out of
-    /// range.
+    /// Panics on any [`UpdateError`]: negative effective multiplicities,
+    /// machine indices out of range, or a constraint-violating result.
     pub fn apply_to(&self, base: &DistributedDataset) -> DistributedDataset {
-        let mut shards: Vec<Multiset> = base.shards().to_vec();
-        for (&(machine, element), &delta) in &self.net {
-            assert!(
-                machine < shards.len(),
-                "update for unknown machine {machine}"
-            );
-            let cur = shards[machine].multiplicity(element);
-            let eff = cur as i64 + delta;
-            assert!(eff >= 0, "net delta drives multiplicity negative");
-            shards[machine].remove_many(element, cur);
-            shards[machine].insert_many(element, eff as u64);
-        }
-        DistributedDataset::new(base.universe(), base.capacity(), shards)
+        self.try_apply_to(base)
             // lint: allow(panic): part of the documented `# Panics` contract
             // above — a log that breaks validity has no consistent history.
             .expect("updated dataset must stay valid")
+    }
+
+    /// Materializes the log into a new dataset, validating incrementally.
+    ///
+    /// Cost is `O(n + touched·n)` rather than the `O(N·n)` of a full
+    /// [`DistributedDataset::new`] validation: starting from an
+    /// already-valid base, only the touched `(machine, element)` entries can
+    /// introduce a violation, so range, negativity, capacity `ν`, and
+    /// overflow are re-checked only there (capacity sums the touched
+    /// element's multiplicity across all machines). Untouched shards of the
+    /// result share storage with the base (copy-on-write).
+    pub fn try_apply_to(
+        &self,
+        base: &DistributedDataset,
+    ) -> Result<DistributedDataset, UpdateError> {
+        let mut shards: Vec<Multiset> = base.shards().to_vec();
+        let universe = base.universe();
+        let capacity = base.capacity();
+        for (&(machine, element), &delta) in &self.net {
+            if machine >= shards.len() {
+                return Err(UpdateError::UnknownMachine {
+                    machine,
+                    machines: shards.len(),
+                });
+            }
+            if element >= universe {
+                return Err(UpdateError::Dataset(DatasetError::ElementOutOfRange {
+                    machine,
+                    element,
+                    universe,
+                }));
+            }
+            let cur = shards[machine].multiplicity(element);
+            let eff = (cur as i64).checked_add(delta).ok_or(UpdateError::Dataset(
+                DatasetError::CountOverflow { element },
+            ))?;
+            if eff < 0 {
+                return Err(UpdateError::NegativeMultiplicity {
+                    machine,
+                    element,
+                    base: cur,
+                    delta,
+                });
+            }
+            shards[machine].remove_many(element, cur);
+            shards[machine].insert_many(element, eff as u64);
+        }
+        // Capacity / overflow re-check, only at touched elements.
+        let mut touched: Vec<u64> = self.net.keys().map(|&(_, e)| e).collect();
+        touched.sort_unstable();
+        touched.dedup();
+        for element in touched {
+            let mut total = 0u64;
+            for shard in &shards {
+                total =
+                    total
+                        .checked_add(shard.multiplicity(element))
+                        .ok_or(UpdateError::Dataset(DatasetError::CountOverflow {
+                            element,
+                        }))?;
+            }
+            if total > capacity {
+                return Err(UpdateError::Dataset(DatasetError::CapacityExceeded {
+                    element,
+                    total,
+                    capacity,
+                }));
+            }
+        }
+        if shards.iter().all(|s| s.is_empty()) {
+            return Err(UpdateError::Dataset(DatasetError::EmptyDataset));
+        }
+        Ok(DistributedDataset::from_validated_parts(
+            universe, capacity, shards,
+        ))
     }
 }
 
@@ -199,5 +329,109 @@ mod tests {
         assert_eq!(updated.multiplicity(4, 0), 1);
         assert_eq!(updated.multiplicity(3, 1), 1);
         assert_eq!(updated.total_count(), base().total_count());
+    }
+
+    #[test]
+    fn try_apply_to_shares_untouched_shards() {
+        let base = base();
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(0, 4));
+        let updated = log.try_apply_to(&base).unwrap();
+        assert!(
+            !updated.shards()[0].shares_storage_with(&base.shards()[0]),
+            "touched shard is copied"
+        );
+        assert!(
+            updated.shards()[1].shares_storage_with(&base.shards()[1]),
+            "untouched shard is shared, not copied (MVCC copy-on-write)"
+        );
+    }
+
+    #[test]
+    fn try_apply_to_rejects_unknown_machine() {
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(5, 0));
+        assert_eq!(
+            log.try_apply_to(&base()).unwrap_err(),
+            UpdateError::UnknownMachine {
+                machine: 5,
+                machines: 2
+            }
+        );
+    }
+
+    #[test]
+    fn try_apply_to_rejects_negative_multiplicity() {
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::delete(0, 5));
+        assert_eq!(
+            log.try_apply_to(&base()).unwrap_err(),
+            UpdateError::NegativeMultiplicity {
+                machine: 0,
+                element: 5,
+                base: 0,
+                delta: -1
+            }
+        );
+    }
+
+    #[test]
+    fn try_apply_to_rejects_out_of_range_element() {
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(0, 99));
+        assert!(matches!(
+            log.try_apply_to(&base()).unwrap_err(),
+            UpdateError::Dataset(DatasetError::ElementOutOfRange { element: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn try_apply_to_rejects_capacity_violation() {
+        // Element 3 has total 2 in base() with ν = 5; +4 pushes it to 6.
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp {
+            machine: 0,
+            element: 3,
+            delta: 4,
+        });
+        assert!(matches!(
+            log.try_apply_to(&base()).unwrap_err(),
+            UpdateError::Dataset(DatasetError::CapacityExceeded {
+                element: 3,
+                total: 6,
+                capacity: 5
+            })
+        ));
+    }
+
+    #[test]
+    fn try_apply_to_rejects_emptied_dataset() {
+        let mut log = UpdateLog::new();
+        for (machine, shard) in base().shards().iter().enumerate() {
+            for (element, count) in shard.iter() {
+                log.push(UpdateOp {
+                    machine,
+                    element,
+                    delta: -(count as i64),
+                });
+            }
+        }
+        assert_eq!(
+            log.try_apply_to(&base()).unwrap_err(),
+            UpdateError::Dataset(DatasetError::EmptyDataset)
+        );
+    }
+
+    #[test]
+    fn try_apply_to_agrees_with_full_revalidation() {
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(0, 4));
+        log.push(UpdateOp::delete(1, 3));
+        log.push(UpdateOp::insert(1, 7));
+        let fast = log.try_apply_to(&base()).unwrap();
+        let slow =
+            DistributedDataset::new(fast.universe(), fast.capacity(), fast.shards().to_vec())
+                .unwrap();
+        assert_eq!(fast, slow);
     }
 }

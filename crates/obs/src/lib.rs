@@ -114,6 +114,16 @@ pub mod names {
     pub const PHASE_AMPLIFY: &str = "phase.amplify";
     /// Phase span: target construction and fidelity measurement.
     pub const PHASE_VERIFY: &str = "phase.verify";
+
+    /// Artifact-cache lookup answered from a resident bundle.
+    pub const CACHE_HIT: &str = "cache.hit";
+    /// Artifact-cache lookup that compiled a fresh bundle.
+    pub const CACHE_MISS: &str = "cache.miss";
+    /// Artifact-cache lookup answered by patching the parent version's
+    /// bundle forward (incremental recompile, DESIGN.md §15).
+    pub const CACHE_DERIVE: &str = "cache.derive";
+    /// Artifact-cache candidate rejected because its reads were tainted.
+    pub const CACHE_TAINT: &str = "cache.taint_reject";
 }
 
 /// Count of recorders installed across all threads. A single relaxed load

@@ -62,7 +62,7 @@ use dqs_core::{
     CompiledArtifacts, DatasetSnapshot, DegradedEstimationRun, DegradedPartial, DegradedRun,
     EstimationRun, ParallelLayout, ParallelRun, SampleError, SequentialLayout, SequentialRun,
 };
-use dqs_db::{DistributedDataset, LedgerSnapshot, UpdateLog};
+use dqs_db::{DistributedDataset, LedgerSnapshot, UpdateError, UpdateLog};
 use dqs_obs::Recorder;
 use dqs_sim::SparseState;
 use parking_lot::Mutex;
@@ -125,6 +125,19 @@ pub enum ServeError {
         /// bound (classical — it never needed the circuit to finish).
         partial: Box<DegradedPartial>,
     },
+    /// A guarded write ([`SamplingService::apply_update_checked`]) named a
+    /// dataset version that is no longer current — the writer lost a race
+    /// and must re-read and re-derive its log before retrying.
+    StaleUpdate {
+        /// The version the writer expected to be updating.
+        expected: u64,
+        /// The version actually current.
+        current: u64,
+    },
+    /// A guarded write carried an update log inconsistent with the current
+    /// data (negative counts, capacity violations, unknown machines). The
+    /// dataset and every cached artifact are unchanged.
+    CorruptUpdate(UpdateError),
 }
 
 impl fmt::Display for ServeError {
@@ -149,6 +162,11 @@ impl fmt::Display for ServeError {
                 partial.fidelity_bound(),
                 partial.survivors,
             ),
+            ServeError::StaleUpdate { expected, current } => write!(
+                f,
+                "stale update: expected version {expected}, current is {current}"
+            ),
+            ServeError::CorruptUpdate(e) => write!(f, "corrupt update rejected: {e}"),
         }
     }
 }
@@ -307,6 +325,37 @@ impl SamplingService {
         snap.version()
     }
 
+    /// The guarded write path for untrusted or concurrent writers: applies
+    /// an update log only if (a) `expected_version` (when given) still
+    /// names the current version — optimistic concurrency control, so a
+    /// writer that lost a race gets [`ServeError::StaleUpdate`] instead of
+    /// silently clobbering an interleaved write it never saw — and (b) the
+    /// log is consistent with the current data, else
+    /// [`ServeError::CorruptUpdate`]. On either rejection the dataset
+    /// version and every cached artifact are untouched, so a stale or
+    /// corrupt update can never produce a servable artifact. Returns the
+    /// new version on success.
+    pub fn apply_update_checked(
+        &self,
+        expected_version: Option<u64>,
+        updates: &UpdateLog,
+    ) -> Result<u64, ServeError> {
+        let mut snap = self.snapshot.lock();
+        if let Some(expected) = expected_version {
+            if expected != snap.version() {
+                return Err(ServeError::StaleUpdate {
+                    expected,
+                    current: snap.version(),
+                });
+            }
+        }
+        let next = snap
+            .try_with_updates(updates)
+            .map_err(ServeError::CorruptUpdate)?;
+        *snap = next;
+        Ok(snap.version())
+    }
+
     /// A tenant's cumulative exact charges, if it has finished requests.
     pub fn tenant_ledger(&self, tenant: TenantId) -> Option<LedgerSnapshot> {
         self.tenants.lock().get(&tenant).map(TenantLedger::snapshot)
@@ -330,8 +379,21 @@ impl SamplingService {
     /// submission order. See the module docs for the admission →
     /// coalescing → execution pipeline and the bit-identity contract.
     pub fn submit_all(&self, requests: &[SampleRequest]) -> Vec<Result<RequestReport, ServeError>> {
-        let snapshot = self.snapshot();
-        let artifacts = self.cache.artifacts(&snapshot);
+        self.submit_all_at(&self.snapshot(), requests)
+    }
+
+    /// Runs a slice of concurrent requests against a *pinned* snapshot —
+    /// usually one taken with [`Self::snapshot`] before a writer advanced
+    /// the dataset. This is the MVCC read side (DESIGN.md §15): a reader
+    /// holding version `v` gets results bit-identical to a solo run over
+    /// `v`'s dataset no matter how many updates have landed since, because
+    /// the snapshot's shards and the version-keyed artifacts are immutable.
+    pub fn submit_all_at(
+        &self,
+        snapshot: &DatasetSnapshot,
+        requests: &[SampleRequest],
+    ) -> Vec<Result<RequestReport, ServeError>> {
+        let artifacts = self.cache.artifacts(snapshot);
         let model = cost_model(&artifacts.dataset().params());
 
         let mut results: Vec<Option<Result<RequestReport, ServeError>>> =
@@ -925,7 +987,300 @@ mod tests {
                 > 0.0,
             "the update must actually change the output distribution"
         );
-        assert_eq!(service.cache_stats().misses, 2, "one compile per version");
+        let stats = service.cache_stats();
+        assert_eq!(stats.misses, 1, "only version 0 compiles from scratch");
+        assert_eq!(stats.derives, 1, "version 1 is patched from version 0");
+    }
+
+    #[test]
+    fn pinned_readers_are_bit_identical_across_writes() {
+        use dqs_db::{UpdateLog, UpdateOp};
+        let ds = dataset();
+        let service = SamplingService::new(ds.clone(), ServeConfig::default());
+        let req = [SampleRequest {
+            tenant: 0,
+            kind: RequestKind::Sequential,
+        }];
+        let pinned = service.snapshot();
+        let solo_before = dqs_core::sequential_sample::<SparseState>(&ds).expect("faultless");
+        // Writers land three updates while the reader holds its snapshot.
+        for elem in [7, 8, 9] {
+            let mut log = UpdateLog::new();
+            log.push(UpdateOp::insert(0, elem));
+            service.apply_update(&log);
+        }
+        assert_eq!(service.dataset_version(), 3);
+        let pinned_run = service.submit_all_at(&pinned, &req);
+        let run = pinned_run[0]
+            .as_ref()
+            .expect("faultless")
+            .output
+            .as_sequential()
+            .expect("kind")
+            .clone();
+        assert_eq!(
+            run.state
+                .to_table()
+                .distance_sqr(&solo_before.state.to_table()),
+            0.0,
+            "a pinned reader must see the pre-write dataset bit-identically"
+        );
+        assert_eq!(run.queries, solo_before.queries);
+        assert_eq!(run.fidelity.to_bits(), solo_before.fidelity.to_bits());
+    }
+
+    #[test]
+    fn interleaved_writer_workload_keeps_every_read_consistent() {
+        use dqs_db::{UpdateLog, UpdateOp};
+        // A deterministic seeded writer workload interleaved with sampling
+        // submissions: after every write, fresh submissions must match a
+        // solo run over the writer's dataset, while a reader pinned at the
+        // start stays on version 0. splitmix64 drives the op stream so the
+        // interleaving is reproducible bit-for-bit.
+        let ds = dataset();
+        let service = SamplingService::new(ds.clone(), ServeConfig::default());
+        let req = [SampleRequest {
+            tenant: 0,
+            kind: RequestKind::Sequential,
+        }];
+        let pinned = service.snapshot();
+        let solo_v0 = dqs_core::sequential_sample::<SparseState>(&ds).expect("faultless");
+        service.submit_all(&req); // compiles version 0 into the cache
+        let mut seed = 0x9e3779b97f4a7c15u64;
+        let mut split = move || {
+            seed = seed.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = seed;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let mut shadow = ds.clone();
+        for round in 0..4 {
+            let mut log = UpdateLog::new();
+            // Two seeded inserts per round, always into free capacity
+            // (elements 7..16 start empty, ν = 4).
+            for _ in 0..2 {
+                let machine = (split() % 2) as usize;
+                let element = 7 + split() % 9;
+                log.push(UpdateOp::insert(machine, element));
+            }
+            let version = service
+                .apply_update_checked(Some(round), &log)
+                .expect("consistent seeded writes");
+            assert_eq!(version, round + 1);
+            shadow = log.apply_to(&shadow);
+            let fresh = service.submit_all(&req);
+            let run = fresh[0]
+                .as_ref()
+                .expect("faultless")
+                .output
+                .as_sequential()
+                .expect("kind")
+                .clone();
+            let solo = dqs_core::sequential_sample::<SparseState>(&shadow).expect("faultless");
+            assert_eq!(
+                run.state.to_table().distance_sqr(&solo.state.to_table()),
+                0.0,
+                "round {round}: fresh reads track the writer"
+            );
+        }
+        // Every post-write version was derived from its parent, never
+        // rebuilt: one cold compile, then one derive per write.
+        let stats = service.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.derives, 4);
+        // The pinned reader still sees version 0 (its artifacts were
+        // evicted, so this recompiles — but bit-identity holds).
+        let pinned_run = service.submit_all_at(&pinned, &req);
+        let run = pinned_run[0]
+            .as_ref()
+            .expect("faultless")
+            .output
+            .as_sequential()
+            .expect("kind")
+            .clone();
+        assert_eq!(
+            run.state.to_table().distance_sqr(&solo_v0.state.to_table()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn stale_writes_are_rejected_and_change_nothing() {
+        use dqs_db::{UpdateLog, UpdateOp};
+        let service = SamplingService::new(dataset(), ServeConfig::default());
+        let mut log = UpdateLog::new();
+        log.push(UpdateOp::insert(0, 7));
+        service.apply_update_checked(Some(0), &log).expect("fresh");
+        // A second writer still believing in version 0 loses the race.
+        let err = service.apply_update_checked(Some(0), &log).unwrap_err();
+        assert_eq!(
+            err,
+            ServeError::StaleUpdate {
+                expected: 0,
+                current: 1
+            }
+        );
+        assert_eq!(service.dataset_version(), 1, "stale write changed nothing");
+    }
+
+    #[test]
+    fn corrupt_writes_never_produce_a_servable_artifact() {
+        use dqs_db::{DatasetError, UpdateLog, UpdateOp};
+        let ds = dataset();
+        let service = SamplingService::new(ds.clone(), ServeConfig::default());
+        let req = [SampleRequest {
+            tenant: 0,
+            kind: RequestKind::Sequential,
+        }];
+        service.submit_all(&req);
+        let entries_before = service.cache_stats().entries;
+        // Corrupt stream #1: drives a multiplicity negative.
+        let mut negative = UpdateLog::new();
+        negative.push(UpdateOp::delete(0, 7));
+        // Corrupt stream #2: blows the capacity ν = 4 on element 3.
+        let mut oversize = UpdateLog::new();
+        oversize.push(UpdateOp {
+            machine: 0,
+            element: 3,
+            delta: 3,
+        });
+        // Corrupt stream #3: names a machine that does not exist.
+        let mut unknown = UpdateLog::new();
+        unknown.push(UpdateOp::insert(9, 0));
+        for log in [&negative, &oversize, &unknown] {
+            let err = service.apply_update_checked(None, log).unwrap_err();
+            assert!(matches!(err, ServeError::CorruptUpdate(_)));
+        }
+        assert!(matches!(
+            service.apply_update_checked(None, &oversize).unwrap_err(),
+            ServeError::CorruptUpdate(UpdateError::Dataset(DatasetError::CapacityExceeded {
+                element: 3,
+                ..
+            }))
+        ));
+        // No version moved, no artifact was compiled or cached for any of
+        // the rejected writes, and serving still runs against the intact
+        // dataset bit-identically.
+        assert_eq!(service.dataset_version(), 0);
+        assert_eq!(service.cache_stats().entries, entries_before);
+        let after = service.submit_all(&req);
+        let run = after[0]
+            .as_ref()
+            .expect("faultless")
+            .output
+            .as_sequential()
+            .expect("kind")
+            .clone();
+        let solo = dqs_core::sequential_sample::<SparseState>(&ds).expect("faultless");
+        assert_eq!(
+            run.state.to_table().distance_sqr(&solo.state.to_table()),
+            0.0
+        );
+    }
+
+    #[test]
+    fn chaos_write_plans_never_produce_a_servable_artifact() {
+        use dqs_db::{FaultRates, UpdateLog, UpdateOp};
+        let ds = dataset();
+        let service = SamplingService::new(ds.clone(), ServeConfig::default());
+        let req = [SampleRequest {
+            tenant: 0,
+            kind: RequestKind::Sequential,
+        }];
+        service.submit_all(&req);
+        // Land good writes first so stale writers have history to lag.
+        for elem in [7, 8] {
+            let mut log = UpdateLog::new();
+            log.push(UpdateOp::insert(1, elem));
+            service
+                .apply_update_checked(Some(service.dataset_version()), &log)
+                .expect("good write");
+        }
+        let good_version = service.dataset_version();
+        let good = service.submit_all(&req);
+        let stats_before = service.cache_stats();
+
+        // A seeded fault plan drives the adversarial writer workload: a
+        // `Stale { as_of_update }` event becomes a write pinned at the old
+        // version that writer last applied, and a `Corrupt { delta }`
+        // event becomes an op whose delta was perturbed into inconsistency
+        // with the data. Both must bounce off the guarded write path.
+        let plan = FaultPlan::seeded(4, 0xC0FFEE, &FaultRates::uniform(0.9, 4));
+        let (mut stale_writes, mut corrupt_writes) = (0u32, 0u32);
+        for machine in 0..plan.num_machines() {
+            for event in plan.schedule(machine) {
+                match event.kind {
+                    FaultKind::Stale { as_of_update } => {
+                        let mut log = UpdateLog::new();
+                        log.push(UpdateOp::insert(0, 9));
+                        let lagged = (as_of_update as u64).min(good_version - 1);
+                        assert_eq!(
+                            service
+                                .apply_update_checked(Some(lagged), &log)
+                                .unwrap_err(),
+                            ServeError::StaleUpdate {
+                                expected: lagged,
+                                current: good_version
+                            }
+                        );
+                        stale_writes += 1;
+                    }
+                    FaultKind::Corrupt { delta } => {
+                        let mut log = UpdateLog::new();
+                        // Element 10 is absent everywhere; the corrupted
+                        // delta deletes copies that never existed.
+                        log.push(UpdateOp {
+                            machine: 0,
+                            element: 10,
+                            delta: -delta.abs().max(1),
+                        });
+                        assert!(matches!(
+                            service.apply_update_checked(None, &log).unwrap_err(),
+                            ServeError::CorruptUpdate(UpdateError::NegativeMultiplicity { .. })
+                        ));
+                        corrupt_writes += 1;
+                    }
+                    // Crashed / transient writers never reach the service.
+                    _ => {}
+                }
+            }
+        }
+        assert!(
+            stale_writes > 0 && corrupt_writes > 0,
+            "the seeded plan must exercise both write-fault kinds \
+             (stale {stale_writes}, corrupt {corrupt_writes})"
+        );
+        // No version moved, no artifact was compiled, cached, or derived
+        // for any rejected write…
+        assert_eq!(service.dataset_version(), good_version);
+        let stats_after = service.cache_stats();
+        assert_eq!(stats_after.entries, stats_before.entries);
+        assert_eq!(stats_after.misses, stats_before.misses);
+        assert_eq!(stats_after.derives, stats_before.derives);
+        // …and serving is bit-identical to before the chaos.
+        let after = service.submit_all(&req);
+        let run_good = good[0]
+            .as_ref()
+            .expect("faultless")
+            .output
+            .as_sequential()
+            .expect("kind")
+            .clone();
+        let run_after = after[0]
+            .as_ref()
+            .expect("faultless")
+            .output
+            .as_sequential()
+            .expect("kind")
+            .clone();
+        assert_eq!(
+            run_after
+                .state
+                .to_table()
+                .distance_sqr(&run_good.state.to_table()),
+            0.0
+        );
     }
 
     fn crash_plan(machine: usize, at_query: u64, machines: usize) -> FaultPlan {

@@ -181,7 +181,11 @@ proptest! {
         prop_assert_eq!(service.dataset_version(), 1);
 
         let after = service.submit_all(&reqs);
-        prop_assert_eq!(service.cache_stats().misses, 2, "one compile per version");
+        prop_assert_eq!(service.cache_stats().misses, 1, "only version 0 compiles cold");
+        prop_assert_eq!(
+            service.cache_stats().derives, 1,
+            "version 1 is patched forward from version 0"
+        );
         prop_assert!(service.cache_stats().entries <= 2);
 
         // Fresh service over the materialized updated dataset.
