@@ -725,6 +725,9 @@ pub fn collect_metrics(smoke: bool) -> String {
 /// incremental derive, and one tainted-warm rejection, in that order, so
 /// the committed counts pin the cache's hit/miss/derive/taint behavior and
 /// `bench_gate`'s reconciliation catches any drift in it.
+// lint: allow(snapshot-discipline): the tainted-warm leg must derive a
+// successor snapshot to exercise the cache's rejection path; the mutation is
+// the scenario being counted.
 fn collect_cache_counters(universe: u64, total: u64, seed: u64) {
     use dqs_core::{ArtifactCache, DatasetSnapshot, RetryPolicy, RetrySession};
     use dqs_db::{FaultEvent, FaultKind, FaultPlan, FaultyOracleSet, UpdateLog, UpdateOp};

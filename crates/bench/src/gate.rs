@@ -155,9 +155,11 @@ fn serve_rows(doc: &Json) -> Vec<(u64, u64, f64, f64, f64, Option<bool>)> {
         .unwrap_or_default()
 }
 
-/// Parsed `mutate_sweep` rows: `(machines, advance_s, rebuild_s, speedup,
+/// One parsed `mutate_sweep` row: `(machines, advance_s, rebuild_s, speedup,
 /// updates_per_sec_solo, updates_per_sec_readers, bit_identical)`.
-fn mutate_rows(doc: &Json) -> Vec<(u64, f64, f64, f64, f64, f64, Option<bool>)> {
+type MutateRow = (u64, f64, f64, f64, f64, f64, Option<bool>);
+
+fn mutate_rows(doc: &Json) -> Vec<MutateRow> {
     doc.get("mutate_sweep")
         .and_then(|s| s.get("rows"))
         .and_then(Json::as_array)

@@ -154,6 +154,9 @@ impl DistributingOperator {
     ) {
         charge();
         let modulus = self.capacity + 1;
+        // lint: allow(charge-conservation): the caller-supplied `charge`
+        // closure (invoked unconditionally above) bills this table read; the
+        // fused form exists precisely so charge and read stay one unit.
         let totals = oracles.total_table();
         state.apply_conditioned_unitary(flag, |b| {
             let c = (b[count] + totals[b[elem] as usize] % modulus) % modulus;

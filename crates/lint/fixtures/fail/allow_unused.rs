@@ -1,0 +1,10 @@
+//@ path: crates/core/src/tidy.rs
+//@ expect: R0:unused-allow
+// A well-formed directive that suppresses nothing is itself stale: escape
+// hatches must stay pinned to a live violation or be deleted. (The used
+// twin is pass/allow_with_reason.rs, where the same directive covers a
+// real unwrap and both stay silent.)
+pub fn add(a: u64, b: u64) -> u64 {
+    // lint: allow(panic): legacy — the unwrap this once covered is gone.
+    a + b
+}

@@ -1,0 +1,14 @@
+//@ expect: R7:charge-conservation
+// A public sampling entry point that reaches oracle answers but is billed
+// on no path: Theorem 4.3 exactness is an accounting claim, every query
+// must land in the ledger.
+//@ file: crates/distdb/src/reads.rs
+impl FaultyOracleSet {
+    pub fn answered_count(&self, machine: usize) -> u64 {
+        self.counts[machine]
+    }
+}
+//@ file: crates/core/src/entry.rs
+pub fn sequential_count(oracles: &FaultyOracleSet) -> u64 {
+    oracles.answered_count(0)
+}

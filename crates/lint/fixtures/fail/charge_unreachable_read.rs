@@ -1,0 +1,13 @@
+//@ expect: R7:charge-conservation
+// Consuming per-machine oracle answers with no `QueryLedger` charge
+// reachable anywhere below the consumer: the read is unbilled.
+//@ file: crates/distdb/src/reads.rs
+impl OracleSet {
+    pub fn total_table(&self) -> Vec<u64> {
+        self.totals.clone()
+    }
+}
+//@ file: crates/core/src/fold.rs
+fn fold_totals(oracles: &OracleSet) -> u64 {
+    oracles.total_table().iter().sum()
+}

@@ -1,0 +1,15 @@
+//@ expect: R8:error-discard
+// Dropping a foreign crate's Result on the floor — with `.ok()` or
+// `let _ =` — hides the failure from every caller above.
+//@ file: crates/workloads/src/manifest.rs
+pub fn load_manifest(text: &str) -> Result<u64, ManifestError> {
+    text.trim().parse().map_err(|_| ManifestError::Bad)
+}
+//@ file: crates/serve/src/warm.rs
+pub fn warm_cache(text: &str) {
+    load_manifest(text).ok();
+}
+
+pub fn warm_quietly(text: &str) {
+    let _ = load_manifest(text);
+}

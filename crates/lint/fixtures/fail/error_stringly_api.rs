@@ -1,0 +1,10 @@
+//@ path: crates/serve/src/admit.rs
+//@ expect: R8:error-discard
+// A stringly-typed error on a public API: callers cannot match on it, so
+// every failure path collapses into "log the message".
+pub fn admit(tenant_len: usize, budget: u64) -> Result<u64, String> {
+    if budget == 0 {
+        return Err(format!("tenant of len {tenant_len}: zero budget"));
+    }
+    Ok(budget)
+}

@@ -1,8 +1,11 @@
 //@ path: crates/core/src/sequential.rs
 //@ expect: R2:ledger-pairing
+//@ expect: R7:charge-conservation
 // A batch replay that bills tenants by poking the ledger directly instead
 // of going through the dqs-db charging wrappers loses the obs pairing —
-// the replayed event stream would no longer match B solo runs.
+// the replayed event stream would no longer match B solo runs. R2 flags
+// the out-of-crate charge; R7 additionally sees no counter emission
+// anywhere below it.
 pub fn replay_charges(ledger: &QueryLedger, batch: usize, per_member: u64) {
     for _ in 0..batch {
         ledger.record_sequential(per_member);

@@ -1,7 +1,9 @@
 //@ path: crates/core/src/shortcut.rs
 //@ expect: R2:ledger-pairing
+//@ expect: R7:charge-conservation
 // Charging the ledger from outside dqs-db bypasses the charging wrappers
-// (and their obs pairing) entirely.
+// (and their obs pairing) entirely: R2 flags the out-of-crate charge, R7
+// the missing counter emission below it.
 pub fn bill_directly(ledger: &QueryLedger) {
     ledger.record_sequential(0);
 }

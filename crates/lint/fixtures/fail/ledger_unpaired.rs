@@ -1,7 +1,10 @@
 //@ path: crates/distdb/src/charging.rs
-//@ expect: R2:ledger-pairing
-// A ledger charge with no obs counter in the same function: the two
-// accountings can drift and reconciliation would only catch it at runtime.
+//@ expect: R7:charge-conservation
+// A ledger charge with no obs counter anywhere below it in the call graph:
+// the two accountings can drift and reconciliation would only catch it at
+// runtime. (Pairing used to be R2's same-function check; it is now R7's
+// interprocedural walk, so charging here and emitting in a callee is fine —
+// emitting nowhere is not.)
 impl Oracles {
     pub fn apply_oj(&self, machine: usize) {
         self.ledger.record_sequential(machine);

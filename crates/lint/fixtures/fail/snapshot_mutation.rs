@@ -1,0 +1,17 @@
+//@ path: crates/core/src/refresh.rs
+//@ expect: R9:snapshot-discipline
+// A snapshot reader that also advances the version mid-read: sample
+// bit-identity is pinned to the snapshot version, so a reader's call chain
+// must never reach the version-advancing APIs.
+impl DatasetSnapshot {
+    pub fn try_with_updates(&self, log: &UpdateLog) -> Result<DatasetSnapshot, UpdateError> {
+        rebuild(self, log)
+    }
+}
+
+pub fn refresh_and_sum(snap: &DatasetSnapshot, log: &UpdateLog) -> u64 {
+    match snap.try_with_updates(log) {
+        Ok(_) => 1,
+        Err(_) => 0,
+    }
+}

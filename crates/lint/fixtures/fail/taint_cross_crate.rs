@@ -1,0 +1,12 @@
+//@ expect: R6:determinism-taint
+// dqs-obs may touch the wall clock (it is not a deterministic crate, so R1
+// stays quiet) — but the taint still propagates across the crate boundary
+// into dqs-core's public API, where exact replay forbids it.
+//@ file: crates/obs/src/timing.rs
+pub fn helper_time() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}
+//@ file: crates/core/src/api.rs
+pub fn sample_all() -> u64 {
+    helper_time()
+}

@@ -1,0 +1,19 @@
+//@ expect: R6:determinism-taint
+// Mutual recursion: propagation must terminate on the cycle and the taint
+// must still surface through it to the public entry point.
+//@ file: crates/obs/src/clock.rs
+pub fn now_ns() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}
+//@ file: crates/core/src/walk.rs
+pub fn walk(n: u64) -> u64 {
+    if n == 0 {
+        now_ns()
+    } else {
+        step(n)
+    }
+}
+
+fn step(n: u64) -> u64 {
+    walk(n - 1)
+}

@@ -1,0 +1,14 @@
+//@ expect: R6:determinism-taint
+// Method-call dispatch is resolved by name to every impl: the wall-clock
+// impl taints the deterministic caller even though the call goes through a
+// trait object.
+//@ file: crates/obs/src/wall.rs
+impl TimeSource for WallClock {
+    fn tick(&self) -> u64 {
+        Instant::now().elapsed().as_nanos() as u64
+    }
+}
+//@ file: crates/core/src/poll.rs
+pub fn poll(src: &dyn TimeSource) -> u64 {
+    src.tick()
+}

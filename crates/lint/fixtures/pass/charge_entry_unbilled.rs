@@ -1,0 +1,18 @@
+// The entry point goes through the probing wrapper, which charges the
+// ledger and emits the paired counter before handing out the answer.
+//@ file: crates/distdb/src/reads.rs
+impl FaultyOracleSet {
+    pub fn answered_count(&self, machine: usize) -> u64 {
+        self.counts[machine]
+    }
+
+    pub fn probe_count(&self, machine: usize) -> u64 {
+        self.ledger.record_sequential(machine);
+        dqs_obs::machine_counter(dqs_obs::names::ORACLE_QUERY, machine, 1);
+        self.answered_count(machine)
+    }
+}
+//@ file: crates/core/src/entry.rs
+pub fn sequential_count(oracles: &FaultyOracleSet) -> u64 {
+    oracles.probe_count(0)
+}

@@ -1,0 +1,21 @@
+// The same consumer, but a dqs-db charging wrapper is on the path: the
+// read is billed (and the wrapper itself pairs its charge with the obs
+// counter, satisfying R7's emission walk).
+//@ file: crates/distdb/src/reads.rs
+impl OracleSet {
+    pub fn total_table(&self) -> Vec<u64> {
+        self.totals.clone()
+    }
+
+    pub fn charge_and_total(&self, machine: usize) -> Vec<u64> {
+        self.ledger.record_sequential(machine);
+        dqs_obs::machine_counter(dqs_obs::names::ORACLE_QUERY, machine, 1);
+        self.total_table()
+    }
+}
+//@ file: crates/core/src/fold.rs
+fn fold_totals(oracles: &OracleSet) -> u64 {
+    let billed: u64 = oracles.charge_and_total(0).iter().sum();
+    let raw: u64 = oracles.total_table().iter().sum();
+    billed + raw
+}

@@ -1,0 +1,21 @@
+// Handled foreign Results stay clean, and discarding a *same-crate*
+// Result is local policy, not a cross-crate hygiene violation.
+//@ file: crates/workloads/src/manifest.rs
+pub fn load_manifest(text: &str) -> Result<u64, ManifestError> {
+    text.trim().parse().map_err(|_| ManifestError::Bad)
+}
+//@ file: crates/serve/src/warm.rs
+pub fn warm_cache(text: &str) -> u64 {
+    match load_manifest(text) {
+        Ok(v) => v,
+        Err(_) => 0,
+    }
+}
+
+fn local_helper() -> Result<(), ServeError> {
+    Ok(())
+}
+
+pub fn tidy() {
+    let _ = local_helper();
+}

@@ -1,0 +1,13 @@
+//@ path: crates/serve/src/admit.rs
+// Typed errors pass; so does the `io::Result` alias, whose `String` is the
+// Ok payload, not the error arm.
+pub fn admit(tenant_len: usize, budget: u64) -> Result<u64, AdmitError> {
+    if budget == 0 {
+        return Err(AdmitError::ZeroBudget { tenant_len });
+    }
+    Ok(budget)
+}
+
+pub fn read_names(dir: &Path) -> io::Result<Vec<String>> {
+    list_dir(dir)
+}

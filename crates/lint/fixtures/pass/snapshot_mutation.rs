@@ -1,0 +1,20 @@
+//@ path: crates/core/src/refresh.rs
+// Readers read; the version advance lives on the mutator-only apply path,
+// which is not itself pinned to a snapshot and is therefore free to call
+// the advancing API.
+impl DatasetSnapshot {
+    pub fn try_with_updates(&self, log: &UpdateLog) -> Result<DatasetSnapshot, UpdateError> {
+        rebuild(self, log)
+    }
+}
+
+pub fn sum_support(snap: &DatasetSnapshot) -> u64 {
+    snap.support_len() as u64
+}
+
+pub fn advance(service: &SamplingService, log: &UpdateLog) -> u64 {
+    match service.current().try_with_updates(log) {
+        Ok(_) => 1,
+        Err(_) => 0,
+    }
+}

@@ -1,0 +1,25 @@
+//@ path: crates/core/src/bench_hook.rs
+// cfg(test)-only code is outside the production call graph: the clock in
+// the test helper cannot taint the public API, and its Instant is not an
+// R1 hit either (test code is exempt).
+pub fn sample_all() -> u64 {
+    7
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    fn timed() -> u64 {
+        let t = Instant::now();
+        let v = sample_all();
+        let _elapsed = t.elapsed();
+        v
+    }
+
+    #[test]
+    fn sample_is_fast() {
+        assert_eq!(timed(), 7);
+    }
+}

@@ -1,0 +1,14 @@
+// The same cross-crate chain as the fail twin, but the clock sits behind a
+// declared barrier: the boundary fn vouches that the nondeterminism never
+// escapes into its results, so the taint stops there. The directive is
+// *used* (taint reaches it), so no R0:unused-allow either.
+//@ file: crates/obs/src/timing.rs
+// lint: allow(determinism-taint): the duration feeds the span side-table
+// only; the returned handle carries no timing data.
+pub fn helper_time() -> u64 {
+    Instant::now().elapsed().as_nanos() as u64
+}
+//@ file: crates/core/src/api.rs
+pub fn sample_all() -> u64 {
+    helper_time()
+}

@@ -1,0 +1,14 @@
+//@ path: crates/core/src/walk.rs
+// The same mutual recursion with no nondeterminism source anywhere in the
+// cycle: propagation terminates and nothing is tainted.
+pub fn walk(n: u64) -> u64 {
+    if n == 0 {
+        1
+    } else {
+        step(n)
+    }
+}
+
+fn step(n: u64) -> u64 {
+    walk(n - 1)
+}

@@ -1,0 +1,12 @@
+// The deterministic impl of the same trait: dispatch resolves to it, finds
+// no nondeterminism, and the caller stays clean.
+//@ file: crates/core/src/logical.rs
+impl TimeSource for LogicalClock {
+    fn tick(&self) -> u64 {
+        self.ticks + 1
+    }
+}
+//@ file: crates/core/src/poll.rs
+pub fn poll(src: &dyn TimeSource) -> u64 {
+    src.tick()
+}

@@ -1,0 +1,148 @@
+//! The suppression baseline: a checked-in list of findings the workspace
+//! has accepted wholesale, so the linter can gate CI at zero *new*
+//! diagnostics while a cleanup is in flight.
+//!
+//! Format (`crates/lint/lint.baseline`): one `<rule-id> <path>` pair per
+//! line; `#` comments and blank lines are ignored. An entry waives every
+//! finding of that rule in that file — coarser than a `// lint: allow`
+//! (which pins one line and carries a reason), which is why the baseline
+//! is meant to shrink: an entry that no longer suppresses anything is
+//! itself reported (`R0:stale-baseline`), exactly like an unused allow.
+//!
+//! Regenerate with `cargo run -p dqs-lint -- --write-baseline`.
+
+use crate::diagnostics::Diagnostic;
+
+/// One baseline entry: waive `rule` findings in `path`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Entry {
+    /// Full rule id, e.g. `R3:panic`.
+    pub rule: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line in the baseline file (for stale-entry diagnostics).
+    pub line: u32,
+}
+
+/// A parsed suppression baseline.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Parses baseline text. Unparseable lines are kept as entries that
+    /// can never match, so they surface as stale rather than vanish.
+    pub fn parse(text: &str) -> Baseline {
+        let mut entries = Vec::new();
+        for (k, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (rule, path) = line.split_once(' ').unwrap_or((line, ""));
+            entries.push(Entry {
+                rule: rule.to_string(),
+                path: path.trim().to_string(),
+                line: (k + 1) as u32,
+            });
+        }
+        Baseline { entries }
+    }
+
+    /// Renders a baseline covering `diags`, deduped and sorted.
+    pub fn render(diags: &[Diagnostic]) -> String {
+        let mut pairs: Vec<(&str, &str)> =
+            diags.iter().map(|d| (d.rule, d.path.as_str())).collect();
+        pairs.sort_unstable();
+        pairs.dedup();
+        let mut out = String::from(
+            "# dqs-lint suppression baseline: `<rule-id> <path>` per line.\n\
+             # Entries that stop suppressing anything become R0:stale-baseline errors.\n\
+             # Regenerate with `cargo run -p dqs-lint -- --write-baseline`.\n",
+        );
+        for (rule, path) in pairs {
+            out.push_str(&format!("{rule} {path}\n"));
+        }
+        out
+    }
+
+    /// Filters `diags` through the baseline: matching findings are
+    /// dropped; entries that matched nothing come back as
+    /// `R0:stale-baseline` findings at their line in `baseline_path`.
+    pub fn apply(&self, diags: Vec<Diagnostic>, baseline_path: &str) -> Vec<Diagnostic> {
+        let mut used = vec![false; self.entries.len()];
+        let mut out = Vec::new();
+        'diag: for d in diags {
+            for (k, e) in self.entries.iter().enumerate() {
+                if e.rule == d.rule && e.path == d.path {
+                    used[k] = true;
+                    continue 'diag;
+                }
+            }
+            out.push(d);
+        }
+        for (k, e) in self.entries.iter().enumerate() {
+            if used[k] {
+                continue;
+            }
+            out.push(Diagnostic {
+                rule: "R0:stale-baseline",
+                path: baseline_path.to_string(),
+                line: e.line,
+                message: format!(
+                    "baseline entry `{} {}` suppresses nothing — the findings it waived are \
+                     gone; remove the entry (or regenerate with `--write-baseline`)",
+                    e.rule, e.path
+                ),
+            });
+        }
+        out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, path: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            path: path.to_string(),
+            line,
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_suppresses_exactly_the_rendered_findings() {
+        let found = vec![
+            diag("R3:panic", "crates/core/src/x.rs", 10),
+            diag("R3:panic", "crates/core/src/x.rs", 20),
+            diag("R8:error-discard", "crates/serve/src/y.rs", 5),
+        ];
+        let text = Baseline::render(&found);
+        let b = Baseline::parse(&text);
+        assert_eq!(b.entries.len(), 2, "per-(rule, path) dedup");
+        assert!(b.apply(found, "lint.baseline").is_empty());
+    }
+
+    #[test]
+    fn stale_entries_are_reported_with_their_line() {
+        let b = Baseline::parse("# header\nR3:panic crates/core/src/gone.rs\n");
+        let out = b.apply(
+            vec![diag("R3:panic", "crates/core/src/x.rs", 1)],
+            "lint.baseline",
+        );
+        let stale: Vec<&Diagnostic> = out
+            .iter()
+            .filter(|d| d.rule == "R0:stale-baseline")
+            .collect();
+        assert_eq!(stale.len(), 1, "{out:?}");
+        assert_eq!(stale[0].line, 2);
+        // The unmatched real finding passes through.
+        assert!(out.iter().any(|d| d.rule == "R3:panic"));
+    }
+}

@@ -1,0 +1,520 @@
+//! Phase-1 workspace model: every production function across every crate,
+//! with a name-resolved call graph between them.
+//!
+//! Resolution is deliberately *name-based* — good enough for
+//! intra-workspace calls without a type checker:
+//!
+//! * `Qual::name(..)` resolves to functions named `name` inside an
+//!   `impl Qual`/`trait Qual` block when any exist (`Self::` is rewritten
+//!   to the enclosing impl type by the parser). When no such item exists
+//!   and the qualifier starts uppercase, it names a type the workspace
+//!   does not define the item on (std/stub types like `Mutex::new`) and
+//!   resolves to nothing; a lowercase qualifier is a module path and
+//!   falls back to free functions named `name`.
+//! * `.name(..)` method calls resolve to every *method* (function with a
+//!   self type) named `name` — the receiver's type is unknown, so this
+//!   over-approximates. Over-approximation is the safe direction for the
+//!   taint and reachability rules: extra edges can only add scrutiny.
+//! * Free `name(..)` calls resolve to free functions named `name`.
+//! * `#[cfg(test)]`-only functions are excluded from the graph entirely:
+//!   they neither contribute edges nor receive them, so test-only helpers
+//!   never create (or mask) production findings.
+//! * When a crate-dependency map is supplied
+//!   ([`WorkspaceModel::build_with_deps`]), cross-crate edges whose caller
+//!   package does not depend on the callee package are dropped — a name
+//!   collision with a crate the caller cannot even link against is not a
+//!   call.
+//!
+//! Functions the workspace does not define (std, core, the offline stubs)
+//! resolve to nothing and simply contribute no edges.
+
+use crate::lexer::{lex, Lexed};
+use crate::parser::{parse_file, FnItem};
+use crate::rules::FileCtx;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One function in the workspace model.
+#[derive(Debug, Clone)]
+pub struct FnNode {
+    /// Cargo package name of the defining crate.
+    pub crate_name: String,
+    /// Workspace-relative path of the defining file.
+    pub path: String,
+    /// Index of the defining file in [`WorkspaceModel::files`].
+    pub file: usize,
+    /// The parsed item (name, line, visibility, signatures, body span).
+    pub item: FnItem,
+}
+
+impl FnNode {
+    /// `Type::name` when the function is associated, else just `name`.
+    pub fn qualified_name(&self) -> String {
+        match &self.item.self_type {
+            Some(t) => format!("{t}::{}", self.item.name),
+            None => self.item.name.clone(),
+        }
+    }
+}
+
+/// One analyzed file: its context and lexed token stream (kept so rule
+/// passes can scan bodies without re-lexing).
+pub struct FileModel {
+    /// Path/crate classification.
+    pub ctx: FileCtx,
+    /// The lexed stream.
+    pub lexed: Lexed,
+}
+
+/// The whole-workspace model rules run against.
+pub struct WorkspaceModel {
+    /// All analyzed files.
+    pub files: Vec<FileModel>,
+    /// All production (non-test) functions.
+    pub fns: Vec<FnNode>,
+    /// Adjacency: `edges[f]` = functions `f` calls (deduped, sorted).
+    pub edges: Vec<Vec<usize>>,
+    /// Representative source line for each `(caller, callee)` edge.
+    edge_lines: BTreeMap<(usize, usize), u32>,
+    /// Crate-dependency map the edges were filtered with.
+    deps: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl WorkspaceModel {
+    /// Builds the model from `(ctx, source)` pairs with no dependency
+    /// information (every cross-crate edge is kept).
+    pub fn build(files: Vec<(FileCtx, String)>) -> WorkspaceModel {
+        Self::build_with_deps(files, &BTreeMap::new())
+    }
+
+    /// Builds the model from `(ctx, source)` pairs, dropping cross-crate
+    /// edges that `deps` (package name → packages it depends on) rules
+    /// out. Packages absent from the map keep all their edges — fixture
+    /// corpora don't carry manifests.
+    pub fn build_with_deps(
+        files: Vec<(FileCtx, String)>,
+        deps: &BTreeMap<String, BTreeSet<String>>,
+    ) -> WorkspaceModel {
+        let mut model = WorkspaceModel {
+            files: Vec::new(),
+            fns: Vec::new(),
+            edges: Vec::new(),
+            edge_lines: BTreeMap::new(),
+            deps: deps.clone(),
+        };
+        // Parse every file; collect production fns with global ids.
+        let mut parsed = Vec::new();
+        for (ctx, text) in files {
+            let lexed = lex(&text);
+            let p = parse_file(&lexed);
+            model.files.push(FileModel { ctx, lexed });
+            parsed.push(p);
+        }
+        // Map (file, local fn index) -> global id; test fns get None.
+        let mut local_to_global = Vec::new();
+        for (fi, p) in parsed.iter().enumerate() {
+            let mut map = Vec::with_capacity(p.fns.len());
+            for item in &p.fns {
+                if item.is_test {
+                    map.push(None);
+                    continue;
+                }
+                map.push(Some(model.fns.len()));
+                model.fns.push(FnNode {
+                    crate_name: model.files[fi].ctx.crate_name.clone(),
+                    path: model.files[fi].ctx.path.clone(),
+                    file: fi,
+                    item: item.clone(),
+                });
+            }
+            local_to_global.push(map);
+        }
+        // Name indexes over production fns.
+        let mut free: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut methods: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut qualified: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        for (id, f) in model.fns.iter().enumerate() {
+            match &f.item.self_type {
+                Some(t) => {
+                    methods.entry(&f.item.name).or_default().push(id);
+                    qualified
+                        .entry((t.as_str(), f.item.name.as_str()))
+                        .or_default()
+                        .push(id);
+                }
+                None => free.entry(&f.item.name).or_default().push(id),
+            }
+        }
+        // Resolve calls into edges.
+        const EMPTY: &[usize] = &[];
+        let dep_ok = |caller: usize, callee: usize| {
+            let a = &model.fns[caller].crate_name;
+            let b = &model.fns[callee].crate_name;
+            a == b
+                || match deps.get(a.as_str()) {
+                    None => true,
+                    Some(d) => d.contains(b.as_str()),
+                }
+        };
+        let mut edge_set: BTreeMap<(usize, usize), u32> = BTreeMap::new();
+        for (fi, p) in parsed.iter().enumerate() {
+            for call in &p.calls {
+                let Some(Some(caller)) = local_to_global[fi].get(call.caller).copied() else {
+                    continue; // call inside a test-only fn
+                };
+                let targets: &[usize] = if let Some(q) = &call.qualifier {
+                    match qualified.get(&(q.as_str(), call.name.as_str())) {
+                        Some(v) => v,
+                        // An uppercase qualifier the workspace defines no
+                        // such item on is an external type (`Mutex::new`):
+                        // no target. Lowercase is a module path: fall back
+                        // to free functions with that name.
+                        None if q.chars().next().is_some_and(char::is_uppercase) => EMPTY,
+                        None => free.get(call.name.as_str()).map_or(EMPTY, |v| &v[..]),
+                    }
+                } else if call.is_method {
+                    methods.get(call.name.as_str()).map_or(EMPTY, |v| &v[..])
+                } else {
+                    free.get(call.name.as_str()).map_or(EMPTY, |v| &v[..])
+                };
+                for &callee in targets {
+                    if !dep_ok(caller, callee) {
+                        continue;
+                    }
+                    edge_set.entry((caller, callee)).or_insert(call.line);
+                }
+            }
+        }
+        model.edges = vec![Vec::new(); model.fns.len()];
+        for (&(a, b), &line) in &edge_set {
+            model.edges[a].push(b);
+            model.edge_lines.insert((a, b), line);
+        }
+        model
+    }
+
+    /// The call-site line recorded for edge `(caller, callee)`.
+    pub fn edge_line(&self, caller: usize, callee: usize) -> Option<u32> {
+        self.edge_lines.get(&(caller, callee)).copied()
+    }
+
+    /// Whether code in crate `from` could call into crate `to` at all,
+    /// under the dependency map the model was built with.
+    pub fn dep_allowed(&self, from: &str, to: &str) -> bool {
+        from == to
+            || match self.deps.get(from) {
+                None => true,
+                Some(d) => d.contains(to),
+            }
+    }
+
+    /// Functions whose bodies contain the identifier `ident`.
+    pub fn fns_with_body_ident(&self, ident: &str) -> Vec<usize> {
+        (0..self.fns.len())
+            .filter(|&id| self.body_contains_ident(id, ident))
+            .collect()
+    }
+
+    /// True when fn `id`'s body contains `ident` as a code token.
+    pub fn body_contains_ident(&self, id: usize, ident: &str) -> bool {
+        let f = &self.fns[id];
+        let Some((s, e)) = f.item.body else {
+            return false;
+        };
+        self.files[f.file].lexed.toks[s..=e]
+            .iter()
+            .any(|t| t.kind == crate::lexer::Kind::Ident && t.text == ident)
+    }
+
+    /// Line of the first occurrence of `ident` in fn `id`'s body.
+    pub fn body_ident_line(&self, id: usize, ident: &str) -> Option<u32> {
+        let f = &self.fns[id];
+        let (s, e) = f.item.body?;
+        self.files[f.file].lexed.toks[s..=e]
+            .iter()
+            .find(|t| t.kind == crate::lexer::Kind::Ident && t.text == ident)
+            .map(|t| t.line)
+    }
+
+    /// BFS from `start` over the call graph, skipping nodes for which
+    /// `blocked` returns true (the start itself is never blocked). Returns
+    /// the predecessor map for path reconstruction: `pred[n]` is the node
+    /// we reached `n` from.
+    pub fn bfs(&self, start: usize, blocked: impl Fn(usize) -> bool) -> BTreeMap<usize, usize> {
+        let mut pred = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        let mut seen = vec![false; self.fns.len()];
+        seen[start] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.edges[u] {
+                if seen[v] || blocked(v) {
+                    continue;
+                }
+                seen[v] = true;
+                pred.insert(v, u);
+                queue.push_back(v);
+            }
+        }
+        pred
+    }
+
+    /// The call chain `start -> .. -> target` implied by a [`Self::bfs`]
+    /// predecessor map, rendered as qualified names with call-site lines.
+    pub fn chain(&self, pred: &BTreeMap<usize, usize>, start: usize, target: usize) -> String {
+        let mut nodes = vec![target];
+        let mut cur = target;
+        while cur != start {
+            let Some(&p) = pred.get(&cur) else {
+                break;
+            };
+            nodes.push(p);
+            cur = p;
+        }
+        nodes.reverse();
+        self.render_chain(&nodes)
+    }
+
+    /// Renders a node sequence as `a -> [path:line] b -> ..`, where
+    /// `path:line` is the call site of the edge into that node (in the
+    /// *caller's* file).
+    pub fn render_chain(&self, nodes: &[usize]) -> String {
+        let mut out = String::new();
+        for (k, &id) in nodes.iter().enumerate() {
+            if k > 0 {
+                let caller = nodes[k - 1];
+                let line = self.edge_line(caller, id).unwrap_or(0);
+                out.push_str(&format!(" -> [{}:{}] ", self.fns[caller].path, line));
+            }
+            out.push_str(&self.fns[id].qualified_name());
+        }
+        out
+    }
+
+    /// Fixpoint propagation *against* the call direction: starting from
+    /// `seeds`, marks every function that can reach a marked function,
+    /// unless `barrier` holds for it (barriers never become marked, and so
+    /// cut every chain through them). Returns the marked set and, for each
+    /// marked non-seed, the callee it was marked through (for chains).
+    pub fn propagate_up(
+        &self,
+        seeds: &[usize],
+        barrier: impl Fn(usize) -> bool,
+    ) -> (Vec<bool>, BTreeMap<usize, usize>) {
+        let n = self.fns.len();
+        // Reverse adjacency.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (u, outs) in self.edges.iter().enumerate() {
+            for &v in outs {
+                rev[v].push(u);
+            }
+        }
+        let mut marked = vec![false; n];
+        let mut via = BTreeMap::new();
+        let mut queue = std::collections::VecDeque::new();
+        for &s in seeds {
+            if !barrier(s) && !marked[s] {
+                marked[s] = true;
+                queue.push_back(s);
+            }
+        }
+        while let Some(v) = queue.pop_front() {
+            for &u in &rev[v] {
+                if marked[u] || barrier(u) {
+                    continue;
+                }
+                marked[u] = true;
+                via.insert(u, v);
+                queue.push_back(u);
+            }
+        }
+        (marked, via)
+    }
+
+    /// The downward chain `id -> via -> .. -> seed` implied by a
+    /// [`Self::propagate_up`] `via` map.
+    pub fn taint_chain(&self, via: &BTreeMap<usize, usize>, id: usize) -> Vec<usize> {
+        let mut nodes = vec![id];
+        let mut cur = id;
+        while let Some(&next) = via.get(&cur) {
+            nodes.push(next);
+            cur = next;
+        }
+        nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(files: &[(&str, &str)]) -> WorkspaceModel {
+        WorkspaceModel::build(
+            files
+                .iter()
+                .map(|(p, s)| (FileCtx::from_rel_path(p), s.to_string()))
+                .collect(),
+        )
+    }
+
+    fn id(m: &WorkspaceModel, name: &str) -> usize {
+        m.fns.iter().position(|f| f.item.name == name).unwrap()
+    }
+
+    #[test]
+    fn cross_crate_edges_resolve_by_name() {
+        let m = model(&[
+            ("crates/core/src/a.rs", "pub fn caller() { helper(); }"),
+            ("crates/obs/src/b.rs", "pub fn helper() {}"),
+        ]);
+        let (c, h) = (id(&m, "caller"), id(&m, "helper"));
+        assert_eq!(m.edges[c], vec![h]);
+        assert!(m.edges[h].is_empty());
+    }
+
+    #[test]
+    fn qualified_calls_prefer_the_impl_type() {
+        let m = model(&[(
+            "crates/core/src/a.rs",
+            "struct A; struct B;\n\
+             impl A { pub fn go() {} }\n\
+             impl B { pub fn go() {} }\n\
+             fn f() { A::go(); }",
+        )]);
+        let f = id(&m, "f");
+        let a_go = m
+            .fns
+            .iter()
+            .position(|x| x.item.name == "go" && x.item.self_type.as_deref() == Some("A"))
+            .unwrap();
+        assert_eq!(m.edges[f], vec![a_go]);
+    }
+
+    #[test]
+    fn method_calls_over_approximate_across_impls() {
+        let m = model(&[(
+            "crates/core/src/a.rs",
+            "impl A { fn tick(&self) {} }\n\
+             impl B { fn tick(&self) {} }\n\
+             fn f(x: &A) { x.tick(); }",
+        )]);
+        let f = id(&m, "f");
+        assert_eq!(m.edges[f].len(), 2, "both `tick` methods are candidates");
+    }
+
+    #[test]
+    fn test_only_fns_are_outside_the_graph() {
+        let m = model(&[(
+            "crates/core/src/a.rs",
+            "pub fn prod() {}\n\
+             #[cfg(test)]\nmod tests { fn t() { prod(); } pub fn fake_helper() {} }\n\
+             fn caller() { fake_helper(); }",
+        )]);
+        assert!(
+            m.fns
+                .iter()
+                .all(|f| f.item.name != "t" && f.item.name != "fake_helper"),
+            "cfg(test) fns must not enter the model"
+        );
+        let c = id(&m, "caller");
+        assert!(
+            m.edges[c].is_empty(),
+            "a call resolving only to a test-only fn contributes no edge"
+        );
+    }
+
+    #[test]
+    fn cycles_terminate_and_propagate() {
+        let m = model(&[(
+            "crates/core/src/a.rs",
+            "fn a() { b(); } fn b() { c(); } fn c() { a(); sink(); } fn sink() {}",
+        )]);
+        let (a, sink) = (id(&m, "a"), id(&m, "sink"));
+        let (marked, _) = m.propagate_up(&[sink], |_| false);
+        assert!(marked[a], "taint flows backward through the cycle");
+        let pred = m.bfs(a, |_| false);
+        assert!(pred.contains_key(&sink), "reachability crosses the cycle");
+    }
+
+    #[test]
+    fn barriers_cut_propagation() {
+        let m = model(&[(
+            "crates/core/src/a.rs",
+            "fn top() { mid(); } fn mid() { bottom(); } fn bottom() {}",
+        )]);
+        let (top, mid, bottom) = (id(&m, "top"), id(&m, "mid"), id(&m, "bottom"));
+        let (marked, _) = m.propagate_up(&[bottom], |n| n == mid);
+        assert!(marked[bottom]);
+        assert!(!marked[mid]);
+        assert!(!marked[top], "the barrier cut the only chain");
+        let pred = m.bfs(top, |n| n == mid);
+        assert!(!pred.contains_key(&bottom));
+    }
+
+    #[test]
+    fn unknown_uppercase_qualifier_is_external() {
+        let m = model(&[(
+            "crates/core/src/a.rs",
+            "pub fn new() {}\n\
+             impl W { pub fn new() {} }\n\
+             fn f() { let m = Mutex::new(0); }",
+        )]);
+        let f = id(&m, "f");
+        assert!(
+            m.edges[f].is_empty(),
+            "`Mutex::new` must not resolve to workspace constructors"
+        );
+    }
+
+    #[test]
+    fn lowercase_qualifier_is_a_module_path() {
+        let m = model(&[
+            ("crates/core/src/a.rs", "fn f() { util::helper(); }"),
+            ("crates/obs/src/b.rs", "pub fn helper() {}"),
+        ]);
+        let (f, h) = (id(&m, "f"), id(&m, "helper"));
+        assert_eq!(m.edges[f], vec![h]);
+    }
+
+    #[test]
+    fn dependency_map_filters_cross_crate_edges() {
+        use std::collections::BTreeSet;
+        let files = vec![
+            (
+                FileCtx::from_rel_path("crates/qsim/src/a.rs"),
+                "pub fn caller() { helper(); }".to_string(),
+            ),
+            (
+                FileCtx::from_rel_path("crates/obs/src/b.rs"),
+                "pub fn helper() {}".to_string(),
+            ),
+        ];
+        // dqs-sim depends only on dqs-math, so the name match is not a call.
+        let mut deps = BTreeMap::new();
+        deps.insert(
+            "dqs-sim".to_string(),
+            BTreeSet::from(["dqs-math".to_string()]),
+        );
+        let m = WorkspaceModel::build_with_deps(files, &deps);
+        let c = id(&m, "caller");
+        assert!(
+            m.edges[c].is_empty(),
+            "edge to an undeclared dep is dropped"
+        );
+    }
+
+    #[test]
+    fn trait_method_dispatch_resolves_to_impls() {
+        let m = model(&[(
+            "crates/core/src/a.rs",
+            "trait Run { fn run(&self); }\n\
+             impl Run for X { fn run(&self) { leaf(); } }\n\
+             fn leaf() {}\n\
+             fn driver(r: &dyn Run) { r.run(); }",
+        )]);
+        let d = id(&m, "driver");
+        let leaf = id(&m, "leaf");
+        // driver -> X::run -> leaf
+        let pred = m.bfs(d, |_| false);
+        assert!(pred.contains_key(&leaf));
+    }
+}

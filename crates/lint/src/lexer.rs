@@ -76,7 +76,7 @@ impl Lexed {
     /// same line (trailing comment), or `line` is the *first* line with any
     /// code after `from` — so a directive or SAFETY comment may span
     /// several comment lines before the code it covers.
-    fn reaches(&self, from: u32, line: u32) -> bool {
+    pub fn reaches(&self, from: u32, line: u32) -> bool {
         line == from || (line > from && self.code_lines.range(from + 1..line).next().is_none())
     }
 
@@ -84,9 +84,16 @@ impl Lexed {
     /// directive. Directives without a reason never grant an exemption —
     /// they are reported separately (R0).
     pub fn allowed(&self, line: u32, rule: &str) -> bool {
+        self.allow_covering(line, rule).is_some()
+    }
+
+    /// Index (into [`Self::allows`]) of the well-formed directive covering
+    /// `line` for `rule`, if any — the handle the central allow filter uses
+    /// to track which directives actually suppressed something.
+    pub fn allow_covering(&self, line: u32, rule: &str) -> Option<usize> {
         self.allows
             .iter()
-            .any(|a| a.rule == rule && a.has_reason && self.reaches(a.line, line))
+            .position(|a| a.rule == rule && a.has_reason && self.reaches(a.line, line))
     }
 
     /// True when `line` is covered by a `SAFETY:` comment (same line, or a

@@ -11,28 +11,46 @@
 //! debug-asserts and proptests that only fire on executed paths. `dqs-lint`
 //! checks the same invariants at the source level:
 //!
+//! The linter runs in two phases. Phase 1 ([`parser`], [`callgraph`])
+//! builds a workspace model: every production `fn` across every crate,
+//! with a name-resolved, dependency-filtered call graph between them.
+//! Phase 2 runs per-file token rules (R1–R5) and interprocedural rules
+//! (R6–R9) over that model:
+//!
 //! | rule | invariant |
 //! |------|-----------|
+//! | `R0:allow-directive` / `R0:unused-allow` / `R0:stale-baseline` | escape-hatch hygiene: directives name a real rule, carry a reason, and suppress something |
 //! | `R1:determinism`    | deterministic crates never touch wall clocks, OS-seeded RNGs, or randomly-seeded hash collections |
-//! | `R2:ledger-pairing` | every ledger charge in dqs-db emits its obs counter in the same function; no charges outside dqs-db |
+//! | `R2:ledger-pairing` | no crate outside dqs-db charges the `QueryLedger` directly |
 //! | `R3:panic`          | no `unwrap()`/`expect()` in non-test library code |
 //! | `R4:unsafe`         | `#![forbid(unsafe_code)]` in every crate root; any `unsafe` carries a `// SAFETY:` comment |
 //! | `R5:event-purity`   | no `f64`/`f32` payloads or float formatting in the dqs-obs event stream |
+//! | `R6:determinism-taint` | nondeterminism sources cannot reach a deterministic crate's public API through any call chain |
+//! | `R7:charge-conservation` | every charge reaches its obs counter; every oracle-answer consumer and public sampling entry point reaches a ledger charge |
+//! | `R8:error-discard`  | no `let _ =`/`.ok()` discards of cross-crate `Result`s; public APIs return typed errors |
+//! | `R9:snapshot-discipline` | snapshot-pinned readers never reach version-advancing APIs in the same call chain |
 //!
 //! Run it with `cargo run --release -p dqs-lint` (add `--format json` for
 //! machine-readable output). Escape hatch:
 //! `// lint: allow(<rule>): <reason>` on the offending line or the line
-//! above — the reason is mandatory.
+//! above — the reason is mandatory, and a directive that suppresses
+//! nothing is itself an error. Workspace-wide waivers live in the
+//! suppression baseline (`crates/lint/lint.baseline`, regenerated with
+//! `--write-baseline`); stale entries are errors too.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod baseline;
+pub mod callgraph;
 pub mod diagnostics;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod taint;
 pub mod workspace;
 
 pub use diagnostics::{report_json, Diagnostic};
-pub use rules::{lint_source, FileCtx};
+pub use rules::{lint_files, lint_source, FileCtx};
 pub use workspace::{find_root, lint_workspace, production_sources};

@@ -4,10 +4,13 @@
 //! cargo run --release -p dqs-lint                 # human-readable report
 //! cargo run --release -p dqs-lint -- --format json
 //! cargo run --release -p dqs-lint -- --root /path/to/repo
+//! cargo run --release -p dqs-lint -- --write-baseline
 //! ```
 //!
 //! Exit codes: `0` clean, `1` violations found, `2` usage or I/O error.
 
+use dqs_lint::baseline::Baseline;
+use dqs_lint::workspace::{lint_workspace_unbaselined, BASELINE_PATH};
 use dqs_lint::{find_root, lint_workspace, report_json};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -15,12 +18,14 @@ use std::process::ExitCode;
 struct Args {
     root: Option<PathBuf>,
     json: bool,
+    write_baseline: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
         json: false,
+        write_baseline: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -34,8 +39,12 @@ fn parse_args() -> Result<Args, String> {
                 Some(p) => args.root = Some(PathBuf::from(p)),
                 None => return Err("--root expects a path".to_string()),
             },
+            "--write-baseline" => args.write_baseline = true,
             "--help" | "-h" => {
-                return Err("usage: dqs-lint [--root PATH] [--format text|json]".to_string())
+                return Err(
+                    "usage: dqs-lint [--root PATH] [--format text|json] [--write-baseline]"
+                        .to_string(),
+                )
             }
             other => return Err(format!("unknown argument `{other}`")),
         }
@@ -62,6 +71,25 @@ fn main() -> ExitCode {
         );
         return ExitCode::from(2);
     };
+    if args.write_baseline {
+        let found = match lint_workspace_unbaselined(&root) {
+            Ok(d) => d,
+            Err(e) => {
+                eprintln!("dqs-lint: I/O error while scanning {}: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        };
+        let text = Baseline::render(&found);
+        if let Err(e) = std::fs::write(root.join(BASELINE_PATH), &text) {
+            eprintln!("dqs-lint: cannot write {BASELINE_PATH}: {e}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "dqs-lint: wrote {BASELINE_PATH} covering {} finding(s)",
+            found.len()
+        );
+        return ExitCode::SUCCESS;
+    }
     let diags = match lint_workspace(&root) {
         Ok(d) => d,
         Err(e) => {
@@ -76,7 +104,10 @@ fn main() -> ExitCode {
             println!("{d}");
         }
         if diags.is_empty() {
-            println!("dqs-lint: workspace clean (R1–R5 hold on every production source file)");
+            println!(
+                "dqs-lint: workspace clean (R1-R9 hold on every production source file, \
+                 interprocedural rules included)"
+            );
         } else {
             println!("dqs-lint: {} violation(s)", diags.len());
         }

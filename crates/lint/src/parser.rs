@@ -1,0 +1,448 @@
+//! Phase-1 item parsing: `fn` items and their call sites, extracted from
+//! the lexed token stream.
+//!
+//! This sits between the lexer and the call graph. It is *not* a Rust
+//! parser — it recognizes exactly the item structure the interprocedural
+//! rules (R6–R9) need: function definitions with their visibility, the
+//! enclosing `impl`/`trait` type, parameter and return signatures, and
+//! body spans; plus every call site inside a body, classified as a free
+//! call, a `Type::assoc(..)` call, or a `.method(..)` call. Macro
+//! invocations (`name!(..)`) are skipped — they expand to code the linter
+//! cannot see, and treating the macro name as a callee would fabricate
+//! edges. Test-masked items are parsed but flagged, so the graph builder
+//! can keep `#[cfg(test)]`-only functions out of the production model.
+
+use crate::analysis::{innermost_body, match_brace, test_mask};
+use crate::lexer::{Kind, Lexed, Tok};
+
+/// One parsed `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    /// Function name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// `pub fn` — restricted forms (`pub(crate)`, `pub(super)`) count as
+    /// private: they are not part of the crate's public API surface.
+    pub is_pub: bool,
+    /// Inside `#[cfg(test)]` / `#[test]` code.
+    pub is_test: bool,
+    /// The enclosing `impl Type` / `impl Trait for Type` / `trait Type`
+    /// block's type name, if any (last path segment).
+    pub self_type: Option<String>,
+    /// Token texts of the parameter list (between the signature parens).
+    pub params: Vec<String>,
+    /// Token texts of the return type (between `->` and the body/`;`,
+    /// stopping at a `where` clause).
+    pub ret: Vec<String>,
+    /// Token index of the `fn` keyword in the file's stream.
+    pub fn_tok: usize,
+    /// Body token span `(open_brace, close_brace)`; `None` for bodyless
+    /// trait-method declarations.
+    pub body: Option<(usize, usize)>,
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallItem {
+    /// Index (into the file's [`FnItem`] list) of the innermost enclosing
+    /// function.
+    pub caller: usize,
+    /// Callee name (the identifier directly before the argument parens).
+    pub name: String,
+    /// `Type` in a `Type::name(..)` call (with `Self` already resolved to
+    /// the enclosing impl type, when known).
+    pub qualifier: Option<String>,
+    /// True for `.name(..)` method-call syntax.
+    pub is_method: bool,
+    /// 1-based line of the callee identifier.
+    pub line: u32,
+}
+
+/// Everything phase 1 extracts from one file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Function items, in source order.
+    pub fns: Vec<FnItem>,
+    /// Call sites, attributed to their innermost enclosing function.
+    pub calls: Vec<CallItem>,
+}
+
+/// Keywords that can directly precede `(` without being a call head.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "else", "while", "for", "loop", "match", "return", "let", "mut", "ref", "move", "in",
+    "as", "where", "use", "pub", "crate", "mod", "struct", "enum", "trait", "impl", "type",
+    "const", "static", "fn", "unsafe", "extern", "dyn", "break", "continue", "async", "await",
+    "yield", "box", "self", "super",
+];
+
+/// `impl`/`trait` scope: the type name and the body's token span.
+struct TypeScope {
+    name: String,
+    open: usize,
+    close: usize,
+}
+
+/// Skips a balanced `<...>` group starting at `open` (which must be `<`);
+/// returns the index just past the matching `>`. `->` inside is impossible
+/// in the positions we scan (generic parameter lists), and `>>` arrives as
+/// two single-char tokens, so plain depth counting is exact.
+fn skip_angles(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Index of the `)` matching the `(` at `open` (last token if unbalanced).
+fn match_paren(toks: &[Tok], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" => depth += 1,
+            ")" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Collects every `impl`/`trait` block with the type name it implements
+/// (for `impl Trait for Type`, the `Type`).
+fn type_scopes(toks: &[Tok]) -> Vec<TypeScope> {
+    let n = toks.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        if toks[i].kind != Kind::Ident || (toks[i].text != "impl" && toks[i].text != "trait") {
+            continue;
+        }
+        // `impl` may also appear in `impl Trait` return/argument position;
+        // those never reach a `{` before a `;`/`)` at depth 0 — the scan
+        // below simply finds no body and moves on.
+        let mut j = i + 1;
+        if j < n && toks[j].text == "<" {
+            j = skip_angles(toks, j);
+        }
+        // Walk the header, remembering the last path segment seen at angle
+        // depth 0; `for` resets it (the implementing type follows).
+        let mut last_seg: Option<String> = None;
+        let mut found_body = None;
+        while j < n {
+            let t = &toks[j];
+            match t.text.as_str() {
+                "{" => {
+                    found_body = Some(j);
+                    break;
+                }
+                ";" | ")" | "=" => break,
+                "for" => last_seg = None,
+                "where" => {
+                    // Type position is over; scan on for the body brace.
+                    while j < n && toks[j].text != "{" && toks[j].text != ";" {
+                        j += 1;
+                    }
+                    continue;
+                }
+                "<" => {
+                    j = skip_angles(toks, j);
+                    continue;
+                }
+                _ => {
+                    if t.kind == Kind::Ident && t.text != "dyn" && t.text != "mut" {
+                        last_seg = Some(t.text.clone());
+                    }
+                }
+            }
+            j += 1;
+        }
+        if let (Some(open), Some(name)) = (found_body, last_seg) {
+            let close = match_brace(toks, open);
+            out.push(TypeScope { name, open, close });
+        }
+    }
+    out
+}
+
+/// The innermost type scope containing token `idx`.
+fn scope_at(scopes: &[TypeScope], idx: usize) -> Option<&TypeScope> {
+    scopes
+        .iter()
+        .filter(|s| s.open < idx && idx < s.close)
+        .min_by_key(|s| s.close - s.open)
+}
+
+/// True when the token before `fn_idx` (skipping fn-qualifier keywords)
+/// is a bare `pub`.
+fn is_pub_fn(toks: &[Tok], fn_idx: usize) -> bool {
+    let mut k = fn_idx;
+    while k > 0 {
+        k -= 1;
+        match toks[k].text.as_str() {
+            "const" | "async" | "unsafe" | "extern" => continue,
+            _ => {}
+        }
+        if toks[k].kind == Kind::Str {
+            // `extern "C"` ABI string.
+            continue;
+        }
+        // `pub(crate) fn` ends with `)` here — restricted, not public API.
+        return toks[k].text == "pub" && toks[k].kind == Kind::Ident;
+    }
+    false
+}
+
+/// Parses one lexed file into its functions and call sites.
+pub fn parse_file(lexed: &Lexed) -> ParsedFile {
+    let toks = &lexed.toks;
+    let n = toks.len();
+    let mask = test_mask(toks);
+    let scopes = type_scopes(toks);
+    let mut out = ParsedFile::default();
+
+    // Pass 1: function items.
+    let mut def_name_idx = Vec::new(); // token indices that are def names
+    for i in 0..n {
+        if toks[i].kind != Kind::Ident || toks[i].text != "fn" {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else {
+            continue;
+        };
+        if name_tok.kind != Kind::Ident {
+            // `fn(` — a function-pointer type, not an item.
+            continue;
+        }
+        def_name_idx.push(i + 1);
+        // Optional generics after the name.
+        let mut j = i + 2;
+        if j < n && toks[j].text == "<" {
+            j = skip_angles(toks, j);
+        }
+        let (params, mut k) = if j < n && toks[j].text == "(" {
+            let close = match_paren(toks, j);
+            (
+                toks[j + 1..close.min(n)]
+                    .iter()
+                    .map(|t| t.text.clone())
+                    .collect(),
+                close + 1,
+            )
+        } else {
+            (Vec::new(), j)
+        };
+        // Return type: `-> ...` until body `{`, `;`, or `where`.
+        let mut ret = Vec::new();
+        let mut body = None;
+        let mut in_ret = false;
+        while k < n {
+            let t = &toks[k];
+            match t.text.as_str() {
+                "{" => {
+                    body = Some((k, match_brace(toks, k)));
+                    break;
+                }
+                ";" => break,
+                "where" => {
+                    in_ret = false;
+                    k += 1;
+                    continue;
+                }
+                "-" if matches!(toks.get(k + 1), Some(u) if u.text == ">") => {
+                    in_ret = true;
+                    k += 2;
+                    continue;
+                }
+                _ => {
+                    if in_ret {
+                        ret.push(t.text.clone());
+                    }
+                }
+            }
+            k += 1;
+        }
+        out.fns.push(FnItem {
+            name: name_tok.text.clone(),
+            line: toks[i].line,
+            is_pub: is_pub_fn(toks, i),
+            is_test: mask[i],
+            self_type: scope_at(&scopes, i).map(|s| s.name.clone()),
+            params,
+            ret,
+            fn_tok: i,
+            body,
+        });
+    }
+
+    // Pass 2: call sites, attributed to the innermost enclosing fn body.
+    let bodies: Vec<(usize, usize)> = out.fns.iter().filter_map(|f| f.body).collect();
+    let body_to_fn = |span: (usize, usize)| -> Option<usize> {
+        out.fns.iter().position(|f| f.body == Some(span))
+    };
+    for j in 0..n {
+        let t = &toks[j];
+        if t.kind != Kind::Ident || mask[j] {
+            continue;
+        }
+        if NON_CALL_KEYWORDS.contains(&t.text.as_str()) {
+            continue;
+        }
+        if def_name_idx.binary_search(&j).is_ok() {
+            continue;
+        }
+        // A call head is an ident followed by `(` or by turbofish
+        // `::<..>(`. Macro invocations (`name!(..)`) fail both arms — the
+        // `!` sits where the paren would be — and are thereby skipped.
+        match toks.get(j + 1) {
+            Some(u) if u.text == "(" => {}
+            Some(u)
+                if u.text == ":"
+                    && matches!(toks.get(j + 2), Some(v) if v.text == ":")
+                    && matches!(toks.get(j + 3), Some(v) if v.text == "<") =>
+            {
+                let past = skip_angles(toks, j + 3);
+                if !matches!(toks.get(past), Some(v) if v.text == "(") {
+                    continue;
+                }
+            }
+            _ => continue,
+        }
+        let Some(span) = innermost_body(&bodies, j) else {
+            continue; // call outside any fn body (const initializer, ...)
+        };
+        let Some(caller) = body_to_fn(span) else {
+            continue;
+        };
+        // Classify: `.name(` method call, `Qual::name(` associated call,
+        // or a free call.
+        let is_method = j >= 1 && toks[j - 1].text == "." && toks[j - 1].kind == Kind::Punct;
+        let qualifier = if !is_method
+            && j >= 3
+            && toks[j - 1].text == ":"
+            && toks[j - 2].text == ":"
+            && toks[j - 3].kind == Kind::Ident
+        {
+            let q = toks[j - 3].text.clone();
+            if q == "Self" {
+                out.fns[caller].self_type.clone()
+            } else {
+                Some(q)
+            }
+        } else {
+            None
+        };
+        out.calls.push(CallItem {
+            caller,
+            name: t.text.clone(),
+            qualifier,
+            is_method,
+            line: t.line,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> ParsedFile {
+        parse_file(&lex(src))
+    }
+
+    #[test]
+    fn fn_items_with_visibility_and_signatures() {
+        let src = "pub fn a(x: u32) -> Result<u32, E> { b(x) }\n\
+                   fn b(x: u32) -> u32 { x }\n\
+                   pub(crate) fn c() {}\n\
+                   pub const fn d() -> usize { 1 }";
+        let p = parse(src);
+        let names: Vec<&str> = p.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["a", "b", "c", "d"]);
+        assert!(p.fns[0].is_pub);
+        assert!(!p.fns[1].is_pub);
+        assert!(!p.fns[2].is_pub, "pub(crate) is not public API");
+        assert!(p.fns[3].is_pub, "pub const fn");
+        assert_eq!(p.fns[0].ret, ["Result", "<", "u32", ",", "E", ">"]);
+        assert_eq!(p.fns[0].params, ["x", ":", "u32"]);
+    }
+
+    #[test]
+    fn impl_and_trait_scopes_set_self_type() {
+        let src = "impl<'a> Widget<'a> { pub fn go(&self) {} }\n\
+                   impl Drop for Guard { fn drop(&mut self) {} }\n\
+                   trait Runs { fn decl(&self); fn dflt(&self) { self.decl() } }\n\
+                   fn free() {}";
+        let p = parse(src);
+        let by_name = |n: &str| p.fns.iter().find(|f| f.name == n).unwrap();
+        assert_eq!(by_name("go").self_type.as_deref(), Some("Widget"));
+        assert_eq!(by_name("drop").self_type.as_deref(), Some("Guard"));
+        assert_eq!(by_name("decl").self_type.as_deref(), Some("Runs"));
+        assert!(by_name("decl").body.is_none(), "bodyless declaration");
+        assert_eq!(by_name("dflt").self_type.as_deref(), Some("Runs"));
+        assert_eq!(by_name("free").self_type, None);
+    }
+
+    #[test]
+    fn call_classification() {
+        let src = "fn f() { g(); x.m(); Widget::assoc(); Self::own(); h!(boom); v.collect::<Vec<_>>(); }\n\
+                   impl W { fn i(&self) { Self::j() } fn j() {} }";
+        let p = parse(src);
+        let f_calls: Vec<&CallItem> = p.calls.iter().filter(|c| c.caller == 0).collect();
+        let names: Vec<&str> = f_calls.iter().map(|c| c.name.as_str()).collect();
+        assert!(names.contains(&"g"));
+        assert!(names.contains(&"m"));
+        assert!(names.contains(&"assoc"));
+        assert!(names.contains(&"collect"), "turbofish call recognized");
+        assert!(!names.contains(&"h"), "macro invocations are skipped");
+        let m = f_calls.iter().find(|c| c.name == "m").unwrap();
+        assert!(m.is_method);
+        let a = f_calls.iter().find(|c| c.name == "assoc").unwrap();
+        assert_eq!(a.qualifier.as_deref(), Some("Widget"));
+        // `Self::j()` inside impl W resolves the qualifier to W.
+        let j = p.calls.iter().find(|c| c.name == "j").unwrap();
+        assert_eq!(j.qualifier.as_deref(), Some("W"));
+    }
+
+    #[test]
+    fn test_masked_fns_and_calls_are_flagged() {
+        let src = "fn prod() { helper(); }\n#[cfg(test)]\nmod tests { fn t() { prod(); } }";
+        let p = parse(src);
+        let t = p.fns.iter().find(|f| f.name == "t").unwrap();
+        assert!(t.is_test);
+        assert!(!p.fns.iter().find(|f| f.name == "prod").unwrap().is_test);
+        // The call from the test fn is masked out entirely.
+        assert!(p.calls.iter().all(|c| c.name != "prod"));
+    }
+
+    #[test]
+    fn nested_fn_attribution() {
+        let src = "fn outer() { fn inner() { deep(); } shallow(); }";
+        let p = parse(src);
+        let deep = p.calls.iter().find(|c| c.name == "deep").unwrap();
+        let inner_idx = p.fns.iter().position(|f| f.name == "inner").unwrap();
+        assert_eq!(deep.caller, inner_idx);
+        let shallow = p.calls.iter().find(|c| c.name == "shallow").unwrap();
+        let outer_idx = p.fns.iter().position(|f| f.name == "outer").unwrap();
+        assert_eq!(shallow.caller, outer_idx);
+    }
+}

@@ -1,15 +1,19 @@
-//! The five rule passes (R1–R5) and the per-file lint driver.
+//! The per-file rule passes (R0–R5), the shared rule vocabulary, and the
+//! central lint driver that combines them with the interprocedural passes
+//! (R6–R9, in [`crate::taint`]).
 //!
-//! Every pass works on the same inputs: the lexed token stream (comments
-//! and literals already stripped by [`crate::lexer`]), the test-code mask,
-//! and the file's [`FileCtx`]. Escape hatches are uniform: a
-//! `// lint: allow(<key>): <reason>` comment on the offending line (or the
-//! line above) silences exactly one rule, and the reason is mandatory —
-//! a reasonless directive is itself reported (R0).
+//! Rules push *unfiltered* [`RawDiag`]s tagged with their allow key; the
+//! driver applies `// lint: allow(<key>): <reason>` directives in one
+//! place, tracking which directives actually suppressed something. A
+//! well-formed directive that suppresses nothing is itself reported
+//! (`R0:unused-allow`) — stale escape hatches rot into blanket waivers
+//! otherwise.
 
-use crate::analysis::{fn_bodies, innermost_body, test_mask};
+use crate::analysis::test_mask;
+use crate::callgraph::{FileModel, WorkspaceModel};
 use crate::diagnostics::Diagnostic;
-use crate::lexer::{lex, Kind, Lexed};
+use crate::lexer::Kind;
+use crate::taint;
 
 /// Crates whose runs must be bit-for-bit reproducible (Theorems 5.1/5.2
 /// only validate against deterministic executions). `dqs-obs` and
@@ -35,11 +39,15 @@ pub const RULE_KEYS: &[&str] = &[
     "panic",
     "unsafe",
     "event-purity",
+    "determinism-taint",
+    "charge-conservation",
+    "error-discard",
+    "snapshot-discipline",
 ];
 
 /// Identifiers banned in deterministic crates, with the suggested
 /// replacement shown in the diagnostic.
-const NONDETERMINISTIC_IDENTS: &[(&str, &str)] = &[
+pub(crate) const NONDETERMINISTIC_IDENTS: &[(&str, &str)] = &[
     (
         "Instant",
         "integer tick counters, or a dqs-obs span side-table",
@@ -111,45 +119,118 @@ pub fn crate_dir_to_name(dir: &str) -> &str {
     }
 }
 
-/// Lints one source file; the core entry point used by the workspace
-/// walker, the fixture tests, and the CI canary alike.
+/// One unfiltered finding: the file it belongs to, the allow key that may
+/// suppress it (`None` for findings no directive can waive), and the
+/// diagnostic itself.
+pub(crate) struct RawDiag {
+    /// Index into [`WorkspaceModel::files`].
+    pub file: usize,
+    /// Allow key, or `None` when the finding is not suppressible.
+    pub key: Option<&'static str>,
+    /// The rendered diagnostic.
+    pub diag: Diagnostic,
+}
+
+/// Lints a set of files as one workspace: per-file passes, the
+/// interprocedural passes over the shared call graph, then central allow
+/// filtering with unused-directive detection.
+pub fn lint_files(inputs: Vec<(FileCtx, String)>) -> Vec<Diagnostic> {
+    lint_model(&WorkspaceModel::build(inputs))
+}
+
+/// [`lint_files`] over an already-built model (the workspace walker
+/// builds one with dependency information).
+pub(crate) fn lint_model(model: &WorkspaceModel) -> Vec<Diagnostic> {
+    let mut raw: Vec<RawDiag> = Vec::new();
+    for (fi, fm) in model.files.iter().enumerate() {
+        let mask = test_mask(&fm.lexed.toks);
+        check_allow_directives(fi, fm, &mut raw);
+        rule_determinism(fi, fm, &mask, &mut raw);
+        rule_ledger_scope(fi, fm, &mask, &mut raw);
+        rule_panic(fi, fm, &mask, &mut raw);
+        rule_unsafe(fi, fm, &mask, &mut raw);
+        rule_event_purity(fi, fm, &mask, &mut raw);
+    }
+    let mut allow_used: Vec<Vec<bool>> = model
+        .files
+        .iter()
+        .map(|f| vec![false; f.lexed.allows.len()])
+        .collect();
+    taint::rule_determinism_taint(model, &mut raw, &mut allow_used);
+    taint::rule_charge_conservation(model, &mut raw);
+    taint::rule_error_discard(model, &mut raw);
+    taint::rule_snapshot_discipline(model, &mut raw);
+
+    // Central allow filter.
+    let mut out = Vec::new();
+    for r in raw {
+        if let Some(key) = r.key {
+            if let Some(ai) = model.files[r.file].lexed.allow_covering(r.diag.line, key) {
+                allow_used[r.file][ai] = true;
+                continue;
+            }
+        }
+        out.push(r.diag);
+    }
+    // Unused-allow detection: a well-formed directive that suppressed
+    // nothing (malformed ones were already reported by R0 above).
+    for (fi, fm) in model.files.iter().enumerate() {
+        for (ai, a) in fm.lexed.allows.iter().enumerate() {
+            if a.has_reason && RULE_KEYS.contains(&a.rule.as_str()) && !allow_used[fi][ai] {
+                out.push(Diagnostic {
+                    rule: "R0:unused-allow",
+                    path: fm.ctx.path.clone(),
+                    line: a.line,
+                    message: format!(
+                        "`lint: allow({})` suppresses nothing — remove the stale directive, \
+                         or move it onto the line it was meant to cover",
+                        a.rule
+                    ),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}
+
+/// Lints one source file in isolation; used by the fixture tests and the
+/// CI canary. Interprocedural rules see only this file's call graph.
 pub fn lint_source(ctx: &FileCtx, text: &str) -> Vec<Diagnostic> {
-    let lexed = lex(text);
-    let mask = test_mask(&lexed.toks);
-    let mut diags = Vec::new();
-    check_allow_directives(ctx, &lexed, &mut diags);
-    rule_determinism(ctx, &lexed, &mask, &mut diags);
-    rule_ledger_pairing(ctx, &lexed, &mask, &mut diags);
-    rule_panic(ctx, &lexed, &mask, &mut diags);
-    rule_unsafe(ctx, &lexed, &mask, &mut diags);
-    rule_event_purity(ctx, &lexed, &mask, &mut diags);
-    diags.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
-    diags
+    lint_files(vec![(ctx.clone(), text.to_string())])
 }
 
 /// R0: every allow directive must name a known rule and carry a reason.
-fn check_allow_directives(ctx: &FileCtx, lexed: &Lexed, diags: &mut Vec<Diagnostic>) {
-    for a in &lexed.allows {
+fn check_allow_directives(fi: usize, fm: &FileModel, raw: &mut Vec<RawDiag>) {
+    for a in &fm.lexed.allows {
         if !RULE_KEYS.contains(&a.rule.as_str()) {
-            diags.push(Diagnostic {
-                rule: "R0:allow-directive",
-                path: ctx.path.clone(),
-                line: a.line,
-                message: format!(
-                    "unknown lint rule `{}` in allow directive (known: {})",
-                    a.rule,
-                    RULE_KEYS.join(", ")
-                ),
+            raw.push(RawDiag {
+                file: fi,
+                key: None,
+                diag: Diagnostic {
+                    rule: "R0:allow-directive",
+                    path: fm.ctx.path.clone(),
+                    line: a.line,
+                    message: format!(
+                        "unknown lint rule `{}` in allow directive (known: {})",
+                        a.rule,
+                        RULE_KEYS.join(", ")
+                    ),
+                },
             });
         } else if !a.has_reason {
-            diags.push(Diagnostic {
-                rule: "R0:allow-directive",
-                path: ctx.path.clone(),
-                line: a.line,
-                message: format!(
-                    "`lint: allow({})` needs a reason: `// lint: allow({}): <why this is sound>`",
-                    a.rule, a.rule
-                ),
+            raw.push(RawDiag {
+                file: fi,
+                key: None,
+                diag: Diagnostic {
+                    rule: "R0:allow-directive",
+                    path: fm.ctx.path.clone(),
+                    line: a.line,
+                    message: format!(
+                        "`lint: allow({})` needs a reason: `// lint: allow({}): <why this is sound>`",
+                        a.rule, a.rule
+                    ),
+                },
             });
         }
     }
@@ -157,11 +238,11 @@ fn check_allow_directives(ctx: &FileCtx, lexed: &Lexed, diags: &mut Vec<Diagnost
 
 /// R1: deterministic crates must not touch wall clocks, OS-seeded RNGs, or
 /// randomly-seeded hash collections.
-fn rule_determinism(ctx: &FileCtx, lexed: &Lexed, mask: &[bool], diags: &mut Vec<Diagnostic>) {
-    if !DETERMINISTIC_CRATES.contains(&ctx.crate_name.as_str()) {
+fn rule_determinism(fi: usize, fm: &FileModel, mask: &[bool], raw: &mut Vec<RawDiag>) {
+    if !DETERMINISTIC_CRATES.contains(&fm.ctx.crate_name.as_str()) {
         return;
     }
-    for (i, t) in lexed.toks.iter().enumerate() {
+    for (i, t) in fm.lexed.toks.iter().enumerate() {
         if t.kind != Kind::Ident || mask[i] {
             continue;
         }
@@ -169,92 +250,65 @@ fn rule_determinism(ctx: &FileCtx, lexed: &Lexed, mask: &[bool], diags: &mut Vec
             .iter()
             .find(|(name, _)| *name == t.text)
         {
-            if lexed.allowed(t.line, "determinism") {
-                continue;
-            }
-            diags.push(Diagnostic {
-                rule: "R1:determinism",
-                path: ctx.path.clone(),
-                line: t.line,
-                message: format!(
-                    "`{}` is nondeterministic and `{}` is a deterministic crate \
-                     (exact replay underpins the Theorem 5.1/5.2 experiments); use {}",
-                    t.text, ctx.crate_name, fix
-                ),
+            raw.push(RawDiag {
+                file: fi,
+                key: Some("determinism"),
+                diag: Diagnostic {
+                    rule: "R1:determinism",
+                    path: fm.ctx.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`{}` is nondeterministic and `{}` is a deterministic crate \
+                         (exact replay underpins the Theorem 5.1/5.2 experiments); use {}",
+                        t.text, fm.ctx.crate_name, fix
+                    ),
+                },
             });
         }
     }
 }
 
-/// R2: every `QueryLedger` charge inside `dqs-db` must emit its matching
-/// obs counter in the same function, and no other crate may charge the
-/// ledger directly — oracle applications go through the charging wrappers.
-fn rule_ledger_pairing(ctx: &FileCtx, lexed: &Lexed, mask: &[bool], diags: &mut Vec<Diagnostic>) {
-    const CHARGES: &[(&str, &str)] = &[
-        ("record_sequential", "ORACLE_QUERY"),
-        ("record_parallel_round", "ORACLE_ROUND"),
-    ];
-    let in_db = ctx.crate_name == "dqs-db";
-    let bodies = if in_db {
-        fn_bodies(&lexed.toks)
-    } else {
-        Vec::new()
-    };
-    for (i, t) in lexed.toks.iter().enumerate() {
-        if t.kind != Kind::Ident || mask[i] {
+/// R2: no crate other than dqs-db may charge the `QueryLedger` directly —
+/// oracle applications go through the charging wrappers. (Charge/counter
+/// *pairing* is R7's interprocedural walk.)
+fn rule_ledger_scope(fi: usize, fm: &FileModel, mask: &[bool], raw: &mut Vec<RawDiag>) {
+    const CHARGES: &[&str] = &["record_sequential", "record_parallel_round"];
+    if fm.ctx.crate_name == "dqs-db" {
+        return;
+    }
+    for (i, t) in fm.lexed.toks.iter().enumerate() {
+        if t.kind != Kind::Ident || mask[i] || !CHARGES.contains(&t.text.as_str()) {
             continue;
         }
-        let Some((_, counter_name)) = CHARGES.iter().find(|(c, _)| *c == t.text) else {
-            continue;
-        };
-        // Skip the method *definitions* in counter.rs (`fn record_...`).
-        if i > 0 && lexed.toks[i - 1].text == "fn" {
+        // Skip method *definitions* (`fn record_...`) — fixture corpora
+        // may declare them anywhere.
+        if i > 0 && fm.lexed.toks[i - 1].text == "fn" {
             continue;
         }
-        if lexed.allowed(t.line, "ledger-pairing") {
-            continue;
-        }
-        if !in_db {
-            diags.push(Diagnostic {
+        raw.push(RawDiag {
+            file: fi,
+            key: Some("ledger-pairing"),
+            diag: Diagnostic {
                 rule: "R2:ledger-pairing",
-                path: ctx.path.clone(),
+                path: fm.ctx.path.clone(),
                 line: t.line,
                 message: format!(
                     "`{}` charged outside dqs-db: oracle queries must be billed through the \
-                     dqs-db charging wrappers (OracleSet::apply_*/charge_* or FaultyOracleSet::probe_*), \
-                     which pair every charge with its obs counter",
+                     dqs-db charging wrappers (OracleSet::apply_*/charge_* or \
+                     FaultyOracleSet::probe_*), which pair every charge with its obs counter",
                     t.text
                 ),
-            });
-            continue;
-        }
-        let Some((s, e)) = innermost_body(&bodies, i) else {
-            continue;
-        };
-        let paired = lexed.toks[s..=e]
-            .iter()
-            .any(|u| u.kind == Kind::Ident && u.text == *counter_name);
-        if !paired {
-            diags.push(Diagnostic {
-                rule: "R2:ledger-pairing",
-                path: ctx.path.clone(),
-                line: t.line,
-                message: format!(
-                    "`{}` has no matching `dqs_obs::names::{}` emission in the same function; \
-                     ledger reconciliation (dqs-obs) requires the two accountings to move together",
-                    t.text, counter_name
-                ),
-            });
-        }
+            },
+        });
     }
 }
 
 /// R3: no `unwrap()`/`expect()` in non-test library code.
-fn rule_panic(ctx: &FileCtx, lexed: &Lexed, mask: &[bool], diags: &mut Vec<Diagnostic>) {
-    if PANIC_EXEMPT_CRATES.contains(&ctx.crate_name.as_str()) {
+fn rule_panic(fi: usize, fm: &FileModel, mask: &[bool], raw: &mut Vec<RawDiag>) {
+    if PANIC_EXEMPT_CRATES.contains(&fm.ctx.crate_name.as_str()) {
         return;
     }
-    let toks = &lexed.toks;
+    let toks = &fm.lexed.toks;
     for i in 0..toks.len() {
         if toks[i].text != "." || toks[i].kind != Kind::Punct {
             continue;
@@ -268,58 +322,70 @@ fn rule_panic(ctx: &FileCtx, lexed: &Lexed, mask: &[bool], diags: &mut Vec<Diagn
         if !matches!(toks.get(i + 2), Some(p) if p.text == "(") {
             continue;
         }
-        if mask[i + 1] || lexed.allowed(name.line, "panic") {
+        if mask[i + 1] {
             continue;
         }
-        diags.push(Diagnostic {
-            rule: "R3:panic",
-            path: ctx.path.clone(),
-            line: name.line,
-            message: format!(
-                "`.{}()` in library code: propagate a typed error (`SampleError`/`OracleError`) \
-                 or, if the panic is provably unreachable, annotate \
-                 `// lint: allow(panic): <why it cannot fire>`",
-                name.text
-            ),
+        raw.push(RawDiag {
+            file: fi,
+            key: Some("panic"),
+            diag: Diagnostic {
+                rule: "R3:panic",
+                path: fm.ctx.path.clone(),
+                line: name.line,
+                message: format!(
+                    "`.{}()` in library code: propagate a typed error (`SampleError`/`OracleError`) \
+                     or, if the panic is provably unreachable, annotate \
+                     `// lint: allow(panic): <why it cannot fire>`",
+                    name.text
+                ),
+            },
         });
     }
 }
 
 /// R4: crate roots must carry `#![forbid(unsafe_code)]`, and any `unsafe`
 /// token needs a `// SAFETY:` justification.
-fn rule_unsafe(ctx: &FileCtx, lexed: &Lexed, mask: &[bool], diags: &mut Vec<Diagnostic>) {
-    if ctx.is_crate_root {
-        let toks = &lexed.toks;
+fn rule_unsafe(fi: usize, fm: &FileModel, mask: &[bool], raw: &mut Vec<RawDiag>) {
+    if fm.ctx.is_crate_root {
+        let toks = &fm.lexed.toks;
         let attr = &["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"];
         let has_forbid = (0..toks.len().saturating_sub(attr.len() - 1))
             .any(|i| attr.iter().enumerate().all(|(k, w)| toks[i + k].text == *w));
-        if !has_forbid && !lexed.allowed(1, "unsafe") {
-            diags.push(Diagnostic {
-                rule: "R4:unsafe",
-                path: ctx.path.clone(),
-                line: 1,
-                message: "crate root is missing `#![forbid(unsafe_code)]` (this workspace is \
-                          unsafe-free; the attribute keeps it that way)"
-                    .to_string(),
+        if !has_forbid {
+            raw.push(RawDiag {
+                file: fi,
+                key: Some("unsafe"),
+                diag: Diagnostic {
+                    rule: "R4:unsafe",
+                    path: fm.ctx.path.clone(),
+                    line: 1,
+                    message: "crate root is missing `#![forbid(unsafe_code)]` (this workspace is \
+                              unsafe-free; the attribute keeps it that way)"
+                        .to_string(),
+                },
             });
         }
     }
-    for (i, t) in lexed.toks.iter().enumerate() {
+    for (i, t) in fm.lexed.toks.iter().enumerate() {
         if t.kind != Kind::Ident || t.text != "unsafe" || mask[i] {
             continue;
         }
         // `forbid(unsafe_code)` mentions are handled above; `unsafe_code`
         // is a different ident, so any `unsafe` here is a real block/fn/impl.
-        if lexed.safety_near(t.line) || lexed.allowed(t.line, "unsafe") {
+        if fm.lexed.safety_near(t.line) {
             continue;
         }
-        diags.push(Diagnostic {
-            rule: "R4:unsafe",
-            path: ctx.path.clone(),
-            line: t.line,
-            message: "`unsafe` without a `// SAFETY:` comment on it (or the line above) \
-                      explaining why the invariants hold"
-                .to_string(),
+        raw.push(RawDiag {
+            file: fi,
+            key: Some("unsafe"),
+            diag: Diagnostic {
+                rule: "R4:unsafe",
+                path: fm.ctx.path.clone(),
+                line: t.line,
+                message: "`unsafe` without a `// SAFETY:` comment on it (or the line above) \
+                          explaining why the invariants hold"
+                    .to_string(),
+            },
         });
     }
 }
@@ -330,35 +396,43 @@ const EVENT_STREAM_FILES: &[&str] = &["crates/obs/src/event.rs"];
 
 /// R5: the event stream carries only static names and integers — no float
 /// payloads, no float formatting.
-fn rule_event_purity(ctx: &FileCtx, lexed: &Lexed, mask: &[bool], diags: &mut Vec<Diagnostic>) {
-    if ctx.crate_name != "dqs-obs" || !EVENT_STREAM_FILES.contains(&ctx.path.as_str()) {
+fn rule_event_purity(fi: usize, fm: &FileModel, mask: &[bool], raw: &mut Vec<RawDiag>) {
+    if fm.ctx.crate_name != "dqs-obs" || !EVENT_STREAM_FILES.contains(&fm.ctx.path.as_str()) {
         return;
     }
-    for (i, t) in lexed.toks.iter().enumerate() {
-        if mask[i] || lexed.allowed(t.line, "event-purity") {
+    for (i, t) in fm.lexed.toks.iter().enumerate() {
+        if mask[i] {
             continue;
         }
         if t.kind == Kind::Ident && (t.text == "f64" || t.text == "f32") {
-            diags.push(Diagnostic {
-                rule: "R5:event-purity",
-                path: ctx.path.clone(),
-                line: t.line,
-                message: format!(
-                    "`{}` in the event-stream emission path: floats differ in the last ulp \
-                     across backends and would break stream bit-identity; aggregate them in \
-                     the recorder's float side-table instead",
-                    t.text
-                ),
+            raw.push(RawDiag {
+                file: fi,
+                key: Some("event-purity"),
+                diag: Diagnostic {
+                    rule: "R5:event-purity",
+                    path: fm.ctx.path.clone(),
+                    line: t.line,
+                    message: format!(
+                        "`{}` in the event-stream emission path: floats differ in the last ulp \
+                         across backends and would break stream bit-identity; aggregate them in \
+                         the recorder's float side-table instead",
+                        t.text
+                    ),
+                },
             });
         }
         if t.kind == Kind::Str && (t.text.contains("{:.") || t.text.contains(":e}")) {
-            diags.push(Diagnostic {
-                rule: "R5:event-purity",
-                path: ctx.path.clone(),
-                line: t.line,
-                message: "float formatting in an event-stream string: the JSONL stream must \
-                          render integers and static names only"
-                    .to_string(),
+            raw.push(RawDiag {
+                file: fi,
+                key: Some("event-purity"),
+                diag: Diagnostic {
+                    rule: "R5:event-purity",
+                    path: fm.ctx.path.clone(),
+                    line: t.line,
+                    message: "float formatting in an event-stream string: the JSONL stream must \
+                              render integers and static names only"
+                        .to_string(),
+                },
             });
         }
     }
@@ -398,5 +472,45 @@ mod tests {
             "#![forbid(unsafe_code)]\nuse std::time::Instant;\nfn f() { let _ = Instant::now(); }",
         );
         assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn used_allow_is_silent_unused_allow_reports() {
+        // The directive suppresses a real R3 hit: no diagnostics at all.
+        let used = lint(
+            "crates/core/src/x.rs",
+            "fn f(v: Option<u32>) -> u32 {\n\
+             // lint: allow(panic): checked by the caller\n\
+             v.unwrap()\n}",
+        );
+        assert!(used.is_empty(), "{used:?}");
+        // The same directive over clean code is itself a finding.
+        let unused = lint(
+            "crates/core/src/x.rs",
+            "fn f(v: u32) -> u32 {\n\
+             // lint: allow(panic): checked by the caller\n\
+             v + 1\n}",
+        );
+        assert_eq!(unused.len(), 1, "{unused:?}");
+        assert_eq!(unused[0].rule, "R0:unused-allow");
+        assert_eq!(unused[0].line, 2);
+    }
+
+    #[test]
+    fn cross_file_taint_is_found_by_lint_files() {
+        let diags = lint_files(vec![
+            (
+                FileCtx::from_rel_path("crates/core/src/a.rs"),
+                "pub fn sample() { helper(); }".to_string(),
+            ),
+            (
+                FileCtx::from_rel_path("crates/obs/src/b.rs"),
+                "pub fn helper() { let t = Instant::now(); }".to_string(),
+            ),
+        ]);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "R6:determinism-taint");
+        assert_eq!(diags[0].path, "crates/core/src/a.rs");
+        assert!(diags[0].message.contains("helper"), "{}", diags[0].message);
     }
 }

@@ -1,0 +1,592 @@
+//! Phase-2 interprocedural rules (R6–R9) over the workspace model.
+//!
+//! Each rule is a reachability question on the call graph built by
+//! [`crate::callgraph`]:
+//!
+//! * **R6 determinism taint** — nondeterminism *sources* (wall clocks,
+//!   OS-seeded RNGs, randomly-seeded hash collections) taint every
+//!   function that can reach them; a tainted `pub fn` in a deterministic
+//!   crate is a violation, reported with the full call chain. A
+//!   `// lint: allow(determinism-taint): <why>` on a function definition
+//!   is a *barrier*: taint stops there (the function vouches that the
+//!   nondeterminism does not escape into its results).
+//! * **R7 charge conservation** — every charge reaches its obs counter,
+//!   every consumer of oracle answers reaches a `QueryLedger` charge, and
+//!   every public sampling entry point that touches oracle data is billed
+//!   on some path. This replaces R2's same-function pairing restriction
+//!   with a whole-graph walk.
+//! * **R8 error-propagation hygiene** — `let _ = ..;` / `..().ok();` may
+//!   not discard a `Result` produced in another crate, and public APIs
+//!   must not return stringly-typed errors.
+//! * **R9 snapshot discipline** — a function working on a pinned
+//!   `DatasetSnapshot` must not reach a version-advancing API in the same
+//!   call chain.
+//!
+//! Rules push *unfiltered* [`RawDiag`]s; the central filter in
+//! [`crate::rules`] applies `// lint: allow` directives and tracks which
+//! directives actually suppressed something (unused ones are themselves
+//! reported).
+
+use crate::analysis::test_mask;
+use crate::callgraph::WorkspaceModel;
+use crate::diagnostics::Diagnostic;
+use crate::lexer::Kind;
+use crate::rules::{RawDiag, DETERMINISTIC_CRATES, NONDETERMINISTIC_IDENTS};
+
+/// Harness crates exempt from the public-API typed-error requirement
+/// (R8): top-level experiment drivers report failures to humans.
+const HARNESS_CRATES: &[&str] = &["dqs-bench"];
+
+/// Ledger charges and the obs counter each must emit (shared with R2's
+/// scope check).
+const CHARGE_PAIRS: &[(&str, &str)] = &[
+    ("record_sequential", "ORACLE_QUERY"),
+    ("record_parallel_round", "ORACLE_ROUND"),
+];
+
+/// `(self type, method)` pairs that hand out per-machine oracle answers —
+/// the reads R7 requires a reachable charge for.
+const ORACLE_READS: &[(&str, &str)] = &[
+    ("OracleSet", "effective_multiplicity"),
+    ("OracleSet", "effective_total"),
+    ("OracleSet", "total_table"),
+    ("FaultyOracleSet", "answered_count"),
+    ("FaultyOracleSet", "answered_count_table"),
+    ("FaultyOracleSet", "answered_total_table"),
+];
+
+/// Name prefixes of the public sampling entry points R7(c) audits.
+const ENTRY_PREFIXES: &[&str] = &["sequential_", "parallel_", "estimate_", "replay_"];
+
+/// R6: interprocedural determinism taint.
+pub(crate) fn rule_determinism_taint(
+    m: &WorkspaceModel,
+    raw: &mut Vec<RawDiag>,
+    allow_used: &mut [Vec<bool>],
+) {
+    // Seeds: functions whose bodies contain an unsanctioned
+    // nondeterministic identifier (first occurrence remembered for the
+    // diagnostic). `allow(determinism)` sanctions the *occurrence* — R1's
+    // escape hatch also stops it from seeding taint.
+    let mut seed_info: std::collections::BTreeMap<usize, (String, u32)> =
+        std::collections::BTreeMap::new();
+    for (id, f) in m.fns.iter().enumerate() {
+        let Some((s, e)) = f.item.body else {
+            continue;
+        };
+        let lexed = &m.files[f.file].lexed;
+        for t in &lexed.toks[s..=e] {
+            if t.kind == Kind::Ident
+                && NONDETERMINISTIC_IDENTS.iter().any(|(n, _)| *n == t.text)
+                && !lexed.allowed(t.line, "determinism")
+            {
+                seed_info.insert(id, (t.text.clone(), t.line));
+                break;
+            }
+        }
+    }
+    let barrier = |id: usize| {
+        let f = &m.fns[id];
+        m.files[f.file]
+            .lexed
+            .allow_covering(f.item.line, "determinism-taint")
+            .is_some()
+    };
+    let seeds: Vec<usize> = seed_info.keys().copied().collect();
+    let (marked, via) = m.propagate_up(&seeds, barrier);
+
+    // A barrier directive is *used* iff taint actually arrives at it —
+    // either the function is a seed itself, or a callee is tainted.
+    for (id, f) in m.fns.iter().enumerate() {
+        let Some(ai) = m.files[f.file]
+            .lexed
+            .allow_covering(f.item.line, "determinism-taint")
+        else {
+            continue;
+        };
+        if seed_info.contains_key(&id) || m.edges[id].iter().any(|&v| marked[v]) {
+            allow_used[f.file][ai] = true;
+        }
+    }
+
+    for (id, f) in m.fns.iter().enumerate() {
+        if !marked[id]
+            || !f.item.is_pub
+            || seed_info.contains_key(&id) // the occurrence itself is R1's report
+            || !DETERMINISTIC_CRATES.contains(&f.crate_name.as_str())
+        {
+            continue;
+        }
+        let chain_ids = m.taint_chain(&via, id);
+        let Some(&seed) = chain_ids.last() else {
+            continue;
+        };
+        let (ident, line) = &seed_info[&seed];
+        raw.push(RawDiag {
+            file: f.file,
+            key: Some("determinism-taint"),
+            diag: Diagnostic {
+                rule: "R6:determinism-taint",
+                path: f.path.clone(),
+                line: f.item.line,
+                message: format!(
+                    "pub fn `{}` in deterministic crate {} can reach nondeterministic \
+                     `{}` ({}:{}) via {}; exact replay (Theorems 5.1/5.2) forbids this — \
+                     cut the chain, or mark the sanctioned boundary fn with \
+                     `// lint: allow(determinism-taint): <why it cannot escape>`",
+                    f.item.name,
+                    f.crate_name,
+                    ident,
+                    m.fns[seed].path,
+                    line,
+                    m.render_chain(&chain_ids),
+                ),
+            },
+        });
+    }
+}
+
+/// R7: charge conservation across the call graph.
+pub(crate) fn rule_charge_conservation(m: &WorkspaceModel, raw: &mut Vec<RawDiag>) {
+    let n = m.fns.len();
+    // Recorders: functions whose bodies charge the ledger (the charge
+    // method definitions themselves don't count).
+    let recorder: Vec<bool> = (0..n)
+        .map(|id| {
+            CHARGE_PAIRS
+                .iter()
+                .any(|(c, _)| m.fns[id].item.name != *c && m.body_contains_ident(id, c))
+        })
+        .collect();
+    let is_read: Vec<bool> = (0..n)
+        .map(|id| {
+            let f = &m.fns[id];
+            f.item
+                .self_type
+                .as_deref()
+                .is_some_and(|t| ORACLE_READS.contains(&(t, f.item.name.as_str())))
+        })
+        .collect();
+
+    // (a) Every charge site reaches its paired obs counter emission —
+    // same body or anywhere in the call chain below it.
+    for (id, &is_recorder) in recorder.iter().enumerate() {
+        if !is_recorder {
+            continue;
+        }
+        for (chg, counter) in CHARGE_PAIRS {
+            if m.fns[id].item.name == *chg || !m.body_contains_ident(id, chg) {
+                continue;
+            }
+            let paired = m.body_contains_ident(id, counter) || {
+                let pred = m.bfs(id, |_| false);
+                pred.keys().any(|&v| m.body_contains_ident(v, counter))
+            };
+            if paired {
+                continue;
+            }
+            let f = &m.fns[id];
+            let line = m.body_ident_line(id, chg).unwrap_or(f.item.line);
+            raw.push(RawDiag {
+                file: f.file,
+                key: Some("charge-conservation"),
+                diag: Diagnostic {
+                    rule: "R7:charge-conservation",
+                    path: f.path.clone(),
+                    line,
+                    message: format!(
+                        "`{}` charged in `{}` with no `dqs_obs::names::{}` emission anywhere \
+                         in the call chain below it; ledger reconciliation requires the two \
+                         accountings to move together",
+                        chg,
+                        f.qualified_name(),
+                        counter
+                    ),
+                },
+            });
+        }
+    }
+
+    // (b) A function that directly consumes oracle answers must have a
+    // ledger charge reachable from it (possibly the read's own caller
+    // chain probes first — transitive reach is what's audited).
+    for id in 0..n {
+        let f = &m.fns[id];
+        if is_read[id] || recorder[id] || !DETERMINISTIC_CRATES.contains(&f.crate_name.as_str()) {
+            continue;
+        }
+        let Some(&rd) = m.edges[id].iter().find(|&&v| is_read[v]) else {
+            continue;
+        };
+        let pred = m.bfs(id, |_| false);
+        if pred.keys().any(|&v| recorder[v]) {
+            continue;
+        }
+        let line = m.edge_line(id, rd).unwrap_or(f.item.line);
+        raw.push(RawDiag {
+            file: f.file,
+            key: Some("charge-conservation"),
+            diag: Diagnostic {
+                rule: "R7:charge-conservation",
+                path: f.path.clone(),
+                line,
+                message: format!(
+                    "`{}` consumes oracle answers via `{}` but no `QueryLedger` charge is \
+                     reachable from it; route the read through a charging wrapper, or \
+                     annotate `// lint: allow(charge-conservation): <who billed these answers>`",
+                    f.qualified_name(),
+                    m.fns[rd].qualified_name()
+                ),
+            },
+        });
+    }
+
+    // (c) Public sampling entry points that reach oracle reads must be
+    // billed on some path.
+    for id in 0..n {
+        let f = &m.fns[id];
+        if !f.item.is_pub
+            || f.item.self_type.is_some()
+            || f.crate_name != "dqs-core"
+            || !ENTRY_PREFIXES.iter().any(|p| f.item.name.starts_with(p))
+        {
+            continue;
+        }
+        let pred = m.bfs(id, |_| false);
+        if !pred.keys().any(|&v| is_read[v]) {
+            continue;
+        }
+        if recorder[id] || pred.keys().any(|&v| recorder[v]) {
+            continue;
+        }
+        raw.push(RawDiag {
+            file: f.file,
+            key: Some("charge-conservation"),
+            diag: Diagnostic {
+                rule: "R7:charge-conservation",
+                path: f.path.clone(),
+                line: f.item.line,
+                message: format!(
+                    "public sampling entry point `{}` reaches oracle reads but no \
+                     `QueryLedger` charge on any path; every query must be billed \
+                     (Theorem 4.3 exactness is an accounting claim)",
+                    f.item.name
+                ),
+            },
+        });
+    }
+}
+
+/// R8: error-propagation hygiene.
+pub(crate) fn rule_error_discard(m: &WorkspaceModel, raw: &mut Vec<RawDiag>) {
+    // (a) `let _ = ..;` and `..().ok();` discarding a cross-crate Result.
+    for (fi, fm) in m.files.iter().enumerate() {
+        let toks = &fm.lexed.toks;
+        let mask = test_mask(toks);
+        let mut i = 0;
+        while i + 2 < toks.len() {
+            if toks[i].text == "let"
+                && toks[i].kind == Kind::Ident
+                && !mask[i]
+                && toks[i + 1].text == "_"
+                && toks[i + 2].text == "="
+            {
+                // Statement span: up to the terminating `;` at depth 0.
+                let mut depth = 0i32;
+                let mut end = toks.len();
+                for (j, t) in toks.iter().enumerate().skip(i + 3) {
+                    match t.text.as_str() {
+                        "(" | "[" | "{" => depth += 1,
+                        ")" | "]" | "}" => depth -= 1,
+                        ";" if depth == 0 => {
+                            end = j;
+                            break;
+                        }
+                        _ => {}
+                    }
+                }
+                if let Some(callee) = cross_crate_result_call(m, fi, i + 3, end) {
+                    raw.push(RawDiag {
+                        file: fi,
+                        key: Some("error-discard"),
+                        diag: Diagnostic {
+                            rule: "R8:error-discard",
+                            path: fm.ctx.path.clone(),
+                            line: toks[i].line,
+                            message: format!(
+                                "`let _ =` discards the `Result` from `{callee}` across a \
+                                 crate boundary; handle it, or propagate a typed error with `?`"
+                            ),
+                        },
+                    });
+                }
+                i = end;
+            }
+            i += 1;
+        }
+        for j in 1..toks.len() {
+            if toks[j].text != "."
+                || !matches!(toks.get(j + 1), Some(t) if t.text == "ok" && !mask[j + 1])
+                || !matches!(toks.get(j + 2), Some(t) if t.text == "(")
+                || !matches!(toks.get(j + 3), Some(t) if t.text == ")")
+                || !matches!(toks.get(j + 4), Some(t) if t.text == ";")
+            {
+                continue;
+            }
+            // Only a call receiver can be resolved: `f(..).ok();`.
+            if toks[j - 1].text != ")" {
+                continue;
+            }
+            let mut depth = 0i32;
+            let mut open = None;
+            for k in (0..j).rev() {
+                match toks[k].text.as_str() {
+                    ")" => depth += 1,
+                    "(" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            open = Some(k);
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let Some(open) = open else {
+                continue;
+            };
+            if open == 0 || toks[open - 1].kind != Kind::Ident {
+                continue;
+            }
+            if let Some(callee) = cross_crate_result_call(m, fi, open - 1, open + 1) {
+                raw.push(RawDiag {
+                    file: fi,
+                    key: Some("error-discard"),
+                    diag: Diagnostic {
+                        rule: "R8:error-discard",
+                        path: fm.ctx.path.clone(),
+                        line: toks[j + 1].line,
+                        message: format!(
+                            "`.ok()` discards the `Result` from `{callee}` across a crate \
+                             boundary; handle it, or propagate a typed error with `?`"
+                        ),
+                    },
+                });
+            }
+        }
+    }
+
+    // (b) Public APIs must return typed errors.
+    for f in &m.fns {
+        if !f.item.is_pub || HARNESS_CRATES.contains(&f.crate_name.as_str()) {
+            continue;
+        }
+        let Some(err) = stringly_error(&f.item.ret) else {
+            continue;
+        };
+        raw.push(RawDiag {
+            file: f.file,
+            key: Some("error-discard"),
+            diag: Diagnostic {
+                rule: "R8:error-discard",
+                path: f.path.clone(),
+                line: f.item.line,
+                message: format!(
+                    "pub fn `{}` returns `Result<_, {err}>`: stringly-typed errors cannot \
+                     be matched on by callers; use a typed error (`ServeError`, \
+                     `SampleError`, or a crate error enum)",
+                    f.item.name
+                ),
+            },
+        });
+    }
+}
+
+/// Finds a call head in token span `[s, e)` of file `fi` that resolves to
+/// a `Result`-returning function defined in a crate the file's crate
+/// depends on (i.e. genuinely crosses a crate boundary). Returns the
+/// callee's qualified name.
+fn cross_crate_result_call(m: &WorkspaceModel, fi: usize, s: usize, e: usize) -> Option<String> {
+    let toks = &m.files[fi].lexed.toks;
+    let my_crate = &m.files[fi].ctx.crate_name;
+    for j in s..e.min(toks.len()) {
+        if toks[j].kind != Kind::Ident {
+            continue;
+        }
+        if !matches!(toks.get(j + 1), Some(t) if t.text == "(") {
+            continue;
+        }
+        let is_method = j >= 1 && toks[j - 1].text == ".";
+        let qualifier = (!is_method
+            && j >= 3
+            && toks[j - 1].text == ":"
+            && toks[j - 2].text == ":"
+            && toks[j - 3].kind == Kind::Ident)
+            .then(|| toks[j - 3].text.as_str());
+        for f in &m.fns {
+            if f.item.name != toks[j].text
+                || f.crate_name == *my_crate
+                || !m.dep_allowed(my_crate, &f.crate_name)
+            {
+                continue;
+            }
+            // The definition's shape must fit the call syntax.
+            let fits = match (&f.item.self_type, is_method, qualifier) {
+                (Some(_), true, _) => true,
+                (Some(t), false, Some(q)) => t == q,
+                (None, false, None) => true,
+                (None, false, Some(q)) => q.chars().next().is_some_and(char::is_lowercase),
+                _ => false,
+            };
+            if fits && f.item.ret.iter().any(|t| t == "Result") {
+                return Some(f.qualified_name());
+            }
+        }
+    }
+    None
+}
+
+/// `Result<..>` return whose error (last top-level) argument is `String`
+/// or a `Box`. Single-argument aliases (`io::Result<T>`) never match.
+fn stringly_error(ret: &[String]) -> Option<&'static str> {
+    let p = ret.iter().position(|t| t == "Result")?;
+    if ret.get(p + 1).map(String::as_str) != Some("<") {
+        return None;
+    }
+    let mut depth = 1usize;
+    let mut segs: Vec<(usize, usize)> = Vec::new();
+    let mut seg_start = p + 2;
+    for (j, t) in ret.iter().enumerate().skip(p + 2) {
+        match t.as_str() {
+            "<" | "(" | "[" => depth += 1,
+            ">" | ")" | "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    segs.push((seg_start, j));
+                    break;
+                }
+            }
+            "," if depth == 1 => {
+                segs.push((seg_start, j));
+                seg_start = j + 1;
+            }
+            _ => {}
+        }
+    }
+    let (s, e) = match segs[..] {
+        [_, .., last] => last,
+        _ => return None, // single-arg alias (`io::Result<T>`) or unclosed
+    };
+    let err = &ret[s..e];
+    if err.iter().any(|t| t == "String") {
+        Some("String")
+    } else if err.iter().any(|t| t == "Box") {
+        Some("Box<dyn Error>")
+    } else {
+        None
+    }
+}
+
+/// R9: snapshot discipline.
+pub(crate) fn rule_snapshot_discipline(m: &WorkspaceModel, raw: &mut Vec<RawDiag>) {
+    let n = m.fns.len();
+    let mutator = |id: usize| {
+        let f = &m.fns[id];
+        let t = f.item.self_type.as_deref();
+        matches!(
+            (t, f.item.name.as_str()),
+            (Some("DatasetSnapshot"), "with_updates" | "try_with_updates")
+                | (
+                    Some("SamplingService"),
+                    "apply_update" | "apply_update_checked"
+                )
+        ) || takes_mut_dataset(&f.item.params)
+            || (t == Some("DistributedDataset") && takes_mut_self(&f.item.params))
+    };
+    let acquirer = |id: usize| {
+        let f = &m.fns[id];
+        matches!(
+            (f.item.self_type.as_deref(), f.item.name.as_str()),
+            (Some("SamplingService"), "snapshot") | (Some("DatasetSnapshot"), "new")
+        )
+    };
+    for id in 0..n {
+        if mutator(id) || acquirer(id) {
+            continue;
+        }
+        let f = &m.fns[id];
+        let pinned = f.item.params.iter().any(|t| t == "DatasetSnapshot")
+            || m.edges[id].iter().any(|&v| acquirer(v));
+        if !pinned {
+            continue;
+        }
+        let pred = m.bfs(id, |_| false);
+        let Some(&bad) = pred.keys().find(|&&v| mutator(v)) else {
+            continue;
+        };
+        raw.push(RawDiag {
+            file: f.file,
+            key: Some("snapshot-discipline"),
+            diag: Diagnostic {
+                rule: "R9:snapshot-discipline",
+                path: f.path.clone(),
+                line: f.item.line,
+                message: format!(
+                    "`{}` works on a pinned `DatasetSnapshot` but its call chain reaches \
+                     the version-advancing `{}`: {}; snapshot readers must not also mutate \
+                     (sample bit-identity is pinned to the snapshot version), or annotate \
+                     `// lint: allow(snapshot-discipline): <why the mutation is the point>`",
+                    f.qualified_name(),
+                    m.fns[bad].qualified_name(),
+                    m.chain(&pred, id, bad)
+                ),
+            },
+        });
+    }
+}
+
+/// `.. mut DistributedDataset ..` anywhere in a parameter list.
+fn takes_mut_dataset(params: &[String]) -> bool {
+    params
+        .windows(2)
+        .any(|w| w[0] == "mut" && w[1] == "DistributedDataset")
+}
+
+/// Parameter list starting `&mut self`.
+fn takes_mut_self(params: &[String]) -> bool {
+    params.first().map(String::as_str) == Some("&")
+        && params.get(1).map(String::as_str) == Some("mut")
+        && params.get(2).map(String::as_str) == Some("self")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::stringly_error;
+
+    fn toks(s: &str) -> Vec<String> {
+        crate::lexer::lex(s)
+            .toks
+            .iter()
+            .map(|t| t.text.clone())
+            .collect()
+    }
+
+    #[test]
+    fn stringly_error_detection() {
+        assert_eq!(
+            stringly_error(&toks("Result<Self, String>")),
+            Some("String")
+        );
+        assert_eq!(
+            stringly_error(&toks("Result<(), Box<dyn Error>>")),
+            Some("Box<dyn Error>")
+        );
+        assert_eq!(stringly_error(&toks("Result<u32, SampleError>")), None);
+        assert_eq!(
+            stringly_error(&toks("io::Result<Vec<String>>")),
+            None,
+            "single-arg alias: the String is the Ok payload"
+        );
+        assert_eq!(stringly_error(&toks("Vec<String>")), None);
+    }
+}

@@ -7,10 +7,16 @@
 //! `[workspace.lints]` table (rustc-level `unsafe_code = "forbid"`) covers
 //! those targets at compile time.
 
+use crate::baseline::Baseline;
+use crate::callgraph::WorkspaceModel;
 use crate::diagnostics::Diagnostic;
-use crate::rules::{lint_source, FileCtx};
+use crate::rules::{crate_dir_to_name, lint_model, FileCtx};
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// Workspace-relative path of the suppression baseline.
+pub const BASELINE_PATH: &str = "crates/lint/lint.baseline";
 
 /// Finds the workspace root at or above `start`: the nearest ancestor
 /// containing both a `Cargo.toml` and a `crates/` directory.
@@ -64,16 +70,83 @@ fn collect_rs(dir: &Path, root: &Path, out: &mut Vec<String>) -> io::Result<()> 
     Ok(())
 }
 
-/// Lints the whole workspace; diagnostics come back sorted by path/line.
-pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
-    let mut diags = Vec::new();
+/// Parses every crate manifest into a `package -> workspace deps` map, so
+/// the call graph can drop edges between crates that don't even link.
+/// Only in-workspace (`dqs-*` / root) dependency names are recorded.
+pub fn workspace_deps(root: &Path) -> io::Result<BTreeMap<String, BTreeSet<String>>> {
+    let mut out = BTreeMap::new();
+    let mut manifests = vec![(
+        "distributed-quantum-sampling".to_string(),
+        root.join("Cargo.toml"),
+    )];
+    for entry in std::fs::read_dir(root.join("crates"))? {
+        let entry = entry?;
+        if entry.file_type()?.is_dir() {
+            let dir = entry.file_name().to_string_lossy().to_string();
+            manifests.push((
+                crate_dir_to_name(&dir).to_string(),
+                entry.path().join("Cargo.toml"),
+            ));
+        }
+    }
+    for (pkg, manifest) in manifests {
+        let Ok(text) = std::fs::read_to_string(&manifest) else {
+            continue;
+        };
+        let mut deps = BTreeSet::new();
+        let mut in_deps = false;
+        for line in text.lines() {
+            let line = line.trim();
+            // Production model: `[dependencies]` only — test code (the
+            // dev-dep consumer) is excluded from the call graph anyway.
+            if let Some(section) = line.strip_prefix('[') {
+                in_deps = section.starts_with("dependencies");
+                continue;
+            }
+            if !in_deps {
+                continue;
+            }
+            let name = line
+                .split(['.', '=', ' '])
+                .next()
+                .unwrap_or("")
+                .trim_matches('"');
+            if name.starts_with("dqs-") {
+                deps.insert(name.to_string());
+            }
+        }
+        out.insert(pkg, deps);
+    }
+    Ok(out)
+}
+
+/// Builds the workspace model over every production source file, with
+/// manifest dependency information.
+pub fn workspace_model(root: &Path) -> io::Result<WorkspaceModel> {
+    let mut inputs = Vec::new();
     for rel in production_sources(root)? {
         let text = std::fs::read_to_string(root.join(&rel))?;
-        let ctx = FileCtx::from_rel_path(&rel);
-        diags.extend(lint_source(&ctx, &text));
+        inputs.push((FileCtx::from_rel_path(&rel), text));
     }
-    diags.sort_by(|a, b| (a.path.as_str(), a.line).cmp(&(b.path.as_str(), b.line)));
-    Ok(diags)
+    let deps = workspace_deps(root)?;
+    Ok(WorkspaceModel::build_with_deps(inputs, &deps))
+}
+
+/// Lints the whole workspace and applies the suppression baseline (when
+/// one exists); diagnostics come back sorted by path/line.
+pub fn lint_workspace(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    let diags = lint_model(&workspace_model(root)?);
+    let baseline_file = root.join(BASELINE_PATH);
+    Ok(match std::fs::read_to_string(&baseline_file) {
+        Ok(text) => Baseline::parse(&text).apply(diags, BASELINE_PATH),
+        Err(_) => diags,
+    })
+}
+
+/// Lints the workspace *without* the baseline — the findings
+/// `--write-baseline` snapshots.
+pub fn lint_workspace_unbaselined(root: &Path) -> io::Result<Vec<Diagnostic>> {
+    Ok(lint_model(&workspace_model(root)?))
 }
 
 #[cfg(test)]
@@ -100,5 +173,18 @@ mod tests {
             files.iter().all(|f| !f.contains("/tests/")),
             "integration tests are exempt by design"
         );
+    }
+
+    #[test]
+    fn manifest_deps_are_parsed() {
+        let deps = workspace_deps(&repo_root()).expect("manifests");
+        let serve = deps.get("dqs-serve").expect("serve manifest");
+        assert!(serve.contains("dqs-core"), "{serve:?}");
+        assert!(
+            !serve.contains("dqs-bench"),
+            "serve does not depend on the harness: {serve:?}"
+        );
+        let lint = deps.get("dqs-lint").expect("lint manifest");
+        assert!(lint.is_empty(), "dqs-lint is dependency-free: {lint:?}");
     }
 }

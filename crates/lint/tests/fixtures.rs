@@ -2,12 +2,15 @@
 //! stay quiet on its `pass/` twin.
 //!
 //! Fixture headers:
-//! * `//@ path: <workspace-relative path>` — the path the file pretends to
-//!   live at (drives crate classification).
+//! * `//@ path: <workspace-relative path>` — (single-file fixtures) the
+//!   path the file pretends to live at (drives crate classification).
+//! * `//@ file: <workspace-relative path>` — starts a new virtual file in
+//!   a multi-file fixture; everything until the next marker belongs to it.
+//!   The interprocedural rules (R6–R9) see all files as one workspace.
 //! * `//@ expect: <rule id>` — (fail fixtures only) a rule that must fire.
 //!   Any rule firing that is *not* listed is an error too.
 
-use dqs_lint::{lint_source, FileCtx};
+use dqs_lint::{lint_files, FileCtx};
 use std::collections::BTreeSet;
 use std::path::PathBuf;
 
@@ -19,9 +22,43 @@ fn fixtures_dir(kind: &str) -> PathBuf {
 
 struct Fixture {
     name: String,
-    ctx: FileCtx,
-    text: String,
+    files: Vec<(FileCtx, String)>,
     expects: BTreeSet<String>,
+}
+
+impl Fixture {
+    fn lint(&self) -> Vec<dqs_lint::Diagnostic> {
+        lint_files(self.files.clone())
+    }
+}
+
+/// Splits fixture text into its virtual files: one `//@ path:` file, or a
+/// sequence of `//@ file:` sections.
+fn split_files(name: &str, text: &str) -> Vec<(FileCtx, String)> {
+    let mut out: Vec<(String, String)> = Vec::new();
+    let mut single_path = None;
+    for line in text.lines() {
+        if let Some(p) = line.strip_prefix("//@ file:") {
+            out.push((p.trim().to_string(), String::new()));
+        } else if let Some(p) = line.strip_prefix("//@ path:") {
+            single_path = Some(p.trim().to_string());
+        } else if let Some((_, body)) = out.last_mut() {
+            body.push_str(line);
+            body.push('\n');
+        }
+    }
+    if out.is_empty() {
+        let path =
+            single_path.unwrap_or_else(|| panic!("{name}: missing `//@ path:`/`//@ file:` header"));
+        return vec![(FileCtx::from_rel_path(&path), text.to_string())];
+    }
+    assert!(
+        single_path.is_none(),
+        "{name}: `//@ path:` and `//@ file:` cannot be mixed"
+    );
+    out.into_iter()
+        .map(|(p, body)| (FileCtx::from_rel_path(&p), body))
+        .collect()
 }
 
 fn load(kind: &str) -> Vec<Fixture> {
@@ -38,21 +75,14 @@ fn load(kind: &str) -> Vec<Fixture> {
             .to_string_lossy()
             .into_owned();
         let text = std::fs::read_to_string(&path).expect("fixture readable");
-        let mut virtual_path = None;
-        let mut expects = BTreeSet::new();
-        for line in text.lines() {
-            if let Some(p) = line.strip_prefix("//@ path:") {
-                virtual_path = Some(p.trim().to_string());
-            } else if let Some(r) = line.strip_prefix("//@ expect:") {
-                expects.insert(r.trim().to_string());
-            }
-        }
-        let virtual_path =
-            virtual_path.unwrap_or_else(|| panic!("{name}: missing `//@ path:` header"));
+        let expects = text
+            .lines()
+            .filter_map(|l| l.strip_prefix("//@ expect:"))
+            .map(|r| r.trim().to_string())
+            .collect();
         out.push(Fixture {
+            files: split_files(&name, &text),
             name,
-            ctx: FileCtx::from_rel_path(&virtual_path),
-            text,
             expects,
         });
     }
@@ -69,7 +99,7 @@ fn every_fail_fixture_fires_exactly_its_expected_rules() {
             "{}: fail fixture needs `//@ expect:` headers",
             f.name
         );
-        let diags = lint_source(&f.ctx, &f.text);
+        let diags = f.lint();
         let fired: BTreeSet<String> = diags.iter().map(|d| d.rule.to_string()).collect();
         for want in &f.expects {
             assert!(
@@ -95,7 +125,7 @@ fn every_fail_fixture_fires_exactly_its_expected_rules() {
 #[test]
 fn every_pass_fixture_is_clean() {
     for f in load("pass") {
-        let diags = lint_source(&f.ctx, &f.text);
+        let diags = f.lint();
         assert!(
             diags.is_empty(),
             "{}: pass fixture must be clean, got {:?}",
@@ -113,11 +143,16 @@ fn corpus_covers_every_rule() {
         .collect();
     for rule in [
         "R0:allow-directive",
+        "R0:unused-allow",
         "R1:determinism",
         "R2:ledger-pairing",
         "R3:panic",
         "R4:unsafe",
         "R5:event-purity",
+        "R6:determinism-taint",
+        "R7:charge-conservation",
+        "R8:error-discard",
+        "R9:snapshot-discipline",
     ] {
         assert!(
             covered.contains(rule),
@@ -127,9 +162,15 @@ fn corpus_covers_every_rule() {
 }
 
 #[test]
-fn diagnostics_point_at_the_virtual_path() {
-    let fixtures = load("fail");
-    let f = &fixtures[0];
-    let diags = lint_source(&f.ctx, &f.text);
-    assert!(diags.iter().all(|d| d.path == f.ctx.path));
+fn diagnostics_point_at_the_virtual_paths() {
+    for f in load("fail") {
+        let paths: BTreeSet<&str> = f.files.iter().map(|(c, _)| c.path.as_str()).collect();
+        for d in f.lint() {
+            assert!(
+                paths.contains(d.path.as_str()),
+                "{}: diagnostic points outside the fixture: {d:?}",
+                f.name
+            );
+        }
+    }
 }

@@ -210,6 +210,10 @@ impl Drop for SpanGuard {
 /// Opens a named span. When no recorder is installed this costs one atomic
 /// load and returns an inert guard.
 #[inline]
+// lint: allow(determinism-taint): span timing is observability-only — the
+// Instant is read solely on guard drop to feed span-duration metrics, never
+// sampling state, and replay identity compares events by name/order, not
+// wall-clock duration. This is the one sanctioned clock boundary.
 pub fn span(name: &'static str) -> SpanGuard {
     if !is_active() {
         return SpanGuard { name, start: None };

@@ -217,7 +217,7 @@ impl MatC {
     pub fn scaled(&self, k: Complex64) -> Self {
         let mut out = self.clone();
         for z in out.as_mut_slice() {
-            *z = *z * k;
+            *z *= k;
         }
         out
     }
@@ -252,7 +252,7 @@ impl Add for MatC {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
         let mut out = self;
         for (a, b) in out.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
-            *a = *a + *b;
+            *a += *b;
         }
         out
     }
@@ -264,7 +264,7 @@ impl Sub for MatC {
         assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
         let mut out = self;
         for (a, b) in out.as_mut_slice().iter_mut().zip(rhs.as_slice()) {
-            *a = *a - *b;
+            *a -= *b;
         }
         out
     }

@@ -721,7 +721,7 @@ impl SamplingService {
 }
 
 /// Predicted cost of a request, in the admission unit (sequential queries
-/// + parallel rounds). Faultless kinds are exact closed forms
+/// plus parallel rounds). Faultless kinds are exact closed forms
 /// (obliviousness). Degraded kinds are admitted at the faultless form:
 /// the fault surcharge (retries, restarts) is unknowable a priori but
 /// policy-bounded, and actual charges are always billed exactly.

@@ -23,6 +23,6 @@ pub mod sweeps;
 pub use churn::churn_trace;
 pub use generators::{heavy_hitter, singleton, sparse_uniform, uniform_support, zipf};
 pub use partition::PartitionScheme;
-pub use scenario::{FaultScenario, Scenario};
+pub use scenario::{FaultScenario, Scenario, ScenarioParseError};
 pub use spec::{Distribution, WorkloadSpec};
 pub use sweeps::{geometric_sweep, SweepAxis};

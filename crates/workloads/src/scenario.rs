@@ -160,8 +160,8 @@ impl FaultScenario {
 
     /// Parses the text form produced by [`FaultScenario::to_text`]. Keys
     /// may appear in any order; unknown keys, missing keys, and malformed
-    /// values are errors (returned as a human-readable message).
-    pub fn from_text(text: &str) -> Result<Self, String> {
+    /// values are [`ScenarioParseError`]s carrying the offending line.
+    pub fn from_text(text: &str) -> Result<Self, ScenarioParseError> {
         let (mut scenario, mut scale, mut seed, mut rate, mut horizon) =
             (None, None, None, None, None);
         for (lineno, line) in text.lines().enumerate() {
@@ -169,19 +169,24 @@ impl FaultScenario {
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let (key, value) = line
-                .split_once('=')
-                .ok_or_else(|| format!("line {}: expected `key = value`", lineno + 1))?;
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(ScenarioParseError::Syntax { line: lineno + 1 });
+            };
             let (key, value) = (key.trim(), value.trim());
-            let bad = |e: &dyn std::fmt::Display| format!("line {}: {key}: {e}", lineno + 1);
+            let bad = |e: &dyn std::fmt::Display| ScenarioParseError::BadValue {
+                line: lineno + 1,
+                key: key.to_string(),
+                cause: e.to_string(),
+            };
             match key {
                 "scenario" => {
                     scenario = Some(
                         Scenario::all()
                             .into_iter()
                             .find(|s| s.name() == value)
-                            .ok_or_else(|| {
-                                format!("line {}: unknown scenario {value:?}", lineno + 1)
+                            .ok_or_else(|| ScenarioParseError::UnknownScenario {
+                                line: lineno + 1,
+                                name: value.to_string(),
                             })?,
                     );
                 }
@@ -189,18 +194,79 @@ impl FaultScenario {
                 "seed" => seed = Some(value.parse::<u64>().map_err(|e| bad(&e))?),
                 "fault_rate" => rate = Some(value.parse::<f64>().map_err(|e| bad(&e))?),
                 "horizon" => horizon = Some(value.parse::<u64>().map_err(|e| bad(&e))?),
-                other => return Err(format!("line {}: unknown key {other:?}", lineno + 1)),
+                other => {
+                    return Err(ScenarioParseError::UnknownKey {
+                        line: lineno + 1,
+                        key: other.to_string(),
+                    })
+                }
             }
         }
+        let missing = |key| ScenarioParseError::MissingKey { key };
         Ok(Self {
-            scenario: scenario.ok_or("missing key: scenario")?,
-            scale: scale.ok_or("missing key: scale")?,
-            seed: seed.ok_or("missing key: seed")?,
-            fault_rate: rate.ok_or("missing key: fault_rate")?,
-            horizon: horizon.ok_or("missing key: horizon")?,
+            scenario: scenario.ok_or_else(|| missing("scenario"))?,
+            scale: scale.ok_or_else(|| missing("scale"))?,
+            seed: seed.ok_or_else(|| missing("seed"))?,
+            fault_rate: rate.ok_or_else(|| missing("fault_rate"))?,
+            horizon: horizon.ok_or_else(|| missing("horizon"))?,
         })
     }
 }
+
+/// A parse failure from [`FaultScenario::from_text`]. Line numbers are
+/// 1-based positions in the manifest text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioParseError {
+    /// A non-comment line lacked the `key = value` shape.
+    Syntax {
+        /// Offending manifest line.
+        line: usize,
+    },
+    /// `scenario =` named a preset that does not exist.
+    UnknownScenario {
+        /// Offending manifest line.
+        line: usize,
+        /// The unrecognized preset name.
+        name: String,
+    },
+    /// A value failed to parse for its key.
+    BadValue {
+        /// Offending manifest line.
+        line: usize,
+        /// The key whose value was malformed.
+        key: String,
+        /// The underlying parse error, rendered.
+        cause: String,
+    },
+    /// A key this manifest format does not define.
+    UnknownKey {
+        /// Offending manifest line.
+        line: usize,
+        /// The unrecognized key.
+        key: String,
+    },
+    /// A required key never appeared.
+    MissingKey {
+        /// The absent key.
+        key: &'static str,
+    },
+}
+
+impl std::fmt::Display for ScenarioParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Syntax { line } => write!(f, "line {line}: expected `key = value`"),
+            Self::UnknownScenario { line, name } => {
+                write!(f, "line {line}: unknown scenario {name:?}")
+            }
+            Self::BadValue { line, key, cause } => write!(f, "line {line}: {key}: {cause}"),
+            Self::UnknownKey { line, key } => write!(f, "line {line}: unknown key {key:?}"),
+            Self::MissingKey { key } => write!(f, "missing key: {key}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioParseError {}
 
 #[cfg(test)]
 mod tests {
@@ -280,9 +346,10 @@ mod tests {
         assert!(FaultScenario::from_text("scenario = nope\n").is_err());
         assert!(FaultScenario::from_text("scale = twelve\n").is_err());
         assert!(FaultScenario::from_text("bogus = 1\n").is_err());
-        assert!(FaultScenario::from_text("scenario = log-ingest\n")
-            .unwrap_err()
-            .contains("missing key"));
+        assert!(matches!(
+            FaultScenario::from_text("scenario = log-ingest\n"),
+            Err(ScenarioParseError::MissingKey { key: "scale" })
+        ));
         assert!(FaultScenario::from_text("no equals sign here\n").is_err());
     }
 
